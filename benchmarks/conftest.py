@@ -1,0 +1,16 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark module regenerates one table or figure of the paper
+(see DESIGN.md §4 for the index).  Benchmarks both *measure* (via
+pytest-benchmark) and *assert the reproduced shape* — a benchmark that
+regenerates the wrong numbers fails, it does not just run slow.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def study_2013():
+    """One full §V study pipeline, shared across benchmark modules."""
+    from repro.study import run_full_study
+    return run_full_study(seed=2013)

@@ -1,0 +1,46 @@
+"""Test 2 — cost/benefit of implementing the same problem three ways.
+
+The paper's Test 2 has students implement the single-lane bridge with
+Java threads, Scala Actors and Python coroutines and compares the
+costs.  Our effort model measures the reproduction's own three
+implementations; the asserted shape is the course's qualitative
+finding: cooperative code is the leanest, actor code trades locks for
+protocol (more code, fewer synchronization points per line), threads
+carry both locking and condition logic.
+"""
+
+from repro.study import bridge_effort, problem_effort
+
+
+def test_bridge_effort_shape(benchmark):
+    rows = benchmark(bridge_effort)
+    by_model = {r.model: r for r in rows}
+
+    # coroutines: the leanest solution (no locks, no protocol)
+    assert by_model["coroutines"].loc <= by_model["threads"].loc
+    assert by_model["coroutines"].loc < by_model["actors"].loc
+
+    # actors: most code (explicit message protocol) ...
+    assert by_model["actors"].loc > by_model["threads"].loc
+    # ... but not proportionally more sync points
+    assert by_model["actors"].sync_density <= \
+        by_model["threads"].sync_density
+
+
+def test_effort_across_problems(benchmark):
+    def sweep():
+        return {problem: problem_effort(problem)
+                for problem in ("bridge", "barber", "party", "buffer")}
+    table = benchmark(sweep)
+    for problem, rows in table.items():
+        by_model = {r.model: r for r in rows}
+        assert set(by_model) == {"threads", "actors", "coroutines"}
+        # actor solutions are consistently the longest: protocol costs code
+        assert by_model["actors"].loc >= by_model["coroutines"].loc, problem
+
+
+def test_all_measurements_nonempty(benchmark):
+    rows = benchmark(lambda: problem_effort("philosophers"))
+    for metrics in rows:
+        assert metrics.loc > 5
+        assert metrics.sync_ops > 0

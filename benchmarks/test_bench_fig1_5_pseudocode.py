@@ -1,0 +1,134 @@
+"""Figures 1-5 — every pseudocode example in the paper, regenerated.
+
+For each figure: execute the program (or exhaustively enumerate its
+outputs) and assert the result matches the figure's stated output /
+"Output possibility" list exactly.  The benchmark measures the cost of
+the full enumeration.
+"""
+
+import pytest
+
+from repro.pseudocode import compile_program, interpret, possible_outputs
+
+FIG3A = 'PARA\nPRINT "hello "\nPRINT "world "\nENDPARA'
+FIG3B = """
+DEFINE print()
+  PRINT "hi "
+  PRINT "there "
+ENDDEF
+PARA
+  print()
+ENDPARA
+"""
+FIG3C = """
+DEFINE print()
+  PRINT "hi "
+  PRINT "there "
+ENDDEF
+PARA
+  print()
+  PRINT "world "
+ENDPARA
+"""
+FIG4A = """
+x = 10
+DEFINE changeX(diff)
+  EXC_ACC
+    x = x + diff
+  END_EXC_ACC
+ENDDEF
+PARA
+  changeX(1)
+  changeX(-2)
+ENDPARA
+PRINTLN x
+"""
+FIG4B = """
+x = 10
+DEFINE changeX(diff)
+  EXC_ACC
+    WHILE x + diff < 0
+      WAIT()
+    ENDWHILE
+    x = x + diff
+    NOTIFY()
+  END_EXC_ACC
+ENDDEF
+PARA
+  changeX(-11)
+  changeX(1)
+ENDPARA
+PRINTLN x
+"""
+FIG5 = """
+CLASS Receiver
+  DEFINE receive()
+    ON_RECEIVING
+      MESSAGE.h(var)
+        PRINT var
+      MESSAGE.w(var)
+        PRINTLN var
+  ENDDEF
+ENDCLASS
+m1 = MESSAGE.h("hello ")
+m2 = MESSAGE.w("world")
+r1 = new Receiver()
+r1.receive()
+Send(m1).To(r1)
+Send(m2).To(r1)
+"""
+
+
+def test_fig1_assignments(benchmark):
+    source = ('total = 0\nname = "John Smith"\ncondition = True\n'
+              'height = 3.3')
+    result = benchmark(lambda: interpret(source))
+    assert result.globals == {"total": 0, "name": "John Smith",
+                              "condition": True, "height": 3.3}
+
+
+def test_fig2_conditional(benchmark):
+    source = """
+testScore = 88
+IF testScore >= 90 THEN
+  PRINTLN "A"
+ELSE IF testScore >= 80 THEN
+  PRINTLN "B"
+ELSE IF testScore >= 70 THEN
+  PRINTLN "C"
+ELSE
+  PRINTLN "F"
+ENDIF
+"""
+    result = benchmark(lambda: interpret(source))
+    assert result.output_tokens() == ["B"]
+
+
+@pytest.mark.parametrize("name,source,expected", [
+    ("fig3a", FIG3A, {"hello world", "world hello"}),
+    ("fig3b", FIG3B, {"hi there"}),
+    ("fig3c", FIG3C, {"hi there world", "hi world there",
+                      "world hi there"}),
+], ids=["fig3a", "fig3b", "fig3c"])
+def test_fig3_para_possibilities(benchmark, name, source, expected):
+    runtime = compile_program(source)
+    outputs = benchmark(lambda: possible_outputs(runtime))
+    assert outputs == expected
+
+
+def test_fig4a_exc_acc(benchmark):
+    runtime = compile_program(FIG4A)
+    outputs = benchmark(lambda: possible_outputs(runtime, max_runs=100_000))
+    assert outputs == {"9"}
+
+
+def test_fig4b_wait_notify(benchmark):
+    runtime = compile_program(FIG4B)
+    outputs = benchmark(lambda: possible_outputs(runtime, max_runs=100_000))
+    assert outputs == {"0"}
+
+
+def test_fig5_message_passing(benchmark):
+    runtime = compile_program(FIG5)
+    outputs = benchmark(lambda: possible_outputs(runtime))
+    assert outputs == {"hello world", "world hello"}

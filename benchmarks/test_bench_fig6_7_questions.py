@@ -1,0 +1,89 @@
+"""Figures 6-7 — the Test-1 sample questions, answered exactly.
+
+Regenerates both sample questions over the bridge models and checks the
+verdicts, plus the misconception flips the paper's Table III implies
+for them; the benchmark measures the product-automaton model checking.
+"""
+
+from repro.problems.single_lane_bridge import (MPFlags, SMFlags,
+                                               mp_bridge_lts, sm_bridge_lts)
+from repro.verify import ScenarioQuestion, answer_question_lts
+
+A, B, BL = "redCarA", "redCarB", "blueCarA"
+
+FIG6_M = ScenarioQuestion(
+    qid="fig6(m)",
+    text="redCarB returns from redEnter, then calls redExit and blocks "
+         "on the EXC_ACC marker",
+    history=((A, "call", "redEnter"), (B, "call", "redEnter")),
+    scenario=((B, "return", "redEnter"), (B, "call", "redExit"),
+              (B, "acquire", "redExit")),
+    forbidden=((A, "return", "redEnter"),))
+
+FIG7_M = ScenarioQuestion(
+    qid="fig7(m)",
+    text="redCarB receives succeedEnter, sends redExit, receives "
+         "MESSAGE.succeedExit(2)",
+    history=((A, "send", "redEnter"), (B, "send", "redEnter")),
+    scenario=((B, "recv", "succeedEnter"), (B, "send", "redExit"),
+              (B, "recv", ("succeedExit", 2))))
+
+
+def test_fig6_item_m_shared_memory(benchmark):
+    lts = sm_bridge_lts()
+    answer = benchmark(lambda: answer_question_lts(lts, FIG6_M))
+    assert answer.verdict == "YES"
+    assert answer.witness is not None
+
+
+def test_fig6_s7_student_disagrees(benchmark):
+    """Under S7 ('lock held until method return') redCarB cannot even
+    return from redEnter while redCarA sits inside the call."""
+    question = ScenarioQuestion(
+        qid="fig6-s7",
+        text="B returns from redEnter while A holds it and never waits",
+        history=((A, "acquire", "redEnter"), (B, "call", "redEnter")),
+        scenario=((B, "return", "redEnter"),),
+        forbidden_anywhere=((A, "return", "redEnter"), (A, "wait")))
+    correct = answer_question_lts(sm_bridge_lts(), question)
+    mutated_lts = sm_bridge_lts(flags=SMFlags(lock_span_method=True))
+    student = benchmark(lambda: answer_question_lts(mutated_lts, question))
+    assert correct.verdict == "YES"
+    assert student.verdict == "NO"
+
+
+def test_fig7_item_m_message_passing(benchmark):
+    lts = mp_bridge_lts()
+    answer = benchmark(lambda: answer_question_lts(lts, FIG7_M))
+    assert answer.verdict == "YES"
+
+
+def test_fig7_m5_student_disagrees(benchmark):
+    """Table III scenario 1 (different senders, same receiver): the M5
+    student's FIFO world forbids redCarB's message overtaking
+    redCarA's."""
+    question = ScenarioQuestion(
+        qid="fig7-m5", text="B handled before A though A sent first",
+        history=((A, "send", "redEnter"), (B, "send", "redEnter")),
+        scenario=(("bridge", "handle", B, "redEnter"),),
+        forbidden_anywhere=(("bridge", "handle", A, "redEnter"),))
+    fifo_lts = mp_bridge_lts(flags=MPFlags(delivery="fifo"))
+    student = benchmark(lambda: answer_question_lts(fifo_lts, question))
+    assert answer_question_lts(mp_bridge_lts(), question).verdict == "YES"
+    assert student.verdict == "NO"
+
+
+def test_fig7_scenario3_same_sender_different_receivers(benchmark):
+    """Table III scenario 3: acknowledgements from the same sender (the
+    bridge) to different receivers may arrive out of send order."""
+    question = ScenarioQuestion(
+        qid="fig7-sc3", text="B's ack overtakes A's earlier ack",
+        history=(("bridge", "handle", A, "redEnter"),
+                 ("bridge", "handle", B, "redEnter")),
+        scenario=((B, "recv", "succeedEnter"),),
+        forbidden_anywhere=((A, "recv", "succeedEnter"),))
+    lts = mp_bridge_lts()
+    answer = benchmark(lambda: answer_question_lts(lts, question))
+    assert answer.verdict == "YES"
+    fifo = mp_bridge_lts(flags=MPFlags(delivery="fifo"))
+    assert answer_question_lts(fifo, question).verdict == "NO"

@@ -1,0 +1,75 @@
+"""Kernel micro-benchmarks — the substrate's own cost profile.
+
+Not a paper table; included because every paper number above is
+computed *through* this kernel, so its throughput bounds what the
+exhaustive checks can afford (the guides' rule: no optimization claims
+without measurement).  Asserted shapes: scheduling is strictly
+replayable, and the explorer's cost scales with schedules × depth.
+"""
+
+from repro.core import (Acquire, Emit, Mailbox, Pause, RandomPolicy,
+                        Receive, Release, Scheduler, Send, SimLock)
+from repro.verify import explore
+
+
+def test_scheduler_step_throughput(benchmark):
+    """Raw steps/second: one task, many pauses."""
+    def run():
+        sched = Scheduler()
+
+        def spinner():
+            for _ in range(5_000):
+                yield Pause()
+        sched.spawn(spinner)
+        return len(sched.run())
+    steps = benchmark(run)
+    assert steps == 5_001
+
+
+def test_lock_handoff_throughput(benchmark):
+    """Contended acquire/release ping-pong between two tasks."""
+    def run():
+        sched = Scheduler()
+        lock = SimLock("L")
+
+        def worker(tag):
+            for _ in range(1_000):
+                yield Acquire(lock)
+                yield Release(lock)
+        sched.spawn(worker, "a")
+        sched.spawn(worker, "b")
+        return len(sched.run())
+    assert benchmark(run) > 4_000
+
+
+def test_message_throughput(benchmark):
+    """Send/receive round trips through a kernel mailbox."""
+    def run():
+        sched = Scheduler(RandomPolicy(1))
+        box = Mailbox("box")
+
+        def producer():
+            for i in range(1_000):
+                yield Send(box, i)
+
+        def consumer():
+            for _ in range(1_000):
+                yield Receive(box)
+        sched.spawn(producer)
+        sched.spawn(consumer)
+        return len(sched.run())
+    assert benchmark(run) > 2_000
+
+
+def test_exploration_cost_scales_with_leaves(benchmark):
+    """explore() on a 2-task emitter: cost ∝ schedules; exactness held."""
+    def program(sched):
+        def t(tag):
+            for k in range(2):
+                yield Emit((tag, k))
+        sched.spawn(t, "a")
+        sched.spawn(t, "b")
+
+    res = benchmark(lambda: explore(program))
+    assert res.complete
+    assert len(res.output_strings()) == 6   # C(4,2) orders

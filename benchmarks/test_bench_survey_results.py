@@ -1,0 +1,50 @@
+"""§VI survey paragraphs — difficulty ratings and grade-section choice.
+
+The paper's counts:
+  * post-test difficulty: 11 of 15 found shared memory harder;
+  * grade choice: 10 of 15 chose message passing; 13 of 15 chose the
+    section they actually scored higher on; 4 of the 5 who chose the
+    shared-memory section took it in the 2nd session.
+
+Shape assertions: SM-harder majority, high choice accuracy, and the
+SM-choosers-took-it-second effect.
+"""
+
+from repro.study import (difficulty_survey, grade_choice_survey,
+                         run_full_study)
+
+
+def test_difficulty_survey(benchmark, study_2013):
+    report = benchmark(lambda: difficulty_survey(study_2013.results))
+    # the paper's 11-of-15 is a strong majority; our derived responses
+    # (score gap + self-assessment noise) reproduce the plurality
+    assert report.sm_harder > report.mp_harder
+    assert report.respondents >= 12
+
+
+def test_grade_choice_survey(benchmark, study_2013):
+    report = benchmark(lambda: grade_choice_survey(study_2013.results))
+    # most students pick their genuinely better section
+    assert report.chose_correctly / report.respondents >= 0.75
+    # the SM choosers skew toward having taken SM in session 2
+    if report.chose_sm:
+        assert report.sm_choosers_took_sm_second / report.chose_sm >= 0.5
+
+
+def test_survey_shape_stable_across_cohorts(benchmark, study_2013):
+    """Perceived difficulty tracks real scores, so it inherits the
+    section gap's sampling noise at n = 16: SM-harder majorities appear
+    in most resampled cohorts, not all (see the Table II stability
+    note)."""
+    trials = 3
+
+    def sweep():
+        majority = 0
+        for seed in range(300, 300 + trials):
+            study = run_full_study(seed=seed)
+            if study.difficulty.sm_harder >= study.difficulty.mp_harder:
+                majority += 1
+        return majority
+
+    sm_harder_majority = benchmark(sweep)
+    assert sm_harder_majority >= trials - 1

@@ -1,0 +1,65 @@
+"""Table III — misconception counts from graded Test-1 answers.
+
+The paper's counts (of 16 students):
+
+    M1=6 M2=1 M3=7 M4=7 M5=6 M6=7      (message passing)
+    S1=3 S2=1 S3=2 S4=4 S5=9 S6=1 S7=10 S8=2   (shared memory)
+
+We assert the qualitative structure: the dominant misconceptions (S5,
+S7 in shared memory; M3/M4/M5 in message passing) dominate the
+measured counts too, rare ones stay rare, and measured-vs-paper
+counts correlate positively.  Every *semantic* misconception must also
+demonstrably flip at least one exam question (the mechanism behind the
+counts).
+"""
+
+from scipy import stats
+
+from repro.misconceptions import CATALOG, answer_delta
+from repro.study import question_bank, run_full_study, table3
+
+
+def test_table3_reproduction(benchmark, study_2013):
+    data = benchmark(lambda: table3(run_full_study(seed=2013).results)[0])
+
+    measured = {mid: row["measured"] for mid, row in data.items()}
+    paper = {mid: row["paper"] for mid, row in data.items()}
+
+    # dominant SM misconceptions dominate
+    sm = {k: v for k, v in measured.items() if k.startswith("S")}
+    top_two = sorted(sm, key=sm.get, reverse=True)[:2]
+    assert set(top_two) <= {"S5", "S7", "S4"}
+    # rare ones stay rare
+    assert measured["S6"] <= 3
+    assert measured["S2"] <= 3
+    # positive rank correlation with the paper's column
+    mids = sorted(measured)
+    rho = stats.spearmanr([measured[m] for m in mids],
+                          [paper[m] for m in mids]).statistic
+    assert rho > 0.4
+
+
+def test_semantic_misconceptions_flip_questions(benchmark):
+    bank = question_bank()
+    sm_questions = [i.question for i in bank if i.section == "sm"]
+    mp_questions = [i.question for i in bank if i.section == "mp"]
+
+    def all_deltas():
+        out = {}
+        for mid in ("S5", "S6", "S7"):
+            out[mid] = answer_delta("sm", [mid], sm_questions)
+        for mid in ("M3", "M4", "M5"):
+            out[mid] = answer_delta("mp", [mid], mp_questions)
+        return out
+
+    deltas = benchmark(all_deltas)
+    for mid, flips in deltas.items():
+        assert flips, f"{mid} flips no exam question"
+
+
+def test_catalog_matches_paper_exactly(benchmark):
+    expected = {"M1": 6, "M2": 1, "M3": 7, "M4": 7, "M5": 6, "M6": 7,
+                "S1": 3, "S2": 1, "S3": 2, "S4": 4, "S5": 9, "S6": 1,
+                "S7": 10, "S8": 2}
+    counts = benchmark(lambda: {m.mid: m.paper_count for m in CATALOG})
+    assert counts == expected

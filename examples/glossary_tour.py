@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""The executable glossary — conclusion 3 of the paper.
+
+"A standard glossary of well-defined terminology is essential."  Here
+every definition comes with a running demonstration, and terminology
+misconceptions (the T-level of Table I) are listed next to the term
+they misread.
+
+Run:  python examples/glossary_tour.py
+"""
+
+from repro.misconceptions import by_id
+from repro.study.glossary import GLOSSARY, demonstrate
+
+
+def main() -> None:
+    for entry in GLOSSARY:
+        print(f"== {entry.name} ==")
+        print(f"  {entry.definition}")
+        if entry.misread_by:
+            for mid in entry.misread_by:
+                m = by_id(mid)
+                print(f"  misread by {mid} [{m.level}]: "
+                      f"{m.description[:64]}")
+        evidence = demonstrate(entry.name)
+        for key, value in evidence.items():
+            rendered = str(value)
+            if len(rendered) > 70:
+                rendered = rendered[:67] + "..."
+            print(f"  demo: {key} = {rendered}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Compare the three programming models on the same problems —
+the course's "costs and benefits" exercise (§I: students "investigate
+the efficiency of these implementations" and assess ease of
+programming).
+
+Three comparisons:
+  1. correctness under stress (all models solve each problem, audited);
+  2. throughput on a producer/consumer workload (GIL caveat printed);
+  3. structural effort metrics of the implementations themselves.
+
+Run:  python examples/model_comparison.py
+"""
+
+import time
+
+from repro.problems import bounded_buffer, sleeping_barber
+from repro.study import problem_effort
+
+
+def correctness_sweep() -> None:
+    print("== 1. every model solves every problem (audited) ==")
+    jobs = [
+        ("bounded buffer", [
+            ("threads", lambda: bounded_buffer.run_threads_buffer()),
+            ("actors", lambda: bounded_buffer.run_actor_buffer()),
+            ("coroutines", lambda: bounded_buffer.run_coroutine_buffer())]),
+        ("sleeping barber", [
+            ("threads", lambda: sleeping_barber.run_threads_barber()),
+            ("actors", lambda: sleeping_barber.run_actor_barber()),
+            ("coroutines", lambda: sleeping_barber.run_coroutine_barber())]),
+    ]
+    for problem, runners in jobs:
+        line = ", ".join(f"{name} ok" for name, run in runners
+                         if run() is not None)
+        print(f"  {problem}: {line}")
+
+
+def throughput() -> None:
+    print("\n== 2. producer/consumer throughput ==")
+    print("  (CPython GIL: threads show blocking structure, not "
+          "parallel speedup — see EXPERIMENTS.md)")
+    items = 4000
+
+    def timed(label, fn):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        print(f"  {label:<12} {items / elapsed:>12,.0f} items/s")
+
+    timed("threads", lambda: bounded_buffer.run_threads_buffer(
+        capacity=64, producers=2, consumers=2, items_each=items // 2))
+    timed("actors", lambda: bounded_buffer.run_actor_buffer(
+        capacity=64, producers=2, consumers=2, items_each=items // 2))
+    timed("coroutines", lambda: bounded_buffer.run_coroutine_buffer(
+        capacity=64, producers=2, consumers=2, items_each=items // 2))
+
+
+def effort() -> None:
+    print("\n== 3. implementation effort (Test-2 cost/benefit) ==")
+    for problem in ("bridge", "barber", "buffer"):
+        print(f"  {problem}:")
+        for metrics in problem_effort(problem):
+            print(f"    {metrics.describe()}")
+
+
+if __name__ == "__main__":
+    correctness_sweep()
+    throughput()
+    effort()

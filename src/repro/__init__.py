@@ -1,0 +1,41 @@
+"""repro — executable reproduction of Li & Kraemer,
+"Programming with Concurrency: Threads, Actors, and Coroutines" (2013).
+
+Subpackages
+-----------
+core
+    Deterministic simulation kernel: generator tasks, effects, locks,
+    monitors, mailboxes, channels, logical clocks, replayable schedules.
+threads
+    Java-flavored thread model: JThread, synchronized monitors,
+    wait/notify, thread pools, concurrent data structures.
+actors
+    Scala-flavored actor model: ActorSystem, ActorRef, asynchronous
+    send, selective receive, become, ask.
+coroutines
+    Coroutine model per de Moura & Ierusalimschy's taxonomy: asymmetric
+    and symmetric first-class stackful coroutines, cooperative
+    scheduler, channels, asyncio bridge.
+pseudocode
+    Lexer/parser/interpreter for the paper's language-independent
+    pseudocode notation (Figures 1-5), with exhaustive output
+    enumeration.
+verify
+    CHESS-style systematic interleaving explorer, safety/liveness
+    properties, happens-before race detector, Test-1-style
+    reachability queries.
+problems
+    The course's classical problems (single-lane bridge, sleeping
+    barber, party matching, bounded buffer, dining philosophers, ...)
+    each in thread / actor / coroutine form.
+misconceptions
+    The paper's misconception taxonomy (Table I) and each catalogued
+    misconception (M1-M6, S1-S8) implemented as a mutated semantics.
+study
+    Cohort simulation, Test 1 generation/grading, grouping, surveys,
+    statistics — regenerates Tables I-III and the survey paragraphs.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,26 @@
+"""repro.actors — the Scala Actors model, in Python.
+
+:class:`Actor` subclasses implement Hewitt's axioms (send / create /
+designate-next-behaviour) and run on either runtime:
+
+* :class:`ActorSystem` — real threads, shared dispatcher pool, for
+  throughput and the performance benchmarks;
+* :class:`SimActorSystem` — deterministic kernel tasks, for exhaustive
+  exploration of message arrival orders with :mod:`repro.verify`.
+
+Plus the interaction patterns the labs use: :func:`ask` request/response,
+routers, scatter-gather aggregation.
+"""
+
+from .actor import Actor, ActorContext, Behaviour
+from .patterns import Ask, RoundRobinRouter, aggregate, ask
+from .ref import ActorRef
+from .sim import SimActorSystem
+from .system import ActorSystem, DeadLetter, SupervisionDirective
+
+__all__ = [
+    "Actor", "ActorContext", "Behaviour", "ActorRef",
+    "ActorSystem", "SupervisionDirective", "DeadLetter",
+    "SimActorSystem",
+    "ask", "Ask", "RoundRobinRouter", "aggregate",
+]

@@ -1,0 +1,121 @@
+"""Actor base class and behaviour machinery.
+
+Implements the three Hewitt axioms the paper quotes — in response to a
+message an actor can concurrently (1) send messages to other actors,
+(2) create new actors, (3) designate how to handle the next message:
+
+* (1) ``self.context.tell(ref, msg)`` / ``ref.tell(msg)``;
+* (2) ``self.context.spawn(ActorClass, ...)``;
+* (3) ``self.become(behaviour)`` / ``self.unbecome()``.
+
+An actor processes one message at a time (the runtime guarantees no
+two messages of the same actor are handled concurrently), has no public
+state, and communicates only by asynchronous message passing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .ref import ActorRef
+
+__all__ = ["Actor", "ActorContext", "Behaviour"]
+
+#: a behaviour is "how to handle the next message"
+Behaviour = Callable[[Any, Optional["ActorRef"]], None]
+
+
+class ActorContext:
+    """What an actor may touch while processing a message.
+
+    The runtime (threaded system or kernel-backed sim system) installs
+    itself here; user code sees the same interface under both.
+    """
+
+    def __init__(self, system: Any, self_ref: "ActorRef"):
+        self.system = system
+        self.self_ref = self_ref
+        #: sender of the message currently being processed (may be None)
+        self.sender: Optional["ActorRef"] = None
+
+    def tell(self, target: "ActorRef", message: Any) -> None:
+        """Asynchronous send with self as the implied sender."""
+        target.tell(message, sender=self.self_ref)
+
+    def reply(self, message: Any) -> None:
+        """Send to the current sender; raises if the message had none."""
+        if self.sender is None:
+            raise RuntimeError("reply() with no sender on the current message")
+        self.sender.tell(message, sender=self.self_ref)
+
+    def spawn(self, actor_class: type, *args: Any, name: str = "",
+              **kwargs: Any) -> "ActorRef":
+        """Create a child actor (Hewitt axiom 2)."""
+        return self.system.spawn(actor_class, *args, name=name, **kwargs)
+
+    def stop(self, target: Optional["ActorRef"] = None) -> None:
+        """Stop ``target`` (default: self)."""
+        self.system.stop(target or self.self_ref)
+
+
+class Actor:
+    """Subclass and override :meth:`receive`.
+
+    ``receive(message, sender)`` is invoked for each delivered message;
+    ``sender`` is the :class:`ActorRef` that sent it (or None for
+    external sends without a sender).  Behaviour switching::
+
+        class Counter(Actor):
+            def receive(self, message, sender):
+                if message == "lock":
+                    self.become(self.locked)
+            def locked(self, message, sender):
+                if message == "unlock":
+                    self.unbecome()
+    """
+
+    def __init__(self) -> None:
+        self.context: Optional[ActorContext] = None
+        self._behaviours: list[Behaviour] = []
+
+    # -- message handling ----------------------------------------------------
+    def receive(self, message: Any, sender: Optional["ActorRef"]) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} must override receive()")
+
+    def current_behaviour(self) -> Behaviour:
+        return self._behaviours[-1] if self._behaviours else self.receive
+
+    def become(self, behaviour: Behaviour, discard_old: bool = False) -> None:
+        """Designate how to handle the next message (Hewitt axiom 3)."""
+        if discard_old and self._behaviours:
+            self._behaviours[-1] = behaviour
+        else:
+            self._behaviours.append(behaviour)
+
+    def unbecome(self) -> None:
+        if self._behaviours:
+            self._behaviours.pop()
+
+    # -- lifecycle hooks ----------------------------------------------------
+    def pre_start(self) -> None:
+        """Called once before the first message."""
+
+    def post_stop(self) -> None:
+        """Called after the actor stops (normal or failure stop)."""
+
+    def pre_restart(self, error: BaseException, message: Any) -> None:
+        """Called before a supervision restart; default clears behaviours."""
+        self._behaviours.clear()
+
+    # -- convenience ---------------------------------------------------------
+    @property
+    def self_ref(self) -> "ActorRef":
+        if self.context is None:
+            raise RuntimeError("actor is not running in a system")
+        return self.context.self_ref
+
+    def __repr__(self) -> str:
+        name = self.context.self_ref.name if self.context else "detached"
+        return f"<{type(self).__name__} {name}>"

@@ -1,0 +1,59 @@
+"""ActorRef — the only handle user code holds on an actor.
+
+References decouple identity from implementation: the same ``tell``
+works whether the actor runs on the threaded dispatcher or inside the
+deterministic kernel.  Scala's ``actor ! msg`` is ``ref.tell(msg)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Protocol
+
+__all__ = ["ActorRef", "ActorCell"]
+
+
+class ActorCell(Protocol):
+    """What a runtime must provide per actor for refs to work."""
+
+    def enqueue(self, message: Any, sender: Optional["ActorRef"]) -> None: ...
+
+    @property
+    def stopped(self) -> bool: ...
+
+
+class ActorRef:
+    """Location-transparent actor handle.
+
+    Equality/hash by actor id, so refs can key routing tables and be
+    carried inside messages.
+    """
+
+    __slots__ = ("actor_id", "name", "_cell")
+
+    def __init__(self, actor_id: int, name: str, cell: ActorCell):
+        self.actor_id = actor_id
+        self.name = name
+        self._cell = cell
+
+    def tell(self, message: Any, sender: Optional["ActorRef"] = None) -> None:
+        """Asynchronous, never-blocking send (may land in dead letters
+        if the actor has stopped)."""
+        self._cell.enqueue(message, sender)
+
+    #: Scala spelling: ``ref << msg`` ≈ ``actor ! msg``
+    def __lshift__(self, message: Any) -> "ActorRef":
+        self.tell(message)
+        return self
+
+    @property
+    def is_stopped(self) -> bool:
+        return self._cell.stopped
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ActorRef) and other.actor_id == self.actor_id
+
+    def __hash__(self) -> int:
+        return hash(("actor", self.actor_id))
+
+    def __repr__(self) -> str:
+        return f"<ActorRef {self.name}#{self.actor_id}>"

@@ -1,0 +1,229 @@
+"""Kernel-backed actor runtime — actors you can model-check.
+
+Runs the same :class:`~repro.actors.actor.Actor` subclasses as the
+threaded :class:`~repro.actors.system.ActorSystem`, but each actor is a
+daemon task of the deterministic kernel with a
+:class:`~repro.core.mailbox.Mailbox`.  Consequences:
+
+* the explorer can enumerate every delivery order the mailbox policy
+  admits — "two messages sent concurrently can arrive in either order"
+  becomes an enumerable set of behaviours;
+* message processing is one atomic step (the Hewitt model's per-message
+  serialization), with sends/spawns buffered during the handler and
+  issued as kernel effects right after — logically "during" processing,
+  exactly as the actor axioms allow;
+* quiescence ends a run: when only idle actors remain, the schedule is
+  complete (kernel daemon rule).
+
+Driver code runs as a kernel task and uses the ``*_gen`` helpers::
+
+    def program(sched):
+        system = SimActorSystem(sched)
+        def driver():
+            counter = system.spawn(Counter, name="c")
+            yield from system.tell_gen(counter, "inc")
+            reply = yield from system.ask_gen(counter, "get")
+            yield Emit(reply)
+        sched.spawn(driver, name="driver")
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator, Optional
+
+from ..core.effects import Effect, Receive, Send, Spawn
+from ..core.mailbox import DeliveryPolicy, Mailbox
+from ..core.scheduler import Scheduler
+from .actor import Actor, ActorContext
+from .ref import ActorRef
+
+__all__ = ["SimActorSystem"]
+
+
+class _SimEnvelope:
+    """Payload + logical sender ref, carried through the kernel mailbox."""
+
+    __slots__ = ("payload", "sender")
+
+    def __init__(self, payload: Any, sender: Optional[ActorRef]):
+        self.payload = payload
+        self.sender = sender
+
+    def __repr__(self) -> str:
+        who = self.sender.name if self.sender else "ext"
+        return f"{self.payload!r}<-{who}"
+
+
+class _StopSignal:
+    def __repr__(self) -> str:
+        return "<stop>"
+
+
+class _SimCell:
+    """ActorCell protocol implementation for the kernel runtime."""
+
+    def __init__(self, system: "SimActorSystem", actor: Actor,
+                 name: str, actor_id: int):
+        self.system = system
+        self.actor = actor
+        self.mailbox = Mailbox(name, policy=system.mailbox_policy)
+        self.ref = ActorRef(actor_id, name, self)
+        self._stopped = False
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def enqueue(self, message: Any, sender: Optional[ActorRef]) -> None:
+        """Reached via ``ref.tell`` — only legal while a handler runs,
+        where sends are buffered (asynchronous sends inside atomic
+        message processing).  Outside a handler, use
+        :meth:`SimActorSystem.tell_gen` from a kernel task."""
+        outbox = self.system._outbox
+        if outbox is None:
+            raise RuntimeError(
+                "tell() on a sim actor outside a message handler; use "
+                "SimActorSystem.tell_gen(...) from kernel code")
+        outbox.append(("send", self, _SimEnvelope(message, sender)))
+
+
+class SimActorSystem:
+    """Deterministic actor runtime on a :class:`Scheduler`.
+
+    ``mailbox_policy`` selects which arrival reorderings exist —
+    ARBITRARY is the paper's semantics, PER_SENDER_FIFO is the
+    Erlang/Akka guarantee, FIFO is misconception M5's faulty world.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, sched: Scheduler,
+                 mailbox_policy: DeliveryPolicy = DeliveryPolicy.ARBITRARY):
+        self.sched = sched
+        self.mailbox_policy = mailbox_policy
+        self._outbox: Optional[list[tuple]] = None
+        self.cells: list[_SimCell] = []
+
+    # ------------------------------------------------------------------
+    def spawn(self, actor_class: type, *args: Any, name: str = "",
+              **kwargs: Any) -> ActorRef:
+        """Create an actor; runs as a kernel daemon task.
+
+        Callable both from driver setup code (before/outside the run)
+        and from inside handlers (Hewitt axiom 2) — in the latter case
+        the task spawn is buffered as an effect.
+        """
+        if not issubclass(actor_class, Actor):
+            raise TypeError(f"{actor_class.__name__} is not an Actor subclass")
+        actor = actor_class(*args, **kwargs)
+        actor_id = next(self._ids)
+        cell = _SimCell(self, actor,
+                        name or f"{actor_class.__name__.lower()}-{actor_id}",
+                        actor_id)
+        actor.context = ActorContext(self, cell.ref)
+        self.cells.append(cell)
+        if self._outbox is not None:
+            self._outbox.append(("spawn", cell, None))
+        else:
+            self.sched.spawn(self._actor_loop(cell), name=cell.ref.name,
+                             daemon=True)
+        return cell.ref
+
+    def stop(self, ref: ActorRef) -> None:
+        """Usable from inside handlers only (buffers a stop signal)."""
+        cell = self._cell_of(ref)
+        cell.enqueue(_StopSignal(), None)
+
+    def _cell_of(self, ref: ActorRef) -> _SimCell:
+        for cell in self.cells:
+            if cell.ref == ref:
+                return cell
+        raise KeyError(f"unknown ref {ref!r}")
+
+    # ------------------------------------------------------------------
+    # kernel-side generators
+    # ------------------------------------------------------------------
+    def tell_gen(self, ref: ActorRef, message: Any,
+                 sender: Optional[ActorRef] = None) -> Iterator[Effect]:
+        """Send from driver/kernel code (asynchronous, one Send effect)."""
+        cell = self._cell_of(ref)
+        yield Send(cell.mailbox, _SimEnvelope(message, sender))
+
+    def stop_gen(self, ref: ActorRef) -> Iterator[Effect]:
+        """Stop an actor from driver code (graceful: queued messages
+        delivered first under FIFO policies)."""
+        cell = self._cell_of(ref)
+        yield Send(cell.mailbox, _SimEnvelope(_StopSignal(), None))
+
+    def ask_gen(self, ref: ActorRef, payload: Any,
+                name: str = "ask") -> Iterator[Effect]:
+        """Request/response from driver code: returns the reply payload."""
+        reply_box = Mailbox(f"{name}-reply", policy=self.mailbox_policy)
+        reply_ref = _ReplyRef(self, reply_box, name)
+        cell = self._cell_of(ref)
+        yield Send(cell.mailbox, _SimEnvelope(payload, reply_ref))
+        envelope = yield Receive(reply_box)
+        return envelope.payload
+
+    def _actor_loop(self, cell: _SimCell) -> Iterator[Effect]:
+        actor = cell.actor
+        self._run_handler(cell, actor.pre_start)
+        yield from self._flush(cell)
+        while True:
+            envelope = yield Receive(cell.mailbox)
+            if isinstance(envelope.payload, _StopSignal):
+                cell._stopped = True
+                self._run_handler(cell, actor.post_stop)
+                yield from self._flush(cell)
+                return
+            actor.context.sender = envelope.sender
+            self._run_handler(cell, actor.current_behaviour(),
+                              envelope.payload, envelope.sender)
+            actor.context.sender = None
+            yield from self._flush(cell)
+
+    def _run_handler(self, cell: _SimCell, fn, *args: Any) -> None:
+        """Run user code with the send/spawn buffer installed."""
+        previous, self._outbox = self._outbox, []
+        try:
+            fn(*args)
+        finally:
+            buffered = self._outbox
+            self._outbox = previous
+            cell._pending_effects = buffered  # type: ignore[attr-defined]
+
+    def _flush(self, cell: _SimCell) -> Iterator[Effect]:
+        """Issue the effects the handler buffered."""
+        for kind, target, envelope in getattr(cell, "_pending_effects", []):
+            if kind == "send":
+                if isinstance(target, _ReplyRef):
+                    yield Send(target.mailbox, envelope)
+                else:
+                    yield Send(target.mailbox, envelope)
+            elif kind == "spawn":
+                yield Spawn(self._actor_loop(target), name=target.ref.name,
+                            daemon=True)
+        cell._pending_effects = []  # type: ignore[attr-defined]
+
+
+class _ReplyRef(ActorRef):
+    """Sender ref whose cell is a bare reply mailbox (for ask_gen)."""
+
+    _reply_ids = itertools.count(10**9)
+
+    def __init__(self, system: SimActorSystem, mailbox: Mailbox, name: str):
+        self.mailbox = mailbox
+        self._system = system
+        super().__init__(next(self._reply_ids), name, self)  # self as cell
+
+    # ActorCell protocol
+    @property
+    def stopped(self) -> bool:
+        return False
+
+    def enqueue(self, message: Any, sender: Optional[ActorRef]) -> None:
+        outbox = self._system._outbox
+        if outbox is None:
+            raise RuntimeError("reply outside a message handler")
+        outbox.append(("send", self, _SimEnvelope(message, sender)))

@@ -1,0 +1,267 @@
+"""Threaded actor runtime — mailboxes + a shared dispatcher pool.
+
+Execution model (the standard event-driven actor dispatcher, as in
+Akka/Scala rather than thread-per-actor):
+
+* every actor owns an unbounded mailbox and a *scheduled* flag;
+* ``tell`` enqueues and, if the actor is idle, submits a processing job
+  to a shared :class:`~repro.threads.pool.ThreadPool`;
+* a processing job drains up to ``throughput`` messages (invoking the
+  actor's current behaviour one message at a time — the actor
+  serialization guarantee), then yields the worker and reschedules
+  itself if messages remain.
+
+Failures route to the actor's supervision directive: ``resume`` (drop
+the message), ``restart`` (clear behaviour stack via ``pre_restart``),
+or ``stop``.  Messages to stopped actors go to ``dead_letters``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from enum import Enum
+from typing import Any, Optional
+
+from ..threads.pool import ThreadPool
+from ..threads.sync import Monitor
+from .actor import Actor, ActorContext
+from .ref import ActorRef
+
+__all__ = ["SupervisionDirective", "ActorSystem", "DeadLetter"]
+
+
+class SupervisionDirective(Enum):
+    RESUME = "resume"
+    RESTART = "restart"
+    STOP = "stop"
+
+
+class DeadLetter:
+    """Record of a message that could not be delivered."""
+
+    __slots__ = ("target", "message", "sender")
+
+    def __init__(self, target: str, message: Any, sender: Optional[ActorRef]):
+        self.target = target
+        self.message = message
+        self.sender = sender
+
+    def __repr__(self) -> str:
+        return f"<DeadLetter to {self.target}: {self.message!r}>"
+
+
+class _StopSignal:
+    """Internal poison pill appended by ``system.stop``."""
+
+
+class _Cell:
+    """Runtime state of one actor: mailbox, flags, instance."""
+
+    def __init__(self, system: "ActorSystem", actor: Actor, ref_name: str,
+                 actor_id: int):
+        self.system = system
+        self.actor = actor
+        self.ref = ActorRef(actor_id, ref_name, self)
+        self.mailbox: deque[tuple[Any, Optional[ActorRef]]] = deque()
+        self.lock = threading.Lock()
+        self.scheduled = False
+        self._stopped = False
+        self.started = False
+
+    # -- ActorCell protocol ---------------------------------------------------
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def enqueue(self, message: Any, sender: Optional[ActorRef]) -> None:
+        with self.lock:
+            if self._stopped:
+                self.system._dead_letter(self.ref.name, message, sender)
+                return
+            self.mailbox.append((message, sender))
+            if not self.scheduled:
+                self.scheduled = True
+                submit = True
+            else:
+                submit = False
+        if submit:
+            self.system._pool.submit(self._process)
+
+    # -- message processing ----------------------------------------------------
+    def _process(self) -> None:
+        actor = self.actor
+        if not self.started:
+            self.started = True
+            try:
+                actor.pre_start()
+            except BaseException as exc:  # noqa: BLE001
+                self.system._on_failure(self, exc, "<pre_start>")
+        for _ in range(self.system.throughput):
+            with self.lock:
+                if self._stopped or not self.mailbox:
+                    self.scheduled = bool(self.mailbox) and not self._stopped
+                    if self.scheduled:
+                        break  # reschedule below
+                    return
+                message, sender = self.mailbox.popleft()
+            if isinstance(message, _StopSignal):
+                self._do_stop()
+                return
+            actor.context.sender = sender
+            try:
+                actor.current_behaviour()(message, sender)
+            except BaseException as exc:  # noqa: BLE001
+                self.system._on_failure(self, exc, message)
+                if self._stopped:
+                    return
+            finally:
+                actor.context.sender = None
+        # budget exhausted or flagged for reschedule: put ourselves back
+        with self.lock:
+            if self.mailbox and not self._stopped:
+                self.scheduled = True
+                self.system._pool.submit(self._process)
+            else:
+                self.scheduled = False
+
+    def _do_stop(self) -> None:
+        with self.lock:
+            self._stopped = True
+            leftovers = list(self.mailbox)
+            self.mailbox.clear()
+            self.scheduled = False
+        for message, sender in leftovers:
+            if not isinstance(message, _StopSignal):
+                self.system._dead_letter(self.ref.name, message, sender)
+        try:
+            self.actor.post_stop()
+        except BaseException:  # noqa: BLE001 - post_stop must not kill workers
+            pass
+        self.system._forget(self)
+
+
+class ActorSystem:
+    """Container + dispatcher for a set of actors.
+
+    ::
+
+        with ActorSystem(workers=4) as system:
+            echo = system.spawn(Echo, name="echo")
+            echo.tell("hello")
+            system.drain()          # wait until all mailboxes are empty
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, workers: int = 4, throughput: int = 16,
+                 directive: SupervisionDirective = SupervisionDirective.RESTART,
+                 name: str = "actor-system"):
+        self.name = name
+        self.throughput = throughput
+        self.directive = directive
+        self._pool = ThreadPool(workers, name=f"{name}.dispatch")
+        self._cells: dict[int, _Cell] = {}
+        self._cells_lock = threading.Lock()
+        self.dead_letters: list[DeadLetter] = []
+        self._dl_lock = threading.Lock()
+        self.failures: list[tuple[str, BaseException]] = []
+        self._idle = Monitor(f"{name}.idle")
+
+    # ------------------------------------------------------------------
+    def spawn(self, actor_class: type, *args: Any, name: str = "",
+              **kwargs: Any) -> ActorRef:
+        """Instantiate and register an actor; returns its ref."""
+        if not issubclass(actor_class, Actor):
+            raise TypeError(f"{actor_class.__name__} is not an Actor subclass")
+        actor = actor_class(*args, **kwargs)
+        actor_id = next(self._ids)
+        cell = _Cell(self, actor, name or
+                     f"{actor_class.__name__.lower()}-{actor_id}", actor_id)
+        actor.context = ActorContext(self, cell.ref)
+        with self._cells_lock:
+            self._cells[actor_id] = cell
+        # schedule once immediately so pre_start runs even for actors
+        # that initiate conversations instead of waiting for mail
+        with cell.lock:
+            cell.scheduled = True
+        self._pool.submit(cell._process)
+        return cell.ref
+
+    def stop(self, ref: ActorRef) -> None:
+        """Graceful stop: processes messages already enqueued first."""
+        ref.tell(_StopSignal())
+
+    def tell(self, ref: ActorRef, message: Any) -> None:
+        ref.tell(message, sender=None)
+
+    # ------------------------------------------------------------------
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Block until every mailbox is empty and no actor is running.
+
+        Polls rather than waits on a condition: quiescence is a global
+        property across all cells and the pool, and per-message
+        notifications would cost more than the 1 ms poll.
+        """
+        import time
+        deadline = time.monotonic() + timeout
+        while not self._quiet():
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.001)
+        return True
+
+    def _quiet(self) -> bool:
+        with self._cells_lock:
+            cells = list(self._cells.values())
+        busy = any(c.scheduled or c.mailbox for c in cells)
+        return not busy and self._pool.stats["queued"] == 0 \
+            and self._pool.stats["submitted"] == self._pool.stats["completed"]
+
+    def shutdown(self) -> None:
+        with self._cells_lock:
+            refs = [c.ref for c in self._cells.values()]
+        for ref in refs:
+            self.stop(ref)
+        self.drain()
+        self._pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # runtime callbacks
+    # ------------------------------------------------------------------
+    def _dead_letter(self, target: str, message: Any,
+                     sender: Optional[ActorRef]) -> None:
+        with self._dl_lock:
+            self.dead_letters.append(DeadLetter(target, message, sender))
+
+    def _forget(self, cell: _Cell) -> None:
+        with self._cells_lock:
+            self._cells.pop(cell.ref.actor_id, None)
+        with self._idle:
+            self._idle.notify_all()
+
+    def _on_failure(self, cell: _Cell, error: BaseException,
+                    message: Any) -> None:
+        self.failures.append((cell.ref.name, error))
+        directive = self.directive
+        if directive is SupervisionDirective.RESUME:
+            return
+        if directive is SupervisionDirective.RESTART:
+            try:
+                cell.actor.pre_restart(error, message)
+            except BaseException:  # noqa: BLE001
+                pass
+            return
+        cell._do_stop()
+
+    @property
+    def actor_count(self) -> int:
+        with self._cells_lock:
+            return len(self._cells)
+
+    def __enter__(self) -> "ActorSystem":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()

@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``run FILE``
+    Execute a pseudocode file under a fair scheduler and print its
+    output (``--seed N`` runs a seeded random schedule instead).
+
+``outputs FILE``
+    Exhaustively enumerate the program's output possibilities —
+    the figures' "Output possibility 1/2/..." lists.
+
+``check FILE``
+    Static analysis report: globals, exclusion groups, warnings;
+    then explore for deadlocks and task failures.
+
+``bridge QUESTION``
+    Answer a Test-1-style bridge question given as
+    ``section:history...=>scenario...`` (see ``--help-bridge``).
+
+``study``
+    Run the full §V study and print Tables I-III + surveys.
+
+``figures``
+    Regenerate every Figure 1-5 example and verify against the paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+__all__ = ["main"]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .core import RandomPolicy
+    from .pseudocode import compile_program
+    runtime = compile_program(Path(args.file).read_text())
+    policy = RandomPolicy(args.seed) if args.seed is not None else None
+    result = runtime.run(policy, raise_on_deadlock=False,
+                         raise_on_failure=False)
+    sys.stdout.write(result.output_text())
+    if not result.output_text().endswith("\n") and result.output_text():
+        sys.stdout.write("\n")
+    if result.outcome != "done":
+        print(f"[outcome: {result.outcome}] {result.trace.detail}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_outputs(args: argparse.Namespace) -> int:
+    from .pseudocode import possible_outputs
+    outputs = possible_outputs(Path(args.file).read_text(),
+                               max_runs=args.max_runs)
+    for i, output in enumerate(sorted(outputs), start=1):
+        print(f"possibility {i}: {output}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .pseudocode import compile_program
+    from .verify import explore
+    runtime = compile_program(Path(args.file).read_text())
+    info = runtime.info
+    print(f"globals          : {sorted(info.globals) or '(none)'}")
+    print(f"exclusion groups : "
+          f"{ {k: list(v) for k, v in info.groups.items()} or '(none)'}")
+    for warning in info.warnings:
+        print(f"warning          : {warning}")
+    result = explore(runtime.make_program(), max_runs=args.max_runs)
+    print(f"exploration      : {result.summary()}")
+    status = 0
+    if result.outcomes.get("deadlock"):
+        print("DEADLOCK reachable; sample blocked state:")
+        print("  " + result.deadlocks[0].detail)
+        status = 1
+    if result.outcomes.get("failed"):
+        print("RUNTIME FAILURE reachable on some schedule")
+        status = 1
+    from .verify import find_races
+    race = None
+    for trace in result.witnesses.values():
+        races = find_races(trace, max_races=1)
+        if races:
+            race = races[0]
+            break
+    if race is not None:
+        print(f"DATA RACE        : {race.describe()}")
+        status = 1
+    if status == 0:
+        print("no deadlocks, no failures, no races"
+              + ("" if result.complete else " (within budget)"))
+    return status
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from .study import run_full_study
+    study = run_full_study(seed=args.seed if args.seed is not None else 2013)
+    print(study.render())
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .pseudocode import possible_outputs
+    checks = [
+        ("Figure 3a", 'PARA\nPRINT "hello "\nPRINT "world "\nENDPARA',
+         {"hello world", "world hello"}),
+        ("Figure 4a", 'x = 10\nDEFINE changeX(d)\n EXC_ACC\n  x = x + d\n'
+         ' END_EXC_ACC\nENDDEF\nPARA\n changeX(1)\n changeX(-2)\nENDPARA\n'
+         'PRINTLN x', {"9"}),
+    ]
+    ok = True
+    for name, source, expected in checks:
+        computed = possible_outputs(source, max_runs=100_000)
+        match = computed == expected
+        ok &= match
+        print(f"{name}: {'ok' if match else f'MISMATCH {computed}'}")
+    print("run `python examples/pseudocode_playground.py` for all figures")
+    return 0 if ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Programming with Concurrency — reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="execute a pseudocode file")
+    p_run.add_argument("file")
+    p_run.add_argument("--seed", type=int, default=None,
+                       help="random schedule seed (default: fair RR)")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_out = sub.add_parser("outputs",
+                           help="enumerate all output possibilities")
+    p_out.add_argument("file")
+    p_out.add_argument("--max-runs", type=int, default=200_000)
+    p_out.set_defaults(fn=_cmd_outputs)
+
+    p_check = sub.add_parser("check", help="analyze + explore a program")
+    p_check.add_argument("file")
+    p_check.add_argument("--max-runs", type=int, default=50_000)
+    p_check.set_defaults(fn=_cmd_check)
+
+    p_study = sub.add_parser("study", help="run the full §V study")
+    p_study.add_argument("--seed", type=int, default=None)
+    p_study.set_defaults(fn=_cmd_study)
+
+    p_fig = sub.add_parser("figures", help="verify figure examples")
+    p_fig.set_defaults(fn=_cmd_figures)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""repro.core — deterministic simulation kernel.
+
+Tasks are generator functions yielding :class:`Effect` objects; a
+:class:`Scheduler` interprets them under a pluggable
+:class:`SchedulingPolicy`.  Everything upstream (the three programming
+models, the pseudocode interpreter, the model checker) compiles down to
+this kernel.
+
+Quick taste::
+
+    from repro.core import Scheduler, Emit, Pause
+
+    def greeter(text):
+        yield Pause()
+        yield Emit(text)
+
+    s = Scheduler()
+    s.spawn(greeter, "hello ")
+    s.spawn(greeter, "world ")
+    print(s.run().output_str())
+"""
+
+from .channel import ChannelClosed, SimChannel, SimRendezvous
+from .clock import LamportClock, VectorClock
+from .effects import (Access, AccessKind, Acquire, Choice, Effect, Emit,
+                      Join, Notify, Pause, Receive, Release, Send, Sleep,
+                      Spawn, Wait)
+from .errors import (BudgetExceeded, DeadlockError, IllegalEffectError,
+                     MailboxError, MonitorError, ReplayError,
+                     SimulationError, TaskFailed)
+from .mailbox import DeliveryPolicy, Envelope, Mailbox
+from .monitor import SimMonitor, synchronized, wait_while
+from .policy import (FixedPolicy, RandomPolicy, RecordingPolicy,
+                     RoundRobinPolicy, SchedulingPolicy, Transition)
+from .primitives import SimBarrier, SimLock, SimSemaphore, locked
+from .scheduler import Scheduler, run_tasks
+from .task import Task, TaskState
+from .trace import Trace, TraceEvent
+
+__all__ = [
+    # effects
+    "Effect", "Pause", "Access", "AccessKind", "Acquire", "Release", "Wait",
+    "Notify", "Send", "Receive", "Spawn", "Join", "Choice", "Emit", "Sleep",
+    # tasks & scheduling
+    "Task", "TaskState", "Scheduler", "run_tasks",
+    "SchedulingPolicy", "RoundRobinPolicy", "RandomPolicy", "FixedPolicy",
+    "RecordingPolicy", "Transition",
+    # sync objects
+    "SimLock", "SimSemaphore", "SimBarrier", "SimMonitor", "SimChannel",
+    "SimRendezvous", "locked", "synchronized", "wait_while",
+    # messaging
+    "Mailbox", "DeliveryPolicy", "Envelope",
+    # time
+    "LamportClock", "VectorClock",
+    # traces
+    "Trace", "TraceEvent",
+    # errors
+    "SimulationError", "DeadlockError", "IllegalEffectError", "MonitorError",
+    "MailboxError", "ReplayError", "BudgetExceeded", "TaskFailed",
+    "ChannelClosed",
+]

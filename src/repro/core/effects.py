@@ -1,0 +1,195 @@
+"""Effect vocabulary — the yield protocol between tasks and the scheduler.
+
+A simulated task is a generator function.  Whenever it needs to interact
+with the concurrent world it ``yield``s an :class:`Effect`; the scheduler
+interprets the effect and later resumes the generator (possibly with a
+value, e.g. the received message).  Code between two yields executes
+atomically — exactly the atomicity model of the paper's pseudocode, where
+"simple statements are executed atomically" and every statement boundary
+is a potential interleaving point.
+
+The effects double as the instruction set of the model checker in
+:mod:`repro.verify`: every scheduling decision happens at an effect, so a
+recorded sequence of decisions replays an execution exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Optional, Sequence
+
+__all__ = [
+    "Effect",
+    "Pause",
+    "Access",
+    "AccessKind",
+    "Acquire",
+    "Release",
+    "Wait",
+    "Notify",
+    "Send",
+    "Receive",
+    "Spawn",
+    "Join",
+    "Choice",
+    "Emit",
+    "Sleep",
+]
+
+
+class Effect:
+    """Base class for everything a task may yield to the scheduler."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Pause(Effect):
+    """A pure preemption point: "other tasks may run here".
+
+    ``label`` is carried into the trace for debugging and for the
+    pseudocode interpreter's statement-level annotations.
+    """
+
+    label: str = ""
+
+
+class AccessKind(Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Access(Effect):
+    """A preemption point annotated with a shared-memory access.
+
+    The kernel treats it like :class:`Pause`; the happens-before race
+    detector (:mod:`repro.verify.race`) uses the ``var``/``kind``
+    annotations to flag unsynchronized conflicting accesses.
+    """
+
+    var: str
+    kind: AccessKind = AccessKind.READ
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class Acquire(Effect):
+    """Block until ``lock`` can be taken, then take it atomically.
+
+    ``lock`` is any object registered with the scheduler's lock table —
+    in practice a :class:`repro.core.primitives.SimLock` or a
+    :class:`repro.core.monitor.SimMonitor`.
+    """
+
+    lock: Any
+
+
+@dataclass(frozen=True)
+class Release(Effect):
+    """Release ``lock``; raises IllegalEffectError if not the owner."""
+
+    lock: Any
+
+
+@dataclass(frozen=True)
+class Wait(Effect):
+    """Paper's ``WAIT()``: atomically release the monitor and join its
+    condition queue; upon notify, re-contend for the monitor."""
+
+    monitor: Any
+
+
+@dataclass(frozen=True)
+class Notify(Effect):
+    """Paper's ``NOTIFY()``: wake waiters of ``monitor``.
+
+    The paper's semantics is broadcast ("all WAIT() functions finish
+    their execution"), i.e. ``all=True``; ``all=False`` gives Java's
+    single ``notify()`` (FIFO waiter wake — a legal JLS implementation).
+    """
+
+    monitor: Any
+    all: bool = True
+
+
+@dataclass(frozen=True)
+class Send(Effect):
+    """Asynchronous message send — never blocks (Hewitt/actor semantics,
+    and the paper's 'a send statement is asynchronous')."""
+
+    mailbox: Any
+    message: Any
+
+
+@dataclass(frozen=True)
+class Receive(Effect):
+    """Block until the mailbox can deliver a message this task accepts.
+
+    ``matcher`` optionally restricts which pending messages are
+    acceptable (selective receive, as in Scala's ``receive`` blocks).
+    Which acceptable message arrives is a scheduler *choice point* under
+    the mailbox's delivery policy — this is how "two messages sent
+    concurrently can arrive in either order" is modelled.
+    """
+
+    mailbox: Any
+    matcher: Optional[Callable[[Any], bool]] = None
+
+
+@dataclass(frozen=True)
+class Spawn(Effect):
+    """Create a new task from a generator; resumes with the new Task.
+
+    ``daemon`` tasks do not keep the simulation alive: a run ends in
+    quiescence (outcome "done") once every non-daemon task has finished
+    and nothing is enabled — message-loop actors are daemons.
+    """
+
+    gen: Any
+    name: str = ""
+    daemon: bool = False
+
+
+@dataclass(frozen=True)
+class Join(Effect):
+    """Block until ``task`` finishes; resumes with its return value."""
+
+    task: Any
+
+
+@dataclass(frozen=True)
+class Choice(Effect):
+    """Explicit nondeterministic choice among ``options``.
+
+    The scheduler turns each option into a distinct enabled transition;
+    the chosen option is sent back into the generator.  Used to model
+    environmental nondeterminism (e.g. which car arrives first) so the
+    explorer can enumerate scenarios.
+    """
+
+    options: Sequence[Any] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class Emit(Effect):
+    """Append ``value`` to the run's observable output (PRINT/PRINTLN).
+
+    Observable output is what :func:`repro.verify.explorer.explore`
+    deduplicates terminal states by.
+    """
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class Sleep(Effect):
+    """Advance this task's readiness by ``ticks`` of simulated time.
+
+    The kernel is untimed by default; Sleep lowers a task's priority for
+    ``ticks`` scheduler steps, providing a simple notion of delay for
+    workload generators without introducing wall-clock time.
+    """
+
+    ticks: int = 1

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the deterministic simulation kernel.
+
+Every error raised by :mod:`repro.core` derives from :class:`SimulationError`
+so callers can catch kernel problems without masking bugs in user task code
+(user exceptions propagate as :class:`TaskFailed` with the original attached).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimulationError",
+    "DeadlockError",
+    "IllegalEffectError",
+    "MonitorError",
+    "MailboxError",
+    "ReplayError",
+    "BudgetExceeded",
+    "TaskFailed",
+]
+
+
+class SimulationError(Exception):
+    """Base class for all kernel-level errors."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when no task is runnable but some tasks are not finished.
+
+    Attributes
+    ----------
+    blocked:
+        List of ``(task_name, reason)`` pairs describing who is stuck on
+        what — e.g. ``("philosopher-2", "acquire fork-3")``.
+    """
+
+    def __init__(self, blocked: list[tuple[str, str]]):
+        self.blocked = blocked
+        detail = "; ".join(f"{name}: {reason}" for name, reason in blocked)
+        super().__init__(f"deadlock among {len(blocked)} task(s): {detail}")
+
+
+class IllegalEffectError(SimulationError):
+    """A task yielded an effect that is invalid in its current state.
+
+    Examples: releasing a lock it does not own, calling WAIT outside the
+    monitor, receiving on a mailbox it is not entitled to read.
+    """
+
+
+class MonitorError(IllegalEffectError):
+    """Monitor protocol violation (wait/notify without ownership, etc.)."""
+
+
+class MailboxError(IllegalEffectError):
+    """Mailbox protocol violation (bad policy, closed mailbox, ...)."""
+
+
+class ReplayError(SimulationError):
+    """A fixed schedule diverged from the enabled-transition structure.
+
+    This signals a kernel/determinism bug: replaying the same choice
+    sequence against the same program must always be possible.
+    """
+
+
+class BudgetExceeded(SimulationError):
+    """An exploration or execution budget (steps, runs, depth) ran out."""
+
+
+class TaskFailed(SimulationError):
+    """A task's generator raised; the original exception is ``__cause__``."""
+
+    def __init__(self, task_name: str, original: BaseException):
+        self.task_name = task_name
+        self.original = original
+        super().__init__(f"task {task_name!r} failed: {original!r}")
+        self.__cause__ = original

@@ -1,0 +1,452 @@
+"""The deterministic cooperative scheduler — heart of the kernel.
+
+One :class:`Scheduler` executes one run of a concurrent program.  Tasks
+are generators; the scheduler repeatedly
+
+1. computes the set of *enabled transitions* (runnable tasks, grantable
+   lock acquisitions, deliverable messages, pending explicit choices),
+2. asks its :class:`~repro.core.policy.SchedulingPolicy` to pick one,
+3. executes it: resume the task's generator one atomic step, interpret
+   the effect it yields, and park/ready the task accordingly.
+
+All nondeterminism flows through step 2, so recording the chosen indices
+makes every run exactly replayable — the property the model checker in
+:mod:`repro.verify` is built on (CHESS-style systematic testing).
+
+The scheduler also maintains vector clocks along the synchronization
+edges (lock release→acquire, message send→deliver, spawn→first step,
+finish→join) so the race detector and causal mailbox policy see the true
+happens-before relation of the run.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Iterable, Optional
+
+from .clock import VectorClock
+from .effects import (Access, Acquire, Choice, Effect, Emit, Join, Notify,
+                      Pause, Receive, Release, Send, Sleep, Spawn, Wait)
+from .errors import (BudgetExceeded, DeadlockError, IllegalEffectError,
+                     SimulationError, TaskFailed)
+from .mailbox import Mailbox
+from .monitor import SimMonitor
+from .policy import (RoundRobinPolicy, SchedulingPolicy, Transition)
+from .task import Task, TaskState
+from .trace import Trace, TraceEvent
+
+__all__ = ["Scheduler", "run_tasks"]
+
+#: generous default so runaway programs fail loudly instead of hanging
+DEFAULT_MAX_STEPS = 200_000
+
+
+class Scheduler:
+    """Execute generator tasks under a scheduling policy.
+
+    Parameters
+    ----------
+    policy:
+        Decides every scheduling choice.  Defaults to fair round-robin.
+    raise_on_deadlock:
+        If True (default) a deadlock raises :class:`DeadlockError`;
+        otherwise the run ends with ``trace.outcome == "deadlock"`` —
+        the explorer uses the latter to *count* deadlocking schedules.
+    raise_on_failure:
+        If True (default) a task exception aborts the run with
+        :class:`TaskFailed`; otherwise it is recorded on the task.
+    max_steps:
+        Hard step budget; exceeding it raises :class:`BudgetExceeded`
+        (or records outcome ``"budget"``).
+    track_clocks:
+        Maintain vector clocks (needed by the race detector and the
+        CAUSAL mailbox policy; small constant overhead).
+    """
+
+    def __init__(self,
+                 policy: Optional[SchedulingPolicy] = None,
+                 *,
+                 raise_on_deadlock: bool = True,
+                 raise_on_failure: bool = True,
+                 max_steps: int = DEFAULT_MAX_STEPS,
+                 track_clocks: bool = True):
+        self.policy = policy or RoundRobinPolicy()
+        self.raise_on_deadlock = raise_on_deadlock
+        self.raise_on_failure = raise_on_failure
+        self.max_steps = max_steps
+        self.track_clocks = track_clocks
+
+        self.tasks: list[Task] = []
+        self.trace = Trace()
+        self._step_no = 0
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # task creation
+    # ------------------------------------------------------------------
+    def spawn(self, fn: Callable[..., Any] | Any, *args: Any,
+              name: str = "", daemon: bool = False, **kwargs: Any) -> Task:
+        """Register a task.
+
+        ``fn`` may be a generator function (called with ``*args``) or an
+        already-created generator.  Returns the :class:`Task` handle.
+        Daemon tasks do not prevent quiescent termination.
+        """
+        if inspect.isgenerator(fn):
+            if args or kwargs:
+                raise TypeError("pass args only with a generator function")
+            gen = fn
+        elif callable(fn):
+            gen = fn(*args, **kwargs)
+        else:
+            raise TypeError(f"cannot spawn {fn!r}")
+        task = Task(gen, name=name or getattr(fn, "__name__", ""))
+        task.daemon = daemon
+        if self.track_clocks:
+            # child inherits the current global knowledge at spawn time
+            task.vclock = VectorClock().tick(task.tid)
+        self.tasks.append(task)
+        return task
+
+    # ------------------------------------------------------------------
+    # enabled-transition computation
+    # ------------------------------------------------------------------
+    def enabled_transitions(self) -> list[Transition]:
+        out: list[Transition] = []
+        for task in self.tasks:
+            if task.state is TaskState.READY:
+                if task.choice_options is not None:
+                    for opt in task.choice_options:
+                        out.append(Transition(task, "choice", payload=opt))
+                else:
+                    out.append(Transition(task, "run"))
+            elif task.state is TaskState.BLOCKED_ACQUIRE:
+                lock = task.blocked_on
+                if lock._can_grant(task):
+                    out.append(Transition(task, "acquire"))
+            elif task.state is TaskState.BLOCKED_RECEIVE:
+                mailbox: Mailbox = task.blocked_on
+                for idx in mailbox._deliverable(task.receive_matcher):
+                    out.append(Transition(task, "deliver",
+                                          payload=mailbox.pending[idx].message,
+                                          payload_index=idx))
+        return out
+
+    # ------------------------------------------------------------------
+    # single step
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute one transition.  Returns False when the run is over."""
+        if all(t.finished for t in self.tasks):
+            return False
+        transitions = self.enabled_transitions()
+        if not transitions:
+            if self._advance_sleepers():
+                return True
+            unfinished = [t for t in self.tasks if not t.finished]
+            if all(t.daemon for t in unfinished):
+                # quiescence: only daemon message loops remain, all idle
+                return False
+            blocked = [(t.name, t.describe_block()) for t in unfinished]
+            self.trace.outcome = "deadlock"
+            self.trace.detail = "; ".join(f"{n}: {r}" for n, r in blocked)
+            if self.raise_on_deadlock:
+                raise DeadlockError(blocked)
+            return False
+        if self._step_no >= self.max_steps:
+            self.trace.outcome = "budget"
+            self.trace.detail = f"exceeded {self.max_steps} steps"
+            if self.raise_on_failure:
+                raise BudgetExceeded(self.trace.detail)
+            return False
+
+        idx = self.policy.choose(transitions)
+        if not 0 <= idx < len(transitions):
+            raise SimulationError(f"policy chose {idx} of {len(transitions)}")
+        tr = transitions[idx]
+        self._execute(tr, idx, len(transitions))
+        self._tick_sleepers()
+        return True
+
+    def run(self) -> Trace:
+        """Run to completion (or deadlock/budget); returns the trace."""
+        if self._ran:
+            raise SimulationError("Scheduler instances are single-use; create a new one")
+        self._ran = True
+        self.policy.reset()
+        try:
+            while self.step():
+                pass
+        finally:
+            self._close_leftover_generators()
+        if self.trace.outcome == "done" and any(
+                t.state is TaskState.FAILED for t in self.tasks):
+            self.trace.outcome = "failed"
+        return self.trace
+
+    def _close_leftover_generators(self) -> None:
+        """Close abandoned generators (deadlocked/blocked tasks).
+
+        Task bodies may hold ``finally: yield Release(...)`` clauses;
+        closing such a generator raises RuntimeError ("generator
+        ignored GeneratorExit"), which is expected for an abandoned
+        task — we swallow it so interpreter shutdown stays quiet.
+        """
+        for task in self.tasks:
+            if not task.finished:
+                try:
+                    task.gen.close()
+                except (RuntimeError, StopIteration):
+                    pass
+
+    # ------------------------------------------------------------------
+    # transition execution
+    # ------------------------------------------------------------------
+    def _execute(self, tr: Transition, chosen: int, fanout: int) -> None:
+        task = tr.task
+        value: Any = None
+        payload_repr: Optional[str] = None
+
+        if tr.kind == "run":
+            value, task.pending_value = task.pending_value, None
+        elif tr.kind == "choice":
+            task.choice_options = None
+            value = tr.payload
+            payload_repr = repr(tr.payload)
+        elif tr.kind == "acquire":
+            lock = task.blocked_on
+            lock._grant(task, getattr(task, "_reacquire_depth", 1) or 1)
+            task._reacquire_depth = 1
+            self._merge_clock(task, lock._vclock)
+            self._unblock(task)
+            payload_repr = getattr(lock, "name", None)
+        elif tr.kind == "deliver":
+            mailbox: Mailbox = task.blocked_on
+            env = mailbox._take(tr.payload_index)
+            self._merge_clock(task, env.vclock)
+            self._unblock(task)
+            task.receive_matcher = None
+            value = env.message
+            payload_repr = repr(env)
+        else:  # pragma: no cover
+            raise SimulationError(f"unknown transition kind {tr.kind}")
+
+        self._step_no += 1
+        if self.track_clocks and task.vclock is not None:
+            task.vclock = task.vclock.tick(task.tid)
+        task.steps += 1
+
+        # resume the generator for exactly one atomic segment
+        access_var = access_kind = None
+        try:
+            effect = task.gen.send(value)
+        except StopIteration as stop:
+            self._finish(task, stop.value)
+            effect_repr = "return"
+        except Exception as exc:  # noqa: BLE001 - user task code may raise anything
+            self._fail(task, exc)
+            effect_repr = f"raise {type(exc).__name__}"
+        else:
+            try:
+                effect_repr = self._apply_effect(task, effect)
+            except IllegalEffectError as exc:
+                # protocol violations are the *task's* bug, not the
+                # kernel's: fail the task like any other user exception
+                self._fail(task, exc)
+                effect_repr = f"illegal {type(effect).__name__}"
+            else:
+                if isinstance(effect, Access):
+                    access_var, access_kind = effect.var, effect.kind
+
+        self.trace.events.append(TraceEvent(
+            step=self._step_no,
+            task_tid=task.tid,
+            task_name=task.name,
+            kind=tr.kind,
+            effect_repr=effect_repr,
+            chosen_index=chosen,
+            fanout=fanout,
+            vclock=task.vclock if self.track_clocks else None,
+            access_var=access_var,
+            access_kind=access_kind,
+            payload_repr=payload_repr,
+        ))
+
+        if task.state is TaskState.FAILED and self.raise_on_failure:
+            raise TaskFailed(task.name, task.error)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # effect interpretation
+    # ------------------------------------------------------------------
+    def _apply_effect(self, task: Task, effect: Effect) -> str:
+        if isinstance(effect, (Pause, Access)):
+            label = effect.label or ("access " + effect.var
+                                     if isinstance(effect, Access) else "pause")
+            return label
+
+        if isinstance(effect, Acquire):
+            lock = effect.lock
+            if lock._can_grant(task):
+                lock._grant(task)
+                self._merge_clock(task, lock._vclock)
+            else:
+                self._block(task, TaskState.BLOCKED_ACQUIRE, lock,
+                            f"acquire {getattr(lock, 'name', lock)!r}")
+            return f"acquire {getattr(lock, 'name', lock)}"
+
+        if isinstance(effect, Release):
+            lock = effect.lock
+            fully = lock._release(task)
+            if fully and self.track_clocks and task.vclock is not None:
+                lock._vclock = lock._vclock.merge(task.vclock)
+            return f"release {getattr(lock, 'name', lock)}"
+
+        if isinstance(effect, Wait):
+            mon = effect.monitor
+            if not isinstance(mon, SimMonitor):
+                raise IllegalEffectError(f"WAIT on non-monitor {mon!r}")
+            if self.track_clocks and task.vclock is not None:
+                mon._vclock = mon._vclock.merge(task.vclock)
+            mon._park_waiter(task)
+            self._block(task, TaskState.BLOCKED_WAIT, mon,
+                        f"wait on {mon.name}")
+            return f"wait {mon.name}"
+
+        if isinstance(effect, Notify):
+            mon = effect.monitor
+            if not isinstance(mon, SimMonitor):
+                raise IllegalEffectError(f"NOTIFY on non-monitor {mon!r}")
+            if mon._owner is not task:
+                raise IllegalEffectError(
+                    f"{task.name} notified {mon.name} without holding it")
+            for waiter, depth in mon._pop_waiters(effect.all):
+                waiter._reacquire_depth = depth
+                self._block(waiter, TaskState.BLOCKED_ACQUIRE, mon,
+                            f"re-acquire {mon.name} after notify")
+            return f"notify{'All' if effect.all else ''} {mon.name}"
+
+        if isinstance(effect, Send):
+            env = effect.mailbox._deposit(effect.message, task)
+            return f"send {env.message!r} to {effect.mailbox.name}"
+
+        if isinstance(effect, Receive):
+            task.receive_matcher = effect.matcher
+            self._block(task, TaskState.BLOCKED_RECEIVE, effect.mailbox,
+                        f"receive from {effect.mailbox.name}")
+            return f"receive from {effect.mailbox.name}"
+
+        if isinstance(effect, Spawn):
+            child = self.spawn(effect.gen, name=effect.name,
+                               daemon=effect.daemon)
+            if self.track_clocks and task.vclock is not None:
+                child.vclock = child.vclock.merge(task.vclock)
+            task.pending_value = child
+            return f"spawn {child.name}"
+
+        if isinstance(effect, Join):
+            target: Task = effect.task
+            if target.finished:
+                task.pending_value = target.result
+                self._merge_clock(task, target.vclock)
+            else:
+                target.joiners.append(task)
+                self._block(task, TaskState.BLOCKED_JOIN, target,
+                            f"join {target.name}")
+            return f"join {target.name}"
+
+        if isinstance(effect, Choice):
+            if not effect.options:
+                raise IllegalEffectError(f"{task.name} yielded an empty Choice")
+            task.choice_options = tuple(effect.options)
+            return f"choice of {len(effect.options)}"
+
+        if isinstance(effect, Emit):
+            self.trace.output.append(effect.value)
+            return f"emit {effect.value!r}"
+
+        if isinstance(effect, Sleep):
+            if effect.ticks > 0:
+                task.sleep_ticks = effect.ticks
+                task.state = TaskState.SLEEPING
+                task.blocked_reason = f"sleep {effect.ticks}"
+            return f"sleep {effect.ticks}"
+
+        raise IllegalEffectError(
+            f"{task.name} yielded non-effect {effect!r} — task bodies must "
+            f"yield repro.core.effects.Effect instances")
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _block(self, task: Task, state: TaskState, on: Any, reason: str) -> None:
+        task.state = state
+        task.blocked_on = on
+        task.blocked_reason = reason
+
+    def _unblock(self, task: Task) -> None:
+        task.state = TaskState.READY
+        task.blocked_on = None
+        task.blocked_reason = ""
+
+    def _merge_clock(self, task: Task, other: Optional[VectorClock]) -> None:
+        if self.track_clocks and task.vclock is not None and other is not None:
+            task.vclock = task.vclock.merge(other)
+
+    def _finish(self, task: Task, result: Any) -> None:
+        task.state = TaskState.DONE
+        task.result = result
+        for joiner in task.joiners:
+            joiner.pending_value = result
+            self._merge_clock(joiner, task.vclock)
+            self._unblock(joiner)
+        task.joiners.clear()
+
+    def _fail(self, task: Task, exc: BaseException) -> None:
+        task.state = TaskState.FAILED
+        task.error = exc
+        for joiner in task.joiners:
+            # joiner observes the failure as a TaskFailed raised at its Join
+            joiner.pending_value = None
+            self._unblock(joiner)
+        task.joiners.clear()
+
+    def _tick_sleepers(self) -> None:
+        for t in self.tasks:
+            if t.state is TaskState.SLEEPING:
+                t.sleep_ticks -= 1
+                if t.sleep_ticks <= 0:
+                    self._unblock(t)
+
+    def _advance_sleepers(self) -> bool:
+        """No enabled transition: fast-forward simulated time if possible."""
+        sleepers = [t for t in self.tasks if t.state is TaskState.SLEEPING]
+        if not sleepers:
+            return False
+        for t in sleepers:
+            self._unblock(t)
+        return True
+
+    # ------------------------------------------------------------------
+    def results(self) -> dict[str, Any]:
+        """Map of task name → return value (finished tasks only)."""
+        return {t.name: t.result for t in self.tasks if t.state is TaskState.DONE}
+
+
+def run_tasks(*fns: Callable[[], Any],
+              policy: Optional[SchedulingPolicy] = None,
+              names: Optional[Iterable[str]] = None,
+              **kwargs: Any) -> Trace:
+    """Convenience: spawn each generator function and run to completion.
+
+    >>> def hello():
+    ...     yield Emit("hello ")
+    >>> def world():
+    ...     yield Emit("world ")
+    >>> run_tasks(hello, world).output_str()
+    'hello world '
+    """
+    sched = Scheduler(policy, **kwargs)
+    name_list = list(names) if names else [""] * len(fns)
+    for fn, name in zip(fns, name_list):
+        sched.spawn(fn, name=name)
+    return sched.run()

@@ -1,0 +1,96 @@
+"""Execution traces: what happened, in which order, stamped with clocks.
+
+Every scheduler run produces a :class:`Trace` — the sequence of executed
+transitions plus the effects they performed.  Traces serve four callers:
+
+* deadlock/failure reports (human-readable rendering);
+* the explorer (the decision indices replay the run);
+* the race detector (per-event vector clocks and access annotations);
+* fairness properties (per-task step counts and gaps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from .clock import VectorClock
+from .effects import AccessKind
+
+__all__ = ["TraceEvent", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One atomic step of one task.
+
+    ``effect_repr`` is a stable string form of the yielded effect (the
+    effect objects themselves may hold live references to locks and
+    mailboxes; traces must stay inspectable after the run is gone).
+    """
+
+    step: int
+    task_tid: int
+    task_name: str
+    kind: str                      # transition kind: run/acquire/deliver/choice
+    effect_repr: str
+    chosen_index: int
+    fanout: int                    # how many transitions were enabled
+    vclock: Optional[VectorClock] = None
+    access_var: Optional[str] = None
+    access_kind: Optional[AccessKind] = None
+    payload_repr: Optional[str] = None
+
+    def describe(self) -> str:
+        extra = f" [{self.payload_repr}]" if self.payload_repr else ""
+        return (
+            f"#{self.step:<4} {self.task_name:<18} {self.kind:<8} "
+            f"{self.effect_repr}{extra} ({self.chosen_index + 1}/{self.fanout})"
+        )
+
+
+@dataclass
+class Trace:
+    """A full run: events, observable output, and outcome."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    #: values yielded via Emit, in order — the run's observable output
+    output: list[Any] = field(default_factory=list)
+    #: "done" | "deadlock" | "failed" | "budget"
+    outcome: str = "done"
+    #: deadlock/blocked detail when outcome != "done"
+    detail: str = ""
+
+    # ------------------------------------------------------------------
+    def schedule(self) -> list[int]:
+        """The decision-index sequence; feed to FixedPolicy to replay."""
+        return [e.chosen_index for e in self.events]
+
+    def decisions(self) -> list[tuple[int, int]]:
+        """(chosen, fanout) pairs — where the explorer can still branch."""
+        return [(e.chosen_index, e.fanout) for e in self.events]
+
+    def steps_by_task(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for e in self.events:
+            counts[e.task_name] = counts.get(e.task_name, 0) + 1
+        return counts
+
+    def events_for(self, task_name: str) -> Iterator[TraceEvent]:
+        return (e for e in self.events if e.task_name == task_name)
+
+    def output_str(self) -> str:
+        """Observable output joined as text (how pseudocode output prints)."""
+        return "".join(str(v) for v in self.output)
+
+    def render(self, last: Optional[int] = None) -> str:
+        """Human-readable listing of (the tail of) the trace."""
+        evs = self.events if last is None else self.events[-last:]
+        lines = [e.describe() for e in evs]
+        lines.append(f"outcome: {self.outcome}" + (f" ({self.detail})" if self.detail else ""))
+        if self.output:
+            lines.append(f"output: {self.output_str()!r}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)

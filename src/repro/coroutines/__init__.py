@@ -1,0 +1,32 @@
+"""repro.coroutines — the coroutine model, per the paper's taxonomy.
+
+* :class:`Coroutine` — asymmetric, first-class, *stackful* (trampolined
+  nested calls may suspend the whole stack), the construct de Moura &
+  Ierusalimschy show is expressive enough for concurrency;
+* :class:`SymmetricCoroutine` / :func:`run_symmetric` — symmetric
+  ``transfer`` discipline;
+* :class:`CoScheduler` + :class:`CoChannel`/:class:`CoEvent`/
+  :class:`CoSemaphore` — cooperative multitasking with explicit yield
+  points (no preemption between yields);
+* :mod:`asyncio` bridge — run the same generator tasks on the
+  production event loop for benchmarking.
+"""
+
+from .asyncio_bridge import (AsyncChannel, drive_cotask, gather_generators,
+                             run_async)
+from .core import (Call, Coroutine, CoroutineError, CoroutineState, Suspend,
+                   SymmetricCoroutine, Transfer, run_symmetric)
+from .pipeline import (batching, filtering, mapping, pipeline, sink, source,
+                       stage, tee)
+from .scheduler import (ChannelClosed, CoChannel, CoDeadlock, CoEvent,
+                        CoScheduler, CoSemaphore, CoTask, pause)
+
+__all__ = [
+    "Coroutine", "SymmetricCoroutine", "CoroutineState", "CoroutineError",
+    "Suspend", "Call", "Transfer", "run_symmetric",
+    "CoScheduler", "CoTask", "CoChannel", "CoEvent", "CoSemaphore", "pause",
+    "CoDeadlock", "ChannelClosed",
+    "AsyncChannel", "drive_cotask", "gather_generators", "run_async",
+    "pipeline", "stage", "source", "mapping", "filtering", "batching",
+    "tee", "sink",
+]

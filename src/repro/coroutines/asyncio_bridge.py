@@ -1,0 +1,82 @@
+"""Bridge from the course's generator-coroutine model to asyncio.
+
+The paper used Python generators (2013-era coroutines); modern Python
+expresses the same cooperative model with ``async``/``await``.  This
+module maps one onto the other so the benchmark suite can compare the
+hand-rolled :class:`~repro.coroutines.scheduler.CoScheduler` against
+asyncio's production event loop on identical workloads:
+
+* :func:`drive_cotask` — run a CoScheduler-style generator task (with
+  ``pause()``/``CoChannel``) inside an asyncio event loop;
+* :class:`AsyncChannel` — capacity-bounded channel with the CoChannel
+  interface over ``asyncio.Queue``;
+* :func:`gather_generators` — spawn many generator tasks on asyncio and
+  await them all.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+from typing import Any, Callable, Generator
+
+from .scheduler import _Join, _Park, _Pause, _Wake
+
+__all__ = ["AsyncChannel", "drive_cotask", "gather_generators", "run_async"]
+
+
+class AsyncChannel:
+    """Bounded channel with async put/get (asyncio-native)."""
+
+    def __init__(self, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=capacity)
+
+    async def put(self, item: Any) -> None:
+        await self._queue.put(item)
+
+    async def get(self) -> Any:
+        return await self._queue.get()
+
+    def __len__(self) -> int:
+        return self._queue.qsize()
+
+
+async def drive_cotask(gen: Generator) -> Any:
+    """Run one cooperative generator task on the asyncio loop.
+
+    ``pause()`` becomes ``await asyncio.sleep(0)``; park/wake markers
+    become cooperative zero-sleeps (the shared channel state still
+    gates progress, asyncio provides the fairness).  This deliberately
+    preserves the generator's yield structure so the *same task code*
+    measures both schedulers.
+    """
+    send_value: Any = None
+    while True:
+        try:
+            marker = gen.send(send_value)
+        except StopIteration as stop:
+            return stop.value
+        send_value = None
+        if marker is None or isinstance(marker, (_Pause, _Park, _Wake)):
+            await asyncio.sleep(0)
+        elif isinstance(marker, _Join):
+            while not marker.task.done:
+                await asyncio.sleep(0)
+        else:
+            raise TypeError(f"cannot drive marker {marker!r} on asyncio")
+
+
+async def gather_generators(*fns_or_gens: Callable[[], Generator] | Generator
+                            ) -> list[Any]:
+    """Spawn each generator task via :func:`drive_cotask`, await all."""
+    gens = [fn if inspect.isgenerator(fn) else fn()
+            for fn in fns_or_gens]
+    return list(await asyncio.gather(*(drive_cotask(g) for g in gens)))
+
+
+def run_async(coro_or_fn: Any, *args: Any) -> Any:
+    """``asyncio.run`` convenience that accepts a coroutine function."""
+    coro = coro_or_fn(*args) if callable(coro_or_fn) else coro_or_fn
+    return asyncio.run(coro)

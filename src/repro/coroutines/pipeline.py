@@ -1,0 +1,132 @@
+"""Coroutine pipelines — the push-dataflow idiom coroutine courses teach.
+
+A pipeline is a chain of *stages*; each stage is a coroutine that
+receives items via ``send`` and pushes results downstream.  This is the
+pattern the paper's reference [4] era built text processors from and
+the canonical demonstration that coroutines give you concurrency
+*structure* (interleaved producers/transformers/consumers) without any
+scheduler at all: control transfers are the calls themselves.
+
+>>> got = []
+>>> p = pipeline(mapping(lambda x: x * 2),
+...              filtering(lambda x: x > 2),
+...              sink(got.append))
+>>> for item in [1, 2, 3]:
+...     p.send(item)
+>>> got
+[4, 6]
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Generator, Iterable
+
+__all__ = ["stage", "pipeline", "source", "mapping", "filtering",
+           "batching", "tee", "sink"]
+
+
+def stage(fn: Callable[..., Generator]) -> Callable[..., Generator]:
+    """Decorator: auto-prime a consumer coroutine (advance to first yield).
+
+    Every ``send``-driven coroutine must be primed before use; the
+    decorator removes the classic forgot-to-prime bug.
+    """
+    @functools.wraps(fn)
+    def primed(*args: Any, **kwargs: Any) -> Generator:
+        gen = fn(*args, **kwargs)
+        next(gen)
+        return gen
+    return primed
+
+
+def pipeline(*stages: Generator) -> Generator:
+    """Wire stages left-to-right; returns the entry stage.
+
+    Each stage factory here takes the *downstream* generator as its
+    last argument; ``pipeline`` composes them so callers write stages
+    in reading order.
+    """
+    if not stages:
+        raise ValueError("pipeline needs at least one stage")
+    downstream = stages[-1]
+    for factory in reversed(stages[:-1]):
+        downstream = factory(downstream)     # type: ignore[operator]
+    return downstream
+
+
+# ---------------------------------------------------------------------------
+# stage library — each returns a factory expecting its downstream
+# ---------------------------------------------------------------------------
+
+def source(items: Iterable[Any], target: Generator) -> int:
+    """Push every item into the pipeline; returns how many were sent."""
+    count = 0
+    for item in items:
+        target.send(item)
+        count += 1
+    return count
+
+
+def mapping(fn: Callable[[Any], Any]):
+    """Transform each item."""
+    def factory(downstream: Generator) -> Generator:
+        @stage
+        def run() -> Generator:
+            while True:
+                item = yield
+                downstream.send(fn(item))
+        return run()
+    return factory
+
+
+def filtering(predicate: Callable[[Any], bool]):
+    """Drop items failing the predicate."""
+    def factory(downstream: Generator) -> Generator:
+        @stage
+        def run() -> Generator:
+            while True:
+                item = yield
+                if predicate(item):
+                    downstream.send(item)
+        return run()
+    return factory
+
+
+def batching(size: int):
+    """Group items into lists of ``size`` (flush via ``.close()`` is
+    not supported — push a sentinel stage if partial batches matter)."""
+    if size < 1:
+        raise ValueError("batch size must be >= 1")
+
+    def factory(downstream: Generator) -> Generator:
+        @stage
+        def run() -> Generator:
+            batch: list[Any] = []
+            while True:
+                batch.append((yield))
+                if len(batch) >= size:
+                    downstream.send(list(batch))
+                    batch.clear()
+        return run()
+    return factory
+
+
+def tee(side_effect: Callable[[Any], None]):
+    """Observe items without consuming them."""
+    def factory(downstream: Generator) -> Generator:
+        @stage
+        def run() -> Generator:
+            while True:
+                item = yield
+                side_effect(item)
+                downstream.send(item)
+        return run()
+    return factory
+
+
+@stage
+def sink(consume: Callable[[Any], None]) -> Generator:
+    """Terminal stage: hand every item to ``consume``."""
+    while True:
+        consume((yield))

@@ -1,0 +1,291 @@
+"""Cooperative multitasking on coroutines — the course's third model.
+
+A :class:`CoScheduler` round-robins generator tasks; tasks give up the
+CPU explicitly (``yield pause()``), block on each other (``yield from
+task.join()`` via markers) and communicate through :class:`CoChannel`.
+No preemption exists: between two yields a task cannot be interleaved,
+which is the cooperative model's defining contrast with threads that
+the course has students reason about.
+
+The markers are internal; user code calls the generator helpers::
+
+    def producer(chan):
+        for i in range(3):
+            yield from chan.put(i)
+
+    def consumer(chan, out):
+        for _ in range(3):
+            out.append((yield from chan.get()))
+
+    sched = CoScheduler()
+    chan = CoChannel(capacity=1)
+    out = []
+    sched.spawn(producer, chan)
+    sched.spawn(consumer, chan, out)
+    sched.run()
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections import deque
+from typing import Any, Callable, Generator, Iterator, Optional
+
+__all__ = ["CoDeadlock", "CoTask", "CoScheduler", "pause", "CoChannel",
+           "CoEvent", "CoSemaphore", "ChannelClosed"]
+
+
+class CoDeadlock(RuntimeError):
+    """All live tasks are parked — nobody can ever run again."""
+
+
+class ChannelClosed(RuntimeError):
+    """Operation on a closed (and, for get, drained) channel."""
+
+
+# -- internal markers a task may yield -------------------------------------
+
+class _Pause:
+    __slots__ = ()
+
+
+_PAUSE = _Pause()
+
+
+def pause() -> _Pause:
+    """Yield this to give other tasks a turn: ``yield pause()``."""
+    return _PAUSE
+
+
+class _Park:
+    """Park the current task on a wait list (owned by a channel/event)."""
+
+    __slots__ = ("waitlist",)
+
+    def __init__(self, waitlist: list):
+        self.waitlist = waitlist
+
+
+class _Wake:
+    """Move parked tasks from a wait list back to the ready queue."""
+
+    __slots__ = ("waitlist", "count")
+
+    def __init__(self, waitlist: list, count: Optional[int] = None):
+        self.waitlist = waitlist
+        self.count = count   # None = wake all
+
+
+class _Join:
+    __slots__ = ("task",)
+
+    def __init__(self, task: "CoTask"):
+        self.task = task
+
+
+class CoTask:
+    """Handle on a spawned cooperative task."""
+
+    _counter = 0
+
+    def __init__(self, gen: Generator, name: str = ""):
+        CoTask._counter += 1
+        self.name = name or f"cotask-{CoTask._counter}"
+        self.gen = gen
+        self.done = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.joiners: list["CoTask"] = []
+        self.steps = 0
+        self._send_value: Any = None
+        #: True once some joiner observed this task's error
+        self.error_observed = False
+
+    def join(self) -> Iterator[Any]:
+        """``result = yield from task.join()`` — wait for completion."""
+        if not self.done:
+            yield _Join(self)
+        if self.error is not None:
+            self.error_observed = True
+            raise self.error
+        return self.result
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "live"
+        return f"<CoTask {self.name} {state}>"
+
+
+class CoScheduler:
+    """Round-robin driver for cooperative tasks."""
+
+    def __init__(self) -> None:
+        self.ready: deque[CoTask] = deque()
+        self.tasks: list[CoTask] = []
+        self.steps = 0
+
+    def spawn(self, fn: Callable[..., Generator] | Generator, *args: Any,
+              name: str = "", **kwargs: Any) -> CoTask:
+        gen = fn(*args, **kwargs) if inspect.isgeneratorfunction(fn) else fn
+        task = CoTask(gen, name=name or getattr(fn, "__name__", ""))
+        self.tasks.append(task)
+        self.ready.append(task)
+        return task
+
+    # ------------------------------------------------------------------
+    def run(self, max_steps: int = 1_000_000) -> None:
+        """Run until every task finishes.
+
+        Raises :class:`CoDeadlock` if live tasks remain but all are
+        parked, and re-raises the first task exception at the end.
+        """
+        while self.ready:
+            if self.steps >= max_steps:
+                raise RuntimeError(f"exceeded {max_steps} scheduler steps")
+            task = self.ready.popleft()
+            self._step(task)
+        leftover = [t for t in self.tasks if not t.done]
+        if leftover:
+            raise CoDeadlock(
+                "parked forever: " + ", ".join(t.name for t in leftover))
+        for t in self.tasks:
+            if t.error is not None and not t.error_observed:
+                raise t.error
+
+    def run_until(self, predicate: Callable[[], bool],
+                  max_steps: int = 1_000_000) -> bool:
+        """Run until ``predicate()`` holds; False if tasks ran out first."""
+        while not predicate():
+            if not self.ready:
+                return False
+            if self.steps >= max_steps:
+                raise RuntimeError(f"exceeded {max_steps} scheduler steps")
+            self._step(self.ready.popleft())
+        return True
+
+    # ------------------------------------------------------------------
+    def _step(self, task: CoTask) -> None:
+        self.steps += 1
+        task.steps += 1
+        value, task._send_value = task._send_value, None
+        try:
+            marker = task.gen.send(value)
+        except StopIteration as stop:
+            self._finish(task, result=stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - task code may raise
+            self._finish(task, error=exc)
+            return
+
+        if marker is None or isinstance(marker, _Pause):
+            self.ready.append(task)
+        elif isinstance(marker, _Park):
+            marker.waitlist.append(task)
+        elif isinstance(marker, _Wake):
+            woken = (list(marker.waitlist) if marker.count is None
+                     else marker.waitlist[:marker.count])
+            del marker.waitlist[:len(woken)]
+            self.ready.extend(woken)
+            self.ready.append(task)
+        elif isinstance(marker, _Join):
+            if marker.task.done:
+                self.ready.append(task)
+            else:
+                marker.task.joiners.append(task)
+        else:
+            self._finish(task, error=TypeError(
+                f"{task.name} yielded unknown marker {marker!r}"))
+
+    def _finish(self, task: CoTask, result: Any = None,
+                error: Optional[BaseException] = None) -> None:
+        task.done = True
+        task.result = result
+        task.error = error
+        self.ready.extend(task.joiners)
+        task.joiners = []
+
+
+# ---------------------------------------------------------------------------
+# communication / synchronization for cooperative tasks
+# ---------------------------------------------------------------------------
+
+class CoChannel:
+    """Bounded FIFO channel between cooperative tasks (capacity ≥ 1)."""
+
+    def __init__(self, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._items: deque = deque()
+        self._getters: list[CoTask] = []
+        self._putters: list[CoTask] = []
+        self.closed = False
+
+    def put(self, item: Any) -> Iterator[Any]:
+        while len(self._items) >= self.capacity and not self.closed:
+            yield _Park(self._putters)
+        if self.closed:
+            raise ChannelClosed("put on closed channel")
+        self._items.append(item)
+        if self._getters:
+            yield _Wake(self._getters)
+
+    def get(self) -> Iterator[Any]:
+        while not self._items and not self.closed:
+            yield _Park(self._getters)
+        if not self._items:
+            raise ChannelClosed("get on closed drained channel")
+        item = self._items.popleft()
+        if self._putters:
+            yield _Wake(self._putters)
+        return item
+
+    def close(self) -> Iterator[Any]:
+        self.closed = True
+        if self._getters:
+            yield _Wake(self._getters)
+        if self._putters:
+            yield _Wake(self._putters)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class CoEvent:
+    """One-shot broadcast flag for cooperative tasks."""
+
+    def __init__(self) -> None:
+        self._set = False
+        self._waiters: list[CoTask] = []
+
+    def wait(self) -> Iterator[Any]:
+        while not self._set:
+            yield _Park(self._waiters)
+
+    def set(self) -> Iterator[Any]:
+        self._set = True
+        if self._waiters:
+            yield _Wake(self._waiters)
+
+    @property
+    def is_set(self) -> bool:
+        return self._set
+
+
+class CoSemaphore:
+    """Counting semaphore for cooperative tasks."""
+
+    def __init__(self, permits: int = 1):
+        if permits < 0:
+            raise ValueError("permits must be >= 0")
+        self.permits = permits
+        self._waiters: list[CoTask] = []
+
+    def acquire(self) -> Iterator[Any]:
+        while self.permits == 0:
+            yield _Park(self._waiters)
+        self.permits -= 1
+
+    def release(self) -> Iterator[Any]:
+        self.permits += 1
+        if self._waiters:
+            yield _Wake(self._waiters, 1)

@@ -1,0 +1,23 @@
+"""repro.misconceptions — the paper's misconception engine.
+
+* :mod:`taxonomy` — Table I (the D/T/C/I/U hierarchy);
+* :mod:`catalog` — Table III (M1-M6, S1-S8 with paper counts);
+* :mod:`semantics` — each semantic misconception as a mutated bridge
+  model, with :func:`answer_delta` showing which questions it flips;
+* :mod:`student` — simulated students: model checkers with wrong
+  models + noise + uncertainty overload.
+"""
+
+from .catalog import (CATALOG, MP_IDS, PAPER_COHORT_SIZE, SM_IDS,
+                      Misconception, by_id)
+from .semantics import answer_delta, mp_flags_for, mutated_lts, sm_flags_for
+from .student import SimulatedStudent, StudentAnswer, translate_question
+from .taxonomy import LEVELS, Level, level_of
+
+__all__ = [
+    "Level", "LEVELS", "level_of",
+    "Misconception", "CATALOG", "MP_IDS", "SM_IDS", "by_id",
+    "PAPER_COHORT_SIZE",
+    "sm_flags_for", "mp_flags_for", "mutated_lts", "answer_delta",
+    "SimulatedStudent", "StudentAnswer", "translate_question",
+]

@@ -1,0 +1,148 @@
+"""Table III — the catalogued misconceptions, with their paper counts
+and the way each one is modelled in this reproduction.
+
+Three model kinds:
+
+``semantic``
+    The misconception is a coherent-but-wrong *semantics*: the student
+    reasons correctly inside a mutated model of the world.  These map
+    to flags on the bridge LTS builders
+    (:class:`repro.problems.single_lane_bridge.SMFlags` /
+    :class:`MPFlags`) — e.g. M5's world delivers messages in global
+    send order, S7's world holds the lock from call to return.
+
+``noise``
+    Reading/terminology slips (D and T level, plus S1/S4-style
+    conflations we do not model structurally): the student sometimes
+    mis-answers questions of the affected category.
+
+``uncertainty``
+    U1/M6: the student's reasoning degrades when the execution space
+    exceeds their working capacity — modelled as a question-size
+    threshold with fallback behaviour, matching the paper's observation
+    that students "fall back into one of the lower level
+    misconceptions" past 3-4 possibilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Misconception", "CATALOG", "MP_IDS", "SM_IDS", "by_id",
+           "PAPER_COHORT_SIZE"]
+
+#: students who completed Test 1 (9 in group S + 7 in group D)
+PAPER_COHORT_SIZE = 16
+
+
+@dataclass(frozen=True)
+class Misconception:
+    """One Table-III row.
+
+    ``paper_count`` is the number of students who displayed it;
+    ``affects`` names the question categories a noise model corrupts;
+    ``flag`` is the LTS-builder flag a semantic model sets.
+    """
+
+    mid: str                 # e.g. "M5", "S7"
+    level: str               # Table-I code: D1/T1/C1/I1/I2/U1
+    section: str             # "mp" | "sm"
+    description: str
+    paper_count: int
+    kind: str                # "semantic" | "noise" | "uncertainty"
+    flag: Optional[str] = None
+    affects: tuple[str, ...] = ()
+    flip_bias: float = 0.85  # how often a noise model corrupts an
+    #                          affected question (high: misconceptions are
+    #                          systematic, not random slips)
+
+    @property
+    def prevalence(self) -> float:
+        return self.paper_count / PAPER_COHORT_SIZE
+
+
+CATALOG: tuple[Misconception, ...] = (
+    # ---- message passing (Table III top half) ---------------------------
+    Misconception(
+        "M1", "D1", "mp",
+        "Question setting misunderstood",
+        paper_count=6, kind="noise", affects=("setting",), flip_bias=0.35),
+    Misconception(
+        "M2", "T1", "mp",
+        'Misinterpret "race condition" as "different order of messages"',
+        paper_count=1, kind="noise", affects=("order",), flip_bias=0.6),
+    Misconception(
+        "M3", "C1", "mp",
+        "Send semantics: ability to send depends on condition at receiver, "
+        "or send treated as a synchronous method call",
+        paper_count=7, kind="semantic", flag="send_synchronous",
+        affects=("send",)),
+    Misconception(
+        "M4", "C1", "mp",
+        "Receive semantics: acknowledgement receipt assumed synchronous "
+        "with the occurrence of the event (bridge entered or exited)",
+        paper_count=7, kind="semantic", flag="ack_synchronous",
+        affects=("ack",)),
+    Misconception(
+        "M5", "I2", "mp",
+        "Conflate message sending order with receiving order",
+        paper_count=6, kind="semantic", flag="fifo_delivery",
+        affects=("order",)),
+    Misconception(
+        "M6", "U1", "mp",
+        "Uncertainty: increased state space causes illogical reasoning",
+        paper_count=7, kind="uncertainty"),
+    # ---- shared memory (Table III bottom half) ---------------------------
+    Misconception(
+        "S1", "D1", "sm",
+        "Conflate order of cars with their thread's name",
+        paper_count=3, kind="noise", affects=("setting",), flip_bias=0.5),
+    Misconception(
+        "S2", "T1", "sm",
+        'Misinterpret "race condition" as "different interleaving"',
+        paper_count=1, kind="noise", affects=("return-order",),
+        flip_bias=0.6),
+    Misconception(
+        "S3", "T1", "sm",
+        'Misinterpretation of the terminology "block on"',
+        paper_count=2, kind="noise", affects=("blocking",)),
+    Misconception(
+        "S4", "C1", "sm",
+        "Conflate order of method return with order of entering/exiting "
+        "the bridge",
+        paper_count=4, kind="noise", affects=("return-order",)),
+    Misconception(
+        "S5", "C1", "sm",
+        "Conflate locking with conditional waiting",
+        paper_count=9, kind="semantic", flag="acquire_requires_condition",
+        affects=("lock-vs-wait",)),
+    Misconception(
+        "S6", "I1", "sm",
+        "Misinterpretation of WAIT()'s effect; conflate wait with continuous "
+        "execution of the enclosing while loop",
+        paper_count=1, kind="semantic", flag="wait_blocks_monitor",
+        affects=("wait",)),
+    Misconception(
+        "S7", "I1", "sm",
+        "Conflate order of method invocation/return with get/release lock",
+        paper_count=10, kind="semantic", flag="lock_span_method",
+        affects=("lock-span",)),
+    Misconception(
+        "S8", "U1", "sm",
+        "Uncertainty: increased state space causes illogical reasoning",
+        paper_count=2, kind="uncertainty"),
+)
+
+MP_IDS: tuple[str, ...] = tuple(m.mid for m in CATALOG if m.section == "mp")
+SM_IDS: tuple[str, ...] = tuple(m.mid for m in CATALOG if m.section == "sm")
+
+_BY_ID = {m.mid: m for m in CATALOG}
+
+
+def by_id(mid: str) -> Misconception:
+    try:
+        return _BY_ID[mid]
+    except KeyError:
+        raise KeyError(f"unknown misconception {mid!r}; known: "
+                       f"{sorted(_BY_ID)}") from None

@@ -1,0 +1,82 @@
+"""Misconceptions as executable semantics.
+
+The core modelling claim of this reproduction: a *semantic*
+misconception is a student reasoning **correctly inside a wrong model**.
+This module builds the wrong models — mutated bridge LTSs — so a
+simulated student can be literally "a model checker with a bug", and
+so the ablation benchmarks can show exactly which questions each
+mutation flips.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..problems.single_lane_bridge import (DEFAULT_CARS, MPFlags, SMFlags,
+                                           mp_bridge_lts, sm_bridge_lts)
+from ..verify.lts import LTS, answer_question_lts
+from ..verify.reachability import ScenarioQuestion
+from .catalog import by_id
+
+__all__ = ["sm_flags_for", "mp_flags_for", "mutated_lts", "answer_delta"]
+
+
+def sm_flags_for(mids: Iterable[str]) -> SMFlags:
+    """SMFlags with the semantic misconceptions in ``mids`` switched on."""
+    kwargs = {}
+    for mid in mids:
+        m = by_id(mid)
+        if m.section != "sm" or m.kind != "semantic":
+            continue
+        kwargs[m.flag] = True
+    return SMFlags(**kwargs)
+
+
+def mp_flags_for(mids: Iterable[str]) -> MPFlags:
+    """MPFlags with the semantic misconceptions in ``mids`` switched on."""
+    kwargs = {}
+    for mid in mids:
+        m = by_id(mid)
+        if m.section != "mp" or m.kind != "semantic":
+            continue
+        if m.flag == "fifo_delivery":
+            kwargs["delivery"] = "fifo"
+        else:
+            kwargs[m.flag] = True
+    return MPFlags(**kwargs)
+
+
+def mutated_lts(section: str, mids: Iterable[str],
+                cars=DEFAULT_CARS) -> LTS:
+    """The bridge model as seen by a student holding ``mids``.
+
+    ``section`` is ``"sm"`` or ``"mp"``.  Misconceptions from the other
+    section and non-semantic ones are ignored (they act at the
+    answering layer, not the model layer).
+    """
+    if section == "sm":
+        return sm_bridge_lts(cars, flags=sm_flags_for(mids))
+    if section == "mp":
+        return mp_bridge_lts(cars, flags=mp_flags_for(mids))
+    raise ValueError(f"section must be 'sm' or 'mp', got {section!r}")
+
+
+def answer_delta(section: str, mids: Iterable[str],
+                 questions: Iterable[ScenarioQuestion],
+                 cars=DEFAULT_CARS) -> list[tuple[str, str, str]]:
+    """Which questions a misconception set flips, and how.
+
+    Returns ``(qid, correct_verdict, mutated_verdict)`` for every
+    question whose answer differs between the correct model and the
+    mutated one — the executable form of the paper's "students with
+    misconception X answered questions of type Y wrongly".
+    """
+    correct = mutated_lts(section, ())
+    mutated = mutated_lts(section, mids, cars=cars)
+    deltas = []
+    for q in questions:
+        a_true = answer_question_lts(correct, q).verdict
+        a_student = answer_question_lts(mutated, q).verdict
+        if a_true != a_student:
+            deltas.append((q.qid, a_true, a_student))
+    return deltas

@@ -1,0 +1,65 @@
+"""Table I — the concurrency-misconception hierarchy.
+
+The paper organizes misconceptions into five levels, from surface
+reading errors down to state-space management failures:
+
+=====================  =====================================================
+Description (D)        misconceptions of the system and/or problem statement
+Terminology (T)        misinterpretation of a term describing behaviour
+Concurrency (C)        misconceptions about thread/process behaviours
+Implementation (I)     misconceptions about sync (I1) / async (I2) mechanisms
+Uncertainty (U)        confusion about the space of executions
+=====================  =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Level", "LEVELS", "level_of"]
+
+
+class Level(enum.Enum):
+    """The five levels of Table I, keyed by their paper codes."""
+
+    D1 = ("Description", "Misconceptions of the system and/or problem "
+                         "descriptions")
+    T1 = ("Terminology", "Misinterpretation of a term that describes thread "
+                         "or process behavior")
+    C1 = ("Concurrency", "Misconceptions about thread or process behaviors")
+    I1 = ("Implementation", "Misconceptions about synchronous mechanisms")
+    I2 = ("Implementation", "Misconceptions about asynchronous mechanisms")
+    U1 = ("Uncertainty", "Confusion about space of executions; include "
+                         "impossible execution sequences or fail to consider "
+                         "possible execution sequences")
+
+    @property
+    def category(self) -> str:
+        return self.value[0]
+
+    @property
+    def description(self) -> str:
+        return self.value[1]
+
+
+@dataclass(frozen=True)
+class _LevelRow:
+    code: str
+    category: str
+    description: str
+
+
+#: Table I, row by row, in paper order
+LEVELS: tuple[_LevelRow, ...] = tuple(
+    _LevelRow(level.name, level.category, level.description)
+    for level in (Level.D1, Level.T1, Level.C1, Level.I1, Level.I2, Level.U1))
+
+
+def level_of(code: str) -> Level:
+    """Look up a level by its paper code ('D1', 'T1', ...)."""
+    try:
+        return Level[code]
+    except KeyError:
+        raise KeyError(f"unknown misconception level {code!r}; "
+                       f"expected one of {[lv.name for lv in Level]}") from None

@@ -1,0 +1,29 @@
+"""repro.problems — the course's classical concurrency problems.
+
+Each module implements one problem in every applicable form: a kernel
+program (or exact LTS) for exploration/model checking, plus runnable
+threads / actors / coroutines implementations with invariant audits.
+
+============================  ==========================================
+single_lane_bridge            Test-1 problem; SM + MP LTS models with
+                              misconception flags, 3 runnable forms
+sleeping_barber               in-class lab; kernel + 3 forms
+party_matching                in-class lab; kernel + 3 forms
+bounded_buffer                homeworks 2-3; kernel + 3 forms
+dining_philosophers           week-1 demo; deadlock/ordered/waiter
+readers_writers               fairness case study; priority knob
+sum_workers                   first quiz; lost-update race demo
+book_inventory                semester lab; SM class + MP actor
+thread_pool_arith             week-1 lab; pool-size timing sweep
+============================  ==========================================
+"""
+
+from . import (book_inventory, bounded_buffer, dining_philosophers,
+               party_matching, readers_writers, single_lane_bridge,
+               sleeping_barber, sum_workers, thread_pool_arith)
+
+__all__ = [
+    "single_lane_bridge", "sleeping_barber", "party_matching",
+    "bounded_buffer", "dining_philosophers", "readers_writers",
+    "sum_workers", "book_inventory", "thread_pool_arith",
+]

@@ -1,0 +1,303 @@
+"""Book inventory system — the semester-long lab (UML-modelled in week
+3, implemented in shared-memory and message-passing forms at the end).
+
+Operations: ``add_stock``, ``place_order`` (reserves copies or rejects),
+``ship_order`` (consumes reserved copies), ``cancel_order`` (returns
+them), ``query``.  The invariants every implementation is audited
+against:
+
+* ``stock >= 0`` and ``reserved >= 0`` for every title, always;
+* copies are conserved: added == on-shelf + reserved + shipped;
+* an order is shipped or cancelled at most once.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["InventoryError", "Order", "SharedMemoryInventory",
+           "spawn_inventory_actor", "inventory_invariants",
+           "run_concurrent_inventory_demo"]
+
+
+class InventoryError(Exception):
+    """Business-rule violation (unknown title, over-order, double ship)."""
+
+
+@dataclass(frozen=True)
+class Order:
+    order_id: int
+    title: str
+    copies: int
+
+
+@dataclass
+class _Title:
+    stock: int = 0       # copies on the shelf
+    reserved: int = 0    # copies held by open orders
+    shipped: int = 0     # copies that left the store
+    added: int = 0       # total copies ever added
+
+
+class SharedMemoryInventory:
+    """Monitor-protected inventory — the shared-memory lab solution.
+
+    Every public operation is a critical section over one monitor;
+    ``place_order`` demonstrates check-then-act done right (the check
+    and the reservation are one atomic unit).
+    """
+
+    def __init__(self) -> None:
+        from ..threads import Monitor
+        self._monitor = Monitor("inventory")
+        self._titles: dict[str, _Title] = {}
+        self._orders: dict[int, Order] = {}
+        self._closed_orders: set[int] = set()
+        self._order_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def add_stock(self, title: str, copies: int) -> None:
+        if copies <= 0:
+            raise InventoryError("copies must be positive")
+        with self._monitor:
+            entry = self._titles.setdefault(title, _Title())
+            entry.stock += copies
+            entry.added += copies
+            self._monitor.notify_all()
+
+    def place_order(self, title: str, copies: int,
+                    wait: bool = False, timeout: Optional[float] = None
+                    ) -> Order:
+        """Reserve copies; with ``wait`` blocks until stock suffices."""
+        if copies <= 0:
+            raise InventoryError("copies must be positive")
+        with self._monitor:
+            entry = self._titles.get(title)
+            if entry is None:
+                raise InventoryError(f"unknown title {title!r}")
+            if wait:
+                ok = self._monitor.wait_until(
+                    lambda: entry.stock >= copies, timeout)
+                if not ok:
+                    raise InventoryError("timed out waiting for stock")
+            if entry.stock < copies:
+                raise InventoryError(
+                    f"only {entry.stock} of {title!r} available")
+            entry.stock -= copies
+            entry.reserved += copies
+            order = Order(next(self._order_ids), title, copies)
+            self._orders[order.order_id] = order
+            return order
+
+    def ship_order(self, order_id: int) -> Order:
+        with self._monitor:
+            order = self._open_order(order_id)
+            entry = self._titles[order.title]
+            entry.reserved -= order.copies
+            entry.shipped += order.copies
+            self._closed_orders.add(order_id)
+            return order
+
+    def cancel_order(self, order_id: int) -> Order:
+        with self._monitor:
+            order = self._open_order(order_id)
+            entry = self._titles[order.title]
+            entry.reserved -= order.copies
+            entry.stock += order.copies
+            self._closed_orders.add(order_id)
+            self._monitor.notify_all()
+            return order
+
+    def _open_order(self, order_id: int) -> Order:
+        order = self._orders.get(order_id)
+        if order is None:
+            raise InventoryError(f"unknown order {order_id}")
+        if order_id in self._closed_orders:
+            raise InventoryError(f"order {order_id} already closed")
+        return order
+
+    def query(self, title: str) -> dict[str, int]:
+        with self._monitor:
+            entry = self._titles.get(title)
+            if entry is None:
+                raise InventoryError(f"unknown title {title!r}")
+            return {"stock": entry.stock, "reserved": entry.reserved,
+                    "shipped": entry.shipped, "added": entry.added}
+
+    def snapshot(self) -> dict[str, dict[str, int]]:
+        with self._monitor:
+            return {t: {"stock": e.stock, "reserved": e.reserved,
+                        "shipped": e.shipped, "added": e.added}
+                    for t, e in self._titles.items()}
+
+
+def inventory_invariants(snapshot: dict[str, dict[str, int]]
+                         ) -> Optional[str]:
+    """None if conservation and non-negativity hold for every title."""
+    for title, e in snapshot.items():
+        if e["stock"] < 0 or e["reserved"] < 0:
+            return f"{title}: negative stock/reserved {e}"
+        if e["added"] != e["stock"] + e["reserved"] + e["shipped"]:
+            return f"{title}: copies not conserved {e}"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# message-passing form
+# ---------------------------------------------------------------------------
+
+def spawn_inventory_actor(system: Any, name: str = "inventory") -> Any:
+    """Spawn the message-passing inventory on an ActorSystem.
+
+    Protocol (all requests carry a reply-to sender):
+
+    ``("add", title, copies)``            → ``("ok",)``
+    ``("order", title, copies)``          → ``("order", Order)`` or
+                                            ``("rejected", reason)``
+    ``("ship"|"cancel", order_id)``       → ``("ok",)`` / ``("rejected", r)``
+    ``("query", title)``                  → ``("stats", dict)``
+    ``("snapshot",)``                     → ``("snapshot", dict)``
+
+    State is actor-private — the message-passing answer to the lab's
+    race conditions is that there is nothing shared to race on.
+    """
+    from ..actors import Actor
+
+    class InventoryActor(Actor):
+        def __init__(self) -> None:
+            super().__init__()
+            self.titles: dict[str, _Title] = {}
+            self.orders: dict[int, Order] = {}
+            self.closed: set[int] = set()
+            self.ids = itertools.count(1)
+            self.backorders: list[tuple[str, int, Any]] = []
+
+        def receive(self, message: Any, sender: Any) -> None:
+            kind = message[0]
+            if kind == "add":
+                _, title, copies = message
+                entry = self.titles.setdefault(title, _Title())
+                entry.stock += copies
+                entry.added += copies
+                if sender:
+                    sender.tell(("ok",), sender=self.self_ref)
+                self._retry_backorders()
+            elif kind == "order":
+                _, title, copies = message
+                self._try_order(title, copies, sender, queue=True)
+            elif kind == "ship" or kind == "cancel":
+                self._close(kind, message[1], sender)
+            elif kind == "query":
+                entry = self.titles.get(message[1])
+                stats = ({} if entry is None else
+                         {"stock": entry.stock, "reserved": entry.reserved,
+                          "shipped": entry.shipped, "added": entry.added})
+                sender.tell(("stats", stats), sender=self.self_ref)
+            elif kind == "snapshot":
+                snap = {t: {"stock": e.stock, "reserved": e.reserved,
+                            "shipped": e.shipped, "added": e.added}
+                        for t, e in self.titles.items()}
+                sender.tell(("snapshot", snap), sender=self.self_ref)
+
+        def _try_order(self, title: str, copies: int, sender: Any,
+                       queue: bool) -> None:
+            entry = self.titles.get(title)
+            if entry is None or copies <= 0:
+                sender.tell(("rejected", "unknown title or bad count"),
+                            sender=self.self_ref)
+                return
+            if entry.stock < copies:
+                if queue:
+                    self.backorders.append((title, copies, sender))
+                else:
+                    sender.tell(("rejected", "insufficient stock"),
+                                sender=self.self_ref)
+                return
+            entry.stock -= copies
+            entry.reserved += copies
+            order = Order(next(self.ids), title, copies)
+            self.orders[order.order_id] = order
+            sender.tell(("order", order), sender=self.self_ref)
+
+        def _retry_backorders(self) -> None:
+            pending, self.backorders = self.backorders, []
+            for title, copies, sender in pending:
+                self._try_order(title, copies, sender, queue=True)
+
+        def _close(self, kind: str, order_id: int, sender: Any) -> None:
+            order = self.orders.get(order_id)
+            if order is None or order_id in self.closed:
+                sender.tell(("rejected", "unknown or closed order"),
+                            sender=self.self_ref)
+                return
+            entry = self.titles[order.title]
+            entry.reserved -= order.copies
+            if kind == "ship":
+                entry.shipped += order.copies
+            else:
+                entry.stock += order.copies
+                self._retry_backorders()
+            self.closed.add(order_id)
+            sender.tell(("ok",), sender=self.self_ref)
+
+    return system.spawn(InventoryActor, name=name)
+
+
+def run_concurrent_inventory_demo(clerks: int = 4, ops_each: int = 50,
+                                  seed: int = 7) -> dict[str, Any]:
+    """Hammer the shared-memory inventory from many threads; audit.
+
+    Returns the final snapshot plus operation counts — used by tests
+    and the quickstart example.
+    """
+    import random
+
+    from ..threads import JThread
+
+    inventory = SharedMemoryInventory()
+    titles = ["tcp-ip", "sicp", "dragon-book"]
+    for t in titles:
+        inventory.add_stock(t, 100)
+    counts = {"ordered": 0, "shipped": 0, "cancelled": 0, "rejected": 0}
+    counts_lock = threading.Lock()
+
+    def clerk(cid: int) -> None:
+        rng = random.Random(seed + cid)
+        my_orders: list[int] = []
+        for _ in range(ops_each):
+            op = rng.random()
+            title = rng.choice(titles)
+            try:
+                if op < 0.4:
+                    order = inventory.place_order(title, rng.randint(1, 3))
+                    my_orders.append(order.order_id)
+                    with counts_lock:
+                        counts["ordered"] += 1
+                elif op < 0.6 and my_orders:
+                    inventory.ship_order(my_orders.pop())
+                    with counts_lock:
+                        counts["shipped"] += 1
+                elif op < 0.8 and my_orders:
+                    inventory.cancel_order(my_orders.pop())
+                    with counts_lock:
+                        counts["cancelled"] += 1
+                else:
+                    inventory.add_stock(title, rng.randint(1, 2))
+            except InventoryError:
+                with counts_lock:
+                    counts["rejected"] += 1
+
+    threads = [JThread(target=clerk, args=(c,), name=f"clerk-{c}")
+               for c in range(clerks)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    snapshot = inventory.snapshot()
+    problem = inventory_invariants(snapshot)
+    if problem:
+        raise AssertionError(problem)
+    return {"snapshot": snapshot, "counts": counts}

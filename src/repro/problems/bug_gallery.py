@@ -1,0 +1,284 @@
+"""The concurrency-bug gallery — the course's bug-study homework.
+
+§IV.C: "students search for and study different concurrency-related
+bugs (mainly through the open source MySQL bug report database)".  The
+real database is unavailable offline, so the gallery reproduces the
+*bug patterns* that literature on that very corpus identified (Lu et
+al.'s characterization: atomicity violations, order violations,
+deadlocks) as minimal kernel programs, each paired with the tool that
+catches it and the canonical fix.
+
+Every entry is a :class:`BugSpec` with a buggy program, a fixed
+program, a checker that demonstrates the difference, and the classroom
+story.  Used by `examples/bughunt.py`, the test suite, and available
+as course material via :func:`gallery`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..core import (Access, AccessKind, Acquire, Emit, Notify, Pause,
+                    Release, Scheduler, SimLock, SimMonitor, Wait)
+from ..verify import explore, find_races_program
+
+__all__ = ["BugSpec", "gallery", "check_bug", "BUG_IDS"]
+
+
+@dataclass(frozen=True)
+class BugSpec:
+    """One catalogued concurrency bug pattern."""
+
+    bug_id: str
+    category: str              # atomicity | order | deadlock | liveness
+    title: str
+    story: str
+    buggy: Callable[[Scheduler], Any]
+    fixed: Callable[[Scheduler], Any]
+    #: predicate over an ExplorationResult: True = the bug manifests
+    manifests: Callable[[Any], bool]
+
+
+# ---------------------------------------------------------------------------
+# atomicity violation: check-then-act
+# ---------------------------------------------------------------------------
+
+def _cta_buggy(sched: Scheduler):
+    state = {"slots": 1, "granted": 0}
+
+    def worker(name):
+        yield Access("slots", AccessKind.READ)
+        if state["slots"] > 0:
+            yield Access("slots", AccessKind.WRITE)   # the hole
+            state["slots"] -= 1
+            state["granted"] += 1
+    sched.spawn(worker, "a")
+    sched.spawn(worker, "b")
+    return lambda: (state["slots"], state["granted"])
+
+
+def _cta_fixed(sched: Scheduler):
+    lock = SimLock("slots")
+    state = {"slots": 1, "granted": 0}
+
+    def worker(name):
+        yield Acquire(lock)
+        if state["slots"] > 0:
+            state["slots"] -= 1
+            state["granted"] += 1
+        yield Release(lock)
+    sched.spawn(worker, "a")
+    sched.spawn(worker, "b")
+    return lambda: (state["slots"], state["granted"])
+
+
+# ---------------------------------------------------------------------------
+# order violation: use before initialization
+# ---------------------------------------------------------------------------
+
+def _order_buggy(sched: Scheduler):
+    state = {"config": None, "used": None}
+
+    def initializer():
+        yield Pause("startup work")
+        state["config"] = {"timeout": 30}
+
+    def user():
+        yield Pause("racing ahead")
+        config = state["config"]
+        state["used"] = None if config is None else config["timeout"]
+    sched.spawn(initializer, name="init")
+    sched.spawn(user, name="user")
+    return lambda: state["used"]
+
+
+def _order_fixed(sched: Scheduler):
+    monitor = SimMonitor("config-ready")
+    state = {"config": None, "used": None}
+
+    def initializer():
+        yield Pause("startup work")
+        yield Acquire(monitor)
+        state["config"] = {"timeout": 30}
+        yield Notify(monitor, all=True)
+        yield Release(monitor)
+
+    def user():
+        yield Acquire(monitor)
+        while state["config"] is None:
+            yield Wait(monitor)
+        yield Release(monitor)
+        state["used"] = state["config"]["timeout"]
+    sched.spawn(initializer, name="init")
+    sched.spawn(user, name="user")
+    return lambda: state["used"]
+
+
+# ---------------------------------------------------------------------------
+# deadlock: inconsistent lock ordering (classic transfer bug)
+# ---------------------------------------------------------------------------
+
+def _transfer_buggy(sched: Scheduler):
+    accounts = {"a": SimLock("account-a"), "b": SimLock("account-b")}
+    balances = {"a": 100, "b": 100}
+
+    def transfer(src, dst, amount):
+        yield Acquire(accounts[src])
+        yield Pause("mid-transfer")
+        yield Acquire(accounts[dst])
+        balances[src] -= amount
+        balances[dst] += amount
+        yield Release(accounts[dst])
+        yield Release(accounts[src])
+    sched.spawn(transfer, "a", "b", 10, name="a-to-b")
+    sched.spawn(transfer, "b", "a", 20, name="b-to-a")
+    return lambda: (balances["a"], balances["b"])
+
+
+def _transfer_fixed(sched: Scheduler):
+    accounts = {"a": SimLock("account-a"), "b": SimLock("account-b")}
+    balances = {"a": 100, "b": 100}
+
+    def transfer(src, dst, amount):
+        first, second = sorted((src, dst))       # global lock order
+        yield Acquire(accounts[first])
+        yield Pause("mid-transfer")
+        yield Acquire(accounts[second])
+        balances[src] -= amount
+        balances[dst] += amount
+        yield Release(accounts[second])
+        yield Release(accounts[first])
+    sched.spawn(transfer, "a", "b", 10, name="a-to-b")
+    sched.spawn(transfer, "b", "a", 20, name="b-to-a")
+    return lambda: (balances["a"], balances["b"])
+
+
+# ---------------------------------------------------------------------------
+# liveness: lost wakeup (notify before wait, no guard loop)
+# ---------------------------------------------------------------------------
+
+def _wakeup_buggy(sched: Scheduler):
+    monitor = SimMonitor("signal")
+    state = {"ready": False, "observed": False}
+
+    def producer():
+        yield Acquire(monitor)
+        state["ready"] = True
+        yield Notify(monitor, all=True)
+        yield Release(monitor)
+
+    def consumer():
+        # BUG: the flag is checked OUTSIDE the monitor; the notify can
+        # land in the window between the check and the wait, and nobody
+        # will ever notify again — the consumer sleeps forever.
+        yield Access("ready", AccessKind.READ)
+        if not state["ready"]:
+            yield Acquire(monitor)
+            yield Wait(monitor)
+            yield Release(monitor)
+        state["observed"] = state["ready"]
+    sched.spawn(producer, name="producer")
+    sched.spawn(consumer, name="consumer")
+    return lambda: state["observed"]
+
+
+def _wakeup_fixed(sched: Scheduler):
+    monitor = SimMonitor("signal")
+    state = {"ready": False, "observed": False}
+
+    def producer():
+        yield Acquire(monitor)
+        state["ready"] = True
+        yield Notify(monitor, all=True)
+        yield Release(monitor)
+
+    def consumer():
+        yield Pause("arrives late")
+        yield Acquire(monitor)
+        while not state["ready"]:
+            yield Wait(monitor)
+        state["observed"] = True
+        yield Release(monitor)
+    sched.spawn(producer, name="producer")
+    sched.spawn(consumer, name="consumer")
+    return lambda: state["observed"]
+
+
+# ---------------------------------------------------------------------------
+# the catalogue
+# ---------------------------------------------------------------------------
+
+_GALLERY = (
+    BugSpec(
+        bug_id="atomicity-check-then-act",
+        category="atomicity",
+        title="check-then-act on a shared counter",
+        story="Two sessions both see the last slot free and both take "
+              "it — the MySQL corpus's most common single-variable "
+              "atomicity violation shape.",
+        buggy=_cta_buggy, fixed=_cta_fixed,
+        manifests=lambda res: any(slots < 0 or granted > 1
+                                  for slots, granted in res.observations()),
+    ),
+    BugSpec(
+        bug_id="order-use-before-init",
+        category="order",
+        title="use of state before its initializer ran",
+        story="A worker thread dereferences configuration the startup "
+              "thread has not written yet; passes in testing because "
+              "startup usually wins the race.",
+        buggy=_order_buggy, fixed=_order_fixed,
+        manifests=lambda res: None in res.observations(),
+    ),
+    BugSpec(
+        bug_id="deadlock-lock-ordering",
+        category="deadlock",
+        title="opposite-order account locking",
+        story="Two concurrent transfers lock source then destination; "
+              "opposite directions deadlock — the textbook ABBA hang.",
+        buggy=_transfer_buggy, fixed=_transfer_fixed,
+        manifests=lambda res: res.outcomes.get("deadlock", 0) > 0,
+    ),
+    BugSpec(
+        bug_id="liveness-lost-wakeup",
+        category="liveness",
+        title="IF-guarded wait loses the wakeup",
+        story="The consumer guards its WAIT with IF instead of WHILE "
+              "(misconception S6's cousin): a notify delivered before "
+              "the wait leaves it sleeping forever.",
+        buggy=_wakeup_buggy, fixed=_wakeup_fixed,
+        manifests=lambda res: res.outcomes.get("deadlock", 0) > 0
+        or any(obs is False for obs in res.observations()),
+    ),
+)
+
+BUG_IDS = tuple(spec.bug_id for spec in _GALLERY)
+
+
+def gallery() -> tuple[BugSpec, ...]:
+    """All catalogued bug patterns."""
+    return _GALLERY
+
+
+def check_bug(spec: BugSpec, max_runs: int = 30_000) -> dict[str, Any]:
+    """Demonstrate one gallery entry: the bug manifests in the buggy
+    program under exhaustive exploration and not in the fixed one.
+
+    Returns a report with both exploration summaries and, for
+    atomicity entries, whether the race detector flagged the buggy
+    version.
+    """
+    buggy = explore(spec.buggy, max_runs=max_runs)
+    fixed = explore(spec.fixed, max_runs=max_runs)
+    report = {
+        "bug_id": spec.bug_id,
+        "buggy_manifests": spec.manifests(buggy),
+        "fixed_manifests": spec.manifests(fixed),
+        "buggy_runs": buggy.runs,
+        "fixed_runs": fixed.runs,
+    }
+    if spec.category == "atomicity":
+        report["race_found"] = find_races_program(spec.buggy) is not None
+        report["race_in_fix"] = find_races_program(spec.fixed) is not None
+    return report

@@ -1,0 +1,183 @@
+"""Dining philosophers — the week-1 demo program and the canonical
+deadlock example of the course's §IV.C.
+
+Variants provided:
+
+* :func:`philosophers_program` — kernel program with a strategy knob:
+  ``"naive"`` (everyone grabs left then right — deadlocks, and the
+  explorer finds the witness), ``"ordered"`` (global fork order —
+  deadlock-free, and the explorer proves it for small tables),
+  ``"waiter"`` (a semaphore admits at most N-1 to the table);
+* :func:`run_threads_philosophers` — real threads with the ordered
+  strategy;
+* :func:`run_actor_philosophers` — a waiter actor granting forks;
+* :func:`run_coroutine_philosophers` — cooperative version.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..core import (Acquire, Effect, Emit, Release, Scheduler, SimLock,
+                    SimSemaphore)
+
+__all__ = ["philosophers_program", "run_threads_philosophers",
+           "run_actor_philosophers", "run_coroutine_philosophers"]
+
+
+def philosophers_program(n: int = 3, meals: int = 1,
+                         strategy: str = "naive"):
+    """Kernel program for the explorer.  Observation: meals eaten."""
+    if strategy not in ("naive", "ordered", "waiter"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+
+    def program(sched: Scheduler):
+        forks = [SimLock(f"fork-{i}") for i in range(n)]
+        table = SimSemaphore(n - 1, "table") if strategy == "waiter" else None
+        eaten = {"meals": 0}
+
+        def philosopher(i: int) -> Iterator[Effect]:
+            left, right = forks[i], forks[(i + 1) % n]
+            if strategy == "ordered":
+                first, second = ((left, right) if left.name < right.name
+                                 else (right, left))
+            else:
+                first, second = left, right
+            for _ in range(meals):
+                if table is not None:
+                    yield Acquire(table)
+                yield Acquire(first)
+                yield Acquire(second)
+                eaten["meals"] += 1
+                yield Emit(("eat", i))
+                yield Release(second)
+                yield Release(first)
+                if table is not None:
+                    yield Release(table)
+
+        for i in range(n):
+            sched.spawn(philosopher, i, name=f"philosopher-{i}")
+        return lambda: eaten["meals"]
+
+    return program
+
+
+def run_threads_philosophers(n: int = 5, meals: int = 20) -> int:
+    """Ordered-fork strategy on real threads; returns meals eaten."""
+    import threading
+
+    from ..threads import AtomicInteger, JThread
+
+    forks = [threading.Lock() for _ in range(n)]
+    eaten = AtomicInteger()
+
+    def philosopher(i: int) -> None:
+        a, b = sorted((i, (i + 1) % n))
+        for _ in range(meals):
+            with forks[a]:
+                with forks[b]:
+                    eaten.increment_and_get()
+
+    threads = [JThread(target=philosopher, args=(i,), name=f"phil-{i}")
+               for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    return eaten.get()
+
+
+def run_actor_philosophers(n: int = 5, meals: int = 10) -> int:
+    """Waiter-actor strategy: philosophers request both forks from a
+    waiter that grants them atomically — deadlock is impossible because
+    fork allocation is centralized (the message-passing resolution the
+    course contrasts with lock ordering)."""
+    import threading
+    from ..actors import Actor, ActorSystem
+
+    eaten = [0]
+    done = threading.Event()
+    total = n * meals
+
+    class Waiter(Actor):
+        def __init__(self) -> None:
+            super().__init__()
+            self.forks = [True] * n
+            self.queue: list[tuple[int, Any]] = []
+
+        def receive(self, message: Any, sender: Any) -> None:
+            kind, i = message
+            if kind == "request":
+                self.queue.append((i, sender))
+                self._grant()
+            else:  # release
+                self.forks[i] = True
+                self.forks[(i + 1) % n] = True
+                self._grant()
+
+        def _grant(self) -> None:
+            remaining = []
+            for i, sender in self.queue:
+                left, right = i, (i + 1) % n
+                if self.forks[left] and self.forks[right]:
+                    self.forks[left] = self.forks[right] = False
+                    sender.tell(("granted",), sender=self.self_ref)
+                else:
+                    remaining.append((i, sender))
+            self.queue = remaining
+
+    class Philosopher(Actor):
+        def __init__(self, i: int, waiter: Any) -> None:
+            super().__init__()
+            self.i = i
+            self.waiter = waiter
+            self.meals = 0
+
+        def pre_start(self) -> None:
+            self.waiter.tell(("request", self.i), sender=self.self_ref)
+
+        def receive(self, message: Any, sender: Any) -> None:
+            if message[0] == "granted":
+                self.meals += 1
+                with count_lock:
+                    eaten[0] += 1
+                    finished = eaten[0] >= total
+                self.waiter.tell(("release", self.i), sender=self.self_ref)
+                if finished:
+                    done.set()
+                elif self.meals < meals:
+                    self.waiter.tell(("request", self.i),
+                                     sender=self.self_ref)
+
+    count_lock = threading.Lock()
+
+    with ActorSystem(workers=4) as system:
+        waiter = system.spawn(Waiter, name="waiter")
+        for i in range(n):
+            system.spawn(Philosopher, i, waiter, name=f"phil-{i}")
+        done.wait(timeout=30)
+        system.drain(timeout=10)
+    return eaten[0]
+
+
+def run_coroutine_philosophers(n: int = 5, meals: int = 10) -> int:
+    """Cooperative philosophers: forks as CoSemaphores, ordered pickup."""
+    from ..coroutines import CoScheduler, CoSemaphore
+
+    forks = [CoSemaphore(1) for _ in range(n)]
+    eaten = [0]
+
+    def philosopher(i: int):
+        a, b = sorted((i, (i + 1) % n))
+        for _ in range(meals):
+            yield from forks[a].acquire()
+            yield from forks[b].acquire()
+            eaten[0] += 1
+            yield from forks[b].release()
+            yield from forks[a].release()
+
+    sched = CoScheduler()
+    for i in range(n):
+        sched.spawn(philosopher, i, name=f"phil-{i}")
+    sched.run()
+    return eaten[0]

@@ -1,0 +1,177 @@
+"""Party matching — the course's other in-class lab problem.
+
+Boys and girls arrive at a party individually and may only leave with a
+partner of the opposite sex.  The synchronization shape is a symmetric
+rendezvous: an arrival either pairs with a waiting opposite or waits.
+
+Audited properties: every pair is boy+girl; nobody leaves twice; with
+equal arrivals everyone leaves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from ..core import (Acquire, Effect, Emit, Notify, Release, Scheduler,
+                    SimMonitor, Wait)
+
+__all__ = ["party_program", "audit_pairs", "run_threads_party",
+           "run_actor_party", "run_coroutine_party"]
+
+
+def party_program(boys: int = 2, girls: int = 2):
+    """Kernel program for the explorer.  Observation: sorted pair list."""
+
+    def program(sched: Scheduler):
+        monitor = SimMonitor("party")
+        state: dict[str, Any] = {"waiting_boys": [], "waiting_girls": [],
+                                 "pairs": []}
+
+        def guest(name: str, sex: str) -> Iterator[Effect]:
+            mine = "waiting_boys" if sex == "boy" else "waiting_girls"
+            theirs = "waiting_girls" if sex == "boy" else "waiting_boys"
+            yield Acquire(monitor)
+            if state[theirs]:
+                partner = state[theirs].pop(0)
+                pair = tuple(sorted((name, partner)))
+                state["pairs"].append(pair)
+                yield Emit(("paired", pair))
+                yield Notify(monitor, all=True)
+            else:
+                state[mine].append(name)
+                while not any(name in p for p in state["pairs"]):
+                    yield Wait(monitor)
+            yield Release(monitor)
+
+        for b in range(boys):
+            sched.spawn(guest, f"boy-{b}", "boy", name=f"boy-{b}")
+        for g in range(girls):
+            sched.spawn(guest, f"girl-{g}", "girl", name=f"girl-{g}")
+        return lambda: tuple(sorted(state["pairs"]))
+
+    return program
+
+
+def audit_pairs(pairs: list[tuple], boys: int, girls: int) -> Optional[str]:
+    """Every pair must be one boy + one girl; no guest appears twice."""
+    seen: set[str] = set()
+    for pair in pairs:
+        kinds = sorted(name.split("-")[0] for name in pair)
+        if kinds != ["boy", "girl"]:
+            return f"invalid pair {pair!r}"
+        for name in pair:
+            if name in seen:
+                return f"{name} left twice"
+            seen.add(name)
+    expected = min(boys, girls)
+    if len(pairs) != expected:
+        return f"{len(pairs)} pairs formed, expected {expected}"
+    return None
+
+
+def run_threads_party(boys: int = 10, girls: int = 10) -> list[tuple]:
+    """Monitor-based matcher on real threads."""
+    from ..threads import JThread, Monitor
+
+    monitor = Monitor("party")
+    waiting: dict[str, list[str]] = {"boy": [], "girl": []}
+    pairs: list[tuple] = []
+    matched: set[str] = set()
+
+    def guest(name: str, sex: str) -> None:
+        other = "girl" if sex == "boy" else "boy"
+        with monitor:
+            if waiting[other]:
+                partner = waiting[other].pop(0)
+                pairs.append(tuple(sorted((name, partner))))
+                matched.add(name)
+                matched.add(partner)
+                monitor.notify_all()
+            else:
+                waiting[sex].append(name)
+                monitor.wait_until(lambda: name in matched)
+
+    threads = ([JThread(target=guest, args=(f"boy-{b}", "boy"),
+                        name=f"boy-{b}") for b in range(boys)]
+               + [JThread(target=guest, args=(f"girl-{g}", "girl"),
+                          name=f"girl-{g}") for g in range(girls)])
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    problem = audit_pairs(pairs, boys, girls)
+    if problem:
+        raise AssertionError(problem)
+    return pairs
+
+
+def run_actor_party(boys: int = 10, girls: int = 10) -> list[tuple]:
+    """Matchmaker actor pairs arrivals — the message-passing solution
+    replaces the shared wait-lists with actor-private ones."""
+    import threading
+    from ..actors import Actor, ActorSystem
+
+    pairs: list[tuple] = []
+    done = threading.Event()
+    expected = min(boys, girls)
+
+    class Matchmaker(Actor):
+        def __init__(self) -> None:
+            super().__init__()
+            self.waiting: dict[str, list[str]] = {"boy": [], "girl": []}
+
+        def receive(self, message: Any, sender: Any) -> None:
+            sex, name = message
+            other = "girl" if sex == "boy" else "boy"
+            if self.waiting[other]:
+                partner = self.waiting[other].pop(0)
+                pairs.append(tuple(sorted((name, partner))))
+                if len(pairs) >= expected:
+                    done.set()
+            else:
+                self.waiting[sex].append(name)
+
+    with ActorSystem(workers=2) as system:
+        matchmaker = system.spawn(Matchmaker, name="matchmaker")
+        for b in range(boys):
+            matchmaker.tell(("boy", f"boy-{b}"))
+        for g in range(girls):
+            matchmaker.tell(("girl", f"girl-{g}"))
+        done.wait(timeout=30)
+
+    problem = audit_pairs(pairs, boys, girls)
+    if problem:
+        raise AssertionError(problem)
+    return pairs
+
+
+def run_coroutine_party(boys: int = 10, girls: int = 10) -> list[tuple]:
+    """Cooperative matcher: arrivals inspect the wait lists atomically."""
+    from ..coroutines import CoScheduler, pause
+
+    waiting: dict[str, list[str]] = {"boy": [], "girl": []}
+    pairs: list[tuple] = []
+    matched: set[str] = set()
+
+    def guest(name: str, sex: str):
+        other = "girl" if sex == "boy" else "boy"
+        if waiting[other]:
+            partner = waiting[other].pop(0)
+            pairs.append(tuple(sorted((name, partner))))
+            matched.add(name)
+            matched.add(partner)
+        else:
+            waiting[sex].append(name)
+            while name not in matched:
+                yield pause()
+
+    sched = CoScheduler()
+    for b in range(boys):
+        sched.spawn(guest, f"boy-{b}", "boy", name=f"boy-{b}")
+    for g in range(girls):
+        sched.spawn(guest, f"girl-{g}", "girl", name=f"girl-{g}")
+    sched.run()
+    problem = audit_pairs(pairs, boys, girls)
+    if problem:
+        raise AssertionError(problem)
+    return pairs

@@ -1,0 +1,231 @@
+"""Readers-writers — the course's fairness case study.
+
+Readers may share the resource; writers need it exclusively.  The
+classic design decision is who gets priority, and the kernel program
+exposes it as a knob so the fairness benchmarks can show writer
+starvation under ``"readers"`` priority and its absence under
+``"writers"`` / ``"fair"``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..core import (Acquire, Effect, Emit, Notify, Release, Scheduler,
+                    SimMonitor, Wait)
+
+__all__ = ["rw_program", "rw_invariant", "ReadWriteLock",
+           "run_threads_rw", "run_coroutine_rw"]
+
+
+def rw_program(readers: int = 2, writers: int = 1, rounds: int = 1,
+               priority: str = "readers"):
+    """Kernel readers-writers with a priority policy.
+
+    ``priority``: ``"readers"`` (readers barge while any reader active),
+    ``"writers"`` (readers defer to waiting writers), ``"fair"``
+    (alternating preference via a simple turn counter).
+
+    Observation: (max concurrent readers seen, writer overlaps seen).
+    """
+    if priority not in ("readers", "writers", "fair"):
+        raise ValueError(f"unknown priority {priority!r}")
+
+    def program(sched: Scheduler):
+        monitor = SimMonitor("rw")
+        state = {"readers": 0, "writer": False, "waiting_writers": 0,
+                 "max_readers": 0, "overlap": 0, "turn": 0}
+
+        def reader(i: int) -> Iterator[Effect]:
+            for _ in range(rounds):
+                yield Acquire(monitor)
+                while state["writer"] or (
+                        priority in ("writers", "fair")
+                        and state["waiting_writers"] > 0):
+                    yield Wait(monitor)
+                state["readers"] += 1
+                state["max_readers"] = max(state["max_readers"],
+                                           state["readers"])
+                yield Release(monitor)
+
+                yield Emit(("read", i))
+
+                yield Acquire(monitor)
+                state["readers"] -= 1
+                if state["readers"] == 0:
+                    yield Notify(monitor, all=True)
+                yield Release(monitor)
+
+        def writer(i: int) -> Iterator[Effect]:
+            for _ in range(rounds):
+                yield Acquire(monitor)
+                state["waiting_writers"] += 1
+                while state["writer"] or state["readers"] > 0:
+                    yield Wait(monitor)
+                state["waiting_writers"] -= 1
+                if state["writer"] or state["readers"] > 0:
+                    state["overlap"] += 1
+                state["writer"] = True
+                yield Release(monitor)
+
+                yield Emit(("write", i))
+
+                yield Acquire(monitor)
+                state["writer"] = False
+                yield Notify(monitor, all=True)
+                yield Release(monitor)
+
+        for i in range(readers):
+            sched.spawn(reader, i, name=f"reader-{i}")
+        for i in range(writers):
+            sched.spawn(writer, i, name=f"writer-{i}")
+        return lambda: (state["max_readers"], state["overlap"])
+
+    return program
+
+
+def rw_invariant(obs: tuple) -> bool:
+    """No writer ever overlapped a reader or another writer."""
+    _, overlap = obs
+    return overlap == 0
+
+
+class ReadWriteLock:
+    """Real-thread readers-writer lock with writer priority.
+
+    The shape Java students build from ``synchronized``/``wait`` in the
+    lab: a monitor guarding reader/writer counters.
+    """
+
+    def __init__(self) -> None:
+        from ..threads import Monitor
+        self._monitor = Monitor("rwlock")
+        self._readers = 0
+        self._writer = False
+        self._waiting_writers = 0
+
+    # -- reader side -----------------------------------------------------
+    def acquire_read(self) -> None:
+        with self._monitor:
+            self._monitor.wait_until(
+                lambda: not self._writer and self._waiting_writers == 0)
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._monitor:
+            self._readers -= 1
+            if self._readers == 0:
+                self._monitor.notify_all()
+
+    # -- writer side -----------------------------------------------------
+    def acquire_write(self) -> None:
+        with self._monitor:
+            self._waiting_writers += 1
+            try:
+                self._monitor.wait_until(
+                    lambda: not self._writer and self._readers == 0)
+            finally:
+                self._waiting_writers -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._monitor:
+            self._writer = False
+            self._monitor.notify_all()
+
+    # -- context-manager views ---------------------------------------------
+    class _Guard:
+        def __init__(self, enter, exit_):
+            self._enter, self._exit = enter, exit_
+
+        def __enter__(self):
+            self._enter()
+            return self
+
+        def __exit__(self, *exc):
+            self._exit()
+
+    def read(self) -> "_Guard":
+        return self._Guard(self.acquire_read, self.release_read)
+
+    def write(self) -> "_Guard":
+        return self._Guard(self.acquire_write, self.release_write)
+
+
+def run_threads_rw(readers: int = 4, writers: int = 2, rounds: int = 50
+                   ) -> dict[str, Any]:
+    """Hammer a shared value through ReadWriteLock; audit consistency.
+
+    Writers write (round, writer_id) pairs atomically into two cells;
+    readers must always observe matching cells.
+    """
+    from ..threads import JThread
+
+    lock = ReadWriteLock()
+    cell = {"a": (0, -1), "b": (0, -1)}
+    torn_reads = [0]
+    reads_done = [0]
+
+    def writer(w: int) -> None:
+        for r in range(rounds):
+            with lock.write():
+                cell["a"] = (r, w)
+                cell["b"] = (r, w)
+
+    def reader() -> None:
+        for _ in range(rounds):
+            with lock.read():
+                if cell["a"] != cell["b"]:
+                    torn_reads[0] += 1
+                reads_done[0] += 1
+
+    threads = ([JThread(target=writer, args=(w,), name=f"w{w}")
+                for w in range(writers)]
+               + [JThread(target=reader, name=f"r{i}")
+                  for i in range(readers)])
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    return {"torn_reads": torn_reads[0], "reads": readers * rounds,
+            "final": dict(cell)}
+
+
+def run_coroutine_rw(readers: int = 4, writers: int = 2, rounds: int = 20
+                     ) -> dict[str, Any]:
+    """Cooperative readers-writers: atomicity between yields makes the
+    lock almost trivial — the point of contrast with threads."""
+    from ..coroutines import CoScheduler, pause
+
+    state = {"readers": 0, "writer": False}
+    cell = {"a": (0, -1), "b": (0, -1)}
+    torn = [0]
+
+    def writer(w: int):
+        for r in range(rounds):
+            while state["writer"] or state["readers"]:
+                yield pause()
+            state["writer"] = True
+            cell["a"] = (r, w)
+            yield pause()          # deliberately split the write
+            cell["b"] = (r, w)
+            state["writer"] = False
+            yield pause()
+
+    def reader():
+        for _ in range(rounds):
+            while state["writer"]:
+                yield pause()
+            state["readers"] += 1
+            if cell["a"] != cell["b"]:
+                torn[0] += 1
+            state["readers"] -= 1
+            yield pause()
+
+    sched = CoScheduler()
+    for w in range(writers):
+        sched.spawn(writer, w, name=f"w{w}")
+    for i in range(readers):
+        sched.spawn(reader, name=f"r{i}")
+    sched.run()
+    return {"torn_reads": torn[0], "reads": readers * rounds}

@@ -1,0 +1,741 @@
+"""The single-lane bridge — the paper's Test-1 problem.
+
+Cars travel in two directions over a bridge that only carries one
+direction at a time (same-direction cars may share it).  The paper
+poses the problem in two forms and asks students "could scenario X
+happen next?":
+
+* **shared memory** (Figure 6): ``redEnter``/``redExit`` methods with an
+  ``EXC_ACC`` monitor and a guarded wait on the opposite-direction
+  count;
+* **message passing** (Figure 7): cars send ``redEnter``/``redExit``
+  messages to a bridge process and receive ``succeedEnter`` /
+  ``succeedExit(n)`` acknowledgements.
+
+This module provides four things:
+
+1. exact LTS models of both forms (:func:`sm_bridge_lts`,
+   :func:`mp_bridge_lts`) for the question engine — with *semantics
+   flags* that express the paper's misconceptions as model mutations
+   (S5, S7 for shared memory; M3, M4, M5 for message passing);
+2. pseudocode sources of both forms (:data:`SM_PSEUDOCODE`,
+   :data:`MP_PSEUDOCODE`) in the paper's notation;
+3. executable implementations in all three course models
+   (:func:`run_threads_bridge`, :func:`run_actor_bridge`,
+   :func:`run_coroutine_bridge`) with a mutual-exclusion audit;
+4. the safety invariant (:func:`bridge_invariant`) shared by all.
+
+Event vocabulary (shared by models, questions and graders) — each event
+is a tuple starting with the car (or ``"bridge"``):
+
+=============================  =============================================
+``(car, "call", m)``           car invoked method ``m`` (SM)
+``(car, "acquire", m)``        car got the EXC_ACC monitor inside ``m`` (SM)
+``(car, "wait")``              car released the monitor into the wait set
+``(car, "enter-bridge")`` /    car physically on/off the bridge
+``(car, "exit-bridge")``
+``(car, "notify")``            broadcast from the exit method
+``(car, "release", m)``        car left the EXC_ACC block of ``m``
+``(car, "return", m)``         method ``m`` returned (SM)
+``(car, "send", msg)``         car sent ``msg`` (MP)
+``(car, "recv", msg)``         car received ``msg``; for exit acks ``msg``
+                               is ``("succeedExit", n)`` (MP)
+``("bridge", "handle", car, msg)``  bridge processed a car's message (MP)
+=============================  =============================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional
+
+from ..verify.lts import LTS, Rule
+
+__all__ = [
+    "SMFlags", "MPFlags", "DEFAULT_CARS",
+    "sm_bridge_lts", "mp_bridge_lts", "bridge_invariant",
+    "SM_PSEUDOCODE", "MP_PSEUDOCODE",
+    "run_threads_bridge", "run_actor_bridge", "run_coroutine_bridge",
+    "check_crossing_log",
+]
+
+#: the paper's scenario: two red cars and one blue car
+DEFAULT_CARS: tuple[tuple[str, str], ...] = (
+    ("redCarA", "red"), ("redCarB", "red"), ("blueCarA", "blue"))
+
+
+# ===========================================================================
+# shared-memory LTS
+# ===========================================================================
+
+# car program counters
+IDLE = 0            # about to call <color>Enter
+WANT_ENTER = 1      # called enter, contending for the monitor
+IN_ENTER = 2        # holds the monitor inside enter
+WAITING = 3         # in the condition queue (released the monitor)
+RECONTEND = 4       # notified, re-contending for the monitor
+ENTER_CS_DONE = 5   # entered bridge, still in the EXC_ACC block
+ENTER_RET = 6       # released monitor, about to return from enter
+CROSSING = 7        # returned from enter, driving across
+WANT_EXIT = 8       # called exit, contending for the monitor
+IN_EXIT = 9         # holds the monitor inside exit
+EXIT_NOTIFIED = 10  # decremented count + notified, still in the block
+EXIT_RET = 11       # released monitor, about to return from exit
+DONE = 12
+
+NO_OWNER = -1
+
+
+@dataclasses.dataclass(frozen=True)
+class SMFlags:
+    """Semantic switches for the shared-memory bridge model.
+
+    The defaults are the *correct* Java-monitor semantics; each flag
+    turns on one of the paper's Table-III misconceptions:
+
+    ``lock_span_method`` (S7)
+        The monitor is held from method invocation to method return
+        (students conflate call/return with acquire/release).
+    ``acquire_requires_condition`` (S5)
+        A car can only obtain the lock when its guard condition already
+        holds (students conflate locking with conditional waiting).
+    ``wait_blocks_monitor`` (S6)
+        WAIT() does not release the monitor (students misread WAIT's
+        effect — the waiting loop "keeps running" holding the lock).
+    """
+
+    lock_span_method: bool = False
+    acquire_requires_condition: bool = False
+    wait_blocks_monitor: bool = False
+
+
+def _sm_initial(n_cars: int) -> tuple:
+    # (pcs, red_count, blue_count, owner)
+    return (tuple([IDLE] * n_cars), 0, 0, NO_OWNER)
+
+
+def sm_bridge_lts(cars: tuple[tuple[str, str], ...] = DEFAULT_CARS,
+                  flags: SMFlags = SMFlags()) -> LTS:
+    """Exact model of the shared-memory bridge.
+
+    State = (per-car pc, red_count, blue_count, monitor owner index).
+    Every rule emits one event from the module vocabulary.
+    """
+    names = [name for name, _ in cars]
+    colors = [color for _, color in cars]
+
+    def other_count(state: tuple, i: int) -> int:
+        _, red, blue, _ = state
+        return blue if colors[i] == "red" else red
+
+    def with_pc(state: tuple, i: int, pc: int, *, owner: Optional[int] = None,
+                d_red: int = 0, d_blue: int = 0) -> tuple:
+        pcs, red, blue, own = state
+        new_pcs = list(pcs)
+        new_pcs[i] = pc
+        return (tuple(new_pcs), red + d_red, blue + d_blue,
+                own if owner is None else owner)
+
+    def enter_name(i: int) -> str:
+        return f"{colors[i]}Enter"
+
+    def exit_name(i: int) -> str:
+        return f"{colors[i]}Exit"
+
+    rules: list[Rule] = []
+
+    def add(name: str, guard, apply, event) -> None:
+        rules.append(Rule(name=name, guard=guard, apply=apply, event=event))
+
+    for i, car in enumerate(names):
+        color = colors[i]
+        d_enter = {"d_red": 1} if color == "red" else {"d_blue": 1}
+        d_exit = {"d_red": -1} if color == "red" else {"d_blue": -1}
+
+        def pc_is(i: int, *pcs: int):
+            return lambda s, i=i, pcs=pcs: s[0][i] in pcs
+
+        def monitor_free(s: tuple) -> bool:
+            return s[3] == NO_OWNER
+
+        # ---- call <color>Enter -------------------------------------------
+        add(f"{car}.call-enter", pc_is(i, IDLE),
+            lambda s, i=i: with_pc(s, i, WANT_ENTER),
+            lambda s, car=car, i=i: (car, "call", enter_name(i)))
+
+        # ---- acquire the EXC_ACC monitor for enter -----------------------
+        def acquire_enter_guard(s: tuple, i=i) -> bool:
+            if s[0][i] not in (WANT_ENTER, RECONTEND):
+                return False
+            if s[3] != NO_OWNER:
+                return False
+            if flags.acquire_requires_condition and other_count(s, i) > 0:
+                return False  # S5: "cannot get the lock, condition unmet"
+            return True
+
+        add(f"{car}.acquire-enter", acquire_enter_guard,
+            lambda s, i=i: with_pc(s, i, IN_ENTER, owner=i),
+            lambda s, car=car, i=i: (car, "acquire", enter_name(i)))
+
+        # ---- guard check: wait or enter ---------------------------------
+        def wait_guard(s: tuple, i=i) -> bool:
+            return s[0][i] == IN_ENTER and other_count(s, i) > 0
+
+        if flags.wait_blocks_monitor:
+            # S6: WAIT keeps the monitor — the car parks but nobody else
+            # can ever get in: the model keeps ownership.
+            add(f"{car}.wait", wait_guard,
+                lambda s, i=i: with_pc(s, i, WAITING),
+                lambda s, car=car: (car, "wait"))
+        else:
+            add(f"{car}.wait", wait_guard,
+                lambda s, i=i: with_pc(s, i, WAITING, owner=NO_OWNER),
+                lambda s, car=car: (car, "wait"))
+
+        def enter_guard(s: tuple, i=i) -> bool:
+            return s[0][i] == IN_ENTER and other_count(s, i) == 0
+
+        add(f"{car}.enter-bridge", enter_guard,
+            lambda s, i=i, d=d_enter: with_pc(s, i, ENTER_CS_DONE, **d),
+            lambda s, car=car: (car, "enter-bridge"))
+
+        # ---- release + return from enter ---------------------------------
+        if flags.lock_span_method:
+            # S7: the lock is released only at method return; fuse the
+            # release into the return transition and skip the release
+            # event (the student's world has no separate release point).
+            add(f"{car}.return-enter", pc_is(i, ENTER_CS_DONE),
+                lambda s, i=i: with_pc(s, i, CROSSING, owner=NO_OWNER),
+                lambda s, car=car, i=i: (car, "return", enter_name(i)))
+        else:
+            add(f"{car}.release-enter", pc_is(i, ENTER_CS_DONE),
+                lambda s, i=i: with_pc(s, i, ENTER_RET, owner=NO_OWNER),
+                lambda s, car=car, i=i: (car, "release", enter_name(i)))
+            add(f"{car}.return-enter", pc_is(i, ENTER_RET),
+                lambda s, i=i: with_pc(s, i, CROSSING),
+                lambda s, car=car, i=i: (car, "return", enter_name(i)))
+
+        # ---- call <color>Exit --------------------------------------------
+        add(f"{car}.call-exit", pc_is(i, CROSSING),
+            lambda s, i=i: with_pc(s, i, WANT_EXIT),
+            lambda s, car=car, i=i: (car, "call", exit_name(i)))
+
+        def acquire_exit_guard(s: tuple, i=i) -> bool:
+            return s[0][i] == WANT_EXIT and s[3] == NO_OWNER
+
+        add(f"{car}.acquire-exit", acquire_exit_guard,
+            lambda s, i=i: with_pc(s, i, IN_EXIT, owner=i),
+            lambda s, car=car, i=i: (car, "acquire", exit_name(i)))
+
+        # ---- leave bridge + notify ---------------------------------------
+        def do_exit(s: tuple, i=i, d=d_exit) -> tuple:
+            s2 = with_pc(s, i, EXIT_NOTIFIED, **d)
+            # broadcast NOTIFY: every waiter re-contends
+            pcs = list(s2[0])
+            for j, pc in enumerate(pcs):
+                if pc == WAITING and j != i:
+                    pcs[j] = RECONTEND
+            return (tuple(pcs), s2[1], s2[2], s2[3])
+
+        add(f"{car}.exit-bridge", pc_is(i, IN_EXIT), do_exit,
+            lambda s, car=car: (car, "exit-bridge"))
+
+        if flags.lock_span_method:
+            add(f"{car}.return-exit", pc_is(i, EXIT_NOTIFIED),
+                lambda s, i=i: with_pc(s, i, DONE, owner=NO_OWNER),
+                lambda s, car=car, i=i: (car, "return", exit_name(i)))
+        else:
+            add(f"{car}.release-exit", pc_is(i, EXIT_NOTIFIED),
+                lambda s, i=i: with_pc(s, i, EXIT_RET, owner=NO_OWNER),
+                lambda s, car=car, i=i: (car, "release", exit_name(i)))
+            add(f"{car}.return-exit", pc_is(i, EXIT_RET),
+                lambda s, i=i: with_pc(s, i, DONE),
+                lambda s, car=car, i=i: (car, "return", exit_name(i)))
+
+    def is_final(state: tuple) -> bool:
+        return all(pc == DONE for pc in state[0])
+
+    return LTS(_sm_initial(len(cars)), rules, is_final=is_final,
+               name="sm-bridge")
+
+
+def bridge_invariant(state: tuple) -> bool:
+    """Safety: never both directions on the bridge (SM state layout)."""
+    _, red, blue, _ = state
+    return red == 0 or blue == 0
+
+
+# ===========================================================================
+# message-passing LTS
+# ===========================================================================
+
+M_IDLE = 0
+M_AWAIT_ENTER = 1   # sent <color>Enter, waiting for succeedEnter
+M_CROSSING = 2      # received succeedEnter
+M_AWAIT_EXIT = 3    # sent <color>Exit, waiting for succeedExit(n)
+M_DONE = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class MPFlags:
+    """Semantic switches for the message-passing bridge model.
+
+    ``delivery``
+        ``"arbitrary"`` — the paper's semantics: any pending message may
+        be handled next; ``"fifo"`` — misconception M5's world: strict
+        global send order; ``"per-sender"`` — per-sender FIFO.
+    ``send_synchronous`` (M3)
+        A send can only happen when the bridge could immediately accept
+        and process it; send+handle become one atomic step.
+    ``ack_synchronous`` (M4)
+        The acknowledgement arrives in the same instant the bridge
+        handles the message (bridge-handle and car-receive fuse).
+    """
+
+    delivery: str = "arbitrary"
+    send_synchronous: bool = False
+    ack_synchronous: bool = False
+
+
+def _mp_initial(n_cars: int) -> tuple:
+    # (car pcs, red, blue, exit_count, bridge inbox, car inboxes, ack seq)
+    # car-inbox entries are (payload, global_seq) so FIFO misconceptions
+    # can order acknowledgements across different receivers
+    return (tuple([M_IDLE] * n_cars), 0, 0, 0, (),
+            tuple(() for _ in range(n_cars)), 0)
+
+
+def mp_bridge_lts(cars: tuple[tuple[str, str], ...] = DEFAULT_CARS,
+                  flags: MPFlags = MPFlags()) -> LTS:
+    """Exact model of the message-passing bridge.
+
+    State = (car pcs, red, blue, exit_count, bridge inbox, car inboxes);
+    inboxes are tuples of messages in send order — the delivery flag
+    decides which positions are handleable.
+    """
+    names = [name for name, _ in cars]
+    colors = [color for _, color in cars]
+    n = len(cars)
+
+    def handleable_positions(inbox: tuple, state: tuple) -> list[int]:
+        """Inbox positions the bridge may handle next, per delivery flag
+        and per the guard (enter messages wait for a clear bridge)."""
+        red, blue = state[1], state[2]
+
+        def guard_ok(msg: tuple) -> bool:
+            sender, kind = msg
+            if kind.endswith("Exit"):
+                return True
+            other = blue if colors[sender] == "red" else red
+            return other == 0
+        if flags.delivery == "fifo":
+            candidates = list(range(len(inbox)))[:1]
+        elif flags.delivery == "per-sender":
+            seen: set[int] = set()
+            candidates = []
+            for pos, (sender, _) in enumerate(inbox):
+                if sender not in seen:
+                    seen.add(sender)
+                    candidates.append(pos)
+        else:
+            candidates = list(range(len(inbox)))
+        return [p for p in candidates if guard_ok(inbox[p])]
+
+    def handle(state: tuple, pos: int) -> tuple:
+        """Bridge processes inbox[pos]; returns successor state."""
+        pcs, red, blue, exits, inbox, car_boxes, seq = state
+        sender, kind = inbox[pos]
+        inbox = inbox[:pos] + inbox[pos + 1:]
+        boxes = list(car_boxes)
+        if kind.endswith("Enter"):
+            if colors[sender] == "red":
+                red += 1
+            else:
+                blue += 1
+            ack: Any = "succeedEnter"
+        else:
+            if colors[sender] == "red":
+                red -= 1
+            else:
+                blue -= 1
+            exits += 1
+            ack = ("succeedExit", exits)
+        if flags.ack_synchronous:
+            # M4: the car observes the ack the instant the event happens
+            pcs = list(pcs)
+            pcs[sender] = (M_CROSSING if ack == "succeedEnter" else M_DONE)
+            pcs = tuple(pcs)
+        else:
+            boxes[sender] = boxes[sender] + ((ack, seq),)
+            seq += 1
+        return (pcs, red, blue, exits, inbox, tuple(boxes), seq)
+
+    rules: list[Rule] = []
+
+    def add(name: str, guard, apply, event) -> None:
+        rules.append(Rule(name=name, guard=guard, apply=apply, event=event))
+
+    # ---- car sends -------------------------------------------------------
+    for i, car in enumerate(names):
+        color = colors[i]
+        enter_msg = f"{color}Enter"
+        exit_msg = f"{color}Exit"
+
+        def make_send_guard(pc_from: int, msg: str):
+            def guard(s: tuple, i=i, pc_from=pc_from, msg=msg) -> bool:
+                if s[0][i] != pc_from:
+                    return False
+                if flags.send_synchronous:
+                    # M3: a send can only happen when the receiver could
+                    # accept and process it right now
+                    probe = _append_inbox(s, i, msg)
+                    return any(probe[4][p] == (i, msg)
+                               for p in handleable_positions(probe[4], probe))
+                return True
+            return guard
+
+        def make_send(pc_to: int, msg: str):
+            def apply(s: tuple, i=i, msg=msg, pc_to=pc_to) -> tuple:
+                s2 = _append_inbox(s, i, msg)
+                pcs = list(s2[0])
+                pcs[i] = pc_to
+                s2 = (tuple(pcs),) + s2[1:]
+                if flags.send_synchronous:
+                    # fuse the handle step into the send
+                    for p in handleable_positions(s2[4], s2):
+                        if s2[4][p] == (i, msg):
+                            return handle(s2, p)
+                return s2
+            return apply
+
+        add(f"{car}.send-enter",
+            make_send_guard(M_IDLE, enter_msg),
+            make_send(M_AWAIT_ENTER, enter_msg),
+            lambda s, car=car, m=enter_msg: (car, "send", m))
+
+        add(f"{car}.send-exit",
+            make_send_guard(M_CROSSING, exit_msg),
+            make_send(M_AWAIT_EXIT, exit_msg),
+            lambda s, car=car, m=exit_msg: (car, "send", m))
+
+        # ---- car receives an ack ------------------------------------------
+        def recv_guard(s: tuple, i=i) -> bool:
+            if not s[5][i]:
+                return False
+            if flags.delivery == "fifo":
+                # M5's world across receivers: an ack is deliverable only
+                # if no other car holds an earlier-sent undelivered ack
+                my_seq = s[5][i][0][1]
+                return all(not box or box[0][1] >= my_seq for box in s[5])
+            return True
+
+        def recv_apply(s: tuple, i=i) -> tuple:
+            pcs, red, blue, exits, inbox, boxes, seq = s
+            ack = boxes[i][0][0]
+            boxes = list(boxes)
+            boxes[i] = boxes[i][1:]
+            pcs = list(pcs)
+            pcs[i] = M_CROSSING if ack == "succeedEnter" else M_DONE
+            return (tuple(pcs), red, blue, exits, inbox, tuple(boxes), seq)
+
+        add(f"{car}.recv-ack", recv_guard, recv_apply,
+            lambda s, car=car, i=i: (car, "recv", s[5][i][0][0]))
+
+    # ---- bridge handles a message ----------------------------------------
+    if not flags.send_synchronous:
+        def bridge_guard(s: tuple) -> bool:
+            return len(handleable_positions(s[4], s)) > 0
+
+        # one rule per possible position is awkward with dynamic inbox
+        # sizes; instead emit one rule per (sender, kind) pair — position
+        # resolution happens in apply, and distinct pending messages give
+        # distinct enabled rules, preserving the choice structure.
+        for i, car in enumerate(names):
+            for kind in (f"{colors[i]}Enter", f"{colors[i]}Exit"):
+                def g(s: tuple, i=i, kind=kind) -> bool:
+                    return any(s[4][p] == (i, kind)
+                               for p in handleable_positions(s[4], s))
+
+                def a(s: tuple, i=i, kind=kind) -> tuple:
+                    for p in handleable_positions(s[4], s):
+                        if s[4][p] == (i, kind):
+                            return handle(s, p)
+                    raise AssertionError("guard/apply mismatch")
+
+                add(f"bridge.handle-{car}-{kind}", g, a,
+                    lambda s, car=car, kind=kind:
+                        ("bridge", "handle", car, kind))
+
+    def is_final(state: tuple) -> bool:
+        return all(pc == M_DONE for pc in state[0])
+
+    return LTS(_mp_initial(n), rules, is_final=is_final, name="mp-bridge")
+
+
+def _append_inbox(state: tuple, sender: int, msg: str) -> tuple:
+    pcs, red, blue, exits, inbox, boxes, seq = state
+    return (pcs, red, blue, exits, inbox + ((sender, msg),), boxes, seq)
+
+
+# ===========================================================================
+# pseudocode sources (the paper's notation, both forms)
+# ===========================================================================
+
+SM_PSEUDOCODE = '''\
+redCount = 0
+blueCount = 0
+
+DEFINE redEnter()
+  EXC_ACC
+    WHILE blueCount > 0
+      WAIT()
+    ENDWHILE
+    redCount = redCount + 1
+  END_EXC_ACC
+ENDDEF
+
+DEFINE redExit()
+  EXC_ACC
+    redCount = redCount - 1
+    NOTIFY()
+  END_EXC_ACC
+ENDDEF
+
+DEFINE blueEnter()
+  EXC_ACC
+    WHILE redCount > 0
+      WAIT()
+    ENDWHILE
+    blueCount = blueCount + 1
+  END_EXC_ACC
+ENDDEF
+
+DEFINE blueExit()
+  EXC_ACC
+    blueCount = blueCount - 1
+    NOTIFY()
+  END_EXC_ACC
+ENDDEF
+
+DEFINE redRun()
+  redEnter()
+  redExit()
+ENDDEF
+
+DEFINE blueRun()
+  blueEnter()
+  blueExit()
+ENDDEF
+
+PARA
+  redRun()
+  redRun()
+  blueRun()
+ENDPARA
+PRINT redCount + blueCount
+'''
+
+MP_PSEUDOCODE = '''\
+CLASS Bridge
+  DEFINE start()
+    ON_RECEIVING
+      MESSAGE.redEnter(car)
+        Send(MESSAGE.succeedEnter()).To(car)
+      MESSAGE.redExit(car)
+        Send(MESSAGE.succeedExit()).To(car)
+      MESSAGE.blueEnter(car)
+        Send(MESSAGE.succeedEnter()).To(car)
+      MESSAGE.blueExit(car)
+        Send(MESSAGE.succeedExit()).To(car)
+  ENDDEF
+ENDCLASS
+
+CLASS Car
+  DEFINE start()
+    ON_RECEIVING
+      MESSAGE.succeedEnter()
+        PRINT "crossing "
+      MESSAGE.succeedExit()
+        PRINT "crossed "
+  ENDDEF
+ENDCLASS
+'''
+
+
+# ===========================================================================
+# executable implementations (threads / actors / coroutines)
+# ===========================================================================
+
+def check_crossing_log(log: list[tuple], cars: tuple[tuple[str, str], ...]
+                       ) -> Optional[str]:
+    """Audit an enter/exit event log for the one-direction invariant.
+
+    ``log`` holds ``(car, "enter-bridge")`` / ``(car, "exit-bridge")``
+    tuples in occurrence order.  Returns None if safe, else a message.
+    """
+    color_of = dict(cars)
+    on_bridge: dict[str, int] = {"red": 0, "blue": 0}
+    for event in log:
+        car, what = event[0], event[1]
+        color = color_of[car]
+        if what == "enter-bridge":
+            on_bridge[color] += 1
+            if on_bridge["red"] and on_bridge["blue"]:
+                return f"both directions on the bridge at {event!r}"
+        elif what == "exit-bridge":
+            on_bridge[color] -= 1
+            if on_bridge[color] < 0:
+                return f"{car} exited without entering"
+    return None
+
+
+def run_threads_bridge(cars: tuple[tuple[str, str], ...] = DEFAULT_CARS,
+                       crossings: int = 3) -> list[tuple]:
+    """Shared-memory bridge on real threads (Monitor + guarded wait).
+
+    Returns the enter/exit log (already audited — raises on violation).
+    """
+    from ..threads import JThread, Monitor
+
+    monitor = Monitor("bridge")
+    counts = {"red": 0, "blue": 0}
+    log: list[tuple] = []
+    log_lock = Monitor("log")
+
+    def car_main(name: str, color: str) -> None:
+        other = "blue" if color == "red" else "red"
+        for _ in range(crossings):
+            with monitor:
+                monitor.wait_until(lambda: counts[other] == 0)
+                counts[color] += 1
+            with log_lock:
+                log.append((name, "enter-bridge"))
+            with log_lock:
+                log.append((name, "exit-bridge"))
+            with monitor:
+                counts[color] -= 1
+                monitor.notify_all()
+
+    threads = [JThread(target=car_main, args=(name, color), name=name)
+               for name, color in cars]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    problem = check_crossing_log(log, cars)
+    if problem:
+        raise AssertionError(problem)
+    return log
+
+
+def run_actor_bridge(cars: tuple[tuple[str, str], ...] = DEFAULT_CARS,
+                     crossings: int = 3) -> list[tuple]:
+    """Message-passing bridge on the threaded actor system."""
+    from ..actors import Actor, ActorSystem
+
+    log: list[tuple] = []
+    import threading
+    log_lock = threading.Lock()
+
+    def record(event: tuple) -> None:
+        with log_lock:
+            log.append(event)
+
+    class Bridge(Actor):
+        def __init__(self) -> None:
+            super().__init__()
+            self.red = 0
+            self.blue = 0
+            self.pending: list[tuple] = []   # deferred enter requests
+
+        def receive(self, message: Any, sender: Any) -> None:
+            kind, color = message
+            if kind == "enter":
+                self._try_enter(color, sender)
+            else:
+                if color == "red":
+                    self.red -= 1
+                else:
+                    self.blue -= 1
+                record((sender.name, "exit-bridge"))
+                sender.tell(("succeedExit",), sender=self.self_ref)
+                self._drain_pending()
+
+        def _try_enter(self, color: str, sender: Any) -> None:
+            other = self.blue if color == "red" else self.red
+            if other == 0:
+                if color == "red":
+                    self.red += 1
+                else:
+                    self.blue += 1
+                record((sender.name, "enter-bridge"))
+                sender.tell(("succeedEnter",), sender=self.self_ref)
+            else:
+                self.pending.append((color, sender))
+
+        def _drain_pending(self) -> None:
+            pending, self.pending = self.pending, []
+            for color, sender in pending:
+                self._try_enter(color, sender)
+
+    class Car(Actor):
+        def __init__(self, color: str, bridge: Any, crossings: int) -> None:
+            super().__init__()
+            self.color = color
+            self.bridge = bridge
+            self.remaining = crossings
+
+        def pre_start(self) -> None:
+            self.bridge.tell(("enter", self.color), sender=self.self_ref)
+
+        def receive(self, message: Any, sender: Any) -> None:
+            if message[0] == "succeedEnter":
+                self.bridge.tell(("exit", self.color), sender=self.self_ref)
+            elif message[0] == "succeedExit":
+                self.remaining -= 1
+                if self.remaining > 0:
+                    self.bridge.tell(("enter", self.color),
+                                     sender=self.self_ref)
+
+    with ActorSystem(workers=3) as system:
+        bridge = system.spawn(Bridge, name="bridge")
+        for name, color in cars:
+            system.spawn(Car, color, bridge, crossings, name=name)
+        system.drain(timeout=30)
+
+    problem = check_crossing_log(log, cars)
+    if problem:
+        raise AssertionError(problem)
+    return log
+
+
+def run_coroutine_bridge(cars: tuple[tuple[str, str], ...] = DEFAULT_CARS,
+                         crossings: int = 3) -> list[tuple]:
+    """Cooperative bridge: no locks needed — state changes between
+    yields are atomic by construction, the cooperative model's selling
+    point in the course."""
+    from ..coroutines import CoScheduler, pause
+
+    counts = {"red": 0, "blue": 0}
+    log: list[tuple] = []
+
+    def car_task(name: str, color: str):
+        other = "blue" if color == "red" else "red"
+        for _ in range(crossings):
+            while counts[other] > 0:
+                yield pause()
+            counts[color] += 1
+            log.append((name, "enter-bridge"))
+            yield pause()
+            counts[color] -= 1
+            log.append((name, "exit-bridge"))
+            yield pause()
+
+    sched = CoScheduler()
+    for name, color in cars:
+        sched.spawn(car_task, name, color, name=name)
+    sched.run()
+    problem = check_crossing_log(log, cars)
+    if problem:
+        raise AssertionError(problem)
+    return log

@@ -1,0 +1,275 @@
+"""Sleeping barber — one of the two in-class lab problems (with
+party-matching) that students implement in all three forms.
+
+Customers arrive at a shop with a bounded waiting area; a customer
+finding a free chair waits (or is served straight away if a barber is
+idle), otherwise leaves.  Barbers sleep when nobody waits.
+
+Audited properties: every served customer was seated first; customers
+turned away only when the waiting area was genuinely full; nobody is
+served twice.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from ..core import (Acquire, Effect, Emit, Notify, Release, Scheduler,
+                    SimMonitor, Wait)
+
+__all__ = ["barber_program", "audit_barber_log", "run_threads_barber",
+           "run_actor_barber", "run_coroutine_barber"]
+
+
+def barber_program(customers: int = 3, chairs: int = 1, barbers: int = 1):
+    """Kernel program for the explorer.
+
+    Observation: (served, turned_away) counts.
+    """
+
+    def program(sched: Scheduler):
+        monitor = SimMonitor("shop")
+        state = {"waiting": [], "served": 0, "turned": 0, "open": True}
+
+        def customer(i: int) -> Iterator[Effect]:
+            yield Acquire(monitor)
+            if len(state["waiting"]) >= chairs:
+                state["turned"] += 1
+                yield Emit(("turned-away", i))
+                yield Release(monitor)
+                return
+            state["waiting"].append(i)
+            yield Emit(("seated", i))
+            yield Notify(monitor, all=True)   # wake a sleeping barber
+            yield Release(monitor)
+
+        def barber(b: int) -> Iterator[Effect]:
+            while True:
+                yield Acquire(monitor)
+                while not state["waiting"] and state["open"]:
+                    yield Wait(monitor)
+                if not state["waiting"] and not state["open"]:
+                    yield Release(monitor)
+                    return
+                i = state["waiting"].pop(0)
+                state["served"] += 1
+                yield Emit(("served", b, i))
+                yield Notify(monitor, all=True)   # the closer may be waiting
+                yield Release(monitor)
+
+        def closer() -> Iterator[Effect]:
+            # closes the shop once every customer decided (seated/turned)
+            yield Acquire(monitor)
+            while state["served"] + state["turned"] + len(state["waiting"]) \
+                    < customers or state["waiting"]:
+                yield Wait(monitor)
+            state["open"] = False
+            yield Notify(monitor, all=True)
+            yield Release(monitor)
+
+        for i in range(customers):
+            sched.spawn(customer, i, name=f"customer-{i}")
+        for b in range(barbers):
+            sched.spawn(barber, b, name=f"barber-{b}")
+        sched.spawn(closer, name="closer")
+        return lambda: (state["served"], state["turned"])
+
+    return program
+
+
+def audit_barber_log(log: list[tuple]) -> Optional[str]:
+    """Check seat-before-serve and no-double-serve over an event log."""
+    seated: set[int] = set()
+    served: set[int] = set()
+    for event in log:
+        if event[0] == "seated":
+            seated.add(event[1])
+        elif event[0] == "served":
+            _, _barber, cust = event
+            if cust not in seated:
+                return f"customer {cust} served without being seated"
+            if cust in served:
+                return f"customer {cust} served twice"
+            served.add(cust)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# the three course models
+# ---------------------------------------------------------------------------
+
+def run_threads_barber(customers: int = 20, chairs: int = 3,
+                       barbers: int = 2) -> dict[str, Any]:
+    """Monitor-based shop on real threads."""
+    from ..threads import JThread, Monitor
+
+    monitor = Monitor("shop")
+    waiting: list[int] = []
+    log: list[tuple] = []
+    stats = {"served": 0, "turned": 0, "open": True}
+
+    def customer(i: int) -> None:
+        with monitor:
+            if len(waiting) >= chairs:
+                stats["turned"] += 1
+                log.append(("turned-away", i))
+                return
+            waiting.append(i)
+            log.append(("seated", i))
+            monitor.notify_all()
+
+    def barber(b: int) -> None:
+        while True:
+            with monitor:
+                monitor.wait_until(lambda: waiting or not stats["open"])
+                if not waiting:
+                    return
+                i = waiting.pop(0)
+                stats["served"] += 1
+                log.append(("served", b, i))
+
+    barber_threads = [JThread(target=barber, args=(b,), name=f"barber-{b}")
+                      for b in range(barbers)]
+    for t in barber_threads:
+        t.start()
+    customer_threads = [JThread(target=customer, args=(i,), name=f"cust-{i}")
+                        for i in range(customers)]
+    for t in customer_threads:
+        t.start()
+    for t in customer_threads:
+        t.join(timeout=30)
+    with monitor:
+        monitor.wait_until(lambda: not waiting)
+        stats["open"] = False
+        monitor.notify_all()
+    for t in barber_threads:
+        t.join(timeout=30)
+    problem = audit_barber_log(log)
+    if problem:
+        raise AssertionError(problem)
+    return {"served": stats["served"], "turned": stats["turned"],
+            "log": log}
+
+
+def run_actor_barber(customers: int = 20, chairs: int = 3,
+                     barbers: int = 2) -> dict[str, Any]:
+    """Shop actor owning all state; barber actors ask it for work."""
+    import threading
+    from ..actors import Actor, ActorSystem
+
+    log: list[tuple] = []
+    log_lock = threading.Lock()
+    finished = threading.Event()
+
+    class Shop(Actor):
+        def __init__(self) -> None:
+            super().__init__()
+            self.waiting: list[int] = []
+            self.idle_barbers: list[Any] = []
+            self.served = 0
+            self.turned = 0
+            self.decided = 0
+
+        def receive(self, message: Any, sender: Any) -> None:
+            kind = message[0]
+            if kind == "arrive":
+                i = message[1]
+                self.decided += 1
+                if self.idle_barbers:
+                    with log_lock:
+                        log.append(("seated", i))
+                        self.served += 1
+                        log.append(("served", -1, i))
+                    self.idle_barbers.pop(0).tell(("cut", i),
+                                                  sender=self.self_ref)
+                elif len(self.waiting) < chairs:
+                    self.waiting.append(i)
+                    with log_lock:
+                        log.append(("seated", i))
+                else:
+                    self.turned += 1
+                    with log_lock:
+                        log.append(("turned-away", i))
+                self._check_done()
+            elif kind == "next":        # a barber is free
+                if self.waiting:
+                    i = self.waiting.pop(0)
+                    self.served += 1
+                    with log_lock:
+                        log.append(("served", -1, i))
+                    sender.tell(("cut", i), sender=self.self_ref)
+                else:
+                    self.idle_barbers.append(sender)
+                self._check_done()
+
+        def _check_done(self) -> None:
+            if self.decided >= customers and not self.waiting:
+                finished.set()
+
+    class Barber(Actor):
+        def __init__(self, shop: Any) -> None:
+            super().__init__()
+            self.shop = shop
+
+        def pre_start(self) -> None:
+            self.shop.tell(("next",), sender=self.self_ref)
+
+        def receive(self, message: Any, sender: Any) -> None:
+            if message[0] == "cut":
+                self.shop.tell(("next",), sender=self.self_ref)
+
+    with ActorSystem(workers=4) as system:
+        shop = system.spawn(Shop, name="shop")
+        for b in range(barbers):
+            system.spawn(Barber, shop, name=f"barber-{b}")
+        for i in range(customers):
+            shop.tell(("arrive", i))
+        finished.wait(timeout=30)
+        system.drain(timeout=10)
+
+    problem = audit_barber_log(log)
+    if problem:
+        raise AssertionError(problem)
+    served = sum(1 for e in log if e[0] == "served")
+    turned = sum(1 for e in log if e[0] == "turned-away")
+    return {"served": served, "turned": turned, "log": log}
+
+
+def run_coroutine_barber(customers: int = 20, chairs: int = 3,
+                         barbers: int = 2) -> dict[str, Any]:
+    """Cooperative shop — shared lists mutated atomically between yields."""
+    from ..coroutines import CoScheduler, pause
+
+    waiting: list[int] = []
+    log: list[tuple] = []
+    stats = {"served": 0, "turned": 0, "arrived": 0}
+
+    def customer(i: int):
+        stats["arrived"] += 1
+        if len(waiting) >= chairs:
+            stats["turned"] += 1
+            log.append(("turned-away", i))
+        else:
+            waiting.append(i)
+            log.append(("seated", i))
+        return
+        yield  # pragma: no cover - marks this as a generator
+
+    def barber(b: int):
+        while stats["served"] + stats["turned"] < customers:
+            if waiting:
+                i = waiting.pop(0)
+                stats["served"] += 1
+                log.append(("served", b, i))
+            yield pause()
+
+    sched = CoScheduler()
+    for b in range(barbers):
+        sched.spawn(barber, b, name=f"barber-{b}")
+    for i in range(customers):
+        sched.spawn(customer, i, name=f"cust-{i}")
+    sched.run()
+    problem = audit_barber_log(log)
+    if problem:
+        raise AssertionError(problem)
+    return {"served": stats["served"], "turned": stats["turned"], "log": log}

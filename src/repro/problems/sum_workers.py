@@ -1,0 +1,168 @@
+"""Sum & workers — the course's first pseudocode modeling quiz: split a
+summation across workers and combine, demonstrating the lost-update
+race when the combine step is unsynchronized.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core import (Access, AccessKind, Acquire, Effect, Release, Scheduler,
+                    SimLock)
+
+__all__ = ["sum_program", "run_threads_sum", "run_actor_sum",
+           "run_coroutine_sum", "PSEUDOCODE_RACY", "PSEUDOCODE_SAFE"]
+
+#: quiz version with the classic read-modify-write race.  Note the two
+#: statements: ``total = total + amount`` alone would be atomic (the
+#: paper: "simple statements are executed atomically"), so the race
+#: requires the read and the write to be separate statements.
+PSEUDOCODE_RACY = '''\
+total = 0
+
+DEFINE work(amount)
+  mine = total
+  total = mine + amount
+ENDDEF
+
+PARA
+  work(1)
+  work(2)
+ENDPARA
+PRINT total
+'''
+
+#: corrected version with EXC_ACC
+PSEUDOCODE_SAFE = '''\
+total = 0
+
+DEFINE work(amount)
+  EXC_ACC
+    total = total + amount
+  END_EXC_ACC
+ENDDEF
+
+PARA
+  work(1)
+  work(2)
+ENDPARA
+PRINT total
+'''
+
+
+def sum_program(amounts: tuple = (1, 2), synchronized: bool = True,
+                split_rmw: bool = True):
+    """Kernel program: workers add amounts into a shared total.
+
+    With ``synchronized=False`` and ``split_rmw=True`` the read and the
+    write of the read-modify-write are separate atomic steps, so the
+    explorer finds the lost update and the race detector flags the
+    conflicting accesses.  Observation: the final total.
+    """
+
+    def program(sched: Scheduler):
+        lock = SimLock("total")
+        state = {"total": 0}
+
+        def worker(amount: int) -> Iterator[Effect]:
+            if synchronized:
+                yield Acquire(lock)
+            yield Access("total", AccessKind.READ)
+            snapshot = state["total"]
+            if split_rmw and not synchronized:
+                yield Access("total", AccessKind.WRITE)
+            state["total"] = snapshot + amount
+            if synchronized:
+                yield Release(lock)
+
+        for i, amount in enumerate(amounts):
+            sched.spawn(worker, amount, name=f"worker-{i}")
+        return lambda: state["total"]
+
+    return program
+
+
+def run_threads_sum(values: range | list = range(1000), workers: int = 4
+                    ) -> int:
+    """Pooled partial sums combined under an atomic."""
+    from ..threads import AtomicInteger, ThreadPool
+
+    values = list(values)
+    total = AtomicInteger()
+    chunk = max(1, len(values) // workers)
+
+    def work(part: list) -> None:
+        total.add_and_get(sum(part))
+
+    with ThreadPool(workers) as pool:
+        futures = [pool.submit(work, values[i:i + chunk])
+                   for i in range(0, len(values), chunk)]
+        for f in futures:
+            f.result()
+    return total.get()
+
+
+def run_actor_sum(values: range | list = range(1000), workers: int = 4
+                  ) -> int:
+    """Scatter-gather: a coordinator fans chunks to worker actors and
+    sums their replies."""
+    import threading
+    from ..actors import Actor, ActorSystem
+
+    values = list(values)
+    result = {"total": None}
+    done = threading.Event()
+
+    class Worker(Actor):
+        def receive(self, message, sender):
+            self.context.reply(sum(message))
+
+    class Coordinator(Actor):
+        def __init__(self, refs, chunks):
+            super().__init__()
+            self.refs = refs
+            self.chunks = chunks
+            self.pending = len(chunks)
+            self.total = 0
+
+        def pre_start(self):
+            for ref, chunk in zip(self.refs, self.chunks):
+                ref.tell(chunk, sender=self.self_ref)
+
+        def receive(self, message, sender):
+            self.total += message
+            self.pending -= 1
+            if self.pending == 0:
+                result["total"] = self.total
+                done.set()
+
+    chunk = max(1, len(values) // workers)
+    chunks = [values[i:i + chunk] for i in range(0, len(values), chunk)]
+    with ActorSystem(workers=workers) as system:
+        refs = [system.spawn(Worker, name=f"sum-worker-{i}")
+                for i in range(len(chunks))]
+        system.spawn(Coordinator, refs, chunks, name="coordinator")
+        done.wait(timeout=30)
+    return result["total"]
+
+
+def run_coroutine_sum(values: range | list = range(1000), workers: int = 4
+                      ) -> int:
+    """Cooperative workers accumulate into a shared cell — no lock
+    needed because += happens atomically between yields."""
+    from ..coroutines import CoScheduler, pause
+
+    values = list(values)
+    state = {"total": 0}
+    chunk = max(1, len(values) // workers)
+
+    def worker(part: list):
+        for v in part:
+            state["total"] += v
+            yield pause()
+
+    sched = CoScheduler()
+    for i in range(0, len(values), chunk):
+        sched.spawn(worker, values[i:i + chunk], name=f"worker-{i}")
+    sched.run()
+    return state["total"]

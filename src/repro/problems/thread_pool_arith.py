@@ -1,0 +1,64 @@
+"""Thread-pool arithmetic — the week-1 lab program students run while
+observing CPU/RAM utilization.
+
+A pool of workers evaluates arithmetic tasks (iterative computations
+chosen to be CPU-bound in pure Python); the lab report compares elapsed
+time and per-worker utilization across pool sizes.  Under CPython's GIL
+the utilization numbers demonstrate *why* thread pools don't speed up
+pure-Python arithmetic — which is itself one of the course's talking
+points and flagged in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from ..threads import ThreadPool
+
+__all__ = ["fib", "prime_count", "run_arith_lab"]
+
+
+def fib(n: int) -> int:
+    """Iterative Fibonacci — deterministic CPU-bound work unit."""
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+def prime_count(limit: int) -> int:
+    """Count primes below ``limit`` by trial division (deliberately
+    naive: the lab wants busy CPUs, not clever number theory)."""
+    count = 0
+    for n in range(2, limit):
+        for d in range(2, int(n ** 0.5) + 1):
+            if n % d == 0:
+                break
+        else:
+            count += 1
+    return count
+
+
+def run_arith_lab(tasks: int = 32, workload: int = 2000,
+                  pool_sizes: tuple[int, ...] = (1, 2, 4)
+                  ) -> list[dict[str, Any]]:
+    """Run the same task batch under several pool sizes; report timing.
+
+    Returns one record per pool size: elapsed seconds, tasks/second,
+    and the checksum (identical across runs — correctness signal).
+    """
+    results = []
+    for workers in pool_sizes:
+        start = time.perf_counter()
+        with ThreadPool(workers, name=f"arith-{workers}") as pool:
+            futures = [pool.submit(fib, workload) for _ in range(tasks)]
+            checksum = sum(f.result() % 1_000_003 for f in futures)
+        elapsed = time.perf_counter() - start
+        results.append({
+            "workers": workers,
+            "elapsed_s": elapsed,
+            "tasks_per_s": tasks / elapsed if elapsed > 0 else float("inf"),
+            "checksum": checksum,
+        })
+    return results

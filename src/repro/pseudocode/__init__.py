@@ -1,0 +1,37 @@
+"""repro.pseudocode — the paper's language-independent pseudocode, executable.
+
+The notation of Figures 1-5 (Tew's CS1 pseudocode extended with
+``PARA``, ``EXC_ACC``, ``WAIT``/``NOTIFY``, ``MESSAGE``/``Send``/
+``ON_RECEIVING``) with a lexer, parser, static analysis, a kernel-backed
+interpreter, exhaustive output enumeration, and a round-tripping
+pretty-printer.
+
+>>> from repro.pseudocode import possible_outputs
+>>> sorted(possible_outputs('''
+... PARA
+... PRINT "hello "
+... PRINT "world "
+... ENDPARA
+... '''))
+['hello world', 'world hello']
+"""
+
+from .analysis import AnalysisError, ProgramInfo, analyze
+from .ast_nodes import Program
+from .formatter import format_expr, format_program, format_stmt
+from .interpreter import (PseudoResult, PseudoRuntimeError, Runtime,
+                          compile_program, interpret)
+from .lexer import LexError, tokenize
+from .outputs import (enumerate_outputs, normalize_output, output_witness,
+                      possible_outputs)
+from .parser import ParseError, parse
+from .values import Instance, MessageValue, format_value
+
+__all__ = [
+    "tokenize", "parse", "analyze", "compile_program", "interpret",
+    "possible_outputs", "enumerate_outputs", "output_witness",
+    "normalize_output", "format_program", "format_stmt", "format_expr",
+    "format_value", "Runtime", "PseudoResult", "Program", "ProgramInfo",
+    "MessageValue", "Instance",
+    "LexError", "ParseError", "AnalysisError", "PseudoRuntimeError",
+]

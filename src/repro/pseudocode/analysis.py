@@ -1,0 +1,356 @@
+"""Static analysis of pseudocode programs.
+
+Enforces the well-formedness rules the paper states in its figure
+captions, and computes the information the interpreter needs:
+
+* **Placement rules** (Figure 4): ``EXC_ACC`` "only appears within a
+  function definition"; ``WAIT()``/``NOTIFY()`` "only be called inside a
+  EXC_ACC/END_EXC_ACC block".  ``ON_RECEIVING`` must sit inside a class
+  method (it reads the instance's mailbox).
+* **Global variable set** — names assigned at program top level.  These
+  are the variables concurrency acts on; everything assigned first
+  inside a function is function-local.
+* **EXC_ACC footprints and exclusion groups.**  Figure 4 keys exclusion
+  on data: a block excludes "other function calls that read or modify
+  the same variables that appear inside the markers".  We compute each
+  block's footprint (global variables it references) and union-find
+  overlapping footprints into *exclusion groups*; the interpreter backs
+  each group with one monitor.  Transitive grouping is slightly coarser
+  than the letter of the figure (blocks with disjoint footprints chained
+  by a third block share a group) but is sound — it only removes
+  interleavings that touch unrelated chained state — and it gives
+  WAIT/NOTIFY an unambiguous home monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from .ast_nodes import (Assign, Binary, Call, ClassDef, ExcAccBlock,
+                        ExprStmt, FieldAssign, FunctionDef, IfStmt, Literal,
+                        MessageExpr, MethodCall, NewExpr, NotifyStmt,
+                        OnReceiving, ParaBlock, PrintStmt, Program,
+                        ReturnStmt, SendStmt, Stmt, Unary, Var, WaitStmt,
+                        WhileStmt)
+
+__all__ = ["AnalysisError", "ProgramInfo", "analyze"]
+
+
+class AnalysisError(Exception):
+    """A well-formedness rule is violated; message names the line."""
+
+
+@dataclass
+class ProgramInfo:
+    """Results of static analysis, consumed by the interpreter."""
+
+    globals: set[str] = field(default_factory=set)
+    #: every EXC_ACC block in the program (id() keyed via list identity)
+    exc_blocks: list[ExcAccBlock] = field(default_factory=list)
+    #: exclusion-group key → sorted variable tuple (for reporting)
+    groups: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: functions/methods that contain ON_RECEIVING (actor behaviours)
+    receive_methods: set[str] = field(default_factory=set)
+    warnings: list[str] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# expression/statement walkers
+# ---------------------------------------------------------------------------
+
+def _expr_vars(expr) -> Iterable[str]:
+    """All variable names read in an expression."""
+    if expr is None:
+        return
+    if isinstance(expr, Var):
+        yield expr.name
+    elif isinstance(expr, Unary):
+        yield from _expr_vars(expr.operand)
+    elif isinstance(expr, Binary):
+        yield from _expr_vars(expr.left)
+        yield from _expr_vars(expr.right)
+    elif isinstance(expr, (Call, MessageExpr, NewExpr)):
+        for a in expr.args:
+            yield from _expr_vars(a)
+    elif isinstance(expr, MethodCall):
+        yield from _expr_vars(expr.obj)
+        for a in expr.args:
+            yield from _expr_vars(a)
+    elif isinstance(expr, Literal):
+        return
+
+
+def _stmt_vars(stmt: Stmt) -> Iterable[str]:
+    """Variables read or written by a statement (recursively)."""
+    if isinstance(stmt, Assign):
+        yield stmt.name
+        yield from _expr_vars(stmt.value)
+    elif isinstance(stmt, FieldAssign):
+        yield from _expr_vars(stmt.obj)
+        yield from _expr_vars(stmt.value)
+    elif isinstance(stmt, PrintStmt):
+        yield from _expr_vars(stmt.value)
+    elif isinstance(stmt, IfStmt):
+        for cond, body in stmt.branches:
+            yield from _expr_vars(cond)
+            for s in body:
+                yield from _stmt_vars(s)
+        for s in stmt.else_body:
+            yield from _stmt_vars(s)
+    elif isinstance(stmt, WhileStmt):
+        yield from _expr_vars(stmt.condition)
+        for s in stmt.body:
+            yield from _stmt_vars(s)
+    elif isinstance(stmt, (ParaBlock,)):
+        for s in stmt.arms:
+            yield from _stmt_vars(s)
+    elif isinstance(stmt, ExcAccBlock):
+        for s in stmt.body:
+            yield from _stmt_vars(s)
+    elif isinstance(stmt, SendStmt):
+        yield from _expr_vars(stmt.message)
+        yield from _expr_vars(stmt.receiver)
+    elif isinstance(stmt, OnReceiving):
+        for arm in stmt.arms:
+            for s in arm.body:
+                yield from _stmt_vars(s)
+    elif isinstance(stmt, ExprStmt):
+        yield from _expr_vars(stmt.expr)
+    elif isinstance(stmt, ReturnStmt):
+        yield from _expr_vars(stmt.value)
+
+
+def _assigned_names(stmts: Iterable[Stmt]) -> Iterable[str]:
+    """Names assigned (recursively) in a statement list."""
+    for s in stmts:
+        if isinstance(s, Assign):
+            yield s.name
+        elif isinstance(s, IfStmt):
+            for _, body in s.branches:
+                yield from _assigned_names(body)
+            yield from _assigned_names(s.else_body)
+        elif isinstance(s, WhileStmt):
+            yield from _assigned_names(s.body)
+        elif isinstance(s, ParaBlock):
+            yield from _assigned_names(s.arms)
+        elif isinstance(s, ExcAccBlock):
+            yield from _assigned_names(s.body)
+        elif isinstance(s, OnReceiving):
+            for arm in s.arms:
+                yield from _assigned_names(arm.body)
+
+
+# ---------------------------------------------------------------------------
+# placement rules
+# ---------------------------------------------------------------------------
+
+def _check_placement(stmts: Iterable[Stmt], *, in_function: bool,
+                     in_exc: bool, in_method: bool) -> None:
+    for s in stmts:
+        if isinstance(s, ExcAccBlock):
+            if not in_function:
+                raise AnalysisError(
+                    f"line {s.line}: EXC_ACC only appears within a function "
+                    f"definition (paper Figure 4)")
+            if in_exc:
+                raise AnalysisError(
+                    f"line {s.line}: nested EXC_ACC blocks are not allowed")
+            _check_placement(s.body, in_function=in_function, in_exc=True,
+                             in_method=in_method)
+        elif isinstance(s, (WaitStmt, NotifyStmt)):
+            if not in_exc:
+                kind = "WAIT()" if isinstance(s, WaitStmt) else "NOTIFY()"
+                raise AnalysisError(
+                    f"line {s.line}: {kind} may only be called inside an "
+                    f"EXC_ACC/END_EXC_ACC block (paper Figure 4)")
+        elif isinstance(s, OnReceiving):
+            if not in_method:
+                raise AnalysisError(
+                    f"line {s.line}: ON_RECEIVING must appear inside a class "
+                    f"method (it reads the instance's mailbox)")
+            for arm in s.arms:
+                _check_placement(arm.body, in_function=in_function,
+                                 in_exc=in_exc, in_method=in_method)
+        elif isinstance(s, IfStmt):
+            for _, body in s.branches:
+                _check_placement(body, in_function=in_function, in_exc=in_exc,
+                                 in_method=in_method)
+            _check_placement(s.else_body, in_function=in_function,
+                             in_exc=in_exc, in_method=in_method)
+        elif isinstance(s, WhileStmt):
+            _check_placement(s.body, in_function=in_function, in_exc=in_exc,
+                             in_method=in_method)
+        elif isinstance(s, ParaBlock):
+            _check_placement(s.arms, in_function=in_function, in_exc=in_exc,
+                             in_method=in_method)
+
+
+def _collect_exc_blocks(stmts: Iterable[Stmt], out: list[ExcAccBlock]) -> None:
+    for s in stmts:
+        if isinstance(s, ExcAccBlock):
+            out.append(s)
+            _collect_exc_blocks(s.body, out)
+        elif isinstance(s, IfStmt):
+            for _, body in s.branches:
+                _collect_exc_blocks(body, out)
+            _collect_exc_blocks(s.else_body, out)
+        elif isinstance(s, WhileStmt):
+            _collect_exc_blocks(s.body, out)
+        elif isinstance(s, ParaBlock):
+            _collect_exc_blocks(s.arms, out)
+        elif isinstance(s, OnReceiving):
+            for arm in s.arms:
+                _collect_exc_blocks(arm.body, out)
+
+
+# ---------------------------------------------------------------------------
+# call-graph check
+# ---------------------------------------------------------------------------
+
+def _check_calls(stmts: Iterable[Stmt], known: set[str],
+                 classes: dict[str, ClassDef], info: ProgramInfo) -> None:
+    def check_expr(expr) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, Call):
+            if expr.name not in known:
+                raise AnalysisError(
+                    f"line {expr.line}: call to undefined function "
+                    f"{expr.name!r}")
+            for a in expr.args:
+                check_expr(a)
+        elif isinstance(expr, NewExpr):
+            if expr.class_name not in classes:
+                raise AnalysisError(
+                    f"line {expr.line}: new of undefined class "
+                    f"{expr.class_name!r}")
+            for a in expr.args:
+                check_expr(a)
+        elif isinstance(expr, MethodCall):
+            check_expr(expr.obj)
+            for a in expr.args:
+                check_expr(a)
+        elif isinstance(expr, Unary):
+            check_expr(expr.operand)
+        elif isinstance(expr, Binary):
+            check_expr(expr.left)
+            check_expr(expr.right)
+        elif isinstance(expr, MessageExpr):
+            for a in expr.args:
+                check_expr(a)
+
+    for s in stmts:
+        if isinstance(s, Assign):
+            check_expr(s.value)
+        elif isinstance(s, FieldAssign):
+            check_expr(s.obj)
+            check_expr(s.value)
+        elif isinstance(s, PrintStmt):
+            check_expr(s.value)
+        elif isinstance(s, IfStmt):
+            for cond, body in s.branches:
+                check_expr(cond)
+                _check_calls(body, known, classes, info)
+            _check_calls(s.else_body, known, classes, info)
+        elif isinstance(s, WhileStmt):
+            check_expr(s.condition)
+            _check_calls(s.body, known, classes, info)
+        elif isinstance(s, ParaBlock):
+            _check_calls(s.arms, known, classes, info)
+        elif isinstance(s, ExcAccBlock):
+            _check_calls(s.body, known, classes, info)
+        elif isinstance(s, SendStmt):
+            check_expr(s.message)
+            check_expr(s.receiver)
+        elif isinstance(s, OnReceiving):
+            for arm in s.arms:
+                _check_calls(arm.body, known, classes, info)
+        elif isinstance(s, ExprStmt):
+            check_expr(s.expr)
+        elif isinstance(s, ReturnStmt):
+            check_expr(s.value)
+
+
+# ---------------------------------------------------------------------------
+# main entry
+# ---------------------------------------------------------------------------
+
+def analyze(program: Program) -> ProgramInfo:
+    """Check well-formedness and annotate EXC_ACC blocks with groups.
+
+    Mutates the AST (fills ``ExcAccBlock.footprint`` / ``.group``) and
+    returns the :class:`ProgramInfo` summary.  Raises
+    :class:`AnalysisError` on rule violations.
+    """
+    info = ProgramInfo()
+    info.globals = set(_assigned_names(program.main))
+
+    all_functions: list[tuple[FunctionDef, bool]] = [
+        (fn, False) for fn in program.functions.values()]
+    for cls in program.classes.values():
+        all_functions.extend((m, True) for m in cls.methods.values())
+
+    # placement rules
+    _check_placement(program.main, in_function=False, in_exc=False,
+                     in_method=False)
+    for fn, is_method in all_functions:
+        _check_placement(fn.body, in_function=True, in_exc=False,
+                         in_method=is_method)
+        if fn.has_receive():
+            info.receive_methods.add(fn.name)
+
+    # known callables: user functions + class methods (checked dynamically)
+    known = set(program.functions)
+    _check_calls(program.main, known, program.classes, info)
+    for fn, _ in all_functions:
+        _check_calls(fn.body, known | set(fn.params), program.classes, info)
+
+    # EXC_ACC footprints
+    blocks: list[ExcAccBlock] = []
+    for fn, _ in all_functions:
+        fn_blocks: list[ExcAccBlock] = []
+        _collect_exc_blocks(fn.body, fn_blocks)
+        local_names = set(fn.params) | set(_assigned_names(fn.body))
+        for block in fn_blocks:
+            refs = set(_stmt_vars(block))  # type: ignore[arg-type]
+            footprint = frozenset((refs & info.globals) - set(fn.params))
+            if not footprint:
+                # no shared data: private group keyed by defining function
+                footprint = frozenset({f"<{fn.name}>"})
+                info.warnings.append(
+                    f"line {block.line}: EXC_ACC in {fn.name!r} references no "
+                    f"global variables; it only excludes itself")
+            _ = local_names  # locals excluded implicitly via globals filter
+            block.footprint = footprint
+            blocks.append(block)
+    _collect_exc_blocks(program.main, blocks)  # rejected earlier; belt & braces
+
+    # union-find over footprints → exclusion groups
+    parent: dict[str, str] = {}
+
+    def find(x: str) -> str:
+        while parent.setdefault(x, x) != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: str, b: str) -> None:
+        parent[find(a)] = find(b)
+
+    for block in blocks:
+        vars_ = sorted(block.footprint)
+        for a, b in zip(vars_, vars_[1:]):
+            union(a, b)
+    members: dict[str, list[str]] = {}
+    for block in blocks:
+        for v in block.footprint:
+            members.setdefault(find(v), []).append(v)
+    for block in blocks:
+        root = find(next(iter(sorted(block.footprint))))
+        group_vars = tuple(sorted(set(members[root])))
+        key = "+".join(group_vars)
+        block.group = key
+        info.groups[key] = group_vars
+    info.exc_blocks = blocks
+    return info

@@ -1,0 +1,257 @@
+"""AST for the pseudocode notation.
+
+Every node carries its source ``line`` for diagnostics and for the
+interpreter's step labels (trace events name the pseudocode line they
+executed, which is how witness traces are rendered back to students).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = [
+    "Node", "Expr", "Stmt",
+    # expressions
+    "Literal", "Var", "Unary", "Binary", "Call", "MethodCall",
+    "MessageExpr", "NewExpr",
+    # statements
+    "Assign", "FieldAssign", "PrintStmt", "IfStmt", "WhileStmt",
+    "ParaBlock", "ExcAccBlock", "WaitStmt", "NotifyStmt", "SendStmt",
+    "OnReceiving", "ReceiveArm", "ExprStmt", "ReturnStmt",
+    # definitions
+    "FunctionDef", "ClassDef", "Program",
+]
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class Literal(Expr):
+    value: Any = None
+
+
+@dataclass
+class Var(Expr):
+    name: str = ""
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Expr = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class Call(Expr):
+    """Plain function call ``f(a, b)`` — may appear as expression or
+    statement.  Calls to user DEFINEs are non-atomic (their statements
+    interleave); calls to builtins are atomic."""
+
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class MethodCall(Expr):
+    """``obj.method(args)`` — instance method invocation."""
+
+    obj: Expr = None
+    method: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class MessageExpr(Expr):
+    """``MESSAGE.name(arg, ...)`` — constructs a message value."""
+
+    msg_name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class NewExpr(Expr):
+    """``new ClassName(args)`` — instantiates a pseudocode class."""
+
+    class_name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Assign(Stmt):
+    name: str = ""
+    value: Expr = None
+
+
+@dataclass
+class FieldAssign(Stmt):
+    """``obj.field = expr`` — assignment to an instance field."""
+
+    obj: Expr = None
+    field_name: str = ""
+    value: Expr = None
+
+
+@dataclass
+class PrintStmt(Stmt):
+    value: Expr = None
+    newline: bool = False      # PRINTLN vs PRINT
+
+
+@dataclass
+class IfStmt(Stmt):
+    """IF/ELSE IF/ELSE chain.  ``branches`` is [(condition, body), ...];
+    ``else_body`` may be empty."""
+
+    branches: list[tuple[Expr, list[Stmt]]] = field(default_factory=list)
+    else_body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class WhileStmt(Stmt):
+    condition: Expr = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ParaBlock(Stmt):
+    """``PARA ... ENDPARA`` — each arm statement runs concurrently; the
+    enclosing task continues only after all arms finish (cobegin/coend,
+    matching Figure 4 where ``PRINTLN x`` observes both changeX calls)."""
+
+    arms: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ExcAccBlock(Stmt):
+    """``EXC_ACC ... END_EXC_ACC`` — exclusive access on the shared
+    variables the block references (footprint computed by analysis)."""
+
+    body: list[Stmt] = field(default_factory=list)
+    #: filled by analysis: shared variables this block touches
+    footprint: frozenset[str] = frozenset()
+    #: filled by analysis: exclusion-group key this block locks
+    group: Optional[str] = None
+
+
+@dataclass
+class WaitStmt(Stmt):
+    pass
+
+
+@dataclass
+class NotifyStmt(Stmt):
+    pass
+
+
+@dataclass
+class SendStmt(Stmt):
+    """``Send(message).To(receiver)`` — asynchronous send."""
+
+    message: Expr = None
+    receiver: Expr = None
+
+
+@dataclass
+class ReceiveArm(Node):
+    """One ``MESSAGE.name(param, ...) statements`` arm."""
+
+    msg_name: str = ""
+    params: list[str] = field(default_factory=list)
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class OnReceiving(Stmt):
+    """``ON_RECEIVING arm+`` — a message-handling loop.  A method whose
+    body reaches an OnReceiving is an *actor behaviour*: invoking it
+    starts a daemon task that dispatches arriving messages forever."""
+
+    arms: list[ReceiveArm] = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """An expression evaluated for effect — function/method call."""
+
+    expr: Expr = None
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# definitions & program
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FunctionDef(Node):
+    name: str = ""
+    params: list[str] = field(default_factory=list)
+    body: list[Stmt] = field(default_factory=list)
+
+    def has_receive(self) -> bool:
+        """Does the body (recursively) contain ON_RECEIVING?"""
+        return _contains_receive(self.body)
+
+
+@dataclass
+class ClassDef(Node):
+    name: str = ""
+    methods: dict[str, FunctionDef] = field(default_factory=dict)
+
+
+@dataclass
+class Program(Node):
+    functions: dict[str, FunctionDef] = field(default_factory=dict)
+    classes: dict[str, ClassDef] = field(default_factory=dict)
+    #: top-level statements, executed sequentially by the main task
+    main: list[Stmt] = field(default_factory=list)
+
+
+def _contains_receive(stmts: list[Stmt]) -> bool:
+    for s in stmts:
+        if isinstance(s, OnReceiving):
+            return True
+        if isinstance(s, IfStmt):
+            if any(_contains_receive(b) for _, b in s.branches):
+                return True
+            if _contains_receive(s.else_body):
+                return True
+        elif isinstance(s, WhileStmt) and _contains_receive(s.body):
+            return True
+        elif isinstance(s, (ParaBlock,)) and _contains_receive(s.arms):
+            return True
+        elif isinstance(s, ExcAccBlock) and _contains_receive(s.body):
+            return True
+    return False

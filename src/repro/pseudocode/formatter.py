@@ -1,0 +1,147 @@
+"""Pretty-printer: AST → canonical pseudocode text.
+
+Round-trips with the parser (``parse(format_program(parse(src)))`` is
+structurally identical to ``parse(src)``), which the property-based
+tests exercise.  Useful for emitting generated course materials and for
+rendering misconception counterexamples back in the notation students
+read.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (Assign, Binary, Call, ClassDef, ExcAccBlock,
+                        ExprStmt, FieldAssign, FunctionDef, IfStmt, Literal,
+                        MessageExpr, MethodCall, NewExpr, NotifyStmt,
+                        OnReceiving, ParaBlock, PrintStmt, Program,
+                        ReturnStmt, SendStmt, Stmt, Unary, Var, WaitStmt,
+                        WhileStmt)
+
+__all__ = ["format_expr", "format_stmt", "format_program"]
+
+_INDENT = "  "
+
+
+def format_expr(expr) -> str:
+    if isinstance(expr, Literal):
+        if isinstance(expr.value, str):
+            escaped = expr.value.replace("\\", "\\\\").replace('"', '\\"')
+            return f'"{escaped}"'
+        if expr.value is True:
+            return "True"
+        if expr.value is False:
+            return "False"
+        return str(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Unary):
+        if expr.op == "NOT":
+            return f"NOT {format_expr(expr.operand)}"
+        return f"-{format_expr(expr.operand)}"
+    if isinstance(expr, Binary):
+        return (f"({format_expr(expr.left)} {expr.op} "
+                f"{format_expr(expr.right)})")
+    if isinstance(expr, MessageExpr):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"MESSAGE.{expr.msg_name}({args})"
+    if isinstance(expr, NewExpr):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"new {expr.class_name}({args})" if expr.args \
+            else f"new {expr.class_name}()"
+    if isinstance(expr, Call):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, MethodCall):
+        field = getattr(expr, "field_name", None)
+        if field is not None and not expr.method:
+            return f"{format_expr(expr.obj)}.{field}"
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"{format_expr(expr.obj)}.{expr.method}({args})"
+    raise TypeError(f"cannot format {type(expr).__name__}")
+
+
+def _fmt_block(stmts: list[Stmt], depth: int) -> list[str]:
+    lines: list[str] = []
+    for s in stmts:
+        lines.extend(format_stmt(s, depth))
+    return lines
+
+
+def format_stmt(stmt: Stmt, depth: int = 0) -> list[str]:
+    pad = _INDENT * depth
+
+    if isinstance(stmt, Assign):
+        return [f"{pad}{stmt.name} = {format_expr(stmt.value)}"]
+    if isinstance(stmt, FieldAssign):
+        return [f"{pad}{format_expr(stmt.obj)}.{stmt.field_name} = "
+                f"{format_expr(stmt.value)}"]
+    if isinstance(stmt, PrintStmt):
+        kw = "PRINTLN" if stmt.newline else "PRINT"
+        return [f"{pad}{kw} {format_expr(stmt.value)}"]
+    if isinstance(stmt, IfStmt):
+        lines = []
+        for i, (cond, body) in enumerate(stmt.branches):
+            head = "IF" if i == 0 else "ELSE IF"
+            lines.append(f"{pad}{head} {format_expr(cond)} THEN")
+            lines.extend(_fmt_block(body, depth + 1))
+        if stmt.else_body:
+            lines.append(f"{pad}ELSE")
+            lines.extend(_fmt_block(stmt.else_body, depth + 1))
+        lines.append(f"{pad}ENDIF")
+        return lines
+    if isinstance(stmt, WhileStmt):
+        return [f"{pad}WHILE {format_expr(stmt.condition)}",
+                *_fmt_block(stmt.body, depth + 1),
+                f"{pad}ENDWHILE"]
+    if isinstance(stmt, ParaBlock):
+        return [f"{pad}PARA",
+                *_fmt_block(stmt.arms, depth + 1),
+                f"{pad}ENDPARA"]
+    if isinstance(stmt, ExcAccBlock):
+        return [f"{pad}EXC_ACC",
+                *_fmt_block(stmt.body, depth + 1),
+                f"{pad}END_EXC_ACC"]
+    if isinstance(stmt, WaitStmt):
+        return [f"{pad}WAIT()"]
+    if isinstance(stmt, NotifyStmt):
+        return [f"{pad}NOTIFY()"]
+    if isinstance(stmt, SendStmt):
+        return [f"{pad}Send({format_expr(stmt.message)})"
+                f".To({format_expr(stmt.receiver)})"]
+    if isinstance(stmt, OnReceiving):
+        lines = [f"{pad}ON_RECEIVING"]
+        for arm in stmt.arms:
+            params = ", ".join(arm.params)
+            lines.append(f"{pad}{_INDENT}MESSAGE.{arm.msg_name}({params})")
+            lines.extend(_fmt_block(arm.body, depth + 2))
+        return lines
+    if isinstance(stmt, ExprStmt):
+        return [f"{pad}{format_expr(stmt.expr)}"]
+    if isinstance(stmt, ReturnStmt):
+        if stmt.value is None:
+            return [f"{pad}RETURN"]
+        return [f"{pad}RETURN {format_expr(stmt.value)}"]
+    raise TypeError(f"cannot format {type(stmt).__name__}")
+
+
+def _fmt_funcdef(fn: FunctionDef, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    params = ", ".join(fn.params)
+    return [f"{pad}DEFINE {fn.name}({params})",
+            *_fmt_block(fn.body, depth + 1),
+            f"{pad}ENDDEF"]
+
+
+def format_program(program: Program) -> str:
+    """Render a whole program as canonical pseudocode text."""
+    lines: list[str] = []
+    for cls in program.classes.values():
+        lines.append(f"CLASS {cls.name}")
+        for method in cls.methods.values():
+            lines.extend(_fmt_funcdef(method, 1))
+        lines.append("ENDCLASS")
+        lines.append("")
+    for fn in program.functions.values():
+        lines.extend(_fmt_funcdef(fn, 0))
+        lines.append("")
+    lines.extend(_fmt_block(program.main, 0))
+    return "\n".join(lines).rstrip() + "\n"

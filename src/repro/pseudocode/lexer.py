@@ -1,0 +1,151 @@
+"""Hand-written lexer for the pseudocode notation.
+
+Line-oriented: newlines are significant (they terminate statements).
+``#`` starts a comment to end of line.  Keywords are case-sensitive,
+matching the paper's figures exactly (``PARA``, ``Send``, ``To``,
+``new``...).
+"""
+
+from __future__ import annotations
+
+from .tokens import KEYWORDS, Token, TokenType
+
+__all__ = ["LexError", "tokenize"]
+
+
+class LexError(SyntaxError):
+    """Invalid character or malformed literal, with source position."""
+
+    def __init__(self, message: str, line: int, col: int):
+        super().__init__(f"line {line}, col {col}: {message}")
+        self.line = line
+        self.col = col
+
+
+_TWO_CHAR = {
+    "==": TokenType.EQ, "!=": TokenType.NE,
+    "<=": TokenType.LE, ">=": TokenType.GE,
+}
+_ONE_CHAR = {
+    "(": TokenType.LPAREN, ")": TokenType.RPAREN, ",": TokenType.COMMA,
+    ".": TokenType.DOT, "|": TokenType.PIPE, "=": TokenType.ASSIGN,
+    "<": TokenType.LT, ">": TokenType.GT, "+": TokenType.PLUS,
+    "-": TokenType.MINUS, "*": TokenType.STAR, "/": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+}
+
+
+def _ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _ident_cont(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex ``source`` into a token list ending with EOF.
+
+    Consecutive newlines collapse to one NEWLINE token; a NEWLINE is
+    also guaranteed before EOF so the parser's statement loop is
+    uniform.
+    """
+    tokens: list[Token] = []
+    line, col = 1, 1
+    i, n = 0, len(source)
+
+    def push(ttype: TokenType, value, tok_col: int) -> None:
+        tokens.append(Token(ttype, value, line, tok_col))
+
+    while i < n:
+        ch = source[i]
+
+        if ch == "#":  # comment to end of line
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+
+        if ch == "\n":
+            if tokens and tokens[-1].type is not TokenType.NEWLINE:
+                push(TokenType.NEWLINE, "\n", col)
+            i += 1
+            line += 1
+            col = 1
+            continue
+
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+
+        if ch == '"' or ch == "'":
+            quote = ch
+            start_col = col
+            j = i + 1
+            buf = []
+            while j < n and source[j] != quote:
+                if source[j] == "\n":
+                    raise LexError("unterminated string", line, start_col)
+                if source[j] == "\\" and j + 1 < n:
+                    esc = source[j + 1]
+                    buf.append({"n": "\n", "t": "\t", "\\": "\\",
+                                '"': '"', "'": "'"}.get(esc, esc))
+                    j += 2
+                else:
+                    buf.append(source[j])
+                    j += 1
+            if j >= n:
+                raise LexError("unterminated string", line, start_col)
+            push(TokenType.STRING, "".join(buf), start_col)
+            col += j + 1 - i
+            i = j + 1
+            continue
+
+        if ch.isdigit():
+            start_col = col
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            is_float = False
+            if j < n and source[j] == "." and j + 1 < n and source[j + 1].isdigit():
+                is_float = True
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            text = source[i:j]
+            push(TokenType.NUMBER, float(text) if is_float else int(text), start_col)
+            col += j - i
+            i = j
+            continue
+
+        if _ident_start(ch):
+            start_col = col
+            j = i
+            while j < n and _ident_cont(source[j]):
+                j += 1
+            word = source[i:j]
+            ttype = KEYWORDS.get(word, TokenType.IDENT)
+            push(ttype, word, start_col)
+            col += j - i
+            i = j
+            continue
+
+        two = source[i:i + 2]
+        if two in _TWO_CHAR:
+            push(_TWO_CHAR[two], two, col)
+            i += 2
+            col += 2
+            continue
+
+        if ch in _ONE_CHAR:
+            push(_ONE_CHAR[ch], ch, col)
+            i += 1
+            col += 1
+            continue
+
+        raise LexError(f"unexpected character {ch!r}", line, col)
+
+    if tokens and tokens[-1].type is not TokenType.NEWLINE:
+        tokens.append(Token(TokenType.NEWLINE, "\n", line, col))
+    tokens.append(Token(TokenType.EOF, None, line, col))
+    return tokens

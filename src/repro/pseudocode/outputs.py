@@ -1,0 +1,87 @@
+"""Output-possibility enumeration — the paper's "Output possibility 1/2/…".
+
+Every concurrent example in Figures 3-5 lists the set of outputs the
+program could print.  :func:`possible_outputs` computes that set exactly
+by exhaustively exploring the schedule space, and
+:func:`output_witness` retrieves a replayable schedule for a particular
+possibility.
+
+Outputs are compared as whitespace-normalized token strings, matching
+how the figures present them ("possibility 1: hello world").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from ..core.mailbox import DeliveryPolicy
+from ..verify.explorer import ExplorationResult, explore
+from .interpreter import Runtime, compile_program
+
+__all__ = ["normalize_output", "possible_outputs", "enumerate_outputs",
+           "output_witness"]
+
+
+def normalize_output(text: str) -> str:
+    """Whitespace-normalize an output for possibility comparison."""
+    return " ".join(text.split())
+
+
+def _as_runtime(program: Union[str, Runtime],
+                mailbox_policy: DeliveryPolicy) -> Runtime:
+    if isinstance(program, Runtime):
+        return program
+    return compile_program(program, mailbox_policy)
+
+
+def enumerate_outputs(program: Union[str, Runtime],
+                      *,
+                      mailbox_policy: DeliveryPolicy = DeliveryPolicy.ARBITRARY,
+                      max_runs: int = 20_000,
+                      **explore_kw: Any) -> ExplorationResult:
+    """Explore all schedules of a pseudocode program.
+
+    Accepts source text or a pre-compiled :class:`Runtime`.  Raises
+    RuntimeError if exploration is cut off by the budget — possibility
+    sets must be exact to be meaningful.
+    """
+    runtime = _as_runtime(program, mailbox_policy)
+    result = explore(runtime.make_program(), max_runs=max_runs, **explore_kw)
+    if not result.complete:
+        raise RuntimeError(
+            f"schedule space exceeds budget ({result.runs} runs explored); "
+            f"raise max_runs or simplify the program")
+    if result.outcomes.get("failed"):
+        sample = result.failures[0] if result.failures else None
+        raise RuntimeError(
+            "program failed on some schedule"
+            + (f": {sample.render(last=5)}" if sample else ""))
+    return result
+
+
+def possible_outputs(program: Union[str, Runtime],
+                     **kw: Any) -> set[str]:
+    """The exact set of normalized outputs over all schedules.
+
+    >>> sorted(possible_outputs('''
+    ... PARA
+    ... PRINT "hello "
+    ... PRINT "world "
+    ... ENDPARA
+    ... '''))
+    ['hello world', 'world hello']
+    """
+    result = enumerate_outputs(program, **kw)
+    return {normalize_output(s) for s in result.output_strings()}
+
+
+def output_witness(program: Union[str, Runtime], output: str,
+                   **kw: Any) -> Optional[list[int]]:
+    """A replayable schedule producing ``output`` (normalized), or None."""
+    result = enumerate_outputs(program, **kw)
+    want = normalize_output(output)
+    for key, trace in result.witnesses.items():
+        got = normalize_output("".join(str(v) for v in key[0]))
+        if got == want:
+            return trace.schedule()
+    return None

@@ -1,0 +1,433 @@
+"""Recursive-descent parser for the pseudocode notation.
+
+Grammar (statements are newline-terminated; block keywords close blocks):
+
+.. code-block:: text
+
+    program   := (funcdef | classdef | stmt | NEWLINE)*
+    funcdef   := DEFINE IDENT [ "(" params ")" ] block ENDDEF
+    classdef  := CLASS IDENT (funcdef | NEWLINE)* ENDCLASS
+    stmt      := IF expr THEN block (ELSE IF expr THEN block)*
+                    [ELSE block] ENDIF
+               | WHILE expr block ENDWHILE
+               | PARA block ENDPARA
+               | EXC_ACC block END_EXC_ACC
+               | WAIT "(" ")" | NOTIFY "(" ")"
+               | PRINT expr | PRINTLN expr
+               | Send "(" expr ")" "." To "(" expr ")"
+               | ON_RECEIVING arm+
+               | RETURN [expr]
+               | IDENT "=" expr
+               | postfix "." IDENT "=" expr
+               | expr                      (call statement)
+    arm       := MESSAGE "." IDENT "(" params ")" block
+    expr      := or-chain of comparisons over +,-,*,/,% with NOT/unary-
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ast_nodes import (Assign, Binary, Call, ClassDef, ExcAccBlock,
+                        ExprStmt, FieldAssign, FunctionDef, IfStmt, Literal,
+                        MessageExpr, MethodCall, NewExpr, NotifyStmt,
+                        OnReceiving, ParaBlock, PrintStmt, Program,
+                        ReceiveArm, ReturnStmt, SendStmt, Stmt, Unary, Var,
+                        WaitStmt, WhileStmt)
+from .lexer import tokenize
+from .tokens import Token, TokenType as T
+
+__all__ = ["ParseError", "parse"]
+
+#: tokens that terminate a statement list
+_BLOCK_ENDERS = frozenset({
+    T.ENDIF, T.ENDWHILE, T.ENDPARA, T.ENDDEF, T.ENDCLASS,
+    T.END_EXC_ACC, T.ELSE, T.EOF,
+})
+
+
+class ParseError(SyntaxError):
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"line {token.line}: {message} (at {token.type.name} "
+                         f"{token.value!r})")
+        self.token = token
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def at(self, *types: T) -> bool:
+        return self.peek().type in types
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.type is not T.EOF:
+            self.pos += 1
+        return tok
+
+    def expect(self, ttype: T, what: str = "") -> Token:
+        if not self.at(ttype):
+            raise ParseError(f"expected {what or ttype.value}", self.peek())
+        return self.advance()
+
+    def skip_newlines(self) -> None:
+        while self.at(T.NEWLINE):
+            self.advance()
+
+    def end_statement(self) -> None:
+        """Consume the statement terminator (newline or natural block end)."""
+        if self.at(T.NEWLINE):
+            self.advance()
+        elif not self.at(*_BLOCK_ENDERS) and not self.at(T.PIPE):
+            raise ParseError("expected end of statement", self.peek())
+
+    # -- program -----------------------------------------------------------
+    def parse_program(self) -> Program:
+        prog = Program(line=1)
+        self.skip_newlines()
+        while not self.at(T.EOF):
+            if self.at(T.DEFINE):
+                fn = self.parse_funcdef()
+                prog.functions[fn.name] = fn
+            elif self.at(T.CLASS):
+                cls = self.parse_classdef()
+                prog.classes[cls.name] = cls
+            else:
+                prog.main.append(self.parse_statement())
+            self.skip_newlines()
+        return prog
+
+    def parse_funcdef(self) -> FunctionDef:
+        start = self.expect(T.DEFINE)
+        name = self.expect(T.IDENT, "function name").value
+        params: list[str] = []
+        if self.at(T.LPAREN):
+            self.advance()
+            while not self.at(T.RPAREN):
+                params.append(self.expect(T.IDENT, "parameter name").value)
+                if self.at(T.COMMA):
+                    self.advance()
+            self.expect(T.RPAREN)
+        body = self.parse_block()
+        self.expect(T.ENDDEF)
+        self.end_statement()
+        return FunctionDef(line=start.line, name=name, params=params, body=body)
+
+    def parse_classdef(self) -> ClassDef:
+        start = self.expect(T.CLASS)
+        name = self.expect(T.IDENT, "class name").value
+        self.skip_newlines()
+        methods: dict[str, FunctionDef] = {}
+        while not self.at(T.ENDCLASS):
+            if self.at(T.EOF):
+                raise ParseError("unterminated CLASS", self.peek())
+            fn = self.parse_funcdef()
+            methods[fn.name] = fn
+            self.skip_newlines()
+        self.expect(T.ENDCLASS)
+        self.end_statement()
+        return ClassDef(line=start.line, name=name, methods=methods)
+
+    # -- statements ----------------------------------------------------------
+    def parse_block(self) -> list[Stmt]:
+        """Statements until (not consuming) a block-ender keyword."""
+        self.skip_newlines()
+        stmts: list[Stmt] = []
+        while not self.at(*_BLOCK_ENDERS):
+            stmts.append(self.parse_statement())
+            self.skip_newlines()
+        return stmts
+
+    def parse_statement(self) -> Stmt:
+        tok = self.peek()
+
+        if tok.type is T.IF:
+            return self.parse_if()
+        if tok.type is T.WHILE:
+            self.advance()
+            cond = self.parse_expr()
+            body = self.parse_block()
+            self.expect(T.ENDWHILE)
+            self.end_statement()
+            return WhileStmt(line=tok.line, condition=cond, body=body)
+        if tok.type is T.PARA:
+            self.advance()
+            arms = self.parse_block()
+            self.expect(T.ENDPARA)
+            self.end_statement()
+            return ParaBlock(line=tok.line, arms=arms)
+        if tok.type is T.EXC_ACC:
+            self.advance()
+            body = self.parse_block()
+            self.expect(T.END_EXC_ACC)
+            self.end_statement()
+            return ExcAccBlock(line=tok.line, body=body)
+        if tok.type is T.WAIT:
+            self.advance()
+            self.expect(T.LPAREN)
+            self.expect(T.RPAREN)
+            self.end_statement()
+            return WaitStmt(line=tok.line)
+        if tok.type is T.NOTIFY:
+            self.advance()
+            self.expect(T.LPAREN)
+            self.expect(T.RPAREN)
+            self.end_statement()
+            return NotifyStmt(line=tok.line)
+        if tok.type in (T.PRINT, T.PRINTLN):
+            self.advance()
+            value = self.parse_expr()
+            self.end_statement()
+            return PrintStmt(line=tok.line, value=value,
+                             newline=tok.type is T.PRINTLN)
+        if tok.type is T.SEND:
+            self.advance()
+            self.expect(T.LPAREN)
+            message = self.parse_expr()
+            self.expect(T.RPAREN)
+            self.expect(T.DOT)
+            self.expect(T.TO, "To")
+            self.expect(T.LPAREN)
+            receiver = self.parse_expr()
+            self.expect(T.RPAREN)
+            self.end_statement()
+            return SendStmt(line=tok.line, message=message, receiver=receiver)
+        if tok.type is T.ON_RECEIVING:
+            return self.parse_on_receiving()
+        if tok.type is T.RETURN:
+            self.advance()
+            value: Optional = None
+            if not self.at(T.NEWLINE, *_BLOCK_ENDERS):
+                value = self.parse_expr()
+            self.end_statement()
+            return ReturnStmt(line=tok.line, value=value)
+
+        # assignment vs expression statement
+        if tok.type is T.IDENT and self.peek(1).type is T.ASSIGN:
+            name = self.advance().value
+            self.advance()  # '='
+            value = self.parse_expr()
+            self.end_statement()
+            return Assign(line=tok.line, name=name, value=value)
+
+        expr = self.parse_expr()
+        # field assignment:  postfix . field = expr  parses as Var/MethodCall
+        if self.at(T.ASSIGN):
+            if isinstance(expr, MethodCall) and not expr.args and expr.method:
+                raise ParseError("cannot assign to a method call", self.peek())
+            if isinstance(expr, _FieldRef):
+                self.advance()
+                value = self.parse_expr()
+                self.end_statement()
+                return FieldAssign(line=tok.line, obj=expr.obj,
+                                   field_name=expr.field_name, value=value)
+            raise ParseError("invalid assignment target", self.peek())
+        self.end_statement()
+        if isinstance(expr, _FieldRef):
+            raise ParseError("field reference is not a statement", tok)
+        return ExprStmt(line=tok.line, expr=expr)
+
+    def parse_if(self) -> IfStmt:
+        start = self.expect(T.IF)
+        node = IfStmt(line=start.line)
+        cond = self.parse_expr()
+        self.expect(T.THEN, "THEN")
+        body = self.parse_block()
+        node.branches.append((cond, body))
+        while self.at(T.ELSE):
+            self.advance()
+            if self.at(T.IF):
+                self.advance()
+                cond = self.parse_expr()
+                self.expect(T.THEN, "THEN")
+                body = self.parse_block()
+                node.branches.append((cond, body))
+            else:
+                node.else_body = self.parse_block()
+                break
+        self.expect(T.ENDIF)
+        self.end_statement()
+        return node
+
+    def parse_on_receiving(self) -> OnReceiving:
+        start = self.expect(T.ON_RECEIVING)
+        self.skip_newlines()
+        node = OnReceiving(line=start.line)
+        while self.at(T.MESSAGE) or self.at(T.PIPE):
+            if self.at(T.PIPE):
+                self.advance()
+                self.skip_newlines()
+                continue
+            arm_tok = self.advance()  # MESSAGE
+            self.expect(T.DOT)
+            msg_name = self.expect(T.IDENT, "message name").value
+            params: list[str] = []
+            self.expect(T.LPAREN)
+            while not self.at(T.RPAREN):
+                params.append(self.expect(T.IDENT, "pattern variable").value)
+                if self.at(T.COMMA):
+                    self.advance()
+            self.expect(T.RPAREN)
+            body = self.parse_arm_block()
+            node.arms.append(ReceiveArm(line=arm_tok.line, msg_name=msg_name,
+                                        params=params, body=body))
+        if not node.arms:
+            raise ParseError("ON_RECEIVING needs at least one MESSAGE arm",
+                             self.peek())
+        return node
+
+    def parse_arm_block(self) -> list[Stmt]:
+        """Arm body: statements until the next MESSAGE arm or block end."""
+        self.skip_newlines()
+        stmts: list[Stmt] = []
+        while not self.at(*_BLOCK_ENDERS) and not self.at(T.MESSAGE) \
+                and not self.at(T.PIPE):
+            stmts.append(self.parse_statement())
+            self.skip_newlines()
+        return stmts
+
+    # -- expressions -----------------------------------------------------------
+    def parse_expr(self):
+        return self.parse_or()
+
+    def parse_or(self):
+        left = self.parse_and()
+        while self.at(T.OR):
+            tok = self.advance()
+            left = Binary(line=tok.line, op="OR", left=left,
+                          right=self.parse_and())
+        return left
+
+    def parse_and(self):
+        left = self.parse_not()
+        while self.at(T.AND):
+            tok = self.advance()
+            left = Binary(line=tok.line, op="AND", left=left,
+                          right=self.parse_not())
+        return left
+
+    def parse_not(self):
+        if self.at(T.NOT):
+            tok = self.advance()
+            return Unary(line=tok.line, op="NOT", operand=self.parse_not())
+        return self.parse_comparison()
+
+    _CMP = {T.EQ: "==", T.NE: "!=", T.LE: "<=", T.GE: ">=",
+            T.LT: "<", T.GT: ">"}
+
+    def parse_comparison(self):
+        left = self.parse_additive()
+        while self.peek().type in self._CMP:
+            tok = self.advance()
+            left = Binary(line=tok.line, op=self._CMP[tok.type], left=left,
+                          right=self.parse_additive())
+        return left
+
+    def parse_additive(self):
+        left = self.parse_multiplicative()
+        while self.at(T.PLUS, T.MINUS):
+            tok = self.advance()
+            left = Binary(line=tok.line, op=tok.value, left=left,
+                          right=self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self):
+        left = self.parse_unary()
+        while self.at(T.STAR, T.SLASH, T.PERCENT):
+            tok = self.advance()
+            left = Binary(line=tok.line, op=tok.value, left=left,
+                          right=self.parse_unary())
+        return left
+
+    def parse_unary(self):
+        if self.at(T.MINUS):
+            tok = self.advance()
+            return Unary(line=tok.line, op="-", operand=self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self):
+        expr = self.parse_primary()
+        while self.at(T.DOT):
+            self.advance()
+            name = self.expect(T.IDENT, "member name").value
+            if self.at(T.LPAREN):
+                self.advance()
+                args = self.parse_args()
+                expr = MethodCall(line=self.peek().line, obj=expr,
+                                  method=name, args=args)
+            else:
+                expr = _FieldRef(line=self.peek().line, obj=expr,
+                                 field_name=name)
+        return expr
+
+    def parse_args(self) -> list:
+        args = []
+        while not self.at(T.RPAREN):
+            args.append(self.parse_expr())
+            if self.at(T.COMMA):
+                self.advance()
+        self.expect(T.RPAREN)
+        return args
+
+    def parse_primary(self):
+        tok = self.peek()
+        if tok.type is T.NUMBER or tok.type is T.STRING:
+            self.advance()
+            return Literal(line=tok.line, value=tok.value)
+        if tok.type is T.TRUE:
+            self.advance()
+            return Literal(line=tok.line, value=True)
+        if tok.type is T.FALSE:
+            self.advance()
+            return Literal(line=tok.line, value=False)
+        if tok.type is T.LPAREN:
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(T.RPAREN)
+            return expr
+        if tok.type is T.MESSAGE:
+            self.advance()
+            self.expect(T.DOT)
+            name = self.expect(T.IDENT, "message name").value
+            self.expect(T.LPAREN)
+            args = self.parse_args()
+            return MessageExpr(line=tok.line, msg_name=name, args=args)
+        if tok.type is T.NEW:
+            self.advance()
+            cls = self.expect(T.IDENT, "class name").value
+            args = []
+            if self.at(T.LPAREN):
+                self.advance()
+                args = self.parse_args()
+            return NewExpr(line=tok.line, class_name=cls, args=args)
+        if tok.type is T.IDENT:
+            self.advance()
+            if self.at(T.LPAREN):
+                self.advance()
+                args = self.parse_args()
+                return Call(line=tok.line, name=tok.value, args=args)
+            return Var(line=tok.line, name=tok.value)
+        raise ParseError("expected an expression", tok)
+
+
+class _FieldRef(MethodCall):
+    """Internal: ``obj.field`` before we know if it's read or assigned.
+
+    Reuses MethodCall storage; the interpreter evaluates it as a field
+    read, the parser turns ``_FieldRef = expr`` into FieldAssign.
+    """
+
+    def __init__(self, line: int, obj, field_name: str):
+        super().__init__(line=line, obj=obj, method="", args=[])
+        self.field_name = field_name
+
+
+def parse(source: str) -> Program:
+    """Parse pseudocode text into a :class:`Program` AST."""
+    return _Parser(tokenize(source)).parse_program()

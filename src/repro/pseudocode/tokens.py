@@ -1,0 +1,106 @@
+"""Token definitions for the paper's pseudocode notation (Figures 1-5).
+
+The notation extends Tew's CS1 pseudocode with concurrency constructs:
+``PARA/ENDPARA`` (concurrent execution), ``EXC_ACC/END_EXC_ACC``
+(exclusive access), ``WAIT()/NOTIFY()`` (conditional synchronization),
+and the message-passing forms ``MESSAGE.name(v)``, ``Send(m).To(r)``,
+``ON_RECEIVING``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["TokenType", "Token", "KEYWORDS"]
+
+
+class TokenType(enum.Enum):
+    # literals & names
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    IDENT = "IDENT"
+    # punctuation
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    DOT = "."
+    PIPE = "|"
+    NEWLINE = "NEWLINE"
+    EOF = "EOF"
+    # operators
+    ASSIGN = "="
+    EQ = "=="
+    NE = "!="
+    LE = "<="
+    GE = ">="
+    LT = "<"
+    GT = ">"
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    # keywords (values are the surface spellings)
+    IF = "IF"
+    THEN = "THEN"
+    ELSE = "ELSE"
+    ENDIF = "ENDIF"
+    WHILE = "WHILE"
+    ENDWHILE = "ENDWHILE"
+    PARA = "PARA"
+    ENDPARA = "ENDPARA"
+    DEFINE = "DEFINE"
+    ENDDEF = "ENDDEF"
+    CLASS = "CLASS"
+    ENDCLASS = "ENDCLASS"
+    EXC_ACC = "EXC_ACC"
+    END_EXC_ACC = "END_EXC_ACC"
+    WAIT = "WAIT"
+    NOTIFY = "NOTIFY"
+    PRINT = "PRINT"
+    PRINTLN = "PRINTLN"
+    SEND = "Send"
+    TO = "To"
+    ON_RECEIVING = "ON_RECEIVING"
+    MESSAGE = "MESSAGE"
+    NEW = "new"
+    RETURN = "RETURN"
+    AND = "AND"
+    OR = "OR"
+    NOT = "NOT"
+    TRUE = "True"
+    FALSE = "False"
+
+
+#: surface spelling → keyword token type.  ``END_PARA`` is accepted as a
+#: synonym for ``ENDPARA`` because the paper itself uses both (Figure 3
+#: vs Figures 6-7).
+KEYWORDS: dict[str, TokenType] = {
+    **{t.value: t for t in [
+        TokenType.IF, TokenType.THEN, TokenType.ELSE, TokenType.ENDIF,
+        TokenType.WHILE, TokenType.ENDWHILE, TokenType.PARA,
+        TokenType.ENDPARA, TokenType.DEFINE, TokenType.ENDDEF,
+        TokenType.CLASS, TokenType.ENDCLASS, TokenType.EXC_ACC,
+        TokenType.END_EXC_ACC, TokenType.WAIT, TokenType.NOTIFY,
+        TokenType.PRINT, TokenType.PRINTLN, TokenType.SEND, TokenType.TO,
+        TokenType.ON_RECEIVING, TokenType.MESSAGE, TokenType.NEW,
+        TokenType.RETURN, TokenType.AND, TokenType.OR, TokenType.NOT,
+        TokenType.TRUE, TokenType.FALSE,
+    ]},
+    "END_PARA": TokenType.ENDPARA,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source position (1-based line/column)."""
+
+    type: TokenType
+    value: Any
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r}, L{self.line})"

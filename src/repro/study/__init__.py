@@ -1,0 +1,46 @@
+"""repro.study — the paper's §V study design, executable end to end.
+
+Pipeline: :func:`sample_cohort` (Table-III-calibrated students) →
+:func:`matched_split` (equivalent-performance S/D groups) →
+:func:`administer_test1` (two sections, opposite orders) →
+:mod:`stats`/:mod:`surveys`/:mod:`report` (Tables I-III + §VI survey
+paragraphs) → :mod:`effort` (Test-2 cost/benefit metrics).
+
+>>> from repro.study import run_full_study
+>>> out = run_full_study()           # doctest: +SKIP
+>>> print(out.render())              # doctest: +SKIP
+"""
+
+from .cohort import CohortMember, sample_cohort
+from .effort import EffortMetrics, bridge_effort, measure, problem_effort
+from .glossary import GLOSSARY, GlossaryEntry, demonstrate, term
+from .grouping import matched_split, split_balance
+from .pair_programming import LabOutcome, PairPhaseReport, run_pair_phase
+from .test2 import (FormGrade, Submission, Test2Grade, grade_form,
+                    grade_submission, reference_submission)
+from .questions import (QuestionItem, ground_truth, mp_questions,
+                        question_bank, sm_questions)
+from .report import StudyOutput, run_full_study, table1, table2, table3
+from .stats import (TTest, cohens_d, paired_t, section_summary,
+                    session_effect, welch_t)
+from .surveys import (ChoiceReport, DifficultyReport, difficulty_survey,
+                      grade_choice_survey)
+from .test1 import SESSION2_PRACTICE, Test1Result, administer_test1
+
+__all__ = [
+    "sample_cohort", "CohortMember",
+    "matched_split", "split_balance",
+    "QuestionItem", "sm_questions", "mp_questions", "ground_truth",
+    "question_bank",
+    "administer_test1", "Test1Result", "SESSION2_PRACTICE",
+    "TTest", "paired_t", "welch_t", "cohens_d", "session_effect",
+    "section_summary",
+    "difficulty_survey", "grade_choice_survey", "DifficultyReport",
+    "ChoiceReport",
+    "table1", "table2", "table3", "run_full_study", "StudyOutput",
+    "EffortMetrics", "measure", "bridge_effort", "problem_effort",
+    "Submission", "FormGrade", "Test2Grade", "grade_form",
+    "grade_submission", "reference_submission",
+    "run_pair_phase", "PairPhaseReport", "LabOutcome",
+    "GLOSSARY", "GlossaryEntry", "term", "demonstrate",
+]

@@ -1,0 +1,123 @@
+"""Implementation-effort model — the Test-2 cost/benefit comparison.
+
+Test 2 had students implement the single-lane bridge in all three
+models; the course then compares "the costs and benefits of
+implementing the same problem in three forms".  Lacking 2013 students,
+we measure *our own* three implementations of each problem with the
+classic structural-effort metrics:
+
+* source lines (logical, comment-stripped);
+* synchronization operations (lock/monitor entries, waits, notifies,
+  sends, receives, yields) — each is a point where the programmer must
+  reason about interleaving;
+* shared mutable names touched by more than one task;
+* branch count (decision density).
+
+The qualitative claim these reproduce: coroutines need the fewest
+explicit synchronization points, actors trade locks for protocol
+messages, threads carry both locks *and* condition logic.
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["EffortMetrics", "measure", "bridge_effort", "problem_effort"]
+
+_SYNC_TOKENS = (
+    r"\bAcquire\b", r"\bRelease\b", r"\bWait\b", r"\bNotify\b",
+    r"\bwith\s+\w*monitor\b", r"\bwith\s+lock", r"\bwith\s+forks?\[",
+    r"\.wait_until\(", r"\.wait\(", r"\.notify", r"\.acquire\(",
+    r"\.release\(", r"\.tell\(", r"\.put\(", r"\.get\(", r"\byield\b",
+    r"\.join\(",
+)
+
+
+@dataclass(frozen=True)
+class EffortMetrics:
+    """Structural effort of one implementation."""
+
+    model: str
+    loc: int
+    sync_ops: int
+    branches: int
+    defs: int
+
+    @property
+    def sync_density(self) -> float:
+        """Synchronization points per line — the interleaving-reasoning
+        burden per unit of code."""
+        return self.sync_ops / self.loc if self.loc else 0.0
+
+    def describe(self) -> str:
+        return (f"{self.model:<11} loc={self.loc:<4} sync={self.sync_ops:<3} "
+                f"branches={self.branches:<3} density={self.sync_density:.2f}")
+
+
+def measure(fn: Callable[..., Any], model: str) -> EffortMetrics:
+    """Compute effort metrics from a function's source."""
+    source = inspect.getsource(fn)
+    lines = []
+    for raw in source.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        stripped = line.strip()
+        if not stripped or stripped.startswith(('"""', "'''")):
+            continue
+        lines.append(line)
+    body = "\n".join(lines)
+    sync = sum(len(re.findall(token, body)) for token in _SYNC_TOKENS)
+    branches = len(re.findall(r"\b(if|elif|while|for)\b", body))
+    defs = len(re.findall(r"\bdef\b|\bclass\b", body))
+    return EffortMetrics(model=model, loc=len(lines), sync_ops=sync,
+                         branches=branches, defs=defs)
+
+
+def bridge_effort() -> list[EffortMetrics]:
+    """Effort metrics for the three single-lane-bridge implementations."""
+    from ..problems.single_lane_bridge import (run_actor_bridge,
+                                               run_coroutine_bridge,
+                                               run_threads_bridge)
+    return [measure(run_threads_bridge, "threads"),
+            measure(run_actor_bridge, "actors"),
+            measure(run_coroutine_bridge, "coroutines")]
+
+
+def problem_effort(problem: str) -> list[EffortMetrics]:
+    """Effort metrics for any problem with three-model implementations.
+
+    ``problem`` is one of: bridge, barber, party, buffer, philosophers,
+    sum.
+    """
+    from ..problems import (bounded_buffer, dining_philosophers,
+                            party_matching, single_lane_bridge,
+                            sleeping_barber, sum_workers)
+    table = {
+        "bridge": (single_lane_bridge.run_threads_bridge,
+                   single_lane_bridge.run_actor_bridge,
+                   single_lane_bridge.run_coroutine_bridge),
+        "barber": (sleeping_barber.run_threads_barber,
+                   sleeping_barber.run_actor_barber,
+                   sleeping_barber.run_coroutine_barber),
+        "party": (party_matching.run_threads_party,
+                  party_matching.run_actor_party,
+                  party_matching.run_coroutine_party),
+        "buffer": (bounded_buffer.run_threads_buffer,
+                   bounded_buffer.run_actor_buffer,
+                   bounded_buffer.run_coroutine_buffer),
+        "philosophers": (dining_philosophers.run_threads_philosophers,
+                         dining_philosophers.run_actor_philosophers,
+                         dining_philosophers.run_coroutine_philosophers),
+        "sum": (sum_workers.run_threads_sum, sum_workers.run_actor_sum,
+                sum_workers.run_coroutine_sum),
+    }
+    try:
+        threads_fn, actors_fn, coroutines_fn = table[problem]
+    except KeyError:
+        raise KeyError(f"unknown problem {problem!r}; "
+                       f"known: {sorted(table)}") from None
+    return [measure(threads_fn, "threads"),
+            measure(actors_fn, "actors"),
+            measure(coroutines_fn, "coroutines")]

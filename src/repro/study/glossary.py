@@ -1,0 +1,253 @@
+"""The standard glossary — conclusion 3 of the paper: "A standard
+glossary of well-defined terminology is essential".
+
+Each entry pairs a definition with an *executable demonstration*: a
+kernel program (or model query) whose behaviour exhibits exactly the
+defined phenomenon, plus the Table-III misconception(s) that misread
+the term.  ``demonstrate(term)`` runs the demo and returns evidence —
+the glossary is testable, which is what "well-defined" means here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+__all__ = ["GlossaryEntry", "GLOSSARY", "term", "demonstrate", "TERM_NAMES"]
+
+
+@dataclass(frozen=True)
+class GlossaryEntry:
+    name: str
+    definition: str
+    misread_by: tuple[str, ...]          # misconception ids
+    demo: Callable[[], dict[str, Any]]   # returns evidence
+    #: what the demo's evidence must show
+    evidence_keys: tuple[str, ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# demonstrations
+# ---------------------------------------------------------------------------
+
+def _demo_race_condition() -> dict[str, Any]:
+    """Outcome depends on timing: distinct final values reachable."""
+    from ..problems.sum_workers import sum_program
+    from ..verify import explore, find_races_program
+    outcomes = sorted(explore(sum_program(synchronized=False)).observations())
+    race = find_races_program(sum_program(synchronized=False))
+    return {"distinct_outcomes": outcomes,
+            "conflicting_access_pair": race.describe() if race else None}
+
+
+def _demo_interleaving() -> dict[str, Any]:
+    """Interleaving alone (no shared data) is not a race condition."""
+    from ..core import Emit
+    from ..verify import explore, find_races_program
+
+    def program(sched):
+        def speak(word):
+            yield Emit(word)
+        sched.spawn(speak, "a")
+        sched.spawn(speak, "b")
+    res = explore(program)
+    return {"orders": sorted(res.output_strings()),
+            "race_found": find_races_program(program) is not None}
+
+
+def _demo_deadlock() -> dict[str, Any]:
+    from ..problems.dining_philosophers import philosophers_program
+    from ..verify import check_deadlock_free
+    report = check_deadlock_free(philosophers_program(3, 1, "naive"),
+                                 max_runs=20_000)
+    return {"deadlock_reachable": not report.holds,
+            "blocked": report.detail}
+
+
+def _demo_block_on() -> dict[str, Any]:
+    """'Blocked on' = cannot proceed until a resource frees — distinct
+    from 'waiting on a condition' (misconceptions S3/S5)."""
+    from ..core import (Acquire, Emit, Pause, Release, Scheduler, SimLock)
+
+    lock = SimLock("L")
+    sched = Scheduler()
+
+    def holder():
+        yield Acquire(lock)
+        yield Pause("holding")
+        yield Pause("holding more")
+        yield Release(lock)
+
+    def blocked():
+        yield Acquire(lock)
+        yield Emit("finally in")
+        yield Release(lock)
+    sched.spawn(holder, name="holder")
+    task = sched.spawn(blocked, name="blocked")
+    trace = sched.run()
+    waited = any(e.kind == "acquire" and e.task_name == "blocked"
+                 for e in trace.events)
+    return {"blocked_then_proceeded": waited and task.result is None
+            and trace.outcome == "done"}
+
+
+def _demo_conditional_synchronization() -> dict[str, Any]:
+    """WAIT releases the lock while the condition is false (vs S6)."""
+    from ..pseudocode import possible_outputs
+    outputs = possible_outputs("""
+x = 10
+DEFINE changeX(diff)
+  EXC_ACC
+    WHILE x + diff < 0
+      WAIT()
+    ENDWHILE
+    x = x + diff
+    NOTIFY()
+  END_EXC_ACC
+ENDDEF
+PARA
+  changeX(-11)
+  changeX(1)
+ENDPARA
+PRINTLN x
+""", max_runs=100_000)
+    return {"always_terminates_at": sorted(outputs)}
+
+
+def _demo_asynchronous_send() -> dict[str, Any]:
+    """Send returns before delivery; arrival order varies (vs M3/M5)."""
+    from ..pseudocode import possible_outputs
+    outputs = possible_outputs("""
+CLASS R
+  DEFINE loop()
+    ON_RECEIVING
+      MESSAGE.a(v)
+        PRINT v
+      MESSAGE.b(v)
+        PRINT v
+  ENDDEF
+ENDCLASS
+r = new R()
+r.loop()
+Send(MESSAGE.a("1 ")).To(r)
+Send(MESSAGE.b("2 ")).To(r)
+""")
+    return {"arrival_orders": sorted(outputs)}
+
+
+def _demo_fairness() -> dict[str, Any]:
+    from ..core import Pause, RoundRobinPolicy, Scheduler
+    from ..verify import fairness_report
+
+    sched = Scheduler(RoundRobinPolicy())
+
+    def worker(tag):
+        for _ in range(20):
+            yield Pause()
+    for tag in ("a", "b", "c"):
+        sched.spawn(worker, tag, name=tag)
+    report = fairness_report(sched.run())
+    return {"max_starvation_gap": max(r["max_gap"]
+                                      for r in report.values())}
+
+
+def _demo_atomicity() -> dict[str, Any]:
+    """A simple pseudocode statement cannot be torn (paper Figure 1)."""
+    from ..pseudocode import possible_outputs
+    outputs = possible_outputs("""
+x = 0
+DEFINE bump(d)
+  x = x + d
+ENDDEF
+PARA
+  bump(1)
+  bump(2)
+ENDPARA
+PRINT x
+""", max_runs=100_000)
+    return {"single_statement_outcomes": sorted(outputs)}
+
+
+GLOSSARY: tuple[GlossaryEntry, ...] = (
+    GlossaryEntry(
+        "race condition",
+        "The correctness of the outcome depends on the relative timing "
+        "of unsynchronized accesses to shared state: different "
+        "schedules reach different final values.",
+        misread_by=("M2", "S2"),
+        demo=_demo_race_condition,
+        evidence_keys=("distinct_outcomes", "conflicting_access_pair")),
+    GlossaryEntry(
+        "interleaving",
+        "Any merge of the steps of concurrent activities.  Different "
+        "interleavings are normal and are NOT by themselves a race "
+        "condition — the misreading behind S2/M2.",
+        misread_by=("S2", "M2"),
+        demo=_demo_interleaving,
+        evidence_keys=("orders", "race_found")),
+    GlossaryEntry(
+        "deadlock",
+        "A set of activities each waiting for a resource another holds; "
+        "none can ever proceed.",
+        misread_by=(),
+        demo=_demo_deadlock,
+        evidence_keys=("deadlock_reachable",)),
+    GlossaryEntry(
+        "block on",
+        "To be unable to proceed until a specific resource (lock, "
+        "message) becomes available; ends when the resource frees, not "
+        "when some condition becomes true (the S3/S5 conflation).",
+        misread_by=("S3", "S5"),
+        demo=_demo_block_on,
+        evidence_keys=("blocked_then_proceeded",)),
+    GlossaryEntry(
+        "conditional synchronization",
+        "Waiting for a predicate over shared state, via WAIT/NOTIFY "
+        "inside a monitor; WAIT releases the monitor while parked.",
+        misread_by=("S5", "S6"),
+        demo=_demo_conditional_synchronization,
+        evidence_keys=("always_terminates_at",)),
+    GlossaryEntry(
+        "asynchronous send",
+        "A send completes without waiting for delivery or processing; "
+        "messages in flight may be delivered in either order.",
+        misread_by=("M3", "M4", "M5"),
+        demo=_demo_asynchronous_send,
+        evidence_keys=("arrival_orders",)),
+    GlossaryEntry(
+        "fairness",
+        "Every runnable activity keeps getting turns; starvation gaps "
+        "stay bounded under a fair scheduler.",
+        misread_by=(),
+        demo=_demo_fairness,
+        evidence_keys=("max_starvation_gap",)),
+    GlossaryEntry(
+        "atomicity",
+        "An operation that takes effect as one indivisible step; the "
+        "pseudocode's simple statements are atomic by definition.",
+        misread_by=(),
+        demo=_demo_atomicity,
+        evidence_keys=("single_statement_outcomes",)),
+)
+
+TERM_NAMES: tuple[str, ...] = tuple(e.name for e in GLOSSARY)
+
+_BY_NAME = {e.name: e for e in GLOSSARY}
+
+
+def term(name: str) -> GlossaryEntry:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown glossary term {name!r}; "
+                       f"known: {list(_BY_NAME)}") from None
+
+
+def demonstrate(name: str) -> dict[str, Any]:
+    """Run the executable demonstration for one term."""
+    entry = term(name)
+    evidence = entry.demo()
+    missing = [k for k in entry.evidence_keys if k not in evidence]
+    if missing:
+        raise RuntimeError(f"demo for {name!r} missing evidence {missing}")
+    return evidence

@@ -1,0 +1,82 @@
+"""Equivalent-performance group assignment.
+
+The paper twice splits the class into two groups "such that the groups
+have equivalent performance on previous homeworks, labs and quizzes"
+(S/D for Test 1's section ordering, PP/SP for the pair-programming
+phase).  :func:`matched_split` implements the standard matched-pairs
+procedure: sort by prior score, walk adjacent pairs, assign one member
+of each pair to each group at random.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from .cohort import CohortMember
+
+__all__ = ["matched_split", "split_balance"]
+
+
+def matched_split(members: Sequence[CohortMember],
+                  labels: tuple[str, str] = ("S", "D"),
+                  sizes: Optional[tuple[int, int]] = None,
+                  seed: int = 0) -> tuple[list[CohortMember],
+                                          list[CohortMember]]:
+    """Split into two prior-score-matched groups (paper sizes 9 and 7).
+
+    With unequal ``sizes`` the surplus students (taken evenly across the
+    score distribution) go to the first group, which is how a 16-student
+    class yields the paper's 9/7 split without biasing either group's
+    mean.
+    """
+    if sizes is None:
+        sizes = ((len(members) + 1) // 2, len(members) // 2)
+    if sum(sizes) != len(members):
+        raise ValueError(f"sizes {sizes} do not cover {len(members)} members")
+    rng = random.Random(seed)
+    ranked = sorted(members, key=lambda m: m.prior_score, reverse=True)
+
+    group_a: list[CohortMember] = []
+    group_b: list[CohortMember] = []
+    extra = sizes[0] - sizes[1]
+    # hand the size surplus evenly-spaced members first
+    surplus_idx = set()
+    if extra > 0:
+        step = max(1, len(ranked) // (extra + 1))
+        pos = step // 2
+        while len(surplus_idx) < extra and pos < len(ranked):
+            surplus_idx.add(pos)
+            pos += step
+    paired = [m for i, m in enumerate(ranked) if i not in surplus_idx]
+    group_a.extend(ranked[i] for i in sorted(surplus_idx))
+
+    for i in range(0, len(paired) - 1, 2):
+        first, second = paired[i], paired[i + 1]
+        if rng.random() < 0.5:
+            first, second = second, first
+        group_a.append(first)
+        group_b.append(second)
+    if len(paired) % 2:
+        (group_a if len(group_a) < sizes[0] else group_b).append(paired[-1])
+
+    # trim/rebalance if rounding left the sizes off
+    while len(group_a) > sizes[0]:
+        group_b.append(group_a.pop())
+    while len(group_b) > sizes[1]:
+        group_a.append(group_b.pop())
+
+    for m in group_a:
+        m.group = labels[0]
+    for m in group_b:
+        m.group = labels[1]
+    return group_a, group_b
+
+
+def split_balance(group_a: Sequence[CohortMember],
+                  group_b: Sequence[CohortMember]) -> dict:
+    """Mean prior scores and their gap — the equivalence check."""
+    mean_a = sum(m.prior_score for m in group_a) / len(group_a)
+    mean_b = sum(m.prior_score for m in group_b) / len(group_b)
+    return {"mean_a": mean_a, "mean_b": mean_b,
+            "gap": abs(mean_a - mean_b)}

@@ -1,0 +1,329 @@
+"""The Test-1 question bank — Figure 6/7-style items over the bridge.
+
+Each item is a :class:`repro.verify.ScenarioQuestion` plus study
+metadata: the section it belongs to, the *category* that decides which
+noise misconceptions can corrupt it, and a difficulty proxy (the number
+of product states the correct model explores — the paper's "space of
+executions" that overloads students at the U1 level).
+
+Ground truth is computed, never hard-coded: :func:`ground_truth`
+model-checks each item against the correct LTS.  The bank is built so
+that every *semantic* misconception in the catalog flips at least one
+item — verified by the test suite and the Table-III benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+from ..problems.single_lane_bridge import mp_bridge_lts, sm_bridge_lts
+from ..verify.lts import LTS, answer_question_lts
+from ..verify.reachability import ScenarioQuestion
+
+__all__ = ["QuestionItem", "sm_questions", "mp_questions", "ground_truth",
+           "question_bank"]
+
+A, B, BL = "redCarA", "redCarB", "blueCarA"
+
+
+@dataclass(frozen=True)
+class QuestionItem:
+    """One exam item with study metadata."""
+
+    question: ScenarioQuestion
+    section: str            # "sm" | "mp"
+    category: str           # noise-misconception hook
+    #: filled by ground_truth(): correct verdict and size proxy
+    answer: Optional[str] = None
+    size: int = 0
+
+    @property
+    def qid(self) -> str:
+        return self.question.qid
+
+
+def _q(qid: str, text: str, history=(), scenario=(), forbidden=(),
+       forbidden_anywhere=()) -> ScenarioQuestion:
+    return ScenarioQuestion(qid=qid, text=text, history=tuple(history),
+                            scenario=tuple(scenario),
+                            forbidden=tuple(forbidden),
+                            forbidden_anywhere=tuple(forbidden_anywhere))
+
+
+def _is_exit_ack(msg) -> bool:
+    return isinstance(msg, tuple) and msg[0] == "succeedExit"
+
+
+# ---------------------------------------------------------------------------
+# shared-memory section
+# ---------------------------------------------------------------------------
+
+def sm_questions() -> list[QuestionItem]:
+    """The shared-memory section (Figure 6's family)."""
+    items = [
+        QuestionItem(_q(
+            "SM-a", "Could redCarA be the first car to enter the bridge?",
+            scenario=[(A, "enter-bridge")],
+            forbidden_anywhere=[(B, "enter-bridge"), (BL, "enter-bridge")],
+        ), "sm", "setting"),
+
+        QuestionItem(_q(
+            "SM-b", "redCarA has called redEnter but not returned; redCarB "
+                    "has called redEnter but not returned.  Could redCarB "
+                    "return from redEnter, then call redExit and block on "
+                    "the EXC_ACC marker?  (Figure 6 item m)",
+            history=[(A, "call", "redEnter"), (B, "call", "redEnter")],
+            scenario=[(B, "return", "redEnter"), (B, "call", "redExit"),
+                      (B, "acquire", "redExit")],
+            forbidden=[(A, "return", "redEnter")],
+        ), "sm", "lock-span"),
+
+        QuestionItem(_q(
+            "SM-c", "redCarA holds the EXC_ACC monitor inside redEnter and "
+                    "never waits.  Could redCarB acquire the monitor before "
+                    "redCarA returns from redEnter?",
+            history=[(A, "acquire", "redEnter")],
+            scenario=[(B, "acquire", "redEnter")],
+            forbidden_anywhere=[(A, "return", "redEnter"), (A, "wait")],
+        ), "sm", "lock-span"),
+
+        QuestionItem(_q(
+            "SM-d", "blueCarA is on the bridge.  Could redCarB acquire the "
+                    "EXC_ACC monitor in redEnter before blueCarA exits?",
+            history=[(BL, "enter-bridge")],
+            scenario=[(B, "acquire", "redEnter")],
+            forbidden_anywhere=[(BL, "exit-bridge")],
+        ), "sm", "lock-vs-wait"),
+
+        QuestionItem(_q(
+            "SM-e", "blueCarA is on the bridge; redCarA acquired the monitor "
+                    "in redEnter and executed WAIT().  Could blueCarA then "
+                    "acquire the monitor inside blueExit?",
+            history=[(BL, "enter-bridge"), (A, "acquire", "redEnter"),
+                     (A, "wait")],
+            scenario=[(BL, "acquire", "blueExit")],
+        ), "sm", "wait"),
+
+        QuestionItem(_q(
+            "SM-f", "redCarA called redEnter before redCarB did.  Could "
+                    "redCarB nevertheless enter the bridge first?",
+            history=[(A, "call", "redEnter"), (B, "call", "redEnter")],
+            scenario=[(B, "enter-bridge")],
+            forbidden_anywhere=[(A, "enter-bridge")],
+        ), "sm", "return-order"),
+
+        QuestionItem(_q(
+            "SM-g", "redCarA holds the monitor inside redEnter.  Could "
+                    "redCarB have called redEnter and still not hold the "
+                    "monitor when redCarA releases it?",
+            history=[(A, "acquire", "redEnter"), (B, "call", "redEnter")],
+            scenario=[(A, "release", "redEnter")],
+            forbidden=[(B, "acquire", "redEnter")],
+        ), "sm", "blocking"),
+
+        QuestionItem(_q(
+            "SM-h", "Could redCarA and blueCarA be on the bridge at the "
+                    "same time?",
+            scenario=[(A, "enter-bridge"), (BL, "enter-bridge")],
+            forbidden=[(A, "exit-bridge")],
+        ), "sm", "safety"),
+
+        QuestionItem(_q(
+            "SM-i", "Could redCarA execute WAIT() although no blue car has "
+                    "entered the bridge?",
+            scenario=[(A, "wait")],
+            forbidden_anywhere=[(BL, "enter-bridge")],
+        ), "sm", "wait"),
+
+        QuestionItem(_q(
+            "SM-j", "Could this full sequence happen: blueCarA enters; both "
+                    "red cars wait; blueCarA exits and notifies; redCarB "
+                    "enters before redCarA; then redCarA enters before "
+                    "redCarB exits?",
+            scenario=[(BL, "enter-bridge"), (A, "wait"), (B, "wait"),
+                      (BL, "exit-bridge"), (B, "enter-bridge"),
+                      (A, "enter-bridge"), (B, "exit-bridge")],
+        ), "sm", "uncertainty"),
+
+        QuestionItem(_q(
+            "SM-k", "Could redCarB exit the bridge before redCarA enters it, "
+                    "given both called redEnter and redCarA called first?",
+            history=[(A, "call", "redEnter"), (B, "call", "redEnter")],
+            scenario=[(B, "exit-bridge")],
+            forbidden_anywhere=[(A, "enter-bridge")],
+        ), "sm", "return-order"),
+
+        QuestionItem(_q(
+            "SM-l", "blueCarA is on the bridge and redCarA is waiting. "
+                    "Could redCarA enter the bridge before blueCarA exits?",
+            history=[(BL, "enter-bridge"), (A, "wait")],
+            scenario=[(A, "enter-bridge")],
+            forbidden_anywhere=[(BL, "exit-bridge")],
+        ), "sm", "safety"),
+
+        QuestionItem(_q(
+            "SM-m", "redCarA holds the EXC_ACC monitor inside redExit. "
+                    "Could redCarB acquire the monitor in redEnter before "
+                    "redCarA returns from redExit?",
+            history=[(A, "acquire", "redExit")],
+            scenario=[(B, "acquire", "redEnter")],
+            forbidden_anywhere=[(A, "return", "redExit"), (A, "wait")],
+        ), "sm", "lock-span"),
+
+        QuestionItem(_q(
+            "SM-n", "blueCarA is on the bridge.  Could redCarA acquire the "
+                    "monitor inside redEnter and then execute WAIT(), all "
+                    "before blueCarA exits?",
+            history=[(BL, "enter-bridge")],
+            scenario=[(A, "acquire", "redEnter"), (A, "wait")],
+            forbidden_anywhere=[(BL, "exit-bridge")],
+        ), "sm", "lock-vs-wait"),
+    ]
+    return items
+
+
+# ---------------------------------------------------------------------------
+# message-passing section
+# ---------------------------------------------------------------------------
+
+def mp_questions() -> list[QuestionItem]:
+    """The message-passing section (Figure 7's family)."""
+    items = [
+        QuestionItem(_q(
+            "MP-a", "Could the bridge handle redCarA's redEnter before any "
+                    "other message?",
+            scenario=[("bridge", "handle", A, "redEnter")],
+            forbidden_anywhere=[("bridge", "handle", B, "redEnter"),
+                                ("bridge", "handle", BL, "blueEnter")],
+        ), "mp", "setting"),
+
+        QuestionItem(_q(
+            "MP-b", "redCarA sent redEnter (received nothing); then redCarB "
+                    "sent redEnter (received nothing).  Could redCarB "
+                    "receive succeedEnter, send redExit, and receive "
+                    "MESSAGE.succeedExit(2)?  (Figure 7 item m)",
+            history=[(A, "send", "redEnter"), (B, "send", "redEnter")],
+            scenario=[(B, "recv", "succeedEnter"), (B, "send", "redExit"),
+                      (B, "recv", ("succeedExit", 2))],
+        ), "mp", "ack"),
+
+        QuestionItem(_q(
+            "MP-c", "redCarA sent redEnter first, then redCarB sent "
+                    "redEnter.  Could the bridge handle redCarB's message "
+                    "before redCarA's?",
+            history=[(A, "send", "redEnter"), (B, "send", "redEnter")],
+            scenario=[("bridge", "handle", B, "redEnter")],
+            forbidden_anywhere=[("bridge", "handle", A, "redEnter")],
+        ), "mp", "order"),
+
+        QuestionItem(_q(
+            "MP-d", "The bridge handled redCarA's enter, then redCarB's. "
+                    "Could redCarB receive its succeedEnter before redCarA "
+                    "receives its own?",
+            history=[("bridge", "handle", A, "redEnter"),
+                     ("bridge", "handle", B, "redEnter")],
+            scenario=[(B, "recv", "succeedEnter")],
+            forbidden_anywhere=[(A, "recv", "succeedEnter")],
+        ), "mp", "order"),
+
+        QuestionItem(_q(
+            "MP-e", "blueCarA received succeedEnter (is on the bridge) and "
+                    "never initiates its exit.  Could redCarA still send "
+                    "its redEnter message?",
+            history=[(BL, "recv", "succeedEnter")],
+            scenario=[(A, "send", "redEnter")],
+            forbidden_anywhere=[("bridge", "handle", BL, "blueExit"),
+                                (BL, "send", "blueExit")],
+        ), "mp", "send"),
+
+        QuestionItem(_q(
+            "MP-f", "Could the bridge process redCarA's redEnter, and "
+                    "redCarB send its own redEnter, before redCarA receives "
+                    "succeedEnter?",
+            scenario=[("bridge", "handle", A, "redEnter"),
+                      (B, "send", "redEnter"),
+                      (A, "recv", "succeedEnter")],
+        ), "mp", "ack"),
+
+        QuestionItem(_q(
+            "MP-g", "Could the bridge handle blueCarA's blueEnter while "
+                    "redCarA is on the bridge (enter handled, exit not yet "
+                    "handled)?",
+            history=[("bridge", "handle", A, "redEnter")],
+            scenario=[("bridge", "handle", BL, "blueEnter")],
+            forbidden=[("bridge", "handle", A, "redExit")],
+        ), "mp", "safety"),
+
+        QuestionItem(_q(
+            "MP-h", "Could redCarA receive MESSAGE.succeedExit(1) — i.e. be "
+                    "the first car to exit the bridge?",
+            scenario=[(A, "recv", ("succeedExit", 1))],
+        ), "mp", "setting"),
+
+        QuestionItem(_q(
+            "MP-i", "redCarA sent redEnter before redCarB did.  Could "
+                    "redCarB exit the bridge (receive succeedExit) before "
+                    "redCarA has received any message at all?",
+            history=[(A, "send", "redEnter"), (B, "send", "redEnter")],
+            scenario=[(B, "recv", _is_exit_ack)],
+            forbidden_anywhere=[(A, "recv", "succeedEnter"),
+                                (A, "recv", _is_exit_ack)],
+        ), "mp", "order"),
+
+        QuestionItem(_q(
+            "MP-j", "Could this full sequence happen: blueCarA enters and "
+                    "exits; then redCarB enters and exits receiving "
+                    "succeedExit(2); then redCarA enters and exits "
+                    "receiving succeedExit(3)?",
+            scenario=[("bridge", "handle", BL, "blueEnter"),
+                      ("bridge", "handle", BL, "blueExit"),
+                      ("bridge", "handle", B, "redEnter"),
+                      ("bridge", "handle", B, "redExit"),
+                      (B, "recv", ("succeedExit", 2)),
+                      ("bridge", "handle", A, "redEnter"),
+                      (A, "recv", ("succeedExit", 3))],
+        ), "mp", "uncertainty"),
+
+        QuestionItem(_q(
+            "MP-k", "Could redCarA receive succeedEnter although the bridge "
+                    "never handled its redEnter message?",
+            scenario=[(A, "recv", "succeedEnter")],
+            forbidden_anywhere=[("bridge", "handle", A, "redEnter")],
+        ), "mp", "safety"),
+
+        QuestionItem(_q(
+            "MP-l", "blueCarA received succeedEnter.  Could the bridge then "
+                    "handle redCarA's redEnter before handling blueCarA's "
+                    "blueExit?",
+            history=[(BL, "recv", "succeedEnter")],
+            scenario=[("bridge", "handle", A, "redEnter")],
+            forbidden_anywhere=[("bridge", "handle", BL, "blueExit")],
+        ), "mp", "safety"),
+    ]
+    return items
+
+
+# ---------------------------------------------------------------------------
+# ground truth
+# ---------------------------------------------------------------------------
+
+@lru_cache(maxsize=4)
+def _correct_lts(section: str) -> LTS:
+    return sm_bridge_lts() if section == "sm" else mp_bridge_lts()
+
+
+def ground_truth(item: QuestionItem) -> QuestionItem:
+    """Return the item with the correct verdict and size proxy filled."""
+    result = answer_question_lts(_correct_lts(item.section), item.question)
+    return QuestionItem(question=item.question, section=item.section,
+                        category=item.category, answer=result.verdict,
+                        size=result.product_states)
+
+
+@lru_cache(maxsize=1)
+def question_bank() -> tuple[QuestionItem, ...]:
+    """Both sections, ground-truthed, cached for the whole process."""
+    return tuple(ground_truth(item)
+                 for item in (*sm_questions(), *mp_questions()))

@@ -1,0 +1,123 @@
+"""Report rendering — regenerates the paper's tables as text + data.
+
+Each ``table*`` function returns ``(data, text)``: a structured dict the
+benchmarks assert on and a formatted table matching the paper's layout.
+:func:`run_full_study` wires the entire §V pipeline end to end.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+from ..misconceptions.catalog import CATALOG, by_id
+from ..misconceptions.taxonomy import LEVELS
+from .cohort import CohortMember, sample_cohort
+from .grouping import matched_split
+from .stats import section_summary
+from .surveys import difficulty_survey, grade_choice_survey
+from .test1 import Test1Result, administer_test1
+
+__all__ = ["table1", "table2", "table3", "run_full_study", "StudyOutput"]
+
+
+def table1() -> tuple[list[dict], str]:
+    """Table I: the misconception hierarchy."""
+    rows = [{"code": lv.code, "category": lv.category,
+             "description": lv.description} for lv in LEVELS]
+    lines = ["TABLE I. CONCURRENCY-RELATED MISCONCEPTIONS IN HIERARCHY", ""]
+    current = None
+    for row in rows:
+        if row["category"] != current:
+            current = row["category"]
+            lines.append(f"{current} Level")
+        lines.append(f"  {row['code']}  {row['description']}")
+    return rows, "\n".join(lines)
+
+
+def table2(results: Sequence[Test1Result]) -> tuple[dict, str]:
+    """Table II: Test-1 performance by group, section and session."""
+    summary = section_summary(results)
+    s, d, all_ = summary["S"], summary["D"], summary["all"]
+
+    def order(group: str, section: str) -> str:
+        first = (group == "S") == (section == "sm")
+        return "1st" if first else "2nd"
+
+    lines = [
+        "TABLE II. PERFORMANCES ON TEST 1", "",
+        f"{'Group':<16} {'Shared Memory':>15} {'Message Passing':>17} "
+        f"{'Overall':>10}",
+        f"S ({s['n']} students)  "
+        f"{s['sm_mean']:>9.2f} ({order('S', 'sm')}) "
+        f"{s['mp_mean']:>11.2f} ({order('S', 'mp')}) "
+        f"{s['total_mean']:>9.2f} / 200",
+        f"D ({d['n']} students)  "
+        f"{d['sm_mean']:>9.2f} ({order('D', 'sm')}) "
+        f"{d['mp_mean']:>11.2f} ({order('D', 'mp')}) "
+        f"{d['total_mean']:>9.2f} / 200",
+        f"{'All':<16} {all_['sm_mean']:>15.2f} {all_['mp_mean']:>17.2f}",
+        "",
+        f"Session 1 mean {all_['session1_mean']:.2f}%  "
+        f"Session 2 mean {all_['session2_mean']:.2f}%  "
+        f"(paired t: {all_['session_test'].describe()})",
+    ]
+    return summary, "\n".join(lines)
+
+
+def table3(results: Sequence[Test1Result]) -> tuple[dict, str]:
+    """Table III: misconception counts (measured vs paper)."""
+    counts: Counter = Counter()
+    for result in results:
+        for mid in result.exhibited():
+            counts[mid] += 1
+    data = {}
+    lines = ["TABLE III. MISCONCEPTIONS SHOWN IN TEST 1", "",
+             f"{'id':<4}{'level':<7}{'measured':>9}{'paper':>7}  description"]
+    for section, title in (("mp", "Message Passing"), ("sm", "Shared Memory")):
+        lines.append(f"-- {title} --")
+        for m in CATALOG:
+            if m.section != section:
+                continue
+            measured = counts.get(m.mid, 0)
+            data[m.mid] = {"measured": measured, "paper": m.paper_count,
+                           "level": m.level}
+            lines.append(f"{m.mid:<4}[{m.level}]{measured:>7}{m.paper_count:>7}"
+                         f"  {m.description[:60]}")
+    return data, "\n".join(lines)
+
+
+class StudyOutput:
+    """Everything the §V pipeline produces, bundled."""
+
+    def __init__(self, members: list[CohortMember],
+                 results: list[Test1Result]):
+        self.members = members
+        self.results = results
+        self.summary = section_summary(results)
+        self.difficulty = difficulty_survey(results)
+        self.choice = grade_choice_survey(results)
+        self.table2_text = table2(results)[1]
+        self.table3_data, self.table3_text = table3(results)
+
+    def misconception_counts(self) -> dict[str, int]:
+        return {mid: row["measured"] for mid, row in self.table3_data.items()}
+
+    def render(self) -> str:
+        return "\n\n".join([
+            table1()[1],
+            self.table2_text,
+            self.table3_text,
+            "SURVEYS",
+            f"  difficulty: {self.difficulty.describe()}",
+            f"  grade choice: {self.choice.describe()}",
+        ])
+
+
+def run_full_study(n: int = 16, seed: int = 2013,
+                   group_sizes: tuple[int, int] = (9, 7)) -> StudyOutput:
+    """The whole §V pipeline: sample → match → administer → analyze."""
+    members = sample_cohort(n, seed=seed)
+    matched_split(members, sizes=group_sizes, seed=seed // 100)
+    results = administer_test1(members)
+    return StudyOutput(members, results)

@@ -1,0 +1,101 @@
+"""Statistics for the study analyses — thin, explicit wrappers over
+scipy.stats with the exact comparisons the paper reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from .test1 import Test1Result
+
+__all__ = ["TTest", "paired_t", "welch_t", "session_effect",
+           "section_summary", "cohens_d"]
+
+
+@dataclass(frozen=True)
+class TTest:
+    statistic: float
+    pvalue: float
+    mean_a: float
+    mean_b: float
+    n_a: int
+    n_b: int
+
+    @property
+    def significant(self) -> bool:
+        return self.pvalue < 0.05
+
+    def describe(self) -> str:
+        return (f"mean {self.mean_a:.2f} vs {self.mean_b:.2f}, "
+                f"t={self.statistic:.3f}, p={self.pvalue:.4f}"
+                f"{' *' if self.significant else ''}")
+
+
+def _mean(xs: Sequence[float]) -> float:
+    return sum(xs) / len(xs)
+
+
+def paired_t(a: Sequence[float], b: Sequence[float]) -> TTest:
+    """Paired t-test (same students, two conditions)."""
+    from scipy import stats
+    if len(a) != len(b):
+        raise ValueError("paired samples must have equal length")
+    res = stats.ttest_rel(a, b)
+    return TTest(float(res.statistic), float(res.pvalue),
+                 _mean(a), _mean(b), len(a), len(b))
+
+
+def welch_t(a: Sequence[float], b: Sequence[float]) -> TTest:
+    """Two-sample t-test without the equal-variance assumption."""
+    from scipy import stats
+    res = stats.ttest_ind(a, b, equal_var=False)
+    return TTest(float(res.statistic), float(res.pvalue),
+                 _mean(a), _mean(b), len(a), len(b))
+
+
+def cohens_d(a: Sequence[float], b: Sequence[float]) -> float:
+    """Standardized mean difference (pooled SD)."""
+    na, nb = len(a), len(b)
+    ma, mb = _mean(a), _mean(b)
+    va = sum((x - ma) ** 2 for x in a) / max(na - 1, 1)
+    vb = sum((x - mb) ** 2 for x in b) / max(nb - 1, 1)
+    pooled = math.sqrt(((na - 1) * va + (nb - 1) * vb) / max(na + nb - 2, 1))
+    if pooled == 0:
+        return 0.0
+    return (ma - mb) / pooled
+
+
+def session_effect(results: Sequence[Test1Result]) -> TTest:
+    """Session 2 vs session 1 (paired within students) — the paper's
+    79.20% vs 60.71%, p = 0.005 comparison."""
+    s1 = [r.session1_score for r in results]
+    s2 = [r.session2_score for r in results]
+    return paired_t(s2, s1)
+
+
+def section_summary(results: Sequence[Test1Result]) -> dict:
+    """Table II's cells: per-group per-section means plus marginals."""
+    def mean_of(group: str, attr: str) -> float:
+        xs = [getattr(r, attr) for r in results if r.group == group]
+        return _mean(xs) if xs else float("nan")
+
+    out = {
+        "S": {"n": sum(1 for r in results if r.group == "S"),
+              "sm_mean": mean_of("S", "sm_score"),
+              "mp_mean": mean_of("S", "mp_score"),
+              "total_mean": mean_of("S", "total")},
+        "D": {"n": sum(1 for r in results if r.group == "D"),
+              "sm_mean": mean_of("D", "sm_score"),
+              "mp_mean": mean_of("D", "mp_score"),
+              "total_mean": mean_of("D", "total")},
+        "all": {"sm_mean": _mean([r.sm_score for r in results]),
+                "mp_mean": _mean([r.mp_score for r in results]),
+                "session1_mean": _mean([r.session1_score for r in results]),
+                "session2_mean": _mean([r.session2_score for r in results])},
+    }
+    out["all"]["section_test"] = paired_t(
+        [r.mp_score for r in results], [r.sm_score for r in results])
+    out["all"]["session_test"] = session_effect(results)
+    return out

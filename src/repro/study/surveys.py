@@ -1,0 +1,119 @@
+"""Survey simulation — §VI's self-report results.
+
+The paper reports three self-report findings around Test 1:
+
+* homework/lab difficulty: most students call shared memory harder
+  (HW3: 10 vs 1; labs: 8 of 11 vs 1);
+* post-test difficulty: 11 of 15 found the shared-memory section harder;
+* grade-section choice: 10 of 15 chose the message-passing section,
+  13 of 15 chose the section they actually scored higher on, and 4 of
+  the 5 who chose shared memory had taken it in the second session.
+
+The simulated survey derives each response from the student's actual
+experience: perceived difficulty tracks their real error counts (with
+self-assessment noise), and the grade choice picks the section they
+*believe* went better.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from .test1 import Test1Result
+
+__all__ = ["DifficultyReport", "ChoiceReport", "difficulty_survey",
+           "grade_choice_survey"]
+
+
+@dataclass
+class DifficultyReport:
+    """Counts for one 'which is harder?' survey."""
+
+    sm_harder: int
+    mp_harder: int
+    equal: int
+    respondents: int
+
+    def describe(self) -> str:
+        return (f"{self.sm_harder} shared-memory-harder vs "
+                f"{self.mp_harder} message-passing-harder "
+                f"({self.equal} equal, n={self.respondents})")
+
+
+@dataclass
+class ChoiceReport:
+    """Counts for the which-section-counts-for-grade survey."""
+
+    chose_mp: int
+    chose_sm: int
+    chose_correctly: int               # picked their higher-scoring section
+    sm_choosers_took_sm_second: int
+    respondents: int
+
+    def describe(self) -> str:
+        return (f"{self.chose_mp} chose MP, {self.chose_sm} chose SM; "
+                f"{self.chose_correctly}/{self.respondents} chose their "
+                f"higher-scoring section; {self.sm_choosers_took_sm_second} "
+                f"of the SM choosers took SM in session 2")
+
+
+def difficulty_survey(results: Sequence[Test1Result],
+                      response_rate: float = 0.95,
+                      noise: float = 6.0, seed: int = 11
+                      ) -> DifficultyReport:
+    """Perceived difficulty from actual section scores + self-noise.
+
+    A student reports the section with the clearly lower perceived
+    score as harder; within ``noise`` points they report "equal".
+    """
+    rng = random.Random(seed)
+    sm_harder = mp_harder = equal = respondents = 0
+    for r in results:
+        if rng.random() > response_rate:
+            continue
+        respondents += 1
+        perceived_sm = r.sm_score + rng.gauss(0, noise)
+        perceived_mp = r.mp_score + rng.gauss(0, noise)
+        if perceived_sm < perceived_mp - noise / 2:
+            sm_harder += 1
+        elif perceived_mp < perceived_sm - noise / 2:
+            mp_harder += 1
+        else:
+            equal += 1
+    return DifficultyReport(sm_harder, mp_harder, equal, respondents)
+
+
+def grade_choice_survey(results: Sequence[Test1Result],
+                        response_rate: float = 15 / 16,
+                        noise: float = 5.0, seed: int = 23) -> ChoiceReport:
+    """Which section students would count toward their grade.
+
+    Students pick the section they believe went better (true score plus
+    self-assessment noise) — without knowing their actual scores, as in
+    the paper.
+    """
+    rng = random.Random(seed)
+    chose_mp = chose_sm = chose_correct = sm_second = 0
+    respondents = 0
+    for r in results:
+        if rng.random() > response_rate:
+            continue
+        respondents += 1
+        believed_sm = r.sm_score + rng.gauss(0, noise)
+        believed_mp = r.mp_score + rng.gauss(0, noise)
+        picked_sm = believed_sm > believed_mp
+        if picked_sm:
+            chose_sm += 1
+            if r.sm_session == 2:
+                sm_second += 1
+        else:
+            chose_mp += 1
+        actual_better_sm = r.sm_score > r.mp_score
+        if picked_sm == actual_better_sm or r.sm_score == r.mp_score:
+            chose_correct += 1
+    return ChoiceReport(chose_mp=chose_mp, chose_sm=chose_sm,
+                        chose_correctly=chose_correct,
+                        sm_choosers_took_sm_second=sm_second,
+                        respondents=respondents)

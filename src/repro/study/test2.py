@@ -1,0 +1,137 @@
+"""Test 2 — the practical programming exam, as a grading harness.
+
+§V: "students are required to implement the single-lane bridge problem
+with Java threads, Scala Actors and Python Coroutine models in shared
+memory, message passing and cooperative forms."  The harness grades a
+three-form submission the way the course would:
+
+* **safety** — the one-direction invariant over the submission's event
+  log, across many seeds/runs;
+* **completeness** — every car crosses the requested number of times;
+* **robustness** — repeated runs (thread scheduling noise) stay safe;
+* **style** — the structural effort metrics of the submitted code.
+
+A submission is any object with ``threads(cars, crossings)``,
+``actors(cars, crossings)`` and ``coroutines(cars, crossings)``
+callables, each returning an enter/exit event log in the module's
+vocabulary.  :func:`reference_submission` wraps this library's own
+implementations, so the harness grades itself in the test suite (and a
+deliberately broken submission fails — also tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..problems.single_lane_bridge import DEFAULT_CARS, check_crossing_log
+from .effort import EffortMetrics, measure
+
+__all__ = ["FormGrade", "Test2Grade", "grade_form", "grade_submission",
+           "reference_submission", "Submission"]
+
+#: a form implementation: (cars, crossings) -> event log
+FormImpl = Callable[[tuple, int], list]
+
+
+@dataclass
+class Submission:
+    """A student's Test-2 hand-in: one implementation per form."""
+
+    threads: FormImpl
+    actors: FormImpl
+    coroutines: FormImpl
+    author: str = "anonymous"
+
+
+@dataclass
+class FormGrade:
+    """Grade for one form (threads / actors / coroutines)."""
+
+    form: str
+    safety_ok: bool
+    complete: bool
+    runs: int
+    failures: list[str] = field(default_factory=list)
+    effort: EffortMetrics | None = None
+
+    @property
+    def points(self) -> float:
+        """0-100: safety is worth 60, completeness 40."""
+        return (60.0 if self.safety_ok else 0.0) \
+            + (40.0 if self.complete else 0.0)
+
+
+@dataclass
+class Test2Grade:
+    author: str
+    forms: dict[str, FormGrade]
+
+    @property
+    def total(self) -> float:
+        return sum(g.points for g in self.forms.values()) / len(self.forms)
+
+    def report(self) -> str:
+        lines = [f"Test 2 — {self.author}: {self.total:.0f}/100"]
+        for name, grade in self.forms.items():
+            status = []
+            status.append("safe" if grade.safety_ok else
+                          f"UNSAFE ({grade.failures[:1]})")
+            status.append("complete" if grade.complete else "INCOMPLETE")
+            effort = (f", {grade.effort.loc} loc" if grade.effort else "")
+            lines.append(f"  {name:<11} {grade.points:>5.0f} pts "
+                         f"({', '.join(status)}{effort})")
+        return "\n".join(lines)
+
+
+def grade_form(form: str, impl: FormImpl,
+               cars: tuple = DEFAULT_CARS, crossings: int = 2,
+               runs: int = 5) -> FormGrade:
+    """Run one form several times; audit every run."""
+    failures: list[str] = []
+    complete = True
+    for _ in range(runs):
+        try:
+            log = impl(cars, crossings)
+        except Exception as exc:  # noqa: BLE001 - submission code
+            failures.append(f"crashed: {exc!r}")
+            complete = False
+            continue
+        problem = check_crossing_log(list(log), cars)
+        if problem:
+            failures.append(problem)
+        exits = sum(1 for e in log if e[1] == "exit-bridge")
+        if exits != len(cars) * crossings:
+            complete = False
+    effort = None
+    try:
+        effort = measure(impl, form)
+    except (OSError, TypeError):
+        pass   # builtins / lambdas have no retrievable source
+    return FormGrade(form=form, safety_ok=not failures, complete=complete,
+                     runs=runs, failures=failures, effort=effort)
+
+
+def grade_submission(submission: Submission, cars: tuple = DEFAULT_CARS,
+                     crossings: int = 2, runs: int = 5) -> Test2Grade:
+    """Grade all three forms of a submission."""
+    forms = {}
+    for name in ("threads", "actors", "coroutines"):
+        impl = getattr(submission, name)
+        forms[name] = grade_form(name, impl, cars=cars,
+                                 crossings=crossings, runs=runs)
+    return Test2Grade(author=submission.author, forms=forms)
+
+
+def reference_submission() -> Submission:
+    """This library's own three bridge implementations as a submission."""
+    from ..problems.single_lane_bridge import (run_actor_bridge,
+                                               run_coroutine_bridge,
+                                               run_threads_bridge)
+
+    return Submission(
+        author="reference",
+        threads=lambda cars, crossings: run_threads_bridge(cars, crossings),
+        actors=lambda cars, crossings: run_actor_bridge(cars, crossings),
+        coroutines=lambda cars, crossings:
+            run_coroutine_bridge(cars, crossings))

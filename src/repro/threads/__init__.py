@@ -1,0 +1,29 @@
+"""repro.threads — the Java thread model, in Python.
+
+Mirrors what the course teaches with Java: ``Thread`` subclassing
+(:class:`JThread`), ``synchronized`` + ``wait``/``notify``
+(:class:`Monitor`, :func:`synchronized`), atomics, and the
+java.util.concurrent structures the labs rely on (blocking queue,
+concurrent map, latch, barrier, thread pool).
+
+All of this runs on real OS threads.  CPython's GIL serializes
+bytecode, so these primitives demonstrate *blocking structure and
+correctness*, not parallel speedup — the benchmark notes flag every
+throughput comparison accordingly.
+"""
+
+from .atomic import AtomicBoolean, AtomicInteger, AtomicReference
+from .collections import (BlockingQueue, BrokenBarrierError, ConcurrentMap,
+                          CountDownLatch, CyclicBarrier, QueueClosed)
+from .jthread import JThread, join_all, spawn_all
+from .pool import PoolFuture, ThreadPool, parallel_map
+from .sync import Monitor, MonitorStateError, synchronized
+
+__all__ = [
+    "JThread", "spawn_all", "join_all",
+    "Monitor", "synchronized", "MonitorStateError",
+    "AtomicInteger", "AtomicReference", "AtomicBoolean",
+    "BlockingQueue", "QueueClosed", "ConcurrentMap", "CountDownLatch",
+    "CyclicBarrier", "BrokenBarrierError",
+    "ThreadPool", "PoolFuture", "parallel_map",
+]

@@ -1,0 +1,137 @@
+"""Atomic value holders — java.util.concurrent.atomic for the course.
+
+CPython's GIL makes single bytecode operations atomic, but read-modify-
+write sequences (``x += 1``) are not; these classes make the atomicity
+explicit and lock-protected so the semantics survive free-threaded
+builds and document intent the way AtomicInteger does in Java.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Generic, Optional, TypeVar
+
+__all__ = ["AtomicInteger", "AtomicReference", "AtomicBoolean"]
+
+T = TypeVar("T")
+
+
+class AtomicInteger:
+    """Lock-protected integer with Java's method set."""
+
+    def __init__(self, value: int = 0):
+        self._value = value
+        self._lock = threading.Lock()
+
+    def get(self) -> int:
+        with self._lock:
+            return self._value
+
+    def set(self, value: int) -> None:
+        with self._lock:
+            self._value = value
+
+    def increment_and_get(self, delta: int = 1) -> int:
+        with self._lock:
+            self._value += delta
+            return self._value
+
+    def get_and_increment(self, delta: int = 1) -> int:
+        with self._lock:
+            old = self._value
+            self._value += delta
+            return old
+
+    def decrement_and_get(self) -> int:
+        return self.increment_and_get(-1)
+
+    def add_and_get(self, delta: int) -> int:
+        return self.increment_and_get(delta)
+
+    def compare_and_set(self, expect: int, update: int) -> bool:
+        with self._lock:
+            if self._value == expect:
+                self._value = update
+                return True
+            return False
+
+    def get_and_update(self, fn: Callable[[int], int]) -> int:
+        with self._lock:
+            old = self._value
+            self._value = fn(old)
+            return old
+
+    def __repr__(self) -> str:
+        return f"AtomicInteger({self.get()})"
+
+
+class AtomicReference(Generic[T]):
+    """Lock-protected reference cell with compare-and-set."""
+
+    def __init__(self, value: Optional[T] = None):
+        self._value = value
+        self._lock = threading.Lock()
+
+    def get(self) -> Optional[T]:
+        with self._lock:
+            return self._value
+
+    def set(self, value: Optional[T]) -> None:
+        with self._lock:
+            self._value = value
+
+    def get_and_set(self, value: Optional[T]) -> Optional[T]:
+        with self._lock:
+            old = self._value
+            self._value = value
+            return old
+
+    def compare_and_set(self, expect: Any, update: Optional[T]) -> bool:
+        """Identity comparison, like Java's reference CAS."""
+        with self._lock:
+            if self._value is expect:
+                self._value = update
+                return True
+            return False
+
+    def update_and_get(self, fn: Callable[[Optional[T]], Optional[T]]
+                       ) -> Optional[T]:
+        with self._lock:
+            self._value = fn(self._value)
+            return self._value
+
+    def __repr__(self) -> str:
+        return f"AtomicReference({self.get()!r})"
+
+
+class AtomicBoolean:
+    """Lock-protected flag; ``test_and_set`` gives one-shot latching."""
+
+    def __init__(self, value: bool = False):
+        self._value = bool(value)
+        self._lock = threading.Lock()
+
+    def get(self) -> bool:
+        with self._lock:
+            return self._value
+
+    def set(self, value: bool) -> None:
+        with self._lock:
+            self._value = bool(value)
+
+    def test_and_set(self) -> bool:
+        """Set True; return the *previous* value."""
+        with self._lock:
+            old = self._value
+            self._value = True
+            return old
+
+    def compare_and_set(self, expect: bool, update: bool) -> bool:
+        with self._lock:
+            if self._value == expect:
+                self._value = update
+                return True
+            return False
+
+    def __repr__(self) -> str:
+        return f"AtomicBoolean({self.get()})"

@@ -1,0 +1,94 @@
+"""Java-flavoured thread class over :mod:`threading`.
+
+The course's Java programs subclass ``Thread`` and override ``run()``;
+:class:`JThread` keeps that shape so the three-model implementations of
+each classic problem read like their course counterparts.  Adds the two
+things tests constantly need and ``threading.Thread`` lacks: a result
+value from ``join()`` and exception capture.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional
+
+__all__ = ["JThread", "spawn_all", "join_all"]
+
+
+class JThread:
+    """Subclass and override :meth:`run`, or pass a target callable.
+
+    ``join()`` returns the value :meth:`run` returned; if ``run``
+    raised, ``join()`` re-raises that exception in the joiner (closer to
+    what students expect than Java's silent UncaughtExceptionHandler).
+    """
+
+    _counter = 0
+
+    def __init__(self, target: Optional[Callable[..., Any]] = None,
+                 args: tuple = (), name: str = "", daemon: bool = False):
+        JThread._counter += 1
+        self.name = name or f"jthread-{JThread._counter}"
+        self._target = target
+        self._args = args
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._bootstrap, name=self.name, daemon=daemon)
+        self._started = False
+
+    # -- to be overridden ----------------------------------------------------
+    def run(self) -> Any:
+        if self._target is not None:
+            return self._target(*self._args)
+        return None
+
+    # -- lifecycle -----------------------------------------------------------
+    def _bootstrap(self) -> None:
+        try:
+            self._result = self.run()
+        except BaseException as exc:  # noqa: BLE001 - captured for joiner
+            self._error = exc
+
+    def start(self) -> "JThread":
+        if self._started:
+            raise RuntimeError(f"{self.name} already started")
+        self._started = True
+        self._thread.start()
+        return self
+
+    def join(self, timeout: Optional[float] = None) -> Any:
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError(f"join on {self.name} timed out")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def is_alive(self) -> bool:
+        return self._thread.is_alive()
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        return self._error
+
+    def __repr__(self) -> str:
+        state = ("unstarted" if not self._started
+                 else "alive" if self.is_alive() else "dead")
+        return f"<JThread {self.name} {state}>"
+
+
+def spawn_all(*targets: Callable[[], Any], prefix: str = "worker"
+              ) -> list[JThread]:
+    """Start one JThread per callable; the PARA idiom for real threads."""
+    threads = [JThread(target=t, name=f"{prefix}-{i}")
+               for i, t in enumerate(targets)]
+    for t in threads:
+        t.start()
+    return threads
+
+
+def join_all(threads: list[JThread], timeout: Optional[float] = None
+             ) -> list[Any]:
+    """Join every thread, returning their results in order."""
+    return [t.join(timeout) for t in threads]

@@ -1,0 +1,27 @@
+"""repro.uml — the course's week-3 modelling module, executable.
+
+* :class:`StateMachine` + :func:`to_monitor_pseudocode` /
+  :func:`to_message_pseudocode` — the paper's "well-defined
+  transformation" from state diagrams to monitor-based and
+  message-passing implementations, emitting runnable pseudocode;
+* :func:`diagram_from_path` / :func:`diagram_from_trace` — sequence
+  diagrams rendered from model-checker witnesses and kernel traces;
+* :func:`extract_class_model` — class-diagram recovery from pseudocode
+  (the book-inventory lab's modelling artifacts).
+"""
+
+from .class_diagram import (ClassBox, ClassModel, extract_class_model,
+                            render_boxes)
+from .sequence import SequenceDiagram, diagram_from_path, diagram_from_trace
+from .state_machine import (StateMachine, StateMachineError, Transition,
+                            bounded_buffer_state_machine,
+                            bridge_state_machine, simulate,
+                            to_message_pseudocode, to_monitor_pseudocode)
+
+__all__ = [
+    "StateMachine", "Transition", "StateMachineError",
+    "to_monitor_pseudocode", "to_message_pseudocode", "simulate",
+    "bridge_state_machine", "bounded_buffer_state_machine",
+    "SequenceDiagram", "diagram_from_path", "diagram_from_trace",
+    "ClassBox", "ClassModel", "extract_class_model", "render_boxes",
+]

@@ -1,0 +1,113 @@
+"""Class-diagram extraction from pseudocode — the week-3 book-inventory
+modelling lab in reverse: given a pseudocode program, recover the class
+boxes, their operations, the shared global state, and the messaging
+associations (who Sends what to whom)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..pseudocode.analysis import analyze
+from ..pseudocode.ast_nodes import (ExcAccBlock, IfStmt, OnReceiving,
+                                    ParaBlock, Program, SendStmt, Stmt,
+                                    WhileStmt)
+
+__all__ = ["ClassBox", "ClassModel", "extract_class_model", "render_boxes"]
+
+
+@dataclass
+class ClassBox:
+    name: str
+    operations: list[str] = field(default_factory=list)
+    #: message names this class's ON_RECEIVING arms accept
+    accepts: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ClassModel:
+    boxes: list[ClassBox] = field(default_factory=list)
+    #: shared globals (the implicit "SharedState" box of SM designs)
+    shared_state: list[str] = field(default_factory=list)
+    #: message names sent anywhere in the program
+    messages_sent: list[str] = field(default_factory=list)
+
+
+def _walk(stmts: list[Stmt]):
+    for s in stmts:
+        yield s
+        if isinstance(s, IfStmt):
+            for _, body in s.branches:
+                yield from _walk(body)
+            yield from _walk(s.else_body)
+        elif isinstance(s, WhileStmt):
+            yield from _walk(s.body)
+        elif isinstance(s, ParaBlock):
+            yield from _walk(s.arms)
+        elif isinstance(s, ExcAccBlock):
+            yield from _walk(s.body)
+        elif isinstance(s, OnReceiving):
+            for arm in s.arms:
+                yield from _walk(arm.body)
+
+
+def extract_class_model(program: Program) -> ClassModel:
+    """Recover the class-diagram content of a pseudocode program."""
+    info = analyze(program)
+    model = ClassModel(shared_state=sorted(info.globals))
+
+    for cls in program.classes.values():
+        box = ClassBox(name=cls.name)
+        for method in cls.methods.values():
+            params = ", ".join(method.params)
+            box.operations.append(f"{method.name}({params})")
+            for stmt in _walk(method.body):
+                if isinstance(stmt, OnReceiving):
+                    box.accepts.extend(arm.msg_name for arm in stmt.arms)
+        model.boxes.append(box)
+
+    all_bodies = list(program.main)
+    for fn in program.functions.values():
+        all_bodies.extend(fn.body)
+    for cls in program.classes.values():
+        for method in cls.methods.values():
+            all_bodies.extend(method.body)
+    sent = []
+    for stmt in _walk(all_bodies):
+        if isinstance(stmt, SendStmt):
+            msg = stmt.message
+            name = getattr(msg, "msg_name", None)
+            sent.append(name if name else "<computed>")
+    model.messages_sent = sorted(set(sent))
+    return model
+
+
+def render_boxes(model: ClassModel) -> str:
+    """ASCII class diagram (one box per class + the shared-state box)."""
+    chunks: list[str] = []
+
+    def box(title: str, *sections: list[str]) -> str:
+        rows = [title]
+        for section in sections:
+            rows.append(None)          # separator marker
+            rows.extend(section or ["(none)"])
+        width = max(len(r) for r in rows if r is not None) + 2
+        out = ["+" + "-" * width + "+"]
+        for r in rows:
+            if r is None:
+                out.append("+" + "-" * width + "+")
+            else:
+                out.append("| " + r.ljust(width - 1) + "|")
+        out.append("+" + "-" * width + "+")
+        return "\n".join(out)
+
+    for cls_box in model.boxes:
+        sections = [cls_box.operations]
+        if cls_box.accepts:
+            sections.append([f"<<accepts>> {m}" for m in cls_box.accepts])
+        chunks.append(box(cls_box.name, *sections))
+    if model.shared_state:
+        chunks.append(box("<<shared>> Globals",
+                          [f"{g}: value" for g in model.shared_state]))
+    if model.messages_sent:
+        chunks.append("messages: " + ", ".join(model.messages_sent))
+    return "\n\n".join(chunks)

@@ -1,0 +1,244 @@
+"""State machines and the course's two code-generation transformations.
+
+Week 3 of the course (paper §IV.B) teaches "the well-defined
+transformation from state diagrams to threads-based implementations of
+monitor constructs and condition variables, and a corresponding
+transformation to a message-passing implementation".  This module makes
+both transformations executable:
+
+* :class:`StateMachine` — a guarded state machine over integer
+  variables (the UML state-diagram abstraction the course uses);
+* :func:`to_monitor_pseudocode` — the shared-memory transformation:
+  one function per event, an ``EXC_ACC`` block whose guarded-wait loop
+  encodes the state/guard condition, ``NOTIFY()`` after each
+  transition;
+* :func:`to_message_pseudocode` — the message-passing transformation:
+  a class with one ``ON_RECEIVING`` arm per event, guards as
+  conditionals, an acknowledgement per accepted event;
+* :func:`simulate` — reference semantics, used by tests to check that
+  the *generated pseudocode*, executed by the interpreter, agrees with
+  the specification.
+
+The single-lane bridge's state diagram (:func:`bridge_state_machine`)
+is included, so the full course pipeline — model, transform, execute,
+verify — runs end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+__all__ = ["Transition", "StateMachine", "StateMachineError",
+           "to_monitor_pseudocode", "to_message_pseudocode", "simulate",
+           "bridge_state_machine", "bounded_buffer_state_machine"]
+
+
+class StateMachineError(ValueError):
+    """Ill-formed specification (unknown variable, bad guard, ...)."""
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One guarded transition.
+
+    ``event`` names the trigger (becomes a function / message name);
+    ``guard`` is a pseudocode boolean expression over the machine's
+    variables (or None = always enabled); ``effects`` are pseudocode
+    assignments over the variables.
+    """
+
+    event: str
+    guard: Optional[str] = None
+    effects: tuple[str, ...] = ()
+
+
+@dataclass
+class StateMachine:
+    """A guarded state machine over named integer variables.
+
+    The "state" of a UML state diagram is encoded the way the course's
+    monitor transformation encodes it: as guard conditions over counter
+    variables (e.g. the bridge's diagram states Empty / RedOnBridge /
+    BlueOnBridge become predicates over ``redCount``/``blueCount``).
+    """
+
+    name: str
+    variables: dict[str, int]
+    transitions: list[Transition] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for name in self.variables:
+            if not name.isidentifier():
+                raise StateMachineError(f"bad variable name {name!r}")
+        events = [t.event for t in self.transitions]
+        if len(events) != len(set(events)):
+            raise StateMachineError("duplicate event names")
+        for t in self.transitions:
+            for effect in t.effects:
+                if "=" not in effect:
+                    raise StateMachineError(
+                        f"effect {effect!r} of {t.event} is not an "
+                        f"assignment")
+                target = effect.split("=", 1)[0].strip()
+                if target not in self.variables:
+                    raise StateMachineError(
+                        f"effect of {t.event} assigns unknown variable "
+                        f"{target!r}")
+
+    def transition(self, event: str) -> Transition:
+        for t in self.transitions:
+            if t.event == event:
+                return t
+        raise StateMachineError(f"unknown event {event!r}")
+
+
+# ---------------------------------------------------------------------------
+# reference semantics
+# ---------------------------------------------------------------------------
+
+def _eval_guard(guard: Optional[str], variables: dict[str, int]) -> bool:
+    """Evaluate a guard via the pseudocode expression engine."""
+    if guard is None:
+        return True
+    from ..pseudocode import interpret
+    lines = [f"{k} = {v}" for k, v in variables.items()]
+    lines.append(f"guard_result = {guard}")
+    return bool(interpret("\n".join(lines)).globals["guard_result"])
+
+
+def _apply_effects(effects: Sequence[str], variables: dict[str, int]
+                   ) -> dict[str, int]:
+    from ..pseudocode import interpret
+    lines = [f"{k} = {v}" for k, v in variables.items()]
+    lines.extend(effects)
+    result = interpret("\n".join(lines)).globals
+    return {k: result[k] for k in variables}
+
+
+def simulate(machine: StateMachine, events: Sequence[str],
+             *, strict: bool = True) -> dict[str, int]:
+    """Run an event sequence against the reference semantics.
+
+    With ``strict`` a guard failure raises; otherwise the event is
+    skipped (the message-passing transformation's 'rejected' case).
+    """
+    variables = dict(machine.variables)
+    for event in events:
+        t = machine.transition(event)
+        if not _eval_guard(t.guard, variables):
+            if strict:
+                raise StateMachineError(
+                    f"event {event!r} fired with guard {t.guard!r} false "
+                    f"in {variables}")
+            continue
+        variables = _apply_effects(t.effects, variables)
+    return variables
+
+
+# ---------------------------------------------------------------------------
+# transformation 1: monitors (shared memory)
+# ---------------------------------------------------------------------------
+
+def to_monitor_pseudocode(machine: StateMachine) -> str:
+    """The course's state-diagram → monitor transformation.
+
+    Each event becomes a function; its guard becomes the condition of a
+    guarded-wait loop inside one ``EXC_ACC`` block; every transition
+    ends with ``NOTIFY()`` so waiting events re-check their guards —
+    exactly the Figure 4 idiom, mechanically produced.
+    """
+    lines: list[str] = [f"# monitor form of state machine {machine.name!r}"]
+    for name, value in machine.variables.items():
+        lines.append(f"{name} = {value}")
+    lines.append("")
+    for t in machine.transitions:
+        lines.append(f"DEFINE {t.event}()")
+        lines.append("  EXC_ACC")
+        if t.guard is not None:
+            lines.append(f"    WHILE NOT ({t.guard})")
+            lines.append("      WAIT()")
+            lines.append("    ENDWHILE")
+        for effect in t.effects:
+            lines.append(f"    {effect}")
+        lines.append("    NOTIFY()")
+        lines.append("  END_EXC_ACC")
+        lines.append("ENDDEF")
+        lines.append("")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# transformation 2: message passing
+# ---------------------------------------------------------------------------
+
+def to_message_pseudocode(machine: StateMachine) -> str:
+    """The course's state-diagram → message-passing transformation.
+
+    The machine becomes a class whose behaviour handles one message per
+    event: guard satisfied → apply effects and acknowledge with
+    ``MESSAGE.ok(event)``; guard unsatisfied → ``MESSAGE.blocked(event)``
+    (the requester's retry protocol replaces the monitor's WAIT)."""
+    cls = machine.name[:1].upper() + machine.name[1:]
+    lines: list[str] = [f"# message-passing form of state machine "
+                        f"{machine.name!r}", f"CLASS {cls}"]
+    lines.append("  DEFINE start()")
+    lines.append("    ON_RECEIVING")
+    for t in machine.transitions:
+        lines.append(f"      MESSAGE.{t.event}(requester)")
+        body_pad = "        "
+        if t.guard is not None:
+            lines.append(f"{body_pad}IF {t.guard} THEN")
+            for effect in t.effects:
+                lines.append(f"{body_pad}  {effect}")
+            lines.append(f"{body_pad}  Send(MESSAGE.ok(\"{t.event}\"))"
+                         f".To(requester)")
+            lines.append(f"{body_pad}ELSE")
+            lines.append(f"{body_pad}  Send(MESSAGE.blocked(\"{t.event}\"))"
+                         f".To(requester)")
+            lines.append(f"{body_pad}ENDIF")
+        else:
+            for effect in t.effects:
+                lines.append(f"{body_pad}{effect}")
+            lines.append(f"{body_pad}Send(MESSAGE.ok(\"{t.event}\"))"
+                         f".To(requester)")
+    lines.append("  ENDDEF")
+    lines.append("ENDCLASS")
+    lines.append("")
+    for name, value in machine.variables.items():
+        lines.append(f"{name} = {value}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# canonical course machines
+# ---------------------------------------------------------------------------
+
+def bridge_state_machine() -> StateMachine:
+    """The single-lane bridge as the course's week-3 state diagram."""
+    return StateMachine(
+        name="bridge",
+        variables={"redCount": 0, "blueCount": 0},
+        transitions=[
+            Transition("redEnter", guard="blueCount == 0",
+                       effects=("redCount = redCount + 1",)),
+            Transition("redExit", guard="redCount > 0",
+                       effects=("redCount = redCount - 1",)),
+            Transition("blueEnter", guard="redCount == 0",
+                       effects=("blueCount = blueCount + 1",)),
+            Transition("blueExit", guard="blueCount > 0",
+                       effects=("blueCount = blueCount - 1",)),
+        ])
+
+
+def bounded_buffer_state_machine(capacity: int = 2) -> StateMachine:
+    """The bounded buffer of homework 2 as a state machine."""
+    return StateMachine(
+        name="buffer",
+        variables={"count": 0},
+        transitions=[
+            Transition("produce", guard=f"count < {capacity}",
+                       effects=("count = count + 1",)),
+            Transition("consume", guard="count > 0",
+                       effects=("count = count - 1",)),
+        ])

@@ -1,0 +1,36 @@
+"""repro.verify — systematic concurrency testing over the kernel.
+
+* :func:`explore` — CHESS-style replay DFS over all schedules
+* :func:`check_deadlock_free` / :func:`check_always` /
+  :func:`check_sometimes` — program-level properties with replayable
+  counterexamples
+* :func:`find_races` / :func:`find_races_program` — vector-clock
+  happens-before race detection
+* :class:`ScenarioQuestion` / :func:`answer_question` — the paper's
+  Test-1 "could this happen?" reachability queries
+* :func:`explore_adaptive` / :func:`sample_behaviours` — budget-aware
+  degradation from proof to stress testing
+"""
+
+from .explorer import ExplorationResult, Program, explore, run_schedule
+from .properties import (PropertyReport, check_always, check_deadlock_free,
+                         check_mutual_exclusion, check_sometimes,
+                         fairness_report, mutex_intervals, starvation_gap)
+from .race import Race, find_races, find_races_program
+from .reachability import (Answer, Pattern, ScenarioQuestion, answer_question,
+                           embeds, matches)
+from .lts import LTS, LTSAnswer, LTSResult, PathStep, Rule, answer_question_lts
+from .reduction import (TreeEstimate, estimate_tree, explore_adaptive,
+                        sample_behaviours)
+
+__all__ = [
+    "explore", "run_schedule", "ExplorationResult", "Program",
+    "PropertyReport", "check_deadlock_free", "check_always",
+    "check_sometimes", "check_mutual_exclusion", "mutex_intervals",
+    "starvation_gap", "fairness_report",
+    "Race", "find_races", "find_races_program",
+    "ScenarioQuestion", "Answer", "answer_question", "embeds", "matches",
+    "Pattern",
+    "TreeEstimate", "estimate_tree", "sample_behaviours", "explore_adaptive",
+    "LTS", "Rule", "LTSResult", "LTSAnswer", "PathStep", "answer_question_lts",
+]

@@ -1,0 +1,172 @@
+"""Systematic interleaving exploration (CHESS-style replay DFS).
+
+Python generators cannot be snapshotted, so the explorer re-executes the
+program from scratch for every interleaving, steering each run with a
+:class:`~repro.core.policy.FixedPolicy` prefix and extending depth-first.
+Because *all* kernel nondeterminism flows through policy decisions, the
+decision tree is exactly the space of behaviours: enumerate the leaves
+and you have enumerated every schedule (up to the budget).
+
+The unit of exploration is a *program*: a callable that receives a fresh
+:class:`~repro.core.scheduler.Scheduler`, creates all state (locks,
+mailboxes, shared variables — they must be fresh per run!), spawns the
+tasks, and optionally returns an *observation function* evaluated after
+the run to capture final state.
+
+>>> from repro.core import Emit
+>>> def program(sched):
+...     def t(c):
+...         yield Emit(c)
+...     sched.spawn(t, "a")
+...     sched.spawn(t, "b")
+>>> sorted(explore(program).output_strings())
+['ab', 'ba']
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..core.policy import FixedPolicy, SchedulingPolicy, Transition
+from ..core.scheduler import Scheduler
+from ..core.trace import Trace
+
+__all__ = ["Program", "ExplorationResult", "explore", "run_schedule"]
+
+#: A program under exploration: sets up a fresh Scheduler, optionally
+#: returns a zero-argument observation callable.
+Program = Callable[[Scheduler], Optional[Callable[[], Any]]]
+
+
+class _FirstPolicy(SchedulingPolicy):
+    """Always pick transition 0 — the DFS tail beyond the fixed prefix."""
+
+    def choose(self, transitions: list[Transition]) -> int:
+        return 0
+
+
+@dataclass
+class ExplorationResult:
+    """Everything learned from exploring a program's schedule space."""
+
+    runs: int = 0
+    complete: bool = True
+    #: multiset of outcomes: done / deadlock / failed / budget
+    outcomes: Counter = field(default_factory=Counter)
+    #: distinct (output-tuple, observation) terminal results
+    terminals: dict[tuple, Any] = field(default_factory=dict)
+    #: one witness trace per distinct terminal
+    witnesses: dict[tuple, Trace] = field(default_factory=dict)
+    #: traces that ended in deadlock (bounded sample)
+    deadlocks: list[Trace] = field(default_factory=list)
+    #: traces that ended in task failure (bounded sample)
+    failures: list[Trace] = field(default_factory=list)
+    #: total scheduling decisions executed across all runs (work measure)
+    decisions: int = 0
+
+    # -- convenience views ------------------------------------------------
+    def output_sets(self) -> set[tuple]:
+        """Distinct observable-output tuples over all explored schedules."""
+        return {key[0] for key in self.terminals}
+
+    def output_strings(self) -> set[str]:
+        """Outputs as concatenated strings — the paper's 'possibility' lists."""
+        return {"".join(str(v) for v in out) for out in self.output_sets()}
+
+    def observations(self) -> set[Any]:
+        """Distinct post-run observation values (hashable observations only)."""
+        return {obs for (_, obs) in self.terminals}
+
+    @property
+    def deadlock_possible(self) -> bool:
+        return self.outcomes["deadlock"] > 0
+
+    def witness_for_output(self, output_str: str) -> Optional[Trace]:
+        for key, trace in self.witnesses.items():
+            if "".join(str(v) for v in key[0]) == output_str:
+                return trace
+        return None
+
+    def summary(self) -> str:
+        kinds = ", ".join(f"{k}={v}" for k, v in sorted(self.outcomes.items()))
+        return (f"{self.runs} runs ({'complete' if self.complete else 'budget hit'}); "
+                f"{len(self.terminals)} distinct terminals; outcomes: {kinds}")
+
+
+def _freeze(value: Any) -> Any:
+    """Best-effort hashable form of an observation."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, set):
+        return frozenset(_freeze(v) for v in value)
+    return value
+
+
+def run_schedule(program: Program, schedule: list[int],
+                 max_steps: int = 200_000) -> tuple[Trace, Any]:
+    """Execute one run steered by ``schedule`` (then first-choice tail).
+
+    Returns the trace and the frozen observation.  This is the replay
+    entry point: feeding back ``trace.schedule()`` reproduces a run.
+    """
+    sched = Scheduler(FixedPolicy(schedule, tail=_FirstPolicy()),
+                      raise_on_deadlock=False, raise_on_failure=False,
+                      max_steps=max_steps)
+    observe = program(sched)
+    trace = sched.run()
+    obs = _freeze(observe()) if observe is not None else None
+    return trace, obs
+
+
+def explore(program: Program,
+            *,
+            max_runs: int = 20_000,
+            max_steps: int = 200_000,
+            sample_limit: int = 16) -> ExplorationResult:
+    """Depth-first enumeration of every schedule of ``program``.
+
+    Parameters
+    ----------
+    max_runs:
+        Budget on the number of complete executions; when exceeded the
+        result has ``complete=False`` (an *under*-approximation — every
+        reported behaviour is real, but some may be missing).
+    max_steps:
+        Per-run step budget (guards non-terminating programs).
+    sample_limit:
+        How many deadlock/failure traces to retain as samples.
+    """
+    result = ExplorationResult()
+    prefix: list[int] = []
+
+    while True:
+        if result.runs >= max_runs:
+            result.complete = False
+            break
+        trace, obs = run_schedule(program, prefix, max_steps=max_steps)
+        result.runs += 1
+        result.decisions += len(trace)
+        result.outcomes[trace.outcome] += 1
+        key = (tuple(trace.output), obs)
+        if key not in result.terminals:
+            result.terminals[key] = obs
+            result.witnesses[key] = trace
+        if trace.outcome == "deadlock" and len(result.deadlocks) < sample_limit:
+            result.deadlocks.append(trace)
+        if trace.outcome == "failed" and len(result.failures) < sample_limit:
+            result.failures.append(trace)
+
+        # backtrack: deepest decision with an untried alternative
+        decisions = trace.decisions()
+        d = len(decisions) - 1
+        while d >= 0 and decisions[d][0] + 1 >= decisions[d][1]:
+            d -= 1
+        if d < 0:
+            break
+        prefix = [idx for idx, _ in decisions[:d]] + [decisions[d][0] + 1]
+
+    return result

@@ -1,0 +1,267 @@
+"""Explicit-state model checking over guarded labeled transition systems.
+
+The replay explorer (:mod:`repro.verify.explorer`) enumerates schedules
+of generator programs — exact but exponential in trace length, because
+generator frames cannot be hashed and so revisited states cannot be
+merged.  For the paper's Test-1 questions over the single-lane bridge
+(three cars, two methods each) the schedule tree is astronomically
+larger than the *state* space, which is tiny.
+
+:class:`LTS` therefore models such systems the classical way: a
+hashable global state, guarded transition rules, and BFS over reachable
+states.  Scenario questions ("could X happen after H?") become
+reachability in the product of the LTS with the question's pattern
+automaton — :func:`answer_question_lts` returns exact YES/NO verdicts
+with witness event paths, in milliseconds.
+
+The misconception engine reuses this directly: a misconception is a
+rewrite of the rule set (e.g. FIFO-only delivery, lock span = method
+span), and the mutated LTS answers the same questions differently.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterator, Optional, Sequence
+
+from .reachability import Pattern, ScenarioQuestion, matches
+
+__all__ = ["Rule", "LTS", "LTSResult", "PathStep", "answer_question_lts",
+           "LTSAnswer"]
+
+State = Hashable
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One guarded transition rule.
+
+    ``guard(state)`` says whether the rule is enabled; ``apply(state)``
+    returns the successor (must be hashable); ``event(state)`` the
+    observable label emitted (or None for silent steps).
+    """
+
+    name: str
+    guard: Callable[[State], bool]
+    apply: Callable[[State], State]
+    event: Optional[Callable[[State], Any]] = None
+
+    def fire(self, state: State) -> tuple[State, Any]:
+        nxt = self.apply(state)
+        label = self.event(state) if self.event is not None else None
+        return nxt, label
+
+
+@dataclass(frozen=True)
+class PathStep:
+    rule: str
+    event: Any
+    state: State
+
+
+@dataclass
+class LTSResult:
+    """BFS summary: reachable states, deadlocks, event alphabet seen."""
+
+    states: int = 0
+    deadlocks: list[State] = field(default_factory=list)
+    final_states: list[State] = field(default_factory=list)
+    truncated: bool = False
+
+
+class LTS:
+    """A guarded transition system with a designated initial state.
+
+    ``is_final(state)`` distinguishes graceful termination from
+    deadlock: a state with no enabled rules is a deadlock unless final.
+    """
+
+    def __init__(self, initial: State, rules: Sequence[Rule],
+                 is_final: Optional[Callable[[State], bool]] = None,
+                 name: str = "lts"):
+        self.initial = initial
+        self.rules = list(rules)
+        self.is_final = is_final or (lambda s: False)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    def enabled(self, state: State) -> list[Rule]:
+        return [r for r in self.rules if r.guard(state)]
+
+    def successors(self, state: State) -> Iterator[tuple[Rule, State, Any]]:
+        for rule in self.enabled(state):
+            nxt, label = rule.fire(state)
+            yield rule, nxt, label
+
+    # ------------------------------------------------------------------
+    def explore(self, max_states: int = 1_000_000) -> LTSResult:
+        """Full BFS; collects deadlocks and final states."""
+        result = LTSResult()
+        seen: set[State] = {self.initial}
+        frontier: deque[State] = deque([self.initial])
+        while frontier:
+            if len(seen) > max_states:
+                result.truncated = True
+                break
+            state = frontier.popleft()
+            succ = list(self.successors(state))
+            if not succ:
+                if self.is_final(state):
+                    result.final_states.append(state)
+                else:
+                    result.deadlocks.append(state)
+                continue
+            for _, nxt, _ in succ:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        result.states = len(seen)
+        return result
+
+    def find_path(self, accept: Callable[[State], bool],
+                  max_states: int = 1_000_000) -> Optional[list[PathStep]]:
+        """Shortest path (by transitions) to a state satisfying ``accept``."""
+        if accept(self.initial):
+            return []
+        seen: set[State] = {self.initial}
+        parent: dict[State, tuple[State, Rule, Any]] = {}
+        frontier: deque[State] = deque([self.initial])
+        while frontier and len(seen) <= max_states:
+            state = frontier.popleft()
+            for rule, nxt, label in self.successors(state):
+                if nxt in seen:
+                    continue
+                seen.add(nxt)
+                parent[nxt] = (state, rule, label)
+                if accept(nxt):
+                    return self._unwind(nxt, parent)
+                frontier.append(nxt)
+        return None
+
+    @staticmethod
+    def _unwind(state: State, parent: dict) -> list[PathStep]:
+        path: list[PathStep] = []
+        while state in parent:
+            prev, rule, label = parent[state]
+            path.append(PathStep(rule.name, label, state))
+            state = prev
+        path.reverse()
+        return path
+
+    # ------------------------------------------------------------------
+    def check_invariant(self, invariant: Callable[[State], bool],
+                        max_states: int = 1_000_000
+                        ) -> Optional[list[PathStep]]:
+        """None if the invariant holds everywhere reachable, else a
+        shortest counterexample path."""
+        return self.find_path(lambda s: not invariant(s),
+                              max_states=max_states)
+
+    def deadlock_trace(self, max_states: int = 1_000_000
+                       ) -> Optional[list[PathStep]]:
+        """A shortest path into a (non-final) deadlock, or None."""
+        return self.find_path(
+            lambda s: not self.enabled(s) and not self.is_final(s),
+            max_states=max_states)
+
+
+# ---------------------------------------------------------------------------
+# scenario questions as product reachability
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LTSAnswer:
+    """Exact verdict for a scenario question over an LTS."""
+
+    question: ScenarioQuestion
+    verdict: str                                # "YES" | "NO"
+    witness: Optional[list[PathStep]] = None
+    product_states: int = 0
+    explanation: str = ""
+
+    @property
+    def yes(self) -> bool:
+        return self.verdict == "YES"
+
+
+def answer_question_lts(lts: LTS, question: ScenarioQuestion,
+                        max_states: int = 2_000_000) -> LTSAnswer:
+    """Answer "could <scenario> happen after <history>?" exactly.
+
+    Product construction: track ``(lts_state, matched_count)`` where
+    ``matched_count`` counts history+scenario patterns matched so far,
+    in order.  Inside the scenario window (history fully matched), an
+    event matching a ``forbidden`` pattern kills the branch unless that
+    same event advances the match.  The scenario is reachable iff some
+    product state has every pattern matched.
+    """
+    patterns: list[Pattern] = list(question.history) + list(question.scenario)
+    n_hist = len(question.history)
+    total = len(patterns)
+    forbidden = list(question.forbidden)
+    forbidden_anywhere = list(getattr(question, "forbidden_anywhere", ()))
+
+    def advance(matched: int, label: Any) -> list[int]:
+        """Possible successor match counters (branch dies → empty list).
+
+        A label matching the current pattern may either advance the
+        match or be skipped (some embeddings need the later occurrence)
+        — unless skipping it would violate a forbidden constraint.
+        A ``forbidden_anywhere`` event kills the branch even when it
+        would advance the match: such an event must not occur at all,
+        so a question whose scenario requires it is unsatisfiable.
+        """
+        if label is None:
+            return [matched]
+        if any(matches(f, label) for f in forbidden_anywhere):
+            return []
+        out: list[int] = []
+        if matched < total and matches(patterns[matched], label):
+            out.append(matched + 1)
+        # the "skip" continuation: the label is treated as background
+        if not (matched >= n_hist
+                and any(matches(f, label) for f in forbidden)):
+            out.append(matched)
+        return out
+
+    initial = (lts.initial, 0)
+    if total == 0:
+        return LTSAnswer(question, "YES", witness=[], product_states=1,
+                         explanation="empty question")
+    seen: set[tuple[State, int]] = {initial}
+    parent: dict[tuple[State, int], tuple[tuple[State, int], Rule, Any]] = {}
+    frontier: deque[tuple[State, int]] = deque([initial])
+    accepted: Optional[tuple[State, int]] = None
+
+    while frontier and len(seen) <= max_states and accepted is None:
+        node = frontier.popleft()
+        state, matched = node
+        for rule, nxt, label in lts.successors(state):
+            for new_matched in advance(matched, label):
+                child = (nxt, new_matched)
+                if child in seen:
+                    continue
+                seen.add(child)
+                parent[child] = (node, rule, label)
+                if new_matched == total:
+                    accepted = child
+                    break
+                frontier.append(child)
+            if accepted is not None:
+                break
+
+    if accepted is not None:
+        # unwind the product path
+        path: list[PathStep] = []
+        node = accepted
+        while node in parent:
+            prev, rule, label = parent[node]
+            path.append(PathStep(rule.name, label, node[0]))
+            node = prev
+        path.reverse()
+        return LTSAnswer(question, "YES", witness=path,
+                         product_states=len(seen),
+                         explanation=f"witness path of {len(path)} steps")
+    return LTSAnswer(question, "NO", product_states=len(seen),
+                     explanation=f"unreachable over {len(seen)} product states")

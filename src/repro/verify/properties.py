@@ -1,0 +1,190 @@
+"""Safety and liveness properties over explored schedule spaces.
+
+Two layers:
+
+* trace-level predicates (:func:`check_mutual_exclusion`,
+  :func:`starvation_gap`, ...) that analyze one :class:`Trace`;
+* program-level checkers (:func:`check_deadlock_free`,
+  :func:`check_always`, :func:`check_sometimes`) that explore the whole
+  space and return a :class:`PropertyReport` with a witness or
+  counterexample schedule (replayable via
+  :func:`repro.verify.explorer.run_schedule`).
+
+These are the concepts the course's §IV.C names — race conditions,
+conditional synchronization, deadlock and fairness — as executable
+checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..core.trace import Trace
+from .explorer import ExplorationResult, Program, explore
+
+__all__ = [
+    "PropertyReport",
+    "check_deadlock_free",
+    "check_always",
+    "check_sometimes",
+    "check_mutual_exclusion",
+    "mutex_intervals",
+    "starvation_gap",
+    "fairness_report",
+]
+
+
+@dataclass(frozen=True)
+class PropertyReport:
+    """Outcome of a program-level property check.
+
+    ``holds`` is the verdict; when ``False``, ``counterexample`` is a
+    replayable schedule and ``detail`` says what went wrong.  When the
+    exploration hit its budget, ``exhaustive`` is False and a ``True``
+    verdict means only "no violation found within budget".
+    """
+
+    name: str
+    holds: bool
+    exhaustive: bool
+    detail: str = ""
+    counterexample: Optional[list[int]] = None
+    witness: Optional[list[int]] = None
+    exploration: Optional[ExplorationResult] = None
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def check_deadlock_free(program: Program, *, samples_first: int = 300,
+                        **explore_kw: Any) -> PropertyReport:
+    """No schedule of ``program`` reaches a deadlock.
+
+    Strategy: a cheap randomized sampling phase first (deadlocks are
+    usually dense in the schedule space and random walks find them in
+    milliseconds, whereas leftmost-first DFS may have to backtrack
+    through a huge prefix), then exhaustive exploration for the proof.
+    """
+    from .reduction import sample_behaviours
+    if samples_first > 0:
+        sampled = sample_behaviours(program, samples=samples_first)
+        if sampled.deadlock_possible:
+            witness = sampled.deadlocks[0]
+            return PropertyReport(
+                name="deadlock-free", holds=False, exhaustive=False,
+                detail=f"deadlock reachable: {witness.detail}",
+                counterexample=witness.schedule(), exploration=sampled)
+    res = explore(program, **explore_kw)
+    if res.deadlock_possible:
+        witness = res.deadlocks[0]
+        return PropertyReport(
+            name="deadlock-free", holds=False, exhaustive=res.complete,
+            detail=f"deadlock reachable: {witness.detail}",
+            counterexample=witness.schedule(), exploration=res)
+    return PropertyReport(name="deadlock-free", holds=True,
+                          exhaustive=res.complete, exploration=res)
+
+
+def check_always(program: Program,
+                 predicate: Callable[[tuple, Any], bool],
+                 name: str = "always",
+                 **explore_kw: Any) -> PropertyReport:
+    """``predicate(output_tuple, observation)`` holds at every terminal."""
+    res = explore(program, **explore_kw)
+    for (out, obs), witness in res.witnesses.items():
+        if not predicate(out, obs):
+            return PropertyReport(
+                name=name, holds=False, exhaustive=res.complete,
+                detail=f"violated at output={out!r} obs={obs!r}",
+                counterexample=witness.schedule(), exploration=res)
+    return PropertyReport(name=name, holds=True, exhaustive=res.complete,
+                          exploration=res)
+
+
+def check_sometimes(program: Program,
+                    predicate: Callable[[tuple, Any], bool],
+                    name: str = "sometimes",
+                    **explore_kw: Any) -> PropertyReport:
+    """Some schedule reaches a terminal satisfying the predicate.
+
+    This is the Test-1 question form: "could scenario X happen?" — a
+    YES needs a witness schedule, a NO needs exhaustive exploration.
+    """
+    res = explore(program, **explore_kw)
+    for (out, obs), witness in res.witnesses.items():
+        if predicate(out, obs):
+            return PropertyReport(
+                name=name, holds=True, exhaustive=res.complete,
+                detail=f"witness output={out!r} obs={obs!r}",
+                witness=witness.schedule(), exploration=res)
+    return PropertyReport(
+        name=name, holds=False, exhaustive=res.complete,
+        detail="no satisfying terminal found"
+               + ("" if res.complete else " (budget hit — inconclusive)"),
+        exploration=res)
+
+
+# ---------------------------------------------------------------------------
+# trace-level analyses
+# ---------------------------------------------------------------------------
+
+def mutex_intervals(trace: Trace, enter_label: str, exit_label: str
+                    ) -> list[tuple[str, int, int]]:
+    """Extract (task, enter_step, exit_step) critical-section intervals.
+
+    Convention: tasks mark sections with ``Emit((enter_label, name))`` /
+    ``Emit((exit_label, name))``; the emitted tuples appear in
+    ``trace.output`` in execution order.
+    """
+    intervals: list[tuple[str, int, int]] = []
+    open_at: dict[str, int] = {}
+    for pos, value in enumerate(trace.output):
+        if not (isinstance(value, tuple) and len(value) == 2):
+            continue
+        label, who = value
+        if label == enter_label:
+            open_at[who] = pos
+        elif label == exit_label and who in open_at:
+            intervals.append((who, open_at.pop(who), pos))
+    # anything never exited stays open to the end of the trace
+    for who, start in open_at.items():
+        intervals.append((who, start, len(trace.output)))
+    return intervals
+
+
+def check_mutual_exclusion(trace: Trace, enter_label: str = "enter",
+                           exit_label: str = "exit") -> Optional[str]:
+    """None of the marked critical sections overlap.
+
+    Returns None when exclusion holds, else a description of the first
+    overlapping pair.
+    """
+    intervals = sorted(mutex_intervals(trace, enter_label, exit_label),
+                       key=lambda iv: iv[1])
+    for (who_a, s_a, e_a), (who_b, s_b, e_b) in zip(intervals, intervals[1:]):
+        if s_b < e_a:
+            return (f"{who_a} in section [{s_a},{e_a}] overlaps "
+                    f"{who_b} entering at {s_b}")
+    return None
+
+
+def starvation_gap(trace: Trace, task_name: str) -> int:
+    """Longest run of consecutive steps during which ``task_name`` did
+    not execute (after its first and before its last step).
+
+    A fairness measure: under a fair scheduler the gap stays bounded by
+    roughly the number of live tasks.
+    """
+    positions = [i for i, e in enumerate(trace.events) if e.task_name == task_name]
+    if len(positions) < 2:
+        return 0
+    return max(b - a - 1 for a, b in zip(positions, positions[1:]))
+
+
+def fairness_report(trace: Trace) -> dict[str, dict[str, int]]:
+    """Per-task steps and worst starvation gap — a fairness dashboard."""
+    report: dict[str, dict[str, int]] = {}
+    for name, steps in trace.steps_by_task().items():
+        report[name] = {"steps": steps, "max_gap": starvation_gap(trace, name)}
+    return report

@@ -1,0 +1,180 @@
+"""Reachability queries — the executable form of the paper's Test 1.
+
+Each Test-1 question (Figures 6-7) has the shape:
+
+    "Suppose <history> has happened.  Decide if <scenario> could happen
+     immediately after.  Circle YES or NO."
+
+Operationally that is an existential reachability question over the
+program's schedule space: *does some execution embed the history events
+followed by the scenario events?*  Programs log semantically meaningful
+events with ``Emit`` (method entry/return, lock block, message
+send/receive), the explorer enumerates all logs, and the query engine
+searches for an embedding.
+
+Verdicts:
+
+* ``YES`` — a witness schedule exists (replayable evidence);
+* ``NO`` — exploration was exhaustive and no embedding exists;
+* ``UNKNOWN`` — budget exhausted without a witness (never happens for
+  the paper's bridge instances, which explore completely).
+
+A simulated student in :mod:`repro.misconceptions` answers the same
+questions with the same engine but over a *mutated* program/semantics —
+which is precisely the paper's model of a misconception.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence, Union
+
+from .explorer import ExplorationResult, Program, explore
+
+__all__ = ["Pattern", "matches", "embeds", "ScenarioQuestion", "Answer",
+           "answer_question"]
+
+#: A pattern is a literal value (equality) or a predicate over the event.
+Pattern = Union[Any, Callable[[Any], bool]]
+
+
+def matches(pattern: Pattern, event: Any) -> bool:
+    """Structural match: callables are predicates, tuples match
+    element-wise (so any component may itself be a predicate), anything
+    else matches by equality."""
+    if callable(pattern):
+        return bool(pattern(event))
+    if isinstance(pattern, tuple) and isinstance(event, tuple):
+        return len(pattern) == len(event) and all(
+            matches(p, e) for p, e in zip(pattern, event))
+    return pattern == event
+
+
+def embeds(log: Sequence[Any], history: Sequence[Pattern],
+           scenario: Sequence[Pattern],
+           forbidden: Sequence[Pattern] = (),
+           forbidden_anywhere: Sequence[Pattern] = ()) -> bool:
+    """Does ``log`` embed history ++ scenario as a subsequence, with no
+    ``forbidden`` event between the end of the history embedding and the
+    end of the scenario embedding, and no ``forbidden_anywhere`` event
+    before the scenario completes?
+
+    Full backtracking search over embeddings — logs here are short
+    (tens of events), so exactness beats greediness.
+    """
+    all_patterns = list(history) + list(scenario)
+    n_hist = len(history)
+
+    def search(pat_idx: int, log_idx: int, cut: int) -> bool:
+        if pat_idx == len(all_patterns):
+            return True
+        for i in range(log_idx, len(log)):
+            event = log[i]
+            # an anywhere-forbidden event kills the embedding even if it
+            # would match the current pattern: it must not occur at all
+            if any(matches(f, event) for f in forbidden_anywhere):
+                return False
+            is_match = matches(all_patterns[pat_idx], event)
+            if not is_match:
+                if pat_idx >= n_hist and any(matches(f, event)
+                                             for f in forbidden):
+                    return False
+            else:
+                new_cut = i + 1 if pat_idx == n_hist - 1 else cut
+                if search(pat_idx + 1, i + 1, new_cut):
+                    return True
+                # also consider skipping this match, unless skipping it
+                # violates a forbidden constraint
+                if any(matches(f, event) for f in forbidden_anywhere):
+                    return False
+                if pat_idx >= n_hist and any(matches(f, event)
+                                             for f in forbidden):
+                    return False
+        return False
+
+    return search(0, 0, 0)
+
+
+@dataclass(frozen=True)
+class ScenarioQuestion:
+    """One YES/NO item of a Test-1-style exam.
+
+    Attributes
+    ----------
+    qid:
+        Question label, e.g. ``"(m)"``.
+    text:
+        The natural-language prompt shown to (simulated) students.
+    history:
+        Event patterns that set the scene ("suppose ... has happened").
+    scenario:
+        Event patterns that must be reachable after the history.
+    forbidden:
+        Events that must *not* occur inside the scenario window — used
+        for "X happens before Y" phrasings.
+    forbidden_anywhere:
+        Events that must not occur at any point from the start of the
+        execution until the scenario completes — used for questions
+        that pin down what has *not yet* happened in the history
+        ("...and the bridge has not yet processed redCarA's message").
+    expected:
+        Ground-truth answer if externally known (used by tests; the
+        engine recomputes it regardless).
+    """
+
+    qid: str
+    text: str
+    history: tuple = ()
+    scenario: tuple = ()
+    forbidden: tuple = ()
+    forbidden_anywhere: tuple = ()
+    expected: Optional[str] = None
+
+
+@dataclass
+class Answer:
+    """Engine verdict for one question."""
+
+    question: ScenarioQuestion
+    verdict: str                      # "YES" | "NO" | "UNKNOWN"
+    witness_schedule: Optional[list[int]] = None
+    witness_log: Optional[tuple] = None
+    runs: int = 0
+    exhaustive: bool = True
+    #: logs examined (for explanation rendering)
+    considered: int = 0
+    explanation: str = ""
+
+    @property
+    def yes(self) -> bool:
+        return self.verdict == "YES"
+
+
+def answer_question(program: Program, question: ScenarioQuestion,
+                    *, exploration: Optional[ExplorationResult] = None,
+                    max_runs: int = 20_000, **explore_kw: Any) -> Answer:
+    """Answer one scenario question against a program.
+
+    Pass a pre-computed ``exploration`` to amortize one exploration
+    across a whole question sheet (the engine only re-matches logs).
+    """
+    res = exploration if exploration is not None else explore(
+        program, max_runs=max_runs, **explore_kw)
+
+    considered = 0
+    for (out, _obs), witness in res.witnesses.items():
+        considered += 1
+        if embeds(out, question.history, question.scenario,
+                  question.forbidden, question.forbidden_anywhere):
+            return Answer(
+                question=question, verdict="YES",
+                witness_schedule=witness.schedule(), witness_log=out,
+                runs=res.runs, exhaustive=res.complete, considered=considered,
+                explanation=f"witness execution found after {considered} logs")
+    verdict = "NO" if res.complete else "UNKNOWN"
+    why = ("no execution embeds the scenario (exhaustive search of "
+           f"{res.runs} schedules)") if res.complete else \
+          f"no witness within budget ({res.runs} schedules) — inconclusive"
+    return Answer(question=question, verdict=verdict, runs=res.runs,
+                  exhaustive=res.complete, considered=considered,
+                  explanation=why)

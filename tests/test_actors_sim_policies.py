@@ -1,0 +1,173 @@
+"""Sim actor system under different delivery policies + threaded extras."""
+
+import pytest
+
+from repro.actors import Actor, SimActorSystem
+from repro.core import DeliveryPolicy, Scheduler
+from repro.verify import explore
+
+
+class Recorder(Actor):
+    def __init__(self, log):
+        super().__init__()
+        self.log = log
+
+    def receive(self, message, sender):
+        self.log.append(message)
+
+
+def two_senders_program(policy):
+    """Driver a sends 2 messages, driver b sends 1, to one actor.
+
+    (2+1 keeps same-sender reordering observable while keeping the
+    schedule space small enough for sub-second exhaustive exploration.)
+    """
+    def program(sched):
+        log = []
+        system = SimActorSystem(sched, mailbox_policy=policy)
+        ref = system.spawn(Recorder, log, name="recorder")
+
+        def driver(tag, count):
+            for i in range(count):
+                yield from system.tell_gen(ref, (tag, i))
+        sched.spawn(driver, "a", 2, name="driver-a")
+        sched.spawn(driver, "b", 1, name="driver-b")
+        return lambda: tuple(log)
+    return program
+
+
+class TestSimDeliveryPolicies:
+    def test_arbitrary_reorders_same_sender(self):
+        res = explore(two_senders_program(DeliveryPolicy.ARBITRARY),
+                      max_runs=100_000)
+        assert res.complete
+        assert any([i for t, i in order if t == "a"] == [1, 0]
+                   for order in res.observations())
+
+    def test_per_sender_fifo_preserves_each_sender(self):
+        res = explore(two_senders_program(DeliveryPolicy.PER_SENDER_FIFO),
+                      max_runs=100_000)
+        assert res.complete
+        for order in res.observations():
+            for tag in ("a", "b"):
+                ks = [i for t, i in order if t == tag]
+                assert ks == sorted(ks)
+
+    def test_policy_hierarchy(self):
+        arbitrary = explore(two_senders_program(DeliveryPolicy.ARBITRARY),
+                            max_runs=100_000).observations()
+        per_sender = explore(
+            two_senders_program(DeliveryPolicy.PER_SENDER_FIFO),
+            max_runs=100_000).observations()
+        assert per_sender <= arbitrary
+
+
+class TestSimActorLifecycle:
+    def test_become_in_sim(self):
+        log = []
+
+        class Gate(Actor):
+            def receive(self, message, sender):
+                if message == "close":
+                    self.become(self.closed)
+                else:
+                    log.append(("open", message))
+
+            def closed(self, message, sender):
+                if message == "open":
+                    self.unbecome()
+                else:
+                    log.append(("shut", message))
+
+        sched = Scheduler()
+        system = SimActorSystem(sched)
+
+        def driver():
+            gate = system.spawn(Gate, name="gate")
+            for msg in ("a", "close", "b", "open", "c"):
+                yield from system.tell_gen(gate, msg)
+        sched.spawn(driver, name="driver")
+        sched.run()
+        assert log == [("open", "a"), ("shut", "b"), ("open", "c")]
+
+    def test_reply_via_context(self):
+        class Echo(Actor):
+            def receive(self, message, sender):
+                self.context.reply(("echo", message))
+
+        sched = Scheduler()
+        system = SimActorSystem(sched)
+        got = []
+
+        def driver():
+            echo = system.spawn(Echo, name="echo")
+            reply = yield from system.ask_gen(echo, "hi")
+            got.append(reply)
+        sched.spawn(driver, name="driver")
+        sched.run()
+        assert got == [("echo", "hi")]
+
+    def test_actor_to_actor_conversation(self):
+        transcript = []
+
+        class Pong(Actor):
+            def receive(self, message, sender):
+                transcript.append(("pong-got", message))
+                sender.tell(message + 1)
+
+        class Ping(Actor):
+            def __init__(self, pong, rounds):
+                super().__init__()
+                self.pong = pong
+                self.rounds = rounds
+
+            def receive(self, message, sender):
+                transcript.append(("ping-got", message))
+                if message < self.rounds:
+                    self.pong.tell(message, sender=self.self_ref)
+
+        sched = Scheduler()
+        system = SimActorSystem(sched)
+
+        def driver():
+            pong = system.spawn(Pong, name="pong")
+            ping = system.spawn(Ping, pong, 3, name="ping")
+            yield from system.tell_gen(ping, 0)
+        sched.spawn(driver, name="driver")
+        sched.run()
+        assert ("pong-got", 0) in transcript
+        assert ("ping-got", 3) in transcript
+
+    def test_stopped_actor_quiesces(self):
+        stopped = []
+
+        class Mortal(Actor):
+            def receive(self, message, sender):
+                pass
+
+            def post_stop(self):
+                stopped.append(True)
+
+        sched = Scheduler()
+        system = SimActorSystem(sched)
+
+        def driver():
+            victim = system.spawn(Mortal, name="mortal")
+            yield from system.tell_gen(victim, "x")
+            yield from system.stop_gen(victim)
+        sched.spawn(driver, name="driver")
+        trace = sched.run()
+        assert trace.outcome == "done"
+        assert stopped == [True]
+
+    def test_unknown_ref_rejected(self):
+        from repro.actors.ref import ActorRef
+        sched = Scheduler()
+        system = SimActorSystem(sched)
+        alien = ActorRef(999999, "alien", cell=None)
+
+        def driver():
+            yield from system.tell_gen(alien, "hello?")
+        sched.spawn(driver, name="driver")
+        with pytest.raises(Exception):
+            sched.run()

@@ -1,0 +1,178 @@
+"""Bug gallery, Test-2 grading harness, pair-programming phase, CLI."""
+
+import pytest
+
+from repro.problems.bug_gallery import BUG_IDS, check_bug, gallery
+
+
+class TestBugGallery:
+    def test_gallery_covers_the_four_categories(self):
+        categories = {spec.category for spec in gallery()}
+        assert categories == {"atomicity", "order", "deadlock", "liveness"}
+
+    @pytest.mark.parametrize("bug_id", BUG_IDS)
+    def test_bug_manifests_and_fix_removes_it(self, bug_id):
+        spec = next(s for s in gallery() if s.bug_id == bug_id)
+        report = check_bug(spec)
+        assert report["buggy_manifests"], bug_id
+        assert not report["fixed_manifests"], bug_id
+
+    def test_atomicity_entry_flagged_by_race_detector(self):
+        spec = next(s for s in gallery() if s.category == "atomicity")
+        report = check_bug(spec)
+        assert report["race_found"]
+        assert not report["race_in_fix"]
+
+    def test_every_entry_has_a_story(self):
+        for spec in gallery():
+            assert spec.story
+            assert spec.title
+
+
+class TestTest2Harness:
+    def test_reference_submission_gets_full_marks(self):
+        from repro.study.test2 import grade_submission, reference_submission
+        grade = grade_submission(reference_submission(), crossings=2,
+                                 runs=3)
+        assert grade.total == 100.0
+        assert set(grade.forms) == {"threads", "actors", "coroutines"}
+        assert "100/100" in grade.report()
+
+    def test_unsafe_submission_fails_safety(self):
+        from repro.study.test2 import Submission, grade_submission
+
+        def unsafe(cars, crossings):
+            # both directions "on the bridge" simultaneously
+            return [("redCarA", "enter-bridge"),
+                    ("blueCarA", "enter-bridge"),
+                    ("redCarA", "exit-bridge"),
+                    ("blueCarA", "exit-bridge")]
+
+        def honest(cars, crossings):
+            log = []
+            for name, _color in cars:
+                for _ in range(crossings):
+                    log.append((name, "enter-bridge"))
+                    log.append((name, "exit-bridge"))
+            return log
+
+        grade = grade_submission(
+            Submission(threads=unsafe, actors=honest, coroutines=honest,
+                       author="cheater"), crossings=2, runs=2)
+        assert not grade.forms["threads"].safety_ok
+        assert grade.forms["actors"].safety_ok
+        assert grade.total < 100.0
+
+    def test_incomplete_submission_loses_points(self):
+        from repro.study.test2 import Submission, grade_form
+
+        def lazy(cars, crossings):
+            name = cars[0][0]
+            return [(name, "enter-bridge"), (name, "exit-bridge")]
+
+        grade = grade_form("threads", lazy, crossings=2, runs=2)
+        assert grade.safety_ok
+        assert not grade.complete
+        assert grade.points == 60.0
+
+    def test_crashing_submission_reported(self):
+        from repro.study.test2 import grade_form
+
+        def broken(cars, crossings):
+            raise RuntimeError("NullPointerException, probably")
+
+        grade = grade_form("actors", broken, runs=2)
+        assert not grade.safety_ok
+        assert any("crashed" in f for f in grade.failures)
+
+
+class TestPairProgrammingPhase:
+    def test_phase_reproduces_equal_challenge_prediction(self):
+        from repro.study.cohort import sample_cohort
+        from repro.study.pair_programming import run_pair_phase
+        members = sample_cohort(16, seed=2013)
+        report = run_pair_phase(members, seed=77)
+        # the paper's cited prediction: no significant challenge gap
+        assert not report.challenge.significant
+        assert "reproduced" in report.describe()
+
+    def test_every_member_has_an_outcome(self):
+        from repro.study.cohort import sample_cohort
+        from repro.study.pair_programming import run_pair_phase
+        members = sample_cohort(16, seed=5)
+        report = run_pair_phase(members)
+        assert len(report.outcomes) == 16
+        pp = [o for o in report.outcomes if o.group == "PP"]
+        for outcome in pp:
+            if outcome.partner is not None:
+                partner = next(o for o in pp if o.name == outcome.partner)
+                assert partner.sm_lab == outcome.sm_lab  # shared work
+
+    def test_pair_quality_not_worse(self):
+        from repro.study.cohort import sample_cohort
+        from repro.study.pair_programming import run_pair_phase
+        gaps = []
+        for seed in range(5):
+            members = sample_cohort(16, seed=100 + seed)
+            report = run_pair_phase(members, seed=seed)
+            gaps.append(report.quality.mean_a - report.quality.mean_b)
+        assert sum(gaps) / len(gaps) > -3.0   # PP at least on par
+
+
+class TestCLI:
+    def _write(self, tmp_path, source):
+        path = tmp_path / "prog.pseudo"
+        path.write_text(source)
+        return str(path)
+
+    def test_run_command(self, tmp_path, capsys):
+        from repro.cli import main
+        path = self._write(tmp_path, 'PRINT "hi"')
+        assert main(["run", path]) == 0
+        assert "hi" in capsys.readouterr().out
+
+    def test_outputs_command(self, tmp_path, capsys):
+        from repro.cli import main
+        path = self._write(tmp_path,
+                           'PARA\nPRINT "a "\nPRINT "b "\nENDPARA')
+        assert main(["outputs", path]) == 0
+        out = capsys.readouterr().out
+        assert "possibility 1" in out and "possibility 2" in out
+
+    def test_check_command_flags_deadlock(self, tmp_path, capsys):
+        from repro.cli import main
+        source = """
+x = 0
+flag = 0
+DEFINE waiter()
+  EXC_ACC
+    WHILE flag == 0
+      WAIT()
+    ENDWHILE
+    x = 1
+  END_EXC_ACC
+ENDDEF
+PARA
+  waiter()
+ENDPARA
+"""
+        path = self._write(tmp_path, source)
+        assert main(["check", path]) == 1
+        assert "DEADLOCK" in capsys.readouterr().out
+
+    def test_check_command_clean_program(self, tmp_path, capsys):
+        from repro.cli import main
+        path = self._write(tmp_path, "x = 1\nPRINT x")
+        assert main(["check", path]) == 0
+        assert "no deadlocks" in capsys.readouterr().out
+
+    def test_run_seeded(self, tmp_path, capsys):
+        from repro.cli import main
+        path = self._write(tmp_path, 'PRINT 42')
+        assert main(["run", path, "--seed", "7"]) == 0
+        assert "42" in capsys.readouterr().out
+
+    def test_figures_command(self, capsys):
+        from repro.cli import main
+        assert main(["figures"]) == 0
+        assert "ok" in capsys.readouterr().out

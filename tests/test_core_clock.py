@@ -1,0 +1,113 @@
+"""Logical clocks — unit tests plus hypothesis properties."""
+
+from hypothesis import given, strategies as st
+
+from repro.core import LamportClock, VectorClock
+
+
+class TestLamportClock:
+    def test_tick_monotone(self):
+        clock = LamportClock()
+        values = [clock.tick() for _ in range(5)]
+        assert values == [1, 2, 3, 4, 5]
+
+    def test_merge_takes_max_plus_one(self):
+        clock = LamportClock(3)
+        assert clock.merge(10) == 11
+        assert clock.merge(2) == 12
+
+
+class TestVectorClockBasics:
+    def test_tick_increments_component(self):
+        vc = VectorClock().tick(1).tick(1).tick(2)
+        assert vc.get(1) == 2
+        assert vc.get(2) == 1
+        assert vc.get(99) == 0
+
+    def test_happens_before_chain(self):
+        a = VectorClock().tick(1)
+        b = a.tick(1)
+        assert a < b
+        assert not b < a
+
+    def test_concurrent_events(self):
+        a = VectorClock().tick(1)
+        b = VectorClock().tick(2)
+        assert a.concurrent(b)
+        assert b.concurrent(a)
+
+    def test_merge_orders_after_both(self):
+        a = VectorClock().tick(1)
+        b = VectorClock().tick(2)
+        m = a.merge(b).tick(3)
+        assert a < m and b < m
+
+    def test_equality_ignores_zero_components(self):
+        assert VectorClock({1: 0, 2: 3}) == VectorClock({2: 3})
+        assert hash(VectorClock({1: 0, 2: 3})) == hash(VectorClock({2: 3}))
+
+    def test_immutability(self):
+        a = VectorClock()
+        b = a.tick(1)
+        assert a.get(1) == 0
+        assert b.get(1) == 1
+
+
+# ---------------------------------------------------------------------------
+# property-based tests
+# ---------------------------------------------------------------------------
+
+pids = st.integers(min_value=1, max_value=5)
+clock_ops = st.lists(pids, min_size=0, max_size=30)
+
+
+def build(ops) -> VectorClock:
+    vc = VectorClock()
+    for pid in ops:
+        vc = vc.tick(pid)
+    return vc
+
+
+class TestVectorClockProperties:
+    @given(clock_ops)
+    def test_prefix_happens_before_extension(self, ops):
+        base = build(ops)
+        extended = base.tick(1)
+        assert base < extended
+        assert base <= extended
+
+    @given(clock_ops, clock_ops)
+    def test_ordering_trichotomy(self, ops_a, ops_b):
+        a, b = build(ops_a), build(ops_b)
+        relations = [a < b, b < a, a == b, a.concurrent(b)]
+        assert sum(relations) == 1
+
+    @given(clock_ops, clock_ops)
+    def test_merge_is_upper_bound(self, ops_a, ops_b):
+        a, b = build(ops_a), build(ops_b)
+        m = a.merge(b)
+        assert a <= m and b <= m
+
+    @given(clock_ops, clock_ops)
+    def test_merge_commutes(self, ops_a, ops_b):
+        a, b = build(ops_a), build(ops_b)
+        assert a.merge(b) == b.merge(a)
+
+    @given(clock_ops, clock_ops, clock_ops)
+    def test_merge_associates(self, x, y, z):
+        a, b, c = build(x), build(y), build(z)
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @given(clock_ops, clock_ops, clock_ops)
+    def test_happens_before_transitive(self, x, y, z):
+        a = build(x)
+        b = a.merge(build(y)).tick(1)
+        c = b.merge(build(z)).tick(2)
+        assert a < b and b < c
+        assert a < c
+
+    @given(clock_ops, clock_ops)
+    def test_equal_clocks_hash_equal(self, ops_a, ops_b):
+        a, b = build(ops_a), build(ops_b)
+        if a == b:
+            assert hash(a) == hash(b)

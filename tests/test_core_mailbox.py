@@ -1,0 +1,166 @@
+"""Mailbox delivery policies and the messaging effects."""
+
+import pytest
+
+from repro.core import (DeliveryPolicy, Emit, Mailbox, MailboxError,
+                        Receive, Scheduler, Send, TaskFailed, run_tasks)
+from repro.verify import explore
+
+
+from functools import lru_cache
+
+
+def _order_program(policy):
+    """Two senders (2 + 1 messages), one receiver; observation = order."""
+    def program(sched):
+        mb = Mailbox("box", policy=policy)
+        got: list = []
+
+        def sender(tag, count):
+            for i in range(count):
+                yield Send(mb, (tag, i))
+
+        def receiver():
+            for _ in range(3):
+                got.append((yield Receive(mb)))
+        sched.spawn(sender, "a", 2, name="sender-a")
+        sched.spawn(sender, "b", 1, name="sender-b")
+        sched.spawn(receiver, name="receiver")
+        return lambda: tuple(got)
+    return program
+
+
+@lru_cache(maxsize=8)
+def _arrival_orders(policy) -> frozenset:
+    res = explore(_order_program(policy), max_runs=100_000)
+    assert res.complete
+    return frozenset(res.observations())
+
+
+class TestDeliveryPolicies:
+    def test_fifo_single_order(self):
+        """FIFO: arrival order is exactly global send order, so the set
+        of arrival orders equals the set of send interleavings."""
+        orders = _arrival_orders(DeliveryPolicy.FIFO)
+        for order in orders:
+            # within each sender, FIFO always holds
+            a_items = [i for tag, i in order if tag == "a"]
+            b_items = [i for tag, i in order if tag == "b"]
+            assert a_items == sorted(a_items)
+            assert b_items == sorted(b_items)
+
+    def test_per_sender_fifo_preserves_sender_order(self):
+        orders = _arrival_orders(DeliveryPolicy.PER_SENDER_FIFO)
+        for order in orders:
+            a_items = [i for tag, i in order if tag == "a"]
+            assert a_items == sorted(a_items)
+
+    def test_arbitrary_includes_reordering_within_sender(self):
+        orders = _arrival_orders(DeliveryPolicy.ARBITRARY)
+        reordered = [o for o in orders
+                     if [i for tag, i in o if tag == "a"] == [1, 0]]
+        assert reordered, "ARBITRARY must allow same-sender reordering"
+
+    def test_arbitrary_is_superset_of_fifo(self):
+        assert _arrival_orders(DeliveryPolicy.FIFO) <= \
+            _arrival_orders(DeliveryPolicy.ARBITRARY)
+
+    def test_per_sender_between_fifo_and_arbitrary(self):
+        fifo = _arrival_orders(DeliveryPolicy.FIFO)
+        per_sender = _arrival_orders(DeliveryPolicy.PER_SENDER_FIFO)
+        arbitrary = _arrival_orders(DeliveryPolicy.ARBITRARY)
+        assert fifo <= per_sender <= arbitrary
+
+    def test_causal_respects_happens_before(self):
+        """A message sent after receiving another is causally later and
+        must not overtake it at a shared destination."""
+        def program(sched):
+            dest = Mailbox("dest", policy=DeliveryPolicy.CAUSAL)
+            relay_box = Mailbox("relay-in", policy=DeliveryPolicy.CAUSAL)
+
+            def origin():
+                yield Send(dest, "first")
+                yield Send(relay_box, "go")
+
+            def relay():
+                yield Receive(relay_box)
+                # causally after "first" was sent
+                yield Send(dest, "second")
+
+            def receiver():
+                for _ in range(2):
+                    got = yield Receive(dest)
+                    yield Emit(got)
+            sched.spawn(origin)
+            sched.spawn(relay)
+            sched.spawn(receiver)
+        res = explore(program)
+        assert res.complete
+        assert res.output_strings() == {"firstsecond"}
+
+
+class TestSelectiveReceive:
+    def test_matcher_skips_non_matching(self):
+        mb = Mailbox("box")
+
+        def sender():
+            yield Send(mb, ("noise", 0))
+            yield Send(mb, ("signal", 1))
+
+        def receiver():
+            got = yield Receive(mb, matcher=lambda m: m[0] == "signal")
+            yield Emit(got)
+            leftover = yield Receive(mb)
+            yield Emit(leftover)
+        trace = run_tasks(sender, receiver)
+        assert trace.output == [("signal", 1), ("noise", 0)]
+
+    def test_fifo_with_matcher_blocks_behind_head(self):
+        """Under FIFO the head is the only candidate: a non-matching
+        head blocks a selective receive (head-of-line blocking)."""
+        from repro.core import DeadlockError
+        mb = Mailbox("box", policy=DeliveryPolicy.FIFO)
+
+        def sender():
+            yield Send(mb, "wrong")
+
+        def receiver():
+            yield Receive(mb, matcher=lambda m: m == "right")
+        s = Scheduler()
+        s.spawn(sender)
+        s.spawn(receiver)
+        with pytest.raises(DeadlockError):
+            s.run()
+
+
+class TestMailboxLifecycle:
+    def test_send_to_closed_mailbox_fails(self):
+        mb = Mailbox("box")
+        mb.close()
+
+        def sender():
+            yield Send(mb, "late")
+        with pytest.raises(TaskFailed) as err:
+            run_tasks(sender)
+        assert isinstance(err.value.original, MailboxError)
+
+    def test_peek_and_len(self):
+        mb = Mailbox("box")
+
+        def sender():
+            yield Send(mb, 1)
+            yield Send(mb, 2)
+        run_tasks(sender)
+        assert len(mb) == 2
+        assert mb.peek_messages() == [1, 2]
+
+    def test_delivered_count(self):
+        mb = Mailbox("box")
+
+        def sender():
+            yield Send(mb, "x")
+
+        def receiver():
+            yield Receive(mb)
+        run_tasks(sender, receiver)
+        assert mb.delivered_count == 1

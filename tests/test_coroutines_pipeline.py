@@ -1,0 +1,106 @@
+"""Coroutine pipelines and pseudocode race annotations."""
+
+import pytest
+
+from repro.coroutines import (batching, filtering, mapping, pipeline, sink,
+                              source, stage, tee)
+
+
+class TestPipeline:
+    def test_map_filter_sink(self):
+        got = []
+        p = pipeline(mapping(lambda x: x * 2),
+                     filtering(lambda x: x > 2),
+                     sink(got.append))
+        assert source([1, 2, 3], p) == 3
+        assert got == [4, 6]
+
+    def test_single_stage_pipeline(self):
+        got = []
+        p = pipeline(sink(got.append))
+        source("ab", p)
+        assert got == ["a", "b"]
+
+    def test_batching(self):
+        got = []
+        p = pipeline(batching(2), sink(got.append))
+        source(range(5), p)
+        assert got == [[0, 1], [2, 3]]      # partial batch retained inside
+
+    def test_batching_size_validation(self):
+        with pytest.raises(ValueError):
+            batching(0)
+
+    def test_tee_observes_without_consuming(self):
+        seen, got = [], []
+        p = pipeline(tee(seen.append), sink(got.append))
+        source([1, 2], p)
+        assert seen == got == [1, 2]
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            pipeline()
+
+    def test_stage_decorator_primes(self):
+        @stage
+        def collector(out):
+            while True:
+                out.append((yield))
+        out = []
+        c = collector(out)
+        c.send("no TypeError because primed")
+        assert out == ["no TypeError because primed"]
+
+    def test_long_chain(self):
+        got = []
+        p = pipeline(mapping(str),
+                     mapping(lambda s: s + "!"),
+                     filtering(lambda s: not s.startswith("0")),
+                     sink(got.append))
+        source(range(3), p)
+        assert got == ["1!", "2!"]
+
+
+class TestPseudocodeRaceAnnotations:
+    def test_racy_pseudocode_flagged(self):
+        from repro.pseudocode import compile_program
+        from repro.verify import explore, find_races
+        runtime = compile_program("""
+total = 0
+DEFINE work(amount)
+  mine = total
+  total = mine + amount
+ENDDEF
+PARA
+  work(1)
+  work(2)
+ENDPARA
+""")
+        res = explore(runtime.make_program(), max_runs=50_000)
+        race = None
+        for trace in res.witnesses.values():
+            races = find_races(trace, max_races=1)
+            if races:
+                race = races[0]
+                break
+        assert race is not None
+        assert race.var == "total"
+
+    def test_exc_acc_pseudocode_clean(self):
+        from repro.pseudocode import compile_program
+        from repro.verify import explore, find_races
+        runtime = compile_program("""
+total = 0
+DEFINE work(amount)
+  EXC_ACC
+    total = total + amount
+  END_EXC_ACC
+ENDDEF
+PARA
+  work(1)
+  work(2)
+ENDPARA
+""")
+        res = explore(runtime.make_program(), max_runs=50_000)
+        for trace in res.witnesses.values():
+            assert find_races(trace) == []

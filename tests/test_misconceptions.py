@@ -1,0 +1,208 @@
+"""Misconception engine: taxonomy, catalog, semantics, students."""
+
+import pytest
+
+from repro.misconceptions import (CATALOG, LEVELS, MP_IDS,
+                                  PAPER_COHORT_SIZE, SM_IDS,
+                                  SimulatedStudent, answer_delta, by_id,
+                                  level_of, mp_flags_for, mutated_lts,
+                                  sm_flags_for, translate_question)
+from repro.study.questions import question_bank
+from repro.verify import ScenarioQuestion
+
+
+class TestTaxonomy:
+    def test_table1_has_six_rows(self):
+        assert len(LEVELS) == 6
+        assert [row.code for row in LEVELS] == \
+            ["D1", "T1", "C1", "I1", "I2", "U1"]
+
+    def test_levels_grouped_by_category(self):
+        categories = [row.category for row in LEVELS]
+        assert categories == ["Description", "Terminology", "Concurrency",
+                              "Implementation", "Implementation",
+                              "Uncertainty"]
+
+    def test_lookup(self):
+        assert level_of("I2").category == "Implementation"
+        with pytest.raises(KeyError):
+            level_of("Z9")
+
+
+class TestCatalog:
+    def test_fourteen_entries_with_paper_counts(self):
+        assert len(CATALOG) == 14
+        assert len(MP_IDS) == 6 and len(SM_IDS) == 8
+        # Table III's exact counts
+        expected = {"M1": 6, "M2": 1, "M3": 7, "M4": 7, "M5": 6, "M6": 7,
+                    "S1": 3, "S2": 1, "S3": 2, "S4": 4, "S5": 9, "S6": 1,
+                    "S7": 10, "S8": 2}
+        assert {m.mid: m.paper_count for m in CATALOG} == expected
+
+    def test_prevalence_normalized_by_cohort(self):
+        assert by_id("S7").prevalence == 10 / PAPER_COHORT_SIZE
+
+    def test_every_entry_has_valid_level(self):
+        for m in CATALOG:
+            level_of(m.level)
+
+    def test_semantic_entries_name_flags(self):
+        for m in CATALOG:
+            if m.kind == "semantic":
+                assert m.flag is not None
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            by_id("M99")
+
+
+class TestSemanticFlags:
+    def test_sm_flags_mapping(self):
+        flags = sm_flags_for({"S5", "S6", "S7"})
+        assert flags.acquire_requires_condition
+        assert flags.wait_blocks_monitor
+        assert flags.lock_span_method
+
+    def test_mp_flags_mapping(self):
+        flags = mp_flags_for({"M3", "M4", "M5"})
+        assert flags.send_synchronous
+        assert flags.ack_synchronous
+        assert flags.delivery == "fifo"
+
+    def test_cross_section_ids_ignored(self):
+        assert sm_flags_for({"M5"}) == sm_flags_for(())
+        assert mp_flags_for({"S7"}) == mp_flags_for(())
+
+    def test_noise_ids_do_not_mutate_model(self):
+        assert sm_flags_for({"S1", "S4"}) == sm_flags_for(())
+
+    def test_bad_section_rejected(self):
+        with pytest.raises(ValueError):
+            mutated_lts("quantum", ())
+
+
+class TestAnswerDeltas:
+    def test_every_semantic_misconception_flips_some_question(self):
+        bank = question_bank()
+        sm_qs = [i.question for i in bank if i.section == "sm"]
+        mp_qs = [i.question for i in bank if i.section == "mp"]
+        for mid in ("S5", "S6", "S7"):
+            assert answer_delta("sm", [mid], sm_qs), mid
+        for mid in ("M3", "M4", "M5"):
+            assert answer_delta("mp", [mid], mp_qs), mid
+
+    def test_no_misconceptions_no_delta(self):
+        bank = question_bank()
+        sm_qs = [i.question for i in bank if i.section == "sm"]
+        assert answer_delta("sm", [], sm_qs) == []
+
+    def test_deltas_mostly_overreject(self):
+        """Most semantic misconceptions shrink the behaviour space, so
+        flips are overwhelmingly YES → NO (the paper's students ruled
+        out feasible executions far more often than inventing them)."""
+        bank = question_bank()
+        sm_qs = [i.question for i in bank if i.section == "sm"]
+        flips = answer_delta("sm", ["S5", "S7"], sm_qs)
+        assert flips
+        assert all(true == "YES" and wrong == "NO"
+                   for _, true, wrong in flips)
+
+
+class TestQuestionTranslation:
+    def test_m3_rewrites_handle_to_send(self):
+        q = ScenarioQuestion(
+            qid="x", text="",
+            scenario=(("bridge", "handle", "redCarA", "redEnter"),))
+        translated = translate_question(q, {"M3"})
+        assert translated.scenario == (("redCarA", "send", "redEnter"),)
+
+    def test_m4_rewrites_recv_to_handle(self):
+        q = ScenarioQuestion(
+            qid="x", text="",
+            scenario=(("redCarB", "recv", "succeedEnter"),))
+        translated = translate_question(q, {"M4"})
+        assert translated.scenario == \
+            (("bridge", "handle", "redCarB", "redEnter"),)
+
+    def test_exit_ack_maps_to_exit_handle(self):
+        q = ScenarioQuestion(
+            qid="x", text="",
+            scenario=(("blueCarA", "recv", ("succeedExit", 2)),))
+        translated = translate_question(q, {"M4"})
+        assert translated.scenario == \
+            (("bridge", "handle", "blueCarA", "blueExit"),)
+
+    def test_no_semantic_ids_identity(self):
+        q = ScenarioQuestion(qid="x", text="",
+                             scenario=(("a", "recv", "b"),))
+        assert translate_question(q, {"S7"}) is q
+
+
+class TestSimulatedStudent:
+    def _item(self, qid):
+        return next(i for i in question_bank() if i.qid == qid)
+
+    def test_perfect_student_answers_correctly(self):
+        student = SimulatedStudent("ace", frozenset(), skill=1.0,
+                                   capacity=10**9)
+        for item in question_bank():
+            answer = student.answer(item)
+            assert answer.correct, item.qid
+            assert not answer.tags
+
+    def test_s7_student_fails_lock_span_questions(self):
+        student = SimulatedStudent("s7-holder", frozenset({"S7"}),
+                                   skill=1.0, capacity=10**9)
+        answer = student.answer(self._item("SM-c"))
+        assert not answer.correct
+        assert "S7" in answer.tags
+
+    def test_m5_student_fails_order_questions(self):
+        student = SimulatedStudent("m5-holder", frozenset({"M5"}),
+                                   skill=1.0, capacity=10**9)
+        answer = student.answer(self._item("MP-c"))
+        assert not answer.correct
+        assert "M5" in answer.tags
+
+    def test_misconception_only_affects_its_section(self):
+        student = SimulatedStudent("m5-holder", frozenset({"M5"}),
+                                   skill=1.0, capacity=10**9)
+        for item in question_bank():
+            if item.section == "sm":
+                assert student.answer(item).correct, item.qid
+
+    def test_uncertainty_overload_on_big_questions(self):
+        student = SimulatedStudent("u1", frozenset({"S8"}), skill=1.0,
+                                   capacity=100, seed=3)
+        big_items = [i for i in question_bank()
+                     if i.section == "sm" and i.size > 100]
+        answers = [student.answer(i) for i in big_items]
+        assert any(a.overloaded for a in answers)
+
+    def test_practice_reduces_errors(self):
+        student_ids = frozenset({"S5", "S7"})
+        sm_items = [i for i in question_bank() if i.section == "sm"]
+
+        def errors(practice, seed):
+            student = SimulatedStudent("p", student_ids, skill=0.9,
+                                       capacity=600, seed=seed)
+            return sum(not a.correct
+                       for a in student.answer_section(sm_items,
+                                                       practice=practice))
+        fresh = sum(errors(0.0, s) for s in range(12))
+        practiced = sum(errors(0.9, s) for s in range(12))
+        assert practiced < fresh
+
+    def test_student_determinism(self):
+        items = list(question_bank())
+        a = SimulatedStudent("same", frozenset({"S5"}), seed=7)
+        b = SimulatedStudent("same", frozenset({"S5"}), seed=7)
+        assert [x.verdict for x in a.answer_section(items)] == \
+            [x.verdict for x in b.answer_section(items)]
+
+    def test_exhibited_collects_tags(self):
+        student = SimulatedStudent("s", frozenset({"S7"}), skill=1.0,
+                                   capacity=10**9)
+        answers = student.answer_section(
+            [i for i in question_bank() if i.section == "sm"])
+        assert "S7" in student.exhibited(answers)

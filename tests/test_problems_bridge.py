@@ -1,0 +1,169 @@
+"""Single-lane bridge: LTS models, Figure 6/7 questions, three runtimes."""
+
+import pytest
+
+from repro.problems.single_lane_bridge import (DEFAULT_CARS, MP_PSEUDOCODE,
+                                               MPFlags, SM_PSEUDOCODE,
+                                               SMFlags, bridge_invariant,
+                                               check_crossing_log,
+                                               mp_bridge_lts,
+                                               run_actor_bridge,
+                                               run_coroutine_bridge,
+                                               run_threads_bridge,
+                                               sm_bridge_lts)
+from repro.verify import ScenarioQuestion, answer_question_lts
+
+A, B, BL = "redCarA", "redCarB", "blueCarA"
+
+
+class TestSharedMemoryModel:
+    def test_state_space_explores_cleanly(self):
+        result = sm_bridge_lts().explore()
+        assert result.states > 100
+        assert not result.deadlocks
+        assert result.final_states
+
+    def test_safety_invariant_holds(self):
+        assert sm_bridge_lts().check_invariant(bridge_invariant) is None
+
+    def test_s5_model_violates_nothing_but_changes_reachability(self):
+        """The S5 world is still safe — it is over-restrictive, not
+        unsafe; the student rejects feasible behaviours."""
+        mutated = sm_bridge_lts(flags=SMFlags(acquire_requires_condition=True))
+        assert mutated.check_invariant(bridge_invariant) is None
+
+    def test_s6_world_can_deadlock(self):
+        """If WAIT held the monitor (S6), a waiting car would block the
+        bridge forever — the deadlock is real in that world."""
+        mutated = sm_bridge_lts(flags=SMFlags(wait_blocks_monitor=True))
+        assert mutated.deadlock_trace() is not None
+
+    def test_correct_world_deadlock_free(self):
+        assert sm_bridge_lts().deadlock_trace() is None
+
+
+class TestFigure6Question:
+    def test_item_m_is_yes(self):
+        """Figure 6 (m): redCarB returns from redEnter first, calls
+        redExit, and blocks on the EXC_ACC marker — possible."""
+        q = ScenarioQuestion(
+            qid="(m)", text="fig6(m)",
+            history=((A, "call", "redEnter"), (B, "call", "redEnter")),
+            scenario=((B, "return", "redEnter"), (B, "call", "redExit"),
+                      (B, "acquire", "redExit")),
+            forbidden=((A, "return", "redEnter"),))
+        answer = answer_question_lts(sm_bridge_lts(), q)
+        assert answer.yes
+        events = [s.event for s in answer.witness]
+        assert (B, "return", "redEnter") in events
+
+    def test_item_m_flips_under_s7(self):
+        """A student who believes the lock spans the whole method call
+        cannot let redCarB return while redCarA is still inside."""
+        q = ScenarioQuestion(
+            qid="(m)", text="fig6(m)",
+            history=((A, "acquire", "redEnter"), (B, "call", "redEnter")),
+            scenario=((B, "return", "redEnter"),),
+            forbidden_anywhere=((A, "return", "redEnter"), (A, "wait")))
+        assert answer_question_lts(sm_bridge_lts(), q).yes
+        mutated = sm_bridge_lts(flags=SMFlags(lock_span_method=True))
+        assert answer_question_lts(mutated, q).verdict == "NO"
+
+
+class TestMessagePassingModel:
+    def test_state_space_explores_cleanly(self):
+        result = mp_bridge_lts().explore()
+        assert result.states > 100
+        assert not result.deadlocks
+
+    def test_mp_invariant_one_direction(self):
+        def safe(state):
+            return state[1] == 0 or state[2] == 0
+        assert mp_bridge_lts().check_invariant(safe) is None
+
+    def test_figure7_item_m_is_yes(self):
+        q = ScenarioQuestion(
+            qid="(m)", text="fig7(m)",
+            history=((A, "send", "redEnter"), (B, "send", "redEnter")),
+            scenario=((B, "recv", "succeedEnter"), (B, "send", "redExit"),
+                      (B, "recv", ("succeedExit", 2))))
+        assert answer_question_lts(mp_bridge_lts(), q).yes
+
+    def test_send_order_vs_handle_order(self):
+        """The arbitrary-delivery semantics lets B's message overtake
+        A's; the M5 (FIFO) world forbids exactly that."""
+        q = ScenarioQuestion(
+            qid="order", text="",
+            history=((A, "send", "redEnter"), (B, "send", "redEnter")),
+            scenario=(("bridge", "handle", B, "redEnter"),),
+            forbidden_anywhere=(("bridge", "handle", A, "redEnter"),))
+        assert answer_question_lts(mp_bridge_lts(), q).yes
+        fifo = mp_bridge_lts(flags=MPFlags(delivery="fifo"))
+        assert answer_question_lts(fifo, q).verdict == "NO"
+
+    def test_ack_reorder_across_receivers(self):
+        q = ScenarioQuestion(
+            qid="ack", text="",
+            history=(("bridge", "handle", A, "redEnter"),
+                     ("bridge", "handle", B, "redEnter")),
+            scenario=((B, "recv", "succeedEnter"),),
+            forbidden_anywhere=((A, "recv", "succeedEnter"),))
+        assert answer_question_lts(mp_bridge_lts(), q).yes
+        fifo = mp_bridge_lts(flags=MPFlags(delivery="fifo"))
+        assert answer_question_lts(fifo, q).verdict == "NO"
+
+    def test_m4_world_has_no_separate_recv(self):
+        q = ScenarioQuestion(
+            qid="m4", text="",
+            scenario=(("bridge", "handle", A, "redEnter"),
+                      (B, "send", "redEnter"),
+                      (A, "recv", "succeedEnter")))
+        assert answer_question_lts(mp_bridge_lts(), q).yes
+        m4 = mp_bridge_lts(flags=MPFlags(ack_synchronous=True))
+        assert answer_question_lts(m4, q).verdict == "NO"
+
+    def test_exit_counter_increments(self):
+        q = ScenarioQuestion(
+            qid="exit3", text="third exit exists",
+            scenario=((lambda e: isinstance(e, tuple) and len(e) == 3
+                       and e[1] == "recv" and e[2] == ("succeedExit", 3)),))
+        assert answer_question_lts(mp_bridge_lts(), q).yes
+
+
+class TestRunnableImplementations:
+    @pytest.mark.parametrize("runner", [
+        run_threads_bridge, run_actor_bridge, run_coroutine_bridge])
+    def test_log_is_safe_and_complete(self, runner):
+        crossings = 2
+        log = runner(crossings=crossings)
+        assert check_crossing_log(log, DEFAULT_CARS) is None
+        enters = sum(1 for e in log if e[1] == "enter-bridge")
+        exits = sum(1 for e in log if e[1] == "exit-bridge")
+        assert enters == exits == len(DEFAULT_CARS) * crossings
+
+    def test_crossing_audit_flags_violation(self):
+        bad_log = [("redCarA", "enter-bridge"), ("blueCarA", "enter-bridge")]
+        assert check_crossing_log(bad_log, DEFAULT_CARS) is not None
+
+    def test_crossing_audit_flags_exit_without_enter(self):
+        assert check_crossing_log([("redCarA", "exit-bridge")],
+                                  DEFAULT_CARS) is not None
+
+
+class TestPseudocodeForms:
+    def test_sm_pseudocode_parses_and_is_safe(self):
+        from repro.pseudocode import compile_program
+        runtime = compile_program(SM_PSEUDOCODE)
+        # one exclusion group covering both counters (enter blocks read
+        # the opposite colour's counter)
+        assert len(runtime.info.groups) == 1
+        result = runtime.run()
+        assert result.outcome == "done"
+        assert result.output_tokens() == ["0"]
+
+    def test_mp_pseudocode_parses(self):
+        from repro.pseudocode import parse
+        prog = parse(MP_PSEUDOCODE)
+        assert "Bridge" in prog.classes
+        assert "Car" in prog.classes
+        assert prog.classes["Bridge"].methods["start"].has_receive()

@@ -1,0 +1,359 @@
+"""The remaining classic problems across all three models."""
+
+import pytest
+
+from repro.verify import check_deadlock_free, explore, sample_behaviours
+
+
+class TestBoundedBuffer:
+    def test_kernel_program_all_items_delivered(self):
+        from repro.problems.bounded_buffer import buffer_program
+        res = explore(buffer_program(capacity=1, producers=1, consumers=1,
+                                     items_each=2))
+        assert res.complete
+        for consumed, leftover in res.observations():
+            assert leftover == 0
+            assert list(consumed) == [(0, 0), (0, 1)]
+
+    def test_kernel_capacity_respected(self):
+        from repro.problems.bounded_buffer import buffer_program
+        res = explore(buffer_program(capacity=1, producers=1, consumers=1,
+                                     items_each=2))
+        for trace in res.witnesses.values():
+            puts = gots = 0
+            for event in trace.output:
+                if event[0] == "put":
+                    puts += 1
+                else:
+                    gots += 1
+                assert puts - gots <= 1   # never more than capacity ahead
+
+    @pytest.mark.parametrize("runner_name", [
+        "run_threads_buffer", "run_actor_buffer", "run_coroutine_buffer"])
+    def test_exactly_once_delivery(self, runner_name):
+        from repro.problems import bounded_buffer
+        runner = getattr(bounded_buffer, runner_name)
+        consumed = runner(capacity=3, producers=2, consumers=2,
+                          items_each=20)
+        assert len(consumed) == 40
+        assert len(set(consumed)) == 40
+
+    def test_homework_pseudocode_is_correct(self):
+        """The 4-arm PARA is beyond exhaustive budget; stress it with
+        many random schedules instead — every run must end at count 0."""
+        from repro.core import RandomPolicy
+        from repro.problems.bounded_buffer import PSEUDOCODE
+        from repro.pseudocode import compile_program
+        runtime = compile_program(PSEUDOCODE)
+        for seed in range(40):
+            result = runtime.run(RandomPolicy(seed))
+            assert result.outcome == "done"
+            assert result.output_tokens() == ["0"], seed
+
+
+class TestDiningPhilosophers:
+    def test_naive_strategy_deadlocks(self):
+        from repro.problems.dining_philosophers import philosophers_program
+        report = check_deadlock_free(philosophers_program(3, 1, "naive"),
+                                     max_runs=30_000)
+        assert not report.holds
+
+    def test_waiter_strategy_deadlock_free_proof(self):
+        """2 philosophers: small enough for an exhaustive proof."""
+        from repro.problems.dining_philosophers import philosophers_program
+        report = check_deadlock_free(philosophers_program(2, 1, "waiter"),
+                                     max_runs=60_000)
+        assert report.holds
+        assert report.exhaustive
+
+    def test_waiter_strategy_no_deadlock_sampled_at_scale(self):
+        from repro.problems.dining_philosophers import philosophers_program
+        res = sample_behaviours(philosophers_program(4, 2, "waiter"),
+                                samples=200)
+        assert res.outcomes.get("deadlock", 0) == 0
+
+    def test_ordered_strategy_no_deadlock_found(self):
+        from repro.problems.dining_philosophers import philosophers_program
+        res = sample_behaviours(philosophers_program(4, 2, "ordered"),
+                                samples=300)
+        assert res.outcomes.get("deadlock", 0) == 0
+
+    def test_unknown_strategy_rejected(self):
+        from repro.problems.dining_philosophers import philosophers_program
+        with pytest.raises(ValueError):
+            philosophers_program(strategy="hope")
+
+    def test_threads_ordered_all_meals(self):
+        from repro.problems.dining_philosophers import \
+            run_threads_philosophers
+        assert run_threads_philosophers(5, 10) == 50
+
+    def test_actor_waiter_all_meals(self):
+        from repro.problems.dining_philosophers import \
+            run_actor_philosophers
+        assert run_actor_philosophers(4, 3) == 12
+
+    def test_coroutine_all_meals(self):
+        from repro.problems.dining_philosophers import \
+            run_coroutine_philosophers
+        assert run_coroutine_philosophers(5, 5) == 25
+
+
+class TestReadersWriters:
+    def test_kernel_no_overlap_proof_small(self):
+        """1 reader + 1 writer: exhaustive proof of no overlap."""
+        from repro.problems.readers_writers import rw_invariant, rw_program
+        res = explore(rw_program(readers=1, writers=1, rounds=1,
+                                 priority="readers"), max_runs=100_000)
+        assert res.complete
+        for obs in res.observations():
+            assert rw_invariant(obs)
+
+    def test_kernel_no_overlap_sampled_all_priorities(self):
+        from repro.problems.readers_writers import rw_invariant, rw_program
+        for priority in ("readers", "writers", "fair"):
+            res = sample_behaviours(
+                rw_program(readers=2, writers=2, rounds=2,
+                           priority=priority), samples=150)
+            for obs in res.observations():
+                assert rw_invariant(obs), (priority, obs)
+
+    def test_readers_can_share(self):
+        from repro.problems.readers_writers import rw_program
+        res = sample_behaviours(rw_program(readers=2, writers=1, rounds=1,
+                                           priority="readers"), samples=400)
+        assert any(obs[0] == 2 for obs in res.observations())
+
+    def test_threads_rwlock_no_torn_reads(self):
+        from repro.problems.readers_writers import run_threads_rw
+        outcome = run_threads_rw(readers=4, writers=2, rounds=50)
+        assert outcome["torn_reads"] == 0
+        assert outcome["reads"] == 200
+
+    def test_coroutine_rw_no_torn_reads(self):
+        from repro.problems.readers_writers import run_coroutine_rw
+        assert run_coroutine_rw()["torn_reads"] == 0
+
+    def test_rwlock_guards(self):
+        from repro.problems.readers_writers import ReadWriteLock
+        lock = ReadWriteLock()
+        with lock.read():
+            pass
+        with lock.write():
+            pass
+
+    def test_bad_priority_rejected(self):
+        from repro.problems.readers_writers import rw_program
+        with pytest.raises(ValueError):
+            rw_program(priority="anarchy")
+
+
+class TestSleepingBarber:
+    def test_kernel_every_customer_resolved(self):
+        from repro.problems.sleeping_barber import barber_program
+        res = sample_behaviours(barber_program(customers=3, chairs=1,
+                                               barbers=1), samples=200)
+        for served, turned in res.observations():
+            assert served + turned == 3
+        assert res.outcomes.get("deadlock", 0) == 0
+
+    @pytest.mark.parametrize("runner_name", [
+        "run_threads_barber", "run_actor_barber", "run_coroutine_barber"])
+    def test_runtime_accounting(self, runner_name):
+        from repro.problems import sleeping_barber
+        runner = getattr(sleeping_barber, runner_name)
+        outcome = runner(customers=20, chairs=3, barbers=2)
+        assert outcome["served"] + outcome["turned"] == 20
+        assert sleeping_barber.audit_barber_log(outcome["log"]) is None
+
+    def test_audit_catches_double_serve(self):
+        from repro.problems.sleeping_barber import audit_barber_log
+        log = [("seated", 1), ("served", 0, 1), ("served", 0, 1)]
+        assert "twice" in audit_barber_log(log)
+
+    def test_audit_catches_unseated_serve(self):
+        from repro.problems.sleeping_barber import audit_barber_log
+        assert audit_barber_log([("served", 0, 9)]) is not None
+
+
+class TestPartyMatching:
+    def test_kernel_single_pair(self):
+        from repro.problems.party_matching import party_program
+        res = explore(party_program(1, 1))
+        assert res.complete
+        assert res.observations() == {(("boy-0", "girl-0"),)}
+
+    def test_kernel_two_by_two_all_matchings(self):
+        from repro.problems.party_matching import party_program
+        res = sample_behaviours(party_program(2, 2), samples=300)
+        # every sampled terminal pairs everyone; both matchings reachable
+        matchings = res.observations()
+        assert len(matchings) >= 2
+        for pairs in matchings:
+            assert len(pairs) == 2
+        assert res.outcomes.get("deadlock", 0) == 0
+
+    @pytest.mark.parametrize("runner_name", [
+        "run_threads_party", "run_actor_party", "run_coroutine_party"])
+    def test_everyone_leaves_paired(self, runner_name):
+        from repro.problems import party_matching
+        runner = getattr(party_matching, runner_name)
+        pairs = runner(boys=8, girls=8)
+        assert len(pairs) == 8
+
+    def test_audit_rejects_same_sex_pair(self):
+        from repro.problems.party_matching import audit_pairs
+        assert audit_pairs([("boy-0", "boy-1")], 2, 0) is not None
+
+
+class TestSumWorkers:
+    def test_race_and_fix(self):
+        from repro.problems.sum_workers import sum_program
+        racy = explore(sum_program(synchronized=False))
+        assert racy.observations() == {1, 2, 3}
+        safe = explore(sum_program(synchronized=True))
+        assert safe.observations() == {3}
+
+    def test_race_detector_confirms(self):
+        from repro.problems.sum_workers import sum_program
+        from repro.verify import find_races_program
+        assert find_races_program(sum_program(synchronized=False)) is not None
+
+    def test_pseudocode_versions(self):
+        from repro.pseudocode import possible_outputs
+        from repro.problems.sum_workers import (PSEUDOCODE_RACY,
+                                                PSEUDOCODE_SAFE)
+        assert possible_outputs(PSEUDOCODE_SAFE) == {"3"}
+        racy = possible_outputs(PSEUDOCODE_RACY)
+        assert "3" in racy and len(racy) > 1
+
+    @pytest.mark.parametrize("runner_name,expected", [
+        ("run_threads_sum", sum(range(1000))),
+        ("run_actor_sum", sum(range(1000))),
+        ("run_coroutine_sum", sum(range(1000)))])
+    def test_three_models_agree(self, runner_name, expected):
+        from repro.problems import sum_workers
+        assert getattr(sum_workers, runner_name)() == expected
+
+
+class TestBookInventory:
+    def test_basic_lifecycle(self):
+        from repro.problems.book_inventory import SharedMemoryInventory
+        inv = SharedMemoryInventory()
+        inv.add_stock("sicp", 10)
+        order = inv.place_order("sicp", 4)
+        assert inv.query("sicp") == {"stock": 6, "reserved": 4,
+                                     "shipped": 0, "added": 10}
+        inv.ship_order(order.order_id)
+        assert inv.query("sicp")["shipped"] == 4
+
+    def test_cancel_returns_stock(self):
+        from repro.problems.book_inventory import SharedMemoryInventory
+        inv = SharedMemoryInventory()
+        inv.add_stock("sicp", 5)
+        order = inv.place_order("sicp", 5)
+        inv.cancel_order(order.order_id)
+        assert inv.query("sicp")["stock"] == 5
+
+    def test_over_order_rejected(self):
+        from repro.problems.book_inventory import (InventoryError,
+                                                   SharedMemoryInventory)
+        inv = SharedMemoryInventory()
+        inv.add_stock("sicp", 2)
+        with pytest.raises(InventoryError):
+            inv.place_order("sicp", 3)
+
+    def test_double_ship_rejected(self):
+        from repro.problems.book_inventory import (InventoryError,
+                                                   SharedMemoryInventory)
+        inv = SharedMemoryInventory()
+        inv.add_stock("sicp", 2)
+        order = inv.place_order("sicp", 1)
+        inv.ship_order(order.order_id)
+        with pytest.raises(InventoryError):
+            inv.ship_order(order.order_id)
+
+    def test_waiting_order_unblocked_by_restock(self):
+        import time
+        from repro.problems.book_inventory import SharedMemoryInventory
+        from repro.threads import JThread
+        inv = SharedMemoryInventory()
+        inv.add_stock("sicp", 1)
+
+        def buyer():
+            return inv.place_order("sicp", 3, wait=True, timeout=5)
+        t = JThread(target=buyer).start()
+        time.sleep(0.02)
+        inv.add_stock("sicp", 2)
+        order = t.join()
+        assert order.copies == 3
+
+    def test_concurrent_hammering_preserves_invariants(self):
+        from repro.problems.book_inventory import \
+            run_concurrent_inventory_demo
+        outcome = run_concurrent_inventory_demo(clerks=4, ops_each=50)
+        assert outcome["counts"]["ordered"] > 0
+
+    def test_actor_inventory_protocol(self):
+        from repro.actors import ActorSystem, ask
+        from repro.problems.book_inventory import (inventory_invariants,
+                                                   spawn_inventory_actor)
+
+        import threading
+        replies = []
+        done = threading.Event()
+
+        from repro.actors import Actor
+
+        class Client(Actor):
+            def __init__(self, inventory):
+                super().__init__()
+                self.inventory = inventory
+
+            def pre_start(self):
+                self.inventory.tell(("add", "sicp", 10),
+                                    sender=self.self_ref)
+
+            def receive(self, message, sender):
+                replies.append(message)
+                if message[0] == "ok" and len(replies) == 1:
+                    self.inventory.tell(("order", "sicp", 4),
+                                        sender=self.self_ref)
+                elif message[0] == "order":
+                    self.inventory.tell(("snapshot",), sender=self.self_ref)
+                elif message[0] == "snapshot":
+                    done.set()
+
+        with ActorSystem(workers=2) as system:
+            inventory = spawn_inventory_actor(system)
+            system.spawn(Client, inventory)
+            assert done.wait(timeout=10)
+        snapshot = next(m[1] for m in replies if m[0] == "snapshot")
+        assert inventory_invariants(snapshot) is None
+        assert snapshot["sicp"]["reserved"] == 4
+
+    def test_invariant_checker_catches_corruption(self):
+        from repro.problems.book_inventory import inventory_invariants
+        assert inventory_invariants(
+            {"x": {"stock": -1, "reserved": 0, "shipped": 0,
+                   "added": -1}}) is not None
+        assert inventory_invariants(
+            {"x": {"stock": 1, "reserved": 0, "shipped": 0,
+                   "added": 5}}) is not None
+
+
+class TestThreadPoolArith:
+    def test_fib_values(self):
+        from repro.problems.thread_pool_arith import fib
+        assert [fib(n) for n in range(8)] == [0, 1, 1, 2, 3, 5, 8, 13]
+
+    def test_prime_count(self):
+        from repro.problems.thread_pool_arith import prime_count
+        assert prime_count(20) == 8
+
+    def test_lab_checksums_stable_across_pool_sizes(self):
+        from repro.problems.thread_pool_arith import run_arith_lab
+        rows = run_arith_lab(tasks=8, workload=300, pool_sizes=(1, 2, 4))
+        checksums = {r["checksum"] for r in rows}
+        assert len(checksums) == 1
+        assert all(r["elapsed_s"] > 0 for r in rows)

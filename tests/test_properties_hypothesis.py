@@ -1,0 +1,175 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (DeliveryPolicy, Emit, Mailbox, Pause, RandomPolicy,
+                        Receive, Scheduler, Send)
+from repro.verify import explore, sample_behaviours
+
+
+# ---------------------------------------------------------------------------
+# scheduler determinism and replay
+# ---------------------------------------------------------------------------
+
+def _make_program(structure):
+    """structure: list of per-task emit counts."""
+    def program(sched):
+        for t, count in enumerate(structure):
+            def body(t=t, count=count):
+                for k in range(count):
+                    yield Emit((t, k))
+            sched.spawn(body, name=f"t{t}")
+    return program
+
+
+structures = st.lists(st.integers(min_value=1, max_value=3),
+                      min_size=1, max_size=3)
+
+
+class TestSchedulerProperties:
+    @given(structures, st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_same_seed_same_output(self, structure, seed):
+        runs = []
+        for _ in range(2):
+            sched = Scheduler(RandomPolicy(seed))
+            _make_program(structure)(sched)
+            runs.append(tuple(sched.run().output))
+        assert runs[0] == runs[1]
+
+    @given(structures, st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_replay_reproduces_any_random_run(self, structure, seed):
+        from repro.core import FixedPolicy
+        sched = Scheduler(RandomPolicy(seed))
+        _make_program(structure)(sched)
+        trace = sched.run()
+        replay = Scheduler(FixedPolicy(trace.schedule()))
+        _make_program(structure)(replay)
+        assert tuple(replay.run().output) == tuple(trace.output)
+
+    @given(structures)
+    @settings(max_examples=15, deadline=None)
+    def test_per_task_order_preserved_in_all_schedules(self, structure):
+        res = explore(_make_program(structure), max_runs=5000)
+        for out in res.output_sets():
+            for t, count in enumerate(structure):
+                ks = [k for (tt, k) in out if tt == t]
+                assert ks == list(range(count))
+
+    @given(structures)
+    @settings(max_examples=15, deadline=None)
+    def test_every_sampled_behaviour_is_explored(self, structure):
+        full = explore(_make_program(structure), max_runs=5000)
+        if not full.complete:
+            return
+        sampled = sample_behaviours(_make_program(structure), samples=20)
+        assert sampled.output_sets() <= full.output_sets()
+
+
+# ---------------------------------------------------------------------------
+# mailbox policy lattice
+# ---------------------------------------------------------------------------
+
+send_plans = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=1),     # sender id
+              st.integers(min_value=0, max_value=9)),    # payload
+    min_size=1, max_size=3)
+
+
+def _mailbox_program(policy, plan):
+    def program(sched):
+        mb = Mailbox("box", policy=policy)
+        got = []
+        by_sender = {0: [], 1: []}
+        for sender, payload in plan:
+            by_sender[sender].append(payload)
+
+        def sender_task(sid):
+            for payload in by_sender[sid]:
+                yield Send(mb, (sid, payload))
+
+        def receiver():
+            for _ in range(len(plan)):
+                got.append((yield Receive(mb)))
+        for sid in (0, 1):
+            if by_sender[sid]:
+                sched.spawn(sender_task, sid, name=f"s{sid}")
+        sched.spawn(receiver, name="r")
+        return lambda: tuple(got)
+    return program
+
+
+class TestMailboxProperties:
+    @given(send_plans)
+    @settings(max_examples=15, deadline=None)
+    def test_policy_lattice(self, plan):
+        orders = {}
+        for policy in (DeliveryPolicy.FIFO, DeliveryPolicy.PER_SENDER_FIFO,
+                       DeliveryPolicy.ARBITRARY):
+            res = explore(_mailbox_program(policy, plan), max_runs=20_000)
+            if not res.complete:
+                return
+            orders[policy] = res.observations()
+        assert orders[DeliveryPolicy.FIFO] <= \
+            orders[DeliveryPolicy.PER_SENDER_FIFO] <= \
+            orders[DeliveryPolicy.ARBITRARY]
+
+    @given(send_plans)
+    @settings(max_examples=15, deadline=None)
+    def test_no_policy_loses_or_duplicates(self, plan):
+        res = explore(_mailbox_program(DeliveryPolicy.ARBITRARY, plan),
+                      max_runs=20_000)
+        expected = sorted((s, p) for s, p in plan)
+        for got in res.observations():
+            assert sorted(got) == expected
+
+
+# ---------------------------------------------------------------------------
+# pseudocode: arithmetic straight-line programs always terminate "done"
+# ---------------------------------------------------------------------------
+
+exprs = st.integers(min_value=-20, max_value=20)
+
+
+class TestPseudocodeProperties:
+    @given(st.lists(exprs, min_size=1, max_size=5),
+           st.integers(min_value=0, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_para_sum_of_exc_acc_increments(self, diffs, seed):
+        """N concurrent EXC_ACC increments always total exactly sum(diffs)
+        under any random schedule — the Figure 4a property generalized."""
+        from repro.core import RandomPolicy
+        from repro.pseudocode import compile_program
+        arms = "\n".join(f"  bump({d})" for d in diffs)
+        source = f"""
+x = 0
+DEFINE bump(d)
+  EXC_ACC
+    x = x + d
+  END_EXC_ACC
+ENDDEF
+PARA
+{arms}
+ENDPARA
+"""
+        runtime = compile_program(source)
+        result = runtime.run(RandomPolicy(seed))
+        assert result.outcome == "done"
+        assert result.globals["x"] == sum(diffs)
+
+    @given(st.integers(min_value=0, max_value=100),
+           st.integers(min_value=0, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_if_chain_total(self, a, b):
+        from repro.pseudocode import interpret
+        source = f"""
+a = {a}
+b = {b}
+IF a > b THEN
+  bigger = a
+ELSE
+  bigger = b
+ENDIF
+"""
+        assert interpret(source).globals["bigger"] == max(a, b)

@@ -1,0 +1,271 @@
+"""Deeper interpreter/analysis behaviour: scoping, control flow,
+message matching, error surfaces."""
+
+import pytest
+
+from repro.core import DeadlockError, DeliveryPolicy, RandomPolicy
+from repro.pseudocode import (PseudoRuntimeError, compile_program, interpret,
+                              possible_outputs)
+
+
+class TestControlFlow:
+    def test_while_loop_counts(self):
+        result = interpret("""
+n = 0
+WHILE n < 5
+  n = n + 1
+ENDWHILE
+PRINT n
+""")
+        assert result.output_tokens() == ["5"]
+
+    def test_nested_if_in_while(self):
+        result = interpret("""
+n = 0
+odd = 0
+WHILE n < 6
+  n = n + 1
+  IF n % 2 == 1 THEN
+    odd = odd + 1
+  ENDIF
+ENDWHILE
+PRINT odd
+""")
+        assert result.output_tokens() == ["3"]
+
+    def test_and_or_short_circuit(self):
+        # right operand would crash if evaluated
+        result = interpret("""
+safe = False
+IF safe AND missing() THEN
+  PRINT "bad"
+ELSE
+  PRINT "ok"
+ENDIF
+DEFINE missing()
+  RETURN unbound_name
+ENDDEF
+""")
+        assert result.output_tokens() == ["ok"]
+
+    def test_not_operator(self):
+        assert interpret("PRINT NOT True").output_tokens() == ["False"]
+
+    def test_comparison_chain_via_and(self):
+        assert interpret(
+            "x = 5\nPRINT x > 1 AND x < 10").output_tokens() == ["True"]
+
+    def test_mod_and_unary_minus(self):
+        assert interpret("PRINT -7 % 3").output_tokens() == ["2"]
+
+
+class TestScoping:
+    def test_param_shadows_global(self):
+        result = interpret("""
+x = 100
+DEFINE f(x)
+  x = x + 1
+  RETURN x
+ENDDEF
+PRINTLN f(1)
+PRINTLN x
+""")
+        assert result.output_tokens() == ["2", "100"]
+        assert result.globals["x"] == 100
+
+    def test_locals_do_not_leak_between_calls(self):
+        result = interpret("""
+DEFINE f()
+  local = 1
+  RETURN local
+ENDDEF
+DEFINE g()
+  RETURN probe()
+ENDDEF
+DEFINE probe()
+  RETURN 42
+ENDDEF
+a = f()
+b = g()
+PRINT a + b
+""")
+        assert result.output_tokens() == ["43"]
+
+    def test_recursive_locals_independent(self):
+        result = interpret("""
+DEFINE count(n)
+  mine = n
+  IF n > 0 THEN
+    ignored = count(n - 1)
+  ENDIF
+  RETURN mine
+ENDDEF
+PRINT count(3)
+""")
+        assert result.output_tokens() == ["3"]
+
+
+class TestMessageMatching:
+    def test_arity_distinguishes_arms(self):
+        source = """
+CLASS R
+  DEFINE loop()
+    ON_RECEIVING
+      MESSAGE.m(a)
+        PRINT "one"
+      MESSAGE.m(a, b)
+        PRINT "two"
+  ENDDEF
+ENDCLASS
+r = new R()
+r.loop()
+Send(MESSAGE.m(1, 2)).To(r)
+"""
+        assert possible_outputs(source) == {"two"}
+
+    def test_unmatched_message_left_pending(self):
+        """A message no arm accepts stays in the mailbox; the run still
+        quiesces (daemon rule)."""
+        source = """
+CLASS R
+  DEFINE loop()
+    ON_RECEIVING
+      MESSAGE.known(v)
+        PRINT v
+  ENDDEF
+ENDCLASS
+r = new R()
+r.loop()
+Send(MESSAGE.unknown(1)).To(r)
+Send(MESSAGE.known("yes")).To(r)
+"""
+        assert possible_outputs(source) == {"yes"}
+
+    def test_two_receivers(self):
+        source = """
+CLASS R
+  DEFINE loop()
+    ON_RECEIVING
+      MESSAGE.m(v)
+        PRINT v
+  ENDDEF
+ENDCLASS
+a = new R()
+b = new R()
+a.loop()
+b.loop()
+Send(MESSAGE.m("x ")).To(a)
+Send(MESSAGE.m("y ")).To(b)
+"""
+        assert possible_outputs(source) == {"x y", "y x"}
+
+    def test_message_carrying_instance(self):
+        """Reply-to pattern: a message carries the requester object."""
+        source = """
+CLASS Server
+  DEFINE loop()
+    ON_RECEIVING
+      MESSAGE.req(client)
+        Send(MESSAGE.resp("pong")).To(client)
+  ENDDEF
+ENDCLASS
+CLASS Client
+  DEFINE loop()
+    ON_RECEIVING
+      MESSAGE.resp(v)
+        PRINT v
+  ENDDEF
+ENDCLASS
+s = new Server()
+s.loop()
+c = new Client()
+c.loop()
+Send(MESSAGE.req(c)).To(s)
+"""
+        assert possible_outputs(source) == {"pong"}
+
+
+class TestRuntimeErrors:
+    def test_send_to_non_object(self):
+        result = compile_program(
+            'Send(MESSAGE.m(1)).To(5)').run(raise_on_failure=False)
+        assert result.outcome == "failed"
+
+    def test_send_non_message(self):
+        result = compile_program("""
+CLASS R
+ENDCLASS
+r = new R()
+Send(42).To(r)
+""").run(raise_on_failure=False)
+        assert result.outcome == "failed"
+
+    def test_bad_operand_types(self):
+        result = compile_program('PRINT "a" - 1').run(
+            raise_on_failure=False)
+        assert result.outcome == "failed"
+
+    def test_wrong_arity_call(self):
+        result = compile_program("""
+DEFINE f(a, b)
+  RETURN a
+ENDDEF
+PRINT f(1)
+""").run(raise_on_failure=False)
+        assert result.outcome == "failed"
+
+    def test_constructor_args_without_init(self):
+        result = compile_program("""
+CLASS Box
+ENDCLASS
+b = new Box(1)
+""").run(raise_on_failure=False)
+        assert result.outcome == "failed"
+
+    def test_missing_field(self):
+        result = compile_program("""
+CLASS Box
+ENDCLASS
+b = new Box()
+PRINT b.nothing
+""").run(raise_on_failure=False)
+        assert result.outcome == "failed"
+
+
+class TestSchedulingSemantics:
+    def test_guard_deadlock_detected(self):
+        """A WAIT whose condition nobody ever makes true deadlocks."""
+        runtime = compile_program("""
+flag = 0
+DEFINE waiter()
+  EXC_ACC
+    WHILE flag == 0
+      WAIT()
+    ENDWHILE
+  END_EXC_ACC
+ENDDEF
+PARA
+  waiter()
+ENDPARA
+""")
+        with pytest.raises(DeadlockError):
+            runtime.run()
+
+    def test_seeded_runs_reproducible(self):
+        runtime = compile_program(
+            'PARA\nPRINT "a "\nPRINT "b "\nENDPARA')
+        a = runtime.run(RandomPolicy(9)).output_text()
+        b = runtime.run(RandomPolicy(9)).output_text()
+        assert a == b
+
+    def test_constructor_with_init(self):
+        result = interpret("""
+CLASS Counter
+  DEFINE init(start)
+    this.n = start
+  ENDDEF
+ENDCLASS
+c = new Counter(5)
+PRINT c.n
+""")
+        assert result.output_tokens() == ["5"]

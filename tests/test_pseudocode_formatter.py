@@ -1,0 +1,168 @@
+"""Formatter round-trips and output enumeration utilities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pseudocode import (compile_program, format_program,
+                              normalize_output, output_witness, parse,
+                              possible_outputs)
+from repro.verify import run_schedule
+
+CORPUS = [
+    'total = 0\nname = "John Smith"\ncondition = True\nheight = 3.3',
+    """
+testScore = 88
+IF testScore >= 90 THEN
+  PRINTLN "A"
+ELSE IF testScore >= 80 THEN
+  PRINTLN "B"
+ELSE
+  PRINTLN "F"
+ENDIF
+""",
+    """
+x = 10
+DEFINE changeX(diff)
+  EXC_ACC
+    WHILE x + diff < 0
+      WAIT()
+    ENDWHILE
+    x = x + diff
+    NOTIFY()
+  END_EXC_ACC
+ENDDEF
+PARA
+  changeX(-11)
+  changeX(1)
+ENDPARA
+PRINTLN x
+""",
+    """
+CLASS Receiver
+  DEFINE receive()
+    ON_RECEIVING
+      MESSAGE.h(var)
+        PRINT var
+      MESSAGE.w(var)
+        PRINTLN var
+  ENDDEF
+ENDCLASS
+m1 = MESSAGE.h("hello ")
+m2 = MESSAGE.w("world")
+r1 = new Receiver()
+r1.receive()
+Send(m1).To(r1)
+Send(m2).To(r1)
+""",
+    """
+DEFINE fact(n)
+  IF n <= 1 THEN
+    RETURN 1
+  ENDIF
+  RETURN n * fact(n - 1)
+ENDDEF
+PRINT fact(5)
+""",
+]
+
+
+def _shape(node, depth=0):
+    """Structural fingerprint of an AST (type tree + leaf values)."""
+    import dataclasses
+    if dataclasses.is_dataclass(node) and not isinstance(node, type):
+        fields = []
+        for f in dataclasses.fields(node):
+            if f.name == "line":
+                continue
+            fields.append((f.name, _shape(getattr(node, f.name), depth + 1)))
+        return (type(node).__name__, tuple(fields))
+    if isinstance(node, dict):
+        return tuple(sorted((k, _shape(v)) for k, v in node.items()))
+    if isinstance(node, (list, tuple)):
+        return tuple(_shape(v) for v in node)
+    if isinstance(node, frozenset):
+        return frozenset(node)
+    return node
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("source", CORPUS)
+    def test_parse_format_parse_is_identity(self, source):
+        first = parse(source)
+        formatted = format_program(first)
+        second = parse(formatted)
+        assert _shape(first) == _shape(second)
+
+    @pytest.mark.parametrize("source", CORPUS[:3])
+    def test_reformatted_program_behaves_identically(self, source):
+        original = possible_outputs(source)
+        reformatted = possible_outputs(format_program(parse(source)))
+        assert original == reformatted
+
+
+class TestNormalization:
+    def test_whitespace_collapsed(self):
+        assert normalize_output("hello \n world ") == "hello world"
+
+    def test_empty(self):
+        assert normalize_output("   ") == ""
+
+
+class TestOutputWitness:
+    SRC = 'PARA\nPRINT "a "\nPRINT "b "\nENDPARA'
+
+    def test_witness_replays_to_requested_output(self):
+        schedule = output_witness(self.SRC, "b a")
+        assert schedule is not None
+        runtime = compile_program(self.SRC)
+        trace, _ = run_schedule(runtime.make_program(), schedule)
+        assert normalize_output(trace.output_str()) == "b a"
+
+    def test_impossible_output_has_no_witness(self):
+        assert output_witness(self.SRC, "a a") is None
+
+
+# ---------------------------------------------------------------------------
+# property-based: generated straight-line programs round-trip and the
+# interpreter agrees with a reference evaluation
+# ---------------------------------------------------------------------------
+
+names = st.sampled_from(["a", "b", "c", "total"])
+numbers = st.integers(min_value=0, max_value=50)
+
+
+@st.composite
+def straight_line_program(draw):
+    lines = []
+    env = {}
+    n = draw(st.integers(min_value=1, max_value=6))
+    for _ in range(n):
+        name = draw(names)
+        op = draw(st.sampled_from(["const", "add", "mul"]))
+        if op == "const" or not env:
+            value = draw(numbers)
+            lines.append(f"{name} = {value}")
+            env[name] = value
+        else:
+            other = draw(st.sampled_from(sorted(env)))
+            value = draw(numbers)
+            symbol = "+" if op == "add" else "*"
+            lines.append(f"{name} = {other} {symbol} {value}")
+            env[name] = env[other] + value if op == "add" \
+                else env[other] * value
+    return "\n".join(lines), env
+
+
+class TestGeneratedPrograms:
+    @given(straight_line_program())
+    def test_interpreter_matches_reference(self, case):
+        source, expected = case
+        from repro.pseudocode import interpret
+        assert interpret(source).globals == expected
+
+    @given(straight_line_program())
+    def test_round_trip_preserves_semantics(self, case):
+        source, expected = case
+        from repro.pseudocode import interpret
+        rebuilt = format_program(parse(source))
+        assert interpret(rebuilt).globals == expected

@@ -1,0 +1,315 @@
+"""Interpreter semantics — every example from the paper's Figures 1-5,
+plus the rules stated in the figure captions."""
+
+import pytest
+
+from repro.core import DeliveryPolicy
+from repro.pseudocode import (AnalysisError, PseudoRuntimeError,
+                              compile_program, interpret, possible_outputs)
+
+
+class TestFigure1Assignments:
+    def test_assignment_examples(self):
+        result = interpret("""
+total = 0
+name = "John Smith"
+condition = True
+height = 3.3
+""")
+        assert result.globals == {"total": 0, "name": "John Smith",
+                                  "condition": True, "height": 3.3}
+
+
+class TestFigure2Conditional:
+    SRC = """
+testScore = {score}
+IF testScore >= 90 THEN
+  PRINTLN "A"
+ELSE IF testScore >= 80 THEN
+  PRINTLN "B"
+ELSE IF testScore >= 70 THEN
+  PRINTLN "C"
+ELSE
+  PRINTLN "F"
+ENDIF
+"""
+
+    def test_paper_example_score_88(self):
+        assert interpret(self.SRC.format(score=88)).output_tokens() == ["B"]
+
+    @pytest.mark.parametrize("score,grade", [
+        (95, "A"), (90, "A"), (80, "B"), (75, "C"), (10, "F")])
+    def test_all_branches(self, score, grade):
+        assert interpret(self.SRC.format(score=score)).output_tokens() == \
+            [grade]
+
+
+class TestFigure3Para:
+    def test_two_prints_either_order(self):
+        assert possible_outputs(
+            'PARA\nPRINT "hello "\nPRINT "world "\nENDPARA') == \
+            {"hello world", "world hello"}
+
+    def test_function_body_sequential(self):
+        assert possible_outputs("""
+DEFINE print()
+  PRINT "hi "
+  PRINT "there "
+ENDDEF
+PARA
+  print()
+ENDPARA
+""") == {"hi there"}
+
+    def test_function_interleaves_with_simple_statement(self):
+        assert possible_outputs("""
+DEFINE print()
+  PRINT "hi "
+  PRINT "there "
+ENDDEF
+PARA
+  print()
+  PRINT "world "
+ENDPARA
+""") == {"hi there world", "hi world there", "world hi there"}
+
+    def test_two_functions_interleave_preserving_internal_order(self):
+        outs = possible_outputs("""
+DEFINE one()
+  PRINT "a "
+  PRINT "b "
+ENDDEF
+DEFINE two()
+  PRINT "c "
+  PRINT "d "
+ENDDEF
+PARA
+  one()
+  two()
+ENDPARA
+""")
+        assert len(outs) == 6   # C(4,2) interleavings
+        for out in outs:
+            toks = out.split()
+            assert toks.index("a") < toks.index("b")
+            assert toks.index("c") < toks.index("d")
+
+
+class TestFigure4SharedMemory:
+    def test_exc_acc_example_prints_9(self):
+        assert possible_outputs("""
+x = 10
+DEFINE changeX(diff)
+  EXC_ACC
+    x = x + diff
+  END_EXC_ACC
+ENDDEF
+PARA
+  changeX(1)
+  changeX(-2)
+ENDPARA
+PRINTLN x
+""") == {"9"}
+
+    def test_wait_notify_example_prints_0(self):
+        assert possible_outputs("""
+x = 10
+DEFINE changeX(diff)
+  EXC_ACC
+    WHILE x + diff < 0
+      WAIT()
+    ENDWHILE
+    x = x + diff
+    NOTIFY()
+  END_EXC_ACC
+ENDDEF
+PARA
+  changeX(-11)
+  changeX(1)
+ENDPARA
+PRINTLN x
+""") == {"0"}
+
+    def test_unsynchronized_update_races(self):
+        """Without EXC_ACC the classic lost update is possible."""
+        outs = possible_outputs("""
+x = 0
+DEFINE bump(d)
+  y = x + d
+  x = y
+ENDDEF
+PARA
+  bump(1)
+  bump(2)
+ENDPARA
+PRINTLN x
+""")
+        assert "3" in outs          # serialized
+        assert {"1", "2"} & outs    # lost update reachable
+
+
+class TestFigure5MessagePassing:
+    SRC = """
+CLASS Receiver
+  DEFINE receive()
+    ON_RECEIVING
+      MESSAGE.h(var)
+        PRINT var
+      MESSAGE.w(var)
+        PRINTLN var
+  ENDDEF
+ENDCLASS
+m1 = MESSAGE.h("hello ")
+m2 = MESSAGE.w("world")
+r1 = new Receiver()
+r1.receive()
+Send(m1).To(r1)
+Send(m2).To(r1)
+"""
+
+    def test_both_arrival_orders(self):
+        assert possible_outputs(self.SRC) == {"hello world", "world hello"}
+
+    def test_fifo_mailbox_removes_reordering(self):
+        assert possible_outputs(
+            self.SRC, mailbox_policy=DeliveryPolicy.FIFO) == {"hello world"}
+
+
+class TestLanguageRules:
+    def test_exc_acc_outside_function_rejected(self):
+        with pytest.raises(AnalysisError, match="function"):
+            compile_program("EXC_ACC\nx = 1\nEND_EXC_ACC")
+
+    def test_wait_outside_exc_acc_rejected(self):
+        with pytest.raises(AnalysisError, match="WAIT"):
+            compile_program("DEFINE f()\nWAIT()\nENDDEF")
+
+    def test_on_receiving_outside_method_rejected(self):
+        with pytest.raises(AnalysisError, match="class method"):
+            compile_program("""
+DEFINE f()
+  ON_RECEIVING
+    MESSAGE.h(v)
+      PRINT v
+ENDDEF
+""")
+
+    def test_undefined_function_rejected(self):
+        with pytest.raises(AnalysisError, match="undefined function"):
+            compile_program("nosuch()")
+
+    def test_undefined_class_rejected(self):
+        with pytest.raises(AnalysisError, match="undefined class"):
+            compile_program("r = new Ghost()")
+
+    def test_undefined_variable_at_runtime(self):
+        result = compile_program("PRINT mystery").run(
+            raise_on_failure=False)
+        assert result.outcome == "failed"
+
+    def test_globals_vs_locals(self):
+        result = interpret("""
+x = 1
+DEFINE f()
+  x = 2
+  y = 99
+ENDDEF
+f()
+""")
+        assert result.globals["x"] == 2       # assigned global
+        assert "y" not in result.globals      # function-local
+
+    def test_return_value(self):
+        result = interpret("""
+DEFINE double(n)
+  RETURN n * 2
+ENDDEF
+x = double(21)
+PRINT x
+""")
+        assert result.output_tokens() == ["42"]
+
+    def test_recursion(self):
+        result = interpret("""
+DEFINE fact(n)
+  IF n <= 1 THEN
+    RETURN 1
+  ENDIF
+  RETURN n * fact(n - 1)
+ENDDEF
+PRINT fact(5)
+""")
+        assert result.output_tokens() == ["120"]
+
+    def test_integer_division_stays_exact(self):
+        assert interpret("PRINT 10 / 2").output_tokens() == ["5"]
+
+    def test_fields_on_instances(self):
+        result = interpret("""
+CLASS Box
+ENDCLASS
+b = new Box()
+b.size = 7
+PRINT b.size
+""")
+        assert result.output_tokens() == ["7"]
+
+    def test_exclusion_groups_by_footprint(self):
+        """Blocks with disjoint footprints land in different exclusion
+        groups (separate monitors), per Figure 4's data-keyed rule."""
+        info = compile_program("""
+x = 0
+y = 0
+DEFINE f()
+  EXC_ACC
+    x = x + 1
+  END_EXC_ACC
+ENDDEF
+DEFINE g()
+  EXC_ACC
+    y = y + 1
+  END_EXC_ACC
+ENDDEF
+""").info
+        groups = {b.group for b in info.exc_blocks}
+        assert len(groups) == 2
+        assert {("x",), ("y",)} == set(info.groups.values())
+
+    def test_disjoint_blocks_do_not_exclude(self):
+        """Operationally: a block on y can run while a block on x is
+        held — both print orders reachable."""
+        outs = possible_outputs("""
+x = 0
+DEFINE f()
+  EXC_ACC
+    PRINT "f "
+  END_EXC_ACC
+ENDDEF
+DEFINE g()
+  EXC_ACC
+    PRINT "g "
+  END_EXC_ACC
+ENDDEF
+PARA
+  f()
+  g()
+ENDPARA
+""", max_runs=100_000)
+        assert outs == {"f g", "g f"}
+
+    def test_shared_footprint_excludes(self):
+        info = compile_program("""
+x = 0
+DEFINE f()
+  EXC_ACC
+    x = x + 1
+  END_EXC_ACC
+ENDDEF
+DEFINE g()
+  EXC_ACC
+    x = x - 1
+  END_EXC_ACC
+ENDDEF
+""").info
+        groups = {b.group for b in info.exc_blocks}
+        assert len(groups) == 1

@@ -1,0 +1,94 @@
+"""Lexer: tokens, literals, positions, errors."""
+
+import pytest
+
+from repro.pseudocode import LexError, tokenize
+from repro.pseudocode.tokens import TokenType as T
+
+
+def types(source):
+    return [t.type for t in tokenize(source)]
+
+
+class TestBasicTokens:
+    def test_assignment_line(self):
+        assert types("total = 0") == [
+            T.IDENT, T.ASSIGN, T.NUMBER, T.NEWLINE, T.EOF]
+
+    def test_keywords_case_sensitive(self):
+        toks = tokenize("PARA para")
+        assert toks[0].type is T.PARA
+        assert toks[1].type is T.IDENT    # lowercase is an identifier
+
+    def test_endpara_synonym(self):
+        assert types("END_PARA")[0] is T.ENDPARA
+
+    def test_string_literal(self):
+        tok = tokenize('name = "John Smith"')[2]
+        assert tok.type is T.STRING
+        assert tok.value == "John Smith"
+
+    def test_string_escapes(self):
+        tok = tokenize(r'x = "a\nb\"c"')[2]
+        assert tok.value == 'a\nb"c'
+
+    def test_single_quoted_string(self):
+        assert tokenize("x = 'hi'")[2].value == "hi"
+
+    def test_integer_and_float(self):
+        toks = tokenize("a = 42\nb = 3.3")
+        assert toks[2].value == 42 and isinstance(toks[2].value, int)
+        assert toks[6].value == 3.3 and isinstance(toks[6].value, float)
+
+    def test_comparison_operators(self):
+        assert types("a >= 1")[1] is T.GE
+        assert types("a == 1")[1] is T.EQ
+        assert types("a != 1")[1] is T.NE
+        assert types("a <= 1")[1] is T.LE
+
+    def test_booleans(self):
+        toks = tokenize("condition = True")
+        assert toks[2].type is T.TRUE
+
+
+class TestStructure:
+    def test_newlines_collapse(self):
+        assert types("a = 1\n\n\nb = 2").count(T.NEWLINE) == 2
+
+    def test_comments_stripped(self):
+        assert types("a = 1  # a comment") == [
+            T.IDENT, T.ASSIGN, T.NUMBER, T.NEWLINE, T.EOF]
+
+    def test_trailing_newline_guaranteed(self):
+        toks = tokenize("a = 1")
+        assert toks[-2].type is T.NEWLINE
+        assert toks[-1].type is T.EOF
+
+    def test_line_numbers(self):
+        toks = tokenize("a = 1\nb = 2")
+        b_tok = next(t for t in toks if t.value == "b")
+        assert b_tok.line == 2
+
+    def test_message_send_tokens(self):
+        toks = tokenize("Send(m1).To(r1)")
+        assert [t.type for t in toks[:4]] == [
+            T.SEND, T.LPAREN, T.IDENT, T.RPAREN]
+        assert toks[5].type is T.TO
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize('x = "oops')
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError, match="unexpected"):
+            tokenize("a = 1 @ 2")
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("a = 1\nb = $")
+        except LexError as err:
+            assert err.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected LexError")

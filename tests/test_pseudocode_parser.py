@@ -1,0 +1,182 @@
+"""Parser: statement forms, precedence, block structure, errors."""
+
+import pytest
+
+from repro.pseudocode import ParseError, parse
+from repro.pseudocode.ast_nodes import (Assign, Binary, Call, ExcAccBlock,
+                                        IfStmt, MessageExpr, MethodCall,
+                                        NewExpr, NotifyStmt, OnReceiving,
+                                        ParaBlock, PrintStmt, SendStmt,
+                                        WaitStmt, WhileStmt)
+
+
+class TestStatements:
+    def test_assignment(self):
+        prog = parse("total = 0")
+        stmt = prog.main[0]
+        assert isinstance(stmt, Assign)
+        assert stmt.name == "total"
+
+    def test_print_vs_println(self):
+        prog = parse('PRINT "a"\nPRINTLN "b"')
+        assert not prog.main[0].newline
+        assert prog.main[1].newline
+
+    def test_if_elseif_else_chain(self):
+        prog = parse("""
+IF x >= 90 THEN
+  PRINTLN "A"
+ELSE IF x >= 80 THEN
+  PRINTLN "B"
+ELSE
+  PRINTLN "F"
+ENDIF
+""")
+        stmt = prog.main[0]
+        assert isinstance(stmt, IfStmt)
+        assert len(stmt.branches) == 2
+        assert len(stmt.else_body) == 1
+
+    def test_while_block(self):
+        prog = parse("WHILE x < 3\n  x = x + 1\nENDWHILE")
+        stmt = prog.main[0]
+        assert isinstance(stmt, WhileStmt)
+        assert len(stmt.body) == 1
+
+    def test_para_block_arms(self):
+        prog = parse('PARA\nPRINT "a"\nPRINT "b"\nENDPARA')
+        stmt = prog.main[0]
+        assert isinstance(stmt, ParaBlock)
+        assert len(stmt.arms) == 2
+
+    def test_send_statement(self):
+        prog = parse("Send(m1).To(r1)")
+        stmt = prog.main[0]
+        assert isinstance(stmt, SendStmt)
+
+    def test_exc_acc_with_wait_notify(self):
+        prog = parse("""
+DEFINE f()
+  EXC_ACC
+    WAIT()
+    NOTIFY()
+  END_EXC_ACC
+ENDDEF
+""")
+        block = prog.functions["f"].body[0]
+        assert isinstance(block, ExcAccBlock)
+        assert isinstance(block.body[0], WaitStmt)
+        assert isinstance(block.body[1], NotifyStmt)
+
+
+class TestDefinitions:
+    def test_function_with_params(self):
+        prog = parse("DEFINE changeX(diff)\n  x = x + diff\nENDDEF")
+        fn = prog.functions["changeX"]
+        assert fn.params == ["diff"]
+        assert len(fn.body) == 1
+
+    def test_function_without_parens(self):
+        prog = parse("DEFINE go\n  x = 1\nENDDEF")
+        assert prog.functions["go"].params == []
+
+    def test_class_with_methods(self):
+        prog = parse("""
+CLASS Receiver
+  DEFINE receive()
+    ON_RECEIVING
+      MESSAGE.h(var)
+        PRINT var
+  ENDDEF
+ENDCLASS
+""")
+        cls = prog.classes["Receiver"]
+        receive = cls.methods["receive"]
+        assert isinstance(receive.body[0], OnReceiving)
+        assert receive.has_receive()
+
+    def test_on_receiving_multiple_arms(self):
+        prog = parse("""
+CLASS R
+  DEFINE go()
+    ON_RECEIVING
+      MESSAGE.h(a)
+        PRINT a
+      MESSAGE.w(a, b)
+        PRINT a
+        PRINT b
+  ENDDEF
+ENDCLASS
+""")
+        arms = prog.classes["R"].methods["go"].body[0].arms
+        assert [a.msg_name for a in arms] == ["h", "w"]
+        assert arms[1].params == ["a", "b"]
+        assert len(arms[1].body) == 2
+
+
+class TestExpressions:
+    def _expr(self, text):
+        return parse(f"x = {text}").main[0].value
+
+    def test_precedence_mul_over_add(self):
+        e = self._expr("1 + 2 * 3")
+        assert isinstance(e, Binary) and e.op == "+"
+        assert isinstance(e.right, Binary) and e.right.op == "*"
+
+    def test_comparison_binds_looser_than_arithmetic(self):
+        e = self._expr("x + diff < 0")
+        assert e.op == "<"
+        assert e.left.op == "+"
+
+    def test_and_or_not(self):
+        e = self._expr("NOT a AND b OR c")
+        assert e.op == "OR"
+
+    def test_parentheses(self):
+        e = self._expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert e.left.op == "+"
+
+    def test_message_expression(self):
+        e = self._expr('MESSAGE.h("hello")')
+        assert isinstance(e, MessageExpr)
+        assert e.msg_name == "h"
+
+    def test_new_expression(self):
+        e = self._expr("new Receiver()")
+        assert isinstance(e, NewExpr)
+        assert e.class_name == "Receiver"
+
+    def test_call_and_method_chain(self):
+        e = self._expr("f(1, 2)")
+        assert isinstance(e, Call) and len(e.args) == 2
+        prog = parse("r1.receive()")
+        assert isinstance(prog.main[0].expr, MethodCall)
+
+    def test_unary_minus(self):
+        prog = parse("PARA\nchangeX(-11)\nENDPARA\n"
+                     "DEFINE changeX(d)\nx = d\nENDDEF")
+        call = prog.main[0].arms[0].expr
+        assert call.name == "changeX"
+
+
+class TestErrors:
+    def test_unclosed_block(self):
+        with pytest.raises(ParseError):
+            parse("PARA\nPRINT 1")
+
+    def test_missing_then(self):
+        with pytest.raises(ParseError, match="THEN"):
+            parse("IF x > 1\nPRINT 1\nENDIF")
+
+    def test_garbage_statement(self):
+        with pytest.raises(ParseError):
+            parse("= = =")
+
+    def test_on_receiving_requires_arm(self):
+        with pytest.raises(ParseError, match="MESSAGE"):
+            parse("CLASS R\nDEFINE go()\nON_RECEIVING\nENDDEF\nENDCLASS")
+
+    def test_error_names_line(self):
+        with pytest.raises(ParseError, match="line 2"):
+            parse("x = 1\nIF y\nENDIF")

@@ -1,0 +1,232 @@
+"""The §V study pipeline: questions, cohort, grouping, test, analyses."""
+
+import pytest
+
+from repro.study import (SESSION2_PRACTICE, administer_test1, bridge_effort,
+                         cohens_d, difficulty_survey, grade_choice_survey,
+                         matched_split, measure, paired_t, problem_effort,
+                         question_bank, run_full_study, sample_cohort,
+                         section_summary, split_balance, table1, table2,
+                         table3, welch_t)
+
+
+class TestQuestionBank:
+    def test_bank_covers_both_sections(self):
+        bank = question_bank()
+        assert sum(1 for i in bank if i.section == "sm") >= 10
+        assert sum(1 for i in bank if i.section == "mp") >= 10
+
+    def test_all_items_ground_truthed(self):
+        for item in question_bank():
+            assert item.answer in ("YES", "NO")
+            assert item.size > 0
+
+    def test_mixed_truth_values(self):
+        """A sound exam needs both YES and NO items in each section."""
+        bank = question_bank()
+        for section in ("sm", "mp"):
+            answers = {i.answer for i in bank if i.section == section}
+            assert answers == {"YES", "NO"}
+
+    def test_figure6_item_present_and_yes(self):
+        item = next(i for i in question_bank() if i.qid == "SM-b")
+        assert item.answer == "YES"
+
+    def test_figure7_item_present_and_yes(self):
+        item = next(i for i in question_bank() if i.qid == "MP-b")
+        assert item.answer == "YES"
+
+    def test_difficulty_spread_for_u1(self):
+        """The bank must include items beyond the small-capacity
+        threshold so U1 overload has something to bite."""
+        sizes = sorted(i.size for i in question_bank())
+        assert sizes[0] < 100
+        assert sizes[-1] > 1000
+
+
+class TestCohortAndGrouping:
+    def test_cohort_deterministic_by_seed(self):
+        a = sample_cohort(16, seed=1)
+        b = sample_cohort(16, seed=1)
+        assert [m.student.profile for m in a] == \
+            [m.student.profile for m in b]
+
+    def test_profiles_track_prevalences(self):
+        members = sample_cohort(400, seed=9)
+        holders = sum(1 for m in members if "S7" in m.student.profile)
+        assert 0.45 < holders / 400 < 0.80   # prevalence 10/16 = 0.625
+
+    def test_matched_split_sizes_and_balance(self):
+        members = sample_cohort(16, seed=2013)
+        group_s, group_d = matched_split(members, sizes=(9, 7), seed=1)
+        assert len(group_s) == 9 and len(group_d) == 7
+        assert all(m.group == "S" for m in group_s)
+        balance = split_balance(group_s, group_d)
+        assert balance["gap"] < 8.0
+
+    def test_matched_beats_random_on_average(self):
+        """The ablation claim: matched splits balance priors better
+        than random ones (averaged over repetitions)."""
+        import random
+
+        def random_gap(seed):
+            members = sample_cohort(16, seed=2013)
+            rng = random.Random(seed)
+            shuffled = list(members)
+            rng.shuffle(shuffled)
+            a, b = shuffled[:9], shuffled[9:]
+            return split_balance(a, b)["gap"]
+
+        def matched_gap(seed):
+            members = sample_cohort(16, seed=2013)
+            a, b = matched_split(members, sizes=(9, 7), seed=seed)
+            return split_balance(a, b)["gap"]
+        random_mean = sum(random_gap(s) for s in range(20)) / 20
+        matched_mean = sum(matched_gap(s) for s in range(20)) / 20
+        assert matched_mean < random_mean
+
+    def test_sizes_must_cover_cohort(self):
+        with pytest.raises(ValueError):
+            matched_split(sample_cohort(16), sizes=(9, 9))
+
+
+class TestTest1:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_full_study(seed=2013)
+
+    def test_every_student_scored(self, study):
+        assert len(study.results) == 16
+        for r in study.results:
+            assert 0 <= r.sm_score <= 100
+            assert 0 <= r.mp_score <= 100
+
+    def test_group_order_assignment(self, study):
+        for r in study.results:
+            if r.group == "S":
+                assert r.sm_session == 1 and r.mp_session == 2
+            else:
+                assert r.sm_session == 2 and r.mp_session == 1
+
+    def test_paper_pattern_mp_easier_than_sm(self, study):
+        all_ = study.summary["all"]
+        assert all_["mp_mean"] > all_["sm_mean"]
+
+    def test_paper_pattern_session2_better(self, study):
+        all_ = study.summary["all"]
+        assert all_["session2_mean"] > all_["session1_mean"]
+        assert all_["session_test"].pvalue < 0.05
+
+    def test_paper_pattern_each_group_better_on_second_section(self, study):
+        s = study.summary["S"]
+        d = study.summary["D"]
+        assert s["mp_mean"] > s["sm_mean"]     # S took MP second
+        assert d["sm_mean"] > d["mp_mean"]     # D took SM second
+
+    def test_ungrouped_cohort_rejected(self):
+        members = sample_cohort(4)
+        with pytest.raises(ValueError):
+            administer_test1(members)
+
+    def test_misconception_counts_correlate_with_paper(self, study):
+        """Spearman-style sanity: frequent paper misconceptions are
+        frequent in the reproduction."""
+        from scipy import stats
+        data = study.table3_data
+        measured = [row["measured"] for row in data.values()]
+        paper = [row["paper"] for row in data.values()]
+        rho = stats.spearmanr(measured, paper).statistic
+        assert rho > 0.4
+
+    def test_dominant_misconceptions_dominant(self, study):
+        counts = study.misconception_counts()
+        sm_counts = {k: v for k, v in counts.items() if k.startswith("S")}
+        assert max(sm_counts, key=sm_counts.get) in ("S5", "S7")
+
+
+class TestStats:
+    def test_paired_t_detects_shift(self):
+        a = [60, 65, 70, 62, 68] * 3
+        b = [x + 10 for x in a]
+        result = paired_t(b, a)
+        assert result.significant
+        assert result.mean_a - result.mean_b == pytest.approx(10)
+
+    def test_paired_t_requires_equal_length(self):
+        with pytest.raises(ValueError):
+            paired_t([1, 2], [1])
+
+    def test_welch_t_runs(self):
+        result = welch_t([1.0, 2.0, 3.0], [10.0, 11.0, 12.0])
+        assert result.significant
+
+    def test_cohens_d_zero_for_identical(self):
+        assert cohens_d([1, 2, 3], [1, 2, 3]) == 0
+
+    def test_describe_renders(self):
+        assert "p=" in welch_t([1, 2, 3], [4, 5, 6]).describe()
+
+
+class TestSurveysAndTables:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_full_study(seed=2013)
+
+    def test_difficulty_survey_sm_harder_majority(self, study):
+        report = study.difficulty
+        assert report.sm_harder > report.mp_harder
+
+    def test_grade_choice_mostly_accurate(self, study):
+        report = study.choice
+        assert report.chose_correctly / report.respondents >= 0.75
+
+    def test_table1_rendering(self):
+        rows, text = table1()
+        assert len(rows) == 6
+        assert "TABLE I" in text
+        assert "Uncertainty Level" in text
+
+    def test_table2_rendering(self, study):
+        _, text = table2(study.results)
+        assert "TABLE II" in text
+        assert "(1st)" in text and "(2nd)" in text
+
+    def test_table3_rendering(self, study):
+        data, text = table3(study.results)
+        assert set(data) == {m.mid for m in
+                             __import__("repro.misconceptions",
+                                        fromlist=["CATALOG"]).CATALOG}
+        assert "TABLE III" in text
+
+    def test_full_render(self, study):
+        text = study.render()
+        for token in ("TABLE I", "TABLE II", "TABLE III", "SURVEYS"):
+            assert token in text
+
+
+class TestEffort:
+    def test_bridge_effort_three_models(self):
+        rows = bridge_effort()
+        assert [r.model for r in rows] == ["threads", "actors", "coroutines"]
+        assert all(r.loc > 5 for r in rows)
+
+    def test_actors_trade_locks_for_protocol(self):
+        rows = {r.model: r for r in bridge_effort()}
+        # actor solutions are the longest (explicit protocol)
+        assert rows["actors"].loc > rows["coroutines"].loc
+
+    def test_problem_effort_lookup(self):
+        rows = problem_effort("barber")
+        assert len(rows) == 3
+        with pytest.raises(KeyError):
+            problem_effort("halting")
+
+    def test_measure_counts_sync_ops(self):
+        def sample():
+            import threading
+            lock = threading.Lock()
+            with lock:
+                pass
+        metrics = measure(sample, "demo")
+        assert metrics.loc >= 4
+        assert metrics.describe().startswith("demo")

@@ -1,0 +1,74 @@
+"""Question-bank calibration properties: every question is ground-
+truthed against the correct model, discriminators discriminate, and the
+Figure 6/7 items match the paper's setup."""
+
+from repro.misconceptions.semantics import mutated_lts
+from repro.study.questions import (ground_truth, mp_questions,
+                                   question_bank, sm_questions)
+from repro.verify import answer_question_lts
+
+
+class TestBankIntegrity:
+    def test_qids_unique(self):
+        bank = question_bank()
+        ids = [item.qid for item in bank]
+        assert len(ids) == len(set(ids))
+
+    def test_ground_truth_is_idempotent(self):
+        item = sm_questions()[0]
+        once = ground_truth(item)
+        twice = ground_truth(once)
+        assert once.answer == twice.answer
+        assert once.size == twice.size
+
+    def test_categories_cover_noise_hooks(self):
+        from repro.misconceptions import CATALOG
+        bank = question_bank()
+        categories = {(i.section, i.category) for i in bank}
+        for m in CATALOG:
+            if m.kind != "noise":
+                continue
+            assert any((m.section, c) in categories for c in m.affects), \
+                f"{m.mid} affects {m.affects} but no question has it"
+
+    def test_raw_builders_match_bank(self):
+        assert len(sm_questions()) + len(mp_questions()) == \
+            len(question_bank())
+
+
+class TestDiscriminationMatrix:
+    """Each semantic misconception's answer vector differs from the
+    correct one, and differs from the other misconceptions' vectors —
+    the property that makes Table III's grading identifiable."""
+
+    def _vector(self, section, mids):
+        model = mutated_lts(section, mids)
+        return tuple(
+            answer_question_lts(model, item.question).verdict
+            for item in question_bank() if item.section == section)
+
+    def test_sm_vectors_distinct(self):
+        correct = self._vector("sm", ())
+        vectors = {mid: self._vector("sm", (mid,))
+                   for mid in ("S5", "S6", "S7")}
+        for mid, vector in vectors.items():
+            assert vector != correct, mid
+        assert len(set(vectors.values())) == 3
+
+    def test_mp_vectors_distinct(self):
+        correct = self._vector("mp", ())
+        vectors = {mid: self._vector("mp", (mid,))
+                   for mid in ("M3", "M4", "M5")}
+        for mid, vector in vectors.items():
+            assert vector != correct, mid
+        assert len(set(vectors.values())) == 3
+
+    def test_combined_misconceptions_compound(self):
+        """Holding S5+S7 flips at least as many questions as either."""
+        correct = self._vector("sm", ())
+
+        def wrong_count(mids):
+            return sum(a != b for a, b in
+                       zip(self._vector("sm", mids), correct))
+        assert wrong_count(("S5", "S7")) >= max(wrong_count(("S5",)),
+                                                wrong_count(("S7",)))

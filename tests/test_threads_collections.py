@@ -1,0 +1,219 @@
+"""Concurrent collections and the thread pool."""
+
+import time
+
+import pytest
+
+from repro.threads import (BlockingQueue, BrokenBarrierError, ConcurrentMap,
+                           CountDownLatch, CyclicBarrier, JThread, PoolFuture,
+                           QueueClosed, ThreadPool, join_all, parallel_map,
+                           spawn_all)
+
+
+class TestBlockingQueue:
+    def test_fifo(self):
+        q = BlockingQueue(capacity=3)
+        for i in range(3):
+            q.put(i)
+        assert [q.take() for _ in range(3)] == [0, 1, 2]
+
+    def test_put_blocks_at_capacity(self):
+        q = BlockingQueue(capacity=1)
+        q.put("x")
+        with pytest.raises(TimeoutError):
+            q.put("y", timeout=0.05)
+
+    def test_take_blocks_when_empty(self):
+        q = BlockingQueue(capacity=1)
+        with pytest.raises(TimeoutError):
+            q.take(timeout=0.05)
+
+    def test_producer_consumer_handoff(self):
+        q = BlockingQueue(capacity=2)
+        taken = []
+
+        def consumer():
+            for _ in range(20):
+                taken.append(q.take())
+
+        def producer():
+            for i in range(20):
+                q.put(i)
+        join_all(spawn_all(consumer, producer))
+        assert taken == list(range(20))
+
+    def test_close_wakes_takers(self):
+        q = BlockingQueue(capacity=1)
+
+        def taker():
+            with pytest.raises(QueueClosed):
+                q.take()
+            return "woke"
+        t = JThread(target=taker).start()
+        time.sleep(0.02)
+        q.close()
+        assert t.join() == "woke"
+
+    def test_close_drains_remaining_items_first(self):
+        q = BlockingQueue(capacity=5)
+        q.put(1)
+        q.put(2)
+        q.close()
+        assert q.take() == 1
+        assert q.take() == 2
+        with pytest.raises(QueueClosed):
+            q.take()
+
+    def test_offer_and_poll_nonblocking(self):
+        q = BlockingQueue(capacity=1)
+        assert q.offer("a")
+        assert not q.offer("b")
+        assert q.poll() == "a"
+        assert q.poll() is None
+
+    def test_drain(self):
+        q = BlockingQueue()
+        for i in range(4):
+            q.put(i)
+        assert q.drain() == [0, 1, 2, 3]
+        assert len(q) == 0
+
+
+class TestConcurrentMap:
+    def test_put_if_absent(self):
+        m = ConcurrentMap()
+        assert m.put_if_absent("k", 1) is None
+        assert m.put_if_absent("k", 2) == 1
+        assert m.get("k") == 1
+
+    def test_compute_updates_atomically(self):
+        m = ConcurrentMap()
+        m.put("n", 0)
+
+        def bump():
+            for _ in range(200):
+                m.compute("n", lambda k, v: (v or 0) + 1)
+        join_all(spawn_all(bump, bump, bump))
+        assert m.get("n") == 600
+
+    def test_compute_none_removes(self):
+        m = ConcurrentMap()
+        m.put("k", 1)
+        m.compute("k", lambda k, v: None)
+        assert "k" not in m
+
+    def test_snapshot_is_copy(self):
+        m = ConcurrentMap()
+        m.put("a", 1)
+        snap = m.snapshot()
+        m.put("b", 2)
+        assert snap == {"a": 1}
+
+    def test_update_atomically_multi_key(self):
+        m = ConcurrentMap()
+        m.put("from", 10)
+        m.put("to", 0)
+
+        def transfer(data):
+            data["from"] -= 1
+            data["to"] += 1
+
+        def mover():
+            for _ in range(5):
+                m.update_atomically(transfer)
+        join_all(spawn_all(mover, mover))
+        assert m.get("from") == 0
+        assert m.get("to") == 10
+
+
+class TestLatchAndBarrier:
+    def test_latch_releases_at_zero(self):
+        latch = CountDownLatch(3)
+        released = []
+
+        def waiter():
+            assert latch.await_(timeout=5)
+            released.append(True)
+        threads = spawn_all(waiter, waiter)
+        for _ in range(3):
+            latch.count_down()
+        join_all(threads)
+        assert released == [True, True]
+        assert latch.count == 0
+
+    def test_latch_extra_countdowns_harmless(self):
+        latch = CountDownLatch(1)
+        latch.count_down()
+        latch.count_down()
+        assert latch.count == 0
+
+    def test_latch_timeout(self):
+        assert CountDownLatch(1).await_(timeout=0.05) is False
+
+    def test_barrier_releases_together(self):
+        barrier = CyclicBarrier(3)
+        order = []
+
+        def party(i):
+            barrier.await_(timeout=5)
+            order.append(i)
+        join_all(spawn_all(*(lambda i=i: party(i) for i in range(3))))
+        assert sorted(order) == [0, 1, 2]
+
+    def test_barrier_action_runs_once_per_generation(self):
+        fired = []
+        barrier = CyclicBarrier(2, action=lambda: fired.append(1))
+
+        def party():
+            barrier.await_(timeout=5)
+            barrier.await_(timeout=5)
+        join_all(spawn_all(party, party))
+        assert len(fired) == 2
+
+    def test_barrier_timeout_breaks_it(self):
+        barrier = CyclicBarrier(2)
+        with pytest.raises(BrokenBarrierError):
+            barrier.await_(timeout=0.05)
+        assert barrier.broken
+
+
+class TestThreadPool:
+    def test_submit_and_result(self):
+        with ThreadPool(2) as pool:
+            assert pool.submit(lambda a, b: a + b, 2, 3).result() == 5
+
+    def test_map_preserves_order(self):
+        with ThreadPool(4) as pool:
+            assert pool.map(lambda x: x * x, range(10)) == \
+                [x * x for x in range(10)]
+
+    def test_exception_surfaces_at_result(self):
+        with ThreadPool(1) as pool:
+            future = pool.submit(lambda: 1 / 0)
+            with pytest.raises(ZeroDivisionError):
+                future.result()
+
+    def test_submit_after_shutdown_rejected(self):
+        pool = ThreadPool(1)
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.submit(lambda: None)
+
+    def test_cancel_queued_task(self):
+        future = PoolFuture()
+        assert future.cancel()
+        with pytest.raises(RuntimeError, match="cancelled"):
+            future.result()
+
+    def test_stats_track_completion(self):
+        with ThreadPool(2) as pool:
+            futures = [pool.submit(lambda: None) for _ in range(5)]
+            for f in futures:
+                f.result()
+            stats = pool.stats
+        assert stats["submitted"] == 5
+        assert stats["completed"] == 5
+
+    def test_parallel_map_helper(self):
+        assert parallel_map(lambda x: x + 1, range(5), workers=3) == \
+            [1, 2, 3, 4, 5]

@@ -1,0 +1,103 @@
+"""Remaining thread-model surfaces: explicit monitor protocol, unbounded
+queues, daemon JThreads, pool edge cases."""
+
+import time
+
+import pytest
+
+from repro.threads import (BlockingQueue, JThread, Monitor, ThreadPool,
+                           join_all, spawn_all)
+
+
+class TestMonitorExplicitProtocol:
+    def test_acquire_release_without_with(self):
+        m = Monitor("manual")
+        m.acquire()
+        assert m.held_by_me
+        m.release()
+        assert not m.held_by_me
+
+    def test_wait_timeout_returns_false(self):
+        m = Monitor()
+        with m:
+            assert m.wait(timeout=0.02) is False
+
+    def test_notify_single(self):
+        m = Monitor()
+        woken = []
+        state = {"tickets": 0}
+
+        def waiter(i):
+            with m:
+                m.wait_until(lambda: state["tickets"] > 0)
+                state["tickets"] -= 1
+                woken.append(i)
+
+        threads = spawn_all(lambda: waiter(0), lambda: waiter(1))
+        time.sleep(0.02)
+        for _ in range(2):
+            with m:
+                state["tickets"] += 1
+                m.notify_all()
+            time.sleep(0.01)
+        join_all(threads)
+        assert sorted(woken) == [0, 1]
+
+
+class TestQueueUnbounded:
+    def test_zero_capacity_means_unbounded(self):
+        q = BlockingQueue(capacity=0)
+        for i in range(10_000):
+            q.put(i)
+        assert len(q) == 10_000
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BlockingQueue(capacity=-1)
+
+    def test_closed_property(self):
+        q = BlockingQueue()
+        assert not q.closed
+        q.close()
+        assert q.closed
+
+
+class TestJThreadDaemon:
+    def test_daemon_flag_passthrough(self):
+        stop = None
+        import threading
+        stop = threading.Event()
+        t = JThread(target=stop.wait, daemon=True).start()
+        assert t.is_alive()
+        stop.set()
+        t.join()
+        assert not t.is_alive()
+
+    def test_repr_states(self):
+        t = JThread(target=lambda: None, name="fancy")
+        assert "unstarted" in repr(t)
+        t.start()
+        t.join()
+        assert "dead" in repr(t)
+
+
+class TestPoolEdgeCases:
+    def test_worker_count_validation(self):
+        with pytest.raises(ValueError):
+            ThreadPool(0)
+
+    def test_map_empty(self):
+        with ThreadPool(2) as pool:
+            assert pool.map(str, []) == []
+
+    def test_many_small_tasks(self):
+        with ThreadPool(4) as pool:
+            futures = [pool.submit(lambda i=i: i * i) for i in range(200)]
+            assert sum(f.result() for f in futures) == \
+                sum(i * i for i in range(200))
+
+    def test_shutdown_drains_queue(self):
+        pool = ThreadPool(1)
+        futures = [pool.submit(time.sleep, 0.001) for _ in range(20)]
+        pool.shutdown(wait=True)
+        assert all(f.done() for f in futures)

@@ -1,0 +1,178 @@
+"""The Java-flavoured thread model: JThread, Monitor, atomics."""
+
+import threading
+import time
+
+import pytest
+
+from repro.threads import (AtomicBoolean, AtomicInteger, AtomicReference,
+                           JThread, Monitor, MonitorStateError, join_all,
+                           spawn_all, synchronized)
+
+
+class TestJThread:
+    def test_run_result_via_join(self):
+        t = JThread(target=lambda: 21 * 2).start()
+        assert t.join() == 42
+
+    def test_subclass_override(self):
+        class Doubler(JThread):
+            def __init__(self, n):
+                super().__init__(name="doubler")
+                self.n = n
+
+            def run(self):
+                return self.n * 2
+        assert Doubler(5).start().join() == 10
+
+    def test_exception_reraised_in_joiner(self):
+        def boom():
+            raise ValueError("inside thread")
+        t = JThread(target=boom).start()
+        with pytest.raises(ValueError, match="inside thread"):
+            t.join()
+        assert isinstance(t.error, ValueError)
+
+    def test_double_start_rejected(self):
+        t = JThread(target=lambda: None).start()
+        t.join()
+        with pytest.raises(RuntimeError, match="already started"):
+            t.start()
+
+    def test_join_timeout(self):
+        stop = threading.Event()
+        t = JThread(target=stop.wait).start()
+        with pytest.raises(TimeoutError):
+            t.join(timeout=0.05)
+        stop.set()
+        t.join()
+
+    def test_spawn_join_all(self):
+        results = join_all(spawn_all(*(lambda i=i: i for i in range(5))))
+        assert sorted(results) == [0, 1, 2, 3, 4]
+
+
+class TestMonitor:
+    def test_reentrant(self):
+        m = Monitor()
+        with m:
+            with m:
+                assert m.held_by_me
+        assert not m.held_by_me
+
+    def test_wait_requires_ownership(self):
+        m = Monitor()
+        with pytest.raises(MonitorStateError):
+            m.wait()
+
+    def test_notify_requires_ownership(self):
+        m = Monitor()
+        with pytest.raises(MonitorStateError):
+            m.notify_all()
+
+    def test_wait_until_guarded_handoff(self):
+        m = Monitor()
+        state = {"ready": False, "observed": None}
+
+        def consumer():
+            with m:
+                m.wait_until(lambda: state["ready"])
+                state["observed"] = "consumed"
+
+        def producer():
+            with m:
+                state["ready"] = True
+                m.notify_all()
+        t1 = JThread(target=consumer).start()
+        time.sleep(0.02)
+        t2 = JThread(target=producer).start()
+        join_all([t1, t2])
+        assert state["observed"] == "consumed"
+
+    def test_wait_until_timeout(self):
+        m = Monitor()
+        with m:
+            assert m.wait_until(lambda: False, timeout=0.05) is False
+
+    def test_wait_preserves_reentrancy_depth(self):
+        m = Monitor()
+        state = {"go": False}
+
+        def waiter():
+            with m:
+                with m:                     # depth 2
+                    m.wait_until(lambda: state["go"])
+                    assert m.held_by_me
+                assert m.held_by_me
+            assert not m.held_by_me
+            return "ok"
+
+        t = JThread(target=waiter).start()
+        time.sleep(0.02)
+        with m:
+            state["go"] = True
+            m.notify_all()
+        assert t.join() == "ok"
+
+    def test_synchronized_decorator_serializes(self):
+        class Counter:
+            def __init__(self):
+                self.value = 0
+
+            @synchronized
+            def bump(self):
+                snapshot = self.value
+                time.sleep(0.0001)     # widen the race window
+                self.value = snapshot + 1
+        counter = Counter()
+        threads = spawn_all(*(
+            (lambda: [counter.bump() for _ in range(50)]),) * 4)
+        join_all(threads)
+        assert counter.value == 200
+
+    def test_synchronized_shares_intrinsic_monitor(self):
+        class Thing:
+            @synchronized
+            def a(self):
+                return self._monitor
+
+            @synchronized
+            def b(self):
+                return self._monitor
+        thing = Thing()
+        assert thing.a() is thing.b()
+
+
+class TestAtomics:
+    def test_atomic_integer_concurrent_increments(self):
+        n = AtomicInteger()
+        join_all(spawn_all(*(
+            (lambda: [n.increment_and_get() for _ in range(500)]),) * 4))
+        assert n.get() == 2000
+
+    def test_compare_and_set(self):
+        n = AtomicInteger(5)
+        assert n.compare_and_set(5, 9)
+        assert not n.compare_and_set(5, 100)
+        assert n.get() == 9
+
+    def test_get_and_update(self):
+        n = AtomicInteger(10)
+        assert n.get_and_update(lambda v: v * 2) == 10
+        assert n.get() == 20
+
+    def test_atomic_reference_identity_cas(self):
+        first, second = object(), object()
+        ref = AtomicReference(first)
+        assert ref.compare_and_set(first, second)
+        assert ref.get() is second
+
+    def test_atomic_boolean_test_and_set_latches_once(self):
+        flag = AtomicBoolean()
+        winners = []
+
+        def contender(i):
+            if not flag.test_and_set():
+                winners.append(i)
+        join_all(spawn_all(*(lambda i=i: contender(i) for i in range(8))))
+        assert len(winners) == 1

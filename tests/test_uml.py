@@ -1,0 +1,231 @@
+"""UML module: state-machine transformations, diagrams, class models."""
+
+import pytest
+
+from repro.pseudocode import compile_program, parse, possible_outputs
+from repro.uml import (SequenceDiagram, StateMachine, StateMachineError,
+                       Transition, bounded_buffer_state_machine,
+                       bridge_state_machine, diagram_from_path,
+                       diagram_from_trace, extract_class_model,
+                       render_boxes, simulate, to_message_pseudocode,
+                       to_monitor_pseudocode)
+
+
+class TestStateMachineSpec:
+    def test_reference_simulation(self):
+        machine = bridge_state_machine()
+        result = simulate(machine, ["redEnter", "redEnter", "redExit",
+                                    "redExit", "blueEnter"])
+        assert result == {"redCount": 0, "blueCount": 1}
+
+    def test_guard_violation_strict(self):
+        machine = bridge_state_machine()
+        with pytest.raises(StateMachineError, match="guard"):
+            simulate(machine, ["blueEnter", "redEnter"])
+
+    def test_guard_violation_lenient_skips(self):
+        machine = bridge_state_machine()
+        result = simulate(machine, ["blueEnter", "redEnter"], strict=False)
+        assert result == {"redCount": 0, "blueCount": 1}
+
+    def test_duplicate_event_rejected(self):
+        with pytest.raises(StateMachineError, match="duplicate"):
+            StateMachine("m", {"x": 0},
+                         [Transition("go"), Transition("go")])
+
+    def test_effect_must_assign_known_variable(self):
+        with pytest.raises(StateMachineError, match="unknown variable"):
+            StateMachine("m", {"x": 0},
+                         [Transition("go", effects=("y = 1",))])
+
+    def test_unknown_event(self):
+        with pytest.raises(StateMachineError, match="unknown event"):
+            simulate(bridge_state_machine(), ["teleport"])
+
+
+class TestMonitorTransformation:
+    def test_generated_code_parses_and_analyzes(self):
+        source = to_monitor_pseudocode(bridge_state_machine())
+        runtime = compile_program(source)
+        # all four events share one exclusion group (both counters)
+        assert len(runtime.info.groups) == 1
+
+    def test_generated_bridge_behaves_exhaustive_small(self):
+        """Two concurrent events: small enough for an exact proof."""
+        source = to_monitor_pseudocode(bridge_state_machine()) + """
+PARA
+  redEnter()
+  redExit()
+ENDPARA
+PRINT redCount + blueCount
+"""
+        outputs = possible_outputs(source, max_runs=200_000)
+        assert outputs == {"0"}
+
+    def test_generated_bridge_behaves_under_stress(self):
+        """Four concurrent events exceed the exhaustive budget; stress
+        with seeded random schedules instead."""
+        from repro.core import RandomPolicy
+        source = to_monitor_pseudocode(bridge_state_machine()) + """
+PARA
+  redEnter()
+  redExit()
+  blueEnter()
+  blueExit()
+ENDPARA
+PRINT redCount + blueCount
+"""
+        runtime = compile_program(source)
+        for seed in range(25):
+            result = runtime.run(RandomPolicy(seed))
+            assert result.outcome == "done"
+            assert result.output_tokens() == ["0"], seed
+
+    def test_generated_buffer_matches_reference(self):
+        from repro.core import RandomPolicy
+        machine = bounded_buffer_state_machine(capacity=1)
+        source = to_monitor_pseudocode(machine) + """
+PARA
+  produce()
+  produce()
+  consume()
+  consume()
+ENDPARA
+PRINT count
+"""
+        runtime = compile_program(source)
+        for seed in range(25):
+            result = runtime.run(RandomPolicy(seed))
+            assert result.outcome == "done"
+            assert result.output_tokens() == ["0"], seed
+        assert simulate(machine, ["produce", "consume", "produce",
+                                  "consume"])["count"] == 0
+
+    def test_guardless_transition_has_no_wait_loop(self):
+        machine = StateMachine("m", {"n": 0},
+                               [Transition("tick",
+                                           effects=("n = n + 1",))])
+        source = to_monitor_pseudocode(machine)
+        assert "WAIT()" not in source
+        assert "EXC_ACC" in source
+
+
+class TestMessageTransformation:
+    def test_generated_class_parses(self):
+        source = to_message_pseudocode(bridge_state_machine())
+        program = parse(source)
+        assert "Bridge" in program.classes
+        assert program.classes["Bridge"].methods["start"].has_receive()
+
+    def test_accepted_event_acknowledged(self):
+        source = to_message_pseudocode(bridge_state_machine()) + """
+CLASS Probe
+  DEFINE start()
+    ON_RECEIVING
+      MESSAGE.ok(ev)
+        PRINT ev
+      MESSAGE.blocked(ev)
+        PRINTLN ev
+  ENDDEF
+ENDCLASS
+b = new Bridge()
+b.start()
+p = new Probe()
+p.start()
+Send(MESSAGE.redEnter(p)).To(b)
+"""
+        assert possible_outputs(source, max_runs=100_000) == {"redEnter"}
+
+    def test_guarded_event_rejected_when_blocked(self):
+        source = to_message_pseudocode(bridge_state_machine()) + """
+CLASS Probe
+  DEFINE start()
+    ON_RECEIVING
+      MESSAGE.ok(ev)
+        PRINT ev
+      MESSAGE.blocked(ev)
+        PRINT "no"
+  ENDDEF
+ENDCLASS
+b = new Bridge()
+b.start()
+p = new Probe()
+p.start()
+Send(MESSAGE.blueExit(p)).To(b)
+"""
+        # blueExit with blueCount == 0: guard fails, reply is 'blocked'
+        assert possible_outputs(source, max_runs=100_000) == {"no"}
+
+
+class TestSequenceDiagrams:
+    def test_from_lts_witness(self):
+        from repro.problems.single_lane_bridge import mp_bridge_lts
+        from repro.verify import ScenarioQuestion, answer_question_lts
+        question = ScenarioQuestion(
+            qid="x", text="",
+            scenario=(("redCarA", "recv", ("succeedExit", 1)),))
+        answer = answer_question_lts(mp_bridge_lts(), question)
+        diagram = diagram_from_path(answer.witness,
+                                    participants=["redCarA", "bridge"])
+        text = diagram.render()
+        assert "redCarA" in text
+        assert "redEnter" in text
+        assert "--" in text          # at least one arrow
+
+    def test_from_kernel_trace(self):
+        from repro.core import Mailbox, Receive, Scheduler, Send
+
+        sched = Scheduler()
+        box = Mailbox("inbox")
+
+        def sender():
+            yield Send(box, "ping")
+
+        def receiver():
+            yield Receive(box)
+        sched.spawn(sender, name="alice")
+        sched.spawn(receiver, name="bob")
+        trace = sched.run()
+        text = diagram_from_trace(trace,
+                                  participants=["alice", "inbox"]).render()
+        assert "alice" in text and "inbox" in text
+
+    def test_manual_diagram(self):
+        diagram = SequenceDiagram(["a", "b"])
+        diagram.message("a", "b", "hello")
+        diagram.note("b", "thinking")
+        text = diagram.render()
+        assert "hello" in text
+        assert "[thinking]" in text
+
+    def test_participants_added_on_demand(self):
+        diagram = SequenceDiagram(["a"])
+        diagram.message("a", "late-joiner", "hi")
+        assert "late-joiner" in diagram.participants
+
+    def test_empty_participants_rejected(self):
+        with pytest.raises(ValueError):
+            SequenceDiagram([])
+
+
+class TestClassModel:
+    def test_extract_from_mp_bridge(self):
+        from repro.problems.single_lane_bridge import MP_PSEUDOCODE
+        model = extract_class_model(parse(MP_PSEUDOCODE))
+        names = {box.name for box in model.boxes}
+        assert names == {"Bridge", "Car"}
+        bridge = next(b for b in model.boxes if b.name == "Bridge")
+        assert "start()" in bridge.operations
+        assert set(bridge.accepts) == {"redEnter", "redExit", "blueEnter",
+                                       "blueExit"}
+        assert set(model.messages_sent) == {"succeedEnter", "succeedExit"}
+
+    def test_shared_state_box(self):
+        model = extract_class_model(parse("x = 1\ny = 2"))
+        assert model.shared_state == ["x", "y"]
+
+    def test_render(self):
+        from repro.problems.single_lane_bridge import MP_PSEUDOCODE
+        text = render_boxes(extract_class_model(parse(MP_PSEUDOCODE)))
+        assert "Bridge" in text
+        assert "<<accepts>> redEnter" in text

@@ -1,0 +1,148 @@
+"""The replay-DFS explorer: exactness, budgets, replay."""
+
+from repro.core import Choice, Emit, Pause, Scheduler
+from repro.verify import explore, run_schedule
+
+
+def _emitters(*tags):
+    def program(sched):
+        for tag in tags:
+            def t(tag=tag):
+                yield Emit(tag)
+            sched.spawn(t, name=tag)
+    return program
+
+
+class TestExactEnumeration:
+    def test_two_tasks_two_outputs(self):
+        res = explore(_emitters("a", "b"))
+        assert res.complete
+        assert res.output_strings() == {"ab", "ba"}
+
+    def test_three_tasks_six_permutations(self):
+        res = explore(_emitters("a", "b", "c"))
+        assert res.complete
+        assert len(res.output_strings()) == 6
+
+    def test_run_count_equals_leaves(self):
+        # each task takes 2 scheduler steps (the Emit and the final
+        # resume), so the step-level tree has C(4,2) = 6 leaves even
+        # though only 2 distinct outputs exist
+        res = explore(_emitters("a", "b"))
+        assert res.runs == 6
+        assert len(res.output_strings()) == 2
+
+    def test_single_task_single_run(self):
+        res = explore(_emitters("only"))
+        assert res.runs == 1
+        assert res.complete
+
+    def test_choice_fanout_explored(self):
+        def program(sched):
+            def chooser():
+                first = yield Choice([1, 2])
+                second = yield Choice([10, 20])
+                yield Emit(first + second)
+            sched.spawn(chooser)
+        res = explore(program)
+        assert res.output_strings() == {"11", "21", "12", "22"}
+
+
+class TestBudgets:
+    def test_budget_marks_incomplete(self):
+        res = explore(_emitters("a", "b", "c", "d"), max_runs=3)
+        assert not res.complete
+        assert res.runs == 3
+
+    def test_partial_results_are_real(self):
+        full = explore(_emitters("a", "b", "c"))
+        partial = explore(_emitters("a", "b", "c"), max_runs=2)
+        assert partial.output_strings() <= full.output_strings()
+
+
+class TestOutcomeClassification:
+    def test_deadlock_counted_not_raised(self):
+        from repro.core import Acquire, Pause, Release, SimLock
+
+        def program(sched):
+            l1, l2 = SimLock("l1"), SimLock("l2")
+
+            def ab():
+                yield Acquire(l1)
+                yield Pause()
+                yield Acquire(l2)
+                yield Release(l2)
+                yield Release(l1)
+
+            def ba():
+                yield Acquire(l2)
+                yield Pause()
+                yield Acquire(l1)
+                yield Release(l1)
+                yield Release(l2)
+            sched.spawn(ab, name="ab")
+            sched.spawn(ba, name="ba")
+        res = explore(program)
+        assert res.complete
+        assert res.outcomes["deadlock"] > 0
+        assert res.outcomes["done"] > 0
+        assert res.deadlocks  # witness traces retained
+
+    def test_failures_sampled(self):
+        def program(sched):
+            def bad():
+                yield Pause()
+                raise ValueError("nope")
+            sched.spawn(bad)
+        res = explore(program)
+        assert res.outcomes["failed"] == res.runs
+        assert res.failures
+
+
+class TestObservations:
+    def test_observation_function_called_per_run(self):
+        def program(sched):
+            state = {"n": 0}
+
+            def worker():
+                state["n"] += 1
+                yield Pause()
+            sched.spawn(worker)
+            return lambda: state["n"]
+        res = explore(program)
+        assert res.observations() == {1}
+
+    def test_dict_observations_frozen_hashable(self):
+        def program(sched):
+            def worker():
+                yield Pause()
+            sched.spawn(worker)
+            return lambda: {"key": [1, 2], "nested": {"a": 1}}
+        res = explore(program)
+        assert len(res.terminals) == 1
+
+    def test_witness_for_output(self):
+        res = explore(_emitters("a", "b"))
+        witness = res.witness_for_output("ba")
+        assert witness is not None
+        trace, _ = run_schedule(_emitters("a", "b"), witness.schedule())
+        assert trace.output_str() == "ba"
+
+
+class TestRunSchedule:
+    def test_empty_schedule_uses_first_choice_tail(self):
+        trace, obs = run_schedule(_emitters("a", "b"), [])
+        assert trace.outcome == "done"
+        assert len(trace.output) == 2
+
+    def test_schedule_steers_run(self):
+        full = explore(_emitters("a", "b"))
+        for (out, _), witness in full.witnesses.items():
+            trace, _ = run_schedule(_emitters("a", "b"), witness.schedule())
+            assert tuple(trace.output) == out
+
+    def test_summary_renders(self):
+        res = explore(_emitters("a", "b"))
+        assert "6 runs" in res.summary()
+        assert "complete" in res.summary()
+        assert "2 distinct terminals" in res.summary()

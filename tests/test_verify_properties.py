@@ -1,0 +1,123 @@
+"""Program-level property checks and trace analyses."""
+
+from repro.core import (Acquire, Emit, Pause, Release, RoundRobinPolicy,
+                        Scheduler, SimLock)
+from repro.verify import (check_always, check_deadlock_free,
+                          check_mutual_exclusion, check_sometimes,
+                          fairness_report, mutex_intervals, run_schedule,
+                          starvation_gap)
+
+
+def _deadlocky(sched):
+    l1, l2 = SimLock("l1"), SimLock("l2")
+
+    def ab():
+        yield Acquire(l1)
+        yield Pause()
+        yield Acquire(l2)
+        yield Release(l2)
+        yield Release(l1)
+
+    def ba():
+        yield Acquire(l2)
+        yield Pause()
+        yield Acquire(l1)
+        yield Release(l1)
+        yield Release(l2)
+    sched.spawn(ab, name="ab")
+    sched.spawn(ba, name="ba")
+
+
+def _safe(sched):
+    lock = SimLock("L")
+
+    def worker(tag):
+        yield Acquire(lock)
+        yield Emit(tag)
+        yield Release(lock)
+    sched.spawn(worker, "a")
+    sched.spawn(worker, "b")
+
+
+class TestDeadlockFree:
+    def test_detects_deadlock_with_replayable_counterexample(self):
+        report = check_deadlock_free(_deadlocky)
+        assert not report
+        assert report.counterexample is not None
+        trace, _ = run_schedule(_deadlocky, report.counterexample)
+        assert trace.outcome == "deadlock"
+
+    def test_passes_safe_program(self):
+        report = check_deadlock_free(_safe)
+        assert report.holds
+        assert report.exhaustive
+
+
+class TestAlwaysSometimes:
+    def test_always_holds(self):
+        report = check_always(_safe, lambda out, obs: len(out) == 2)
+        assert report.holds
+
+    def test_always_violation_has_counterexample(self):
+        report = check_always(
+            _safe, lambda out, obs: out[0] == "a", name="a-first")
+        assert not report.holds
+        assert report.counterexample is not None
+        trace, _ = run_schedule(_safe, report.counterexample)
+        assert trace.output[0] == "b"
+
+    def test_sometimes_finds_witness(self):
+        report = check_sometimes(_safe, lambda out, obs: out[0] == "b")
+        assert report.holds
+        assert report.witness is not None
+
+    def test_sometimes_exhaustive_no(self):
+        report = check_sometimes(_safe, lambda out, obs: len(out) == 5)
+        assert not report.holds
+        assert report.exhaustive
+
+
+class TestTraceAnalyses:
+    def _trace(self, output):
+        from repro.core.trace import Trace
+        t = Trace()
+        t.output = list(output)
+        return t
+
+    def test_mutex_intervals_extraction(self):
+        trace = self._trace([("enter", "a"), ("exit", "a"),
+                             ("enter", "b"), ("exit", "b")])
+        assert mutex_intervals(trace, "enter", "exit") == [
+            ("a", 0, 1), ("b", 2, 3)]
+
+    def test_overlap_detected(self):
+        trace = self._trace([("enter", "a"), ("enter", "b"),
+                             ("exit", "a"), ("exit", "b")])
+        problem = check_mutual_exclusion(trace)
+        assert problem is not None
+        assert "overlaps" in problem
+
+    def test_unclosed_section_stays_open(self):
+        trace = self._trace([("enter", "a")])
+        intervals = mutex_intervals(trace, "enter", "exit")
+        assert intervals == [("a", 0, 1)]
+
+    def test_starvation_gap_and_fairness(self):
+        def worker(tag, steps):
+            for _ in range(steps):
+                yield Pause()
+        s = Scheduler(RoundRobinPolicy())
+        s.spawn(worker, "x", 5, name="x")
+        s.spawn(worker, "y", 5, name="y")
+        trace = s.run()
+        assert starvation_gap(trace, "x") <= 2
+        report = fairness_report(trace)
+        assert report["x"]["steps"] == report["y"]["steps"]
+
+    def test_starvation_gap_single_step_task(self):
+        def once():
+            yield Pause()
+        s = Scheduler()
+        s.spawn(once, name="solo")
+        trace = s.run()
+        assert starvation_gap(trace, "solo") >= 0

@@ -1,0 +1,113 @@
+"""Vector-clock race detection."""
+
+from repro.core import (Access, AccessKind, Acquire, Release, Scheduler,
+                        SimLock)
+from repro.verify import explore, find_races, find_races_program
+
+
+def _racy_counter(sched):
+    state = {"x": 0}
+
+    def inc(name):
+        yield Access("x", AccessKind.READ)
+        value = state["x"]
+        yield Access("x", AccessKind.WRITE)
+        state["x"] = value + 1
+    sched.spawn(inc, "a", name="a")
+    sched.spawn(inc, "b", name="b")
+    return lambda: state["x"]
+
+
+def _locked_counter(sched):
+    lock = SimLock("L")
+    state = {"x": 0}
+
+    def inc(name):
+        yield Acquire(lock)
+        yield Access("x", AccessKind.READ)
+        value = state["x"]
+        yield Access("x", AccessKind.WRITE)
+        state["x"] = value + 1
+        yield Release(lock)
+    sched.spawn(inc, "a", name="a")
+    sched.spawn(inc, "b", name="b")
+    return lambda: state["x"]
+
+
+class TestRaceDetection:
+    def test_unsynchronized_rmw_races(self):
+        race = find_races_program(_racy_counter)
+        assert race is not None
+        assert race.var == "x"
+        assert "race on" in race.describe()
+
+    def test_lost_update_actually_observable(self):
+        res = explore(_racy_counter)
+        assert res.observations() == {1, 2}   # 1 = lost update
+
+    def test_locked_counter_race_free(self):
+        assert find_races_program(_locked_counter) is None
+
+    def test_locked_counter_no_lost_update(self):
+        res = explore(_locked_counter)
+        assert res.observations() == {2}
+
+    def test_read_read_is_not_a_race(self):
+        def program(sched):
+            def reader(name):
+                yield Access("x", AccessKind.READ)
+            sched.spawn(reader, "a")
+            sched.spawn(reader, "b")
+        assert find_races_program(program) is None
+
+    def test_same_task_accesses_never_race(self):
+        def program(sched):
+            def solo():
+                yield Access("x", AccessKind.WRITE)
+                yield Access("x", AccessKind.WRITE)
+            sched.spawn(solo)
+        assert find_races_program(program) is None
+
+    def test_spawn_edge_orders_parent_child(self):
+        """Parent writes before spawn; child reads after — ordered by
+        the spawn happens-before edge, no race."""
+        from repro.core import Spawn
+
+        def program(sched):
+            def child():
+                yield Access("x", AccessKind.READ)
+
+            def parent():
+                yield Access("x", AccessKind.WRITE)
+                yield Spawn(child(), name="child")
+            sched.spawn(parent, name="parent")
+        assert find_races_program(program) is None
+
+    def test_message_edge_orders_sender_receiver(self):
+        from repro.core import Mailbox, Receive, Send
+
+        def program(sched):
+            mb = Mailbox("box")
+
+            def sender():
+                yield Access("x", AccessKind.WRITE)
+                yield Send(mb, "go")
+
+            def receiver():
+                yield Receive(mb)
+                yield Access("x", AccessKind.READ)
+            sched.spawn(sender)
+            sched.spawn(receiver)
+        assert find_races_program(program) is None
+
+    def test_max_races_bounds_report(self):
+        def program(sched):
+            def writer(name):
+                for _ in range(4):
+                    yield Access("x", AccessKind.WRITE)
+            sched.spawn(writer, "a")
+            sched.spawn(writer, "b")
+        res = explore(program, max_runs=50)
+        some_trace = next(iter(res.witnesses.values()))
+        races = find_races(some_trace, max_races=3)
+        assert len(races) <= 3

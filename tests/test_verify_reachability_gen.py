@@ -1,0 +1,70 @@
+"""The generator-engine question API (answer_question over explore),
+complementing the LTS engine tests."""
+
+from repro.core import Emit, Mailbox, Receive, Scheduler, Send
+from repro.verify import (ScenarioQuestion, answer_question, explore)
+
+
+def pingpong_program(sched: Scheduler):
+    left = Mailbox("left")
+    right = Mailbox("right")
+
+    def alice():
+        yield Send(right, "serve")
+        yield Emit(("alice", "served"))
+        reply = yield Receive(left)
+        yield Emit(("alice", "got", reply))
+
+    def bob():
+        ball = yield Receive(right)
+        yield Emit(("bob", "got", ball))
+        yield Send(left, "return")
+        yield Emit(("bob", "returned"))
+    sched.spawn(alice, name="alice")
+    sched.spawn(bob, name="bob")
+
+
+class TestAnswerQuestionGenerator:
+    def test_yes_with_witness_schedule(self):
+        question = ScenarioQuestion(
+            qid="q-yes", text="bob can return before alice logs the serve",
+            history=(),
+            scenario=(("bob", "returned"), ("alice", "served")))
+        answer = answer_question(pingpong_program, question)
+        assert answer.verdict == "YES"
+        assert answer.witness_schedule is not None
+        assert answer.exhaustive
+
+    def test_no_when_exhaustive(self):
+        question = ScenarioQuestion(
+            qid="q-no", text="alice receives before bob got the ball",
+            scenario=(("alice", "got", "return"),),
+            forbidden_anywhere=(("bob", "got", "serve"),))
+        answer = answer_question(pingpong_program, question)
+        assert answer.verdict == "NO"
+        assert answer.exhaustive
+
+    def test_unknown_when_budget_too_small(self):
+        question = ScenarioQuestion(
+            qid="q-unknown", text="",
+            scenario=(("nobody", "never"),))
+        answer = answer_question(pingpong_program, question, max_runs=2)
+        assert answer.verdict == "UNKNOWN"
+        assert not answer.exhaustive
+
+    def test_shared_exploration_amortized(self):
+        exploration = explore(pingpong_program)
+        q1 = ScenarioQuestion(qid="a", text="",
+                              scenario=(("alice", "served"),))
+        q2 = ScenarioQuestion(qid="b", text="",
+                              scenario=(("bob", "returned"),))
+        a1 = answer_question(pingpong_program, q1, exploration=exploration)
+        a2 = answer_question(pingpong_program, q2, exploration=exploration)
+        assert a1.yes and a2.yes
+        assert a1.runs == a2.runs == exploration.runs
+
+    def test_explanations_present(self):
+        q = ScenarioQuestion(qid="e", text="",
+                             scenario=(("alice", "served"),))
+        answer = answer_question(pingpong_program, q)
+        assert answer.explanation
