@@ -5,7 +5,9 @@
 2. mailbox delivery policy: which exam answers flip between the
    paper's ARBITRARY semantics, per-sender FIFO, and the M5 world;
 3. U1 capacity threshold: the score knee as working capacity shrinks;
-4. matched vs random grouping: prior-score balance.
+4. matched vs random grouping: prior-score balance;
+5. adaptive exploration: reusing a precomputed tree estimate, and the
+   explorer reductions' effect on the exhaustive path.
 """
 
 import random
@@ -123,6 +125,36 @@ def test_ablation_capacity_knee(benchmark):
 # ---------------------------------------------------------------------------
 # 4. matched vs random grouping
 # ---------------------------------------------------------------------------
+
+def test_ablation_adaptive_estimate_reuse(benchmark):
+    """`explore_adaptive` with a precomputed `TreeEstimate` skips the
+    probing pass; a deliberately huge estimate forces the sampling mode
+    without ever probing or exploring exhaustively."""
+    from repro.problems.bounded_buffer import buffer_program
+    from repro.verify import TreeEstimate, estimate_tree, explore_adaptive
+
+    program = buffer_program(capacity=1, producers=1, consumers=1,
+                             items_each=1)
+    est = estimate_tree(program, probes=4)
+
+    result, mode = benchmark(lambda: explore_adaptive(
+        program, budget_runs=2_000, estimate=est))
+    assert mode == "exhaustive" and result.complete
+
+    # reductions thread through the exhaustive path unchanged
+    reduced, mode_r = explore_adaptive(program, budget_runs=2_000,
+                                       estimate=est, reduce="all")
+    assert mode_r == "exhaustive"
+    assert reduced.output_strings() == result.output_strings()
+    assert reduced.decisions < result.decisions
+
+    # a pathological precomputed estimate is trusted, not re-probed
+    huge = TreeEstimate(probe_runs=0, mean_depth=10.0, mean_fanout=10.0,
+                        max_fanout=10, est_leaves=1e9)
+    sampled, mode_s = explore_adaptive(program, budget_runs=50,
+                                       estimate=huge)
+    assert mode_s == "sampled" and not sampled.complete
+
 
 def test_ablation_matched_vs_random_grouping(benchmark):
     def gaps():

@@ -70,8 +70,15 @@ def _cmd_check(args: argparse.Namespace) -> int:
           f"{ {k: list(v) for k, v in info.groups.items()} or '(none)'}")
     for warning in info.warnings:
         print(f"warning          : {warning}")
-    result = explore(runtime.make_program(), max_runs=args.max_runs)
+    reduce = () if args.reduce == "none" else args.reduce
+    result = explore(runtime.make_program(), max_runs=args.max_runs,
+                     reduce=reduce, workers=args.workers)
     print(f"exploration      : {result.summary()}")
+    if reduce or args.workers > 1:
+        print(f"reductions       : reduce={args.reduce} "
+              f"workers={args.workers} "
+              f"({result.decisions} decisions, "
+              f"{result.pruned_runs} pruned runs)")
     status = 0
     if result.outcomes.get("deadlock"):
         print("DEADLOCK reachable; sample blocked state:")
@@ -143,6 +150,11 @@ def main(argv: list[str] | None = None) -> int:
     p_check = sub.add_parser("check", help="analyze + explore a program")
     p_check.add_argument("file")
     p_check.add_argument("--max-runs", type=int, default=50_000)
+    p_check.add_argument("--reduce", choices=("none", "sleep", "fingerprint",
+                                              "all"), default="none",
+                         help="exploration reductions (default: naive DFS)")
+    p_check.add_argument("--workers", type=int, default=0,
+                         help="parallel subtree exploration processes")
     p_check.set_defaults(fn=_cmd_check)
 
     p_study = sub.add_parser("study", help="run the full §V study")

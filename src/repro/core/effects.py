@@ -20,6 +20,7 @@ from enum import Enum
 from typing import Any, Callable, Optional, Sequence
 
 __all__ = [
+    "EMPTY_FOOTPRINT",
     "Effect",
     "Pause",
     "Access",
@@ -38,10 +39,28 @@ __all__ = [
 ]
 
 
+#: an empty access footprint, shared by all pure effects
+EMPTY_FOOTPRINT: frozenset = frozenset()
+
+
 class Effect:
-    """Base class for everything a task may yield to the scheduler."""
+    """Base class for everything a task may yield to the scheduler.
+
+    Every effect declares an *access footprint*: the set of
+    ``(domain, key, mode)`` tokens naming the kernel-visible resources
+    the effect touches (``mode`` is ``"r"`` or ``"w"``).  Two effects
+    are *independent* when no token of one conflicts with a token of
+    the other (same resource, at least one write) — the relation the
+    partial-order reduction in :mod:`repro.verify.explorer` prunes by.
+    Pure effects (:class:`Pause`, :class:`Choice`, :class:`Join`
+    resolution) have an empty footprint and commute with everything.
+    """
 
     __slots__ = ()
+
+    def footprint(self) -> frozenset:
+        """``(domain, key, mode)`` access tokens of this effect."""
+        return EMPTY_FOOTPRINT
 
 
 @dataclass(frozen=True)
@@ -73,6 +92,10 @@ class Access(Effect):
     kind: AccessKind = AccessKind.READ
     label: str = ""
 
+    def footprint(self) -> frozenset:
+        return frozenset({("var", self.var,
+                           "w" if self.kind is AccessKind.WRITE else "r")})
+
 
 @dataclass(frozen=True)
 class Acquire(Effect):
@@ -85,12 +108,18 @@ class Acquire(Effect):
 
     lock: Any
 
+    def footprint(self) -> frozenset:
+        return frozenset({("lock", id(self.lock), "w")})
+
 
 @dataclass(frozen=True)
 class Release(Effect):
     """Release ``lock``; raises IllegalEffectError if not the owner."""
 
     lock: Any
+
+    def footprint(self) -> frozenset:
+        return frozenset({("lock", id(self.lock), "w")})
 
 
 @dataclass(frozen=True)
@@ -99,6 +128,9 @@ class Wait(Effect):
     condition queue; upon notify, re-contend for the monitor."""
 
     monitor: Any
+
+    def footprint(self) -> frozenset:
+        return frozenset({("lock", id(self.monitor), "w")})
 
 
 @dataclass(frozen=True)
@@ -113,6 +145,9 @@ class Notify(Effect):
     monitor: Any
     all: bool = True
 
+    def footprint(self) -> frozenset:
+        return frozenset({("lock", id(self.monitor), "w")})
+
 
 @dataclass(frozen=True)
 class Send(Effect):
@@ -121,6 +156,9 @@ class Send(Effect):
 
     mailbox: Any
     message: Any
+
+    def footprint(self) -> frozenset:
+        return frozenset({("mbox", id(self.mailbox), "w")})
 
 
 @dataclass(frozen=True)
@@ -137,6 +175,11 @@ class Receive(Effect):
     mailbox: Any
     matcher: Optional[Callable[[Any], bool]] = None
 
+    def footprint(self) -> frozenset:
+        # parking as a receiver only *reads* the mailbox: actual removal
+        # happens at the (separate) deliver transition, which writes
+        return frozenset({("mbox", id(self.mailbox), "r")})
+
 
 @dataclass(frozen=True)
 class Spawn(Effect):
@@ -151,12 +194,18 @@ class Spawn(Effect):
     name: str = ""
     daemon: bool = False
 
+    def footprint(self) -> frozenset:
+        return frozenset({("tasks", 0, "w")})
+
 
 @dataclass(frozen=True)
 class Join(Effect):
     """Block until ``task`` finishes; resumes with its return value."""
 
     task: Any
+
+    def footprint(self) -> frozenset:
+        return frozenset({("task", getattr(self.task, "tid", id(self.task)), "r")})
 
 
 @dataclass(frozen=True)
@@ -182,6 +231,11 @@ class Emit(Effect):
 
     value: Any
 
+    def footprint(self) -> frozenset:
+        # all emissions append to the one global output stream, so any
+        # two Emits conflict: their order is observable
+        return frozenset({("out", 0, "w")})
+
 
 @dataclass(frozen=True)
 class Sleep(Effect):
@@ -193,3 +247,8 @@ class Sleep(Effect):
     """
 
     ticks: int = 1
+
+    def footprint(self) -> frozenset:
+        # sleeping couples the task to global step time, which every
+        # scheduler step advances — conservatively conflicts with all
+        return frozenset({("time", 0, "w")})

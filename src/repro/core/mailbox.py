@@ -142,6 +142,18 @@ class Mailbox:
     def __len__(self) -> int:
         return len(self.pending)
 
+    def state_key(self, ltid_of_tid) -> tuple:
+        """Hashable kernel-visible state for scheduler fingerprints.
+
+        Uses ``(sender-ltid, repr(message))`` pairs rather than envelope
+        identity: envelope ``seq`` numbers come from a process-global
+        counter and would never compare equal across replayed runs.
+        """
+        return ("mbox",
+                tuple((ltid_of_tid(env.sender_tid), repr(env.message))
+                      for env in self.pending),
+                self.delivered_count, self.closed)
+
     def peek_messages(self) -> list[Any]:
         return [env.message for env in self.pending]
 

@@ -55,6 +55,10 @@ class SimMonitor(SimLock):
         return woken
 
     # -- inspection -----------------------------------------------------------
+    def state_key(self, ltid_of_tid) -> tuple:
+        return super().state_key(ltid_of_tid) + (
+            tuple((ltid_of_tid(t.tid), depth) for t, depth in self._waiters),)
+
     @property
     def waiter_count(self) -> int:
         return len(self._waiters)

@@ -40,12 +40,21 @@ class Transition:
     pending message to a blocked receiver; ``payload`` is the message,
     ``payload_index`` its mailbox slot), or ``"choice"`` (resolve an
     explicit Choice effect; ``payload`` is the chosen option).
+
+    ``footprint`` is the transition's declared access footprint — a
+    frozenset of ``(domain, key, mode)`` tokens (see
+    :meth:`repro.core.effects.Effect.footprint`) — when the scheduler
+    can know it before execution: grants touch their lock, deliveries
+    their mailbox, choices nothing.  ``None`` means *unknown* (a
+    ``"run"`` resume may do anything), which reduction-aware policies
+    must treat as conflicting with everything.
     """
 
     task: Task
     kind: str = "run"
     payload: Any = None
     payload_index: int = -1
+    footprint: Optional[frozenset] = None
 
     def describe(self) -> str:
         if self.kind == "run":

@@ -95,6 +95,15 @@ class SimLock:
     def owner_name(self) -> Optional[str]:
         return self._owner.name if self._owner else None
 
+    def state_key(self, ltid_of_tid) -> tuple:
+        """Hashable kernel-visible state for scheduler fingerprints.
+
+        ``ltid_of_tid`` maps a global task tid to its spawn-order index
+        so keys compare equal across replayed runs of the same program.
+        """
+        owner = ltid_of_tid(self._owner.tid) if self._owner is not None else -1
+        return ("lock", owner, self._count)
+
     def __repr__(self) -> str:
         o = f" held by {self._owner.name}x{self._count}" if self._owner else ""
         return f"<SimLock {self.name}{o}>"
@@ -143,6 +152,9 @@ class SimSemaphore:
     def _release(self, task: "Task") -> bool:
         self.permits += 1
         return True
+
+    def state_key(self, ltid_of_tid) -> tuple:
+        return ("sem", self.permits)
 
     @property
     def held(self) -> bool:  # for uniform reporting

@@ -25,8 +25,9 @@ import inspect
 from typing import Any, Callable, Iterable, Optional
 
 from .clock import VectorClock
-from .effects import (Access, Acquire, Choice, Effect, Emit, Join, Notify,
-                      Pause, Receive, Release, Send, Sleep, Spawn, Wait)
+from .effects import (EMPTY_FOOTPRINT, Access, AccessKind, Acquire, Choice,
+                      Effect, Emit, Join, Notify, Pause, Receive, Release,
+                      Send, Sleep, Spawn, Wait)
 from .errors import (BudgetExceeded, DeadlockError, IllegalEffectError,
                      SimulationError, TaskFailed)
 from .mailbox import Mailbox
@@ -61,6 +62,19 @@ class Scheduler:
     track_clocks:
         Maintain vector clocks (needed by the race detector and the
         CAUSAL mailbox policy; small constant overhead).
+    record_enabled:
+        Attach reduction metadata to every step: the executed effect's
+        access footprint, the task's spawn-order index (``ltid``) and a
+        summary of the whole enabled set go into the
+        :class:`~repro.core.trace.TraceEvent`, and enabled
+        :class:`Transition` objects carry their declared footprints.
+        Off by default (the explorer's partial-order reduction turns it
+        on; normal runs skip the bookkeeping).
+    step_hook:
+        Optional callable invoked with the scheduler after every
+        executed step during :meth:`run`; returning a falsy value stops
+        the run with outcome ``"pruned"`` (the explorer's
+        state-fingerprint cut-off).
     """
 
     def __init__(self,
@@ -69,17 +83,31 @@ class Scheduler:
                  raise_on_deadlock: bool = True,
                  raise_on_failure: bool = True,
                  max_steps: int = DEFAULT_MAX_STEPS,
-                 track_clocks: bool = True):
+                 track_clocks: bool = True,
+                 record_enabled: bool = False,
+                 step_hook: Optional[Callable[["Scheduler"], bool]] = None):
         self.policy = policy or RoundRobinPolicy()
         self.raise_on_deadlock = raise_on_deadlock
         self.raise_on_failure = raise_on_failure
         self.max_steps = max_steps
         self.track_clocks = track_clocks
+        self.record_enabled = record_enabled
+        self.step_hook = step_hook
+        #: optional program-provided callable exposing shared state to
+        #: :meth:`fingerprint` (set it inside the program callable)
+        self.fingerprint_extra: Optional[Callable[[], Any]] = None
 
         self.tasks: list[Task] = []
         self.trace = Trace()
         self._step_no = 0
         self._ran = False
+        #: task tid -> spawn-order index (replay-stable identity)
+        self._ltids: dict[int, int] = {}
+        #: id(lock/mailbox/monitor) -> (first-use index, object)
+        self._objects: dict[int, tuple[int, Any]] = {}
+        self._sleepers_active = False
+        #: any Access effect executed — user shared state exists
+        self._access_seen = False
 
     # ------------------------------------------------------------------
     # task creation
@@ -102,6 +130,8 @@ class Scheduler:
             raise TypeError(f"cannot spawn {fn!r}")
         task = Task(gen, name=name or getattr(fn, "__name__", ""))
         task.daemon = daemon
+        # spawn-order index: replay-stable, unlike the process-global tid
+        self._ltids[task.tid] = len(self._ltids)
         if self.track_clocks:
             # child inherits the current global knowledge at spawn time
             task.vclock = VectorClock().tick(task.tid)
@@ -113,23 +143,33 @@ class Scheduler:
     # ------------------------------------------------------------------
     def enabled_transitions(self) -> list[Transition]:
         out: list[Transition] = []
+        rec = self.record_enabled
         for task in self.tasks:
             if task.state is TaskState.READY:
                 if task.choice_options is not None:
                     for opt in task.choice_options:
-                        out.append(Transition(task, "choice", payload=opt))
+                        out.append(Transition(
+                            task, "choice", payload=opt,
+                            footprint=EMPTY_FOOTPRINT if rec else None))
                 else:
+                    # what the generator will do next is unknown until it
+                    # resumes: footprint stays None (= conflicts with all)
                     out.append(Transition(task, "run"))
             elif task.state is TaskState.BLOCKED_ACQUIRE:
                 lock = task.blocked_on
                 if lock._can_grant(task):
-                    out.append(Transition(task, "acquire"))
+                    fp = (frozenset({self._stable_token(("lock", id(lock), "w"))})
+                          if rec else None)
+                    out.append(Transition(task, "acquire", footprint=fp))
             elif task.state is TaskState.BLOCKED_RECEIVE:
                 mailbox: Mailbox = task.blocked_on
+                fp = (frozenset({self._stable_token(("mbox", id(mailbox), "w"))})
+                      if rec else None)
                 for idx in mailbox._deliverable(task.receive_matcher):
                     out.append(Transition(task, "deliver",
                                           payload=mailbox.pending[idx].message,
-                                          payload_index=idx))
+                                          payload_index=idx,
+                                          footprint=fp))
         return out
 
     # ------------------------------------------------------------------
@@ -160,11 +200,21 @@ class Scheduler:
                 raise BudgetExceeded(self.trace.detail)
             return False
 
+        enabled_summary: Optional[tuple] = None
+        if self.record_enabled:
+            self._sleepers_active = any(
+                t.state is TaskState.SLEEPING for t in self.tasks)
+            enabled_summary = tuple(
+                (self._ltid_of(tr.task.tid), tr.kind,
+                 tr.payload_index if tr.kind == "deliver"
+                 else (repr(tr.payload) if tr.kind == "choice" else 0))
+                for tr in transitions)
+
         idx = self.policy.choose(transitions)
         if not 0 <= idx < len(transitions):
             raise SimulationError(f"policy chose {idx} of {len(transitions)}")
         tr = transitions[idx]
-        self._execute(tr, idx, len(transitions))
+        self._execute(tr, idx, len(transitions), enabled_summary)
         self._tick_sleepers()
         return True
 
@@ -176,7 +226,10 @@ class Scheduler:
         self.policy.reset()
         try:
             while self.step():
-                pass
+                if self.step_hook is not None and not self.step_hook(self):
+                    self.trace.outcome = "pruned"
+                    self.trace.detail = "state already expanded elsewhere"
+                    break
         finally:
             self._close_leftover_generators()
         if self.trace.outcome == "done" and any(
@@ -202,10 +255,26 @@ class Scheduler:
     # ------------------------------------------------------------------
     # transition execution
     # ------------------------------------------------------------------
-    def _execute(self, tr: Transition, chosen: int, fanout: int) -> None:
+    def _execute(self, tr: Transition, chosen: int, fanout: int,
+                 enabled: Optional[tuple] = None) -> None:
         task = tr.task
         value: Any = None
         payload_repr: Optional[str] = None
+
+        # reduction bookkeeping: the executed step's access footprint.
+        # Kind contributions must be captured *before* dispatch clears
+        # ``blocked_on`` (acquire grants and delivers mutate the object).
+        step_fp: Optional[set] = set() if self.record_enabled else None
+        if step_fp is not None:
+            # an Access yielded last step announced what THIS segment does
+            announced = getattr(task, "_announced_access", None)
+            if announced is not None:
+                step_fp.add(announced)
+                task._announced_access = None
+            if tr.kind == "acquire":
+                step_fp.add(("lock", id(task.blocked_on), "w"))
+            elif tr.kind == "deliver":
+                step_fp.add(("mbox", id(task.blocked_on), "w"))
 
         if tr.kind == "run":
             value, task.pending_value = task.pending_value, None
@@ -230,6 +299,15 @@ class Scheduler:
             payload_repr = repr(env)
         else:  # pragma: no cover
             raise SimulationError(f"unknown transition kind {tr.kind}")
+
+        if self.record_enabled and value is not None:
+            # kernel-fed inputs (choice picks, delivered messages, join
+            # results) become task-local state invisible to fingerprints
+            # unless logged: two tasks at the same step with different
+            # inputs are NOT in the same local state
+            task._inputs = getattr(task, "_inputs", ()) + (
+                ("task", self._ltid_of(value.tid)) if isinstance(value, Task)
+                else repr(value),)
 
         self._step_no += 1
         if self.track_clocks and task.vclock is not None:
@@ -257,6 +335,29 @@ class Scheduler:
             else:
                 if isinstance(effect, Access):
                     access_var, access_kind = effect.var, effect.kind
+                if step_fp is not None:
+                    if isinstance(effect, Access):
+                        # the declared access happens in the task's NEXT
+                        # segment (`yield Access(...)` precedes the code
+                        # it describes) — defer the token to that step
+                        task._announced_access = next(iter(effect.footprint()))
+                    elif (isinstance(effect, Acquire)
+                            and task.state is TaskState.BLOCKED_ACQUIRE):
+                        # parking only *observes* the lock; two parks of
+                        # different tasks commute (r-r independent),
+                        # while a Release ("w") still conflicts
+                        step_fp.add(("lock", id(effect.lock), "r"))
+                    else:
+                        step_fp.update(effect.footprint())
+
+        if step_fp is not None:
+            if task.finished:
+                # finishing/failing wakes joiners — a write on the task
+                step_fp.add(("task", task.tid, "w"))
+            if self._sleepers_active:
+                # any step taken while a sleeper exists advances its
+                # timer: steps are never reorderable across sleep ticks
+                step_fp.add(("time", 0, "w"))
 
         self.trace.events.append(TraceEvent(
             step=self._step_no,
@@ -270,6 +371,10 @@ class Scheduler:
             access_var=access_var,
             access_kind=access_kind,
             payload_repr=payload_repr,
+            task_ltid=self._ltid_of(task.tid),
+            footprint=frozenset(self._stable_token(t) for t in step_fp)
+            if step_fp is not None else None,
+            enabled=enabled,
         ))
 
         if task.state is TaskState.FAILED and self.raise_on_failure:
@@ -279,7 +384,18 @@ class Scheduler:
     # effect interpretation
     # ------------------------------------------------------------------
     def _apply_effect(self, task: Task, effect: Effect) -> str:
+        if isinstance(effect, (Acquire, Release)):
+            self._register(effect.lock)
+        elif isinstance(effect, (Wait, Notify)):
+            self._register(effect.monitor)
+        elif isinstance(effect, (Send, Receive)):
+            self._register(effect.mailbox)
+
         if isinstance(effect, (Pause, Access)):
+            if isinstance(effect, Access):
+                self._access_seen = True
+                if effect.kind is AccessKind.READ:
+                    task._read_access = True
             label = effect.label or ("access " + effect.var
                                      if isinstance(effect, Access) else "pause")
             return label
@@ -425,6 +541,104 @@ class Scheduler:
         for t in sleepers:
             self._unblock(t)
         return True
+
+    # ------------------------------------------------------------------
+    # reduction support: spawn-order identity + state fingerprints
+    # ------------------------------------------------------------------
+    def _register(self, obj: Any) -> None:
+        """Track a sync object in dense first-use order.
+
+        ``id(obj)`` differs between replayed runs; the first-use index
+        does not (replay determinism), so fingerprints reference objects
+        by that index.
+        """
+        key = id(obj)
+        if key not in self._objects:
+            self._objects[key] = (len(self._objects), obj)
+
+    def _ltid_of(self, tid: int) -> int:
+        return self._ltids.get(tid, -1)
+
+    def _stable_token(self, token: tuple) -> tuple:
+        """Rewrite a footprint token's key to a replay-stable form.
+
+        Raw tokens key objects by ``id()`` and tasks by global tid —
+        both differ between replayed runs.  The explorer compares
+        footprints *across* runs (subtree summaries), so recorded
+        footprints use the dense first-use object index / the
+        spawn-order ltid instead.
+        """
+        dom, key, mode = token
+        if dom in ("lock", "mbox"):
+            ent = self._objects.get(key)
+            if ent is not None:
+                return (dom, ent[0], mode)
+        elif dom == "task":
+            return (dom, self._ltid_of(key), mode)
+        return token
+
+    def _state_ref(self, obj: Any) -> Any:
+        """Replay-stable reference to whatever a task is blocked on."""
+        if obj is None:
+            return None
+        if isinstance(obj, Task):
+            return ("task", self._ltid_of(obj.tid))
+        ent = self._objects.get(id(obj))
+        if ent is not None:
+            return ("obj", ent[0])
+        return repr(obj)
+
+    def fingerprint(self) -> tuple:
+        """Hashable digest of all kernel-visible state.
+
+        Two runs of the same program whose schedulers report equal
+        fingerprints have *reconverged*: every task sits at the same
+        local position in the same task state, every lock / monitor /
+        mailbox holds the same (spawn-order-normalised) contents, and
+        the emitted output so far is identical.  The explorer's
+        ``fingerprint`` reduction prunes a run when it reaches a state
+        it has already expanded at the same depth.
+
+        Shared *user* state (plain Python variables mutated by tasks) is
+        invisible to the kernel; programs relying on it should expose it
+        via ``scheduler.fingerprint_extra = lambda: (...)``.  Per-task
+        step counts are folded in regardless, so tasks whose control
+        flow has diverged on user state never look reconverged unless
+        they have taken identical step counts.
+        """
+        ltid = self._ltid_of
+        tasks_part = tuple(
+            (ltid(t.tid), t.state.name, t.steps,
+             self._state_ref(t.blocked_on),
+             self._state_ref(t.pending_value)
+             if isinstance(t.pending_value, Task) else repr(t.pending_value),
+             repr(t.choice_options) if t.choice_options is not None else None,
+             t.sleep_ticks,
+             getattr(t, "_inputs", ()))
+            for t in self.tasks)
+        objects_part = tuple(
+            obj.state_key(ltid) if hasattr(obj, "state_key") else repr(obj)
+            for _, obj in sorted(self._objects.values(), key=lambda e: e[0]))
+        output_part = tuple(repr(v) for v in self.trace.output)
+        extra = (repr(self.fingerprint_extra())
+                 if self.fingerprint_extra is not None else None)
+        return (tasks_part, objects_part, output_part, extra)
+
+    def fingerprint_opaque(self) -> bool:
+        """True when kernel-invisible user state could differ between
+        two runs whose :meth:`fingerprint` values are equal — pruning on
+        the fingerprint would then be unsound.
+
+        Two situations qualify: shared variables exist (an
+        :class:`~repro.core.effects.Access` was executed) but the
+        program exposes no ``fingerprint_extra``; or a still-running
+        task has *read* a shared variable, so its locals may hold a
+        value no fingerprint component tracks.
+        """
+        if self._access_seen and self.fingerprint_extra is None:
+            return True
+        return any(getattr(t, "_read_access", False) and not t.finished
+                   for t in self.tasks)
 
     # ------------------------------------------------------------------
     def results(self) -> dict[str, Any]:

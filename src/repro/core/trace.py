@@ -40,6 +40,15 @@ class TraceEvent:
     access_var: Optional[str] = None
     access_kind: Optional[AccessKind] = None
     payload_repr: Optional[str] = None
+    #: spawn-order index of the task — stable across replays of the same
+    #: prefix, unlike the process-global ``task_tid`` (reduction bookkeeping)
+    task_ltid: int = -1
+    #: executed step's access footprint (only when the scheduler runs
+    #: with ``record_enabled=True``; see Effect.footprint)
+    footprint: Optional[frozenset] = None
+    #: per-transition ``(ltid, kind, key)`` summary of the enabled set
+    #: this step chose from (only with ``record_enabled=True``)
+    enabled: Optional[tuple] = None
 
     def describe(self) -> str:
         extra = f" [{self.payload_repr}]" if self.payload_repr else ""
@@ -56,7 +65,8 @@ class Trace:
     events: list[TraceEvent] = field(default_factory=list)
     #: values yielded via Emit, in order — the run's observable output
     output: list[Any] = field(default_factory=list)
-    #: "done" | "deadlock" | "failed" | "budget"
+    #: "done" | "deadlock" | "failed" | "budget" | "pruned" (cut short by
+    #: an exploration step hook — state already expanded elsewhere)
     outcome: str = "done"
     #: deadlock/blocked detail when outcome != "done"
     detail: str = ""

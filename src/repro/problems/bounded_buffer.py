@@ -96,6 +96,10 @@ def buffer_program(capacity: int = 2, producers: int = 2, consumers: int = 2,
             sched.spawn(producer, p, name=f"producer-{p}")
         for c in range(consumers):
             sched.spawn(consumer, c, name=f"consumer-{c}")
+        # expose the buffer contents to scheduler fingerprints so the
+        # explorer's state-deduplication reduction stays sound here
+        sched.fingerprint_extra = lambda: (
+            tuple(state["items"]), tuple(state["consumed"]))
         return lambda: (tuple(state["consumed"]), len(state["items"]))
 
     return program

@@ -82,10 +82,12 @@ def _order_buggy(sched: Scheduler):
 
     def initializer():
         yield Pause("startup work")
+        yield Access("config", AccessKind.WRITE)
         state["config"] = {"timeout": 30}
 
     def user():
         yield Pause("racing ahead")
+        yield Access("config", AccessKind.READ)
         config = state["config"]
         state["used"] = None if config is None else config["timeout"]
     sched.spawn(initializer, name="init")
@@ -164,6 +166,7 @@ def _wakeup_buggy(sched: Scheduler):
 
     def producer():
         yield Acquire(monitor)
+        yield Access("ready", AccessKind.WRITE)
         state["ready"] = True
         yield Notify(monitor, all=True)
         yield Release(monitor)

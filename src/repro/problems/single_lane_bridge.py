@@ -23,7 +23,10 @@ This module provides four things:
 3. executable implementations in all three course models
    (:func:`run_threads_bridge`, :func:`run_actor_bridge`,
    :func:`run_coroutine_bridge`) with a mutual-exclusion audit;
-4. the safety invariant (:func:`bridge_invariant`) shared by all.
+4. the safety invariant (:func:`bridge_invariant`) shared by all;
+5. a kernel program (:func:`bridge_program`) for exhaustive
+   exploration with :func:`repro.verify.explore` — the benchmark
+   workload for the explorer's partial-order/fingerprint reductions.
 
 Event vocabulary (shared by models, questions and graders) — each event
 is a tuple starting with the car (or ``"bridge"``):
@@ -49,12 +52,15 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Optional
 
+from ..core import (Acquire, Emit, Notify, Release, Scheduler, SimMonitor,
+                    Wait)
 from ..verify.lts import LTS, Rule
 
 __all__ = [
     "SMFlags", "MPFlags", "DEFAULT_CARS",
     "sm_bridge_lts", "mp_bridge_lts", "bridge_invariant",
     "SM_PSEUDOCODE", "MP_PSEUDOCODE",
+    "bridge_program",
     "run_threads_bridge", "run_actor_bridge", "run_coroutine_bridge",
     "check_crossing_log",
 ]
@@ -587,6 +593,61 @@ def check_crossing_log(log: list[tuple], cars: tuple[tuple[str, str], ...]
             if on_bridge[color] < 0:
                 return f"{car} exited without entering"
     return None
+
+
+def bridge_program(cars: tuple[tuple[str, str], ...] = DEFAULT_CARS,
+                   crossings: int = 1):
+    """Kernel program (for :func:`repro.verify.explore`): the paper's
+    shared-memory bridge on the deterministic scheduler.
+
+    Each car runs ``<color>Enter(); <color>Exit()`` per crossing with
+    the Figure-4 monitor discipline: guarded wait on the
+    opposite-direction count inside ``EXC_ACC``, broadcast NOTIFY on
+    exit.  Every physical enter/exit is also an :class:`Emit`, so
+    terminal outputs are crossing logs and the explorer's witness
+    machinery can answer "could scenario X happen?".
+
+    Observation: ``(audit, crossed)`` — the
+    :func:`check_crossing_log` verdict (None = safe) and how many
+    cars are still on the bridge at the end (always 0 on completion).
+
+    All shared state (direction counts, the log) is kernel-visible via
+    ``sched.fingerprint_extra``, so the fingerprint reduction is sound
+    on this program.
+    """
+
+    def program(sched: Scheduler):
+        monitor = SimMonitor("EXC_ACC")
+        counts = {"red": 0, "blue": 0}
+        log: list[tuple] = []
+
+        def car(name: str, color: str):
+            other = "blue" if color == "red" else "red"
+            for _ in range(crossings):
+                # <color>Enter()
+                yield Acquire(monitor)
+                while counts[other] > 0:
+                    yield Wait(monitor)
+                counts[color] += 1
+                log.append((name, "enter-bridge"))
+                yield Emit((name, "enter-bridge"))
+                yield Release(monitor)
+                # <color>Exit()
+                yield Acquire(monitor)
+                counts[color] -= 1
+                log.append((name, "exit-bridge"))
+                yield Emit((name, "exit-bridge"))
+                yield Notify(monitor, all=True)
+                yield Release(monitor)
+
+        for name, color in cars:
+            sched.spawn(car, name, color, name=name)
+        sched.fingerprint_extra = lambda: (
+            counts["red"], counts["blue"], tuple(log))
+        return lambda: (check_crossing_log(log, cars),
+                        counts["red"] + counts["blue"])
+
+    return program
 
 
 def run_threads_bridge(cars: tuple[tuple[str, str], ...] = DEFAULT_CARS,

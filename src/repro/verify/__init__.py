@@ -12,7 +12,8 @@
   degradation from proof to stress testing
 """
 
-from .explorer import ExplorationResult, Program, explore, run_schedule
+from .explorer import (REDUCTIONS, ExplorationResult, Program, explore,
+                       run_schedule)
 from .properties import (PropertyReport, check_always, check_deadlock_free,
                          check_mutual_exclusion, check_sometimes,
                          fairness_report, mutex_intervals, starvation_gap)
@@ -24,7 +25,7 @@ from .reduction import (TreeEstimate, estimate_tree, explore_adaptive,
                         sample_behaviours)
 
 __all__ = [
-    "explore", "run_schedule", "ExplorationResult", "Program",
+    "explore", "run_schedule", "ExplorationResult", "Program", "REDUCTIONS",
     "PropertyReport", "check_deadlock_free", "check_always",
     "check_sometimes", "check_mutual_exclusion", "mutex_intervals",
     "starvation_gap", "fairness_report",

@@ -21,23 +21,44 @@ the run to capture final state.
 ...     sched.spawn(t, "b")
 >>> sorted(explore(program).output_strings())
 ['ab', 'ba']
+
+Three optional *reductions* cut the tree without changing the answers
+(see docs/ARCHITECTURE.md, "Explorer internals", for when each is sound):
+
+* ``reduce={"sleep"}`` — dynamic partial-order reduction: sibling
+  branches are explored only when a later step's access footprint
+  conflicts with an earlier one, so commuting interleavings are visited
+  once;
+* ``reduce={"fingerprint"}`` — state deduplication: a run is cut short
+  when it reconverges to a kernel state already expanded at the same
+  depth;
+* ``workers=N`` — the schedule tree is partitioned by first decision
+  across ``N`` forked processes and the partial results merged.
+
+``reduce=True`` (or ``"all"``) enables both reductions.  All three are
+off by default: the naive enumeration is the ground truth the reductions
+are tested against.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional, Union
 
 from ..core.policy import FixedPolicy, SchedulingPolicy, Transition
 from ..core.scheduler import Scheduler
-from ..core.trace import Trace
+from ..core.trace import Trace, TraceEvent
 
-__all__ = ["Program", "ExplorationResult", "explore", "run_schedule"]
+__all__ = ["Program", "ExplorationResult", "REDUCTIONS", "explore",
+           "run_schedule"]
 
 #: A program under exploration: sets up a fresh Scheduler, optionally
 #: returns a zero-argument observation callable.
 Program = Callable[[Scheduler], Optional[Callable[[], Any]]]
+
+#: the reduction names accepted by :func:`explore`'s ``reduce`` argument
+REDUCTIONS = ("sleep", "fingerprint")
 
 
 class _FirstPolicy(SchedulingPolicy):
@@ -53,7 +74,7 @@ class ExplorationResult:
 
     runs: int = 0
     complete: bool = True
-    #: multiset of outcomes: done / deadlock / failed / budget
+    #: multiset of outcomes: done / deadlock / failed / budget / pruned
     outcomes: Counter = field(default_factory=Counter)
     #: distinct (output-tuple, observation) terminal results
     terminals: dict[tuple, Any] = field(default_factory=dict)
@@ -65,6 +86,47 @@ class ExplorationResult:
     failures: list[Trace] = field(default_factory=list)
     #: total scheduling decisions executed across all runs (work measure)
     decisions: int = 0
+    #: runs cut short by the fingerprint reduction (subset of ``runs``)
+    pruned_runs: int = 0
+    #: output-string → witness index, built lazily on first lookup
+    _witness_index: dict = field(default_factory=dict, repr=False, compare=False)
+    _indexed: int = field(default=-1, repr=False, compare=False)
+
+    # -- recording --------------------------------------------------------
+    def record_run(self, trace: Trace, obs: Any, sample_limit: int = 16) -> None:
+        """Fold one executed run into the result."""
+        self.runs += 1
+        self.decisions += len(trace)
+        self.outcomes[trace.outcome] += 1
+        if trace.outcome == "pruned":
+            # cut short by the fingerprint hook: no terminal reached —
+            # the reconverged-to state was expanded by an earlier run
+            self.pruned_runs += 1
+            return
+        key = (tuple(trace.output), obs)
+        if key not in self.terminals:
+            self.terminals[key] = obs
+            self.witnesses[key] = trace
+        if trace.outcome == "deadlock" and len(self.deadlocks) < sample_limit:
+            self.deadlocks.append(trace)
+        if trace.outcome == "failed" and len(self.failures) < sample_limit:
+            self.failures.append(trace)
+
+    def merge(self, other: "ExplorationResult", sample_limit: int = 16) -> None:
+        """Fold another (e.g. per-subtree) result into this one."""
+        self.runs += other.runs
+        self.decisions += other.decisions
+        self.pruned_runs += other.pruned_runs
+        self.complete = self.complete and other.complete
+        self.outcomes.update(other.outcomes)
+        for key, obs in other.terminals.items():
+            if key not in self.terminals:
+                self.terminals[key] = obs
+                self.witnesses[key] = other.witnesses[key]
+        for t in other.deadlocks[:max(0, sample_limit - len(self.deadlocks))]:
+            self.deadlocks.append(t)
+        for t in other.failures[:max(0, sample_limit - len(self.failures))]:
+            self.failures.append(t)
 
     # -- convenience views ------------------------------------------------
     def output_sets(self) -> set[tuple]:
@@ -84,10 +146,15 @@ class ExplorationResult:
         return self.outcomes["deadlock"] > 0
 
     def witness_for_output(self, output_str: str) -> Optional[Trace]:
-        for key, trace in self.witnesses.items():
-            if "".join(str(v) for v in key[0]) == output_str:
-                return trace
-        return None
+        if self._indexed != len(self.witnesses):
+            # (re)build the index; keep the *first* witness per string,
+            # matching the former linear scan's iteration order
+            self._witness_index = {}
+            for key, trace in self.witnesses.items():
+                out = "".join(str(v) for v in key[0])
+                self._witness_index.setdefault(out, trace)
+            self._indexed = len(self.witnesses)
+        return self._witness_index.get(output_str)
 
     def summary(self) -> str:
         kinds = ", ".join(f"{k}={v}" for k, v in sorted(self.outcomes.items()))
@@ -107,26 +174,58 @@ def _freeze(value: Any) -> Any:
 
 
 def run_schedule(program: Program, schedule: list[int],
-                 max_steps: int = 200_000) -> tuple[Trace, Any]:
+                 max_steps: int = 200_000,
+                 *,
+                 record_enabled: bool = False,
+                 step_hook: Optional[Callable[[Scheduler], bool]] = None,
+                 ) -> tuple[Trace, Any]:
     """Execute one run steered by ``schedule`` (then first-choice tail).
 
     Returns the trace and the frozen observation.  This is the replay
     entry point: feeding back ``trace.schedule()`` reproduces a run.
+    ``record_enabled``/``step_hook`` pass through to the scheduler (the
+    reductions use them; plain replay leaves them off).
     """
     sched = Scheduler(FixedPolicy(schedule, tail=_FirstPolicy()),
                       raise_on_deadlock=False, raise_on_failure=False,
-                      max_steps=max_steps)
+                      max_steps=max_steps, record_enabled=record_enabled,
+                      step_hook=step_hook)
     observe = program(sched)
     trace = sched.run()
+    if trace.outcome == "pruned":
+        # the run stopped mid-flight; the observation would see a
+        # half-finished state that is not a terminal of the program
+        return trace, None
     obs = _freeze(observe()) if observe is not None else None
     return trace, obs
+
+
+def _normalize_reduce(reduce: Union[bool, str, Iterable[str], None]) -> frozenset:
+    """Canonical form of the ``reduce`` argument: a frozenset of names."""
+    if not reduce:
+        return frozenset()
+    if reduce is True:
+        return frozenset(REDUCTIONS)
+    if isinstance(reduce, str):
+        reduce = (reduce,)
+    names = frozenset(reduce)
+    unknown = names - set(REDUCTIONS) - {"all"}
+    if unknown:
+        raise ValueError(
+            f"unknown reduction(s) {sorted(unknown)}; "
+            f"valid: {REDUCTIONS + ('all',)}")
+    if "all" in names:
+        names = frozenset(REDUCTIONS)
+    return names
 
 
 def explore(program: Program,
             *,
             max_runs: int = 20_000,
             max_steps: int = 200_000,
-            sample_limit: int = 16) -> ExplorationResult:
+            sample_limit: int = 16,
+            reduce: Union[bool, str, Iterable[str], None] = (),
+            workers: int = 0) -> ExplorationResult:
     """Depth-first enumeration of every schedule of ``program``.
 
     Parameters
@@ -139,34 +238,347 @@ def explore(program: Program,
         Per-run step budget (guards non-terminating programs).
     sample_limit:
         How many deadlock/failure traces to retain as samples.
+    reduce:
+        Which reductions to apply: any subset of :data:`REDUCTIONS`
+        (``"sleep"`` — partial-order reduction, ``"fingerprint"`` —
+        state deduplication), a single name, ``"all"``/``True`` for
+        both, or empty (default) for the naive full enumeration.  The
+        reductions preserve the terminal set, the observation set and
+        the deadlock verdict; they change only how much work finding
+        them takes (compare ``result.decisions``).
+    workers:
+        When > 1, partition the schedule tree by first decision over
+        that many forked processes and merge the partial results.
+        Falls back to sequential exploration where ``fork`` is
+        unavailable.  Per-worker run budget is ``max_runs`` divided by
+        the number of subtrees (rounded up).
     """
+    reduce_set = _normalize_reduce(reduce)
+    if workers and workers > 1:
+        result = _explore_parallel(program, max_runs=max_runs,
+                                   max_steps=max_steps,
+                                   sample_limit=sample_limit,
+                                   reduce_set=reduce_set, workers=workers)
+        if result is not None:
+            return result
+    return _explore_seq(program, max_runs=max_runs, max_steps=max_steps,
+                        sample_limit=sample_limit, reduce_set=reduce_set)
+
+
+def _explore_seq(program: Program, *, max_runs: int, max_steps: int,
+                 sample_limit: int, reduce_set: frozenset,
+                 init_prefix: Iterable[int] = (), base: int = 0,
+                 ) -> ExplorationResult:
+    """Sequential exploration of the subtree under ``init_prefix``.
+
+    ``base`` is the number of leading decisions that are fixed (the
+    parallel partitioner owns them); backtracking never rises above it.
+    """
+    if not reduce_set:
+        return _explore_naive(program, max_runs=max_runs, max_steps=max_steps,
+                              sample_limit=sample_limit,
+                              init_prefix=init_prefix, base=base)
+    return _explore_reduced(program, max_runs=max_runs, max_steps=max_steps,
+                            sample_limit=sample_limit,
+                            use_sleep="sleep" in reduce_set,
+                            use_fingerprint="fingerprint" in reduce_set,
+                            init_prefix=init_prefix, base=base)
+
+
+# ---------------------------------------------------------------------------
+# naive full DFS (the ground truth)
+# ---------------------------------------------------------------------------
+def _explore_naive(program: Program, *, max_runs: int, max_steps: int,
+                   sample_limit: int, init_prefix: Iterable[int] = (),
+                   base: int = 0) -> ExplorationResult:
     result = ExplorationResult()
-    prefix: list[int] = []
+    prefix: list[int] = list(init_prefix)
 
     while True:
         if result.runs >= max_runs:
             result.complete = False
             break
         trace, obs = run_schedule(program, prefix, max_steps=max_steps)
-        result.runs += 1
-        result.decisions += len(trace)
-        result.outcomes[trace.outcome] += 1
-        key = (tuple(trace.output), obs)
-        if key not in result.terminals:
-            result.terminals[key] = obs
-            result.witnesses[key] = trace
-        if trace.outcome == "deadlock" and len(result.deadlocks) < sample_limit:
-            result.deadlocks.append(trace)
-        if trace.outcome == "failed" and len(result.failures) < sample_limit:
-            result.failures.append(trace)
+        result.record_run(trace, obs, sample_limit)
 
         # backtrack: deepest decision with an untried alternative
         decisions = trace.decisions()
         d = len(decisions) - 1
-        while d >= 0 and decisions[d][0] + 1 >= decisions[d][1]:
+        while d >= base and decisions[d][0] + 1 >= decisions[d][1]:
             d -= 1
-        if d < 0:
+        if d < base:
             break
         prefix = [idx for idx, _ in decisions[:d]] + [decisions[d][0] + 1]
 
+    return result
+
+
+# ---------------------------------------------------------------------------
+# reduced DFS: sleep-set/DPOR pruning + state-fingerprint deduplication
+# ---------------------------------------------------------------------------
+@dataclass
+class _Node:
+    """One depth of the current DFS path.
+
+    ``enabled`` is the replay-stable ``(ltid, kind, key)`` summary of the
+    transitions available here; ``done`` holds indices already executed
+    or scheduled, ``todo`` the backtrack set still awaiting exploration.
+    """
+
+    enabled: tuple
+    done: set = field(default_factory=set)
+    todo: list = field(default_factory=list)
+
+    def add_index(self, i: int) -> None:
+        if i not in self.done and i not in self.todo:
+            self.todo.append(i)
+
+    def add_task(self, ltid: int) -> bool:
+        """Schedule every transition of ``ltid`` here; False if it has none.
+
+        Whole-task granularity keeps intra-task nondeterminism (several
+        deliverable messages, several choice options) together: those
+        variants are never independent of each other.
+        """
+        hit = False
+        for i, summary in enumerate(self.enabled):
+            if summary[0] == ltid:
+                hit = True
+                self.add_index(i)
+        return hit
+
+    def add_everyone(self) -> None:
+        for i in range(len(self.enabled)):
+            self.add_index(i)
+
+
+def _conflicts(fp_a: Optional[frozenset], fp_b: Optional[frozenset]) -> bool:
+    """Do two step footprints touch a common location, one writing?
+
+    ``None`` (unknown footprint) is conservatively treated as
+    conflicting with everything.  Footprints hold 1–3 tokens, so the
+    nested scan is cheaper than building sets.
+    """
+    if fp_a is None or fp_b is None:
+        return True
+    for dom_a, key_a, mode_a in fp_a:
+        for dom_b, key_b, mode_b in fp_b:
+            if dom_a == dom_b and key_a == key_b \
+                    and ("w" == mode_a or "w" == mode_b):
+                return True
+    return False
+
+
+def _analyze(events: list[TraceEvent], stack: list[_Node], base: int) -> None:
+    """Seed backtrack sets from one executed trace (DPOR, Flanagan–
+    Godefroid style adapted to replay exploration).
+
+    For each step ``j``, find its *latest* conflicting predecessor
+    ``i``.  If a different task performed ``i``, the two steps might
+    yield different behaviour in the other order, so task ``j`` must
+    also be tried at node ``i``; when it has no transition there, every
+    enabled transition is scheduled (the classical fallback).  A
+    same-task predecessor ends the scan: program order already fixes
+    that pair, and earlier pairs are covered when analysing step ``i``
+    itself.
+    """
+    for j in range(base + 1, len(events)):
+        ej = events[j]
+        for i in range(j - 1, base - 1, -1):
+            ei = events[i]
+            if not _conflicts(ei.footprint, ej.footprint):
+                continue
+            if ei.task_ltid != ej.task_ltid:
+                node = stack[i]
+                if not node.add_task(ej.task_ltid):
+                    node.add_everyone()
+            break
+
+
+def _analyze_virtual(events: list[TraceEvent], stack: list[_Node], base: int,
+                     future_pairs: Iterable[tuple]) -> None:
+    """Conflict analysis for steps that were *not* executed.
+
+    When the fingerprint reduction cuts a run short, the steps its
+    subtree would have taken are known from the first visit's subtree
+    summary.  Each such ``(ltid, footprint)`` pair is treated as a
+    virtual step appended after the trace and analysed against the
+    executed prefix, so the backtrack points the pruned subtree would
+    have generated are not lost (the classic DPOR + state-caching
+    interaction).
+    """
+    for ltid_v, fp_v in future_pairs:
+        for i in range(len(events) - 1, base - 1, -1):
+            ei = events[i]
+            if not _conflicts(ei.footprint, fp_v):
+                continue
+            if ei.task_ltid != ltid_v:
+                node = stack[i]
+                if not node.add_task(ltid_v):
+                    node.add_everyone()
+            break
+
+
+def _explore_reduced(program: Program, *, max_runs: int, max_steps: int,
+                     sample_limit: int, use_sleep: bool,
+                     use_fingerprint: bool, init_prefix: Iterable[int] = (),
+                     base: int = 0) -> ExplorationResult:
+    result = ExplorationResult()
+    prefix: list[int] = list(init_prefix)
+    stack: list[_Node] = []
+    #: (depth, Scheduler.fingerprint()) → set of (ltid, footprint) pairs
+    #: executed in the subtree below that state (the summary feeds
+    #: _analyze_virtual; with sleep off an empty set is stored but unused)
+    summaries: dict = {}
+    #: key of the state after k steps on the current path, index k-1
+    path_keys: list = []
+
+    while True:
+        if result.runs >= max_runs:
+            result.complete = False
+            break
+
+        hook = None
+        run_keys: list = []
+        if use_fingerprint:
+            plen = len(prefix)
+
+            def hook(sched: Scheduler, _plen: int = plen) -> bool:
+                depth = len(sched.trace.events)
+                if depth < _plen:
+                    # still replaying the committed prefix (the prefix's
+                    # last decision is the new branch; everything before
+                    # it is this path's own history, not a reconvergence)
+                    return True
+                if sched.fingerprint_opaque():
+                    # kernel-invisible user state in play: equal
+                    # fingerprints would not imply equal states
+                    return True
+                key = (depth, sched.fingerprint())
+                run_keys.append((depth, key))
+                if key in summaries:
+                    return False
+                summaries[key] = set()
+                return True
+
+        trace, obs = run_schedule(program, prefix, max_steps=max_steps,
+                                  record_enabled=True, step_hook=hook)
+        result.record_run(trace, obs, sample_limit)
+        events = trace.events
+        path = trace.schedule()
+
+        # grow the node stack over this run's newly reached depths
+        for d in range(len(stack), len(events)):
+            e = events[d]
+            node = _Node(enabled=e.enabled or ())
+            node.done.add(e.chosen_index)
+            if use_sleep:
+                # branch on intra-task nondeterminism unconditionally;
+                # cross-task branches come from conflict analysis below
+                if e.enabled:
+                    node.add_task(e.enabled[e.chosen_index][0])
+            else:
+                node.add_everyone()
+            stack.append(node)
+
+        if use_fingerprint and use_sleep:
+            for depth, key in run_keys:
+                idx = depth - 1
+                while len(path_keys) <= idx:
+                    path_keys.append(None)
+                path_keys[idx] = key
+            # every executed step belongs to the subtree of every state
+            # above it on this path: fold it into their summaries
+            ancestors: list = []
+            for j, e in enumerate(events):
+                pair = (e.task_ltid, e.footprint)
+                for s in ancestors:
+                    s.add(pair)
+                k = path_keys[j] if j < len(path_keys) else None
+                if k is not None:
+                    ancestors.append(summaries[k])
+
+        if use_sleep:
+            _analyze(events, stack, base)
+            if trace.outcome == "pruned" and run_keys:
+                # replay the pruned subtree's conflicts from its summary
+                future = tuple(summaries.get(run_keys[-1][1], ()))
+                _analyze_virtual(events, stack, base, future)
+                for i in range(len(events) - 1):
+                    k = path_keys[i] if i < len(path_keys) else None
+                    if k is not None:
+                        summaries[k].update(future)
+
+        # backtrack: deepest node with something left to try
+        d = len(stack) - 1
+        while d >= base and not stack[d].todo:
+            d -= 1
+        if d < base:
+            break
+        node = stack[d]
+        nxt = node.todo.pop()
+        node.done.add(nxt)
+        del stack[d + 1:]
+        del path_keys[d:]
+        prefix = path[:d] + [nxt]
+
+    return result
+
+
+# ---------------------------------------------------------------------------
+# parallel subtree exploration
+# ---------------------------------------------------------------------------
+#: fork-inherited work description for pool workers: program callables
+#: close over arbitrary state and cannot be pickled, but a forked child
+#: sees the parent's module globals as they were at fork time.
+_WORKER_STATE: Optional[dict] = None
+
+
+def _worker_subtree(first: int) -> ExplorationResult:
+    st = _WORKER_STATE
+    return _explore_seq(st["program"], max_runs=st["max_runs"],
+                        max_steps=st["max_steps"],
+                        sample_limit=st["sample_limit"],
+                        reduce_set=st["reduce_set"],
+                        init_prefix=[first], base=1)
+
+
+def _root_fanout(program: Program, max_steps: int) -> int:
+    """How many first decisions the schedule tree has (partition count)."""
+    sched = Scheduler(FixedPolicy([], tail=_FirstPolicy()),
+                      raise_on_deadlock=False, raise_on_failure=False,
+                      max_steps=max_steps)
+    program(sched)
+    return len(sched.enabled_transitions())
+
+
+def _explore_parallel(program: Program, *, max_runs: int, max_steps: int,
+                      sample_limit: int, reduce_set: frozenset,
+                      workers: int) -> Optional[ExplorationResult]:
+    """Partition by first decision across forked workers; None = fall back."""
+    global _WORKER_STATE
+    import multiprocessing as mp
+
+    try:
+        ctx = mp.get_context("fork")
+    except ValueError:
+        return None
+    fanout = _root_fanout(program, max_steps)
+    if fanout <= 1:
+        return None
+    per_budget = -(-max_runs // fanout)  # ceil: subtree share of the budget
+    _WORKER_STATE = {"program": program, "max_runs": per_budget,
+                     "max_steps": max_steps, "sample_limit": sample_limit,
+                     "reduce_set": reduce_set}
+    try:
+        with ctx.Pool(min(workers, fanout)) as pool:
+            parts = pool.map(_worker_subtree, range(fanout))
+    except (OSError, ValueError):
+        return None  # fork/pipe unavailable in this environment
+    finally:
+        _WORKER_STATE = None
+
+    result = ExplorationResult()
+    for part in parts:
+        result.merge(part, sample_limit=sample_limit)
     return result

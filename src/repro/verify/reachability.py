@@ -157,6 +157,10 @@ def answer_question(program: Program, question: ScenarioQuestion,
 
     Pass a pre-computed ``exploration`` to amortize one exploration
     across a whole question sheet (the engine only re-matches logs).
+    Extra keyword arguments (e.g. ``reduce="all"``, ``workers=4``) are
+    forwarded to :func:`repro.verify.explore`; the reductions preserve
+    the terminal set, so verdicts are unaffected — only the exploration
+    cost changes.
     """
     res = exploration if exploration is not None else explore(
         program, max_runs=max_runs, **explore_kw)

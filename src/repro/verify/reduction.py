@@ -22,8 +22,6 @@ the benchmark ablations measure:
 
 from __future__ import annotations
 
-import random
-from collections import Counter
 from dataclasses import dataclass
 from typing import Any
 
@@ -99,30 +97,33 @@ def sample_behaviours(program: Program, samples: int = 200, seed: int = 0,
         observe = program(sched)
         trace = sched.run()
         obs = _freeze(observe()) if observe is not None else None
-        result.runs += 1
-        result.decisions += len(trace)
-        result.outcomes[trace.outcome] += 1
-        key = (tuple(trace.output), obs)
-        if key not in result.terminals:
-            result.terminals[key] = obs
-            result.witnesses[key] = trace
-        if trace.outcome == "deadlock" and len(result.deadlocks) < 16:
-            result.deadlocks.append(trace)
-        if trace.outcome == "failed" and len(result.failures) < 16:
-            result.failures.append(trace)
+        result.record_run(trace, obs)
     return result
 
 
 def explore_adaptive(program: Program, *, budget_runs: int = 5000,
                      probes: int = 6, seed: int = 0,
-                     max_steps: int = 200_000) -> tuple[ExplorationResult, str]:
+                     max_steps: int = 200_000,
+                     estimate: "TreeEstimate | None" = None,
+                     reduce: Any = (), workers: int = 0,
+                     ) -> tuple[ExplorationResult, str]:
     """Exhaustive when affordable, sampling otherwise.
+
+    ``estimate`` lets callers that already probed the tree (benchmark
+    harnesses, repeated invocations on the same program) skip the
+    probing pass entirely.  ``reduce``/``workers`` are forwarded to
+    :func:`repro.verify.explore` when the exhaustive path is taken;
+    note the budget check still compares against the *unreduced* leaf
+    estimate, so enabling reductions only ever widens what counts as
+    affordable in practice, never the other way around.
 
     Returns ``(result, mode)`` with ``mode in {"exhaustive", "sampled"}``.
     """
-    est = estimate_tree(program, probes=probes, seed=seed, max_steps=max_steps)
+    est = estimate if estimate is not None else estimate_tree(
+        program, probes=probes, seed=seed, max_steps=max_steps)
     if est.est_leaves <= budget_runs:
-        res = explore(program, max_runs=budget_runs, max_steps=max_steps)
+        res = explore(program, max_runs=budget_runs, max_steps=max_steps,
+                      reduce=reduce, workers=workers)
         if res.complete:
             return res, "exhaustive"
         # estimate was optimistic; fall through to report what we have
