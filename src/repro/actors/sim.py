@@ -70,6 +70,8 @@ class _SimCell:
         self.mailbox = Mailbox(name, policy=system.mailbox_policy)
         self.ref = ActorRef(actor_id, name, self)
         self._stopped = False
+        #: messages this actor has handled (stop signals excluded)
+        self.processed = 0
 
     @property
     def stopped(self) -> bool:
@@ -141,6 +143,24 @@ class SimActorSystem:
                 return cell
         raise KeyError(f"unknown ref {ref!r}")
 
+    def stats(self) -> dict[str, dict[str, Any]]:
+        """Per-actor message statistics, keyed by actor name.
+
+        Everything is in logical message counts — deterministic across
+        replays of the same schedule — so tests can assert equality
+        between runs and dashboards can diff snapshots.
+        """
+        return {
+            cell.ref.name: {
+                "processed": cell.processed,
+                "pending": len(cell.mailbox),
+                "mailbox_high_water": cell.mailbox.high_water,
+                "delivered": cell.mailbox.delivered_count,
+                "stopped": cell.stopped,
+            }
+            for cell in self.cells
+        }
+
     # ------------------------------------------------------------------
     # kernel-side generators
     # ------------------------------------------------------------------
@@ -181,6 +201,7 @@ class SimActorSystem:
             self._run_handler(cell, actor.current_behaviour(),
                               envelope.payload, envelope.sender)
             actor.context.sender = None
+            cell.processed += 1
             yield from self._flush(cell)
 
     def _run_handler(self, cell: _SimCell, fn, *args: Any) -> None:

@@ -12,7 +12,19 @@ Commands:
 
 ``check FILE``
     Static analysis report: globals, exclusion groups, warnings;
-    then explore for deadlocks and task failures.
+    then explore for deadlocks and task failures (``--progress`` streams
+    live exploration statistics to stderr).
+
+``trace PROBLEM``
+    Run one schedule of a named kernel problem and export the trace —
+    Chrome ``trace_event`` JSON (open in chrome://tracing or Perfetto)
+    or a JSONL event stream.
+
+``stats PROBLEM``
+    Run one schedule of a named kernel problem with kernel metrics
+    attached and print the counter/histogram report (``--json`` for the
+    machine-readable snapshot, ``--explore`` to add exploration
+    statistics).
 
 ``bridge QUESTION``
     Answer a Test-1-style bridge question given as
@@ -35,12 +47,23 @@ __all__ = ["main"]
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    import json
+
     from .core import RandomPolicy
     from .pseudocode import compile_program
     runtime = compile_program(Path(args.file).read_text())
     policy = RandomPolicy(args.seed) if args.seed is not None else None
     result = runtime.run(policy, raise_on_deadlock=False,
                          raise_on_failure=False)
+    if args.json:
+        print(json.dumps({
+            "outcome": result.outcome,
+            "output": result.output_text(),
+            "detail": result.trace.detail,
+            "events": len(result.trace.events),
+            "seed": args.seed,
+        }, sort_keys=True))
+        return 0 if result.outcome == "done" else 1
     sys.stdout.write(result.output_text())
     if not result.output_text().endswith("\n") and result.output_text():
         sys.stdout.write("\n")
@@ -52,9 +75,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_outputs(args: argparse.Namespace) -> int:
+    import json
+
     from .pseudocode import possible_outputs
     outputs = possible_outputs(Path(args.file).read_text(),
                                max_runs=args.max_runs)
+    if args.json:
+        print(json.dumps({"possibilities": sorted(outputs),
+                          "count": len(outputs)}, sort_keys=True))
+        return 0
     for i, output in enumerate(sorted(outputs), start=1):
         print(f"possibility {i}: {output}")
     return 0
@@ -71,9 +100,22 @@ def _cmd_check(args: argparse.Namespace) -> int:
     for warning in info.warnings:
         print(f"warning          : {warning}")
     reduce = () if args.reduce == "none" else args.reduce
+    progress = None
+    if args.progress:
+        def progress(stats):
+            print(f"  ... {stats.runs} runs, {stats.decisions} decisions, "
+                  f"{stats.sleep_prunes} sleep prunes, "
+                  f"{stats.fingerprint_hits} fingerprint hits",
+                  file=sys.stderr)
     result = explore(runtime.make_program(), max_runs=args.max_runs,
-                     reduce=reduce, workers=args.workers)
+                     reduce=reduce, workers=args.workers,
+                     progress=progress, progress_every=args.progress_every)
     print(f"exploration      : {result.summary()}")
+    if args.progress:
+        s = result.stats
+        print(f"stats            : {s.decisions} decisions in "
+              f"{s.elapsed_seconds:.3f}s ({s.decisions_per_sec:.0f}/s), "
+              f"frontier depth {s.max_frontier_depth}")
     if reduce or args.workers > 1:
         print(f"reductions       : reduce={args.reduce} "
               f"workers={args.workers} "
@@ -101,6 +143,84 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print("no deadlocks, no failures, no races"
               + ("" if result.complete else " (within budget)"))
     return status
+
+
+def _run_problem(name: str, seed: int | None):
+    """One instrumented run of a named kernel problem."""
+    from .core.policy import RandomPolicy
+    from .core.scheduler import Scheduler
+    from .obs import KernelMetrics
+    from .problems import kernel_program
+    metrics = KernelMetrics()
+    policy = RandomPolicy(seed) if seed is not None else None
+    sched = Scheduler(policy, raise_on_deadlock=False,
+                      raise_on_failure=False, metrics=metrics)
+    kernel_program(name)(sched)
+    return sched.run(), metrics
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from .problems import kernel_program_names
+    try:
+        trace, _ = _run_problem(args.problem, args.seed)
+    except KeyError:
+        print(f"unknown problem {args.problem!r}; known: "
+              + ", ".join(kernel_program_names()), file=sys.stderr)
+        return 2
+    out = Path(args.out)
+    if args.format == "chrome":
+        payload = trace.to_chrome_trace(scale=args.scale)
+        out.write_text(json.dumps(payload, sort_keys=True))
+        lanes = sum(1 for e in payload["traceEvents"]
+                    if e["ph"] == "M" and e["name"] == "thread_name")
+        print(f"wrote {out} ({len(payload['traceEvents'])} trace events, "
+              f"{lanes} lanes, outcome: {trace.outcome}) — open in "
+              f"chrome://tracing or https://ui.perfetto.dev")
+    else:
+        out.write_text(trace.to_jsonl())
+        print(f"wrote {out} ({len(trace.events)} steps + summary, "
+              f"outcome: {trace.outcome})")
+    return 0 if trace.outcome == "done" else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from .problems import kernel_program, kernel_program_names
+    try:
+        trace, metrics = _run_problem(args.problem, args.seed)
+    except KeyError:
+        print(f"unknown problem {args.problem!r}; known: "
+              + ", ".join(kernel_program_names()), file=sys.stderr)
+        return 2
+    explo = None
+    if args.explore:
+        from .verify import explore
+        explo = explore(kernel_program(args.problem),
+                        max_runs=args.max_runs, reduce=True)
+    if args.json:
+        payload = {"problem": args.problem, "seed": args.seed,
+                   "outcome": trace.outcome, "metrics": metrics.snapshot()}
+        if explo is not None:
+            payload["exploration"] = explo.stats.as_dict()
+            payload["exploration"]["complete"] = explo.complete
+            payload["exploration"]["terminals"] = len(explo.terminals)
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(f"problem : {args.problem} (outcome: {trace.outcome}, "
+              f"{len(trace.events)} steps)")
+        print(metrics.format())
+        if explo is not None:
+            print(f"exploration : {explo.summary()}")
+            s = explo.stats
+            print(f"            : {s.decisions} decisions in "
+                  f"{s.elapsed_seconds:.3f}s ({s.decisions_per_sec:.0f}/s), "
+                  f"{s.sleep_prunes} sleep prunes, "
+                  f"{s.fingerprint_hits} fingerprint hits, "
+                  f"frontier depth {s.max_frontier_depth}")
+    return 0 if trace.outcome == "done" else 1
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
@@ -139,23 +259,60 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("file")
     p_run.add_argument("--seed", type=int, default=None,
                        help="random schedule seed (default: fair RR)")
+    p_run.add_argument("--json", action="store_true",
+                       help="machine-readable result on stdout")
     p_run.set_defaults(fn=_cmd_run)
 
     p_out = sub.add_parser("outputs",
                            help="enumerate all output possibilities")
     p_out.add_argument("file")
     p_out.add_argument("--max-runs", type=int, default=200_000)
+    p_out.add_argument("--json", action="store_true",
+                       help="machine-readable possibility list on stdout")
     p_out.set_defaults(fn=_cmd_outputs)
 
     p_check = sub.add_parser("check", help="analyze + explore a program")
     p_check.add_argument("file")
     p_check.add_argument("--max-runs", type=int, default=50_000)
     p_check.add_argument("--reduce", choices=("none", "sleep", "fingerprint",
-                                              "all"), default="none",
+                                              "sleep+fingerprint", "all"),
+                         default="none",
                          help="exploration reductions (default: naive DFS)")
     p_check.add_argument("--workers", type=int, default=0,
                          help="parallel subtree exploration processes")
+    p_check.add_argument("--progress", action="store_true",
+                         help="stream live exploration stats to stderr")
+    p_check.add_argument("--progress-every", type=int, default=200,
+                         help="runs between progress lines (default 200)")
     p_check.set_defaults(fn=_cmd_check)
+
+    p_trace = sub.add_parser(
+        "trace", help="export one run of a kernel problem as a trace file")
+    p_trace.add_argument("problem",
+                         help="problem name (see repro.problems)")
+    p_trace.add_argument("--out", required=True, help="output file path")
+    p_trace.add_argument("--format", choices=("chrome", "jsonl"),
+                         default="chrome",
+                         help="chrome trace_event JSON (default) or JSONL")
+    p_trace.add_argument("--seed", type=int, default=None,
+                         help="random schedule seed (default: fair RR)")
+    p_trace.add_argument("--scale", type=int, default=10,
+                         help="microseconds per logical step (chrome)")
+    p_trace.set_defaults(fn=_cmd_trace)
+
+    p_stats = sub.add_parser(
+        "stats", help="run a kernel problem and report kernel metrics")
+    p_stats.add_argument("problem",
+                         help="problem name (see repro.problems)")
+    p_stats.add_argument("--seed", type=int, default=None,
+                         help="random schedule seed (default: fair RR)")
+    p_stats.add_argument("--json", action="store_true",
+                         help="machine-readable snapshot on stdout")
+    p_stats.add_argument("--explore", action="store_true",
+                         help="also explore the schedule space (reduced)")
+    p_stats.add_argument("--max-runs", type=int, default=20_000,
+                         help="exploration budget for --explore")
+    p_stats.set_defaults(fn=_cmd_stats)
 
     p_study = sub.add_parser("study", help="run the full §V study")
     p_study.add_argument("--seed", type=int, default=None)

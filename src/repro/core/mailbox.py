@@ -79,6 +79,8 @@ class Mailbox:
         self.pending: list[Envelope] = []
         self.closed = False
         self.delivered_count = 0
+        #: deepest the pending queue has ever been (observability)
+        self.high_water = 0
         #: per-sender seq of the last *delivered* message (PER_SENDER_FIFO)
         self._last_delivered_per_sender: dict[int, int] = {}
 
@@ -94,6 +96,8 @@ class Mailbox:
             vclock=sender.vclock if sender.vclock is not None else VectorClock(),
         )
         self.pending.append(env)
+        if len(self.pending) > self.high_water:
+            self.high_water = len(self.pending)
         return env
 
     def _deliverable(self, matcher: Optional[Callable[[Any], bool]]) -> list[int]:

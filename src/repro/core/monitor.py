@@ -40,14 +40,19 @@ class SimMonitor(SimLock):
         super().__init__(name or f"monitor-{SimLock._counter + 1}", reentrant=True)
         #: tasks parked by WAIT, with the lock depth to restore on re-entry
         self._waiters: list[tuple["Task", int]] = []
+        #: lifetime WAIT parks / NOTIFY signals (observability)
+        self.wait_count = 0
+        self.notify_count = 0
 
     # -- scheduler protocol ---------------------------------------------------
     def _park_waiter(self, task: "Task") -> None:
         depth = self._strip(task)
         self._waiters.append((task, depth))
+        self.wait_count += 1
 
     def _pop_waiters(self, all_: bool) -> list[tuple["Task", int]]:
         """Remove and return the waiters being woken (FIFO order)."""
+        self.notify_count += 1
         if all_:
             woken, self._waiters = self._waiters, []
         else:

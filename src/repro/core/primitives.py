@@ -49,6 +49,10 @@ class SimLock:
         self._count = 0
         #: release-time clock — next acquirer merges it (happens-before edge)
         self._vclock = VectorClock()
+        #: grants of this lock to a non-owner (observability)
+        self.acquire_count = 0
+        #: acquire attempts that found the lock held by another task
+        self.contention_count = 0
 
     # -- scheduler protocol -------------------------------------------------
     def _can_grant(self, task: "Task") -> bool:
@@ -66,6 +70,7 @@ class SimLock:
             raise IllegalEffectError(f"grant of held lock {self.name}")
         self._owner = task
         self._count = count
+        self.acquire_count += 1
 
     def _release(self, task: "Task") -> bool:
         """Drop one hold level; returns True when fully released."""
@@ -139,6 +144,8 @@ class SimSemaphore:
         self.name = name or f"sem-{SimSemaphore._counter}"
         self.permits = permits
         self._vclock = VectorClock()
+        self.acquire_count = 0
+        self.contention_count = 0
 
     # scheduler protocol (duck-typed with SimLock)
     def _can_grant(self, task: "Task") -> bool:
@@ -148,6 +155,7 @@ class SimSemaphore:
         if self.permits <= 0:
             raise IllegalEffectError(f"grant on empty semaphore {self.name}")
         self.permits -= 1
+        self.acquire_count += 1
 
     def _release(self, task: "Task") -> bool:
         self.permits += 1

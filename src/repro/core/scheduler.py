@@ -22,7 +22,10 @@ happens-before relation of the run.
 from __future__ import annotations
 
 import inspect
-from typing import Any, Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.metrics import KernelMetrics
 
 from .clock import VectorClock
 from .effects import (EMPTY_FOOTPRINT, Access, AccessKind, Acquire, Choice,
@@ -75,6 +78,13 @@ class Scheduler:
         executed step during :meth:`run`; returning a falsy value stops
         the run with outcome ``"pruned"`` (the explorer's
         state-fingerprint cut-off).
+    metrics:
+        Optional :class:`repro.obs.KernelMetrics` sink.  When given,
+        the scheduler records counters/gauges/histograms (context
+        switches, lock contention and wait ticks, mailbox depth,
+        message latency, per-task run/block ticks) as it executes.
+        When None (default) the only cost is one ``is None`` test per
+        step — instrumentation never changes scheduling decisions.
     """
 
     def __init__(self,
@@ -85,7 +95,8 @@ class Scheduler:
                  max_steps: int = DEFAULT_MAX_STEPS,
                  track_clocks: bool = True,
                  record_enabled: bool = False,
-                 step_hook: Optional[Callable[["Scheduler"], bool]] = None):
+                 step_hook: Optional[Callable[["Scheduler"], bool]] = None,
+                 metrics: Optional["KernelMetrics"] = None):
         self.policy = policy or RoundRobinPolicy()
         self.raise_on_deadlock = raise_on_deadlock
         self.raise_on_failure = raise_on_failure
@@ -93,6 +104,7 @@ class Scheduler:
         self.track_clocks = track_clocks
         self.record_enabled = record_enabled
         self.step_hook = step_hook
+        self.metrics = metrics
         #: optional program-provided callable exposing shared state to
         #: :meth:`fingerprint` (set it inside the program callable)
         self.fingerprint_extra: Optional[Callable[[], Any]] = None
@@ -108,6 +120,14 @@ class Scheduler:
         self._sleepers_active = False
         #: any Access effect executed — user shared state exists
         self._access_seen = False
+        #: spawn-order id of the previously executed task (ctx switches)
+        self._last_ran_ltid: Optional[int] = None
+        #: sync-object name / envelope seqs of the step being executed,
+        #: published into its TraceEvent (trace-export flow pairing)
+        self._evt_obj_name: Optional[str] = None
+        self._evt_msg_seq: Optional[int] = None
+        self._evt_recv_seq: Optional[int] = None
+        self._evt_recv_mbox: Optional[str] = None
 
     # ------------------------------------------------------------------
     # task creation
@@ -136,6 +156,8 @@ class Scheduler:
             # child inherits the current global knowledge at spawn time
             task.vclock = VectorClock().tick(task.tid)
         self.tasks.append(task)
+        if self.metrics is not None:
+            self.metrics.inc("tasks_spawned")
         return task
 
     # ------------------------------------------------------------------
@@ -260,6 +282,20 @@ class Scheduler:
         task = tr.task
         value: Any = None
         payload_repr: Optional[str] = None
+        self._evt_obj_name = None
+        self._evt_msg_seq = None
+        self._evt_recv_seq = None
+        self._evt_recv_mbox = None
+
+        m = self.metrics
+        if m is not None:
+            m.inc("steps")
+            ltid = self._ltid_of(task.tid)
+            if self._last_ran_ltid is not None and self._last_ran_ltid != ltid:
+                m.inc("context_switches")
+            self._last_ran_ltid = ltid
+            m.observe("enabled_fanout", fanout)
+            m.task_add(task.name, "steps", 1)
 
         # reduction bookkeeping: the executed step's access footprint.
         # Kind contributions must be captured *before* dispatch clears
@@ -287,12 +323,28 @@ class Scheduler:
             lock._grant(task, getattr(task, "_reacquire_depth", 1) or 1)
             task._reacquire_depth = 1
             self._merge_clock(task, lock._vclock)
-            self._unblock(task)
             payload_repr = getattr(lock, "name", None)
+            self._evt_obj_name = payload_repr
+            if m is not None:
+                blocked_at = getattr(task, "_blocked_at_step", None)
+                if blocked_at is not None:
+                    m.observe("lock_wait_ticks", self._step_no - blocked_at)
+                m.inc("lock_acquires")
+                m.inc(f"lock.{payload_repr}.acquires")
+            self._unblock(task)
         elif tr.kind == "deliver":
             mailbox: Mailbox = task.blocked_on
             env = mailbox._take(tr.payload_index)
             self._merge_clock(task, env.vclock)
+            self._evt_recv_mbox = mailbox.name
+            self._evt_recv_seq = env.seq
+            if m is not None:
+                m.inc("messages_delivered")
+                m.inc(f"mailbox.{mailbox.name}.delivered")
+                sent_at = m._sent_at.pop(env.seq, None)
+                if sent_at is not None:
+                    m.observe("message_latency_ticks",
+                              self._step_no - sent_at)
             self._unblock(task)
             task.receive_matcher = None
             value = env.message
@@ -375,6 +427,10 @@ class Scheduler:
             footprint=frozenset(self._stable_token(t) for t in step_fp)
             if step_fp is not None else None,
             enabled=enabled,
+            obj_name=self._evt_obj_name,
+            msg_seq=self._evt_msg_seq,
+            recv_seq=self._evt_recv_seq,
+            recv_mbox=self._evt_recv_mbox,
         ))
 
         if task.state is TaskState.FAILED and self.raise_on_failure:
@@ -400,27 +456,44 @@ class Scheduler:
                                      if isinstance(effect, Access) else "pause")
             return label
 
+        m = self.metrics
         if isinstance(effect, Acquire):
             lock = effect.lock
+            self._evt_obj_name = getattr(lock, "name", None)
             if lock._can_grant(task):
                 lock._grant(task)
                 self._merge_clock(task, lock._vclock)
+                if m is not None:
+                    m.inc("lock_acquires")
+                    m.inc(f"lock.{self._evt_obj_name}.acquires")
+                    m.observe("lock_wait_ticks", 0)
             else:
+                if hasattr(lock, "contention_count"):
+                    lock.contention_count += 1
+                if m is not None:
+                    m.inc("lock_contended")
+                    m.inc(f"lock.{self._evt_obj_name}.contended")
                 self._block(task, TaskState.BLOCKED_ACQUIRE, lock,
                             f"acquire {getattr(lock, 'name', lock)!r}")
             return f"acquire {getattr(lock, 'name', lock)}"
 
         if isinstance(effect, Release):
             lock = effect.lock
+            self._evt_obj_name = getattr(lock, "name", None)
             fully = lock._release(task)
             if fully and self.track_clocks and task.vclock is not None:
                 lock._vclock = lock._vclock.merge(task.vclock)
+            if m is not None:
+                m.inc("lock_releases")
             return f"release {getattr(lock, 'name', lock)}"
 
         if isinstance(effect, Wait):
             mon = effect.monitor
             if not isinstance(mon, SimMonitor):
                 raise IllegalEffectError(f"WAIT on non-monitor {mon!r}")
+            self._evt_obj_name = mon.name
+            if m is not None:
+                m.inc("monitor_waits")
             if self.track_clocks and task.vclock is not None:
                 mon._vclock = mon._vclock.merge(task.vclock)
             mon._park_waiter(task)
@@ -435,6 +508,9 @@ class Scheduler:
             if mon._owner is not task:
                 raise IllegalEffectError(
                     f"{task.name} notified {mon.name} without holding it")
+            self._evt_obj_name = mon.name
+            if m is not None:
+                m.inc("monitor_notifies")
             for waiter, depth in mon._pop_waiters(effect.all):
                 waiter._reacquire_depth = depth
                 self._block(waiter, TaskState.BLOCKED_ACQUIRE, mon,
@@ -443,9 +519,21 @@ class Scheduler:
 
         if isinstance(effect, Send):
             env = effect.mailbox._deposit(effect.message, task)
+            self._evt_obj_name = effect.mailbox.name
+            self._evt_msg_seq = env.seq
+            if m is not None:
+                depth = len(effect.mailbox.pending)
+                m.inc("messages_sent")
+                m.inc(f"mailbox.{effect.mailbox.name}.sent")
+                m.observe("mailbox_depth", depth)
+                m.gauge_max("mailbox_depth_max", depth)
+                m.gauge_max(f"mailbox.{effect.mailbox.name}.depth_max",
+                            depth)
+                m._sent_at[env.seq] = self._step_no
             return f"send {env.message!r} to {effect.mailbox.name}"
 
         if isinstance(effect, Receive):
+            self._evt_obj_name = effect.mailbox.name
             task.receive_matcher = effect.matcher
             self._block(task, TaskState.BLOCKED_RECEIVE, effect.mailbox,
                         f"receive from {effect.mailbox.name}")
@@ -498,8 +586,17 @@ class Scheduler:
         task.state = state
         task.blocked_on = on
         task.blocked_reason = reason
+        if self.metrics is not None:
+            task._blocked_at_step = self._step_no
 
     def _unblock(self, task: Task) -> None:
+        if self.metrics is not None:
+            blocked_at = getattr(task, "_blocked_at_step", None)
+            if blocked_at is not None:
+                delta = self._step_no - blocked_at
+                self.metrics.observe("block_ticks", delta)
+                self.metrics.task_add(task.name, "block_ticks", delta)
+                task._blocked_at_step = None
         task.state = TaskState.READY
         task.blocked_on = None
         task.blocked_reason = ""
@@ -511,6 +608,8 @@ class Scheduler:
     def _finish(self, task: Task, result: Any) -> None:
         task.state = TaskState.DONE
         task.result = result
+        if self.metrics is not None:
+            self.metrics.inc("tasks_finished")
         for joiner in task.joiners:
             joiner.pending_value = result
             self._merge_clock(joiner, task.vclock)
@@ -520,6 +619,8 @@ class Scheduler:
     def _fail(self, task: Task, exc: BaseException) -> None:
         task.state = TaskState.FAILED
         task.error = exc
+        if self.metrics is not None:
+            self.metrics.inc("tasks_failed")
         for joiner in task.joiners:
             # joiner observes the failure as a TaskFailed raised at its Join
             joiner.pending_value = None

@@ -49,12 +49,27 @@ class TraceEvent:
     #: per-transition ``(ltid, kind, key)`` summary of the enabled set
     #: this step chose from (only with ``record_enabled=True``)
     enabled: Optional[tuple] = None
+    #: name of the sync object the yielded effect involves, if any
+    #: (lock/monitor name, send/receive mailbox name)
+    obj_name: Optional[str] = None
+    #: envelope seq of a message *sent* this step (flow-arrow start);
+    #: when set, ``obj_name`` is the destination mailbox
+    msg_seq: Optional[int] = None
+    #: envelope seq of the message *delivered* by this step (flow-arrow
+    #: finish) — distinct from ``msg_seq`` because a deliver step's
+    #: resumed segment may itself yield a Send (actor replies)
+    recv_seq: Optional[int] = None
+    #: mailbox the delivered message came from
+    recv_mbox: Optional[str] = None
 
-    def describe(self) -> str:
+    def describe(self, show_clock: bool = False) -> str:
         extra = f" [{self.payload_repr}]" if self.payload_repr else ""
+        clock = (f"  {self.vclock!r}"
+                 if show_clock and self.vclock is not None else "")
         return (
             f"#{self.step:<4} {self.task_name:<18} {self.kind:<8} "
             f"{self.effect_repr}{extra} ({self.chosen_index + 1}/{self.fanout})"
+            f"{clock}"
         )
 
 
@@ -101,6 +116,46 @@ class Trace:
         if self.output:
             lines.append(f"output: {self.output_str()!r}")
         return "\n".join(lines)
+
+    def format(self, limit: Optional[int] = None, *,
+               clocks: bool = True) -> str:
+        """Full inspectable listing, vector-clock stamps included.
+
+        ``limit=None`` (default) lists *every* event; an integer keeps
+        only the last ``limit`` (:meth:`render`'s tail behaviour).  With
+        ``clocks`` each line carries the task's vector clock at that
+        step, so causal structure is readable straight off the listing.
+        """
+        if limit is not None and limit < 0:
+            raise ValueError(f"limit must be None or >= 0, got {limit}")
+        if limit is None:
+            evs = self.events
+        else:
+            evs = self.events[-limit:] if limit else []
+        lines = [e.describe(show_clock=clocks) for e in evs]
+        if limit is not None and len(self.events) > len(evs):
+            lines.insert(0, f"... {len(self.events) - len(evs)} earlier "
+                            f"events elided (limit={limit})")
+        lines.append(f"outcome: {self.outcome}"
+                     + (f" ({self.detail})" if self.detail else ""))
+        if self.output:
+            lines.append(f"output: {self.output_str()!r}")
+        return "\n".join(lines)
+
+    # -- export (repro.obs) --------------------------------------------
+    def to_chrome_trace(self, **kwargs) -> dict:
+        """Chrome ``trace_event`` JSON-ready dict — one lane per task,
+        flow arrows pairing message sends with deliveries.  ``json.dump``
+        the result and open it in ``chrome://tracing`` or Perfetto (see
+        :func:`repro.obs.chrome_trace` for knobs)."""
+        from ..obs.export import chrome_trace
+        return chrome_trace(self, **kwargs)
+
+    def to_jsonl(self) -> str:
+        """JSONL structured-event stream: one JSON object per step plus
+        a trailing summary record (:func:`repro.obs.jsonl_events`)."""
+        from ..obs.export import jsonl_events
+        return jsonl_events(self)
 
     def __len__(self) -> int:
         return len(self.events)

@@ -116,12 +116,21 @@ class CoTask:
 
 
 class CoScheduler:
-    """Round-robin driver for cooperative tasks."""
+    """Round-robin driver for cooperative tasks.
 
-    def __init__(self) -> None:
+    ``metrics`` takes an optional :class:`repro.obs.KernelMetrics`;
+    when provided, the scheduler maintains ``steps``,
+    ``context_switches``, ``parks``, ``wakes``, ``tasks_spawned``,
+    ``tasks_finished`` and per-task step counts — logical quantities
+    only, so snapshots are identical across runs of the same program.
+    """
+
+    def __init__(self, metrics: Optional[Any] = None) -> None:
         self.ready: deque[CoTask] = deque()
         self.tasks: list[CoTask] = []
         self.steps = 0
+        self.metrics = metrics
+        self._last_stepped: Optional[CoTask] = None
 
     def spawn(self, fn: Callable[..., Generator] | Generator, *args: Any,
               name: str = "", **kwargs: Any) -> CoTask:
@@ -129,6 +138,8 @@ class CoScheduler:
         task = CoTask(gen, name=name or getattr(fn, "__name__", ""))
         self.tasks.append(task)
         self.ready.append(task)
+        if self.metrics is not None:
+            self.metrics.inc("tasks_spawned")
         return task
 
     # ------------------------------------------------------------------
@@ -166,6 +177,13 @@ class CoScheduler:
     def _step(self, task: CoTask) -> None:
         self.steps += 1
         task.steps += 1
+        m = self.metrics
+        if m is not None:
+            m.inc("steps")
+            if self._last_stepped is not None and self._last_stepped is not task:
+                m.inc("context_switches")
+            self._last_stepped = task
+            m.task_add(task.name, "steps", 1)
         value, task._send_value = task._send_value, None
         try:
             marker = task.gen.send(value)
@@ -180,12 +198,16 @@ class CoScheduler:
             self.ready.append(task)
         elif isinstance(marker, _Park):
             marker.waitlist.append(task)
+            if m is not None:
+                m.inc("parks")
         elif isinstance(marker, _Wake):
             woken = (list(marker.waitlist) if marker.count is None
                      else marker.waitlist[:marker.count])
             del marker.waitlist[:len(woken)]
             self.ready.extend(woken)
             self.ready.append(task)
+            if m is not None and woken:
+                m.inc("wakes", len(woken))
         elif isinstance(marker, _Join):
             if marker.task.done:
                 self.ready.append(task)
@@ -200,6 +222,9 @@ class CoScheduler:
         task.done = True
         task.result = result
         task.error = error
+        if self.metrics is not None:
+            self.metrics.inc("tasks_failed" if error is not None
+                             else "tasks_finished")
         self.ready.extend(task.joiners)
         task.joiners = []
 

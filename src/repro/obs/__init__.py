@@ -1,0 +1,26 @@
+"""repro.obs — cross-cutting instrumentation for the simulation kernel.
+
+The paper's pedagogy rests on making interleavings *visible*: students
+fail the Test-1 bridge questions precisely because they cannot see which
+schedules are reachable.  This subsystem makes every layer observable:
+
+* :class:`KernelMetrics` — counters / high-water gauges / histograms the
+  scheduler fills in while it runs (context switches, lock contention
+  and wait times, mailbox depth, message latency, per-task run/block
+  time — all in deterministic logical ticks, so two runs of the same
+  schedule report identical numbers);
+* :func:`chrome_trace` / :func:`jsonl_events` — export any
+  :class:`~repro.core.trace.Trace` as Chrome ``trace_event`` JSON (one
+  lane per task, flow arrows for message send→receive; opens in
+  ``chrome://tracing`` and Perfetto) or as a JSONL structured-event
+  stream.
+
+Collection is strictly opt-in: a scheduler created without
+``metrics=`` executes the exact same instruction sequence with no
+bookkeeping beyond a single ``is None`` test per step.
+"""
+
+from .export import chrome_trace, jsonl_events
+from .metrics import Histogram, KernelMetrics
+
+__all__ = ["Histogram", "KernelMetrics", "chrome_trace", "jsonl_events"]

@@ -1,0 +1,158 @@
+"""Metric primitives and the kernel's metric set.
+
+Everything is measured in *logical ticks* (scheduler step numbers), not
+wall-clock time: the kernel is deterministic, so the same schedule must
+always report the same numbers — that is what makes metrics usable as
+regression oracles, and it is asserted by the metrics-determinism tests.
+
+Metric names the scheduler emits (see docs/ARCHITECTURE.md,
+"Observability", for full semantics):
+
+=========================  =============================================
+``steps``                  executed scheduler transitions
+``context_switches``       steps where a different task ran than before
+``lock_acquires``          lock/monitor grants (immediate or after park)
+``lock_contended``         Acquire effects that had to park
+``lock_releases``          Release effects executed
+``monitor_waits``          Wait effects (task joined a condition queue)
+``monitor_notifies``       Notify effects
+``messages_sent``          Send effects deposited into a mailbox
+``messages_delivered``     deliver transitions (message entered a task)
+``tasks_spawned``          tasks registered with the scheduler
+``tasks_finished``         tasks that returned
+``tasks_failed``           tasks that raised
+=========================  =============================================
+
+Per-object variants use dotted keys (``lock.<name>.acquires``,
+``mailbox.<name>.sent`` …).  Histograms: ``lock_wait_ticks``,
+``message_latency_ticks``, ``mailbox_depth``, ``enabled_fanout``,
+``block_ticks``.  High-water gauges: ``mailbox_depth_max``,
+``mailbox.<name>.depth_max``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["Histogram", "KernelMetrics"]
+
+
+class Histogram:
+    """Streaming summary of an integer series: count/total/min/max/mean.
+
+    Deliberately not a bucketed histogram — the kernel's series are
+    short and the consumers (CLI tables, JSON dumps, regression tests)
+    want exact deterministic aggregates, not approximations.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def record(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"count": self.count, "total": self.total,
+                "min": self.min, "max": self.max,
+                "mean": round(self.mean, 4)}
+
+    def __repr__(self) -> str:
+        return (f"<Histogram n={self.count} total={self.total} "
+                f"min={self.min} max={self.max}>")
+
+
+class KernelMetrics:
+    """Counter/gauge/histogram sink one scheduler run writes into.
+
+    Create one, pass it as ``Scheduler(metrics=...)``, read
+    :meth:`snapshot` after the run.  A fresh instance per run keeps the
+    numbers comparable across runs; sharing one instance across runs
+    accumulates (useful for exploration-wide totals).
+    """
+
+    __slots__ = ("counters", "gauges", "histograms", "per_task", "_sent_at")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        #: high-water marks (monotone max)
+        self.gauges: dict[str, int] = {}
+        self.histograms: dict[str, Histogram] = {}
+        #: task name -> {"steps": int, "block_ticks": int}
+        self.per_task: dict[str, dict[str, int]] = {}
+        #: envelope seq -> deposit step (in-flight messages, latency calc)
+        self._sent_at: dict[int, int] = {}
+
+    # -- writers (called from the scheduler hot path) -------------------
+    def inc(self, name: str, delta: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def gauge_max(self, name: str, value: int) -> None:
+        if value > self.gauges.get(name, 0):
+            self.gauges[name] = value
+
+    def observe(self, name: str, value: int) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.record(value)
+
+    def task_add(self, task_name: str, field: str, delta: int) -> None:
+        stats = self.per_task.get(task_name)
+        if stats is None:
+            stats = self.per_task[task_name] = {"steps": 0, "block_ticks": 0}
+        stats[field] = stats.get(field, 0) + delta
+
+    # -- readers --------------------------------------------------------
+    def get(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready view of everything collected (deterministic order)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {k: h.snapshot()
+                           for k, h in sorted(self.histograms.items())},
+            "per_task": {k: dict(v)
+                         for k, v in sorted(self.per_task.items())},
+        }
+
+    def format(self) -> str:
+        """Human-readable table of the snapshot (the ``repro stats`` view)."""
+        lines = ["counters:"]
+        for name, value in sorted(self.counters.items()):
+            lines.append(f"  {name:<32} {value}")
+        if self.gauges:
+            lines.append("gauges (high water):")
+            for name, value in sorted(self.gauges.items()):
+                lines.append(f"  {name:<32} {value}")
+        if self.histograms:
+            lines.append("histograms (logical ticks):")
+            for name, hist in sorted(self.histograms.items()):
+                lines.append(
+                    f"  {name:<32} n={hist.count} min={hist.min} "
+                    f"max={hist.max} mean={hist.mean:.2f}")
+        if self.per_task:
+            lines.append("per task:")
+            for name, stats in sorted(self.per_task.items()):
+                lines.append(f"  {name:<32} steps={stats.get('steps', 0)} "
+                             f"block_ticks={stats.get('block_ticks', 0)}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"<KernelMetrics {len(self.counters)} counters, "
+                f"{len(self.histograms)} histograms>")

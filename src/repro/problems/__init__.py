@@ -15,15 +15,66 @@ readers_writers               fairness case study; priority knob
 sum_workers                   first quiz; lost-update race demo
 book_inventory                semester lab; SM class + MP actor
 thread_pool_arith             week-1 lab; pool-size timing sweep
+pingpong                      message-passing smoke test (flow arrows)
 ============================  ==========================================
+
+:func:`kernel_program` maps a problem name to its kernel program
+factory, so tools (the CLI's ``trace``/``stats``/``check`` subcommands,
+benchmarks, notebooks) can address problems by string.
 """
 
+from typing import Callable
+
 from . import (book_inventory, bounded_buffer, dining_philosophers,
-               party_matching, readers_writers, single_lane_bridge,
-               sleeping_barber, sum_workers, thread_pool_arith)
+               party_matching, pingpong, readers_writers,
+               single_lane_bridge, sleeping_barber, sum_workers,
+               thread_pool_arith)
 
 __all__ = [
     "single_lane_bridge", "sleeping_barber", "party_matching",
     "bounded_buffer", "dining_philosophers", "readers_writers",
-    "sum_workers", "book_inventory", "thread_pool_arith",
+    "sum_workers", "book_inventory", "thread_pool_arith", "pingpong",
+    "kernel_program", "kernel_program_names",
 ]
+
+
+def _bridge_2car(**kwargs):
+    """Two opposing cars, one crossing each — the reduction benchmark."""
+    return single_lane_bridge.bridge_program(
+        cars=(("redCarA", "red"), ("blueCarA", "blue")), **kwargs)
+
+
+#: problem name → kernel-program factory (call it, optionally with the
+#: factory's own keyword arguments, to get a ``program(sched)`` callable)
+_KERNEL_PROGRAMS: dict[str, Callable] = {
+    "bounded_buffer": bounded_buffer.buffer_program,
+    "bridge": single_lane_bridge.bridge_program,
+    "single_lane_bridge": single_lane_bridge.bridge_program,
+    "bridge_2car": _bridge_2car,
+    "dining_philosophers": dining_philosophers.philosophers_program,
+    "party_matching": party_matching.party_program,
+    "pingpong": pingpong.pingpong_program,
+    "readers_writers": readers_writers.rw_program,
+    "sleeping_barber": sleeping_barber.barber_program,
+    "sum_workers": sum_workers.sum_program,
+}
+
+
+def kernel_program_names() -> list[str]:
+    """Names accepted by :func:`kernel_program`, sorted."""
+    return sorted(_KERNEL_PROGRAMS)
+
+
+def kernel_program(name: str, **kwargs) -> Callable:
+    """Build the kernel program for ``name`` (see module table).
+
+    Keyword arguments pass through to the problem's factory (sizes,
+    policies...).  Raises ``KeyError`` with the known names on a miss.
+    """
+    try:
+        factory = _KERNEL_PROGRAMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel program {name!r}; known: "
+            + ", ".join(kernel_program_names())) from None
+    return factory(**kwargs)

@@ -1,0 +1,47 @@
+"""Ping-pong — the minimal two-mailbox request/reply exchange.
+
+Not a course problem but the canonical message-passing smoke test: a
+pinger sends ``ping<i>`` requests to the ponger's mailbox and waits for
+each ``pong<i>`` reply before emitting it.  Every step is either a send
+or a receive, so the trace is wall-to-wall message traffic — the demo
+case for the Chrome-trace exporter's flow arrows (each send pairs with
+exactly one delivery) and the mailbox-depth counters.
+"""
+
+from __future__ import annotations
+
+from ..core.effects import Emit, Receive, Send
+from ..core.mailbox import DeliveryPolicy, Mailbox
+
+__all__ = ["pingpong_program"]
+
+
+def pingpong_program(rounds: int = 2,
+                     policy: DeliveryPolicy = DeliveryPolicy.ARBITRARY):
+    """Kernel program factory: ``rounds`` request/reply round trips.
+
+    The pinger emits each reply it receives, so the observable output of
+    every schedule is ``pong0 pong1 ...`` — the exchange is fully
+    synchronized and the output deterministic, even though the scheduler
+    still interleaves the two tasks' steps freely.
+    """
+
+    def program(sched):
+        ping_box = Mailbox("ping", policy=policy)   # replies, to pinger
+        pong_box = Mailbox("pong", policy=policy)   # requests, to ponger
+
+        def pinger():
+            for i in range(rounds):
+                yield Send(pong_box, f"ping{i}")
+                reply = yield Receive(ping_box)
+                yield Emit(reply)
+
+        def ponger():
+            for _ in range(rounds):
+                msg = yield Receive(pong_box)
+                yield Send(ping_box, msg.replace("ping", "pong"))
+
+        sched.spawn(pinger, name="pinger")
+        sched.spawn(ponger, name="ponger")
+
+    return program

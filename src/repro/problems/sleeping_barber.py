@@ -127,6 +127,9 @@ def run_threads_barber(customers: int = 20, chairs: int = 3,
                 i = waiting.pop(0)
                 stats["served"] += 1
                 log.append(("served", b, i))
+                # the closer waits for the chairs to drain — without this
+                # wakeup it can sleep through the last pop and hang
+                monitor.notify_all()
 
     barber_threads = [JThread(target=barber, args=(b,), name=f"barber-{b}")
                       for b in range(barbers)]

@@ -50,12 +50,20 @@ class Monitor:
         self._cond = threading.Condition(self._lock)
         self._owner: Optional[int] = None
         self._depth = 0
+        #: lifetime entries / WAIT parks / NOTIFY signals — observability
+        #: counters matching the kernel SimMonitor's; only mutated while
+        #: the monitor is held, so no extra synchronization is needed
+        self.acquire_count = 0
+        self.wait_count = 0
+        self.notify_count = 0
 
     # -- lock protocol -----------------------------------------------------
     def __enter__(self) -> "Monitor":
         self._lock.acquire()
         self._owner = threading.get_ident()
         self._depth += 1
+        if self._depth == 1:
+            self.acquire_count += 1
         return self
 
     def __exit__(self, *exc: Any) -> None:
@@ -86,6 +94,7 @@ class Monitor:
         Mesa semantics: callers must re-check their predicate in a loop.
         """
         self._require_held("wait()")
+        self.wait_count += 1
         depth = self._depth
         # threading.Condition handles full release/reacquire of the RLock
         self._depth = 0
@@ -113,11 +122,13 @@ class Monitor:
 
     def notify(self, n: int = 1) -> None:
         self._require_held("notify()")
+        self.notify_count += 1
         self._cond.notify(n)
 
     def notify_all(self) -> None:
         """The paper's NOTIFY(): every waiter finishes its WAIT()."""
         self._require_held("notifyAll()")
+        self.notify_count += 1
         self._cond.notify_all()
 
     def __repr__(self) -> str:

@@ -42,6 +42,7 @@ are tested against.
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional, Union
@@ -50,8 +51,8 @@ from ..core.policy import FixedPolicy, SchedulingPolicy, Transition
 from ..core.scheduler import Scheduler
 from ..core.trace import Trace, TraceEvent
 
-__all__ = ["Program", "ExplorationResult", "REDUCTIONS", "explore",
-           "run_schedule"]
+__all__ = ["Program", "ExplorationResult", "ExplorationStats", "REDUCTIONS",
+           "explore", "run_schedule"]
 
 #: A program under exploration: sets up a fresh Scheduler, optionally
 #: returns a zero-argument observation callable.
@@ -66,6 +67,66 @@ class _FirstPolicy(SchedulingPolicy):
 
     def choose(self, transitions: list[Transition]) -> int:
         return 0
+
+
+@dataclass
+class ExplorationStats:
+    """Live/final instrumentation of one :func:`explore` call.
+
+    All fields are cheap counters maintained inline by the exploration
+    loops; ``elapsed_seconds``/``decisions_per_sec`` are stamped once by
+    :func:`explore` when the search returns.  The same object is handed
+    to the ``progress`` callback while the search is still running, so
+    callbacks see monotonically growing counters.
+    """
+
+    #: complete executions so far (mirrors ``ExplorationResult.runs``)
+    runs: int = 0
+    #: scheduling decisions executed so far (the work measure)
+    decisions: int = 0
+    #: sibling branches the sleep-set/DPOR analysis never scheduled —
+    #: enabled transitions abandoned as commuting when their node left
+    #: the DFS stack
+    sleep_prunes: int = 0
+    #: runs cut short because a (depth, fingerprint) state had already
+    #: been expanded
+    fingerprint_hits: int = 0
+    #: distinct (depth, fingerprint) states recorded
+    fingerprint_states: int = 0
+    #: deepest DFS frontier reached (longest executed path, in steps)
+    max_frontier_depth: int = 0
+    #: wall-clock duration of the whole explore() call
+    elapsed_seconds: float = 0.0
+    #: decisions / elapsed_seconds (0.0 when too fast to measure)
+    decisions_per_sec: float = 0.0
+    #: per-worker split when ``workers > 1`` took effect: one dict per
+    #: first-decision subtree with its runs/decisions/prune counters
+    workers: list = field(default_factory=list)
+
+    def fold(self, other: "ExplorationStats") -> None:
+        """Accumulate another (e.g. per-subtree) stats object."""
+        self.runs += other.runs
+        self.decisions += other.decisions
+        self.sleep_prunes += other.sleep_prunes
+        self.fingerprint_hits += other.fingerprint_hits
+        self.fingerprint_states += other.fingerprint_states
+        self.max_frontier_depth = max(self.max_frontier_depth,
+                                      other.max_frontier_depth)
+        self.workers.extend(other.workers)
+
+    def as_dict(self) -> dict:
+        """JSON-ready view (benchmarks embed this in BENCH_explorer.json)."""
+        return {
+            "runs": self.runs,
+            "decisions": self.decisions,
+            "sleep_prunes": self.sleep_prunes,
+            "fingerprint_hits": self.fingerprint_hits,
+            "fingerprint_states": self.fingerprint_states,
+            "max_frontier_depth": self.max_frontier_depth,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "decisions_per_sec": round(self.decisions_per_sec, 1),
+            "workers": list(self.workers),
+        }
 
 
 @dataclass
@@ -88,6 +149,9 @@ class ExplorationResult:
     decisions: int = 0
     #: runs cut short by the fingerprint reduction (subset of ``runs``)
     pruned_runs: int = 0
+    #: search instrumentation (prune counts, frontier depth, throughput)
+    stats: ExplorationStats = field(default_factory=ExplorationStats,
+                                    compare=False)
     #: output-string → witness index, built lazily on first lookup
     _witness_index: dict = field(default_factory=dict, repr=False, compare=False)
     _indexed: int = field(default=-1, repr=False, compare=False)
@@ -97,6 +161,10 @@ class ExplorationResult:
         """Fold one executed run into the result."""
         self.runs += 1
         self.decisions += len(trace)
+        self.stats.runs = self.runs
+        self.stats.decisions = self.decisions
+        if len(trace) > self.stats.max_frontier_depth:
+            self.stats.max_frontier_depth = len(trace)
         self.outcomes[trace.outcome] += 1
         if trace.outcome == "pruned":
             # cut short by the fingerprint hook: no terminal reached —
@@ -117,6 +185,7 @@ class ExplorationResult:
         self.runs += other.runs
         self.decisions += other.decisions
         self.pruned_runs += other.pruned_runs
+        self.stats.fold(other.stats)
         self.complete = self.complete and other.complete
         self.outcomes.update(other.outcomes)
         for key, obs in other.terminals.items():
@@ -207,7 +276,8 @@ def _normalize_reduce(reduce: Union[bool, str, Iterable[str], None]) -> frozense
     if reduce is True:
         return frozenset(REDUCTIONS)
     if isinstance(reduce, str):
-        reduce = (reduce,)
+        # "sleep+fingerprint" / "sleep,fingerprint" spell a combination
+        reduce = [p for p in reduce.replace(",", "+").split("+") if p]
     names = frozenset(reduce)
     unknown = names - set(REDUCTIONS) - {"all"}
     if unknown:
@@ -225,7 +295,9 @@ def explore(program: Program,
             max_steps: int = 200_000,
             sample_limit: int = 16,
             reduce: Union[bool, str, Iterable[str], None] = (),
-            workers: int = 0) -> ExplorationResult:
+            workers: int = 0,
+            progress: Optional[Callable[[ExplorationStats], None]] = None,
+            progress_every: int = 200) -> ExplorationResult:
     """Depth-first enumeration of every schedule of ``program``.
 
     Parameters
@@ -242,32 +314,50 @@ def explore(program: Program,
         Which reductions to apply: any subset of :data:`REDUCTIONS`
         (``"sleep"`` — partial-order reduction, ``"fingerprint"`` —
         state deduplication), a single name, ``"all"``/``True`` for
-        both, or empty (default) for the naive full enumeration.  The
-        reductions preserve the terminal set, the observation set and
-        the deadlock verdict; they change only how much work finding
-        them takes (compare ``result.decisions``).
+        both, a ``"+"``-joined combination (``"sleep+fingerprint"``), or
+        empty (default) for the naive full enumeration.  The reductions
+        preserve the terminal set, the observation set and the deadlock
+        verdict; they change only how much work finding them takes
+        (compare ``result.decisions``).
     workers:
         When > 1, partition the schedule tree by first decision over
         that many forked processes and merge the partial results.
         Falls back to sequential exploration where ``fork`` is
         unavailable.  Per-worker run budget is ``max_runs`` divided by
         the number of subtrees (rounded up).
+    progress:
+        Optional callback invoked with the live :class:`ExplorationStats`
+        every ``progress_every`` completed runs (sequential exploration
+        only; forked workers cannot call back into the parent).  The
+        callback must not mutate the stats object.
+
+    The returned result carries ``result.stats`` — prune counters,
+    frontier depth, elapsed wall time and decisions/sec.
     """
     reduce_set = _normalize_reduce(reduce)
+    t0 = time.perf_counter()
+    result = None
     if workers and workers > 1:
         result = _explore_parallel(program, max_runs=max_runs,
                                    max_steps=max_steps,
                                    sample_limit=sample_limit,
                                    reduce_set=reduce_set, workers=workers)
-        if result is not None:
-            return result
-    return _explore_seq(program, max_runs=max_runs, max_steps=max_steps,
-                        sample_limit=sample_limit, reduce_set=reduce_set)
+    if result is None:
+        result = _explore_seq(program, max_runs=max_runs, max_steps=max_steps,
+                              sample_limit=sample_limit, reduce_set=reduce_set,
+                              progress=progress, progress_every=progress_every)
+    elapsed = time.perf_counter() - t0
+    result.stats.elapsed_seconds = elapsed
+    if elapsed > 0:
+        result.stats.decisions_per_sec = result.decisions / elapsed
+    return result
 
 
 def _explore_seq(program: Program, *, max_runs: int, max_steps: int,
                  sample_limit: int, reduce_set: frozenset,
                  init_prefix: Iterable[int] = (), base: int = 0,
+                 progress: Optional[Callable[[ExplorationStats], None]] = None,
+                 progress_every: int = 200,
                  ) -> ExplorationResult:
     """Sequential exploration of the subtree under ``init_prefix``.
 
@@ -277,12 +367,15 @@ def _explore_seq(program: Program, *, max_runs: int, max_steps: int,
     if not reduce_set:
         return _explore_naive(program, max_runs=max_runs, max_steps=max_steps,
                               sample_limit=sample_limit,
-                              init_prefix=init_prefix, base=base)
+                              init_prefix=init_prefix, base=base,
+                              progress=progress,
+                              progress_every=progress_every)
     return _explore_reduced(program, max_runs=max_runs, max_steps=max_steps,
                             sample_limit=sample_limit,
                             use_sleep="sleep" in reduce_set,
                             use_fingerprint="fingerprint" in reduce_set,
-                            init_prefix=init_prefix, base=base)
+                            init_prefix=init_prefix, base=base,
+                            progress=progress, progress_every=progress_every)
 
 
 # ---------------------------------------------------------------------------
@@ -290,7 +383,9 @@ def _explore_seq(program: Program, *, max_runs: int, max_steps: int,
 # ---------------------------------------------------------------------------
 def _explore_naive(program: Program, *, max_runs: int, max_steps: int,
                    sample_limit: int, init_prefix: Iterable[int] = (),
-                   base: int = 0) -> ExplorationResult:
+                   base: int = 0,
+                   progress: Optional[Callable] = None,
+                   progress_every: int = 200) -> ExplorationResult:
     result = ExplorationResult()
     prefix: list[int] = list(init_prefix)
 
@@ -300,6 +395,8 @@ def _explore_naive(program: Program, *, max_runs: int, max_steps: int,
             break
         trace, obs = run_schedule(program, prefix, max_steps=max_steps)
         result.record_run(trace, obs, sample_limit)
+        if progress is not None and result.runs % progress_every == 0:
+            progress(result.stats)
 
         # backtrack: deepest decision with an untried alternative
         decisions = trace.decisions()
@@ -419,11 +516,24 @@ def _analyze_virtual(events: list[TraceEvent], stack: list[_Node], base: int,
             break
 
 
+def _sleep_prunes(nodes: Iterable[_Node]) -> int:
+    """Enabled transitions a batch of retired nodes never scheduled.
+
+    Called when nodes leave the DFS stack with an empty ``todo``: every
+    enabled index not in ``done`` is a sibling branch the conflict
+    analysis decided commutes with what was explored — a sleep-set prune.
+    """
+    return sum(max(0, len(n.enabled) - len(n.done)) for n in nodes)
+
+
 def _explore_reduced(program: Program, *, max_runs: int, max_steps: int,
                      sample_limit: int, use_sleep: bool,
                      use_fingerprint: bool, init_prefix: Iterable[int] = (),
-                     base: int = 0) -> ExplorationResult:
+                     base: int = 0,
+                     progress: Optional[Callable] = None,
+                     progress_every: int = 200) -> ExplorationResult:
     result = ExplorationResult()
+    stats = result.stats
     prefix: list[int] = list(init_prefix)
     stack: list[_Node] = []
     #: (depth, Scheduler.fingerprint()) → set of (ltid, footprint) pairs
@@ -457,6 +567,7 @@ def _explore_reduced(program: Program, *, max_runs: int, max_steps: int,
                 key = (depth, sched.fingerprint())
                 run_keys.append((depth, key))
                 if key in summaries:
+                    stats.fingerprint_hits += 1
                     return False
                 summaries[key] = set()
                 return True
@@ -464,6 +575,9 @@ def _explore_reduced(program: Program, *, max_runs: int, max_steps: int,
         trace, obs = run_schedule(program, prefix, max_steps=max_steps,
                                   record_enabled=True, step_hook=hook)
         result.record_run(trace, obs, sample_limit)
+        if progress is not None and result.runs % progress_every == 0:
+            stats.fingerprint_states = len(summaries)
+            progress(stats)
         events = trace.events
         path = trace.schedule()
 
@@ -514,14 +628,19 @@ def _explore_reduced(program: Program, *, max_runs: int, max_steps: int,
         while d >= base and not stack[d].todo:
             d -= 1
         if d < base:
+            # search exhausted: every node retires with an empty todo
+            stats.sleep_prunes += _sleep_prunes(stack[base:])
             break
         node = stack[d]
         nxt = node.todo.pop()
         node.done.add(nxt)
+        # nodes below d retire now (todo empty): tally their prunes
+        stats.sleep_prunes += _sleep_prunes(stack[d + 1:])
         del stack[d + 1:]
         del path_keys[d:]
         prefix = path[:d] + [nxt]
 
+    stats.fingerprint_states = len(summaries)
     return result
 
 
@@ -579,6 +698,14 @@ def _explore_parallel(program: Program, *, max_runs: int, max_steps: int,
         _WORKER_STATE = None
 
     result = ExplorationResult()
-    for part in parts:
+    for first, part in enumerate(parts):
         result.merge(part, sample_limit=sample_limit)
+        result.stats.workers.append({
+            "subtree": first,
+            "runs": part.runs,
+            "decisions": part.decisions,
+            "sleep_prunes": part.stats.sleep_prunes,
+            "fingerprint_hits": part.stats.fingerprint_hits,
+            "complete": part.complete,
+        })
     return result

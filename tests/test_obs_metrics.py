@@ -1,0 +1,170 @@
+"""Kernel metrics: units, determinism across runtimes, non-interference."""
+
+import pytest
+
+from repro.actors import Actor, SimActorSystem
+from repro.core import RandomPolicy, Scheduler
+from repro.coroutines import CoChannel, CoScheduler
+from repro.obs import Histogram, KernelMetrics
+from repro.problems import kernel_program
+from repro.problems.bounded_buffer import buffer_program
+
+
+class TestHistogram:
+    def test_empty(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.snapshot() == {"count": 0, "total": 0, "min": None,
+                                "max": None, "mean": 0.0}
+
+    def test_record(self):
+        h = Histogram()
+        for v in (3, 1, 8):
+            h.record(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["min"] == 1
+        assert snap["max"] == 8
+        assert snap["mean"] == pytest.approx(4.0)
+
+
+class TestKernelMetrics:
+    def test_counters_and_gauges(self):
+        m = KernelMetrics()
+        m.inc("steps")
+        m.inc("steps", 2)
+        m.gauge_max("depth", 3)
+        m.gauge_max("depth", 1)   # monotone: must not shrink
+        m.observe("wait", 5)
+        m.task_add("t", "steps", 1)
+        assert m.get("steps") == 3
+        assert m.get("missing") == 0
+        snap = m.snapshot()
+        assert snap["counters"]["steps"] == 3
+        assert snap["gauges"]["depth"] == 3
+        assert snap["histograms"]["wait"]["count"] == 1
+        assert snap["per_task"]["t"]["steps"] == 1
+
+    def test_format_lists_everything(self):
+        m = KernelMetrics()
+        m.inc("steps", 7)
+        m.observe("lock_wait_ticks", 2)
+        m.task_add("worker", "steps", 7)
+        text = m.format()
+        assert "steps" in text
+        assert "lock_wait_ticks" in text
+        assert "worker" in text
+
+
+def _kernel_snapshot(seed):
+    """Bounded buffer (monitor/threads model) on the kernel, instrumented."""
+    metrics = KernelMetrics()
+    sched = Scheduler(RandomPolicy(seed), raise_on_deadlock=False,
+                      raise_on_failure=False, metrics=metrics)
+    buffer_program()(sched)
+    trace = sched.run()
+    return trace, metrics.snapshot()
+
+
+def _actor_snapshot(seed):
+    """Actor runtime on the kernel: messages + per-actor stats."""
+    class Echo(Actor):
+        def receive(self, message, sender):
+            pass
+
+    metrics = KernelMetrics()
+    sched = Scheduler(RandomPolicy(seed), raise_on_deadlock=False,
+                      raise_on_failure=False, metrics=metrics)
+    system = SimActorSystem(sched)
+    ref = system.spawn(Echo, name="echo")
+
+    def driver():
+        for i in range(3):
+            yield from system.tell_gen(ref, i)
+    sched.spawn(driver, name="driver")
+    sched.run()
+    return system.stats(), metrics.snapshot()
+
+
+def _coroutine_snapshot():
+    """Cooperative runtime: channel producer/consumer, instrumented."""
+    metrics = KernelMetrics()
+    sched = CoScheduler(metrics=metrics)
+    chan = CoChannel(capacity=1)
+    out = []
+
+    def producer():
+        for i in range(3):
+            yield from chan.put(i)
+
+    def consumer():
+        for _ in range(3):
+            out.append((yield from chan.get()))
+
+    sched.spawn(producer)
+    sched.spawn(consumer)
+    sched.run()
+    return out, metrics.snapshot()
+
+
+class TestDeterminism:
+    """Same seed ⇒ identical metric snapshots; all quantities are logical."""
+
+    def test_kernel_runtime_deterministic(self):
+        (trace_a, snap_a) = _kernel_snapshot(seed=11)
+        (trace_b, snap_b) = _kernel_snapshot(seed=11)
+        assert trace_a.schedule() == trace_b.schedule()
+        assert snap_a == snap_b
+        assert snap_a["counters"]["steps"] == len(trace_a.events)
+
+    def test_actor_runtime_deterministic(self):
+        stats_a, snap_a = _actor_snapshot(seed=5)
+        stats_b, snap_b = _actor_snapshot(seed=5)
+        assert stats_a == stats_b
+        assert snap_a == snap_b
+        assert snap_a["counters"]["messages_sent"] == 3
+        assert stats_a["echo"]["processed"] == 3
+
+    def test_coroutine_runtime_deterministic(self):
+        out_a, snap_a = _coroutine_snapshot()
+        out_b, snap_b = _coroutine_snapshot()
+        assert out_a == out_b == [0, 1, 2]
+        assert snap_a == snap_b
+        assert snap_a["counters"]["parks"] >= 1
+
+    def test_different_seeds_still_internally_consistent(self):
+        _, snap = _kernel_snapshot(seed=3)
+        c = snap["counters"]
+        assert c["lock_acquires"] == c["lock.buffer.acquires"]
+        assert c["tasks_spawned"] == c["tasks_finished"]
+
+
+class TestNonInterference:
+    """Attaching metrics must not change what the scheduler does."""
+
+    @pytest.mark.parametrize("name", ["bounded_buffer", "pingpong",
+                                      "bridge_2car"])
+    def test_schedule_unchanged_by_metrics(self, name):
+        def run(metrics):
+            sched = Scheduler(RandomPolicy(42), raise_on_deadlock=False,
+                              raise_on_failure=False, metrics=metrics)
+            kernel_program(name)(sched)
+            return sched.run()
+
+        bare = run(None)
+        instrumented = run(KernelMetrics())
+        assert bare.schedule() == instrumented.schedule()
+        assert bare.outcome == instrumented.outcome
+        assert bare.output == instrumented.output
+
+    def test_message_latency_recorded(self):
+        metrics = KernelMetrics()
+        sched = Scheduler(RandomPolicy(1), raise_on_deadlock=False,
+                          raise_on_failure=False, metrics=metrics)
+        kernel_program("pingpong")(sched)
+        sched.run()
+        snap = metrics.snapshot()
+        assert snap["counters"]["messages_sent"] == 4
+        assert snap["counters"]["messages_delivered"] == 4
+        assert snap["histograms"]["message_latency_ticks"]["count"] == 4

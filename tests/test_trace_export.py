@@ -1,0 +1,196 @@
+"""Chrome-trace / JSONL export, Trace.format, and the trace/stats CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import RandomPolicy, Scheduler
+from repro.problems import kernel_program
+
+REQUIRED_KEYS = {"ph", "ts", "pid", "tid", "name"}
+
+
+def _run(name, seed=7, **kwargs):
+    sched = Scheduler(RandomPolicy(seed), raise_on_deadlock=False,
+                      raise_on_failure=False)
+    kernel_program(name, **kwargs)(sched)
+    return sched.run()
+
+
+class TestChromeTrace:
+    @pytest.mark.parametrize("problem", ["bounded_buffer", "bridge_2car"])
+    def test_schema_round_trip(self, problem):
+        trace = _run(problem)
+        payload = trace.to_chrome_trace()
+        # round-trips through JSON (chrome://tracing reads a file)
+        payload = json.loads(json.dumps(payload))
+        assert payload["otherData"]["outcome"] == trace.outcome
+        events = payload["traceEvents"]
+        assert events, "trace must produce events"
+        for event in events:
+            assert REQUIRED_KEYS <= set(event), event
+        # one complete slice per executed step
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(slices) == len(trace.events)
+
+    def test_one_lane_per_task(self):
+        trace = _run("bounded_buffer")
+        payload = trace.to_chrome_trace()
+        lanes = {e["args"]["name"] for e in payload["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert lanes == set(trace.steps_by_task())
+
+    def test_flow_arrows_pair_send_with_delivery(self):
+        trace = _run("pingpong", rounds=3)
+        events = trace.to_chrome_trace()["traceEvents"]
+        starts = [e["id"] for e in events if e["ph"] == "s"]
+        finishes = [e["id"] for e in events if e["ph"] == "f"]
+        assert len(starts) == 6          # 3 pings + 3 pongs
+        assert sorted(starts) == sorted(finishes)
+        assert len(set(starts)) == len(starts)   # ids are unique
+        for e in events:
+            if e["ph"] == "f":
+                assert e["bp"] == "e"    # bind to enclosing slice
+
+    def test_flow_ids_match_trace_seqs(self):
+        trace = _run("pingpong")
+        sent = [e.msg_seq for e in trace.events if e.msg_seq is not None]
+        received = [e.recv_seq for e in trace.events
+                    if e.recv_seq is not None]
+        assert sorted(sent) == sorted(received)
+
+    def test_mailbox_counter_lanes(self):
+        trace = _run("pingpong")
+        events = trace.to_chrome_trace()["traceEvents"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert counters
+        names = {e["name"] for e in counters}
+        assert names == {"mailbox ping", "mailbox pong"}
+        # depths never go negative and end at zero per mailbox
+        last = {}
+        for e in counters:
+            assert e["args"]["pending"] >= 0
+            last[e["name"]] = e["args"]["pending"]
+        assert set(last.values()) == {0}
+
+    def test_scale_controls_timestamps(self):
+        trace = _run("pingpong")
+        events = trace.to_chrome_trace(scale=100)["traceEvents"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert slices[0]["ts"] == 0
+        assert slices[1]["ts"] == 100
+        assert slices[0]["dur"] == 98
+
+
+class TestJsonl:
+    def test_stream_parses_and_summarizes(self):
+        trace = _run("bounded_buffer")
+        lines = trace.to_jsonl().strip().split("\n")
+        records = [json.loads(line) for line in lines]
+        assert len(records) == len(trace.events) + 1
+        steps = records[:-1]
+        assert all(r["type"] == "step" for r in steps)
+        assert [r["step"] for r in steps] == list(
+            range(1, len(trace.events) + 1))
+        summary = records[-1]
+        assert summary["type"] == "summary"
+        assert summary["outcome"] == trace.outcome
+        assert summary["events"] == len(trace.events)
+
+    def test_message_fields_present(self):
+        records = [json.loads(line) for line in
+                   _run("pingpong").to_jsonl().strip().split("\n")]
+        sends = [r for r in records if "msg_seq" in r]
+        recvs = [r for r in records if "recv_seq" in r]
+        assert sends and recvs
+        assert sorted(r["msg_seq"] for r in sends) \
+            == sorted(r["recv_seq"] for r in recvs)
+        assert all(r["recv_mbox"] in ("ping", "pong") for r in recvs)
+
+
+class TestTraceFormat:
+    def test_full_listing_by_default(self):
+        trace = _run("bounded_buffer")
+        text = trace.format()
+        assert len(text.splitlines()) >= len(trace.events)
+        assert "outcome: done" in text
+
+    def test_vector_clock_stamps(self):
+        trace = _run("pingpong")
+        assert "VC{" in trace.format()
+        assert "VC{" not in trace.format(clocks=False)
+
+    def test_tail_with_elision_header(self):
+        trace = _run("bounded_buffer")
+        text = trace.format(limit=3)
+        first = text.splitlines()[0]
+        assert "earlier events elided" in first
+        assert f"{len(trace.events) - 3} earlier" in first
+
+    def test_limit_validation(self):
+        trace = _run("pingpong")
+        with pytest.raises(ValueError):
+            trace.format(limit=-1)
+        assert "outcome" in trace.format(limit=0)
+
+
+class TestCli:
+    def test_trace_chrome(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "bounded_buffer", "--out", str(out),
+                     "--seed", "7"]) == 0
+        payload = json.loads(out.read_text())
+        for event in payload["traceEvents"]:
+            assert REQUIRED_KEYS <= set(event)
+        assert "perfetto" in capsys.readouterr().out
+
+    def test_trace_jsonl(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "pingpong", "--out", str(out),
+                     "--format", "jsonl"]) == 0
+        records = [json.loads(line)
+                   for line in out.read_text().strip().split("\n")]
+        assert records[-1]["type"] == "summary"
+
+    def test_trace_unknown_problem(self, tmp_path, capsys):
+        assert main(["trace", "nope", "--out",
+                     str(tmp_path / "x.json")]) == 2
+        assert "unknown problem" in capsys.readouterr().err
+
+    def test_stats_table(self, capsys):
+        assert main(["stats", "bounded_buffer", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "context_switches" in out
+
+    def test_stats_json_with_explore(self, capsys):
+        assert main(["stats", "bridge_2car", "--json", "--explore"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["counters"]["steps"] > 0
+        assert payload["exploration"]["sleep_prunes"] > 0
+        assert payload["exploration"]["fingerprint_hits"] > 0
+
+    def test_run_json(self, tmp_path, capsys):
+        src = tmp_path / "p.pseudo"
+        src.write_text('PARA\nPRINT "a"\nPRINT "b"\nENDPARA\n')
+        assert main(["run", str(src), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["outcome"] == "done"
+        assert payload["output"] in ("ab", "ba")
+
+    def test_outputs_json(self, tmp_path, capsys):
+        src = tmp_path / "p.pseudo"
+        src.write_text('PARA\nPRINT "a"\nPRINT "b"\nENDPARA\n')
+        assert main(["outputs", str(src), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"count": 2, "possibilities": ["ab", "ba"]}
+
+    def test_check_progress(self, tmp_path, capsys):
+        src = tmp_path / "p.pseudo"
+        src.write_text('PARA\nPRINT "a"\nPRINT "b"\nENDPARA\n')
+        assert main(["check", str(src), "--reduce", "sleep+fingerprint",
+                     "--progress", "--progress-every", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "sleep prunes" in captured.err
+        assert "decisions in" in captured.out
