@@ -1,0 +1,107 @@
+"""Monitor-bus overhead benchmarks.
+
+Measures kernel event throughput (events/sec over full runs of the
+bounded buffer) with no bus attached, a bus with zero detectors, one
+detector, and the full shipped set, and writes ``BENCH_obs.json`` next
+to this file so the numbers can be compared across PRs.
+
+The acceptance bar mirrors the metrics benchmark: the un-instrumented
+path pays nothing beyond an ``is None`` test, and even the full
+detector set must stay within a generous constant factor — a real
+regression (quadratic view bookkeeping, per-event allocation blowups)
+shows up as an order of magnitude, not tens of percent.
+"""
+
+import json
+import time
+from pathlib import Path
+from statistics import median
+
+import pytest
+
+from repro.core import RandomPolicy, Scheduler
+from repro.obs import DeadlockDetector, MonitorBus
+from repro.problems.bounded_buffer import buffer_program
+
+_RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_bench_json():
+    """Dump everything the module measured once all benchmarks ran."""
+    yield
+    out = Path(__file__).parent / "BENCH_obs.json"
+    out.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
+
+
+def _run_once(program, bus):
+    sched = Scheduler(RandomPolicy(7), raise_on_deadlock=False,
+                      raise_on_failure=False, monitors=bus)
+    program(sched)
+    return sched.run()
+
+
+def _median_rate(program, bus_factory, repeats=150):
+    """Median events/sec across repeated full runs (fresh bus each —
+    the MonitorBus is single-use like the Scheduler)."""
+    rates = []
+    for _ in range(repeats):
+        bus = bus_factory()
+        t0 = time.perf_counter()
+        trace = _run_once(program, bus)
+        elapsed = time.perf_counter() - t0
+        rates.append(len(trace.events) / elapsed)
+    return median(rates)
+
+
+def test_bench_monitor_bus_overhead(benchmark):
+    program = buffer_program()
+    _run_once(program, None)   # warm caches
+    no_bus = benchmark.pedantic(
+        lambda: _median_rate(program, lambda: None), rounds=1, iterations=1)
+    zero = _median_rate(program, lambda: MonitorBus([]))
+    one = _median_rate(program, lambda: MonitorBus([DeadlockDetector()]))
+    full = _median_rate(program, MonitorBus)
+    _RESULTS["monitor-bus-overhead"] = {
+        "buffer-2p2c": {
+            "events_per_sec_no_bus": round(no_bus),
+            "events_per_sec_0_detectors": round(zero),
+            "events_per_sec_1_detector": round(one),
+            "events_per_sec_all_detectors": round(full),
+            "all_over_no_bus": round(no_bus / full, 3),
+        }
+    }
+    # non-regression bars (generous: shared CI machines jitter, and a
+    # real hot-path regression lands at 10x+, not tens of percent)
+    assert zero * 4 >= no_bus, (no_bus, zero)
+    assert one * 6 >= no_bus, (no_bus, one)
+    assert full * 10 >= no_bus, (no_bus, full)
+
+
+def test_bench_monitored_exploration_matches(benchmark):
+    """Monitored exploration does the same search — identical run and
+    decision counts — while collecting hazards; record its cost."""
+    from repro.verify import explore
+
+    program = buffer_program(capacity=1, producers=1, consumers=1,
+                             items_each=2)
+    t0 = time.perf_counter()
+    off = explore(program, reduce="all")
+    off_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    on = benchmark.pedantic(
+        lambda: explore(program, reduce="all", monitors=True),
+        rounds=1, iterations=1)
+    on_s = time.perf_counter() - t0
+    _RESULTS["monitored-exploration"] = {
+        "buffer-1p1c-2items": {
+            "runs": on.runs,
+            "decisions": on.decisions,
+            "hazard_kinds": sorted(on.hazard_counts()),
+            "monitors_off_s": round(off_s, 4),
+            "monitors_on_s": round(on_s, 4),
+        }
+    }
+    assert on.runs == off.runs
+    assert on.decisions == off.decisions
+    assert dict(on.outcomes) == dict(off.outcomes)

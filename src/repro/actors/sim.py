@@ -143,6 +143,19 @@ class SimActorSystem:
                 return cell
         raise KeyError(f"unknown ref {ref!r}")
 
+    def hazards(self) -> list:
+        """Hazards the kernel's monitor bus collected, if one is attached.
+
+        Actors are plain kernel tasks, so creating the underlying
+        scheduler with ``Scheduler(monitors=MonitorBus())`` already
+        streams every actor send/deliver through the shipped detectors:
+        mailbox saturation, message reordering (the M5 witness), actor
+        handler failures.  This accessor just surfaces the result from
+        actor-level code.
+        """
+        bus = getattr(self.sched, "monitors", None)
+        return list(bus.hazards) if bus is not None else []
+
     def stats(self) -> dict[str, dict[str, Any]]:
         """Per-actor message statistics, keyed by actor name.
 

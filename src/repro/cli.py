@@ -26,6 +26,21 @@ Commands:
     machine-readable snapshot, ``--explore`` to add exploration
     statistics).
 
+``monitor PROBLEM``
+    Watch a named kernel problem with the online hazard monitors:
+    one schedule by default, every schedule with ``--explore``.
+    Prints the hazard report; exits non-zero if any error/warning
+    hazard fired.
+
+``explain PROBLEM``
+    Hunt for a violation (deadlock / task failure) of a named kernel
+    problem and explain it: delta-debugged minimal schedule, the
+    critical transition pair, causal narrative (``--html`` for a
+    self-contained report).
+
+``trace``/``stats``/``explain`` accept ``--out -`` to stream the
+artifact to stdout instead of a file.
+
 ``bridge QUESTION``
     Answer a Test-1-style bridge question given as
     ``section:history...=>scenario...`` (see ``--help-bridge``).
@@ -46,6 +61,21 @@ from pathlib import Path
 __all__ = ["main"]
 
 
+def _write_out(dest: str, text: str) -> Path | None:
+    """Write ``text`` to a file, or to stdout when ``dest`` is ``-``.
+
+    Returns the path written, or None for stdout (callers print their
+    "wrote ..." summary only for real files, on stderr otherwise)."""
+    if dest == "-":
+        sys.stdout.write(text)
+        if text and not text.endswith("\n"):
+            sys.stdout.write("\n")
+        return None
+    path = Path(dest)
+    path.write_text(text)
+    return path
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     import json
 
@@ -53,25 +83,38 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from .pseudocode import compile_program
     runtime = compile_program(Path(args.file).read_text())
     policy = RandomPolicy(args.seed) if args.seed is not None else None
+    bus = None
+    if args.monitor:
+        from .obs import MonitorBus
+        bus = MonitorBus()
     result = runtime.run(policy, raise_on_deadlock=False,
-                         raise_on_failure=False)
+                         raise_on_failure=False, monitors=bus)
     if args.json:
-        print(json.dumps({
+        payload = {
             "outcome": result.outcome,
             "output": result.output_text(),
             "detail": result.trace.detail,
             "events": len(result.trace.events),
             "seed": args.seed,
-        }, sort_keys=True))
-        return 0 if result.outcome == "done" else 1
+        }
+        if bus is not None:
+            payload["hazards"] = [h.describe() for h in bus.hazards]
+        print(json.dumps(payload, sort_keys=True))
+        return 0 if result.outcome == "done" and not (
+            bus is not None and bus.flagged) else 1
     sys.stdout.write(result.output_text())
     if not result.output_text().endswith("\n") and result.output_text():
         sys.stdout.write("\n")
+    status = 0
     if result.outcome != "done":
         print(f"[outcome: {result.outcome}] {result.trace.detail}",
               file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    if bus is not None and bus.hazards:
+        print(bus.format(), file=sys.stderr)
+        if bus.flagged:
+            status = 1
+    return status
 
 
 def _cmd_outputs(args: argparse.Namespace) -> int:
@@ -169,19 +212,21 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"unknown problem {args.problem!r}; known: "
               + ", ".join(kernel_program_names()), file=sys.stderr)
         return 2
-    out = Path(args.out)
     if args.format == "chrome":
         payload = trace.to_chrome_trace(scale=args.scale)
-        out.write_text(json.dumps(payload, sort_keys=True))
+        out = _write_out(args.out, json.dumps(payload, sort_keys=True))
         lanes = sum(1 for e in payload["traceEvents"]
                     if e["ph"] == "M" and e["name"] == "thread_name")
-        print(f"wrote {out} ({len(payload['traceEvents'])} trace events, "
-              f"{lanes} lanes, outcome: {trace.outcome}) — open in "
-              f"chrome://tracing or https://ui.perfetto.dev")
+        summary = (f"{len(payload['traceEvents'])} trace events, "
+                   f"{lanes} lanes, outcome: {trace.outcome}) — open in "
+                   f"chrome://tracing or https://ui.perfetto.dev")
+        if out is not None:
+            print(f"wrote {out} ({summary}")
     else:
-        out.write_text(trace.to_jsonl())
-        print(f"wrote {out} ({len(trace.events)} steps + summary, "
-              f"outcome: {trace.outcome})")
+        out = _write_out(args.out, trace.to_jsonl())
+        if out is not None:
+            print(f"wrote {out} ({len(trace.events)} steps + summary, "
+                  f"outcome: {trace.outcome})")
     return 0 if trace.outcome == "done" else 1
 
 
@@ -207,20 +252,102 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             payload["exploration"] = explo.stats.as_dict()
             payload["exploration"]["complete"] = explo.complete
             payload["exploration"]["terminals"] = len(explo.terminals)
-        print(json.dumps(payload, sort_keys=True))
+        report = json.dumps(payload, sort_keys=True)
     else:
-        print(f"problem : {args.problem} (outcome: {trace.outcome}, "
-              f"{len(trace.events)} steps)")
-        print(metrics.format())
+        lines = [f"problem : {args.problem} (outcome: {trace.outcome}, "
+                 f"{len(trace.events)} steps)",
+                 metrics.format()]
         if explo is not None:
-            print(f"exploration : {explo.summary()}")
             s = explo.stats
-            print(f"            : {s.decisions} decisions in "
-                  f"{s.elapsed_seconds:.3f}s ({s.decisions_per_sec:.0f}/s), "
-                  f"{s.sleep_prunes} sleep prunes, "
-                  f"{s.fingerprint_hits} fingerprint hits, "
-                  f"frontier depth {s.max_frontier_depth}")
+            lines.append(f"exploration : {explo.summary()}")
+            lines.append(
+                f"            : {s.decisions} decisions in "
+                f"{s.elapsed_seconds:.3f}s ({s.decisions_per_sec:.0f}/s), "
+                f"{s.sleep_prunes} sleep prunes, "
+                f"{s.fingerprint_hits} fingerprint hits, "
+                f"frontier depth {s.max_frontier_depth}")
+        report = "\n".join(lines)
+    out = _write_out(args.out, report)
+    if out is not None:
+        print(f"wrote {out}", file=sys.stderr)
     return 0 if trace.outcome == "done" else 1
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import json
+
+    from .problems import kernel_program, kernel_program_names
+    try:
+        program = kernel_program(args.problem)
+    except KeyError:
+        print(f"unknown problem {args.problem!r}; known: "
+              + ", ".join(kernel_program_names()), file=sys.stderr)
+        return 2
+    if args.explore:
+        from .verify import explore
+        res = explore(program, max_runs=args.max_runs, reduce=True,
+                      monitors=True)
+        hazards = res.hazards
+        summary = f"{args.problem}: {res.summary()}"
+    else:
+        from .core.policy import RandomPolicy
+        from .core.scheduler import Scheduler
+        from .obs import MonitorBus
+        bus = MonitorBus()
+        policy = RandomPolicy(args.seed) if args.seed is not None else None
+        sched = Scheduler(policy, raise_on_deadlock=False,
+                          raise_on_failure=False, monitors=bus)
+        program(sched)
+        trace = sched.run()
+        hazards = bus.hazards
+        summary = (f"{args.problem}: 1 run, outcome {trace.outcome}, "
+                   f"{len(trace.events)} steps")
+    flagged = any(h.severity in ("error", "warning") for h in hazards)
+    if args.json:
+        print(json.dumps({
+            "problem": args.problem,
+            "explored": bool(args.explore),
+            "flagged": flagged,
+            "hazards": [{"kind": h.kind, "severity": h.severity,
+                         "message": h.message, "step": h.step,
+                         "tasks": list(h.tasks),
+                         "objects": list(h.objects),
+                         "refutes": list(h.refutes)} for h in hazards],
+        }, sort_keys=True))
+    else:
+        print(summary)
+        if hazards:
+            for h in hazards:
+                print(h.describe())
+        else:
+            print("no hazards detected")
+    return 1 if flagged else 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .problems import kernel_program, kernel_program_names
+    try:
+        program = kernel_program(args.problem)
+    except KeyError:
+        print(f"unknown problem {args.problem!r}; known: "
+              + ", ".join(kernel_program_names()), file=sys.stderr)
+        return 2
+    from .obs import explain_program, html_report
+    explanation = explain_program(program, max_runs=args.max_runs)
+    if explanation is None:
+        print(f"{args.problem}: no violation found "
+              f"(within {args.max_runs} runs)")
+        return 0
+    text = (html_report(explanation,
+                        title=f"{args.problem}: {explanation.kind}")
+            if args.html else explanation.narrative())
+    out = _write_out(args.out, text)
+    if out is not None:
+        print(f"wrote {out} ({explanation.kind}; minimized to "
+              f"{len(explanation.schedule)} decisions from "
+              f"{len(explanation.original_schedule)}; "
+              f"{explanation.replays} replays)", file=sys.stderr)
+    return 1
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
@@ -261,6 +388,9 @@ def main(argv: list[str] | None = None) -> int:
                        help="random schedule seed (default: fair RR)")
     p_run.add_argument("--json", action="store_true",
                        help="machine-readable result on stdout")
+    p_run.add_argument("--monitor", action="store_true",
+                       help="attach the online hazard monitors; exit "
+                            "non-zero if any error/warning hazard fires")
     p_run.set_defaults(fn=_cmd_run)
 
     p_out = sub.add_parser("outputs",
@@ -290,7 +420,8 @@ def main(argv: list[str] | None = None) -> int:
         "trace", help="export one run of a kernel problem as a trace file")
     p_trace.add_argument("problem",
                          help="problem name (see repro.problems)")
-    p_trace.add_argument("--out", required=True, help="output file path")
+    p_trace.add_argument("--out", required=True,
+                         help="output file path ('-' for stdout)")
     p_trace.add_argument("--format", choices=("chrome", "jsonl"),
                          default="chrome",
                          help="chrome trace_event JSON (default) or JSONL")
@@ -312,7 +443,37 @@ def main(argv: list[str] | None = None) -> int:
                          help="also explore the schedule space (reduced)")
     p_stats.add_argument("--max-runs", type=int, default=20_000,
                          help="exploration budget for --explore")
+    p_stats.add_argument("--out", default="-",
+                         help="report destination (default '-': stdout)")
     p_stats.set_defaults(fn=_cmd_stats)
+
+    p_mon = sub.add_parser(
+        "monitor", help="watch a kernel problem with the hazard monitors")
+    p_mon.add_argument("problem",
+                       help="problem name (see repro.problems; "
+                            "'bug:<id>' for gallery bugs)")
+    p_mon.add_argument("--explore", action="store_true",
+                       help="monitor every schedule, not just one run")
+    p_mon.add_argument("--seed", type=int, default=None,
+                       help="random schedule seed for the single run")
+    p_mon.add_argument("--max-runs", type=int, default=20_000,
+                       help="exploration budget for --explore")
+    p_mon.add_argument("--json", action="store_true",
+                       help="machine-readable hazard list on stdout")
+    p_mon.set_defaults(fn=_cmd_monitor)
+
+    p_exp = sub.add_parser(
+        "explain", help="minimize and explain a violating schedule")
+    p_exp.add_argument("problem",
+                       help="problem name (see repro.problems; "
+                            "'bug:<id>' for gallery bugs)")
+    p_exp.add_argument("--out", default="-",
+                       help="report destination (default '-': stdout)")
+    p_exp.add_argument("--html", action="store_true",
+                       help="self-contained HTML report instead of text")
+    p_exp.add_argument("--max-runs", type=int, default=20_000,
+                       help="exploration budget for the violation hunt")
+    p_exp.set_defaults(fn=_cmd_explain)
 
     p_study = sub.add_parser("study", help="run the full §V study")
     p_study.add_argument("--seed", type=int, default=None)

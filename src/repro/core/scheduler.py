@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs.metrics import KernelMetrics
+    from ..obs.monitors import MonitorBus
 
 from .clock import VectorClock
 from .effects import (EMPTY_FOOTPRINT, Access, AccessKind, Acquire, Choice,
@@ -85,6 +86,14 @@ class Scheduler:
         message latency, per-task run/block ticks) as it executes.
         When None (default) the only cost is one ``is None`` test per
         step — instrumentation never changes scheduling decisions.
+    monitors:
+        Optional :class:`repro.obs.MonitorBus`.  When given, every
+        executed step's :class:`TraceEvent` is fed to the bus online
+        (together with the names of the then-runnable tasks), and the
+        run's outcome is delivered via ``bus.finish`` when :meth:`run`
+        returns normally.  Guarded by the same single ``is None`` test
+        as ``metrics`` — detectors observe the event stream only and
+        can never perturb scheduling, fingerprints or sleep sets.
     """
 
     def __init__(self,
@@ -96,7 +105,8 @@ class Scheduler:
                  track_clocks: bool = True,
                  record_enabled: bool = False,
                  step_hook: Optional[Callable[["Scheduler"], bool]] = None,
-                 metrics: Optional["KernelMetrics"] = None):
+                 metrics: Optional["KernelMetrics"] = None,
+                 monitors: Optional["MonitorBus"] = None):
         self.policy = policy or RoundRobinPolicy()
         self.raise_on_deadlock = raise_on_deadlock
         self.raise_on_failure = raise_on_failure
@@ -105,6 +115,7 @@ class Scheduler:
         self.record_enabled = record_enabled
         self.step_hook = step_hook
         self.metrics = metrics
+        self.monitors = monitors
         #: optional program-provided callable exposing shared state to
         #: :meth:`fingerprint` (set it inside the program callable)
         self.fingerprint_extra: Optional[Callable[[], Any]] = None
@@ -257,6 +268,11 @@ class Scheduler:
         if self.trace.outcome == "done" and any(
                 t.state is TaskState.FAILED for t in self.tasks):
             self.trace.outcome = "failed"
+        if self.monitors is not None:
+            # end-of-run detectors (deadlock cycles, lost wakeups) fire
+            # here; raise_on_* exits skip them — hazard hunting runs
+            # with raise_on_deadlock/failure=False, as explore() does
+            self.monitors.finish(self.trace.outcome, self.trace.detail)
         return self.trace
 
     def _close_leftover_generators(self) -> None:
@@ -282,6 +298,11 @@ class Scheduler:
         task = tr.task
         value: Any = None
         payload_repr: Optional[str] = None
+        ready_names: tuple = ()
+        if self.monitors is not None:
+            # runnable tasks at choice time (starvation monitoring)
+            ready_names = tuple(t.name for t in self.tasks
+                                if t.state is TaskState.READY)
         self._evt_obj_name = None
         self._evt_msg_seq = None
         self._evt_recv_seq = None
@@ -432,6 +453,8 @@ class Scheduler:
             recv_seq=self._evt_recv_seq,
             recv_mbox=self._evt_recv_mbox,
         ))
+        if self.monitors is not None:
+            self.monitors.feed(self.trace.events[-1], ready_names)
 
         if task.state is TaskState.FAILED and self.raise_on_failure:
             raise TaskFailed(task.name, task.error)  # type: ignore[arg-type]

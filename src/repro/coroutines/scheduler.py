@@ -91,6 +91,8 @@ class CoTask:
     def __init__(self, gen: Generator, name: str = ""):
         CoTask._counter += 1
         self.name = name or f"cotask-{CoTask._counter}"
+        #: spawn-order index within one scheduler (monitor-bus identity)
+        self.ltid = -1
         self.gen = gen
         self.done = False
         self.result: Any = None
@@ -123,19 +125,31 @@ class CoScheduler:
     ``context_switches``, ``parks``, ``wakes``, ``tasks_spawned``,
     ``tasks_finished`` and per-task step counts — logical quantities
     only, so snapshots are identical across runs of the same program.
+
+    ``monitors`` takes an optional :class:`repro.obs.MonitorBus`: each
+    step is synthesized into a kernel-shaped
+    :class:`~repro.core.trace.TraceEvent` (effects ``pause`` / ``park``
+    / ``wake n`` / ``join x`` / ``return`` / ``raise E``) and fed to
+    the bus, so cross-model detectors — starvation, task failure,
+    deadlock reporting — watch cooperative programs too.
+    :meth:`run` delivers the outcome via ``bus.finish``;
+    :meth:`run_until` does not (the run is intentionally partial).
     """
 
-    def __init__(self, metrics: Optional[Any] = None) -> None:
+    def __init__(self, metrics: Optional[Any] = None,
+                 monitors: Optional[Any] = None) -> None:
         self.ready: deque[CoTask] = deque()
         self.tasks: list[CoTask] = []
         self.steps = 0
         self.metrics = metrics
+        self.monitors = monitors
         self._last_stepped: Optional[CoTask] = None
 
     def spawn(self, fn: Callable[..., Generator] | Generator, *args: Any,
               name: str = "", **kwargs: Any) -> CoTask:
         gen = fn(*args, **kwargs) if inspect.isgeneratorfunction(fn) else fn
         task = CoTask(gen, name=name or getattr(fn, "__name__", ""))
+        task.ltid = len(self.tasks)
         self.tasks.append(task)
         self.ready.append(task)
         if self.metrics is not None:
@@ -156,8 +170,14 @@ class CoScheduler:
             self._step(task)
         leftover = [t for t in self.tasks if not t.done]
         if leftover:
-            raise CoDeadlock(
-                "parked forever: " + ", ".join(t.name for t in leftover))
+            detail = "parked forever: " + ", ".join(t.name for t in leftover)
+            if self.monitors is not None:
+                self.monitors.finish("deadlock", detail)
+            raise CoDeadlock(detail)
+        if self.monitors is not None:
+            failed = any(t.error is not None and not t.error_observed
+                         for t in self.tasks)
+            self.monitors.finish("failed" if failed else "done")
         for t in self.tasks:
             if t.error is not None and not t.error_observed:
                 raise t.error
@@ -184,20 +204,29 @@ class CoScheduler:
                 m.inc("context_switches")
             self._last_stepped = task
             m.task_add(task.name, "steps", 1)
+        ready_names: tuple = ()
+        if self.monitors is not None:
+            # runnable set at choice time: the stepped task + the queue
+            ready_names = (task.name,) + tuple(t.name for t in self.ready)
         value, task._send_value = task._send_value, None
         try:
             marker = task.gen.send(value)
         except StopIteration as stop:
             self._finish(task, result=stop.value)
+            self._feed_monitors(task, "return", ready_names)
             return
         except BaseException as exc:  # noqa: BLE001 - task code may raise
             self._finish(task, error=exc)
+            self._feed_monitors(task, f"raise {type(exc).__name__}",
+                                ready_names)
             return
 
         if marker is None or isinstance(marker, _Pause):
             self.ready.append(task)
+            desc = "pause"
         elif isinstance(marker, _Park):
             marker.waitlist.append(task)
+            desc = "park"
             if m is not None:
                 m.inc("parks")
         elif isinstance(marker, _Wake):
@@ -206,6 +235,7 @@ class CoScheduler:
             del marker.waitlist[:len(woken)]
             self.ready.extend(woken)
             self.ready.append(task)
+            desc = f"wake {len(woken)}"
             if m is not None and woken:
                 m.inc("wakes", len(woken))
         elif isinstance(marker, _Join):
@@ -213,9 +243,22 @@ class CoScheduler:
                 self.ready.append(task)
             else:
                 marker.task.joiners.append(task)
+            desc = f"join {marker.task.name}"
         else:
             self._finish(task, error=TypeError(
                 f"{task.name} yielded unknown marker {marker!r}"))
+            desc = "raise TypeError"
+        self._feed_monitors(task, desc, ready_names)
+
+    def _feed_monitors(self, task: CoTask, desc: str,
+                       ready_names: tuple) -> None:
+        if self.monitors is None:
+            return
+        from ..core.trace import TraceEvent
+        self.monitors.feed(TraceEvent(
+            step=self.steps, task_tid=task.ltid, task_name=task.name,
+            kind="run", effect_repr=desc, chosen_index=0, fanout=1,
+            task_ltid=task.ltid), ready_names)
 
     def _finish(self, task: CoTask, result: Any = None,
                 error: Optional[BaseException] = None) -> None:

@@ -9,7 +9,8 @@
 """
 
 from .catalog import (CATALOG, MP_IDS, PAPER_COHORT_SIZE, SM_IDS,
-                      Misconception, by_id)
+                      WITNESS_REFUTATIONS, Misconception, by_id,
+                      refuted_by)
 from .semantics import answer_delta, mp_flags_for, mutated_lts, sm_flags_for
 from .student import SimulatedStudent, StudentAnswer, translate_question
 from .taxonomy import LEVELS, Level, level_of
@@ -17,7 +18,7 @@ from .taxonomy import LEVELS, Level, level_of
 __all__ = [
     "Level", "LEVELS", "level_of",
     "Misconception", "CATALOG", "MP_IDS", "SM_IDS", "by_id",
-    "PAPER_COHORT_SIZE",
+    "refuted_by", "WITNESS_REFUTATIONS", "PAPER_COHORT_SIZE",
     "sm_flags_for", "mp_flags_for", "mutated_lts", "answer_delta",
     "SimulatedStudent", "StudentAnswer", "translate_question",
 ]

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 __all__ = ["Misconception", "CATALOG", "MP_IDS", "SM_IDS", "by_id",
-           "PAPER_COHORT_SIZE"]
+           "refuted_by", "WITNESS_REFUTATIONS", "PAPER_COHORT_SIZE"]
 
 #: students who completed Test 1 (9 in group S + 7 in group D)
 PAPER_COHORT_SIZE = 16
@@ -146,3 +146,24 @@ def by_id(mid: str) -> Misconception:
     except KeyError:
         raise KeyError(f"unknown misconception {mid!r}; known: "
                        f"{sorted(_BY_ID)}") from None
+
+
+#: monitor-bus witness hazard kind → misconceptions it refutes.  A
+#: witness is an *observed execution fact* incompatible with the
+#: misconception's mutated semantics: e.g. any out-of-send-order
+#: delivery refutes M5's FIFO world for the run at hand.  The shipped
+#: detectors stamp these ids on their info hazards
+#: (:class:`repro.obs.Hazard` ``.refutes``); this table is the inverse
+#: lookup, kept here so the catalog stays the single source of truth.
+WITNESS_REFUTATIONS: dict[str, tuple[str, ...]] = {
+    "message-reorder": ("M5",),
+    "witness-async-send": ("M3",),
+    "witness-wait-releases": ("S6",),
+}
+
+
+def refuted_by(hazard_kind: str) -> tuple[Misconception, ...]:
+    """Misconceptions a witness hazard of ``hazard_kind`` refutes
+    (empty for non-witness kinds)."""
+    return tuple(by_id(mid)
+                 for mid in WITNESS_REFUTATIONS.get(hazard_kind, ()))

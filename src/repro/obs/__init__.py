@@ -13,14 +13,45 @@ schedules are reachable.  This subsystem makes every layer observable:
   :class:`~repro.core.trace.Trace` as Chrome ``trace_event`` JSON (one
   lane per task, flow arrows for message send→receive; opens in
   ``chrome://tracing`` and Perfetto) or as a JSONL structured-event
-  stream.
+  stream;
+* :class:`MonitorBus` + the shipped :class:`Detector` set — online
+  hazard monitors fed each :class:`~repro.core.trace.TraceEvent` as it
+  happens (``Scheduler(monitors=...)`` /
+  ``explore(..., monitors=True)``): deadlock cycles, lost wakeups,
+  starvation, message reordering / mailbox saturation, data races,
+  task failures, and misconception-refuting witnesses;
+* :func:`explain_program` / :func:`explain_trace` — causal
+  counterexample explanation for explorer violations: delta-debugging
+  schedule minimization, the critical racing transition pair, and a
+  narrative rendered as text or a self-contained HTML report
+  (:func:`html_report`).
 
 Collection is strictly opt-in: a scheduler created without
-``metrics=`` executes the exact same instruction sequence with no
-bookkeeping beyond a single ``is None`` test per step.
+``metrics=``/``monitors=`` executes the exact same instruction
+sequence with no bookkeeping beyond a single ``is None`` test per
+step, and the monitors reconstruct kernel state purely from the event
+stream — they can never perturb scheduling, fingerprints or sleep
+sets.
 """
 
+from .explain import (CriticalPair, Explanation, explain_program,
+                      explain_trace, find_critical_pair,
+                      minimize_schedule)
 from .export import chrome_trace, jsonl_events
 from .metrics import Histogram, KernelMetrics
+from .monitors import (DeadlockDetector, Detector, FailureDetector, Hazard,
+                       KernelView, LostWakeupDetector, MessageOrderDetector,
+                       MonitorBus, RaceDetector, StarvationDetector,
+                       WitnessDetector, default_detectors, trace_locksets)
+from .report import html_report
 
-__all__ = ["Histogram", "KernelMetrics", "chrome_trace", "jsonl_events"]
+__all__ = [
+    "Histogram", "KernelMetrics", "chrome_trace", "jsonl_events",
+    "Hazard", "KernelView", "Detector", "MonitorBus",
+    "DeadlockDetector", "LostWakeupDetector", "StarvationDetector",
+    "MessageOrderDetector", "RaceDetector", "FailureDetector",
+    "WitnessDetector", "default_detectors", "trace_locksets",
+    "Explanation", "CriticalPair", "minimize_schedule",
+    "find_critical_pair", "explain_trace", "explain_program",
+    "html_report",
+]

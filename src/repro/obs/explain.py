@@ -1,0 +1,315 @@
+"""Causal counterexample explanation for explorer violations.
+
+``explore()`` answers *whether* a violation is reachable and hands back
+a witness schedule; this module answers *why*.  Three stages:
+
+1. **Minimization** (:func:`minimize_schedule`) — delta-debugging in
+   decision space: truncate the schedule prefix (the first-choice tail
+   re-completes the run) and zero out individual decisions, keeping any
+   mutation under which the violation still replays, iterated to a
+   fixpoint.  Every candidate is *re-executed*, so the minimized
+   schedule is a real execution by construction.
+2. **Critical pair** (:func:`find_critical_pair`) — the deepest
+   decision of the minimized run where choosing a different enabled
+   transition avoids the violation.  The transition executed there and
+   the alternative that would have saved the run are the racing pair:
+   before it the violation was avoidable, after it every explored
+   continuation fails.
+3. **Narrative** (:class:`Explanation`) — the minimized schedule, the
+   critical pair, and the hazards the monitor bus raised on the minimal
+   run, rendered as text (:meth:`Explanation.narrative`) or as a
+   self-contained HTML report (:meth:`Explanation.to_html`).
+
+Entry point: :func:`explain_program` explores a program, picks the
+first deadlock/failure witness, and explains it — what the CLI's
+``repro explain`` command prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..core.errors import ReplayError
+from ..core.trace import Trace, TraceEvent
+from .monitors import MonitorBus
+
+__all__ = ["Explanation", "CriticalPair", "minimize_schedule",
+           "find_critical_pair", "explain_trace", "explain_program"]
+
+#: predicate over (trace, observation): True = the violation is present
+Predicate = Callable[[Trace, Any], bool]
+
+
+def _run(program, schedule, max_steps):
+    """Replay one candidate schedule; ReplayError = infeasible mutant."""
+    from ..verify.explorer import run_schedule
+    try:
+        return run_schedule(program, list(schedule), max_steps=max_steps)
+    except ReplayError:
+        return None, None
+
+
+@dataclass(frozen=True)
+class CriticalPair:
+    """The last decision where the violation was still avoidable."""
+
+    #: index into the minimized trace's event list
+    step: int
+    #: the transition the witness schedule executed there
+    chosen: TraceEvent
+    #: an alternative enabled at the same point that avoids the violation
+    alternative: TraceEvent
+    #: outcome of the run that takes the alternative
+    alternative_outcome: str
+
+    def describe(self) -> str:
+        return (f"critical decision at step {self.step + 1}: scheduling "
+                f"[{self.chosen.task_name}: {self.chosen.effect_repr}] "
+                f"instead of "
+                f"[{self.alternative.task_name}: "
+                f"{self.alternative.effect_repr}] "
+                f"(the alternative run ends "
+                f"{self.alternative_outcome!r})")
+
+
+@dataclass
+class Explanation:
+    """Everything the explanation engine learned about one violation."""
+
+    #: what was violated: "deadlock" | "failure" | caller-supplied label
+    kind: str
+    #: outcome detail of the minimized run (blocked-state listing, ...)
+    detail: str
+    #: the unminimized witness schedule explore() found
+    original_schedule: list
+    #: the minimized schedule (never longer than the original)
+    schedule: list
+    #: full replay of the minimized schedule
+    trace: Trace
+    #: frozen observation of the minimized run
+    observation: Any
+    critical: Optional[CriticalPair]
+    #: hazards the monitor bus raised on the minimized run
+    hazards: list = field(default_factory=list)
+    #: replays spent minimizing + locating the critical pair
+    replays: int = 0
+
+    # ------------------------------------------------------------------
+    def refuted_misconceptions(self) -> tuple:
+        ids = sorted({mid for h in self.hazards for mid in h.refutes})
+        return tuple(ids)
+
+    def narrative(self) -> str:
+        """The human-readable causal story of the violation."""
+        lines = [
+            f"counterexample: {self.kind}"
+            + (f" ({self.detail})" if self.detail else ""),
+            f"minimized schedule: {len(self.schedule)} decisions "
+            f"(witness had {len(self.original_schedule)}; "
+            f"{self.replays} replays spent)",
+            "",
+        ]
+        crit_at = self.critical.step if self.critical is not None else -1
+        for i, event in enumerate(self.trace.events):
+            marker = ">" if i == crit_at else " "
+            lines.append(f" {marker} {event.describe()}")
+        lines.append(f"   outcome: {self.trace.outcome}"
+                     + (f" ({self.trace.detail})"
+                        if self.trace.detail else ""))
+        if self.critical is not None:
+            lines += [
+                "",
+                self.critical.describe(),
+                "   Up to that point the violation was avoidable; once "
+                "the marked transition runs, every explored continuation "
+                "reaches it.",
+            ]
+        if self.hazards:
+            lines.append("")
+            lines.append("hazards on the minimal run:")
+            lines += [f"  {h.describe()}" for h in self.hazards]
+        refuted = self.refuted_misconceptions()
+        if refuted:
+            from ..misconceptions.catalog import by_id
+            lines.append("")
+            lines.append("misconceptions this execution refutes:")
+            lines += [f"  {mid}: {by_id(mid).description}"
+                      for mid in refuted]
+        return "\n".join(lines)
+
+    def to_html(self, title: str = "Counterexample explanation") -> str:
+        """Self-contained HTML report (see :mod:`repro.obs.report`)."""
+        from .report import html_report
+        return html_report(self, title=title)
+
+
+# ===========================================================================
+# stage 1: delta-debugging minimization
+# ===========================================================================
+
+def minimize_schedule(program, schedule: list, predicate: Predicate,
+                      *, max_steps: int = 200_000,
+                      max_replays: int = 2000
+                      ) -> tuple[list, Trace, Any, int]:
+    """Shrink ``schedule`` while ``predicate(trace, obs)`` keeps holding.
+
+    Two reduction moves, iterated to a fixpoint (or ``max_replays``):
+
+    * *truncation* — drop a schedule suffix and let the deterministic
+      first-choice tail complete the run (largest cut first, binary
+      style);
+    * *zeroing* — set one decision to 0, merging that branch into the
+      tail's default path (shorter descriptions, fewer forced switches).
+
+    Returns ``(schedule, trace, obs, replays)`` for the minimal form.
+    The result always still satisfies the predicate: every candidate is
+    re-executed and kept only on success.
+    """
+    replays = 0
+
+    def attempt(candidate):
+        nonlocal replays
+        replays += 1
+        trace, obs = _run(program, candidate, max_steps)
+        if trace is not None and predicate(trace, obs):
+            return trace, obs
+        return None
+
+    best = list(schedule)
+    hit = attempt(best)
+    if hit is None:
+        raise ValueError("schedule does not reproduce the violation")
+    best_trace, best_obs = hit
+    # the effective decision sequence can be shorter than the input
+    best = best_trace.schedule()
+
+    changed = True
+    while changed and replays < max_replays:
+        changed = False
+        # -- truncation: try big cuts first ----------------------------
+        cut = len(best) // 2
+        while cut >= 1 and replays < max_replays:
+            candidate = best[:len(best) - cut]
+            hit = attempt(candidate)
+            if hit is not None:
+                best = candidate
+                best_trace, best_obs = hit
+                changed = True
+                cut = min(cut, len(best) // 2)
+            else:
+                cut //= 2
+        # -- zeroing: default every remaining forced decision ----------
+        i = len(best) - 1
+        while i >= 0 and replays < max_replays:
+            if best[i] != 0:
+                candidate = best[:i] + [0] + best[i + 1:]
+                hit = attempt(candidate)
+                if hit is not None:
+                    best = candidate
+                    best_trace, best_obs = hit
+                    changed = True
+            i -= 1
+        # trailing zeros are the tail policy's defaults: drop them
+        while best and best[-1] == 0:
+            shorter = best[:-1]
+            hit = attempt(shorter)
+            if hit is None:
+                break
+            best = shorter
+            best_trace, best_obs = hit
+            changed = True
+
+    return best, best_trace, best_obs, replays
+
+
+# ===========================================================================
+# stage 2: the critical transition pair
+# ===========================================================================
+
+def find_critical_pair(program, trace: Trace, predicate: Predicate,
+                       *, max_steps: int = 200_000
+                       ) -> tuple[Optional[CriticalPair], int]:
+    """Deepest decision of ``trace`` where an alternative avoids the
+    violation; ``(None, replays)`` when every explored flip still fails
+    (the violation is then already inevitable at the start)."""
+    schedule = trace.schedule()
+    replays = 0
+    for depth in range(len(trace.events) - 1, -1, -1):
+        event = trace.events[depth]
+        for alt in range(event.fanout):
+            if alt == event.chosen_index:
+                continue
+            replays += 1
+            alt_trace, alt_obs = _run(
+                program, schedule[:depth] + [alt], max_steps)
+            if alt_trace is None or len(alt_trace.events) <= depth:
+                continue
+            if not predicate(alt_trace, alt_obs):
+                return CriticalPair(
+                    step=depth,
+                    chosen=event,
+                    alternative=alt_trace.events[depth],
+                    alternative_outcome=alt_trace.outcome), replays
+    return None, replays
+
+
+# ===========================================================================
+# stage 3: assembly
+# ===========================================================================
+
+def explain_trace(program, witness: Trace, predicate: Predicate,
+                  *, kind: str = "violation", max_steps: int = 200_000,
+                  detectors=None) -> Explanation:
+    """Explain one witness trace of ``program`` (see module docstring)."""
+    schedule, trace, obs, replays = minimize_schedule(
+        program, witness.schedule(), predicate, max_steps=max_steps)
+    critical, pair_replays = find_critical_pair(
+        program, trace, predicate, max_steps=max_steps)
+    bus = MonitorBus(detectors)
+    bus.scan(trace)
+    return Explanation(
+        kind=kind, detail=trace.detail,
+        original_schedule=witness.schedule(), schedule=schedule,
+        trace=trace, observation=obs, critical=critical,
+        hazards=list(bus.hazards), replays=replays + pair_replays)
+
+
+def explain_program(program, *, kind: str = "auto",
+                    predicate: Optional[Predicate] = None,
+                    max_runs: int = 20_000, max_steps: int = 200_000,
+                    reduce="all") -> Optional[Explanation]:
+    """Explore ``program`` and explain its first violation.
+
+    With the default ``kind="auto"``, a deadlock witness is preferred,
+    then a task-failure witness; ``predicate`` (over ``(trace, obs)``)
+    overrides the violation test entirely, in which case the witness
+    search scans all recorded witnesses too.  Returns None when no
+    violation was found within the budget.
+    """
+    from ..verify.explorer import explore
+    result = explore(program, max_runs=max_runs, max_steps=max_steps,
+                     reduce=reduce)
+    witness: Optional[Trace] = None
+    if predicate is not None:
+        for candidate in (*result.deadlocks, *result.failures,
+                          *result.witnesses.values()):
+            obs = None
+            if predicate(candidate, obs):
+                witness = candidate
+                break
+        label = kind if kind != "auto" else "predicate violation"
+    elif result.deadlocks:
+        witness = result.deadlocks[0]
+        predicate = lambda t, o: t.outcome == "deadlock"  # noqa: E731
+        label = "deadlock" if kind == "auto" else kind
+    elif result.failures:
+        witness = result.failures[0]
+        predicate = lambda t, o: t.outcome == "failed"  # noqa: E731
+        label = "task failure" if kind == "auto" else kind
+    else:
+        return None
+    if witness is None:
+        return None
+    return explain_trace(program, witness, predicate, kind=label,
+                         max_steps=max_steps)

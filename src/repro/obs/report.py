@@ -1,0 +1,121 @@
+"""Self-contained HTML rendering of an :class:`Explanation`.
+
+One file, no external assets: the report travels as a CI artifact or an
+email attachment and opens anywhere.  Layout: a summary strip (what was
+violated, schedule sizes, replay cost), the minimized schedule as a
+table with the critical decision highlighted, the causal narrative, the
+monitor-bus hazards colored by severity, and the refuted
+misconceptions.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .explain import Explanation
+
+__all__ = ["html_report"]
+
+_CSS = """
+ body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+        margin: 2rem auto; max-width: 62rem; color: #1a202c; }
+ h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 1.8rem; }
+ .cards { display: flex; gap: 1rem; flex-wrap: wrap; }
+ .card { background: #f7fafc; border: 1px solid #e2e8f0; border-radius: 6px;
+         padding: .6rem 1rem; }
+ .card .k { font-size: .75rem; color: #718096; text-transform: uppercase; }
+ .card .v { font-size: 1.1rem; font-weight: 600; }
+ table { border-collapse: collapse; width: 100%; font-size: .85rem; }
+ th, td { text-align: left; padding: .25rem .6rem;
+          border-bottom: 1px solid #edf2f7; font-family: ui-monospace,
+          SFMono-Regular, Menlo, monospace; }
+ th { background: #edf2f7; font-family: inherit; }
+ tr.critical td { background: #fff5f5; border-top: 2px solid #e53e3e;
+                  border-bottom: 2px solid #e53e3e; font-weight: 600; }
+ .haz { margin: .3rem 0; padding: .45rem .8rem; border-radius: 4px;
+        font-size: .9rem; }
+ .haz.error { background: #fff5f5; border-left: 4px solid #e53e3e; }
+ .haz.warning { background: #fffaf0; border-left: 4px solid #dd6b20; }
+ .haz.info { background: #ebf8ff; border-left: 4px solid #3182ce; }
+ pre { background: #f7fafc; border: 1px solid #e2e8f0; border-radius: 6px;
+       padding: 1rem; overflow-x: auto; font-size: .8rem; }
+ .muted { color: #718096; }
+"""
+
+
+def _card(label: str, value) -> str:
+    return (f'<div class="card"><div class="k">{escape(label)}</div>'
+            f'<div class="v">{escape(str(value))}</div></div>')
+
+
+def html_report(explanation: "Explanation",
+                title: str = "Counterexample explanation") -> str:
+    """Render ``explanation`` as one self-contained HTML document."""
+    exp = explanation
+    crit_at = exp.critical.step if exp.critical is not None else -1
+
+    rows = []
+    for i, event in enumerate(exp.trace.events):
+        cls = ' class="critical"' if i == crit_at else ""
+        rows.append(
+            f"<tr{cls}><td>{event.step}</td>"
+            f"<td>{escape(event.task_name)}</td>"
+            f"<td>{escape(event.kind)}</td>"
+            f"<td>{escape(event.effect_repr)}</td>"
+            f"<td>{event.chosen_index + 1}/{event.fanout}</td></tr>")
+
+    hazard_divs = [
+        f'<div class="haz {escape(h.severity)}">{escape(h.describe())}'
+        "</div>"
+        for h in exp.hazards
+    ] or ['<p class="muted">no hazards raised on the minimal run</p>']
+
+    critical_html = ""
+    if exp.critical is not None:
+        critical_html = (
+            "<h2>Critical transition pair</h2>"
+            f"<p>{escape(exp.critical.describe())}</p>"
+            '<p class="muted">Up to that decision the violation was '
+            "avoidable; once the highlighted transition runs, every "
+            "explored continuation reaches it.</p>")
+
+    refuted = exp.refuted_misconceptions()
+    refuted_html = ""
+    if refuted:
+        from ..misconceptions.catalog import by_id
+        items = "".join(
+            f"<li><b>{escape(mid)}</b>: "
+            f"{escape(by_id(mid).description)}</li>" for mid in refuted)
+        refuted_html = ("<h2>Misconceptions this execution refutes</h2>"
+                        f"<ul>{items}</ul>")
+
+    return f"""<!doctype html>
+<html lang="en"><head><meta charset="utf-8">
+<title>{escape(title)}</title>
+<style>{_CSS}</style></head>
+<body>
+<h1>{escape(title)}</h1>
+<div class="cards">
+{_card("violation", exp.kind)}
+{_card("minimized decisions", len(exp.schedule))}
+{_card("witness decisions", len(exp.original_schedule))}
+{_card("replays spent", exp.replays)}
+{_card("outcome", exp.trace.outcome)}
+</div>
+{critical_html}
+<h2>Minimized schedule</h2>
+<table>
+<tr><th>step</th><th>task</th><th>kind</th><th>effect</th>
+<th>choice</th></tr>
+{"".join(rows)}
+</table>
+<p class="muted">{escape(exp.trace.detail or "")}</p>
+<h2>Hazards on the minimal run</h2>
+{"".join(hazard_divs)}
+{refuted_html}
+<h2>Causal narrative</h2>
+<pre>{escape(exp.narrative())}</pre>
+</body></html>
+"""

@@ -44,6 +44,16 @@ def _bridge_2car(**kwargs):
         cars=(("redCarA", "red"), ("blueCarA", "blue")), **kwargs)
 
 
+def _bridge_bug(**kwargs):
+    """The barging bridge: if-guarded wait, two opposing cars, two
+    crossings each — the smallest configuration where a stale wakeup
+    trips the collision sensor."""
+    kwargs.setdefault("cars", (("redCarA", "red"), ("blueCarA", "blue")))
+    kwargs.setdefault("crossings", 2)
+    kwargs.setdefault("guard", "if")
+    return single_lane_bridge.bridge_program(**kwargs)
+
+
 #: problem name → kernel-program factory (call it, optionally with the
 #: factory's own keyword arguments, to get a ``program(sched)`` callable)
 _KERNEL_PROGRAMS: dict[str, Callable] = {
@@ -51,6 +61,7 @@ _KERNEL_PROGRAMS: dict[str, Callable] = {
     "bridge": single_lane_bridge.bridge_program,
     "single_lane_bridge": single_lane_bridge.bridge_program,
     "bridge_2car": _bridge_2car,
+    "bridge_bug": _bridge_bug,
     "dining_philosophers": dining_philosophers.philosophers_program,
     "party_matching": party_matching.party_program,
     "pingpong": pingpong.pingpong_program,
@@ -61,16 +72,34 @@ _KERNEL_PROGRAMS: dict[str, Callable] = {
 
 
 def kernel_program_names() -> list[str]:
-    """Names accepted by :func:`kernel_program`, sorted."""
-    return sorted(_KERNEL_PROGRAMS)
+    """Names accepted by :func:`kernel_program`, sorted.
+
+    Includes a ``bug:<id>`` entry per bug-gallery specimen (the buggy
+    variant), so CLI tools can trace/monitor/explain gallery bugs by
+    name."""
+    from .bug_gallery import BUG_IDS
+    return sorted(_KERNEL_PROGRAMS) + [f"bug:{b}" for b in BUG_IDS]
 
 
 def kernel_program(name: str, **kwargs) -> Callable:
     """Build the kernel program for ``name`` (see module table).
 
     Keyword arguments pass through to the problem's factory (sizes,
-    policies...).  Raises ``KeyError`` with the known names on a miss.
+    policies...).  ``bug:<id>`` names resolve to the gallery bug's
+    buggy program (no keyword arguments accepted).  Raises ``KeyError``
+    with the known names on a miss.
     """
+    if name.startswith("bug:"):
+        from .bug_gallery import gallery
+        for spec in gallery():
+            if spec.bug_id == name[4:]:
+                if kwargs:
+                    raise TypeError(
+                        f"{name!r} takes no keyword arguments")
+                return spec.buggy
+        raise KeyError(
+            f"unknown kernel program {name!r}; known: "
+            + ", ".join(kernel_program_names())) from None
     try:
         factory = _KERNEL_PROGRAMS[name]
     except KeyError:

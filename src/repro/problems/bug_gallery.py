@@ -19,11 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from ..core import (Access, AccessKind, Acquire, Emit, Notify, Pause,
+from ..core import (Access, AccessKind, Acquire, Notify, Pause,
                     Release, Scheduler, SimLock, SimMonitor, Wait)
 from ..verify import explore, find_races_program
+from .single_lane_bridge import bridge_program
 
-__all__ = ["BugSpec", "gallery", "check_bug", "BUG_IDS"]
+__all__ = ["BugSpec", "gallery", "check_bug", "detect_bug", "BUG_IDS"]
 
 
 @dataclass(frozen=True)
@@ -31,13 +32,16 @@ class BugSpec:
     """One catalogued concurrency bug pattern."""
 
     bug_id: str
-    category: str              # atomicity | order | deadlock | liveness
+    category: str     # atomicity | order | deadlock | liveness | safety
     title: str
     story: str
     buggy: Callable[[Scheduler], Any]
     fixed: Callable[[Scheduler], Any]
     #: predicate over an ExplorationResult: True = the bug manifests
     manifests: Callable[[Any], bool]
+    #: hazard kinds at least one of which the monitor bus must report
+    #: when exploring the buggy program (the monitor regression fixture)
+    hazards: tuple[str, ...] = ()
 
 
 # ---------------------------------------------------------------------------
@@ -223,6 +227,7 @@ _GALLERY = (
         buggy=_cta_buggy, fixed=_cta_fixed,
         manifests=lambda res: any(slots < 0 or granted > 1
                                   for slots, granted in res.observations()),
+        hazards=("data-race",),
     ),
     BugSpec(
         bug_id="order-use-before-init",
@@ -233,6 +238,7 @@ _GALLERY = (
               "startup usually wins the race.",
         buggy=_order_buggy, fixed=_order_fixed,
         manifests=lambda res: None in res.observations(),
+        hazards=("data-race",),
     ),
     BugSpec(
         bug_id="deadlock-lock-ordering",
@@ -242,6 +248,7 @@ _GALLERY = (
               "opposite directions deadlock — the textbook ABBA hang.",
         buggy=_transfer_buggy, fixed=_transfer_fixed,
         manifests=lambda res: res.outcomes.get("deadlock", 0) > 0,
+        hazards=("deadlock", "lock-order-inversion"),
     ),
     BugSpec(
         bug_id="liveness-lost-wakeup",
@@ -253,6 +260,25 @@ _GALLERY = (
         buggy=_wakeup_buggy, fixed=_wakeup_fixed,
         manifests=lambda res: res.outcomes.get("deadlock", 0) > 0
         or any(obs is False for obs in res.observations()),
+        hazards=("lost-wakeup", "deadlock"),
+    ),
+    BugSpec(
+        bug_id="safety-bridge-barge",
+        category="safety",
+        title="IF-guarded bridge entry admits both directions",
+        story="The Test-1 bridge with the guard's WHILE replaced by IF: "
+              "a notified car re-enters without re-checking the "
+              "opposite-direction count, and the collision sensor "
+              "trips — the safety-violation twin of the lost wakeup.",
+        buggy=bridge_program(cars=(("redCarA", "red"), ("blueCarA", "blue")),
+                             crossings=2, guard="if"),
+        fixed=bridge_program(cars=(("redCarA", "red"), ("blueCarA", "blue")),
+                             crossings=2, guard="while"),
+        # the sensor releases the monitor before killing the car, so
+        # violating runs end "failed" and the surviving cars drive on
+        manifests=lambda res: res.outcomes.get("failed", 0) > 0
+        or any(audit is not None for audit, _ in res.observations()),
+        hazards=("task-failure",),
     ),
 )
 
@@ -264,16 +290,17 @@ def gallery() -> tuple[BugSpec, ...]:
     return _GALLERY
 
 
-def check_bug(spec: BugSpec, max_runs: int = 30_000) -> dict[str, Any]:
+def check_bug(spec: BugSpec, max_runs: int = 30_000,
+              reduce: str = "all") -> dict[str, Any]:
     """Demonstrate one gallery entry: the bug manifests in the buggy
     program under exhaustive exploration and not in the fixed one.
 
     Returns a report with both exploration summaries and, for
     atomicity entries, whether the race detector flagged the buggy
-    version.
+    version.  ``reduce`` passes through to :func:`repro.verify.explore`.
     """
-    buggy = explore(spec.buggy, max_runs=max_runs)
-    fixed = explore(spec.fixed, max_runs=max_runs)
+    buggy = explore(spec.buggy, max_runs=max_runs, reduce=reduce)
+    fixed = explore(spec.fixed, max_runs=max_runs, reduce=reduce)
     report = {
         "bug_id": spec.bug_id,
         "buggy_manifests": spec.manifests(buggy),
@@ -285,3 +312,31 @@ def check_bug(spec: BugSpec, max_runs: int = 30_000) -> dict[str, Any]:
         report["race_found"] = find_races_program(spec.buggy) is not None
         report["race_in_fix"] = find_races_program(spec.fixed) is not None
     return report
+
+
+def detect_bug(spec: BugSpec, max_runs: int = 30_000,
+               reduce: str = "all") -> dict[str, Any]:
+    """Run one gallery entry under the online monitor bus.
+
+    Explores the buggy program with ``monitors=True`` and reports the
+    hazard kinds the bus raised, whether they cover the entry's
+    expected ``spec.hazards``, and that the fixed program stays clean
+    of error/warning hazards.  This is the gallery's role as a monitor
+    regression fixture: every specimen must be flagged by at least one
+    shipped detector.
+    """
+    buggy = explore(spec.buggy, max_runs=max_runs, reduce=reduce,
+                    monitors=True)
+    fixed = explore(spec.fixed, max_runs=max_runs, reduce=reduce,
+                    monitors=True)
+    buggy_kinds = {hz.kind for hz in buggy.hazards}
+    fixed_serious = {hz.kind for hz in fixed.hazards
+                     if hz.severity in ("error", "warning")}
+    return {
+        "bug_id": spec.bug_id,
+        "hazard_kinds": sorted(buggy_kinds),
+        "expected": sorted(spec.hazards),
+        "detected": bool(buggy_kinds & set(spec.hazards)),
+        "fixed_hazard_kinds": sorted(fixed_serious),
+        "fixed_clean": not fixed_serious,
+    }

@@ -60,7 +60,7 @@ __all__ = [
     "SMFlags", "MPFlags", "DEFAULT_CARS",
     "sm_bridge_lts", "mp_bridge_lts", "bridge_invariant",
     "SM_PSEUDOCODE", "MP_PSEUDOCODE",
-    "bridge_program",
+    "BridgeCollision", "bridge_program",
     "run_threads_bridge", "run_actor_bridge", "run_coroutine_bridge",
     "check_crossing_log",
 ]
@@ -595,8 +595,17 @@ def check_crossing_log(log: list[tuple], cars: tuple[tuple[str, str], ...]
     return None
 
 
+class BridgeCollision(AssertionError):
+    """The bridge's collision sensor: both directions on at once.
+
+    Raised from inside a car task, so a colliding schedule ends with
+    outcome ``"failed"`` — the explorer files it under failures and the
+    monitor bus's :class:`~repro.obs.FailureDetector` flags it.
+    """
+
+
 def bridge_program(cars: tuple[tuple[str, str], ...] = DEFAULT_CARS,
-                   crossings: int = 1):
+                   crossings: int = 1, guard: str = "while"):
     """Kernel program (for :func:`repro.verify.explore`): the paper's
     shared-memory bridge on the deterministic scheduler.
 
@@ -607,6 +616,14 @@ def bridge_program(cars: tuple[tuple[str, str], ...] = DEFAULT_CARS,
     terminal outputs are crossing logs and the explorer's witness
     machinery can answer "could scenario X happen?".
 
+    ``guard`` selects the wait discipline: ``"while"`` is the paper's
+    correct re-checked loop; ``"if"`` checks the condition only once
+    (the classic barging bug — a notified car re-enters without
+    re-testing, so two opposing cars can share the bridge).  An
+    on-entry collision sensor raises :class:`BridgeCollision` the
+    moment both directions are on, making the violation a task
+    failure rather than only a bad terminal output.
+
     Observation: ``(audit, crossed)`` — the
     :func:`check_crossing_log` verdict (None = safe) and how many
     cars are still on the bridge at the end (always 0 on completion).
@@ -615,6 +632,8 @@ def bridge_program(cars: tuple[tuple[str, str], ...] = DEFAULT_CARS,
     ``sched.fingerprint_extra``, so the fingerprint reduction is sound
     on this program.
     """
+    if guard not in ("while", "if"):
+        raise ValueError(f"guard must be 'while' or 'if', not {guard!r}")
 
     def program(sched: Scheduler):
         monitor = SimMonitor("EXC_ACC")
@@ -626,8 +645,21 @@ def bridge_program(cars: tuple[tuple[str, str], ...] = DEFAULT_CARS,
             for _ in range(crossings):
                 # <color>Enter()
                 yield Acquire(monitor)
-                while counts[other] > 0:
-                    yield Wait(monitor)
+                if guard == "while":
+                    while counts[other] > 0:
+                        yield Wait(monitor)
+                elif counts[other] > 0:
+                    yield Wait(monitor)   # no re-check on wakeup
+                if counts[other] > 0:
+                    # collision sensor: trips before the car parks on
+                    # the bridge, and releases the monitor first so the
+                    # surviving cars can drive on — the violating
+                    # schedule ends "failed" instead of wedging every
+                    # other car on a lock held by a dead task
+                    yield Release(monitor)
+                    raise BridgeCollision(
+                        f"{name} entered with {counts[other]} "
+                        f"{other} car(s) on the bridge")
                 counts[color] += 1
                 log.append((name, "enter-bridge"))
                 yield Emit((name, "enter-bridge"))

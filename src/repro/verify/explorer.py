@@ -45,11 +45,14 @@ from __future__ import annotations
 import time
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional, Union
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Union
 
 from ..core.policy import FixedPolicy, SchedulingPolicy, Transition
 from ..core.scheduler import Scheduler
 from ..core.trace import Trace, TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.monitors import MonitorBus
 
 __all__ = ["Program", "ExplorationResult", "ExplorationStats", "REDUCTIONS",
            "explore", "run_schedule"]
@@ -152,6 +155,11 @@ class ExplorationResult:
     #: search instrumentation (prune counts, frontier depth, throughput)
     stats: ExplorationStats = field(default_factory=ExplorationStats,
                                     compare=False)
+    #: deduplicated hazards the monitor bus raised across all runs
+    #: (only populated when explore() runs with ``monitors``)
+    hazards: list = field(default_factory=list, compare=False)
+    _hazard_seen: set = field(default_factory=set, repr=False,
+                              compare=False)
     #: output-string → witness index, built lazily on first lookup
     _witness_index: dict = field(default_factory=dict, repr=False, compare=False)
     _indexed: int = field(default=-1, repr=False, compare=False)
@@ -180,6 +188,13 @@ class ExplorationResult:
         if trace.outcome == "failed" and len(self.failures) < sample_limit:
             self.failures.append(trace)
 
+    def record_hazards(self, hazards: Iterable) -> None:
+        """Fold one run's monitor-bus hazards in (deduped by pattern)."""
+        for hz in hazards:
+            if hz.key not in self._hazard_seen:
+                self._hazard_seen.add(hz.key)
+                self.hazards.append(hz)
+
     def merge(self, other: "ExplorationResult", sample_limit: int = 16) -> None:
         """Fold another (e.g. per-subtree) result into this one."""
         self.runs += other.runs
@@ -196,6 +211,7 @@ class ExplorationResult:
             self.deadlocks.append(t)
         for t in other.failures[:max(0, sample_limit - len(self.failures))]:
             self.failures.append(t)
+        self.record_hazards(other.hazards)
 
     # -- convenience views ------------------------------------------------
     def output_sets(self) -> set[tuple]:
@@ -213,6 +229,13 @@ class ExplorationResult:
     @property
     def deadlock_possible(self) -> bool:
         return self.outcomes["deadlock"] > 0
+
+    def hazard_counts(self) -> dict[str, int]:
+        """Hazard kind → how many distinct patterns of it were seen."""
+        counts: dict[str, int] = {}
+        for hz in self.hazards:
+            counts[hz.kind] = counts.get(hz.kind, 0) + 1
+        return counts
 
     def witness_for_output(self, output_str: str) -> Optional[Trace]:
         if self._indexed != len(self.witnesses):
@@ -247,18 +270,21 @@ def run_schedule(program: Program, schedule: list[int],
                  *,
                  record_enabled: bool = False,
                  step_hook: Optional[Callable[[Scheduler], bool]] = None,
+                 monitors: Optional["MonitorBus"] = None,
                  ) -> tuple[Trace, Any]:
     """Execute one run steered by ``schedule`` (then first-choice tail).
 
     Returns the trace and the frozen observation.  This is the replay
     entry point: feeding back ``trace.schedule()`` reproduces a run.
-    ``record_enabled``/``step_hook`` pass through to the scheduler (the
-    reductions use them; plain replay leaves them off).
+    ``record_enabled``/``step_hook``/``monitors`` pass through to the
+    scheduler (the reductions use the first two; ``monitors`` attaches
+    a fresh :class:`repro.obs.MonitorBus` for hazard detection — plain
+    replay leaves them all off).
     """
     sched = Scheduler(FixedPolicy(schedule, tail=_FirstPolicy()),
                       raise_on_deadlock=False, raise_on_failure=False,
                       max_steps=max_steps, record_enabled=record_enabled,
-                      step_hook=step_hook)
+                      step_hook=step_hook, monitors=monitors)
     observe = program(sched)
     trace = sched.run()
     if trace.outcome == "pruned":
@@ -289,6 +315,25 @@ def _normalize_reduce(reduce: Union[bool, str, Iterable[str], None]) -> frozense
     return names
 
 
+def _normalize_monitors(monitors: Any) -> Optional[Callable]:
+    """Canonical form of ``explore``'s ``monitors``: a per-run factory.
+
+    ``True`` means a fresh default :class:`repro.obs.MonitorBus` per
+    run; a callable is used as-is (call it with no arguments to get the
+    bus for one run — buses are single-use, like schedulers).
+    """
+    if not monitors:
+        return None
+    if monitors is True:
+        from ..obs.monitors import MonitorBus
+        return MonitorBus
+    if callable(monitors):
+        return monitors
+    raise TypeError(
+        f"monitors must be True or a zero-argument bus factory, "
+        f"got {monitors!r}")
+
+
 def explore(program: Program,
             *,
             max_runs: int = 20_000,
@@ -296,6 +341,7 @@ def explore(program: Program,
             sample_limit: int = 16,
             reduce: Union[bool, str, Iterable[str], None] = (),
             workers: int = 0,
+            monitors: Any = None,
             progress: Optional[Callable[[ExplorationStats], None]] = None,
             progress_every: int = 200) -> ExplorationResult:
     """Depth-first enumeration of every schedule of ``program``.
@@ -325,6 +371,13 @@ def explore(program: Program,
         Falls back to sequential exploration where ``fork`` is
         unavailable.  Per-worker run budget is ``max_runs`` divided by
         the number of subtrees (rounded up).
+    monitors:
+        Hazard monitoring across all explored schedules: ``True``
+        attaches a fresh default :class:`repro.obs.MonitorBus` to every
+        run, a zero-argument callable supplies a custom bus per run.
+        The deduplicated hazards land in ``result.hazards`` (see
+        ``result.hazard_counts()``).  Monitoring is observation-only:
+        runs/decisions/prune counts are identical with it on or off.
     progress:
         Optional callback invoked with the live :class:`ExplorationStats`
         every ``progress_every`` completed runs (sequential exploration
@@ -335,16 +388,19 @@ def explore(program: Program,
     frontier depth, elapsed wall time and decisions/sec.
     """
     reduce_set = _normalize_reduce(reduce)
+    monitor_factory = _normalize_monitors(monitors)
     t0 = time.perf_counter()
     result = None
     if workers and workers > 1:
         result = _explore_parallel(program, max_runs=max_runs,
                                    max_steps=max_steps,
                                    sample_limit=sample_limit,
-                                   reduce_set=reduce_set, workers=workers)
+                                   reduce_set=reduce_set, workers=workers,
+                                   monitor_factory=monitor_factory)
     if result is None:
         result = _explore_seq(program, max_runs=max_runs, max_steps=max_steps,
                               sample_limit=sample_limit, reduce_set=reduce_set,
+                              monitor_factory=monitor_factory,
                               progress=progress, progress_every=progress_every)
     elapsed = time.perf_counter() - t0
     result.stats.elapsed_seconds = elapsed
@@ -356,6 +412,7 @@ def explore(program: Program,
 def _explore_seq(program: Program, *, max_runs: int, max_steps: int,
                  sample_limit: int, reduce_set: frozenset,
                  init_prefix: Iterable[int] = (), base: int = 0,
+                 monitor_factory: Optional[Callable] = None,
                  progress: Optional[Callable[[ExplorationStats], None]] = None,
                  progress_every: int = 200,
                  ) -> ExplorationResult:
@@ -368,6 +425,7 @@ def _explore_seq(program: Program, *, max_runs: int, max_steps: int,
         return _explore_naive(program, max_runs=max_runs, max_steps=max_steps,
                               sample_limit=sample_limit,
                               init_prefix=init_prefix, base=base,
+                              monitor_factory=monitor_factory,
                               progress=progress,
                               progress_every=progress_every)
     return _explore_reduced(program, max_runs=max_runs, max_steps=max_steps,
@@ -375,6 +433,7 @@ def _explore_seq(program: Program, *, max_runs: int, max_steps: int,
                             use_sleep="sleep" in reduce_set,
                             use_fingerprint="fingerprint" in reduce_set,
                             init_prefix=init_prefix, base=base,
+                            monitor_factory=monitor_factory,
                             progress=progress, progress_every=progress_every)
 
 
@@ -384,6 +443,7 @@ def _explore_seq(program: Program, *, max_runs: int, max_steps: int,
 def _explore_naive(program: Program, *, max_runs: int, max_steps: int,
                    sample_limit: int, init_prefix: Iterable[int] = (),
                    base: int = 0,
+                   monitor_factory: Optional[Callable] = None,
                    progress: Optional[Callable] = None,
                    progress_every: int = 200) -> ExplorationResult:
     result = ExplorationResult()
@@ -393,8 +453,12 @@ def _explore_naive(program: Program, *, max_runs: int, max_steps: int,
         if result.runs >= max_runs:
             result.complete = False
             break
-        trace, obs = run_schedule(program, prefix, max_steps=max_steps)
+        bus = monitor_factory() if monitor_factory is not None else None
+        trace, obs = run_schedule(program, prefix, max_steps=max_steps,
+                                  monitors=bus)
         result.record_run(trace, obs, sample_limit)
+        if bus is not None:
+            result.record_hazards(bus.hazards)
         if progress is not None and result.runs % progress_every == 0:
             progress(result.stats)
 
@@ -471,13 +535,27 @@ def _analyze(events: list[TraceEvent], stack: list[_Node], base: int) -> None:
     Godefroid style adapted to replay exploration).
 
     For each step ``j``, find its *latest* conflicting predecessor
-    ``i``.  If a different task performed ``i``, the two steps might
-    yield different behaviour in the other order, so task ``j`` must
-    also be tried at node ``i``; when it has no transition there, every
-    enabled transition is scheduled (the classical fallback).  A
-    same-task predecessor ends the scan: program order already fixes
-    that pair, and earlier pairs are covered when analysing step ``i``
-    itself.
+    ``i`` from a different task where task ``j`` can actually be
+    scheduled: the two steps might yield different behaviour in the
+    other order, so task ``j`` must also be tried at node ``i``.
+
+    Two refinements over the textbook "last conflicting predecessor"
+    scan, both needed for soundness (dropping either loses reachable
+    behaviours — the regression fixture is the barging bridge in
+    tests/test_verify_reductions_equiv.py):
+
+    * a conflicting predecessor from ``j``'s *own* task does not end
+      the scan — program order already fixes that pair, but a step
+      behind it can still race with ``j`` without conflicting with the
+      same-task step, so nothing downstream would ever re-seed it;
+    * a conflicting predecessor where task ``j`` has *no* transition
+      does not end the scan either.  Such a pair is dependent but not
+      co-enabled (e.g. a Release racing a blocked task's acquire
+      grant: the grant only exists once the release has happened), so
+      the reversal the backtrack point stands for is unrealisable
+      there.  Every enabled transition is scheduled at that node (the
+      classical fallback) and the scan continues to the co-enabled
+      race partner shielded behind it.
     """
     for j in range(base + 1, len(events)):
         ej = events[j]
@@ -485,11 +563,11 @@ def _analyze(events: list[TraceEvent], stack: list[_Node], base: int) -> None:
             ei = events[i]
             if not _conflicts(ei.footprint, ej.footprint):
                 continue
-            if ei.task_ltid != ej.task_ltid:
-                node = stack[i]
-                if not node.add_task(ej.task_ltid):
-                    node.add_everyone()
-            break
+            if ei.task_ltid == ej.task_ltid:
+                continue
+            if stack[i].add_task(ej.task_ltid):
+                break
+            stack[i].add_everyone()
 
 
 def _analyze_virtual(events: list[TraceEvent], stack: list[_Node], base: int,
@@ -509,11 +587,13 @@ def _analyze_virtual(events: list[TraceEvent], stack: list[_Node], base: int,
             ei = events[i]
             if not _conflicts(ei.footprint, fp_v):
                 continue
-            if ei.task_ltid != ltid_v:
-                node = stack[i]
-                if not node.add_task(ltid_v):
-                    node.add_everyone()
-            break
+            if ei.task_ltid == ltid_v:
+                # program order fixes this pair; earlier steps can
+                # still race with the virtual step (see _analyze)
+                continue
+            if stack[i].add_task(ltid_v):
+                break
+            stack[i].add_everyone()
 
 
 def _sleep_prunes(nodes: Iterable[_Node]) -> int:
@@ -530,6 +610,7 @@ def _explore_reduced(program: Program, *, max_runs: int, max_steps: int,
                      sample_limit: int, use_sleep: bool,
                      use_fingerprint: bool, init_prefix: Iterable[int] = (),
                      base: int = 0,
+                     monitor_factory: Optional[Callable] = None,
                      progress: Optional[Callable] = None,
                      progress_every: int = 200) -> ExplorationResult:
     result = ExplorationResult()
@@ -572,9 +653,13 @@ def _explore_reduced(program: Program, *, max_runs: int, max_steps: int,
                 summaries[key] = set()
                 return True
 
+        bus = monitor_factory() if monitor_factory is not None else None
         trace, obs = run_schedule(program, prefix, max_steps=max_steps,
-                                  record_enabled=True, step_hook=hook)
+                                  record_enabled=True, step_hook=hook,
+                                  monitors=bus)
         result.record_run(trace, obs, sample_limit)
+        if bus is not None:
+            result.record_hazards(bus.hazards)
         if progress is not None and result.runs % progress_every == 0:
             stats.fingerprint_states = len(summaries)
             progress(stats)
@@ -659,6 +744,7 @@ def _worker_subtree(first: int) -> ExplorationResult:
                         max_steps=st["max_steps"],
                         sample_limit=st["sample_limit"],
                         reduce_set=st["reduce_set"],
+                        monitor_factory=st["monitor_factory"],
                         init_prefix=[first], base=1)
 
 
@@ -673,7 +759,9 @@ def _root_fanout(program: Program, max_steps: int) -> int:
 
 def _explore_parallel(program: Program, *, max_runs: int, max_steps: int,
                       sample_limit: int, reduce_set: frozenset,
-                      workers: int) -> Optional[ExplorationResult]:
+                      workers: int,
+                      monitor_factory: Optional[Callable] = None,
+                      ) -> Optional[ExplorationResult]:
     """Partition by first decision across forked workers; None = fall back."""
     global _WORKER_STATE
     import multiprocessing as mp
@@ -688,7 +776,8 @@ def _explore_parallel(program: Program, *, max_runs: int, max_steps: int,
     per_budget = -(-max_runs // fanout)  # ceil: subtree share of the budget
     _WORKER_STATE = {"program": program, "max_runs": per_budget,
                      "max_steps": max_steps, "sample_limit": sample_limit,
-                     "reduce_set": reduce_set}
+                     "reduce_set": reduce_set,
+                     "monitor_factory": monitor_factory}
     try:
         with ctx.Pool(min(workers, fanout)) as pool:
             parts = pool.map(_worker_subtree, range(fanout))

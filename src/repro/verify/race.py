@@ -32,35 +32,68 @@ __all__ = ["Race", "find_races", "find_races_program"]
 
 @dataclass(frozen=True)
 class Race:
-    """A pair of unsynchronized conflicting accesses."""
+    """A pair of unsynchronized conflicting accesses.
+
+    ``first_locks``/``second_locks`` are the lock/monitor names each
+    side held at its access (reconstructed from the event stream by
+    :func:`repro.obs.monitors.trace_locksets`), so the report can say
+    *what synchronization was missing*, not just which events conflict.
+    """
 
     var: str
     first: TraceEvent
     second: TraceEvent
+    first_locks: frozenset = frozenset()
+    second_locks: frozenset = frozenset()
+
+    @property
+    def common_locks(self) -> frozenset:
+        return self.first_locks & self.second_locks
+
+    def missing_sync(self) -> str:
+        """What synchronization the racing pair lacked."""
+        if not self.first_locks and not self.second_locks:
+            return "no locks held at either access"
+        return (f"no common lock: {self.first.task_name} held "
+                f"{sorted(self.first_locks) or 'none'}, "
+                f"{self.second.task_name} held "
+                f"{sorted(self.second_locks) or 'none'}")
 
     def describe(self) -> str:
         return (f"race on {self.var!r}: "
                 f"{self.first.task_name} {self.first.access_kind.value} @step {self.first.step} "
-                f"|| {self.second.task_name} {self.second.access_kind.value} @step {self.second.step}")
+                f"|| {self.second.task_name} {self.second.access_kind.value} @step {self.second.step} "
+                f"[{self.missing_sync()}]")
 
 
 def find_races(trace: Trace, max_races: int = 64) -> list[Race]:
     """All racing access pairs in one trace (bounded by ``max_races``)."""
-    by_var: dict[str, list[TraceEvent]] = {}
-    for event in trace.events:
-        if event.access_var is not None and event.vclock is not None:
-            by_var.setdefault(event.access_var, []).append(event)
+    # lazy import: repro.obs.monitors imports nothing from verify, but
+    # keeping it out of module scope avoids an import-time cycle via
+    # the obs package's explain module
+    from ..obs.monitors import trace_locksets
 
+    by_var: dict[str, list[tuple[int, TraceEvent]]] = {}
+    for idx, event in enumerate(trace.events):
+        if event.access_var is not None and event.vclock is not None:
+            by_var.setdefault(event.access_var, []).append((idx, event))
+
+    locksets: Optional[dict] = None
     races: list[Race] = []
     for var, events in by_var.items():
-        for i, a in enumerate(events):
-            for b in events[i + 1:]:
+        for i, (ia, a) in enumerate(events):
+            for (ib, b) in events[i + 1:]:
                 if a.task_tid == b.task_tid:
                     continue
                 if a.access_kind is AccessKind.READ and b.access_kind is AccessKind.READ:
                     continue
                 if a.vclock.concurrent(b.vclock):
-                    races.append(Race(var, a, b))
+                    if locksets is None:
+                        locksets = trace_locksets(trace)
+                    races.append(Race(
+                        var, a, b,
+                        first_locks=locksets.get(ia, frozenset()),
+                        second_locks=locksets.get(ib, frozenset())))
                     if len(races) >= max_races:
                         return races
     return races

@@ -1,0 +1,209 @@
+"""Counterexample explanation: minimization, critical pair, reports, CLI."""
+
+import pytest
+
+from repro.obs import (explain_program, find_critical_pair, html_report,
+                       minimize_schedule)
+from repro.problems.bug_gallery import gallery
+from repro.verify import explore
+from repro.verify.explorer import run_schedule
+
+
+def _spec(bug_id):
+    return next(s for s in gallery() if s.bug_id == bug_id)
+
+
+def _is_deadlock(trace, observation):
+    return trace.outcome == "deadlock"
+
+
+class TestMinimization:
+    def test_minimized_schedule_still_reproduces(self):
+        program = _spec("deadlock-lock-ordering").buggy
+        res = explore(program, max_runs=5000)
+        witness = res.deadlocks[0].schedule()
+        schedule, trace, observation, replays = minimize_schedule(
+            program, witness, _is_deadlock)
+        assert trace.outcome == "deadlock"
+        # the contract: every candidate was re-executed, so the result
+        # replays to the violation from scratch
+        replayed, _ = run_schedule(program, schedule)
+        assert replayed.outcome == "deadlock"
+        assert replayed.schedule() == trace.schedule()
+
+    def test_minimized_no_longer_than_witness(self):
+        for bug_id in ("deadlock-lock-ordering", "liveness-lost-wakeup"):
+            program = _spec(bug_id).buggy
+            res = explore(program, max_runs=5000)
+            witness = res.deadlocks[0].schedule()
+            schedule, _, _, replays = minimize_schedule(
+                program, witness, _is_deadlock)
+            assert len(schedule) <= len(witness), bug_id
+            assert replays >= 1
+
+    def test_non_reproducing_input_rejected(self):
+        program = _spec("deadlock-lock-ordering").buggy
+        done, _ = run_schedule(program, [0] * 64)
+        assert done.outcome == "done"   # round-robin completes fine
+        with pytest.raises(ValueError):
+            minimize_schedule(program, done.schedule(), _is_deadlock)
+
+
+class TestCriticalPair:
+    def test_transfer_critical_pair_is_the_second_acquire(self):
+        program = _spec("deadlock-lock-ordering").buggy
+        explanation = explain_program(program)
+        assert explanation is not None and explanation.kind == "deadlock"
+        critical = explanation.critical
+        assert critical is not None
+        assert critical.alternative_outcome == "done"
+        # the racing pair: both tasks trying the same second lock
+        assert "acquire" in critical.chosen.effect_repr
+        assert critical.chosen.task_name != critical.alternative.task_name
+
+    def test_critical_pair_alternative_is_feasible(self):
+        program = _spec("deadlock-lock-ordering").buggy
+        explanation = explain_program(program)
+        critical = explanation.critical
+        # replaying the prefix with the alternative index avoids the bug
+        alt = list(explanation.schedule)
+        alt[critical.step] = explanation.critical.alternative.chosen_index
+        trace, _ = run_schedule(program, alt[:critical.step + 1])
+        assert trace.outcome == "done"
+
+    def test_find_critical_pair_none_when_forced(self):
+        def forced(sched):
+            def solo():
+                yield from iter(())
+            sched.spawn(solo, name="solo")
+            return lambda: None
+
+        trace, _ = run_schedule(forced, [])
+        pair, replays = find_critical_pair(
+            forced, trace, lambda t, o: True)
+        assert pair is None
+
+
+class TestExplainProgram:
+    def test_explains_the_bridge_bug(self):
+        from repro.problems import kernel_program
+        explanation = explain_program(kernel_program("bridge_bug"),
+                                      max_runs=5000)
+        assert explanation is not None
+        assert len(explanation.schedule) <= len(
+            explanation.original_schedule)
+        narrative = explanation.narrative()
+        assert "critical decision" in narrative
+        assert "BridgeCollision" in narrative
+        assert any(h.kind == "task-failure" for h in explanation.hazards)
+
+    def test_narrative_names_the_critical_transition_pair(self):
+        explanation = explain_program(_spec("deadlock-lock-ordering").buggy)
+        narrative = explanation.narrative()
+        assert "instead of" in narrative
+        assert "a-to-b" in narrative and "b-to-a" in narrative
+
+    def test_refuted_misconceptions_resolved_from_catalog(self):
+        from repro.problems import kernel_program
+        explanation = explain_program(kernel_program("bridge_bug"),
+                                      max_runs=5000)
+        from repro.misconceptions.catalog import refuted_by
+        mids = set(explanation.refuted_misconceptions())
+        # the minimal run re-enters the monitor past a sleeping waiter
+        assert mids <= {"M3", "M5", "S6"}
+        for hazard in explanation.hazards:
+            for mis in refuted_by(hazard.kind):
+                assert mis.mid in mids
+
+    def test_none_on_a_safe_program(self):
+        def safe(sched):
+            def worker():
+                yield from iter(())
+            sched.spawn(worker, name="w")
+            return lambda: "ok"
+
+        assert explain_program(safe, max_runs=100) is None
+
+
+class TestHtmlReport:
+    def test_report_is_self_contained_and_complete(self):
+        explanation = explain_program(_spec("deadlock-lock-ordering").buggy)
+        html = html_report(explanation, title="transfer deadlock")
+        assert html.lstrip().lower().startswith("<!doctype html>")
+        assert "transfer deadlock" in html
+        assert "a-to-b" in html and "b-to-a" in html
+        assert 'class="critical"' in html
+        assert "circular wait" in html
+        assert "<script" not in html   # static: no JS needed
+
+
+class TestCli:
+    def test_monitor_command_flags_gallery_bug(self, capsys):
+        from repro.cli import main
+        assert main(["monitor", "bug:deadlock-lock-ordering",
+                     "--explore"]) == 1
+        out = capsys.readouterr().out
+        assert "deadlock" in out and "circular wait" in out
+
+    def test_monitor_command_clean_problem(self, capsys):
+        from repro.cli import main
+        assert main(["monitor", "bridge_2car", "--explore"]) == 0
+        assert "bridge_2car" in capsys.readouterr().out
+
+    def test_monitor_command_json(self, capsys):
+        import json
+
+        from repro.cli import main
+        assert main(["monitor", "bug:deadlock-lock-ordering",
+                     "--explore", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["flagged"]
+        assert any(h["kind"] == "deadlock" for h in payload["hazards"])
+
+    def test_monitor_unknown_problem(self, capsys):
+        from repro.cli import main
+        assert main(["monitor", "nope"]) == 2
+
+    def test_explain_command_to_stdout(self, capsys):
+        from repro.cli import main
+        assert main(["explain", "bug:deadlock-lock-ordering",
+                     "--out", "-"]) == 1
+        out = capsys.readouterr().out
+        assert "minimized schedule" in out
+        assert "critical decision" in out
+
+    def test_explain_command_html_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+        out = tmp_path / "report.html"
+        assert main(["explain", "bug:deadlock-lock-ordering",
+                     "--html", "--out", str(out)]) == 1
+        assert out.read_text().lstrip().lower().startswith(
+            "<!doctype html>")
+        assert "wrote" in capsys.readouterr().err
+
+    def test_explain_command_safe_problem(self, capsys):
+        from repro.cli import main
+        assert main(["explain", "pingpong", "--max-runs", "2000"]) == 0
+        assert "no violation" in capsys.readouterr().out
+
+    def test_trace_command_stdout(self, capsys):
+        import json
+
+        from repro.cli import main
+        assert main(["trace", "pingpong", "--out", "-",
+                     "--format", "jsonl"]) == 0
+        lines = [ln for ln in capsys.readouterr().out.splitlines() if ln]
+        assert all(json.loads(ln) is not None for ln in lines)
+
+    def test_stats_command_out_file(self, tmp_path, capsys):
+        from repro.cli import main
+        out = tmp_path / "stats.txt"
+        assert main(["stats", "pingpong", "--out", str(out)]) == 0
+        assert "problem : pingpong" in out.read_text()
+
+    def test_run_command_monitor_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        path = tmp_path / "prog.pseudo"
+        path.write_text('PRINT "hi"')
+        assert main(["run", str(path), "--monitor"]) == 0
+        assert "hi" in capsys.readouterr().out

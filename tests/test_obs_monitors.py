@@ -1,0 +1,276 @@
+"""Online hazard monitors: detectors, non-interference, gallery fixtures."""
+
+import pytest
+
+from repro.core import Receive, Scheduler, Send
+from repro.core.mailbox import DeliveryPolicy, Mailbox
+from repro.core.trace import TraceEvent
+from repro.obs import (DeadlockDetector, MonitorBus, StarvationDetector,
+                       default_detectors, trace_locksets)
+from repro.problems.bug_gallery import BUG_IDS, detect_bug, gallery
+from repro.verify import explore
+
+
+def _spec(bug_id):
+    return next(s for s in gallery() if s.bug_id == bug_id)
+
+
+class TestGalleryFixtures:
+    """Every catalogued bug is a monitor regression fixture."""
+
+    @pytest.mark.parametrize("bug_id", BUG_IDS)
+    def test_every_bug_flagged_by_a_shipped_detector(self, bug_id):
+        report = detect_bug(_spec(bug_id))
+        assert report["detected"], report
+        assert set(report["expected"]) & set(report["hazard_kinds"]), report
+
+    @pytest.mark.parametrize("bug_id", BUG_IDS)
+    def test_fixed_variant_raises_no_serious_hazard(self, bug_id):
+        report = detect_bug(_spec(bug_id))
+        assert report["fixed_clean"], report
+
+
+class TestNonInterference:
+    """Monitors reconstruct state from the event stream only — they must
+    not change what the explorer does, under any reduction."""
+
+    @pytest.mark.parametrize("reduce", [(), "all"],
+                             ids=["naive", "reduced"])
+    @pytest.mark.parametrize("bug_id",
+                             ["deadlock-lock-ordering",
+                              "liveness-lost-wakeup"])
+    def test_exploration_statistics_identical(self, bug_id, reduce):
+        spec = _spec(bug_id)
+        off = explore(spec.buggy, max_runs=5000, reduce=reduce)
+        on = explore(spec.buggy, max_runs=5000, reduce=reduce,
+                     monitors=True)
+        assert on.runs == off.runs
+        assert on.decisions == off.decisions
+        assert on.pruned_runs == off.pruned_runs
+        assert on.stats.sleep_prunes == off.stats.sleep_prunes
+        assert on.stats.fingerprint_hits == off.stats.fingerprint_hits
+        assert dict(on.outcomes) == dict(off.outcomes)
+        assert on.hazards and not off.hazards
+
+    def test_results_compare_equal_despite_hazards(self):
+        spec = _spec("deadlock-lock-ordering")
+        off = explore(spec.buggy, max_runs=5000, reduce="all")
+        on = explore(spec.buggy, max_runs=5000, reduce="all",
+                     monitors=True)
+        # hazards is compare=False metadata: the *answer* is unchanged
+        assert set(on.observations()) == set(off.observations())
+        assert on.deadlock_possible == off.deadlock_possible
+
+
+class TestDetectors:
+    def test_deadlock_cycle_names_tasks_and_locks(self):
+        res = explore(_spec("deadlock-lock-ordering").buggy,
+                      max_runs=5000, monitors=True)
+        dead = [h for h in res.hazards if h.kind == "deadlock"]
+        assert dead, res.hazards
+        assert any("circular wait" in h.message
+                   and "account-a" in h.message
+                   and "account-b" in h.message for h in dead)
+        inversions = [h for h in res.hazards
+                      if h.kind == "lock-order-inversion"]
+        assert inversions and all(h.severity == "warning"
+                                  for h in inversions)
+
+    def test_lost_wakeup_found_with_detail(self):
+        res = explore(_spec("liveness-lost-wakeup").buggy,
+                      max_runs=5000, monitors=True)
+        lost = [h for h in res.hazards if h.kind == "lost-wakeup"]
+        assert lost and all(h.severity == "error" for h in lost)
+        assert any("consumer" in h.tasks for h in lost)
+
+    def test_data_race_reports_missing_locks(self):
+        res = explore(_spec("atomicity-check-then-act").buggy,
+                      max_runs=5000, monitors=True)
+        races = [h for h in res.hazards if h.kind == "data-race"]
+        assert races
+        assert any("slots" in h.message for h in races)
+
+    def test_starvation_fires_from_ready_sets(self):
+        bus = MonitorBus([StarvationDetector(threshold=3)])
+        for step in range(6):
+            bus.feed(TraceEvent(step=step, task_tid=0, task_name="hog",
+                                kind="run", effect_repr="pause",
+                                chosen_index=0, fanout=2),
+                     ("hog", "starved"))
+        starving = [h for h in bus.hazards if h.kind == "starvation"]
+        assert starving and "starved" in starving[0].tasks
+        # fires once per task, not once per further decision
+        assert len(starving) == 1
+
+    def test_message_reorder_witness_refutes_m5(self):
+        def program(sched):
+            box = Mailbox("box", policy=DeliveryPolicy.ARBITRARY)
+
+            def sender():
+                yield Send(box, "m1")
+                yield Send(box, "m2")
+
+            def receiver():
+                first = yield Receive(box)
+                second = yield Receive(box)
+                return (first, second)
+
+            sched.spawn(sender, name="sender")
+            sched.spawn(receiver, name="receiver")
+            return lambda: None
+
+        res = explore(program, max_runs=5000, monitors=True)
+        reorders = [h for h in res.hazards if h.kind == "message-reorder"]
+        assert reorders, res.hazards
+        assert all(h.severity == "info" and "M5" in h.refutes
+                   for h in reorders)
+
+    def test_scan_matches_online_feed(self):
+        spec = _spec("deadlock-lock-ordering")
+        online = MonitorBus()
+        sched = Scheduler(raise_on_deadlock=False, raise_on_failure=False,
+                          monitors=online)
+        spec.buggy(sched)
+        trace = sched.run()
+        offline = MonitorBus()
+        offline.scan(trace)
+        assert ({h.key for h in online.hazards}
+                == {h.key for h in offline.hazards})
+
+    def test_bus_is_quiet_on_a_clean_program(self):
+        res = explore(_spec("deadlock-lock-ordering").fixed,
+                      max_runs=5000, reduce="all", monitors=True)
+        assert not [h for h in res.hazards
+                    if h.severity in ("error", "warning")]
+
+
+class TestMonitorPlumbing:
+    def test_default_detector_set_is_fresh_per_bus(self):
+        a, b = default_detectors(), default_detectors()
+        assert a is not b
+        assert {type(d) for d in a} == {type(d) for d in b}
+
+    def test_explore_accepts_factory(self):
+        made = []
+
+        def factory():
+            bus = MonitorBus([DeadlockDetector()])
+            made.append(bus)
+            return bus
+
+        res = explore(_spec("deadlock-lock-ordering").buggy,
+                      max_runs=5000, monitors=factory)
+        assert made and any(h.kind == "deadlock" for h in res.hazards)
+
+    def test_explore_rejects_garbage_monitors(self):
+        with pytest.raises(TypeError):
+            explore(_spec("deadlock-lock-ordering").buggy,
+                    max_runs=10, monitors=42)
+
+    def test_hazard_counts_rollup(self):
+        res = explore(_spec("deadlock-lock-ordering").buggy,
+                      max_runs=5000, monitors=True)
+        counts = res.hazard_counts()
+        assert counts.get("deadlock", 0) >= 1
+        assert sum(counts.values()) == len(res.hazards)
+
+    def test_trace_locksets_reconstruction(self):
+        from repro.core import Access, AccessKind, Acquire, Release, SimLock
+
+        def program(sched):
+            lock = SimLock("guard")
+
+            def worker():
+                yield Access("x", AccessKind.WRITE)
+                yield Acquire(lock)
+                yield Access("x", AccessKind.WRITE)
+                yield Release(lock)
+
+            sched.spawn(worker, name="w")
+            return lambda: None
+
+        sched = Scheduler(raise_on_deadlock=False, raise_on_failure=False)
+        program(sched)
+        trace = sched.run()
+        locksets = trace_locksets(trace)
+        accesses = [i for i, e in enumerate(trace.events)
+                    if e.access_var == "x"]
+        assert len(accesses) == 2
+        assert locksets.get(accesses[0], frozenset()) == frozenset()
+        assert locksets.get(accesses[1]) == frozenset({"guard"})
+
+
+class TestCoSchedulerMonitors:
+    def test_cooperative_deadlock_reported(self):
+        from repro.coroutines import CoDeadlock, CoEvent, CoScheduler
+
+        bus = MonitorBus()
+        sched = CoScheduler(monitors=bus)
+        event = CoEvent()
+
+        def waiter():
+            yield from event.wait()   # nobody ever sets it
+
+        sched.spawn(waiter, name="w")
+        with pytest.raises(CoDeadlock):
+            sched.run()
+        assert any(h.kind == "deadlock" for h in bus.hazards)
+
+    def test_cooperative_clean_run_is_quiet(self):
+        from repro.coroutines import CoScheduler, pause
+
+        bus = MonitorBus()
+        sched = CoScheduler(monitors=bus)
+
+        def worker():
+            yield pause()
+
+        sched.spawn(worker, name="w")
+        sched.run()
+        assert not bus.flagged
+        assert bus.events_seen > 0
+
+
+class TestSimActorMonitors:
+    def test_actor_traffic_reaches_the_kernel_bus(self):
+        from repro.actors import Actor
+        from repro.actors.sim import SimActorSystem
+        from repro.core import Emit
+
+        class Echo(Actor):
+            def receive(self, message, sender):
+                if sender is not None:
+                    sender.tell(("echo", message), sender=self.self_ref)
+
+        bus = MonitorBus()
+        sched = Scheduler(raise_on_deadlock=False, raise_on_failure=False,
+                          monitors=bus)
+        system = SimActorSystem(sched)
+
+        def driver():
+            echo = system.spawn(Echo, name="echo")
+            reply = yield from system.ask_gen(echo, "ping")
+            yield Emit(reply)
+
+        sched.spawn(driver, name="driver")
+        trace = sched.run()
+        assert trace.outcome == "done"
+        assert system.hazards() == bus.hazards
+        assert bus.events_seen == len(trace.events)
+
+
+@pytest.mark.slow
+def test_paper_scale_bridge_monitors_non_interfering():
+    """Nightly: the 3-car bridge's full reduced schedule space explores
+    identically with the whole detector set attached, and stays clean."""
+    from repro.problems.single_lane_bridge import bridge_program
+
+    program = bridge_program()
+    off = explore(program, reduce="all")
+    on = explore(program, reduce="all", monitors=True)
+    assert off.complete and on.complete
+    assert on.runs == off.runs
+    assert on.decisions == off.decisions
+    assert on.stats.sleep_prunes == off.stats.sleep_prunes
+    assert not [h for h in on.hazards
+                if h.severity in ("error", "warning")]

@@ -111,3 +111,49 @@ class TestRaceDetection:
         some_trace = next(iter(res.witnesses.values()))
         races = find_races(some_trace, max_races=3)
         assert len(races) <= 3
+
+
+class TestRaceLocksets:
+    """Races report the locks held at each access — the missing-sync
+    diagnosis (reconstructed by repro.obs.monitors.trace_locksets)."""
+
+    def test_unlocked_race_says_no_locks_held(self):
+        race = find_races_program(_racy_counter)
+        assert race is not None
+        assert race.first_locks == frozenset()
+        assert race.second_locks == frozenset()
+        assert "no locks held at either access" in race.missing_sync()
+        assert race.missing_sync() in race.describe()
+
+    def test_one_sided_locking_names_the_asymmetry(self):
+        def half_locked(sched):
+            lock = SimLock("L")
+            state = {"x": 0}
+
+            def locked():
+                yield Acquire(lock)
+                yield Access("x", AccessKind.WRITE)
+                state["x"] += 1
+                yield Release(lock)
+
+            def bare():
+                yield Access("x", AccessKind.WRITE)
+                state["x"] += 10
+            sched.spawn(locked, name="locked")
+            sched.spawn(bare, name="bare")
+            return lambda: state["x"]
+
+        race = find_races_program(half_locked)
+        assert race is not None
+        assert race.common_locks == frozenset()
+        locksets = {race.first.task_name: race.first_locks,
+                    race.second.task_name: race.second_locks}
+        assert locksets["locked"] == frozenset({"L"})
+        assert locksets["bare"] == frozenset()
+        assert "no common lock" in race.missing_sync()
+
+    def test_common_lock_means_no_race(self):
+        # sanity: the lockset story is diagnostic only — fully locked
+        # accesses are ordered by the release->acquire edge and never
+        # reach the Race constructor in the first place
+        assert find_races_program(_locked_counter) is None
