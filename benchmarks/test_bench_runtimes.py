@@ -1,0 +1,76 @@
+"""Cross-runtime performance benchmarks — the paper's comparison table.
+
+Runs the full 6-problem × 3-runtime bench matrix via
+:func:`repro.bench.run_bench` under the quick workload and writes
+``BENCH_runtimes.json`` next to this file: the regression baseline the
+CI ``bench-smoke`` job diffs against (``repro bench --baseline``), and
+the numbers behind the "compared for performance" discussion.
+
+The acceptance bars are shape assertions plus generous non-regression
+floors: shared CI machines jitter by integer factors, while a real
+hot-path regression (accidental profiling in the ``None`` path, a lock
+added to a mailbox pop) lands at an order of magnitude.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import QUICK, make_baseline, run_bench
+from repro.obs import Profiler
+
+_RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_bench_json():
+    """Dump the regression baseline once the matrix has run."""
+    yield
+    if "result" in _RESULTS:
+        base = make_baseline(_RESULTS["result"])
+        # extra keys ride along; compare_to_baseline only reads
+        # "cells"/"tolerance"
+        base["profiling_overhead"] = _RESULTS.get("profiling-overhead", {})
+        out = Path(__file__).parent / "BENCH_runtimes.json"
+        out.write_text(json.dumps(base, indent=2, sort_keys=True) + "\n")
+
+
+def test_bench_full_runtime_matrix(benchmark):
+    result = benchmark.pedantic(lambda: run_bench(workload=QUICK),
+                                rounds=1, iterations=1)
+    _RESULTS["result"] = result
+    assert len(result.cells) == 18           # 6 problems × 3 runtimes
+    for cell in result.cells:
+        assert cell["throughput_ops_per_s"] > 0, cell
+        assert cell["wall_us"]["count"] == QUICK.repetitions
+        assert cell["wall_us"]["p50"] <= cell["wall_us"]["p95"] \
+            <= cell["wall_us"]["p99"]
+        assert cell["profile"]["counters"], cell["problem"]
+
+
+def test_bench_profiling_overhead_stays_bounded(benchmark):
+    """The profiled pingpong exchange must stay within a constant
+    factor of the un-profiled one — the hooks are counter bumps and
+    clock reads, not serialization points."""
+    from repro.problems.pingpong import run_coroutine_pingpong
+
+    import time
+
+    def timed(profiler):
+        t0 = time.perf_counter()
+        run_coroutine_pingpong(rounds=2_000, profiler=profiler)
+        return time.perf_counter() - t0
+
+    timed(None)                              # warm caches
+    off = benchmark.pedantic(lambda: min(timed(None) for _ in range(5)),
+                             rounds=1, iterations=1)
+    on = min(timed(Profiler()) for _ in range(5))
+    _RESULTS["profiling-overhead"] = {
+        "pingpong-coroutines-2000": {
+            "unprofiled_s": round(off, 4),
+            "profiled_s": round(on, 4),
+            "overhead_factor": round(on / off, 2),
+        }
+    }
+    assert on <= off * 10, (off, on)

@@ -12,8 +12,7 @@ Three comparisons:
 Run:  python examples/model_comparison.py
 """
 
-import time
-
+from repro.bench import Workload, run_bench
 from repro.problems import bounded_buffer, sleeping_barber
 from repro.study import problem_effort
 
@@ -40,20 +39,16 @@ def throughput() -> None:
     print("\n== 2. producer/consumer throughput ==")
     print("  (CPython GIL: threads show blocking structure, not "
           "parallel speedup — see EXPERIMENTS.md)")
-    items = 4000
-
-    def timed(label, fn):
-        start = time.perf_counter()
-        fn()
-        elapsed = time.perf_counter() - start
-        print(f"  {label:<12} {items / elapsed:>12,.0f} items/s")
-
-    timed("threads", lambda: bounded_buffer.run_threads_buffer(
-        capacity=64, producers=2, consumers=2, items_each=items // 2))
-    timed("actors", lambda: bounded_buffer.run_actor_buffer(
-        capacity=64, producers=2, consumers=2, items_each=items // 2))
-    timed("coroutines", lambda: bounded_buffer.run_coroutine_buffer(
-        capacity=64, producers=2, consumers=2, items_each=items // 2))
+    # the bench harness supplies warmup, repetitions and percentiles;
+    # `python -m repro bench` runs the full 6-problem matrix
+    result = run_bench(problems=["bounded_buffer"],
+                       workload=Workload(workers=4, ops=1000, warmup=1,
+                                         repetitions=3))
+    for cell in result.cells:
+        wall = cell["wall_us"]
+        print(f"  {cell['runtime']:<12} "
+              f"{cell['throughput_ops_per_s']:>12,.0f} items/s   "
+              f"p95 {wall['p95'] / 1000:.2f} ms")
 
 
 def effort() -> None:

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Profile the single-lane bridge on all three real runtimes.
+
+The bridge is the paper's running example; this script runs it on
+threads, actors, and coroutines with a :class:`repro.obs.Profiler`
+attached to each runtime's own primitives, then prints what the wall
+clock can't show: where the time went *inside* each runtime — lock
+contention and monitor waits for threads, mailbox latency and queue
+depth for actors, resume latency and ready-queue residency for
+coroutines.
+
+Also exports a Chrome trace of the bench repetitions
+(``runtime_showdown_trace.json`` — open in chrome://tracing or
+https://ui.perfetto.dev).
+
+Run:  python examples/runtime_showdown.py
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench import Workload, run_bench
+
+#: the per-runtime signals worth calling out next to the wall clock
+HIGHLIGHTS = {
+    "threads": ("lock.acquires", "lock.contended", "lock.wait_us",
+                "monitor.waits", "monitor.wait_us"),
+    "actors": ("mailbox.depth_max", "mailbox.latency_us",
+               "mailbox.processed"),
+    "coroutines": ("coro.resumes", "coro.resume_us", "coro.ready_wait_us"),
+}
+
+
+def main() -> None:
+    workload = Workload(workers=4, ops=50, warmup=1, repetitions=5)
+    print("== the bridge, raced on the three real runtimes ==")
+    print(f"   ({workload.workers} cars x {workload.ops} crossings, "
+          f"{workload.repetitions} repetitions; CPython GIL: threads "
+          "show blocking structure, not parallel speedup)\n")
+    result = run_bench(problems=["bridge"], workload=workload)
+
+    print(result.markdown())
+    for cell in result.cells:
+        runtime = cell["runtime"]
+        profile = cell["profile"]
+        print(f"\n-- inside the {runtime} runtime --")
+        if not any(name in profile["counters"] or name in profile["gauges"]
+                   or name in profile["histograms"]
+                   for name in HIGHLIGHTS[runtime]):
+            print("   (no contention observed this run)")
+        for name in HIGHLIGHTS[runtime]:
+            if name in profile["counters"]:
+                print(f"   {name:<22} {profile['counters'][name]}")
+            elif name in profile["gauges"]:
+                print(f"   {name:<22} {profile['gauges'][name]:.0f}")
+            elif name in profile["histograms"]:
+                h = profile["histograms"][name]
+                print(f"   {name:<22} n={h['count']} p50={h['p50']:.1f}us "
+                      f"p95={h['p95']:.1f}us p99={h['p99']:.1f}us")
+
+    out = Path(__file__).parent / "runtime_showdown_trace.json"
+    out.write_text(json.dumps(result.chrome_trace(), sort_keys=True))
+    print(f"\nwrote {out}")
+    print("open in chrome://tracing or https://ui.perfetto.dev")
+
+
+if __name__ == "__main__":
+    main()

@@ -69,6 +69,10 @@ class _Cell:
         self.scheduled = False
         self._stopped = False
         self.started = False
+        #: enqueue timestamps, parallel to ``mailbox`` (profiling only —
+        #: both deques are pushed/popped together under ``lock``, so the
+        #: head timestamp always belongs to the head message)
+        self.enq_times: deque[float] = deque()
 
     # -- ActorCell protocol ---------------------------------------------------
     @property
@@ -76,11 +80,18 @@ class _Cell:
         return self._stopped
 
     def enqueue(self, message: Any, sender: Optional[ActorRef]) -> None:
+        prof = self.system.profiler
         with self.lock:
             if self._stopped:
                 self.system._dead_letter(self.ref.name, message, sender)
                 return
             self.mailbox.append((message, sender))
+            if prof is not None:
+                self.enq_times.append(prof.now())
+                prof.inc("mailbox.enqueued")
+                depth = len(self.mailbox)
+                prof.observe("mailbox.depth", depth)
+                prof.gauge_max("mailbox.depth_max", depth)
             if not self.scheduled:
                 self.scheduled = True
                 submit = True
@@ -98,6 +109,7 @@ class _Cell:
                 actor.pre_start()
             except BaseException as exc:  # noqa: BLE001
                 self.system._on_failure(self, exc, "<pre_start>")
+        prof = self.system.profiler
         for _ in range(self.system.throughput):
             with self.lock:
                 if self._stopped or not self.mailbox:
@@ -106,6 +118,10 @@ class _Cell:
                         break  # reschedule below
                     return
                 message, sender = self.mailbox.popleft()
+                if prof is not None and self.enq_times:
+                    prof.observe_us("mailbox.latency_us",
+                                    prof.now() - self.enq_times.popleft())
+                    prof.inc("mailbox.processed")
             if isinstance(message, _StopSignal):
                 self._do_stop()
                 return
@@ -131,6 +147,7 @@ class _Cell:
             self._stopped = True
             leftovers = list(self.mailbox)
             self.mailbox.clear()
+            self.enq_times.clear()
             self.scheduled = False
         for message, sender in leftovers:
             if not isinstance(message, _StopSignal):
@@ -157,11 +174,16 @@ class ActorSystem:
 
     def __init__(self, workers: int = 4, throughput: int = 16,
                  directive: SupervisionDirective = SupervisionDirective.RESTART,
-                 name: str = "actor-system"):
+                 name: str = "actor-system",
+                 profiler: Optional[Any] = None):
         self.name = name
         self.throughput = throughput
         self.directive = directive
-        self._pool = ThreadPool(workers, name=f"{name}.dispatch")
+        #: optional :class:`repro.obs.Profiler` — mailbox latency/depth,
+        #: message throughput; None keeps the dispatch path untouched
+        self.profiler = profiler
+        self._pool = ThreadPool(workers, name=f"{name}.dispatch",
+                                profiler=profiler)
         self._cells: dict[int, _Cell] = {}
         self._cells_lock = threading.Lock()
         self.dead_letters: list[DeadLetter] = []

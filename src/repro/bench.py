@@ -1,0 +1,384 @@
+"""Cross-runtime benchmark runner — threads vs actors vs coroutines.
+
+The paper's first contribution is implementing the *same* classical
+problems in all three models and comparing them for performance; this
+module is that comparison as a harness.  Each registered problem runs
+on every requested runtime under one parameterized workload
+(``workers`` × ``ops``, warmup + repetitions), with a
+:class:`~repro.obs.profile.Profiler` attached to the runtime's own
+primitives — so a cell reports not just wall-clock percentiles and
+throughput but the runtime-internal signals the wall clock hides: lock
+waits and monitor contention for threads, mailbox enqueue→dequeue
+latency and queue depth for actors, resume latency and ready-queue
+residency for coroutines.
+
+Outputs:
+
+* :meth:`BenchResult.as_dict` — schema-stable JSON (the ``repro bench
+  --json`` payload and the ``BENCH_runtimes.json`` regression baseline);
+* :meth:`BenchResult.markdown` — the paper-style comparison table;
+* :meth:`BenchResult.chrome_trace` — per-repetition spans on one lane
+  per runtime, via :func:`repro.obs.export.chrome_trace_from_spans`;
+* :func:`compare_to_baseline` — throughput regression gating with a
+  tolerance recorded in the baseline file (CI's ``bench-smoke`` job).
+
+Wall-clock reads all go through the injected ``clock`` (default
+:data:`repro.obs.profile.wall_clock`), so unit tests drive the runner
+with a :class:`~repro.obs.profile.FakeClock` and assert exact numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Optional
+
+from .obs.metrics import Histogram
+from .obs.profile import Profiler, wall_clock
+
+__all__ = ["Workload", "QUICK", "DEFAULT", "BenchResult", "bench_problems",
+           "bench_runtimes", "run_bench", "compare_to_baseline",
+           "make_baseline"]
+
+#: current shape of the ``--json`` payload / baseline file
+SCHEMA_VERSION = 1
+
+#: the three runtimes the paper races, in report column order
+RUNTIMES = ("threads", "actors", "coroutines")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One parameterized workload applied identically to every cell.
+
+    ``workers`` scales how many concurrent participants a problem
+    spawns, ``ops`` how many operations each performs; the problem
+    adapters translate both into their natural parameters (items,
+    crossings, meals, rounds...).  ``warmup`` repetitions run and are
+    discarded before the ``repetitions`` that are measured.
+    """
+
+    workers: int = 4
+    ops: int = 200
+    warmup: int = 1
+    repetitions: int = 5
+
+
+#: the CI smoke workload (``repro bench --quick``)
+QUICK = Workload(workers=2, ops=25, warmup=1, repetitions=3)
+#: the default full workload
+DEFAULT = Workload()
+
+
+# ---------------------------------------------------------------------------
+# problem adapters: name -> runtime -> fn(workload, profiler) -> ops done
+# ---------------------------------------------------------------------------
+
+def _buffer(runner: Callable) -> Callable:
+    def run(w: Workload, profiler: Optional[Profiler]) -> int:
+        lanes = max(1, w.workers // 2)
+        runner(capacity=max(2, w.workers), producers=lanes, consumers=lanes,
+               items_each=w.ops, profiler=profiler)
+        return lanes * w.ops
+    return run
+
+
+def _bridge(runner: Callable) -> Callable:
+    def run(w: Workload, profiler: Optional[Profiler]) -> int:
+        n = max(2, w.workers)
+        cars = tuple((f"car-{i}", "red" if i % 2 == 0 else "blue")
+                     for i in range(n))
+        runner(cars=cars, crossings=w.ops, profiler=profiler)
+        return n * w.ops
+    return run
+
+
+def _philosophers(runner: Callable) -> Callable:
+    def run(w: Workload, profiler: Optional[Profiler]) -> int:
+        n = max(2, w.workers)
+        return runner(n=n, meals=w.ops, profiler=profiler)
+    return run
+
+
+def _rw(runner: Callable) -> Callable:
+    def run(w: Workload, profiler: Optional[Profiler]) -> int:
+        readers = max(1, w.workers)
+        writers = max(1, w.workers // 2)
+        runner(readers=readers, writers=writers, rounds=w.ops,
+               profiler=profiler)
+        return (readers + writers) * w.ops
+    return run
+
+
+def _pingpong(runner: Callable) -> Callable:
+    def run(w: Workload, profiler: Optional[Profiler]) -> int:
+        return runner(rounds=w.ops * max(1, w.workers), profiler=profiler)
+    return run
+
+
+def _sum(runner: Callable) -> Callable:
+    def run(w: Workload, profiler: Optional[Profiler]) -> int:
+        n = w.ops * max(1, w.workers)
+        runner(values=range(n), workers=max(1, w.workers),
+               profiler=profiler)
+        return n
+    return run
+
+
+def _registry() -> dict[str, dict[str, Callable]]:
+    # imported lazily so `import repro.bench` stays cheap
+    from .problems import (bounded_buffer, dining_philosophers, pingpong,
+                           readers_writers, single_lane_bridge, sum_workers)
+    return {
+        "bounded_buffer": {
+            "threads": _buffer(bounded_buffer.run_threads_buffer),
+            "actors": _buffer(bounded_buffer.run_actor_buffer),
+            "coroutines": _buffer(bounded_buffer.run_coroutine_buffer),
+        },
+        "bridge": {
+            "threads": _bridge(single_lane_bridge.run_threads_bridge),
+            "actors": _bridge(single_lane_bridge.run_actor_bridge),
+            "coroutines": _bridge(single_lane_bridge.run_coroutine_bridge),
+        },
+        "dining_philosophers": {
+            "threads": _philosophers(
+                dining_philosophers.run_threads_philosophers),
+            "actors": _philosophers(
+                dining_philosophers.run_actor_philosophers),
+            "coroutines": _philosophers(
+                dining_philosophers.run_coroutine_philosophers),
+        },
+        "readers_writers": {
+            "threads": _rw(readers_writers.run_threads_rw),
+            "actors": _rw(readers_writers.run_actor_rw),
+            "coroutines": _rw(readers_writers.run_coroutine_rw),
+        },
+        "pingpong": {
+            "threads": _pingpong(pingpong.run_threads_pingpong),
+            "actors": _pingpong(pingpong.run_actor_pingpong),
+            "coroutines": _pingpong(pingpong.run_coroutine_pingpong),
+        },
+        "sum_workers": {
+            "threads": _sum(sum_workers.run_threads_sum),
+            "actors": _sum(sum_workers.run_actor_sum),
+            "coroutines": _sum(sum_workers.run_coroutine_sum),
+        },
+    }
+
+
+def bench_problems() -> list[str]:
+    """Problem names the bench runner knows, sorted."""
+    return sorted(_registry())
+
+
+def bench_runtimes() -> list[str]:
+    """Runtime names the bench runner knows, in column order."""
+    return list(RUNTIMES)
+
+
+# ---------------------------------------------------------------------------
+# the runner
+# ---------------------------------------------------------------------------
+
+class BenchResult:
+    """All measured cells of one bench invocation."""
+
+    def __init__(self, workload: Workload, cells: list[dict[str, Any]],
+                 spans: list[tuple]):
+        self.workload = workload
+        self.cells = cells
+        self.spans = spans
+
+    def as_dict(self) -> dict[str, Any]:
+        """Schema-stable JSON payload (sorted keys, fixed field set)."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "workload": asdict(self.workload),
+            "cells": self.cells,
+        }
+
+    def cell(self, problem: str, runtime: str) -> Optional[dict[str, Any]]:
+        for c in self.cells:
+            if c["problem"] == problem and c["runtime"] == runtime:
+                return c
+        return None
+
+    def markdown(self, detail: bool = False) -> str:
+        """The paper-style comparison table (optionally + profile detail).
+
+        One row per problem, one column pair (throughput, p95 run time)
+        per runtime — the shape of the paper's "compared for
+        performance" discussion, regenerated from measurements.
+        """
+        runtimes = [r for r in RUNTIMES
+                    if any(c["runtime"] == r for c in self.cells)]
+        problems = sorted({c["problem"] for c in self.cells})
+        head = ("| problem | "
+                + " | ".join(f"{r} ops/s | {r} p95 ms" for r in runtimes)
+                + " |")
+        rule = "|---" * (1 + 2 * len(runtimes)) + "|"
+        lines = [head, rule]
+        for problem in problems:
+            row = [problem]
+            for r in runtimes:
+                c = self.cell(problem, r)
+                if c is None:
+                    row += ["—", "—"]
+                else:
+                    row.append(f"{c['throughput_ops_per_s']:,.0f}")
+                    row.append(f"{c['wall_us']['p95'] / 1000:.2f}")
+            lines.append("| " + " | ".join(row) + " |")
+        if detail:
+            for c in self.cells:
+                lines.append("")
+                lines.append(f"### {c['problem']} on {c['runtime']}")
+                lines.append("")
+                lines.append(f"- ops/run: {c['ops_total']}, repetitions: "
+                             f"{c['repetitions']}, throughput: "
+                             f"{c['throughput_ops_per_s']:,.0f} ops/s")
+                wall = c["wall_us"]
+                lines.append(f"- run time us: p50={wall['p50']:.0f} "
+                             f"p95={wall['p95']:.0f} p99={wall['p99']:.0f}")
+                for name, h in c["profile"]["histograms"].items():
+                    lines.append(f"- {name}: n={h['count']} "
+                                 f"mean={h['mean']:.1f} p50={h['p50']:.1f} "
+                                 f"p95={h['p95']:.1f} p99={h['p99']:.1f}")
+                for name, v in c["profile"]["counters"].items():
+                    lines.append(f"- {name}: {v}")
+        return "\n".join(lines)
+
+    def chrome_trace(self) -> dict[str, Any]:
+        """Per-repetition spans, one lane per runtime (wall-clock time)."""
+        from .obs.export import chrome_trace_from_spans
+        return chrome_trace_from_spans(
+            self.spans, source="repro.bench",
+            meta={"workload": asdict(self.workload)})
+
+
+def run_bench(problems: Optional[list[str]] = None,
+              runtimes: Optional[list[str]] = None,
+              workload: Workload = DEFAULT,
+              clock: Optional[Callable[[], float]] = None,
+              profile: bool = True,
+              progress: Optional[Callable[[str], None]] = None
+              ) -> BenchResult:
+    """Run every requested problem × runtime cell and collect results.
+
+    ``clock`` injects the time source (tests pass a
+    :class:`~repro.obs.profile.FakeClock`); ``profile=False`` runs the
+    workloads with ``profiler=None`` — the runtimes' un-instrumented
+    hot paths — which is what the overhead regression test compares
+    against.  Unknown problem or runtime names raise ``KeyError``
+    listing the known ones.
+    """
+    registry = _registry()
+    problems = list(problems) if problems else sorted(registry)
+    runtimes = list(runtimes) if runtimes else list(RUNTIMES)
+    for p in problems:
+        if p not in registry:
+            raise KeyError(f"unknown bench problem {p!r}; known: "
+                           + ", ".join(sorted(registry)))
+    for r in runtimes:
+        if r not in RUNTIMES:
+            raise KeyError(f"unknown runtime {r!r}; known: "
+                           + ", ".join(RUNTIMES))
+    clock = clock if clock is not None else wall_clock
+
+    cells: list[dict[str, Any]] = []
+    spans: list[tuple] = []
+    for problem in problems:
+        for runtime in runtimes:
+            fn = registry[problem][runtime]
+            if progress is not None:
+                progress(f"{problem} on {runtime} "
+                         f"({workload.repetitions} reps)")
+            profiler = Profiler(clock=clock) if profile else None
+            for _ in range(workload.warmup):
+                fn(workload, None)     # warmup never pollutes the profile
+            wall = Histogram()
+            ops_total = 0
+            total_s = 0.0
+            for rep in range(workload.repetitions):
+                t0 = clock()
+                ops = fn(workload, profiler)
+                t1 = clock()
+                ops_total += ops if isinstance(ops, int) else 0
+                wall.record((t1 - t0) * 1e6)
+                total_s += t1 - t0
+                spans.append((f"{problem} rep {rep}", runtime, t0, t1))
+            ops_per_run = ops_total // workload.repetitions
+            cells.append({
+                "problem": problem,
+                "runtime": runtime,
+                "workers": workload.workers,
+                "ops": workload.ops,
+                "ops_total": ops_per_run,
+                "repetitions": workload.repetitions,
+                "wall_us": wall.snapshot(),
+                "throughput_ops_per_s": (
+                    round(ops_total / total_s, 1) if total_s > 0 else 0.0),
+                "profile": (profiler.snapshot() if profiler is not None
+                            else {"counters": {}, "gauges": {},
+                                  "histograms": {}}),
+            })
+    return BenchResult(workload, cells, spans)
+
+
+# ---------------------------------------------------------------------------
+# regression baseline
+# ---------------------------------------------------------------------------
+
+def make_baseline(result: BenchResult, tolerance: float = 0.9
+                  ) -> dict[str, Any]:
+    """Distill a result into the checked-in ``BENCH_runtimes.json`` shape.
+
+    ``tolerance`` is the fractional throughput drop CI accepts before
+    failing: 0.9 means "fail below 10% of the recorded number" —
+    deliberately generous, because shared CI machines jitter by integer
+    factors while real hot-path regressions land at order-of-magnitude.
+    """
+    if not 0 <= tolerance < 1:
+        raise ValueError(f"tolerance must be in [0, 1), not {tolerance}")
+    return {
+        "schema": SCHEMA_VERSION,
+        "tolerance": tolerance,
+        "workload": asdict(result.workload),
+        "cells": {
+            f"{c['problem']}.{c['runtime']}": {
+                "throughput_ops_per_s": c["throughput_ops_per_s"],
+                "wall_us_p95": c["wall_us"]["p95"],
+            }
+            for c in result.cells
+        },
+    }
+
+
+def compare_to_baseline(result: BenchResult, baseline: dict[str, Any]
+                        ) -> list[str]:
+    """Throughput regressions of ``result`` against a baseline dict.
+
+    Returns one human-readable message per regressed cell (empty =
+    gate passes).  Cells missing from either side are ignored — the
+    baseline only constrains what it recorded.
+    """
+    tolerance = float(baseline.get("tolerance", 0.9))
+    floor_factor = 1.0 - tolerance
+    regressions = []
+    for c in result.cells:
+        key = f"{c['problem']}.{c['runtime']}"
+        base = baseline.get("cells", {}).get(key)
+        if base is None:
+            continue
+        floor = base["throughput_ops_per_s"] * floor_factor
+        if c["throughput_ops_per_s"] < floor:
+            regressions.append(
+                f"{key}: {c['throughput_ops_per_s']:,.0f} ops/s is below "
+                f"{floor:,.0f} (baseline {base['throughput_ops_per_s']:,.0f}"
+                f" × {floor_factor:.2f})")
+    return regressions
+
+
+def load_baseline(path: str) -> dict[str, Any]:
+    """Read a baseline file written by ``repro bench --update-baseline``."""
+    with open(path) as fh:
+        return json.load(fh)

@@ -38,8 +38,17 @@ Commands:
     critical transition pair, causal narrative (``--html`` for a
     self-contained report).
 
-``trace``/``stats``/``explain`` accept ``--out -`` to stream the
-artifact to stdout instead of a file.
+``bench``
+    Race the *real* runtimes — threads vs actors vs coroutines — on the
+    classical problems under one parameterized workload, with the
+    runtime profiler attached.  Prints the paper-style comparison table
+    (``--report`` for per-cell profile detail, ``--json`` for the
+    schema-stable payload); ``--baseline BENCH_runtimes.json`` gates on
+    throughput regressions, ``--trace-dir`` exports a Chrome trace of
+    the repetitions.
+
+``trace``/``stats``/``explain``/``bench`` accept ``--out -`` to stream
+the artifact to stdout instead of a file.
 
 ``bridge QUESTION``
     Answer a Test-1-style bridge question given as
@@ -350,6 +359,74 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .bench import (DEFAULT, QUICK, Workload, bench_problems,
+                        bench_runtimes, compare_to_baseline, load_baseline,
+                        make_baseline, run_bench)
+    problems = args.problems.split(",") if args.problems else None
+    runtimes = args.runtimes.split(",") if args.runtimes else None
+    base_w = QUICK if args.quick else DEFAULT
+    workload = Workload(
+        workers=args.workers if args.workers is not None else base_w.workers,
+        ops=args.ops if args.ops is not None else base_w.ops,
+        warmup=args.warmup if args.warmup is not None else base_w.warmup,
+        repetitions=(args.repetitions if args.repetitions is not None
+                     else base_w.repetitions))
+
+    progress = None
+    if not args.json:
+        def progress(msg: str) -> None:
+            print(f"bench: {msg}", file=sys.stderr)
+    try:
+        result = run_bench(problems=problems, runtimes=runtimes,
+                           workload=workload, progress=progress)
+    except KeyError as exc:
+        print(f"bench: {exc.args[0]}", file=sys.stderr)
+        print("known problems: " + ", ".join(bench_problems()),
+              file=sys.stderr)
+        print("known runtimes: " + ", ".join(bench_runtimes()),
+              file=sys.stderr)
+        return 2
+
+    if args.trace_dir:
+        trace_dir = Path(args.trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        trace_path = trace_dir / "bench_trace.json"
+        trace_path.write_text(json.dumps(result.chrome_trace(),
+                                         sort_keys=True))
+        print(f"wrote {trace_path} ({len(result.spans)} spans) — open in "
+              f"chrome://tracing or https://ui.perfetto.dev",
+              file=sys.stderr)
+
+    regressions: list[str] = []
+    if args.baseline:
+        baseline = load_baseline(args.baseline)
+        if args.update_baseline:
+            Path(args.baseline).write_text(
+                json.dumps(make_baseline(
+                    result, tolerance=float(baseline.get("tolerance", 0.8))),
+                    indent=2, sort_keys=True) + "\n")
+            print(f"updated baseline {args.baseline}", file=sys.stderr)
+        else:
+            regressions = compare_to_baseline(result, baseline)
+
+    if args.json:
+        payload = result.as_dict()
+        payload["regressions"] = regressions
+        out = _write_out(args.out, json.dumps(payload, sort_keys=True))
+    else:
+        out = _write_out(args.out, result.markdown(detail=args.report))
+    if out is not None:
+        print(f"wrote {out}", file=sys.stderr)
+    if regressions:
+        for line in regressions:
+            print(f"REGRESSION: {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     from .study import run_full_study
     study = run_full_study(seed=args.seed if args.seed is not None else 2013)
@@ -474,6 +551,43 @@ def main(argv: list[str] | None = None) -> int:
     p_exp.add_argument("--max-runs", type=int, default=20_000,
                        help="exploration budget for the violation hunt")
     p_exp.set_defaults(fn=_cmd_explain)
+
+    p_bench = sub.add_parser(
+        "bench", help="race the real runtimes: threads vs actors vs "
+                      "coroutines on the classical problems")
+    p_bench.add_argument("--problems", default=None,
+                         help="comma-separated problem subset "
+                              "(default: all six)")
+    p_bench.add_argument("--runtimes", default=None,
+                         help="comma-separated runtime subset "
+                              "(default: threads,actors,coroutines)")
+    p_bench.add_argument("--workers", type=int, default=None,
+                         help="workload scale: concurrent participants")
+    p_bench.add_argument("--ops", type=int, default=None,
+                         help="workload scale: operations per participant")
+    p_bench.add_argument("--warmup", type=int, default=None,
+                         help="discarded warmup repetitions per cell")
+    p_bench.add_argument("--repetitions", type=int, default=None,
+                         help="measured repetitions per cell")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="CI smoke workload (small + fast)")
+    p_bench.add_argument("--json", action="store_true",
+                         help="schema-stable JSON report on stdout")
+    p_bench.add_argument("--report", action="store_true",
+                         help="full Markdown report with per-cell "
+                              "profile detail (default: table only)")
+    p_bench.add_argument("--out", default="-",
+                         help="report destination (default '-': stdout)")
+    p_bench.add_argument("--trace-dir", default=None,
+                         help="also write a Chrome trace of the bench "
+                              "repetitions into this directory")
+    p_bench.add_argument("--baseline", default=None,
+                         help="compare against this BENCH_runtimes.json; "
+                              "exit 1 on regression beyond its tolerance")
+    p_bench.add_argument("--update-baseline", action="store_true",
+                         help="rewrite --baseline from this run instead "
+                              "of gating against it")
+    p_bench.set_defaults(fn=_cmd_bench)
 
     p_study = sub.add_parser("study", help="run the full §V study")
     p_study.add_argument("--seed", type=int, default=None)

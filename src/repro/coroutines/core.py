@@ -87,7 +87,7 @@ class Coroutine:
     _counter = 0
 
     def __init__(self, fn: Callable[..., Generator], *args: Any,
-                 name: str = "", **kwargs: Any):
+                 name: str = "", profiler: Any = None, **kwargs: Any):
         Coroutine._counter += 1
         self.name = name or f"coroutine-{Coroutine._counter}"
         self._stack: list[Generator] = [fn(*args, **kwargs)]
@@ -95,6 +95,8 @@ class Coroutine:
         self.result: Any = None          # body's return value once DEAD
         #: value passed to the first resume (Lua would pass it as args)
         self.first_value: Any = None
+        #: optional :class:`repro.obs.Profiler` — per-resume wall time
+        self.profiler = profiler
 
     # ------------------------------------------------------------------
     def resume(self, value: Any = None) -> Any:
@@ -104,6 +106,17 @@ class Coroutine:
         return value with ``status`` becoming DEAD.  Resuming a DEAD or
         RUNNING coroutine raises :class:`CoroutineError`.
         """
+        prof = self.profiler
+        if prof is None:
+            return self._resume(value)
+        t0 = prof.now()
+        try:
+            return self._resume(value)
+        finally:
+            prof.inc("coroutine.resumes")
+            prof.observe_us("coroutine.resume_us", prof.now() - t0)
+
+    def _resume(self, value: Any = None) -> Any:
         if self.status is CoroutineState.DEAD:
             raise CoroutineError(f"cannot resume dead coroutine {self.name}")
         if self.status is CoroutineState.RUNNING:

@@ -102,6 +102,8 @@ class CoTask:
         self._send_value: Any = None
         #: True once some joiner observed this task's error
         self.error_observed = False
+        #: profiling only: when this task last entered the ready queue
+        self.ready_at = 0.0
 
     def join(self) -> Iterator[Any]:
         """``result = yield from task.join()`` — wait for completion."""
@@ -137,12 +139,16 @@ class CoScheduler:
     """
 
     def __init__(self, metrics: Optional[Any] = None,
-                 monitors: Optional[Any] = None) -> None:
+                 monitors: Optional[Any] = None,
+                 profiler: Optional[Any] = None) -> None:
         self.ready: deque[CoTask] = deque()
         self.tasks: list[CoTask] = []
         self.steps = 0
         self.metrics = metrics
         self.monitors = monitors
+        #: optional :class:`repro.obs.Profiler` — wall-clock resume
+        #: latency and ready-queue residency (``metrics`` stays logical)
+        self.profiler = profiler
         self._last_stepped: Optional[CoTask] = None
 
     def spawn(self, fn: Callable[..., Generator] | Generator, *args: Any,
@@ -152,6 +158,8 @@ class CoScheduler:
         task.ltid = len(self.tasks)
         self.tasks.append(task)
         self.ready.append(task)
+        if self.profiler is not None:
+            task.ready_at = self.profiler.now()
         if self.metrics is not None:
             self.metrics.inc("tasks_spawned")
         return task
@@ -208,27 +216,43 @@ class CoScheduler:
         if self.monitors is not None:
             # runnable set at choice time: the stepped task + the queue
             ready_names = (task.name,) + tuple(t.name for t in self.ready)
+        prof = self.profiler
+        t0 = 0.0
+        if prof is not None:
+            t0 = prof.now()
+            prof.inc("coro.resumes")
+            prof.observe_us("coro.ready_wait_us", t0 - task.ready_at)
         value, task._send_value = task._send_value, None
         try:
             marker = task.gen.send(value)
         except StopIteration as stop:
             self._finish(task, result=stop.value)
+            if prof is not None:
+                prof.observe_us("coro.resume_us", prof.now() - t0)
             self._feed_monitors(task, "return", ready_names)
             return
         except BaseException as exc:  # noqa: BLE001 - task code may raise
             self._finish(task, error=exc)
+            if prof is not None:
+                prof.observe_us("coro.resume_us", prof.now() - t0)
             self._feed_monitors(task, f"raise {type(exc).__name__}",
                                 ready_names)
             return
+        if prof is not None:
+            prof.observe_us("coro.resume_us", prof.now() - t0)
 
         if marker is None or isinstance(marker, _Pause):
             self.ready.append(task)
             desc = "pause"
+            if prof is not None:
+                task.ready_at = prof.now()
         elif isinstance(marker, _Park):
             marker.waitlist.append(task)
             desc = "park"
             if m is not None:
                 m.inc("parks")
+            if prof is not None:
+                prof.inc("coro.parks")
         elif isinstance(marker, _Wake):
             woken = (list(marker.waitlist) if marker.count is None
                      else marker.waitlist[:marker.count])
@@ -238,9 +262,18 @@ class CoScheduler:
             desc = f"wake {len(woken)}"
             if m is not None and woken:
                 m.inc("wakes", len(woken))
+            if prof is not None:
+                now = prof.now()
+                task.ready_at = now
+                for w in woken:
+                    w.ready_at = now
+                if woken:
+                    prof.inc("coro.wakes", len(woken))
         elif isinstance(marker, _Join):
             if marker.task.done:
                 self.ready.append(task)
+                if prof is not None:
+                    task.ready_at = prof.now()
             else:
                 marker.task.joiners.append(task)
             desc = f"join {marker.task.name}"
@@ -268,6 +301,10 @@ class CoScheduler:
         if self.metrics is not None:
             self.metrics.inc("tasks_failed" if error is not None
                              else "tasks_finished")
+        if self.profiler is not None and task.joiners:
+            now = self.profiler.now()
+            for j in task.joiners:
+                j.ready_at = now
         self.ready.extend(task.joiners)
         task.joiners = []
 

@@ -37,8 +37,9 @@ sets.
 from .explain import (CriticalPair, Explanation, explain_program,
                       explain_trace, find_critical_pair,
                       minimize_schedule)
-from .export import chrome_trace, jsonl_events
+from .export import chrome_trace, chrome_trace_from_spans, jsonl_events
 from .metrics import Histogram, KernelMetrics
+from .profile import FakeClock, Profiler, wall_clock
 from .monitors import (DeadlockDetector, Detector, FailureDetector, Hazard,
                        KernelView, LostWakeupDetector, MessageOrderDetector,
                        MonitorBus, RaceDetector, StarvationDetector,
@@ -47,6 +48,7 @@ from .report import html_report
 
 __all__ = [
     "Histogram", "KernelMetrics", "chrome_trace", "jsonl_events",
+    "chrome_trace_from_spans", "Profiler", "FakeClock", "wall_clock",
     "Hazard", "KernelView", "Detector", "MonitorBus",
     "DeadlockDetector", "LostWakeupDetector", "StarvationDetector",
     "MessageOrderDetector", "RaceDetector", "FailureDetector",

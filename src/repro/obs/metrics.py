@@ -38,20 +38,25 @@ __all__ = ["Histogram", "KernelMetrics"]
 
 
 class Histogram:
-    """Streaming summary of an integer series: count/total/min/max/mean.
+    """Summary of a numeric series: count/total/min/max/mean + percentiles.
 
     Deliberately not a bucketed histogram — the kernel's series are
     short and the consumers (CLI tables, JSON dumps, regression tests)
-    want exact deterministic aggregates, not approximations.
+    want exact deterministic aggregates, not approximations.  The raw
+    samples are retained so :meth:`percentile` can answer p50/p95/p99
+    exactly (nearest-rank, so the result is always an observed value and
+    identical across runs of the same schedule).
     """
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "_samples", "_dirty")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0
         self.min: Optional[int] = None
         self.max: Optional[int] = None
+        self._samples: list = []
+        self._dirty = False
 
     def record(self, value: int) -> None:
         self.count += 1
@@ -60,15 +65,47 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        self._samples.append(value)
+        self._dirty = True
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, p: float) -> Optional[float]:
+        """Nearest-rank percentile of everything recorded (0 < p <= 100).
+
+        Returns None for an empty histogram.  Nearest-rank rather than
+        interpolation: the answer is always a value that actually
+        occurred, which keeps regression baselines exact.
+        """
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile must be in (0, 100], not {p}")
+        if not self._samples:
+            return None
+        if self._dirty:
+            self._samples.sort()
+            self._dirty = False
+        rank = max(1, -(-len(self._samples) * p // 100))  # ceil
+        return self._samples[int(rank) - 1]
+
+    @property
+    def p50(self) -> Optional[float]:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> Optional[float]:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> Optional[float]:
+        return self.percentile(99)
+
     def snapshot(self) -> dict[str, Any]:
         return {"count": self.count, "total": self.total,
                 "min": self.min, "max": self.max,
-                "mean": round(self.mean, 4)}
+                "mean": round(self.mean, 4),
+                "p50": self.p50, "p95": self.p95, "p99": self.p99}
 
     def __repr__(self) -> str:
         return (f"<Histogram n={self.count} total={self.total} "
@@ -145,7 +182,8 @@ class KernelMetrics:
             for name, hist in sorted(self.histograms.items()):
                 lines.append(
                     f"  {name:<32} n={hist.count} min={hist.min} "
-                    f"max={hist.max} mean={hist.mean:.2f}")
+                    f"max={hist.max} mean={hist.mean:.2f} "
+                    f"p50={hist.p50} p95={hist.p95} p99={hist.p99}")
         if self.per_task:
             lines.append("per task:")
             for name, stats in sorted(self.per_task.items()):

@@ -141,12 +141,12 @@ def audit_fifo_single(consumed: list[tuple], producers: int) -> Optional[str]:
 # ---------------------------------------------------------------------------
 
 def run_threads_buffer(capacity: int = 4, producers: int = 2,
-                       consumers: int = 2, items_each: int = 50
-                       ) -> list[tuple]:
+                       consumers: int = 2, items_each: int = 50,
+                       profiler=None) -> list[tuple]:
     """Monitor-based bounded buffer on real threads; returns consumed."""
     from ..threads import JThread, Monitor
 
-    monitor = Monitor("buffer")
+    monitor = Monitor("buffer", profiler=profiler)
     items: list[tuple] = []
     consumed: list[tuple] = []
     total = producers * items_each
@@ -170,9 +170,11 @@ def run_threads_buffer(capacity: int = 4, producers: int = 2,
                 consumed.append(items.pop(0))
                 monitor.notify_all()
 
-    threads = ([JThread(target=producer, args=(p,), name=f"prod-{p}")
+    threads = ([JThread(target=producer, args=(p,), name=f"prod-{p}",
+                        profiler=profiler)
                 for p in range(producers)]
-               + [JThread(target=consumer, name=f"cons-{c}")
+               + [JThread(target=consumer, name=f"cons-{c}",
+                          profiler=profiler)
                   for c in range(consumers)])
     for t in threads:
         t.start()
@@ -185,8 +187,8 @@ def run_threads_buffer(capacity: int = 4, producers: int = 2,
 
 
 def run_actor_buffer(capacity: int = 4, producers: int = 2,
-                     consumers: int = 2, items_each: int = 50
-                     ) -> list[tuple]:
+                     consumers: int = 2, items_each: int = 50,
+                     profiler=None) -> list[tuple]:
     """Buffer actor mediating producers and consumers by messages.
 
     The buffer defers Get requests while empty and Put requests while
@@ -272,7 +274,7 @@ def run_actor_buffer(capacity: int = 4, producers: int = 2,
                 else:
                     self.buffer.tell(("get",), sender=self.self_ref)
 
-    with ActorSystem(workers=4) as system:
+    with ActorSystem(workers=4, profiler=profiler) as system:
         buffer = system.spawn(Buffer, name="buffer")
         for p in range(producers):
             system.spawn(Producer, p, buffer, name=f"prod-{p}")
@@ -287,8 +289,8 @@ def run_actor_buffer(capacity: int = 4, producers: int = 2,
 
 
 def run_coroutine_buffer(capacity: int = 4, producers: int = 2,
-                         consumers: int = 2, items_each: int = 50
-                         ) -> list[tuple]:
+                         consumers: int = 2, items_each: int = 50,
+                         profiler=None) -> list[tuple]:
     """Cooperative bounded buffer over CoChannel."""
     from ..coroutines import CoChannel, CoScheduler
 
@@ -303,7 +305,7 @@ def run_coroutine_buffer(capacity: int = 4, producers: int = 2,
         for _ in range(quota):
             consumed.append((yield from chan.get()))
 
-    sched = CoScheduler()
+    sched = CoScheduler(profiler=profiler)
     for p in range(producers):
         sched.spawn(producer, p, name=f"prod-{p}")
     quota = (producers * items_each) // consumers

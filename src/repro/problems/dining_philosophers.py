@@ -62,13 +62,12 @@ def philosophers_program(n: int = 3, meals: int = 1,
     return program
 
 
-def run_threads_philosophers(n: int = 5, meals: int = 20) -> int:
+def run_threads_philosophers(n: int = 5, meals: int = 20,
+                             profiler=None) -> int:
     """Ordered-fork strategy on real threads; returns meals eaten."""
-    import threading
+    from ..threads import AtomicInteger, JThread, Monitor
 
-    from ..threads import AtomicInteger, JThread
-
-    forks = [threading.Lock() for _ in range(n)]
+    forks = [Monitor(f"fork-{i}", profiler=profiler) for i in range(n)]
     eaten = AtomicInteger()
 
     def philosopher(i: int) -> None:
@@ -78,7 +77,8 @@ def run_threads_philosophers(n: int = 5, meals: int = 20) -> int:
                 with forks[b]:
                     eaten.increment_and_get()
 
-    threads = [JThread(target=philosopher, args=(i,), name=f"phil-{i}")
+    threads = [JThread(target=philosopher, args=(i,), name=f"phil-{i}",
+                       profiler=profiler)
                for i in range(n)]
     for t in threads:
         t.start()
@@ -87,7 +87,8 @@ def run_threads_philosophers(n: int = 5, meals: int = 20) -> int:
     return eaten.get()
 
 
-def run_actor_philosophers(n: int = 5, meals: int = 10) -> int:
+def run_actor_philosophers(n: int = 5, meals: int = 10,
+                           profiler=None) -> int:
     """Waiter-actor strategy: philosophers request both forks from a
     waiter that grants them atomically — deadlock is impossible because
     fork allocation is centralized (the message-passing resolution the
@@ -151,7 +152,7 @@ def run_actor_philosophers(n: int = 5, meals: int = 10) -> int:
 
     count_lock = threading.Lock()
 
-    with ActorSystem(workers=4) as system:
+    with ActorSystem(workers=4, profiler=profiler) as system:
         waiter = system.spawn(Waiter, name="waiter")
         for i in range(n):
             system.spawn(Philosopher, i, waiter, name=f"phil-{i}")
@@ -160,7 +161,8 @@ def run_actor_philosophers(n: int = 5, meals: int = 10) -> int:
     return eaten[0]
 
 
-def run_coroutine_philosophers(n: int = 5, meals: int = 10) -> int:
+def run_coroutine_philosophers(n: int = 5, meals: int = 10,
+                               profiler=None) -> int:
     """Cooperative philosophers: forks as CoSemaphores, ordered pickup."""
     from ..coroutines import CoScheduler, CoSemaphore
 
@@ -176,7 +178,7 @@ def run_coroutine_philosophers(n: int = 5, meals: int = 10) -> int:
             yield from forks[b].release()
             yield from forks[a].release()
 
-    sched = CoScheduler()
+    sched = CoScheduler(profiler=profiler)
     for i in range(n):
         sched.spawn(philosopher, i, name=f"phil-{i}")
     sched.run()

@@ -15,7 +15,7 @@ from ..core import (Acquire, Effect, Emit, Notify, Release, Scheduler,
                     SimMonitor, Wait)
 
 __all__ = ["rw_program", "rw_invariant", "ReadWriteLock",
-           "run_threads_rw", "run_coroutine_rw"]
+           "run_threads_rw", "run_actor_rw", "run_coroutine_rw"]
 
 
 def rw_program(readers: int = 2, writers: int = 1, rounds: int = 1,
@@ -97,9 +97,9 @@ class ReadWriteLock:
     lab: a monitor guarding reader/writer counters.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, profiler: Any = None) -> None:
         from ..threads import Monitor
-        self._monitor = Monitor("rwlock")
+        self._monitor = Monitor("rwlock", profiler=profiler)
         self._readers = 0
         self._writer = False
         self._waiting_writers = 0
@@ -152,8 +152,8 @@ class ReadWriteLock:
         return self._Guard(self.acquire_write, self.release_write)
 
 
-def run_threads_rw(readers: int = 4, writers: int = 2, rounds: int = 50
-                   ) -> dict[str, Any]:
+def run_threads_rw(readers: int = 4, writers: int = 2, rounds: int = 50,
+                   profiler=None) -> dict[str, Any]:
     """Hammer a shared value through ReadWriteLock; audit consistency.
 
     Writers write (round, writer_id) pairs atomically into two cells;
@@ -161,7 +161,7 @@ def run_threads_rw(readers: int = 4, writers: int = 2, rounds: int = 50
     """
     from ..threads import JThread
 
-    lock = ReadWriteLock()
+    lock = ReadWriteLock(profiler=profiler)
     cell = {"a": (0, -1), "b": (0, -1)}
     torn_reads = [0]
     reads_done = [0]
@@ -179,9 +179,10 @@ def run_threads_rw(readers: int = 4, writers: int = 2, rounds: int = 50
                     torn_reads[0] += 1
                 reads_done[0] += 1
 
-    threads = ([JThread(target=writer, args=(w,), name=f"w{w}")
+    threads = ([JThread(target=writer, args=(w,), name=f"w{w}",
+                        profiler=profiler)
                 for w in range(writers)]
-               + [JThread(target=reader, name=f"r{i}")
+               + [JThread(target=reader, name=f"r{i}", profiler=profiler)
                   for i in range(readers)])
     for t in threads:
         t.start()
@@ -191,8 +192,82 @@ def run_threads_rw(readers: int = 4, writers: int = 2, rounds: int = 50
             "final": dict(cell)}
 
 
-def run_coroutine_rw(readers: int = 4, writers: int = 2, rounds: int = 20
-                     ) -> dict[str, Any]:
+def run_actor_rw(readers: int = 4, writers: int = 2, rounds: int = 20,
+                 profiler=None) -> dict[str, Any]:
+    """Message-passing readers-writers: one Cell actor owns the data.
+
+    The actor model's answer to the fairness case study — serialization
+    through the cell's mailbox makes torn reads structurally impossible,
+    so the audit's interesting output here is the message traffic, not
+    the (always-zero) torn count.
+    """
+    import threading
+
+    from ..actors import Actor, ActorSystem
+
+    totals = {"reads": 0, "torn": 0}
+    done = threading.Event()
+    expected = readers * rounds + writers * rounds
+
+    class Cell(Actor):
+        def __init__(self) -> None:
+            super().__init__()
+            self.a = (0, -1)
+            self.b = (0, -1)
+            self.handled = 0
+
+        def receive(self, message: Any, sender: Any) -> None:
+            kind = message[0]
+            if kind == "write":
+                _, r, w = message
+                self.a = (r, w)
+                self.b = (r, w)
+            else:
+                if self.a != self.b:
+                    totals["torn"] += 1
+                totals["reads"] += 1
+            self.handled += 1
+            if self.handled >= expected:
+                done.set()
+
+    class Reader(Actor):
+        def __init__(self, cell: Any) -> None:
+            super().__init__()
+            self.cell = cell
+
+        def pre_start(self) -> None:
+            for _ in range(rounds):
+                self.cell.tell(("read",), sender=self.self_ref)
+
+        def receive(self, message: Any, sender: Any) -> None:
+            pass
+
+    class Writer(Actor):
+        def __init__(self, w: int, cell: Any) -> None:
+            super().__init__()
+            self.w = w
+            self.cell = cell
+
+        def pre_start(self) -> None:
+            for r in range(rounds):
+                self.cell.tell(("write", r, self.w), sender=self.self_ref)
+
+        def receive(self, message: Any, sender: Any) -> None:
+            pass
+
+    with ActorSystem(workers=4, profiler=profiler) as system:
+        cell = system.spawn(Cell, name="cell")
+        for w in range(writers):
+            system.spawn(Writer, w, cell, name=f"w{w}")
+        for i in range(readers):
+            system.spawn(Reader, cell, name=f"r{i}")
+        done.wait(timeout=30)
+
+    return {"torn_reads": totals["torn"], "reads": totals["reads"]}
+
+
+def run_coroutine_rw(readers: int = 4, writers: int = 2, rounds: int = 20,
+                     profiler=None) -> dict[str, Any]:
     """Cooperative readers-writers: atomicity between yields makes the
     lock almost trivial — the point of contrast with threads."""
     from ..coroutines import CoScheduler, pause
@@ -222,7 +297,7 @@ def run_coroutine_rw(readers: int = 4, writers: int = 2, rounds: int = 20
             state["readers"] -= 1
             yield pause()
 
-    sched = CoScheduler()
+    sched = CoScheduler(profiler=profiler)
     for w in range(writers):
         sched.spawn(writer, w, name=f"w{w}")
     for i in range(readers):

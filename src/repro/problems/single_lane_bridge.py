@@ -683,17 +683,17 @@ def bridge_program(cars: tuple[tuple[str, str], ...] = DEFAULT_CARS,
 
 
 def run_threads_bridge(cars: tuple[tuple[str, str], ...] = DEFAULT_CARS,
-                       crossings: int = 3) -> list[tuple]:
+                       crossings: int = 3, profiler=None) -> list[tuple]:
     """Shared-memory bridge on real threads (Monitor + guarded wait).
 
     Returns the enter/exit log (already audited — raises on violation).
     """
     from ..threads import JThread, Monitor
 
-    monitor = Monitor("bridge")
+    monitor = Monitor("bridge", profiler=profiler)
     counts = {"red": 0, "blue": 0}
     log: list[tuple] = []
-    log_lock = Monitor("log")
+    log_lock = Monitor("log", profiler=profiler)
 
     def car_main(name: str, color: str) -> None:
         other = "blue" if color == "red" else "red"
@@ -709,7 +709,8 @@ def run_threads_bridge(cars: tuple[tuple[str, str], ...] = DEFAULT_CARS,
                 counts[color] -= 1
                 monitor.notify_all()
 
-    threads = [JThread(target=car_main, args=(name, color), name=name)
+    threads = [JThread(target=car_main, args=(name, color), name=name,
+                       profiler=profiler)
                for name, color in cars]
     for t in threads:
         t.start()
@@ -722,7 +723,7 @@ def run_threads_bridge(cars: tuple[tuple[str, str], ...] = DEFAULT_CARS,
 
 
 def run_actor_bridge(cars: tuple[tuple[str, str], ...] = DEFAULT_CARS,
-                     crossings: int = 3) -> list[tuple]:
+                     crossings: int = 3, profiler=None) -> list[tuple]:
     """Message-passing bridge on the threaded actor system."""
     from ..actors import Actor, ActorSystem
 
@@ -790,7 +791,7 @@ def run_actor_bridge(cars: tuple[tuple[str, str], ...] = DEFAULT_CARS,
                     self.bridge.tell(("enter", self.color),
                                      sender=self.self_ref)
 
-    with ActorSystem(workers=3) as system:
+    with ActorSystem(workers=3, profiler=profiler) as system:
         bridge = system.spawn(Bridge, name="bridge")
         for name, color in cars:
             system.spawn(Car, color, bridge, crossings, name=name)
@@ -803,7 +804,7 @@ def run_actor_bridge(cars: tuple[tuple[str, str], ...] = DEFAULT_CARS,
 
 
 def run_coroutine_bridge(cars: tuple[tuple[str, str], ...] = DEFAULT_CARS,
-                         crossings: int = 3) -> list[tuple]:
+                         crossings: int = 3, profiler=None) -> list[tuple]:
     """Cooperative bridge: no locks needed — state changes between
     yields are atomic by construction, the cooperative model's selling
     point in the course."""
@@ -824,7 +825,7 @@ def run_coroutine_bridge(cars: tuple[tuple[str, str], ...] = DEFAULT_CARS,
             log.append((name, "exit-bridge"))
             yield pause()
 
-    sched = CoScheduler()
+    sched = CoScheduler(profiler=profiler)
     for name, color in cars:
         sched.spawn(car_task, name, color, name=name)
     sched.run()

@@ -82,8 +82,8 @@ def sum_program(amounts: tuple = (1, 2), synchronized: bool = True,
     return program
 
 
-def run_threads_sum(values: range | list = range(1000), workers: int = 4
-                    ) -> int:
+def run_threads_sum(values: range | list = range(1000), workers: int = 4,
+                    profiler=None) -> int:
     """Pooled partial sums combined under an atomic."""
     from ..threads import AtomicInteger, ThreadPool
 
@@ -94,7 +94,7 @@ def run_threads_sum(values: range | list = range(1000), workers: int = 4
     def work(part: list) -> None:
         total.add_and_get(sum(part))
 
-    with ThreadPool(workers) as pool:
+    with ThreadPool(workers, profiler=profiler) as pool:
         futures = [pool.submit(work, values[i:i + chunk])
                    for i in range(0, len(values), chunk)]
         for f in futures:
@@ -102,8 +102,8 @@ def run_threads_sum(values: range | list = range(1000), workers: int = 4
     return total.get()
 
 
-def run_actor_sum(values: range | list = range(1000), workers: int = 4
-                  ) -> int:
+def run_actor_sum(values: range | list = range(1000), workers: int = 4,
+                  profiler=None) -> int:
     """Scatter-gather: a coordinator fans chunks to worker actors and
     sums their replies."""
     import threading
@@ -138,7 +138,7 @@ def run_actor_sum(values: range | list = range(1000), workers: int = 4
 
     chunk = max(1, len(values) // workers)
     chunks = [values[i:i + chunk] for i in range(0, len(values), chunk)]
-    with ActorSystem(workers=workers) as system:
+    with ActorSystem(workers=workers, profiler=profiler) as system:
         refs = [system.spawn(Worker, name=f"sum-worker-{i}")
                 for i in range(len(chunks))]
         system.spawn(Coordinator, refs, chunks, name="coordinator")
@@ -146,8 +146,8 @@ def run_actor_sum(values: range | list = range(1000), workers: int = 4
     return result["total"]
 
 
-def run_coroutine_sum(values: range | list = range(1000), workers: int = 4
-                      ) -> int:
+def run_coroutine_sum(values: range | list = range(1000), workers: int = 4,
+                      profiler=None) -> int:
     """Cooperative workers accumulate into a shared cell — no lock
     needed because += happens atomically between yields."""
     from ..coroutines import CoScheduler, pause
@@ -161,7 +161,7 @@ def run_coroutine_sum(values: range | list = range(1000), workers: int = 4
             state["total"] += v
             yield pause()
 
-    sched = CoScheduler()
+    sched = CoScheduler(profiler=profiler)
     for i in range(0, len(values), chunk):
         sched.spawn(worker, values[i:i + chunk], name=f"worker-{i}")
     sched.run()

@@ -32,12 +32,13 @@ class BlockingQueue(Generic[T]):
     poison pills.
     """
 
-    def __init__(self, capacity: int = 0, name: str = ""):
+    def __init__(self, capacity: int = 0, name: str = "",
+                 profiler: Optional[Any] = None):
         if capacity < 0:
             raise ValueError("capacity must be >= 0 (0 = unbounded)")
         self.capacity = capacity
         self._items: deque[T] = deque()
-        self._monitor = Monitor(name or "blocking-queue")
+        self._monitor = Monitor(name or "blocking-queue", profiler=profiler)
         self._closed = False
 
     # ------------------------------------------------------------------

@@ -26,7 +26,8 @@ class JThread:
     _counter = 0
 
     def __init__(self, target: Optional[Callable[..., Any]] = None,
-                 args: tuple = (), name: str = "", daemon: bool = False):
+                 args: tuple = (), name: str = "", daemon: bool = False,
+                 profiler: Optional[Any] = None):
         JThread._counter += 1
         self.name = name or f"jthread-{JThread._counter}"
         self._target = target
@@ -36,6 +37,9 @@ class JThread:
         self._thread = threading.Thread(
             target=self._bootstrap, name=self.name, daemon=daemon)
         self._started = False
+        #: optional :class:`repro.obs.Profiler` — start latency + counts
+        self.profiler = profiler
+        self._start_t = 0.0
 
     # -- to be overridden ----------------------------------------------------
     def run(self) -> Any:
@@ -45,15 +49,25 @@ class JThread:
 
     # -- lifecycle -----------------------------------------------------------
     def _bootstrap(self) -> None:
+        prof = self.profiler
+        if prof is not None:
+            # OS scheduling delay between start() and the first instruction
+            prof.inc("thread.started")
+            prof.observe_us("thread.start_latency_us",
+                            prof.now() - self._start_t)
         try:
             self._result = self.run()
         except BaseException as exc:  # noqa: BLE001 - captured for joiner
             self._error = exc
+        if prof is not None:
+            prof.inc("thread.finished")
 
     def start(self) -> "JThread":
         if self._started:
             raise RuntimeError(f"{self.name} already started")
         self._started = True
+        if self.profiler is not None:
+            self._start_t = self.profiler.now()
         self._thread.start()
         return self
 

@@ -74,15 +74,17 @@ class ThreadPool:
     """
 
     def __init__(self, workers: int = 4, queue_capacity: int = 0,
-                 name: str = "pool"):
+                 name: str = "pool", profiler: Optional[Any] = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.name = name
+        self.profiler = profiler
         self._queue: BlockingQueue = BlockingQueue(queue_capacity,
-                                                   f"{name}.queue")
+                                                   f"{name}.queue",
+                                                   profiler=profiler)
         self._workers = [
             JThread(target=self._worker_loop, name=f"{name}-w{i}",
-                    daemon=True)
+                    daemon=True, profiler=profiler)
             for i in range(workers)]
         for w in self._workers:
             w.start()
@@ -100,10 +102,15 @@ class ThreadPool:
                 return
             if future.done():          # cancelled while queued
                 continue
+            prof = self.profiler
+            t0 = prof.now() if prof is not None else 0.0
             try:
                 future._complete(result=fn(*args))
             except BaseException as exc:  # noqa: BLE001 - routed to future
                 future._complete(error=exc)
+            if prof is not None:
+                prof.inc("pool.tasks")
+                prof.observe_us("pool.task_us", prof.now() - t0)
             with self._stats_lock:
                 self._completed += 1
 

@@ -44,7 +44,7 @@ class Monitor:
             m.notify_all()
     """
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "", profiler: Optional[Any] = None):
         self.name = name or f"monitor@{id(self):x}"
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
@@ -56,10 +56,24 @@ class Monitor:
         self.acquire_count = 0
         self.wait_count = 0
         self.notify_count = 0
+        #: optional :class:`repro.obs.Profiler` — lock wait times and
+        #: contention counts; None keeps every path allocation-free
+        self.profiler = profiler
 
     # -- lock protocol -----------------------------------------------------
     def __enter__(self) -> "Monitor":
-        self._lock.acquire()
+        prof = self.profiler
+        if prof is None:
+            self._lock.acquire()
+        elif self._lock.acquire(blocking=False):
+            prof.inc("lock.acquires")
+        else:
+            # contended: somebody else holds the lock — time the wait
+            t0 = prof.now()
+            self._lock.acquire()
+            prof.inc("lock.acquires")
+            prof.inc("lock.contended")
+            prof.observe_us("lock.wait_us", prof.now() - t0)
         self._owner = threading.get_ident()
         self._depth += 1
         if self._depth == 1:
@@ -95,6 +109,11 @@ class Monitor:
         """
         self._require_held("wait()")
         self.wait_count += 1
+        prof = self.profiler
+        t0 = 0.0
+        if prof is not None:
+            prof.inc("monitor.waits")
+            t0 = prof.now()
         depth = self._depth
         # threading.Condition handles full release/reacquire of the RLock
         self._depth = 0
@@ -104,6 +123,9 @@ class Monitor:
         finally:
             self._owner = threading.get_ident()
             self._depth = depth
+        if prof is not None:
+            prof.inc("monitor.wakeups")
+            prof.observe_us("monitor.wait_us", prof.now() - t0)
         return signalled
 
     def wait_until(self, predicate: Callable[[], bool],
@@ -123,12 +145,16 @@ class Monitor:
     def notify(self, n: int = 1) -> None:
         self._require_held("notify()")
         self.notify_count += 1
+        if self.profiler is not None:
+            self.profiler.inc("monitor.notifies")
         self._cond.notify(n)
 
     def notify_all(self) -> None:
         """The paper's NOTIFY(): every waiter finishes its WAIT()."""
         self._require_held("notifyAll()")
         self.notify_count += 1
+        if self.profiler is not None:
+            self.profiler.inc("monitor.notifies")
         self._cond.notify_all()
 
     def __repr__(self) -> str:

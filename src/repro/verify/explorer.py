@@ -42,7 +42,6 @@ are tested against.
 
 from __future__ import annotations
 
-import time
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Union
@@ -343,7 +342,9 @@ def explore(program: Program,
             workers: int = 0,
             monitors: Any = None,
             progress: Optional[Callable[[ExplorationStats], None]] = None,
-            progress_every: int = 200) -> ExplorationResult:
+            progress_every: int = 200,
+            clock: Optional[Callable[[], float]] = None
+            ) -> ExplorationResult:
     """Depth-first enumeration of every schedule of ``program``.
 
     Parameters
@@ -383,13 +384,22 @@ def explore(program: Program,
         every ``progress_every`` completed runs (sequential exploration
         only; forked workers cannot call back into the parent).  The
         callback must not mutate the stats object.
+    clock:
+        Time source for the wall-clock stats (default:
+        :data:`repro.obs.profile.wall_clock`).  Tests inject a
+        :class:`repro.obs.FakeClock` to make ``elapsed_seconds`` /
+        ``decisions_per_sec`` deterministic; everything else about the
+        exploration is already clock-free.
 
     The returned result carries ``result.stats`` — prune counters,
     frontier depth, elapsed wall time and decisions/sec.
     """
     reduce_set = _normalize_reduce(reduce)
     monitor_factory = _normalize_monitors(monitors)
-    t0 = time.perf_counter()
+    if clock is None:
+        from ..obs.profile import wall_clock
+        clock = wall_clock
+    t0 = clock()
     result = None
     if workers and workers > 1:
         result = _explore_parallel(program, max_runs=max_runs,
@@ -402,7 +412,7 @@ def explore(program: Program,
                               sample_limit=sample_limit, reduce_set=reduce_set,
                               monitor_factory=monitor_factory,
                               progress=progress, progress_every=progress_every)
-    elapsed = time.perf_counter() - t0
+    elapsed = clock() - t0
     result.stats.elapsed_seconds = elapsed
     if elapsed > 0:
         result.stats.decisions_per_sec = result.decisions / elapsed

@@ -1,0 +1,168 @@
+"""Bench runner tests — deterministic via FakeClock.
+
+``run_bench`` injects its clock, so every wall-clock-derived field
+(per-repetition run time, throughput, span timestamps) is asserted
+exactly: with ``FakeClock(step=s)`` each repetition brackets exactly
+two clock reads and therefore measures exactly ``s`` seconds.
+"""
+
+import pytest
+
+from repro.bench import (DEFAULT, QUICK, BenchResult, Workload,
+                         bench_problems, bench_runtimes, compare_to_baseline,
+                         make_baseline, run_bench)
+from repro.obs import FakeClock
+
+COROUTINE_ONLY = dict(problems=["pingpong"], runtimes=["coroutines"])
+SMALL = Workload(workers=1, ops=5, warmup=0, repetitions=3)
+
+
+def test_registry_covers_six_problems_by_three_runtimes():
+    assert bench_problems() == ["bounded_buffer", "bridge",
+                                "dining_philosophers", "pingpong",
+                                "readers_writers", "sum_workers"]
+    assert bench_runtimes() == ["threads", "actors", "coroutines"]
+
+
+def test_unknown_problem_and_runtime_raise_key_error():
+    with pytest.raises(KeyError, match="unknown bench problem"):
+        run_bench(problems=["nope"], workload=SMALL)
+    with pytest.raises(KeyError, match="unknown runtime"):
+        run_bench(runtimes=["fibers"], workload=SMALL)
+
+
+def test_fake_clock_makes_wall_times_exact():
+    clock = FakeClock(step=0.001)
+    result = run_bench(workload=SMALL, clock=clock, profile=False,
+                       **COROUTINE_ONLY)
+    cell = result.cells[0]
+    wall = cell["wall_us"]
+    # each repetition = two clock reads = exactly one step = 1000 µs
+    assert wall["count"] == 3
+    assert wall["p50"] == wall["p95"] == wall["p99"] == 1000.0
+    assert wall["min"] == wall["max"] == 1000.0
+    # 5 ops per rep over 0.001 s → 5000 ops/s, exactly
+    assert cell["throughput_ops_per_s"] == 5000.0
+    assert cell["ops_total"] == 5
+
+
+def test_cells_carry_schema_stable_fields():
+    result = run_bench(workload=SMALL, clock=FakeClock(), **COROUTINE_ONLY)
+    payload = result.as_dict()
+    assert payload["schema"] == 1
+    assert payload["workload"] == {"workers": 1, "ops": 5, "warmup": 0,
+                                   "repetitions": 3}
+    cell = payload["cells"][0]
+    assert sorted(cell) == ["ops", "ops_total", "problem", "profile",
+                            "repetitions", "runtime",
+                            "throughput_ops_per_s", "wall_us", "workers"]
+    assert sorted(cell["profile"]) == ["counters", "gauges", "histograms"]
+    assert cell["profile"]["counters"]["coro.resumes"] > 0
+    for key in ("p50", "p95", "p99", "mean", "count"):
+        assert key in cell["wall_us"]
+
+
+def test_profile_false_runs_uninstrumented():
+    result = run_bench(workload=SMALL, clock=FakeClock(), profile=False,
+                       **COROUTINE_ONLY)
+    assert result.cells[0]["profile"] == {"counters": {}, "gauges": {},
+                                          "histograms": {}}
+
+
+def test_warmup_runs_are_not_measured():
+    clock = FakeClock(step=0.001)
+    result = run_bench(workload=Workload(workers=1, ops=5, warmup=2,
+                                         repetitions=3),
+                       clock=clock, profile=False, **COROUTINE_ONLY)
+    # warmup repetitions take no clock reads and land in no histogram
+    assert result.cells[0]["wall_us"]["count"] == 3
+    assert len(result.spans) == 3
+
+
+def test_progress_callback_announces_each_cell():
+    seen = []
+    run_bench(problems=["pingpong"], runtimes=["coroutines", "threads"],
+              workload=SMALL, clock=FakeClock(), profile=False,
+              progress=seen.append)
+    assert len(seen) == 2
+    assert any("pingpong on coroutines" in m for m in seen)
+    assert any("pingpong on threads" in m for m in seen)
+
+
+def test_markdown_table_has_one_row_per_problem():
+    result = run_bench(problems=["pingpong", "sum_workers"],
+                       runtimes=["coroutines"], workload=SMALL,
+                       clock=FakeClock(), profile=False)
+    table = result.markdown()
+    lines = table.splitlines()
+    assert lines[0].startswith("| problem | coroutines ops/s |")
+    assert len(lines) == 4                   # header + rule + 2 rows
+    assert lines[2].startswith("| pingpong |")
+    assert lines[3].startswith("| sum_workers |")
+
+
+def test_markdown_detail_includes_profile_metrics():
+    result = run_bench(workload=SMALL, clock=FakeClock(), **COROUTINE_ONLY)
+    detail = result.markdown(detail=True)
+    assert "### pingpong on coroutines" in detail
+    assert "coro.resume_us" in detail
+
+
+def test_chrome_trace_one_lane_per_runtime():
+    result = run_bench(problems=["pingpong"],
+                       runtimes=["coroutines", "threads"],
+                       workload=SMALL, clock=FakeClock(step=0.001),
+                       profile=False)
+    trace = result.chrome_trace()
+    lanes = [e for e in trace["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "thread_name"]
+    assert {e["args"]["name"] for e in lanes} == {"coroutines", "threads"}
+    slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert len(slices) == 6                  # 2 cells × 3 repetitions
+    assert all(s["dur"] == 1000.0 for s in slices)
+    assert trace["otherData"]["workload"]["ops"] == 5
+
+
+# ---------------------------------------------------------------------------
+# regression baseline
+# ---------------------------------------------------------------------------
+
+def _result_with_throughput(tput: float) -> BenchResult:
+    cell = {"problem": "pingpong", "runtime": "coroutines", "workers": 1,
+            "ops": 5, "ops_total": 5, "repetitions": 3,
+            "wall_us": {"count": 3, "p50": 1000.0, "p95": 1000.0,
+                        "p99": 1000.0},
+            "throughput_ops_per_s": tput,
+            "profile": {"counters": {}, "gauges": {}, "histograms": {}}}
+    return BenchResult(SMALL, [cell], [])
+
+
+def test_make_baseline_shape_and_tolerance_bounds():
+    base = make_baseline(_result_with_throughput(5000.0), tolerance=0.8)
+    assert base["schema"] == 1
+    assert base["tolerance"] == 0.8
+    assert base["cells"]["pingpong.coroutines"] == {
+        "throughput_ops_per_s": 5000.0, "wall_us_p95": 1000.0}
+    with pytest.raises(ValueError):
+        make_baseline(_result_with_throughput(1.0), tolerance=1.0)
+
+
+def test_compare_passes_within_tolerance_and_fails_beyond():
+    base = make_baseline(_result_with_throughput(5000.0), tolerance=0.8)
+    # floor is 5000 × 0.2 = 1000 ops/s
+    assert compare_to_baseline(_result_with_throughput(5000.0), base) == []
+    assert compare_to_baseline(_result_with_throughput(1001.0), base) == []
+    regressions = compare_to_baseline(_result_with_throughput(999.0), base)
+    assert len(regressions) == 1
+    assert "pingpong.coroutines" in regressions[0]
+
+
+def test_compare_ignores_cells_missing_from_baseline():
+    base = {"schema": 1, "tolerance": 0.8, "cells": {}}
+    assert compare_to_baseline(_result_with_throughput(1.0), base) == []
+
+
+def test_quick_workload_is_smaller_than_default():
+    assert QUICK.workers <= DEFAULT.workers
+    assert QUICK.ops < DEFAULT.ops
+    assert QUICK.repetitions <= DEFAULT.repetitions

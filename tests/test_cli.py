@@ -1,0 +1,199 @@
+"""CLI contract tests — exit codes and ``--json`` payloads.
+
+The CLI is scripting surface: CI jobs and the study pipeline shell out
+to it, so its exit-code conventions are load-bearing — 0 success,
+1 violation/hazard/regression found, 2 bad arguments — and the
+``--json`` payloads must stay parseable.  Everything runs in-process
+through ``repro.cli.main(argv)``.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    """Invoke the CLI in-process; return (exit code, stdout, stderr)."""
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+# ---------------------------------------------------------------------------
+# bench
+# ---------------------------------------------------------------------------
+
+BENCH_FAST = ("--workers", "1", "--ops", "3", "--warmup", "0",
+              "--repetitions", "1")
+
+
+def test_bench_success_prints_table(capsys):
+    code, out, err = run_cli(
+        capsys, "bench", "--problems", "pingpong",
+        "--runtimes", "coroutines", *BENCH_FAST)
+    assert code == 0
+    assert out.splitlines()[0].startswith("| problem |")
+    assert "| pingpong |" in out
+    assert "bench: pingpong on coroutines" in err
+
+
+def test_bench_json_payload_is_schema_stable(capsys):
+    code, out, _ = run_cli(
+        capsys, "bench", "--problems", "pingpong,sum_workers",
+        "--runtimes", "coroutines,threads", "--json", *BENCH_FAST)
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["schema"] == 1
+    assert payload["regressions"] == []
+    assert len(payload["cells"]) == 4
+    for cell in payload["cells"]:
+        assert {"problem", "runtime", "wall_us", "throughput_ops_per_s",
+                "profile"} <= set(cell)
+
+
+def test_bench_unknown_problem_exits_2(capsys):
+    code, _, err = run_cli(capsys, "bench", "--problems", "nope",
+                           *BENCH_FAST)
+    assert code == 2
+    assert "unknown bench problem" in err
+    assert "known problems:" in err
+
+
+def test_bench_unknown_runtime_exits_2(capsys):
+    code, _, err = run_cli(capsys, "bench", "--runtimes", "fibers",
+                           "--problems", "pingpong", *BENCH_FAST)
+    assert code == 2
+    assert "unknown runtime" in err
+
+
+def test_bench_regression_gate_exits_1(capsys, tmp_path):
+    baseline = tmp_path / "BENCH_runtimes.json"
+    baseline.write_text(json.dumps({
+        "schema": 1, "tolerance": 0.5,
+        "cells": {"pingpong.coroutines":
+                  {"throughput_ops_per_s": 1e12, "wall_us_p95": 0.001}},
+    }))
+    code, _, err = run_cli(
+        capsys, "bench", "--problems", "pingpong",
+        "--runtimes", "coroutines", "--baseline", str(baseline),
+        *BENCH_FAST)
+    assert code == 1
+    assert "REGRESSION: pingpong.coroutines" in err
+
+
+def test_bench_passing_gate_and_update_baseline(capsys, tmp_path):
+    baseline = tmp_path / "BENCH_runtimes.json"
+    baseline.write_text(json.dumps({
+        "schema": 1, "tolerance": 0.8,
+        "cells": {"pingpong.coroutines":
+                  {"throughput_ops_per_s": 0.001, "wall_us_p95": 1e12}},
+    }))
+    code, _, _ = run_cli(
+        capsys, "bench", "--problems", "pingpong",
+        "--runtimes", "coroutines", "--baseline", str(baseline),
+        *BENCH_FAST)
+    assert code == 0
+    code, _, err = run_cli(
+        capsys, "bench", "--problems", "pingpong",
+        "--runtimes", "coroutines", "--baseline", str(baseline),
+        "--update-baseline", *BENCH_FAST)
+    assert code == 0
+    assert "updated baseline" in err
+    updated = json.loads(baseline.read_text())
+    assert updated["tolerance"] == 0.8       # tolerance survives rewrite
+    assert updated["cells"]["pingpong.coroutines"][
+        "throughput_ops_per_s"] > 0.001
+
+
+def test_bench_trace_dir_writes_chrome_trace(capsys, tmp_path):
+    code, _, err = run_cli(
+        capsys, "bench", "--problems", "pingpong",
+        "--runtimes", "coroutines", "--trace-dir", str(tmp_path),
+        *BENCH_FAST)
+    assert code == 0
+    trace = json.loads((tmp_path / "bench_trace.json").read_text())
+    assert any(e["ph"] == "X" for e in trace["traceEvents"])
+    assert "bench_trace.json" in err
+
+
+def test_bench_report_writes_detail_to_file(capsys, tmp_path):
+    out_file = tmp_path / "report.md"
+    code, _, _ = run_cli(
+        capsys, "bench", "--problems", "pingpong",
+        "--runtimes", "coroutines", "--report", "--out", str(out_file),
+        *BENCH_FAST)
+    assert code == 0
+    text = out_file.read_text()
+    assert "### pingpong on coroutines" in text
+
+
+# ---------------------------------------------------------------------------
+# monitor
+# ---------------------------------------------------------------------------
+
+def test_monitor_clean_problem_exits_0(capsys):
+    # pingpong emits an info-severity witness hazard (async-send), which
+    # must not flag the run — only error/warning severities exit 1
+    code, out, _ = run_cli(capsys, "monitor", "pingpong", "--seed", "7")
+    assert code == 0
+    assert "pingpong: 1 run, outcome done" in out
+
+
+def test_monitor_hazard_found_exits_1_with_json(capsys):
+    # the bug-gallery deadlock variant trips the deadlock detector on
+    # exploration
+    code, out, _ = run_cli(capsys, "monitor", "bug:deadlock-lock-ordering",
+                           "--explore", "--max-runs", "2000", "--json")
+    assert code == 1
+    payload = json.loads(out)
+    assert payload["flagged"] is True
+    assert any(h["severity"] in ("error", "warning")
+               for h in payload["hazards"])
+
+
+def test_monitor_unknown_problem_exits_2(capsys):
+    code, _, err = run_cli(capsys, "monitor", "no-such-problem")
+    assert code == 2
+    assert "unknown problem" in err
+
+
+# ---------------------------------------------------------------------------
+# explain
+# ---------------------------------------------------------------------------
+
+def test_explain_no_violation_exits_0(capsys):
+    code, out, _ = run_cli(capsys, "explain", "pingpong",
+                           "--max-runs", "2000")
+    assert code == 0
+    assert "no violation found" in out
+
+
+def test_explain_violation_exits_1(capsys):
+    code, out, _ = run_cli(capsys, "explain", "bug:deadlock-lock-ordering",
+                           "--max-runs", "2000")
+    assert code == 1
+    assert out     # narrative on stdout
+
+
+def test_explain_unknown_problem_exits_2(capsys):
+    code, _, err = run_cli(capsys, "explain", "no-such-problem")
+    assert code == 2
+    assert "unknown problem" in err
+
+
+# ---------------------------------------------------------------------------
+# argparse-level bad arguments
+# ---------------------------------------------------------------------------
+
+def test_unknown_subcommand_exits_2(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["frobnicate"])
+    assert exc.value.code == 2
+
+
+def test_bench_rejects_non_integer_workload(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["bench", "--workers", "many"])
+    assert exc.value.code == 2

@@ -98,3 +98,21 @@ class TestParallelAndMerge:
         assert a.sleep_prunes == 1
         assert a.fingerprint_hits == 2
         assert a.max_frontier_depth == 9
+
+
+class TestClockInjection:
+    def test_fake_clock_makes_wall_stats_deterministic(self):
+        from repro.obs import FakeClock
+
+        clock = FakeClock(step=0.5)
+        result = explore(kernel_program("pingpong"), max_runs=100,
+                         reduce=True, clock=clock)
+        # explore() brackets the search with exactly two clock reads
+        assert clock.calls == 2
+        assert result.stats.elapsed_seconds == 0.5
+        assert result.stats.decisions_per_sec == result.decisions / 0.5
+
+    def test_default_clock_still_measures_wall_time(self):
+        result = explore(kernel_program("pingpong"), max_runs=100,
+                         reduce=True)
+        assert result.stats.elapsed_seconds > 0

@@ -16,7 +16,8 @@ class TestHistogram:
         assert h.count == 0
         assert h.mean == 0.0
         assert h.snapshot() == {"count": 0, "total": 0, "min": None,
-                                "max": None, "mean": 0.0}
+                                "max": None, "mean": 0.0,
+                                "p50": None, "p95": None, "p99": None}
 
     def test_record(self):
         h = Histogram()
@@ -27,6 +28,34 @@ class TestHistogram:
         assert snap["min"] == 1
         assert snap["max"] == 8
         assert snap["mean"] == pytest.approx(4.0)
+        assert snap["p50"] == 3
+
+    def test_percentiles_nearest_rank(self):
+        h = Histogram()
+        for v in range(1, 101):          # 1..100, recorded out of order
+            h.record(101 - v)
+        assert h.p50 == 50
+        assert h.p95 == 95
+        assert h.p99 == 99
+        assert h.percentile(100) == 100
+        assert h.percentile(1) == 1
+
+    def test_percentiles_interleave_with_records(self):
+        h = Histogram()
+        h.record(10)
+        assert h.p50 == 10               # sorted-cache then invalidated
+        h.record(2)
+        h.record(4)
+        assert h.p50 == 4
+        assert h.p99 == 10
+
+    def test_percentile_rejects_out_of_range(self):
+        h = Histogram()
+        h.record(1)
+        with pytest.raises(ValueError):
+            h.percentile(0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
 
 
 class TestKernelMetrics:
