@@ -17,10 +17,15 @@ from pathlib import Path
 
 import pytest
 
-from repro.bench import QUICK, make_baseline, run_bench
+from repro.bench import QUICK, Workload, make_baseline, run_bench
 from repro.obs import Profiler
 
 _RESULTS: dict = {}
+
+#: the cluster bench's own workload — bigger than QUICK because the
+#: distributed runtime amortizes per-message wire cost over pipelined
+#: in-flight batches; tiny runs measure only connection warmup
+CLUSTER_WORKLOAD = Workload(workers=4, ops=2000, warmup=1, repetitions=3)
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -28,10 +33,18 @@ def write_bench_json():
     """Dump the regression baseline once the matrix has run."""
     yield
     if "result" in _RESULTS:
-        base = make_baseline(_RESULTS["result"])
+        result = _RESULTS["result"]
+        if "cluster" in _RESULTS:
+            result.cells.extend(_RESULTS["cluster"].cells)
+        base = make_baseline(result)
         # extra keys ride along; compare_to_baseline only reads
         # "cells"/"tolerance"
         base["profiling_overhead"] = _RESULTS.get("profiling-overhead", {})
+        base["cluster_workload"] = {
+            "workers": CLUSTER_WORKLOAD.workers,
+            "ops": CLUSTER_WORKLOAD.ops,
+            "repetitions": CLUSTER_WORKLOAD.repetitions,
+        }
         out = Path(__file__).parent / "BENCH_runtimes.json"
         out.write_text(json.dumps(base, indent=2, sort_keys=True) + "\n")
 
@@ -47,6 +60,43 @@ def test_bench_full_runtime_matrix(benchmark):
         assert cell["wall_us"]["p50"] <= cell["wall_us"]["p95"] \
             <= cell["wall_us"]["p99"]
         assert cell["profile"]["counters"], cell["problem"]
+
+
+@pytest.mark.cluster
+def test_bench_cluster_beats_single_process_actors(benchmark):
+    """The distributed runtime's reason to exist, measured: a two-node
+    pingpong (driver + worker subprocess over TCP) must out-run the
+    single-process actor runtime despite paying for serialization,
+    framing, acks, and credit flow — because it gets a second
+    interpreter, i.e. a second core the GIL can't serialize away."""
+    from repro.cluster.bench import run_cluster_bench
+
+    result = benchmark.pedantic(
+        lambda: run_cluster_bench(workload=CLUSTER_WORKLOAD),
+        rounds=1, iterations=1)
+    _RESULTS["cluster"] = result
+    cells = {c["problem"]: c for c in result.cells}
+    assert set(cells) == {"pingpong", "bridge"}
+    for cell in result.cells:
+        assert cell["runtime"] == "cluster"
+        assert cell["throughput_ops_per_s"] > 0, cell
+        assert cell["wall_us"]["count"] == CLUSTER_WORKLOAD.repetitions
+        # merged cross-process profile: both nodes contributed counters
+        assert cell["profile"]["counters"].get("cluster.delivered", 0) > 0
+
+    if "result" in _RESULTS:           # fresh same-machine number
+        actors = next(c["throughput_ops_per_s"]
+                      for c in _RESULTS["result"].cells
+                      if c["problem"] == "pingpong"
+                      and c["runtime"] == "actors")
+    else:                              # standalone run: checked-in number
+        baseline = json.loads(
+            (Path(__file__).parent / "BENCH_runtimes.json").read_text())
+        actors = baseline["cells"]["pingpong.actors"]["throughput_ops_per_s"]
+    cluster = cells["pingpong"]["throughput_ops_per_s"]
+    assert cluster > actors, (
+        f"cluster pingpong {cluster:,.0f} ops/s did not beat "
+        f"single-process actors {actors:,.0f} ops/s")
 
 
 def test_bench_profiling_overhead_stays_bounded(benchmark):

@@ -49,6 +49,12 @@ class ActorRef:
     def is_stopped(self) -> bool:
         return self._cell.stopped
 
+    @property
+    def pending(self) -> int:
+        """Messages waiting in the mailbox (0 for cells without depth)."""
+        depth = getattr(self._cell, "depth", None)
+        return depth() if depth is not None else 0
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, ActorRef) and other.actor_id == self.actor_id
 

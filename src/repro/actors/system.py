@@ -60,7 +60,8 @@ class _Cell:
     """Runtime state of one actor: mailbox, flags, instance."""
 
     def __init__(self, system: "ActorSystem", actor: Actor, ref_name: str,
-                 actor_id: int):
+                 actor_id: int,
+                 directive: Optional["SupervisionDirective"] = None):
         self.system = system
         self.actor = actor
         self.ref = ActorRef(actor_id, ref_name, self)
@@ -69,6 +70,8 @@ class _Cell:
         self.scheduled = False
         self._stopped = False
         self.started = False
+        #: per-actor supervision override (None = system default)
+        self.directive = directive
         #: enqueue timestamps, parallel to ``mailbox`` (profiling only —
         #: both deques are pushed/popped together under ``lock``, so the
         #: head timestamp always belongs to the head message)
@@ -78,6 +81,11 @@ class _Cell:
     @property
     def stopped(self) -> bool:
         return self._stopped
+
+    def depth(self) -> int:
+        """Messages currently pending in the mailbox."""
+        with self.lock:
+            return len(self.mailbox)
 
     def enqueue(self, message: Any, sender: Optional[ActorRef]) -> None:
         prof = self.system.profiler
@@ -188,19 +196,30 @@ class ActorSystem:
         self._cells_lock = threading.Lock()
         self.dead_letters: list[DeadLetter] = []
         self._dl_lock = threading.Lock()
-        self.failures: list[tuple[str, BaseException]] = []
+        self._failures: list[tuple[str, BaseException]] = []
+        self._failures_lock = threading.Lock()
+        #: optional callback (name, error, applied_directive) invoked after
+        #: a failure is handled — the cluster layer hangs watch signals here
+        self.failure_listener: Optional[Any] = None
         self._idle = Monitor(f"{name}.idle")
 
     # ------------------------------------------------------------------
     def spawn(self, actor_class: type, *args: Any, name: str = "",
+              directive: Optional[SupervisionDirective] = None,
               **kwargs: Any) -> ActorRef:
-        """Instantiate and register an actor; returns its ref."""
+        """Instantiate and register an actor; returns its ref.
+
+        ``directive`` overrides the system-wide supervision default for
+        this actor only — one crashing actor can be STOPped while the
+        rest RESTART.
+        """
         if not issubclass(actor_class, Actor):
             raise TypeError(f"{actor_class.__name__} is not an Actor subclass")
         actor = actor_class(*args, **kwargs)
         actor_id = next(self._ids)
         cell = _Cell(self, actor, name or
-                     f"{actor_class.__name__.lower()}-{actor_id}", actor_id)
+                     f"{actor_class.__name__.lower()}-{actor_id}", actor_id,
+                     directive=directive)
         actor.context = ActorContext(self, cell.ref)
         with self._cells_lock:
             self._cells[actor_id] = cell
@@ -265,17 +284,38 @@ class ActorSystem:
 
     def _on_failure(self, cell: _Cell, error: BaseException,
                     message: Any) -> None:
-        self.failures.append((cell.ref.name, error))
-        directive = self.directive
-        if directive is SupervisionDirective.RESUME:
-            return
+        # runs on dispatch-pool threads: the failure log needs the same
+        # lock discipline as dead_letters
+        with self._failures_lock:
+            self._failures.append((cell.ref.name, error))
+        directive = cell.directive if cell.directive is not None \
+            else self.directive
         if directive is SupervisionDirective.RESTART:
             try:
                 cell.actor.pre_restart(error, message)
             except BaseException:  # noqa: BLE001
                 pass
-            return
-        cell._do_stop()
+        elif directive is SupervisionDirective.STOP:
+            cell._do_stop()
+        listener = self.failure_listener
+        if listener is not None:
+            try:
+                listener(cell.ref.name, error, directive)
+            except BaseException:  # noqa: BLE001 - listeners must not
+                pass               # kill dispatch workers
+
+    def failures(self) -> list[tuple[str, BaseException]]:
+        """Snapshot copy of every (actor name, error) recorded so far."""
+        with self._failures_lock:
+            return list(self._failures)
+
+    def set_directive(self, ref: ActorRef,
+                      directive: Optional[SupervisionDirective]) -> None:
+        """Change one actor's supervision override (None = system default)."""
+        with self._cells_lock:
+            cell = self._cells.get(ref.actor_id)
+        if cell is not None:
+            cell.directive = directive
 
     @property
     def actor_count(self) -> int:

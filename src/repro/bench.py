@@ -212,6 +212,9 @@ class BenchResult:
         """
         runtimes = [r for r in RUNTIMES
                     if any(c["runtime"] == r for c in self.cells)]
+        # extra runtimes (e.g. "cluster") get columns after the core three
+        runtimes += sorted({c["runtime"] for c in self.cells}
+                           - set(RUNTIMES))
         problems = sorted({c["problem"] for c in self.cells})
         head = ("| problem | "
                 + " | ".join(f"{r} ops/s | {r} p95 ms" for r in runtimes)

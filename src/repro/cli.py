@@ -390,6 +390,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
 
+    if args.cluster:
+        from .cluster.bench import cluster_bench_problems, run_cluster_bench
+        cluster_problems = None
+        if problems is not None:
+            cluster_problems = [p for p in problems
+                                if p in cluster_bench_problems()]
+        if cluster_problems is None or cluster_problems:
+            cluster = run_cluster_bench(problems=cluster_problems,
+                                        workload=workload,
+                                        progress=progress)
+            result.cells.extend(cluster.cells)
+            result.spans.extend(cluster.spans)
+
     if args.trace_dir:
         trace_dir = Path(args.trace_dir)
         trace_dir.mkdir(parents=True, exist_ok=True)
@@ -571,6 +584,10 @@ def main(argv: list[str] | None = None) -> int:
                          help="measured repetitions per cell")
     p_bench.add_argument("--quick", action="store_true",
                          help="CI smoke workload (small + fast)")
+    p_bench.add_argument("--cluster", action="store_true",
+                         help="also run the two-process cluster cells "
+                              "(pingpong, bridge) and merge them into "
+                              "the matrix")
     p_bench.add_argument("--json", action="store_true",
                          help="schema-stable JSON report on stdout")
     p_bench.add_argument("--report", action="store_true",
@@ -588,6 +605,9 @@ def main(argv: list[str] | None = None) -> int:
                          help="rewrite --baseline from this run instead "
                               "of gating against it")
     p_bench.set_defaults(fn=_cmd_bench)
+
+    from .cluster.cli import add_cluster_commands
+    add_cluster_commands(sub)
 
     p_study = sub.add_parser("study", help="run the full §V study")
     p_study.add_argument("--seed", type=int, default=None)

@@ -1,0 +1,371 @@
+"""Cluster benchmark cells — multi-process throughput measurements.
+
+The single-process actor pingpong is *serial*: one message in flight,
+so its throughput is one round-trip latency inverted, GIL included.
+The cluster cells exist to show what the paper's actor model buys once
+a second OS process (second core, second GIL) joins: ``workers``
+pinger/echo pairs run concurrently with a pipelined in-flight window
+per pair, frames coalesce in the socket transport's batching writer,
+and the two processes make progress truly in parallel.
+
+Unlike :func:`repro.bench.run_bench`, which times whole adapter calls,
+cluster setup (subprocess fork, TCP handshake, remote spawns) would
+drown the numbers it is supposed to measure — so
+:func:`run_cluster_bench` builds the two-node topology *once* per
+problem, then times only the steady-state message exchange of each
+repetition.  Cells land in the same schema and merge into the same
+``BENCH_runtimes.json`` baseline under ``<problem>.cluster`` keys.
+
+The worker side is a real second process: ``repro cluster serve``
+spawned via ``sys.executable``, announcing its ephemeral port on
+stdout.  Everything the bench spawns remotely is a registered actor
+type in this module (importing it is what arms the worker).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+from typing import Any, Callable, Optional
+
+from ..actors import Actor
+from ..bench import DEFAULT, BenchResult, Workload
+from ..obs.metrics import Histogram
+from ..obs.profile import Profiler, wall_clock
+from .message import PickleSerializer
+from .node import ClusterConfig, ClusterNode, register_actor_type
+from .observe import merge_profiles
+from .transport import SocketTransport
+
+__all__ = ["run_cluster_bench", "cluster_bench_problems",
+           "BENCH_CONFIG", "Echo", "ClusterBridge", "Car", "Pinger"]
+
+#: bench nodes run with deep windows — the point is throughput, and the
+#: backpressure tests use small bounds elsewhere
+BENCH_CONFIG = ClusterConfig(mailbox_bound=4096, credit_window=4096,
+                             retry_timeout=1.0, max_attempts=6,
+                             heartbeat_interval=0.5, suspect_after=5.0,
+                             down_after=30.0, ack_every=64)
+
+
+# ---------------------------------------------------------------------------
+# bench actors (registered so `repro cluster serve` can spawn them)
+# ---------------------------------------------------------------------------
+
+class Echo(Actor):
+    """Bounce every message straight back to its sender."""
+
+    def receive(self, message, sender):
+        if sender is not None:
+            sender.tell(message, sender=self.self_ref)
+
+
+class Pinger(Actor):
+    """One pipelined ping source: keeps ``inflight`` messages racing.
+
+    Starts a burst on ``("start", rounds)`` and signals ``done`` once
+    every round-trip of the repetition completed — the driver thread
+    times between those two points.
+    """
+
+    def __init__(self, target: Any, inflight: int,
+                 done: threading.Event):
+        super().__init__()
+        self.target = target
+        self.inflight = inflight
+        self.done = done
+        self.rounds = 0
+        self.sent = 0
+        self.received = 0
+
+    def receive(self, message, sender):
+        if isinstance(message, (tuple, list)) and message[0] == "start":
+            self.rounds = int(message[1])
+            self.sent = self.received = 0
+            for _ in range(min(self.inflight, self.rounds)):
+                self.sent += 1
+                self.target.tell(self.sent, sender=self.self_ref)
+            return
+        self.received += 1
+        if self.sent < self.rounds:
+            self.sent += 1
+            self.target.tell(self.sent, sender=self.self_ref)
+        if self.received >= self.rounds:
+            self.done.set()
+
+
+class ClusterBridge(Actor):
+    """Single-lane bridge arbiter living on the worker node.
+
+    Cars on other nodes ask ``["enter", direction]`` and get ``"go"``
+    when the lane is theirs; ``["exit", direction]`` frees it.  One
+    direction holds the lane at a time; opposite-direction cars queue.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.direction: Optional[str] = None
+        self.on_bridge = 0
+        self.waiting: list[tuple[str, Any]] = []   # (direction, sender)
+
+    def receive(self, message, sender):
+        what, direction = message[0], message[1]
+        if what == "enter":
+            if self.on_bridge == 0 or self.direction == direction:
+                self.direction = direction
+                self.on_bridge += 1
+                sender.tell("go", sender=self.self_ref)
+            else:
+                self.waiting.append((direction, sender))
+        elif what == "exit":
+            self.on_bridge -= 1
+            if self.on_bridge == 0:
+                self.direction = None
+                if self.waiting:
+                    self.direction = self.waiting[0][0]
+                    grant = [w for w in self.waiting
+                             if w[0] == self.direction]
+                    self.waiting = [w for w in self.waiting
+                                    if w[0] != self.direction]
+                    for _, waiter in grant:
+                        self.on_bridge += 1
+                        waiter.tell("go", sender=self.self_ref)
+
+
+class Car(Actor):
+    """One car crossing the (possibly remote) bridge repeatedly."""
+
+    def __init__(self, bridge: Any, direction: str,
+                 done: threading.Event, remaining: list):
+        super().__init__()
+        self.bridge = bridge
+        self.direction = direction
+        self.done = done
+        self.remaining = remaining     # [crossings left across all cars]
+        self.crossings = 0
+
+    def receive(self, message, sender):
+        if isinstance(message, (tuple, list)) and message[0] == "start":
+            self.crossings = int(message[1])
+            self.bridge.tell(["enter", self.direction],
+                             sender=self.self_ref)
+            return
+        if message == "go":
+            self.bridge.tell(["exit", self.direction],
+                             sender=self.self_ref)
+            self.crossings -= 1
+            self.remaining[0] -= 1
+            if self.remaining[0] <= 0:
+                self.done.set()
+            if self.crossings > 0:
+                self.bridge.tell(["enter", self.direction],
+                                 sender=self.self_ref)
+
+
+register_actor_type("cluster-echo", Echo)
+register_actor_type("cluster-bridge", ClusterBridge)
+
+
+def cluster_bench_problems() -> list[str]:
+    return ["pingpong", "bridge"]
+
+
+# ---------------------------------------------------------------------------
+# worker process management
+# ---------------------------------------------------------------------------
+
+def spawn_worker(name: str = "worker", timeout: float = 20.0,
+                 extra: Optional[list] = None
+                 ) -> tuple[subprocess.Popen, int]:
+    """Start a ``repro cluster serve`` child; returns (proc, port).
+
+    The child binds an ephemeral port and announces ``PORT <n>`` on
+    stdout; we block until that line (or die trying).  ``extra``
+    appends additional ``serve`` flags (e.g. ``["--trace"]``).
+    """
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "cluster", "serve",
+         "--name", name, "--port", "0", "--serializer", "pickle",
+         "--announce", *(extra or [])],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        env=env, text=True)
+    deadline = time.monotonic() + timeout
+    port = None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        if line.startswith("PORT "):
+            port = int(line.split()[1])
+            break
+    if port is None:
+        proc.kill()
+        raise RuntimeError("cluster worker never announced its port")
+    return proc, port
+
+
+class _Topology:
+    """Driver node + one worker process, torn down reliably."""
+
+    def __init__(self, profiler: Profiler):
+        self.proc, port = spawn_worker()
+        self.driver = ClusterNode(
+            "driver", SocketTransport("driver", listen=False),
+            serializer=PickleSerializer(), config=BENCH_CONFIG,
+            profiler=profiler, workers=4)
+        self.driver.connect("worker", ("127.0.0.1", port))
+
+    def close(self) -> dict[str, Any]:
+        try:
+            worker_profile = self.driver.status_of(
+                "worker", profile=True, timeout=5.0).get("profile") or {}
+        except Exception:
+            worker_profile = {}
+        self.driver.close()
+        self.proc.terminate()
+        try:
+            self.proc.wait(timeout=5)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+        return worker_profile
+
+
+# ---------------------------------------------------------------------------
+# the cells
+# ---------------------------------------------------------------------------
+
+def _measure(setup: Callable[[ClusterNode], tuple],
+             workload: Workload, profiler: Profiler,
+             clock: Callable[[], float], problem: str,
+             spans: list, timeout: float = 120.0) -> dict[str, Any]:
+    """Shared shape of one cluster cell: topology up (untimed), then
+    warmup + timed repetitions of the steady-state exchange."""
+    topo = _Topology(profiler)
+    try:
+        start_rep, ops_per_rep = setup(topo.driver)
+        wall = Histogram()
+        ops_total = 0
+        total_s = 0.0
+        for rep in range(workload.warmup + workload.repetitions):
+            t0 = clock()
+            if not start_rep():
+                raise RuntimeError(
+                    f"cluster {problem} repetition timed out "
+                    f"(driver status: {topo.driver.status()})")
+            t1 = clock()
+            if rep < workload.warmup:
+                continue
+            measured = rep - workload.warmup
+            wall.record((t1 - t0) * 1e6)
+            ops_total += ops_per_rep
+            total_s += t1 - t0
+            spans.append((f"{problem} rep {measured}", "cluster", t0, t1))
+        worker_profile = topo.close()
+        merged = merge_profiles({"driver": profiler.snapshot(),
+                                 "worker": worker_profile})
+        return {
+            "problem": problem,
+            "runtime": "cluster",
+            "workers": workload.workers,
+            "ops": workload.ops,
+            "ops_total": ops_per_rep,
+            "repetitions": workload.repetitions,
+            "wall_us": wall.snapshot(),
+            "throughput_ops_per_s": (
+                round(ops_total / total_s, 1) if total_s > 0 else 0.0),
+            "profile": {"counters": merged["counters"],
+                        "gauges": merged["gauges"],
+                        "histograms": merged["histograms"]},
+        }
+    except BaseException:
+        topo.close()
+        raise
+
+
+def _pingpong_setup(workload: Workload, timeout: float
+                    ) -> Callable[[ClusterNode], tuple]:
+    def setup(driver: ClusterNode) -> tuple:
+        pairs = max(2, workload.workers)
+        rounds_each = workload.ops
+        inflight = 128   # pipeline depth per pair; measured optimum
+        events, pingers = [], []
+        for i in range(pairs):
+            echo = driver.spawn_remote("worker", "cluster-echo",
+                                       f"echo-{i}")
+            done = threading.Event()
+            events.append(done)
+            pingers.append(driver.spawn(Pinger, echo, inflight, done,
+                                        name=f"pinger-{i}"))
+
+        def start_rep() -> bool:
+            for done in events:
+                done.clear()
+            for pinger in pingers:
+                pinger.tell(("start", rounds_each))
+            return all(done.wait(timeout) for done in events)
+
+        return start_rep, pairs * rounds_each
+    return setup
+
+
+def _bridge_setup(workload: Workload, timeout: float
+                  ) -> Callable[[ClusterNode], tuple]:
+    def setup(driver: ClusterNode) -> tuple:
+        cars_n = max(2, workload.workers)
+        crossings = workload.ops
+        bridge = driver.spawn_remote("worker", "cluster-bridge", "bridge")
+        done = threading.Event()
+        remaining = [0]
+        cars = [driver.spawn(Car, bridge,
+                             "red" if i % 2 == 0 else "blue",
+                             done, remaining, name=f"car-{i}")
+                for i in range(cars_n)]
+
+        def start_rep() -> bool:
+            done.clear()
+            remaining[0] = cars_n * crossings
+            for car in cars:
+                car.tell(("start", crossings))
+            return done.wait(timeout)
+
+        return start_rep, cars_n * crossings
+    return setup
+
+
+def run_cluster_bench(problems: Optional[list[str]] = None,
+                      workload: Workload = DEFAULT,
+                      clock: Optional[Callable[[], float]] = None,
+                      progress: Optional[Callable[[str], None]] = None,
+                      timeout: float = 120.0) -> BenchResult:
+    """Measure the cluster cells; returns a BenchResult like
+    :func:`repro.bench.run_bench` (cells carry ``runtime="cluster"``).
+
+    Spawns one worker process per problem — real sockets, real second
+    core.  Not deterministic; lives outside tier-1 on purpose.
+    """
+    known = cluster_bench_problems()
+    problems = list(problems) if problems else known
+    for p in problems:
+        if p not in known:
+            raise KeyError(f"unknown cluster bench problem {p!r}; known: "
+                           + ", ".join(known))
+    clock = clock if clock is not None else wall_clock
+    setups = {"pingpong": _pingpong_setup(workload, timeout),
+              "bridge": _bridge_setup(workload, timeout)}
+    cells: list[dict[str, Any]] = []
+    spans: list[tuple] = []
+    for problem in problems:
+        if progress is not None:
+            progress(f"{problem} on cluster (2 processes, "
+                     f"{workload.repetitions} reps)")
+        profiler = Profiler(clock=clock)
+        cells.append(_measure(setups[problem], workload, profiler,
+                              clock, problem, spans, timeout))
+    return BenchResult(workload, cells, spans)

@@ -1,0 +1,152 @@
+"""Wire format of the cluster — envelopes plus pluggable serialization.
+
+Every byte that crosses a node boundary is one :class:`Envelope`
+serialized by a :class:`Serializer` and framed by the transport
+(:mod:`repro.cluster.transport`).  Keeping the envelope a dumb record
+with primitive fields is what makes serialization pluggable: the JSON
+codec covers the CLI verbs (human-debuggable, payloads restricted to
+JSON types), the pickle codec covers the bench and arbitrary Python
+payloads inside one trust domain.
+
+Addressing is ``node/actor`` paths (:func:`make_path`/:func:`split_path`)
+— the router on each node owns everything left of the slash, the local
+:class:`~repro.actors.system.ActorSystem` everything right of it.
+
+Reliability metadata rides in the envelope itself: ``seq`` is a
+per-origin-node monotonic sequence number for the *reliable* kinds
+(TELL/SPAWN/WATCH/SIGNAL/STATUS — retried until cumulatively ACKed,
+deduplicated at the receiver), while ACK/CREDIT/HEARTBEAT/HELLO/REPLY
+are fire-and-forget control traffic (``seq == 0``).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from typing import Any, Optional
+
+__all__ = [
+    "Envelope", "Serializer", "JsonSerializer", "PickleSerializer",
+    "serializer", "make_path", "split_path",
+    "TELL", "ACK", "CREDIT", "HEARTBEAT", "HELLO", "SPAWN", "WATCH",
+    "SIGNAL", "STATUS", "REPLY", "RELIABLE_KINDS",
+]
+
+# -- envelope kinds ---------------------------------------------------------
+TELL = "tell"            # user message for a remote actor
+ACK = "ack"              # cumulative delivery acknowledgement
+CREDIT = "credit"        # mailbox credit replenishment (backpressure)
+HEARTBEAT = "heartbeat"  # failure-detector liveness beacon
+HELLO = "hello"          # connection handshake: announces the origin node
+SPAWN = "spawn"          # remote actor creation request
+WATCH = "watch"          # cross-node supervision registration
+SIGNAL = "signal"        # supervision signal (watched actor failed/stopped)
+STATUS = "status"        # node introspection request
+REPLY = "reply"          # response to SPAWN/STATUS, keyed by request seq
+
+#: kinds that are retried until acknowledged and deduplicated at the receiver
+RELIABLE_KINDS = frozenset({TELL, SPAWN, WATCH, SIGNAL, STATUS})
+
+
+def make_path(node: str, actor: str) -> str:
+    """``node/actor`` — the cluster-wide name of one actor."""
+    return f"{node}/{actor}"
+
+
+def split_path(path: str) -> tuple[str, str]:
+    """Split ``node/actor``; raises ValueError on a path with no slash."""
+    node, sep, actor = path.partition("/")
+    if not sep or not node or not actor:
+        raise ValueError(f"malformed actor path {path!r} "
+                         "(expected 'node/actor')")
+    return node, actor
+
+
+class Envelope:
+    """One unit of cluster traffic.
+
+    ``target`` is an actor path for TELL/SIGNAL, a bare node name for
+    node-level kinds; ``sender`` is the actor path replies should go to
+    (or None).  ``payload`` is kind-specific and must survive the
+    configured serializer.
+    """
+
+    __slots__ = ("kind", "seq", "origin", "target", "sender", "payload")
+
+    def __init__(self, kind: str, seq: int, origin: str, target: str,
+                 payload: Any = None, sender: Optional[str] = None):
+        self.kind = kind
+        self.seq = seq
+        self.origin = origin
+        self.target = target
+        self.sender = sender
+        self.payload = payload
+
+    def as_tuple(self) -> tuple:
+        return (self.kind, self.seq, self.origin, self.target,
+                self.sender, self.payload)
+
+    @classmethod
+    def from_tuple(cls, data: tuple) -> "Envelope":
+        kind, seq, origin, target, sender, payload = data
+        return cls(kind, seq, origin, target, payload=payload, sender=sender)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Envelope) \
+            and other.as_tuple() == self.as_tuple()
+
+    def __repr__(self) -> str:
+        return (f"<Envelope {self.kind} #{self.seq} "
+                f"{self.origin}->{self.target} {self.payload!r}>")
+
+
+class Serializer:
+    """Codec between an :class:`Envelope` and transport bytes."""
+
+    name = "serializer"
+
+    def encode(self, env: Envelope) -> bytes:
+        raise NotImplementedError
+
+    def decode(self, data: bytes) -> Envelope:
+        raise NotImplementedError
+
+
+class JsonSerializer(Serializer):
+    """Human-debuggable wire format; payloads limited to JSON types."""
+
+    name = "json"
+
+    def encode(self, env: Envelope) -> bytes:
+        return json.dumps({
+            "kind": env.kind, "seq": env.seq, "origin": env.origin,
+            "target": env.target, "sender": env.sender,
+            "payload": env.payload,
+        }, sort_keys=True).encode("utf-8")
+
+    def decode(self, data: bytes) -> Envelope:
+        obj = json.loads(data.decode("utf-8"))
+        return Envelope(obj["kind"], obj["seq"], obj["origin"],
+                        obj["target"], payload=obj.get("payload"),
+                        sender=obj.get("sender"))
+
+
+class PickleSerializer(Serializer):
+    """Arbitrary Python payloads — one trust domain only (it's pickle)."""
+
+    name = "pickle"
+
+    def encode(self, env: Envelope) -> bytes:
+        return pickle.dumps(env.as_tuple(), protocol=pickle.HIGHEST_PROTOCOL)
+
+    def decode(self, data: bytes) -> Envelope:
+        return Envelope.from_tuple(pickle.loads(data))
+
+
+def serializer(name: str) -> Serializer:
+    """Serializer registry: ``json`` or ``pickle``."""
+    if name == "json":
+        return JsonSerializer()
+    if name == "pickle":
+        return PickleSerializer()
+    raise KeyError(f"unknown serializer {name!r}; known: json, pickle")

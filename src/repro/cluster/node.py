@@ -1,0 +1,976 @@
+"""ClusterNode — one process of the distributed actor runtime.
+
+A node hosts a local :class:`~repro.actors.system.ActorSystem` and joins
+it to the cluster through a frame transport
+(:mod:`repro.cluster.transport`).  Everything the single-process actor
+runtime promises locally, the node extends across the process boundary:
+
+* **location transparency** — :meth:`ClusterNode.ref` hands back a local
+  :class:`~repro.actors.ref.ActorRef` or a :class:`RemoteRef` depending
+  on the ``node/actor`` path; both answer ``tell``;
+* **at-least-once delivery, exactly-once processing** — reliable
+  envelopes retry on timeout with exponential backoff
+  (:class:`~repro.cluster.delivery.Outbox`), exhaust into the local
+  dead-letter log, and are deduplicated at the receiver
+  (:class:`~repro.cluster.delivery.DedupTable`) so the *actor* sees each
+  message once no matter how often the wire repeated it;
+* **bounded remote mailboxes with credit backpressure** — each remote
+  target admits at most ``mailbox_bound`` undrained remote messages;
+  beyond that, arrivals stage at the receiving node and the *sending*
+  thread parks in a :class:`~repro.cluster.delivery.CreditGate` until
+  CREDIT envelopes flow back (no drop, no unbounded growth, no OOM);
+* **failure detection** — heartbeats mark silent peers SUSPECT then
+  DOWN; a DOWN peer's in-flight and future traffic dead-letters, its
+  credit gates break (parked senders wake and fail fast), and every
+  locally watched actor on it receives a node-down signal;
+* **cross-node supervision** — :meth:`watch` registers a supervisor for
+  a remote actor and optionally overrides its supervision directive
+  (RESUME/RESTART/STOP, per watch); the owner node applies the directive
+  on failure and sends a SIGNAL envelope that is delivered to the
+  supervisor's mailbox as an :class:`ActorSignal` message.
+
+Timing is driven by :meth:`tick` — a daemon timer thread calls it every
+``tick_interval`` by default, and deterministic tests construct the node
+with ``timer=False`` and call ``tick(now=...)`` by hand.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..actors import Actor, ActorRef, ActorSystem, SupervisionDirective
+from .delivery import CreditGate, DedupTable, Outbox, RetryPolicy
+from .message import (ACK, CREDIT, HEARTBEAT, RELIABLE_KINDS, REPLY, SIGNAL,
+                      SPAWN, STATUS, TELL, WATCH, Envelope, PickleSerializer,
+                      Serializer, make_path, split_path)
+__all__ = ["ClusterConfig", "ClusterNode", "RemoteRef", "ActorSignal",
+           "PeerState", "register_actor_type", "actor_type",
+           "actor_type_names"]
+
+
+# ===========================================================================
+# remote spawn registry
+# ===========================================================================
+
+#: name -> (actor class, inject_node): the types a node will instantiate
+#: on behalf of remote SPAWN requests (never arbitrary classes off the wire)
+_ACTOR_TYPES: dict[str, tuple[type, bool]] = {}
+
+
+def register_actor_type(name: str, cls: type,
+                        inject_node: bool = False) -> None:
+    """Allow remote nodes to spawn ``cls`` under ``name``.
+
+    ``inject_node=True`` passes the hosting :class:`ClusterNode` as the
+    first constructor argument — for actors that need to mint remote
+    refs themselves.
+    """
+    if not issubclass(cls, Actor):
+        raise TypeError(f"{cls.__name__} is not an Actor subclass")
+    _ACTOR_TYPES[name] = (cls, inject_node)
+
+
+def actor_type(name: str) -> tuple[type, bool]:
+    return _ACTOR_TYPES[name]
+
+
+def actor_type_names() -> list[str]:
+    return sorted(_ACTOR_TYPES)
+
+
+# ===========================================================================
+# config / small records
+# ===========================================================================
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Tunables of one node (assumed symmetric across the cluster)."""
+
+    #: max undrained *remote* messages admitted into one actor's mailbox
+    mailbox_bound: int = 256
+    #: send-side credits per remote target (<= bound keeps staging finite)
+    credit_window: int = 256
+    #: how long a sender may park on a full target before dead-lettering
+    park_timeout: float = 30.0
+    #: reliable-delivery retry schedule
+    retry_timeout: float = 0.2
+    retry_factor: float = 2.0
+    max_attempts: int = 5
+    #: failure detector
+    heartbeat_interval: float = 0.5
+    suspect_after: float = 1.5
+    down_after: float = 4.0
+    #: timer-thread cadence (retries, acks, credits, heartbeats, pump)
+    tick_interval: float = 0.005
+    #: flush a cumulative ACK after this many fresh reliable frames
+    ack_every: int = 16
+
+    def retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(self.retry_timeout, self.retry_factor,
+                           self.max_attempts)
+
+    @property
+    def credit_flush(self) -> int:
+        return max(1, self.credit_window // 4)
+
+
+class PeerState:
+    """Failure-detector view of one peer node."""
+
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    DOWN = "down"
+
+    __slots__ = ("name", "state", "last_heard", "last_beat")
+
+    def __init__(self, name: str, now: float):
+        self.name = name
+        self.state = PeerState.ALIVE
+        self.last_heard = now
+        self.last_beat = 0.0
+
+    def __repr__(self) -> str:
+        return f"<PeerState {self.name}: {self.state}>"
+
+
+class ActorSignal:
+    """Supervision signal delivered to a watching supervisor's mailbox."""
+
+    __slots__ = ("path", "kind", "error", "directive", "detail")
+
+    def __init__(self, path: str, kind: str, error: str = "",
+                 directive: Optional[str] = None, detail: str = ""):
+        self.path = path
+        self.kind = kind                  # "failure" | "node-down"
+        self.error = error
+        self.directive = directive
+        self.detail = detail
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"path": self.path, "kind": self.kind, "error": self.error,
+                "directive": self.directive, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "ActorSignal":
+        return cls(d["path"], d["kind"], d.get("error", ""),
+                   d.get("directive"), d.get("detail", ""))
+
+    def __repr__(self) -> str:
+        return f"<ActorSignal {self.kind} {self.path} {self.error}>"
+
+
+class RemoteRef:
+    """Location-transparent handle on an actor of another node.
+
+    Quacks like :class:`~repro.actors.ref.ActorRef` for the operations
+    that make sense remotely (``tell``, ``name``, equality by identity);
+    the node it was minted from does the routing.
+    """
+
+    __slots__ = ("node", "path", "node_name", "name")
+
+    def __init__(self, node: "ClusterNode", path: str):
+        self.node = node
+        self.path = path
+        self.node_name, self.name = split_path(path)
+
+    def tell(self, message: Any, sender: Optional[Any] = None) -> None:
+        """Asynchronous send; may park under backpressure, never drops
+        silently (undeliverable messages land in dead letters)."""
+        self.node._send_tell(self.path, message, sender)
+
+    def __lshift__(self, message: Any) -> "RemoteRef":
+        self.tell(message)
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RemoteRef) and other.path == self.path
+
+    def __hash__(self) -> int:
+        return hash(("remote", self.path))
+
+    def __repr__(self) -> str:
+        return f"<RemoteRef {self.path}>"
+
+
+class _Waiter:
+    """One outstanding request/reply (SPAWN/STATUS) slot."""
+
+    __slots__ = ("event", "value")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+
+
+def _flow_id(origin: str, dest: str, seq: int) -> int:
+    """Stable cross-process id pairing a send with its delivery."""
+    return hash((origin, dest, seq)) & 0x7FFFFFFF
+
+
+# ===========================================================================
+# the node
+# ===========================================================================
+
+class ClusterNode:
+    """One cluster member: ActorSystem + router + reliability + detector.
+
+    ::
+
+        hub = LoopbackHub()
+        with ClusterNode("a", hub.join("a")) as a, \\
+             ClusterNode("b", hub.join("b")) as b:
+            a.connect("b")
+            pong = b.spawn(Ponger, name="pong")
+            a.ref("b/pong").tell("hello")
+    """
+
+    def __init__(self, name: str, transport: Any,
+                 serializer: Optional[Serializer] = None,
+                 config: Optional[ClusterConfig] = None,
+                 system: Optional[ActorSystem] = None,
+                 workers: int = 4,
+                 profiler: Optional[Any] = None,
+                 monitors: Optional[Any] = None,
+                 trace: bool = False,
+                 timer: bool = True,
+                 clock: Callable[[], float] = time.monotonic):
+        self.name = name
+        self.transport = transport
+        self.serializer = serializer if serializer is not None \
+            else PickleSerializer()
+        self.config = config if config is not None else ClusterConfig()
+        self._own_system = system is None
+        self.system = system if system is not None \
+            else ActorSystem(workers=workers, name=f"{name}.system",
+                             profiler=profiler)
+        self.profiler = profiler
+        self.monitors = monitors
+        self.clock = clock
+        self.closed = False
+
+        # local actor registry: actor name -> local ref
+        self._actors: dict[str, ActorRef] = {}
+        self._actors_lock = threading.Lock()
+
+        # reliability state
+        self._seq: dict[str, int] = {}                 # per-dest counters
+        self._outboxes: dict[str, Outbox] = {}
+        self._dedup: dict[str, DedupTable] = {}
+        self._gates: dict[str, CreditGate] = {}        # by target path
+        self._state_lock = threading.Lock()
+
+        # receiver-side staging + owed control traffic.  Owed-ack/credit
+        # bookkeeping gets its own lock so per-frame counting never
+        # contends with senders holding ``_state_lock``.
+        self._staged: dict[str, list] = {}             # actor -> [(env)...]
+        self._staged_total = 0                         # fast pump() gate
+        self._credit_owed: dict[str, dict[str, int]] = {}   # origin->path->n
+        self._credit_total: dict[str, int] = {}        # origin -> sum owed
+        self._ack_owed: dict[str, int] = {}            # origin -> fresh count
+        self._flow_lock = threading.Lock()
+        self._reply_cache: dict[tuple[str, int], Envelope] = {}
+        self._remote_refs: dict[str, RemoteRef] = {}   # sender-path cache
+
+        # supervision
+        self._watchers: dict[str, list[str]] = {}      # local actor -> paths
+        self._watching: dict[str, list[ActorRef]] = {} # remote path -> refs
+        self.system.failure_listener = self._local_failure
+
+        # failure detector
+        self._peers: dict[str, PeerState] = {}
+        self._replies: dict[tuple[str, int], _Waiter] = {}
+
+        self._delivered = 0
+
+        # observability
+        self.trace_events: list = [] if trace else None
+        self._trace_lock = threading.Lock()
+        self._step = 0
+
+        self._handlers = {
+            TELL: self._handle_tell, ACK: self._handle_ack,
+            CREDIT: self._handle_credit, HEARTBEAT: self._handle_heartbeat,
+            SPAWN: self._handle_spawn, WATCH: self._handle_watch,
+            SIGNAL: self._handle_signal, STATUS: self._handle_status,
+            REPLY: self._handle_reply,
+        }
+        self.transport.start(self._on_frame)
+        self._timer: Optional[threading.Thread] = None
+        if timer:
+            self._timer = threading.Thread(target=self._timer_loop,
+                                           name=f"{name}.cluster-timer",
+                                           daemon=True)
+            self._timer.start()
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def connect(self, peer: str, address: Optional[tuple] = None) -> None:
+        """Register (and for sockets, dial) a peer node."""
+        if address is not None:
+            self.transport.connect(peer, address)
+        with self._state_lock:
+            self._peers.setdefault(peer, PeerState(peer, self.clock()))
+
+    def peers(self) -> dict[str, str]:
+        with self._state_lock:
+            return {p.name: p.state for p in self._peers.values()}
+
+    def peer_state(self, peer: str) -> Optional[str]:
+        with self._state_lock:
+            state = self._peers.get(peer)
+            return state.state if state is not None else None
+
+    # ------------------------------------------------------------------
+    # actors
+    # ------------------------------------------------------------------
+    def spawn(self, actor_class: type, *args: Any, name: str = "",
+              directive: Optional[SupervisionDirective] = None,
+              inject_node: bool = False, **kwargs: Any) -> ActorRef:
+        """Spawn a local actor and make it addressable cluster-wide."""
+        if inject_node:
+            args = (self, *args)
+        ref = self.system.spawn(actor_class, *args, name=name,
+                                directive=directive, **kwargs)
+        with self._actors_lock:
+            self._actors[ref.name] = ref
+        return ref
+
+    def ref(self, path: str) -> Any:
+        """Location-transparent lookup: ``node/actor`` -> a tellable ref."""
+        node, actor = split_path(path)
+        if node == self.name:
+            with self._actors_lock:
+                local = self._actors.get(actor)
+            if local is None:
+                raise KeyError(f"no local actor {actor!r} on node "
+                               f"{self.name!r}")
+            return local
+        return RemoteRef(self, path)
+
+    def path_of(self, ref: Any) -> str:
+        """Cluster-wide path of a ref minted by this node."""
+        if isinstance(ref, RemoteRef):
+            return ref.path
+        return make_path(self.name, ref.name)
+
+    def actors(self) -> list[str]:
+        with self._actors_lock:
+            return sorted(self._actors)
+
+    # ------------------------------------------------------------------
+    # remote operations
+    # ------------------------------------------------------------------
+    def spawn_remote(self, dest: str, type_name: str, name: str,
+                     args: tuple = (), timeout: float = 5.0) -> RemoteRef:
+        """Ask ``dest`` to spawn a registered actor type; returns its ref."""
+        payload = {"type": type_name, "name": name, "args": list(args)}
+        reply = self._request(dest, SPAWN, payload, timeout)
+        if "error" in reply:
+            raise RuntimeError(f"remote spawn on {dest!r} failed: "
+                               f"{reply['error']}")
+        return RemoteRef(self, reply["path"])
+
+    def status_of(self, dest: str, timeout: float = 5.0,
+                  profile: bool = False,
+                  trace: bool = False) -> dict[str, Any]:
+        """Fetch a peer's status (optionally + profiler snapshot/trace)."""
+        return self._request(dest, STATUS,
+                             {"profile": profile, "trace": trace}, timeout)
+
+    def watch(self, path: str, supervisor: ActorRef,
+              directive: Optional[SupervisionDirective] = None) -> None:
+        """Deliver ``path``'s failures to ``supervisor`` as ActorSignals.
+
+        ``directive`` additionally overrides the watched actor's
+        supervision directive on its own node — per watch, the
+        RESUME/RESTART/STOP decision travels with the registration.
+        """
+        node, actor = split_path(path)
+        with self._state_lock:
+            self._watching.setdefault(path, []).append(supervisor)
+        if node == self.name:
+            with self._actors_lock:
+                local = self._actors.get(actor)
+            if local is not None and directive is not None:
+                self.system.set_directive(local, directive)
+            self._watchers.setdefault(actor, []).append(
+                make_path(self.name, supervisor.name))
+            return
+        self._send_reliable(node, WATCH, node, {
+            "actor": actor,
+            "watcher": make_path(self.name, supervisor.name),
+            "directive": directive.value if directive is not None else None,
+        })
+
+    def status(self) -> dict[str, Any]:
+        """This node's own status record (JSON-able)."""
+        with self._state_lock:
+            unacked = {d: len(o) for d, o in self._outboxes.items() if o}
+        return {
+            "node": self.name,
+            "actors": self.actors(),
+            "peers": self.peers(),
+            "unacked": unacked,
+            "dead_letters": len(self.system.dead_letters),
+            "staged": {k: len(v) for k, v in self._staged.items() if v},
+        }
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def _send_tell(self, path: str, message: Any, sender: Any) -> None:
+        dest, actor = split_path(path)
+        if dest == self.name:                  # loop back to ourselves
+            self.ref(path).tell(message, sender=sender)
+            return
+        sender_path = None
+        if sender is not None:
+            sender_path = self.path_of(sender)
+        peer = self._peers.get(dest)   # lock-free state read (hot path)
+        if peer is not None and peer.state == PeerState.DOWN:
+            self._dead_letter(path, message, "node down")
+            return
+        gate = self._gate(path)
+        if gate.available <= 0 and gate.broken is None:
+            self._event("cluster-park", actor=actor, peer=dest,
+                        extra={"path": path})
+            if self.profiler is not None:
+                self.profiler.inc("cluster.parks")
+            t0 = self.clock()
+            if not gate.acquire(timeout=self.config.park_timeout):
+                self._dead_letter(path, message,
+                                  gate.broken or "backpressure timeout")
+                return
+            if self.profiler is not None:
+                self.profiler.observe_us("cluster.credit_wait_us",
+                                         self.clock() - t0)
+        elif not gate.acquire(timeout=self.config.park_timeout):
+            self._dead_letter(path, message,
+                              gate.broken or "backpressure timeout")
+            return
+        self._send_reliable(dest, TELL, path, message, sender=sender_path)
+
+    def _send_reliable(self, dest: str, kind: str, target: str,
+                       payload: Any, sender: Optional[str] = None,
+                       waiter: Optional[_Waiter] = None) -> int:
+        with self._state_lock:
+            seq = self._seq.get(dest, 0) + 1
+            self._seq[dest] = seq
+            outbox = self._outboxes.get(dest)
+            if outbox is None:
+                outbox = self._outboxes[dest] = \
+                    Outbox(self.config.retry_policy())
+            self._peers.setdefault(dest, PeerState(dest, self.clock()))
+            if waiter is not None:
+                # registered before the frame leaves: loopback delivery
+                # is synchronous, so the REPLY can arrive mid-send
+                self._replies[(dest, seq)] = waiter
+        env = Envelope(kind, seq, self.name, target, payload=payload,
+                       sender=sender)
+        outbox.register(seq, env, self.clock())
+        self._transmit(dest, env)
+        if kind == TELL:
+            if self.trace_events is not None or self.monitors is not None:
+                self._event("cluster-send", actor=split_path(target)[1],
+                            peer=dest,
+                            msg_seq=_flow_id(self.name, dest, seq),
+                            extra={"seq": seq, "path": target})
+            if self.profiler is not None:
+                self.profiler.inc("cluster.sent")
+        return seq
+
+    def _send_control(self, dest: str, kind: str, target: str,
+                      payload: Any) -> None:
+        self._transmit(dest, Envelope(kind, 0, self.name, target,
+                                      payload=payload))
+
+    def _transmit(self, dest: str, env: Envelope) -> bool:
+        # frames are *unframed* serialized envelopes here — the socket
+        # transport length-prefixes on the wire, loopback needs neither
+        frame = self.serializer.encode(env)
+        if self.profiler is not None:
+            self.profiler.inc("cluster.frames_out")
+            self.profiler.inc("cluster.bytes_out", len(frame))
+        return self.transport.send(dest, frame)
+
+    def _request(self, dest: str, kind: str, payload: Any,
+                 timeout: float) -> dict[str, Any]:
+        waiter = _Waiter()
+        seq = self._send_reliable(dest, kind, dest, payload, waiter=waiter)
+        try:
+            if not waiter.event.wait(timeout):
+                raise TimeoutError(f"no reply from {dest!r} within "
+                                   f"{timeout}s (state: "
+                                   f"{self.peer_state(dest)})")
+            return waiter.value
+        finally:
+            with self._state_lock:
+                self._replies.pop((dest, seq), None)
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+    def _on_frame(self, frame: bytes) -> None:
+        try:
+            env = self.serializer.decode(frame)
+        except Exception:
+            if self.profiler is not None:
+                self.profiler.inc("cluster.decode_errors")
+            return
+        if self.profiler is not None:
+            self.profiler.inc("cluster.frames_in")
+            self.profiler.inc("cluster.bytes_in", len(frame))
+        self._heard_from(env.origin)
+        handler = self._handlers.get(env.kind)
+        if handler is None:
+            return
+        if env.kind in RELIABLE_KINDS:
+            fresh = self._dedup_for(env.origin).fresh(env.seq)
+            self._owe_ack(env.origin)
+            if not fresh:
+                if self.profiler is not None:
+                    self.profiler.inc("cluster.duplicates")
+                # replay cached replies for request kinds: the reply
+                # may be what got lost, not the request
+                cached = self._reply_cache.get((env.origin, env.seq))
+                if cached is not None:
+                    self._send_control(env.origin, REPLY, env.origin,
+                                       cached.payload)
+                return
+        handler(env)
+        if self._staged_total:
+            self.pump()
+
+    def _handle_heartbeat(self, env: Envelope) -> None:
+        pass                       # _heard_from already fed the detector
+
+    def _dedup_for(self, origin: str) -> DedupTable:
+        # lock-free fast path: dict reads are atomic under the GIL and
+        # tables are created once, never replaced
+        table = self._dedup.get(origin)
+        if table is not None:
+            return table
+        with self._state_lock:
+            table = self._dedup.get(origin)
+            if table is None:
+                table = self._dedup[origin] = DedupTable()
+            return table
+
+    def _gate(self, path: str) -> CreditGate:
+        gate = self._gates.get(path)
+        if gate is not None:
+            return gate
+        with self._state_lock:
+            gate = self._gates.get(path)
+            if gate is None:
+                gate = self._gates[path] = \
+                    CreditGate(self.config.credit_window)
+            return gate
+
+    def _owe_ack(self, origin: str) -> None:
+        with self._flow_lock:
+            owed = self._ack_owed.get(origin, 0) + 1
+            self._ack_owed[origin] = owed
+            flush = owed >= self.config.ack_every
+        if flush:
+            self._flush_acks(origin)
+
+    def _flush_acks(self, only: Optional[str] = None) -> None:
+        with self._flow_lock:
+            origins = [only] if only is not None else \
+                [o for o, n in self._ack_owed.items() if n > 0]
+            cums = []
+            for origin in origins:
+                if self._ack_owed.get(origin, 0) <= 0:
+                    continue
+                self._ack_owed[origin] = 0
+                table = self._dedup.get(origin)
+                if table is not None:
+                    cums.append((origin, table.cumulative))
+        for origin, cum in cums:
+            self._send_control(origin, ACK, origin, cum)
+
+    # -- TELL path -----------------------------------------------------------
+    def _handle_tell(self, env: Envelope) -> None:
+        actor = split_path(env.target)[1]
+        # lock-free registry read: dict lookups are atomic under the
+        # GIL; ``_actors_lock`` guards compound spawn/stop updates
+        ref = self._actors.get(actor)
+        if ref is None or ref.is_stopped:
+            self._dead_letter(env.target, env.payload,
+                              f"no such actor on {self.name}")
+            self._owe_credit(env.origin, env.target)
+            return
+        if self._staged_total or ref.pending >= self.config.mailbox_bound:
+            with self._state_lock:
+                staged = self._staged.setdefault(actor, [])
+                must_stage = bool(staged) \
+                    or ref.pending >= self.config.mailbox_bound
+                if must_stage:
+                    staged.append(env)
+                    self._staged_total += 1
+            if must_stage:
+                self._event("cluster-stage", actor=actor, peer=env.origin,
+                            extra={"staged": len(staged)})
+                if self.profiler is not None:
+                    self.profiler.inc("cluster.staged")
+                return
+        self._admit(ref, env)
+
+    def _admit(self, ref: ActorRef, env: Envelope) -> None:
+        sender = None
+        if env.sender is not None:
+            sender_node = split_path(env.sender)[0]
+            if sender_node == self.name:
+                sender = self._actors.get(split_path(env.sender)[1])
+            if sender is None:
+                sender = self._remote_refs.get(env.sender)
+                if sender is None:       # benign race: refs compare by path
+                    sender = self._remote_refs[env.sender] = \
+                        RemoteRef(self, env.sender)
+        ref.tell(env.payload, sender=sender)
+        if self.trace_events is not None or self.monitors is not None:
+            self._event("cluster-recv", actor=ref.name, peer=env.origin,
+                        recv_seq=_flow_id(env.origin, self.name, env.seq),
+                        extra={"seq": env.seq})
+        if self.profiler is not None:
+            self.profiler.inc("cluster.delivered")
+            self._delivered += 1
+            if self._delivered & 0x1F == 0:   # sample: depth takes a lock
+                self.profiler.gauge_max("cluster.mailbox_depth_max",
+                                        ref.pending)
+        self._owe_credit(env.origin, env.target)
+
+    def _owe_credit(self, origin: str, path: str) -> None:
+        with self._flow_lock:
+            owed = self._credit_owed.setdefault(origin, {})
+            owed[path] = owed.get(path, 0) + 1
+            total = self._credit_total.get(origin, 0) + 1
+            self._credit_total[origin] = total
+        if total >= self.config.credit_flush:
+            self._flush_credits(origin)
+
+    def _flush_credits(self, only: Optional[str] = None) -> None:
+        with self._flow_lock:
+            origins = [only] if only is not None \
+                else list(self._credit_owed)
+            batches = []
+            for origin in origins:
+                owed = self._credit_owed.get(origin)
+                if owed:
+                    batches.append((origin, dict(owed)))
+                    owed.clear()
+                    self._credit_total[origin] = 0
+        for origin, grants in batches:
+            self._send_control(origin, CREDIT, origin,
+                               [[p, n] for p, n in sorted(grants.items())])
+
+    def pump(self) -> None:
+        """Admit staged remote messages whose target has mailbox room."""
+        if not self._staged_total:
+            return
+        with self._state_lock:
+            actors = [a for a, q in self._staged.items() if q]
+        for actor in actors:
+            ref = self._actors.get(actor)
+            while True:
+                with self._state_lock:
+                    staged = self._staged.get(actor)
+                    if not staged:
+                        break
+                    if ref is None or ref.is_stopped:
+                        env = staged.pop(0)
+                        self._staged_total -= 1
+                        dead = True
+                    elif ref.pending < self.config.mailbox_bound:
+                        env = staged.pop(0)
+                        self._staged_total -= 1
+                        dead = False
+                    else:
+                        break
+                if dead:
+                    self._dead_letter(env.target, env.payload,
+                                      f"no such actor on {self.name}")
+                    self._owe_credit(env.origin, env.target)
+                else:
+                    self._admit(ref, env)
+
+    # -- control handlers ----------------------------------------------------
+    def _handle_ack(self, env: Envelope) -> None:
+        with self._state_lock:
+            outbox = self._outboxes.get(env.origin)
+        if outbox is not None:
+            outbox.on_ack(int(env.payload))
+
+    def _handle_credit(self, env: Envelope) -> None:
+        for path, n in env.payload:
+            gate = self._gate(path)
+            was_parked = gate.parked > 0
+            gate.release(int(n))
+            if was_parked:
+                self._event("cluster-resume", peer=env.origin,
+                            actor=split_path(path)[1],
+                            extra={"path": path, "credits": int(n)})
+                if self.profiler is not None:
+                    self.profiler.inc("cluster.resumes")
+
+    def _handle_spawn(self, env: Envelope) -> None:
+        payload = env.payload
+        try:
+            cls, inject = actor_type(payload["type"])
+            ref = self.spawn(cls, *payload.get("args", ()),
+                             name=payload["name"], inject_node=inject)
+            reply = {"re": env.seq, "path": make_path(self.name, ref.name)}
+            self._event("cluster-spawn", actor=ref.name, peer=env.origin)
+        except Exception as exc:  # noqa: BLE001 - report, don't die
+            reply = {"re": env.seq, "error": f"{type(exc).__name__}: {exc}"}
+        self._reply_cache[(env.origin, env.seq)] = \
+            Envelope(REPLY, 0, self.name, env.origin, payload=reply)
+        self._send_control(env.origin, REPLY, env.origin, reply)
+
+    def _handle_watch(self, env: Envelope) -> None:
+        payload = env.payload
+        actor = payload["actor"]
+        self._watchers.setdefault(actor, []).append(payload["watcher"])
+        directive = payload.get("directive")
+        if directive is not None:
+            with self._actors_lock:
+                ref = self._actors.get(actor)
+            if ref is not None:
+                self.system.set_directive(
+                    ref, SupervisionDirective(directive))
+
+    def _handle_signal(self, env: Envelope) -> None:
+        signal = ActorSignal.from_dict(env.payload)
+        actor = split_path(env.target)[1]
+        with self._actors_lock:
+            ref = self._actors.get(actor)
+        self._event("cluster-signal", actor=actor, peer=env.origin,
+                    extra={"signal": signal.kind, "watched": signal.path})
+        if ref is None or ref.is_stopped:
+            self._dead_letter(env.target, signal, "watcher gone")
+            return
+        ref.tell(signal, sender=None)
+
+    def _handle_status(self, env: Envelope) -> None:
+        want = env.payload if isinstance(env.payload, dict) else {}
+        reply: dict[str, Any] = {"re": env.seq, **self.status()}
+        if want.get("profile") and self.profiler is not None:
+            reply["profile"] = self.profiler.snapshot()
+        if want.get("trace") and self.trace_events is not None:
+            with self._trace_lock:
+                reply["trace"] = [e.as_dict() for e in self.trace_events]
+        self._reply_cache[(env.origin, env.seq)] = \
+            Envelope(REPLY, 0, self.name, env.origin, payload=reply)
+        self._send_control(env.origin, REPLY, env.origin, reply)
+
+    def _handle_reply(self, env: Envelope) -> None:
+        key = (env.origin, env.payload.get("re"))
+        with self._state_lock:
+            waiter = self._replies.get(key)
+        if waiter is not None:
+            waiter.value = env.payload
+            waiter.event.set()
+
+    # ------------------------------------------------------------------
+    # supervision plumbing
+    # ------------------------------------------------------------------
+    def _local_failure(self, actor_name: str, error: BaseException,
+                       directive: SupervisionDirective) -> None:
+        watchers = self._watchers.get(actor_name)
+        self._event("cluster-failure", actor=actor_name,
+                    extra={"error": repr(error),
+                           "directive": directive.value})
+        if not watchers:
+            return
+        signal = ActorSignal(make_path(self.name, actor_name), "failure",
+                             error=f"{type(error).__name__}: {error}",
+                             directive=directive.value)
+        for watcher_path in list(watchers):
+            watcher_node = split_path(watcher_path)[0]
+            if watcher_node == self.name:
+                with self._actors_lock:
+                    ref = self._actors.get(split_path(watcher_path)[1])
+                if ref is not None and not ref.is_stopped:
+                    ref.tell(signal, sender=None)
+                continue
+            self._send_reliable(watcher_node, SIGNAL, watcher_path,
+                                signal.as_dict())
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    def tick(self, now: Optional[float] = None) -> None:
+        """One maintenance pass: retries, expiries, heartbeats, detector
+        transitions, owed acks/credits, staging pump."""
+        now = self.clock() if now is None else now
+        with self._state_lock:
+            peers = list(self._peers.values())
+            outboxes = dict(self._outboxes)
+
+        # heartbeats out
+        for peer in peers:
+            if peer.state != PeerState.DOWN \
+                    and now - peer.last_beat >= self.config.heartbeat_interval:
+                peer.last_beat = now
+                self._send_control(peer.name, HEARTBEAT, peer.name, None)
+
+        # retransmissions + expiries
+        for dest, outbox in outboxes.items():
+            for env in outbox.due(now):
+                self._event("cluster-retry", peer=dest,
+                            extra={"seq": env.seq, "kind": env.kind})
+                if self.profiler is not None:
+                    self.profiler.inc("cluster.retries")
+                self._transmit(dest, env)
+            for env in outbox.expired(now):
+                self._dead_letter(env.target, env.payload,
+                                  f"undeliverable to {dest} after "
+                                  f"{self.config.max_attempts} attempts")
+
+        # failure detector transitions
+        for peer in peers:
+            silent = now - peer.last_heard
+            if peer.state != PeerState.DOWN \
+                    and silent >= self.config.down_after:
+                peer.state = PeerState.DOWN
+                self._on_peer_down(peer.name)
+            elif peer.state == PeerState.ALIVE \
+                    and silent >= self.config.suspect_after:
+                peer.state = PeerState.SUSPECT
+                with self._state_lock:
+                    unacked = len(self._outboxes.get(peer.name, ()))
+                self._event("cluster-suspect", peer=peer.name,
+                            extra={"unacked": unacked,
+                                   "silent_s": round(silent, 3)})
+                if self.profiler is not None:
+                    self.profiler.inc("cluster.suspects")
+
+        self._flush_acks()
+        self._flush_credits()
+        self.pump()
+
+    def _heard_from(self, origin: str) -> None:
+        now = self.clock()
+        peer = self._peers.get(origin)
+        if peer is not None and peer.state == PeerState.ALIVE:
+            peer.last_heard = now      # plain store; atomic under the GIL
+            return
+        with self._state_lock:
+            peer = self._peers.get(origin)
+            if peer is None:
+                self._peers[origin] = PeerState(origin, now)
+                return
+            peer.last_heard = now
+            recovered = peer.state != PeerState.ALIVE
+            if recovered:
+                peer.state = PeerState.ALIVE
+        if recovered:
+            self._event("cluster-recover", peer=origin)
+
+    def _on_peer_down(self, peer: str) -> None:
+        self._event("cluster-down", peer=peer)
+        if self.profiler is not None:
+            self.profiler.inc("cluster.downs")
+        # in-flight traffic can never be acknowledged — dead-letter it
+        with self._state_lock:
+            outbox = self._outboxes.get(peer)
+        if outbox is not None:
+            for env in outbox.drain():
+                self._dead_letter(env.target, env.payload,
+                                  f"node {peer} down")
+        # parked senders wake and fail instead of waiting on a corpse
+        with self._state_lock:
+            gates = [(path, g) for path, g in self._gates.items()
+                     if split_path(path)[0] == peer]
+            watching = [(path, refs) for path, refs in self._watching.items()
+                        if split_path(path)[0] == peer]
+        for path, gate in gates:
+            gate.brk(f"node {peer} down")
+        # watched actors on the dead node: synthesize node-down signals
+        for path, refs in watching:
+            signal = ActorSignal(path, "node-down",
+                                 detail=f"node {peer} marked down")
+            for ref in refs:
+                if not ref.is_stopped:
+                    ref.tell(signal, sender=None)
+
+    def _timer_loop(self) -> None:
+        while not self.closed:
+            time.sleep(self.config.tick_interval)
+            try:
+                self.tick()
+            except Exception:
+                if self.profiler is not None:
+                    self.profiler.inc("cluster.tick_errors")
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def _dead_letter(self, target: str, message: Any, why: str) -> None:
+        self.system._dead_letter(target, message, None)
+        self._event("cluster-dead-letter", actor=target,
+                    extra={"why": why})
+        if self.profiler is not None:
+            self.profiler.inc("cluster.dead_letters")
+
+    def dead_letters(self) -> list:
+        """Snapshot of the hosting system's dead-letter log."""
+        with self.system._dl_lock:
+            return list(self.system.dead_letters)
+
+    def _event(self, kind: str, actor: str = "", peer: str = "",
+               msg_seq: Optional[int] = None,
+               recv_seq: Optional[int] = None,
+               extra: Optional[dict] = None) -> None:
+        if self.trace_events is None and self.monitors is None:
+            return
+        from .observe import ClusterEvent
+        with self._trace_lock:
+            self._step += 1
+            event = ClusterEvent(kind=kind, node=self.name, actor=actor,
+                                 peer=peer, step=self._step,
+                                 ts=time.time(), msg_seq=msg_seq,
+                                 recv_seq=recv_seq, extra=extra or {})
+            if self.trace_events is not None:
+                self.trace_events.append(event)
+        if self.monitors is not None:
+            try:
+                self.monitors.feed(event)
+            except Exception:
+                pass
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Local quiescence: every local mailbox empty, no staged remote
+        messages, nothing running."""
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._state_lock:
+                staged = any(self._staged.values())
+            if not staged and self.system._quiet():
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            self.pump()
+            time.sleep(0.001)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self._flush_acks()
+        self._flush_credits()
+        self.transport.close()
+        if self._own_system:
+            self.system.shutdown()
+
+    def __enter__(self) -> "ClusterNode":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

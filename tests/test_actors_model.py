@@ -170,7 +170,7 @@ class TestSupervision:
             ref.tell("boom")
             ref.tell("after")
             system.drain(timeout=10)
-            assert system.failures
+            assert system.failures()
         assert sink == ["before", "after"]
 
     def test_stop_directive_kills_actor(self):

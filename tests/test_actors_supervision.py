@@ -1,0 +1,151 @@
+"""Supervision & dead-letter matrix for the threaded ActorSystem.
+
+Each directive's observable contract, pinned down:
+
+* RESUME — the crashing message is dropped but the mailbox survives:
+  everything behind the poison message is still processed by the SAME
+  instance (state intact).
+* RESTART — ``pre_restart`` runs exactly once per failure and the
+  instance keeps serving (this runtime restarts in place).
+* STOP — the actor is torn down; anything still queued and anything
+  sent afterwards lands in dead letters, never half-processed.
+
+Plus the bookkeeping around them: the ``failures()`` snapshot
+accessor, per-actor directive overrides at ``spawn`` time and via
+``set_directive``, and ``drain(timeout=)`` returning False when a
+livelocked actor keeps the system permanently busy.
+"""
+
+import threading
+
+import pytest
+
+from repro.actors import Actor, ActorSystem, SupervisionDirective
+
+
+class Crashy(Actor):
+    """Counts messages; raises on the payload ``"boom"``."""
+
+    def __init__(self, log):
+        super().__init__()
+        self.log = log
+        self.restarts = 0
+
+    def receive(self, msg, sender):
+        if msg == "boom":
+            raise RuntimeError("boom")
+        self.log.append(msg)
+
+    def pre_restart(self, error, message):
+        self.restarts += 1
+
+
+class SelfFeeder(Actor):
+    """Livelock: every message enqueues the next one."""
+
+    def receive(self, msg, sender):
+        self.self_ref.tell(msg + 1)
+
+
+def test_resume_keeps_mailbox_and_state():
+    log = []
+    with ActorSystem(workers=2) as sys_:
+        ref = sys_.spawn(Crashy, log, name="c",
+                         directive=SupervisionDirective.RESUME)
+        for m in [1, "boom", 2, "boom", 3]:
+            ref.tell(m)
+        assert sys_.drain(timeout=5)
+        assert log == [1, 2, 3]          # poison dropped, rest delivered
+        # RESUME never constructs a new instance
+        assert ref._cell.actor.restarts == 0
+        assert [n for n, _ in sys_.failures()] == ["c", "c"]
+
+
+def test_restart_runs_pre_restart_once_per_failure():
+    log = []
+    with ActorSystem(workers=2,
+                     directive=SupervisionDirective.RESTART) as sys_:
+        ref = sys_.spawn(Crashy, log, name="c")
+        for m in [1, "boom", 2, "boom", 3]:
+            ref.tell(m)
+        assert sys_.drain(timeout=5)
+        assert log == [1, 2, 3]
+        assert ref._cell.actor.restarts == 2
+
+
+def test_stop_dead_letters_late_sends():
+    log = []
+    with ActorSystem(workers=2) as sys_:
+        ref = sys_.spawn(Crashy, log, name="c",
+                         directive=SupervisionDirective.STOP)
+        ref.tell("boom")
+        assert sys_.drain(timeout=5)
+        assert ref.is_stopped
+        ref.tell("late")                  # after the stop: dead letter
+        assert sys_.drain(timeout=5)
+        assert "late" not in log
+        dead = [d.message for d in sys_.dead_letters]
+        assert "late" in dead
+
+
+def test_per_actor_directive_overrides_system_default():
+    """One STOP actor among RESTART siblings: only it goes down."""
+    stop_log, restart_log = [], []
+    with ActorSystem(workers=2,
+                     directive=SupervisionDirective.RESTART) as sys_:
+        stopper = sys_.spawn(Crashy, stop_log, name="stopper",
+                             directive=SupervisionDirective.STOP)
+        restarter = sys_.spawn(Crashy, restart_log, name="restarter")
+        stopper.tell("boom")
+        restarter.tell("boom")
+        assert sys_.drain(timeout=5)
+        assert stopper.is_stopped
+        assert not restarter.is_stopped
+        restarter.tell("alive")
+        assert sys_.drain(timeout=5)
+        assert restart_log == ["alive"]
+
+
+def test_set_directive_changes_future_failures():
+    log = []
+    with ActorSystem(workers=2,
+                     directive=SupervisionDirective.RESUME) as sys_:
+        ref = sys_.spawn(Crashy, log, name="c")
+        ref.tell("boom")
+        assert sys_.drain(timeout=5)
+        assert not ref.is_stopped
+        sys_.set_directive(ref, SupervisionDirective.STOP)
+        ref.tell("boom")
+        assert sys_.drain(timeout=5)
+        assert ref.is_stopped
+
+
+def test_failures_returns_snapshot_copy():
+    with ActorSystem(workers=2,
+                     directive=SupervisionDirective.RESUME) as sys_:
+        ref = sys_.spawn(Crashy, [], name="c")
+        ref.tell("boom")
+        assert sys_.drain(timeout=5)
+        snap = sys_.failures()
+        assert len(snap) == 1
+        name, error = snap[0]
+        assert name == "c" and isinstance(error, RuntimeError)
+        snap.append(("fake", ValueError()))       # copy, not the log
+        assert len(sys_.failures()) == 1
+
+
+def test_drain_times_out_on_livelock():
+    sys_ = ActorSystem(workers=2)
+    try:
+        ref = sys_.spawn(SelfFeeder, name="feeder")
+        ref.tell(0)
+        assert sys_.drain(timeout=0.3) is False
+    finally:
+        sys_.stop(ref)                   # stop signal breaks the cycle
+        sys_.shutdown()
+
+
+def test_spawn_rejects_non_actor():
+    with ActorSystem(workers=1) as sys_:
+        with pytest.raises(TypeError):
+            sys_.spawn(threading.Thread)

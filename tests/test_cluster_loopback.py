@@ -1,0 +1,394 @@
+"""Cluster acceptance suite on the in-process loopback transport.
+
+Every distributed behavior the cluster promises, exercised without a
+single socket: the :class:`LoopbackHub` delivers frames synchronously
+and injects faults (drop/dup/partition/cut) on demand, and nodes run
+with ``timer=False`` plus a hand-cranked clock so retry timeouts,
+suspect windows, and down declarations fire exactly when the test says
+so — the suite is deterministic and belongs to tier 1.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.actors import Actor, SupervisionDirective
+from repro.cluster import (
+    ActorSignal,
+    ClusterConfig,
+    ClusterNode,
+    LoopbackHub,
+    PeerState,
+    register_actor_type,
+)
+
+
+class Recorder(Actor):
+    def __init__(self):
+        super().__init__()
+        self.got = []
+
+    def receive(self, msg, sender):
+        self.got.append(msg)
+
+
+class Replier(Actor):
+    def receive(self, msg, sender):
+        if sender is not None:
+            sender.tell(["echo", msg])
+
+
+class Faulty(Actor):
+    def receive(self, msg, sender):
+        raise RuntimeError(f"cannot handle {msg!r}")
+
+
+register_actor_type("test-recorder", Recorder)
+register_actor_type("test-faulty", Faulty)
+
+
+def _actor(ref):
+    """The live instance behind a local ref (test-only peek)."""
+    return ref._cell.actor
+
+
+def _settle(*nodes, rounds=20):
+    """Let synchronous loopback deliveries and executors quiesce."""
+    for _ in range(rounds):
+        for n in nodes:
+            n.pump()
+        time.sleep(0.005)
+
+
+@pytest.fixture()
+def pair():
+    """Two connected loopback nodes with a crankable shared clock."""
+    clock = [1000.0]
+    hub = LoopbackHub()
+    cfg = ClusterConfig(mailbox_bound=4, credit_window=8,
+                        retry_timeout=0.5, max_attempts=3,
+                        heartbeat_interval=0.5, suspect_after=1.5,
+                        down_after=4.0, tick_interval=1e9, ack_every=2)
+    a = ClusterNode("a", hub.join("a"), config=cfg, timer=False,
+                    clock=lambda: clock[0])
+    b = ClusterNode("b", hub.join("b"), config=cfg, timer=False,
+                    clock=lambda: clock[0])
+    a.connect("b")
+    b.connect("a")
+    yield hub, a, b, clock
+    a.close()
+    b.close()
+
+
+def _advance(node, clock, dt):
+    clock[0] += dt
+    node.tick()
+
+
+# ---------------------------------------------------------------------------
+# basic delivery + location transparency
+# ---------------------------------------------------------------------------
+
+def test_remote_tell_delivers(pair):
+    hub, a, b, clock = pair
+    sink = b.spawn(Recorder, name="sink")
+    a.ref("b/sink").tell(["hello", 1])
+    assert b.drain(timeout=5)
+    assert _actor(sink).got == [["hello", 1]]
+    assert sum(hub.delivered.values()) > 0
+
+
+def test_reply_via_remote_sender_ref(pair):
+    hub, a, b, clock = pair
+    b.spawn(Replier, name="rep")
+    sink = a.spawn(Recorder, name="sink")
+    a.ref("b/rep").tell("hi", sender=sink)
+    _settle(a, b)
+    assert a.drain(timeout=5) and b.drain(timeout=5)
+    assert _actor(sink).got == [["echo", "hi"]]
+
+
+def test_tell_to_missing_actor_dead_letters_on_receiver(pair):
+    hub, a, b, clock = pair
+    a.ref("b/nobody").tell("lost")
+    _settle(a, b)
+    assert any("nobody" in d.target for d in b.dead_letters())
+
+
+def test_spawn_remote_and_status(pair):
+    hub, a, b, clock = pair
+    ref = a.spawn_remote("b", "test-recorder", "r1")
+    assert ref.path == "b/r1"
+    ref.tell("x")
+    assert b.drain(timeout=5)
+    status = a.status_of("b")
+    assert status["node"] == "b"
+    assert "r1" in status["actors"]
+    assert status["peers"]["a"] == PeerState.ALIVE
+
+
+# ---------------------------------------------------------------------------
+# at-least-once wire + exactly-once actor delivery
+# ---------------------------------------------------------------------------
+
+def test_dropped_frame_is_retried_until_delivered(pair):
+    hub, a, b, clock = pair
+    sink = b.spawn(Recorder, name="sink")
+    hub.drop("a", "b", count=1)
+    a.ref("b/sink").tell(["once", 1])
+    _settle(a, b)
+    assert _actor(sink).got == []          # first copy was eaten
+    _advance(a, clock, 0.6)                # past retry_timeout: resend
+    _settle(a, b)
+    assert b.drain(timeout=5)
+    assert _actor(sink).got == [["once", 1]]
+
+
+def test_duplicated_frame_is_deduplicated(pair):
+    hub, a, b, clock = pair
+    sink = b.spawn(Recorder, name="sink")
+    hub.dup("a", "b", count=1)             # wire delivers two copies
+    a.ref("b/sink").tell(["dup", 1])
+    _settle(a, b)
+    assert b.drain(timeout=5)
+    assert _actor(sink).got == [["dup", 1]]
+
+
+def test_retry_then_late_original_still_exactly_once(pair):
+    """Retransmit + the retry's own dup: three wire copies, one
+    delivery."""
+    hub, a, b, clock = pair
+    sink = b.spawn(Recorder, name="sink")
+    hub.drop("a", "b", count=1)
+    a.ref("b/sink").tell(["x", 1])
+    hub.dup("a", "b", count=1)
+    _advance(a, clock, 0.6)
+    _settle(a, b)
+    assert b.drain(timeout=5)
+    assert _actor(sink).got == [["x", 1]]
+
+
+def test_exhausted_retries_escalate_to_dead_letters(pair):
+    hub, a, b, clock = pair
+    b.spawn(Recorder, name="sink")
+    hub.partition("a", "b")
+    a.ref("b/sink").tell("doomed")
+    # burn through every attempt (max_attempts=3, exponential backoff:
+    # 0.5 + 1.0 + 2.0 s before expiry), keeping the detector quiet so
+    # expiry — not node death — is what dead-letters the message
+    for _ in range(8):
+        _advance(a, clock, 0.7)
+        a._heard_from("b")
+    assert any("doomed" == d.message for d in a.dead_letters())
+
+
+# ---------------------------------------------------------------------------
+# backpressure
+# ---------------------------------------------------------------------------
+
+def test_saturation_parks_sender_and_loses_nothing(pair):
+    hub, a, b, clock = pair
+
+    class Slow(Actor):
+        def __init__(self):
+            super().__init__()
+            self.n = 0
+
+        def receive(self, msg, sender):
+            time.sleep(0.002)
+            self.n += 1
+
+    slow = b.spawn(Slow, name="slow")
+    rs = a.ref("b/slow")
+    total = 40                              # 5x the credit window
+    flood = threading.Thread(
+        target=lambda: [rs.tell(i) for i in range(total)])
+    flood.start()
+    deadline = time.monotonic() + 20
+    while time.monotonic() < deadline and _actor(slow).n < total:
+        _settle(a, b, rounds=1)
+        a.tick()
+        b.tick()
+    flood.join()
+    assert _actor(slow).n == total          # no drop, no dup
+    assert not a.dead_letters() and not b.dead_letters()
+    # the 8-credit window must actually have parked the flooder
+    gate = a._gate("b/slow")
+    assert gate.total_parks > 0
+
+
+def test_staged_messages_bounded_by_stage_then_credit():
+    """With the window larger than the mailbox bound, overflow stages
+    on the receiver instead of growing the mailbox unboundedly."""
+    clock = [0.0]
+    hub = LoopbackHub()
+    cfg = ClusterConfig(mailbox_bound=2, credit_window=64,
+                        tick_interval=1e9, ack_every=4)
+    a = ClusterNode("a", hub.join("a"), config=cfg, timer=False,
+                    clock=lambda: clock[0])
+    b = ClusterNode("b", hub.join("b"), config=cfg, timer=False,
+                    clock=lambda: clock[0])
+    a.connect("b")
+    b.connect("a")
+    try:
+        class Gate(Actor):
+            def __init__(self, release):
+                super().__init__()
+                self.release = release
+                self.n = 0
+
+            def receive(self, msg, sender):
+                self.release.wait(10)
+                self.n += 1
+
+        release = threading.Event()
+        gate = b.spawn(Gate, release, name="gate")
+        rs = a.ref("b/gate")
+        for i in range(12):
+            rs.tell(i)
+        time.sleep(0.1)
+        staged = b.status()["staged"].get("gate", 0)
+        assert staged > 0                  # overflow parked outside mailbox
+        assert gate.pending <= cfg.mailbox_bound + 1
+        release.set()
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline and _actor(gate).n < 12:
+            b.pump()
+            time.sleep(0.01)
+        assert _actor(gate).n == 12
+    finally:
+        release.set()
+        a.close()
+        b.close()
+
+
+# ---------------------------------------------------------------------------
+# failure detector + cross-node supervision
+# ---------------------------------------------------------------------------
+
+class Watcher(Actor):
+    def __init__(self, fired):
+        super().__init__()
+        self.fired = fired
+        self.signals = []
+
+    def receive(self, msg, sender):
+        if isinstance(msg, ActorSignal):
+            self.signals.append(msg)
+            self.fired.set()
+
+
+def test_cross_node_watch_applies_directive_and_signals(pair):
+    hub, a, b, clock = pair
+    faulty = b.spawn(Faulty, name="faulty")
+    fired = threading.Event()
+    w = a.spawn(Watcher, fired, name="w")
+    a.watch("b/faulty", w, SupervisionDirective.STOP)
+    _settle(a, b)
+    a.ref("b/faulty").tell("kaboom")
+    assert fired.wait(5)
+    sig = _actor(w).signals[0]
+    assert sig.kind == "failure"
+    assert sig.path == "b/faulty"
+    assert sig.directive == "stop"
+    assert "RuntimeError" in sig.error
+    _settle(a, b)
+    assert faulty.is_stopped               # directive applied remotely
+
+
+def test_silent_peer_goes_suspect_then_down(pair):
+    hub, a, b, clock = pair
+    hub.cut("b")
+    _advance(a, clock, 2.0)                # past suspect_after
+    assert a.peer_state("b") == PeerState.SUSPECT
+    _advance(a, clock, 3.0)                # past down_after
+    assert a.peer_state("b") == PeerState.DOWN
+
+
+def test_node_down_signals_watchers_and_dead_letters_outbox(pair):
+    hub, a, b, clock = pair
+    b.spawn(Recorder, name="sink")
+    fired = threading.Event()
+    w = a.spawn(Watcher, fired, name="w")
+    a.watch("b/sink", w, SupervisionDirective.RESTART)
+    _settle(a, b)
+    hub.cut("b")
+    a.ref("b/sink").tell("never-arrives")
+    _advance(a, clock, 5.0)                # straight past down_after
+    assert fired.wait(5)
+    sig = _actor(w).signals[0]
+    assert sig.kind == "node-down"
+    assert sig.path == "b/sink"
+    assert any(d.message == "never-arrives" for d in a.dead_letters())
+    # sends to a DOWN node fail fast into dead letters
+    a.ref("b/sink").tell("late")
+    assert any(d.message == "late" for d in a.dead_letters())
+
+
+def test_peer_recovers_when_heard_again(pair):
+    hub, a, b, clock = pair
+    hub.cut("b")
+    _advance(a, clock, 2.0)
+    assert a.peer_state("b") == PeerState.SUSPECT
+    hub.restore("b")
+    _advance(b, clock, 0.6)                # b heartbeats out
+    assert a.peer_state("b") == PeerState.ALIVE
+
+
+def test_broken_gate_fails_parked_senders_on_node_down():
+    clock = [0.0]
+    hub = LoopbackHub()
+    cfg = ClusterConfig(mailbox_bound=1, credit_window=1,
+                        park_timeout=30.0, tick_interval=1e9,
+                        down_after=1.0, suspect_after=0.5)
+    a = ClusterNode("a", hub.join("a"), config=cfg, timer=False,
+                    clock=lambda: clock[0])
+    b = ClusterNode("b", hub.join("b"), config=cfg, timer=False,
+                    clock=lambda: clock[0])
+    a.connect("b")
+    b.connect("a")
+    try:
+        class Stuck(Actor):
+            def receive(self, msg, sender):
+                time.sleep(60)
+
+        b.spawn(Stuck, name="stuck")
+        hub.cut("b")
+        results = []
+
+        def send(i):
+            a.ref("b/stuck").tell(i)
+            results.append(i)
+
+        threads = [threading.Thread(target=send, args=(i,))
+                   for i in range(3)]
+        for t in threads:
+            t.start()
+        time.sleep(0.2)                    # let them park on 1 credit
+        clock[0] += 2.0
+        a.tick()                           # declares b DOWN, breaks gates
+        for t in threads:
+            t.join(timeout=10)
+            assert not t.is_alive(), "parked sender never woke"
+        assert len(a.dead_letters()) >= 2  # parked sends refused
+    finally:
+        a.close()
+        b.close()
+
+
+# ---------------------------------------------------------------------------
+# node-level drain
+# ---------------------------------------------------------------------------
+
+def test_node_drain_reports_livelock(pair):
+    hub, a, b, clock = pair
+
+    class Feeder(Actor):
+        def receive(self, msg, sender):
+            self.self_ref.tell(msg + 1)
+
+    f = b.spawn(Feeder, name="feeder")
+    f.tell(0)
+    assert b.drain(timeout=0.3) is False
+    b.system.stop(f)

@@ -1,0 +1,124 @@
+"""Real-socket cluster tests (pytest marker: ``cluster``).
+
+Everything here opens actual TCP sockets — two in-process nodes over
+localhost, then a genuine worker subprocess started through the CLI
+(``python -m repro cluster serve``).  Excluded from the default tier
+by ``-m "not cluster"``; the CI ``cluster-smoke`` job runs them with a
+hard timeout.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.actors import Actor
+from repro.cluster import (
+    ClusterNode,
+    JsonSerializer,
+    PickleSerializer,
+    SocketTransport,
+    register_actor_type,
+)
+
+pytestmark = pytest.mark.cluster
+
+
+class Recorder(Actor):
+    def __init__(self):
+        super().__init__()
+        self.got = []
+
+    def receive(self, msg, sender):
+        self.got.append(msg)
+        if sender is not None:
+            sender.tell(["ack", msg])
+
+
+register_actor_type("sock-recorder", Recorder)
+
+
+def _wait(pred, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if pred():
+            return True
+        time.sleep(0.01)
+    return pred()
+
+
+def test_two_nodes_over_tcp_roundtrip():
+    a = ClusterNode("a", SocketTransport("a"), serializer=JsonSerializer())
+    b = ClusterNode("b", SocketTransport("b"), serializer=JsonSerializer())
+    try:
+        a.connect("b", ("127.0.0.1", b.transport.port))
+        sink = b.spawn(Recorder, name="sink")
+        back = a.spawn(Recorder, name="back")
+        for i in range(20):
+            a.ref("b/sink").tell(["m", i], sender=back)
+        assert _wait(lambda: len(sink._cell.actor.got) == 20)
+        # replies route over the same dialed socket (HELLO named it
+        # in both directions — b never dialed a)
+        assert _wait(lambda: len(back._cell.actor.got) == 20)
+        assert b.status()["peers"]["a"] == "alive"
+    finally:
+        a.close()
+        b.close()
+
+
+def test_ephemeral_client_needs_no_listener():
+    from repro.obs import Profiler
+
+    server = ClusterNode("server", SocketTransport("server"),
+                         serializer=PickleSerializer(),
+                         profiler=Profiler())
+    client = ClusterNode("client",
+                         SocketTransport("client", listen=False),
+                         serializer=PickleSerializer())
+    try:
+        client.connect("server", ("127.0.0.1", server.transport.port))
+        ref = client.spawn_remote("server", "sock-recorder", "r")
+        ref.tell(("hello", 1))
+        status = client.status_of("server", profile=True)
+        assert "r" in status["actors"]
+        assert status["profile"]["counters"].get("cluster.delivered", 0) >= 1
+    finally:
+        client.close()
+        server.close()
+
+
+def test_worker_subprocess_end_to_end():
+    """The full CLI story: serve a worker process, spawn into it, chat
+    with it, pull its status, shut it down."""
+    from repro.cluster.bench import spawn_worker
+
+    proc, port = spawn_worker(name="w1")
+    driver = ClusterNode("driver",
+                         SocketTransport("driver", listen=False),
+                         serializer=PickleSerializer())
+    try:
+        driver.connect("w1", ("127.0.0.1", port))
+        echo = driver.spawn_remote("w1", "cluster-echo", "e")
+        done = threading.Event()
+
+        class Counter(Actor):
+            def __init__(self):
+                super().__init__()
+                self.n = 0
+
+            def receive(self, msg, sender):
+                self.n += 1
+                if self.n == 50:
+                    done.set()
+
+        counter = driver.spawn(Counter, name="c")
+        for i in range(50):
+            echo.tell(("ping", i), sender=counter)
+        assert done.wait(20), "echoes did not come back over TCP"
+        status = driver.status_of("w1")
+        assert status["node"] == "w1"
+        assert "e" in status["actors"]
+    finally:
+        driver.close()
+        proc.terminate()
+        proc.wait(timeout=10)
