@@ -167,6 +167,24 @@ class DedupTable:
             self._sparse.discard(self.high)
         return True
 
+    def skip_to(self, seq: int) -> None:
+        """Advance the delivered prefix over abandoned sequence numbers.
+
+        The origin sends SKIP after dead-lettering undeliverable
+        envelopes (retry exhaustion, peer-down drain): those seqs will
+        never arrive, and without this the cumulative ACK would stall
+        below them forever, falsely expiring every later send.
+        Idempotent; never moves the prefix backwards.
+        """
+        if seq <= self.high:
+            return
+        for s in [s for s in self._sparse if s <= seq]:
+            self._sparse.discard(s)
+        self.high = seq
+        while self.high + 1 in self._sparse:
+            self.high += 1
+            self._sparse.discard(self.high)
+
     @property
     def cumulative(self) -> int:
         """Highest seq such that everything at or below it was seen."""

@@ -15,8 +15,8 @@ Addressing is ``node/actor`` paths (:func:`make_path`/:func:`split_path`)
 Reliability metadata rides in the envelope itself: ``seq`` is a
 per-origin-node monotonic sequence number for the *reliable* kinds
 (TELL/SPAWN/WATCH/SIGNAL/STATUS — retried until cumulatively ACKed,
-deduplicated at the receiver), while ACK/CREDIT/HEARTBEAT/HELLO/REPLY
-are fire-and-forget control traffic (``seq == 0``).
+deduplicated at the receiver), while ACK/CREDIT/HEARTBEAT/HELLO/REPLY/
+SKIP are fire-and-forget control traffic (``seq == 0``).
 """
 
 from __future__ import annotations
@@ -29,7 +29,7 @@ __all__ = [
     "Envelope", "Serializer", "JsonSerializer", "PickleSerializer",
     "serializer", "make_path", "split_path",
     "TELL", "ACK", "CREDIT", "HEARTBEAT", "HELLO", "SPAWN", "WATCH",
-    "SIGNAL", "STATUS", "REPLY", "RELIABLE_KINDS",
+    "SIGNAL", "STATUS", "REPLY", "SKIP", "RELIABLE_KINDS",
 ]
 
 # -- envelope kinds ---------------------------------------------------------
@@ -43,6 +43,9 @@ WATCH = "watch"          # cross-node supervision registration
 SIGNAL = "signal"        # supervision signal (watched actor failed/stopped)
 STATUS = "status"        # node introspection request
 REPLY = "reply"          # response to SPAWN/STATUS, keyed by request seq
+SKIP = "skip"            # link resync: abandon seqs <= payload (dead-lettered
+                         # on the sender, so the receiver's cumulative-ACK
+                         # prefix must jump over them, never wait for them)
 
 #: kinds that are retried until acknowledged and deduplicated at the receiver
 RELIABLE_KINDS = frozenset({TELL, SPAWN, WATCH, SIGNAL, STATUS})

@@ -38,14 +38,15 @@ from __future__ import annotations
 
 import threading
 import time
+import zlib
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from ..actors import Actor, ActorRef, ActorSystem, SupervisionDirective
 from .delivery import CreditGate, DedupTable, Outbox, RetryPolicy
 from .message import (ACK, CREDIT, HEARTBEAT, RELIABLE_KINDS, REPLY, SIGNAL,
-                      SPAWN, STATUS, TELL, WATCH, Envelope, PickleSerializer,
-                      Serializer, make_path, split_path)
+                      SKIP, SPAWN, STATUS, TELL, WATCH, Envelope,
+                      PickleSerializer, Serializer, make_path, split_path)
 __all__ = ["ClusterConfig", "ClusterNode", "RemoteRef", "ActorSignal",
            "PeerState", "register_actor_type", "actor_type",
            "actor_type_names"]
@@ -103,10 +104,17 @@ class ClusterConfig:
     heartbeat_interval: float = 0.5
     suspect_after: float = 1.5
     down_after: float = 4.0
+    #: drop a DOWN peer's per-peer state (outbox, dedup, gates, cached
+    #: replies) after it has stayed silent this long past the DOWN mark —
+    #: a long-running node must not accumulate state for every one-shot
+    #: client that ever talked to it
+    evict_after: float = 60.0
     #: timer-thread cadence (retries, acks, credits, heartbeats, pump)
     tick_interval: float = 0.005
     #: flush a cumulative ACK after this many fresh reliable frames
     ack_every: int = 16
+    #: max cached request replies (duplicate-request replay window)
+    reply_cache_size: int = 256
 
     def retry_policy(self) -> RetryPolicy:
         return RetryPolicy(self.retry_timeout, self.retry_factor,
@@ -207,8 +215,14 @@ class _Waiter:
 
 
 def _flow_id(origin: str, dest: str, seq: int) -> int:
-    """Stable cross-process id pairing a send with its delivery."""
-    return hash((origin, dest, seq)) & 0x7FFFFFFF
+    """Stable cross-process id pairing a send with its delivery.
+
+    Must hash identically on both sides of the wire, so it cannot use
+    the builtin ``hash`` (string hashing is randomized per process via
+    PYTHONHASHSEED — sender and receiver would disagree and the merged
+    Chrome trace would never pair its flow arrows).
+    """
+    return zlib.crc32(f"{origin}|{dest}|{seq}".encode()) & 0x7FFFFFFF
 
 
 # ===========================================================================
@@ -261,6 +275,11 @@ class ClusterNode:
         self._outboxes: dict[str, Outbox] = {}
         self._dedup: dict[str, DedupTable] = {}
         self._gates: dict[str, CreditGate] = {}        # by target path
+        # dest -> highest seq we dead-lettered (retry exhaustion or
+        # peer-down drain); advertised as SKIP so the receiver's
+        # cumulative ACK does not stall waiting for seqs that will
+        # never be sent again
+        self._skip: dict[str, int] = {}
         self._state_lock = threading.Lock()
 
         # receiver-side staging + owed control traffic.  Owed-ack/credit
@@ -296,7 +315,7 @@ class ClusterNode:
             CREDIT: self._handle_credit, HEARTBEAT: self._handle_heartbeat,
             SPAWN: self._handle_spawn, WATCH: self._handle_watch,
             SIGNAL: self._handle_signal, STATUS: self._handle_status,
-            REPLY: self._handle_reply,
+            REPLY: self._handle_reply, SKIP: self._handle_skip,
         }
         self.transport.start(self._on_frame)
         self._timer: Optional[threading.Thread] = None
@@ -411,13 +430,14 @@ class ClusterNode:
         """This node's own status record (JSON-able)."""
         with self._state_lock:
             unacked = {d: len(o) for d, o in self._outboxes.items() if o}
+            staged = {k: len(v) for k, v in self._staged.items() if v}
         return {
             "node": self.name,
             "actors": self.actors(),
             "peers": self.peers(),
             "unacked": unacked,
             "dead_letters": len(self.system.dead_letters),
-            "staged": {k: len(v) for k, v in self._staged.items() if v},
+            "staged": staged,
         }
 
     # ------------------------------------------------------------------
@@ -702,10 +722,22 @@ class ClusterNode:
 
     # -- control handlers ----------------------------------------------------
     def _handle_ack(self, env: Envelope) -> None:
+        cum = int(env.payload)
         with self._state_lock:
             outbox = self._outboxes.get(env.origin)
+            # once the peer's cumulative prefix covers every abandoned
+            # seq, the link is resynced and SKIP stops being advertised
+            if cum >= self._skip.get(env.origin, cum + 1):
+                del self._skip[env.origin]
         if outbox is not None:
-            outbox.on_ack(int(env.payload))
+            outbox.on_ack(cum)
+
+    def _handle_skip(self, env: Envelope) -> None:
+        """Origin dead-lettered seqs <= payload: never wait for them."""
+        self._dedup_for(env.origin).skip_to(int(env.payload))
+        # ack immediately so the origin stops advertising the skip
+        self._send_control(env.origin, ACK, env.origin,
+                           self._dedup_for(env.origin).cumulative)
 
     def _handle_credit(self, env: Envelope) -> None:
         for path, n in env.payload:
@@ -729,8 +761,7 @@ class ClusterNode:
             self._event("cluster-spawn", actor=ref.name, peer=env.origin)
         except Exception as exc:  # noqa: BLE001 - report, don't die
             reply = {"re": env.seq, "error": f"{type(exc).__name__}: {exc}"}
-        self._reply_cache[(env.origin, env.seq)] = \
-            Envelope(REPLY, 0, self.name, env.origin, payload=reply)
+        self._cache_reply(env.origin, env.seq, reply)
         self._send_control(env.origin, REPLY, env.origin, reply)
 
     def _handle_watch(self, env: Envelope) -> None:
@@ -765,9 +796,16 @@ class ClusterNode:
         if want.get("trace") and self.trace_events is not None:
             with self._trace_lock:
                 reply["trace"] = [e.as_dict() for e in self.trace_events]
-        self._reply_cache[(env.origin, env.seq)] = \
-            Envelope(REPLY, 0, self.name, env.origin, payload=reply)
+        self._cache_reply(env.origin, env.seq, reply)
         self._send_control(env.origin, REPLY, env.origin, reply)
+
+    def _cache_reply(self, origin: str, seq: int, reply: Any) -> None:
+        """Remember a request reply for duplicate replay, bounded FIFO."""
+        with self._state_lock:
+            self._reply_cache[(origin, seq)] = \
+                Envelope(REPLY, 0, self.name, origin, payload=reply)
+            while len(self._reply_cache) > self.config.reply_cache_size:
+                self._reply_cache.pop(next(iter(self._reply_cache)))
 
     def _handle_reply(self, env: Envelope) -> None:
         key = (env.origin, env.payload.get("re"))
@@ -813,12 +851,17 @@ class ClusterNode:
             peers = list(self._peers.values())
             outboxes = dict(self._outboxes)
 
-        # heartbeats out
+        # heartbeats out; re-advertise pending link resyncs while the
+        # peer can hear them (cleared by the ACK they provoke)
         for peer in peers:
-            if peer.state != PeerState.DOWN \
-                    and now - peer.last_beat >= self.config.heartbeat_interval:
+            if peer.state == PeerState.DOWN:
+                continue
+            if now - peer.last_beat >= self.config.heartbeat_interval:
                 peer.last_beat = now
                 self._send_control(peer.name, HEARTBEAT, peer.name, None)
+            floor = self._skip.get(peer.name)
+            if floor is not None:
+                self._send_control(peer.name, SKIP, peer.name, floor)
 
         # retransmissions + expiries
         for dest, outbox in outboxes.items():
@@ -829,15 +872,20 @@ class ClusterNode:
                     self.profiler.inc("cluster.retries")
                 self._transmit(dest, env)
             for env in outbox.expired(now):
+                self._abandon(dest, env)
                 self._dead_letter(env.target, env.payload,
                                   f"undeliverable to {dest} after "
                                   f"{self.config.max_attempts} attempts")
 
-        # failure detector transitions
+        # failure detector transitions + eviction of long-dead peers
         for peer in peers:
             silent = now - peer.last_heard
-            if peer.state != PeerState.DOWN \
-                    and silent >= self.config.down_after:
+            if peer.state == PeerState.DOWN:
+                if silent >= self.config.down_after + \
+                        self.config.evict_after:
+                    self._evict_peer(peer.name)
+                continue
+            if silent >= self.config.down_after:
                 peer.state = PeerState.DOWN
                 self._on_peer_down(peer.name)
             elif peer.state == PeerState.ALIVE \
@@ -868,30 +916,52 @@ class ClusterNode:
                 return
             peer.last_heard = now
             recovered = peer.state != PeerState.ALIVE
+            was_down = peer.state == PeerState.DOWN
             if recovered:
                 peer.state = PeerState.ALIVE
+            if was_down:
+                # _on_peer_down broke this peer's credit gates, and a
+                # CreditGate has no un-break: drop them so the next
+                # send mints a fresh full-window gate instead of
+                # dead-lettering forever against a peer we can hear
+                for path in [p for p in self._gates
+                             if split_path(p)[0] == origin]:
+                    del self._gates[path]
         if recovered:
             self._event("cluster-recover", peer=origin)
+
+    def _abandon(self, dest: str, env: Envelope) -> None:
+        """Bookkeeping for a reliable envelope we gave up on: its seq
+        must not stall the peer's cumulative ACK (SKIP advertises the
+        hole), and a TELL returns the credit it acquired in _send_tell
+        so a lossy link does not permanently shrink the window."""
+        with self._state_lock:
+            if env.seq > self._skip.get(dest, 0):
+                self._skip[dest] = env.seq
+        if env.kind == TELL:
+            self._gate(env.target).release()
 
     def _on_peer_down(self, peer: str) -> None:
         self._event("cluster-down", peer=peer)
         if self.profiler is not None:
             self.profiler.inc("cluster.downs")
-        # in-flight traffic can never be acknowledged — dead-letter it
         with self._state_lock:
             outbox = self._outboxes.get(peer)
-        if outbox is not None:
-            for env in outbox.drain():
-                self._dead_letter(env.target, env.payload,
-                                  f"node {peer} down")
-        # parked senders wake and fail instead of waiting on a corpse
-        with self._state_lock:
             gates = [(path, g) for path, g in self._gates.items()
                      if split_path(path)[0] == peer]
             watching = [(path, refs) for path, refs in self._watching.items()
                         if split_path(path)[0] == peer]
+        # parked senders wake and fail instead of waiting on a corpse
+        # (broken before the drain below releases credits, so a freed
+        # credit cannot wake a sender toward the dead node)
         for path, gate in gates:
             gate.brk(f"node {peer} down")
+        # in-flight traffic can never be acknowledged — dead-letter it
+        if outbox is not None:
+            for env in outbox.drain():
+                self._abandon(peer, env)
+                self._dead_letter(env.target, env.payload,
+                                  f"node {peer} down")
         # watched actors on the dead node: synthesize node-down signals
         for path, refs in watching:
             signal = ActorSignal(path, "node-down",
@@ -899,6 +969,33 @@ class ClusterNode:
             for ref in refs:
                 if not ref.is_stopped:
                     ref.tell(signal, sender=None)
+
+    def _evict_peer(self, peer: str) -> None:
+        """Forget a peer that stayed DOWN past the eviction window.
+
+        Everything sized by traffic goes (outbox, dedup, gates, cached
+        replies, owed acks/credits); the per-dest send counter stays so
+        that if the peer ever does come back, our sequence numbers keep
+        ascending instead of colliding with its surviving dedup state.
+        """
+        with self._state_lock:
+            self._peers.pop(peer, None)
+            self._outboxes.pop(peer, None)
+            self._dedup.pop(peer, None)
+            self._skip.pop(peer, None)
+            for path in [p for p in self._gates
+                         if split_path(p)[0] == peer]:
+                del self._gates[path]
+            for key in [k for k in self._reply_cache if k[0] == peer]:
+                del self._reply_cache[key]
+            for path in [p for p in self._remote_refs
+                         if split_path(p)[0] == peer]:
+                del self._remote_refs[path]
+        with self._flow_lock:
+            self._ack_owed.pop(peer, None)
+            self._credit_owed.pop(peer, None)
+            self._credit_total.pop(peer, None)
+        self._event("cluster-evict", peer=peer)
 
     def _timer_loop(self) -> None:
         while not self.closed:

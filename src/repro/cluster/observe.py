@@ -25,6 +25,7 @@ Three pieces let the PR 2–4 tooling see through process boundaries:
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Iterable, Optional
 
 from ..obs.monitors import Detector, Hazard, MonitorBus
@@ -79,7 +80,10 @@ class ClusterEvent:
     @property
     def task_tid(self) -> int:
         # stable per-node pseudo-tid so KernelView keys stay consistent
-        return hash(("cluster-node", self.node)) & 0x3FFFFFFF
+        # even across processes — crc32, not the builtin hash, because
+        # string hashing is randomized per process (PYTHONHASHSEED) and
+        # merged traces combine events minted by different nodes
+        return zlib.crc32(f"cluster-node|{self.node}".encode()) & 0x3FFFFFFF
 
     @property
     def effect_repr(self) -> str:

@@ -336,6 +336,110 @@ def test_peer_recovers_when_heard_again(pair):
     assert a.peer_state("b") == PeerState.ALIVE
 
 
+def test_down_then_recover_remints_gates_and_delivers(pair):
+    """DOWN -> ALIVE recovery must not leave broken credit gates behind:
+    tells to a previously-used path on the recovered peer deliver again
+    instead of dead-lettering forever."""
+    hub, a, b, clock = pair
+    sink = b.spawn(Recorder, name="sink")
+    a.ref("b/sink").tell("before")
+    _settle(a, b)
+    hub.cut("b")
+    a.ref("b/sink").tell("lost-in-flight")
+    _advance(a, clock, 5.0)                # straight past down_after
+    assert a.peer_state("b") == PeerState.DOWN
+    assert a._gate("b/sink").broken is not None
+    hub.restore("b")
+    _advance(b, clock, 0.1)                # b heartbeats; a hears it
+    assert a.peer_state("b") == PeerState.ALIVE
+    # the broken gate was dropped: a fresh full-window gate is minted
+    gate = a._gate("b/sink")
+    assert gate.broken is None
+    assert gate.available == a.config.credit_window
+    a.ref("b/sink").tell("after-recovery")
+    _settle(a, b)
+    assert b.drain(timeout=5)
+    assert _actor(sink).got == ["before", "after-recovery"]
+    # the drained in-flight seq left a hole in b's cumulative-ACK
+    # prefix; the SKIP resync closes it so the post-recovery tell is
+    # acknowledged instead of falsely expiring into dead letters
+    for _ in range(8):
+        _advance(a, clock, 0.7)
+        _advance(b, clock, 0.7)
+    assert len(a._outboxes["b"]) == 0
+    assert not any(d.message == "after-recovery" for d in a.dead_letters())
+
+
+def test_expired_tell_releases_its_credit(pair):
+    """Retry exhaustion on a lossy-but-alive link must return the TELL's
+    credit — otherwise the send window permanently shrinks."""
+    hub, a, b, clock = pair
+    b.spawn(Recorder, name="sink")
+    hub.partition("a", "b")
+    a.ref("b/sink").tell("doomed")
+    gate = a._gate("b/sink")
+    assert gate.available == a.config.credit_window - 1
+    for _ in range(8):                     # burn through every attempt
+        _advance(a, clock, 0.7)
+        a._heard_from("b")                 # keep the detector quiet
+    assert any(d.message == "doomed" for d in a.dead_letters())
+    assert gate.available == a.config.credit_window
+
+
+def test_long_down_peer_state_is_evicted():
+    clock = [0.0]
+    hub = LoopbackHub()
+    cfg = ClusterConfig(tick_interval=1e9, suspect_after=0.5,
+                        down_after=1.0, evict_after=2.0)
+    a = ClusterNode("a", hub.join("a"), config=cfg, timer=False,
+                    clock=lambda: clock[0])
+    b = ClusterNode("b", hub.join("b"), config=cfg, timer=False,
+                    clock=lambda: clock[0])
+    a.connect("b")
+    b.connect("a")
+    try:
+        b.spawn(Recorder, name="sink")
+        a.ref("b/sink").tell("hi")
+        _settle(a, b, rounds=3)
+        hub.cut("b")
+        a.ref("b/sink").tell("lost")
+        clock[0] += 1.5
+        a.tick()                           # b declared DOWN
+        assert a.peers()["b"] == PeerState.DOWN
+        clock[0] += 4.0                    # past down_after + evict_after
+        a.tick()
+        assert "b" not in a.peers()        # per-peer state dropped
+        assert "b" not in a._outboxes and "b" not in a._dedup
+        assert not [p for p in a._gates if p.startswith("b/")]
+        # a frame from the returned peer re-registers it from scratch
+        hub.restore("b")
+        clock[0] += 0.1
+        b.tick()                           # heartbeat out
+        assert a.peers().get("b") == PeerState.ALIVE
+    finally:
+        a.close()
+        b.close()
+
+
+def test_reply_cache_is_bounded():
+    clock = [0.0]
+    hub = LoopbackHub()
+    cfg = ClusterConfig(tick_interval=1e9, reply_cache_size=4)
+    a = ClusterNode("a", hub.join("a"), config=cfg, timer=False,
+                    clock=lambda: clock[0])
+    b = ClusterNode("b", hub.join("b"), config=cfg, timer=False,
+                    clock=lambda: clock[0])
+    a.connect("b")
+    b.connect("a")
+    try:
+        for _ in range(10):
+            a.status_of("b")
+        assert len(b._reply_cache) <= cfg.reply_cache_size
+    finally:
+        a.close()
+        b.close()
+
+
 def test_broken_gate_fails_parked_senders_on_node_down():
     clock = [0.0]
     hub = LoopbackHub()

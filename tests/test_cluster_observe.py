@@ -62,6 +62,31 @@ def test_cluster_event_ducktypes_kernel_trace_surface():
     assert bus.events_seen == 1
 
 
+def test_flow_ids_stable_across_hash_randomization():
+    """Flow ids and pseudo-tids pair events minted by *different*
+    processes, so they must not depend on PYTHONHASHSEED — the builtin
+    ``hash`` of a string differs per interpreter process."""
+    import os
+    import pathlib
+    import subprocess
+    import sys
+
+    import repro
+
+    code = ("from repro.cluster.node import _flow_id\n"
+            "from repro.cluster.observe import ClusterEvent\n"
+            "print(_flow_id('a', 'b', 7), ClusterEvent('k', 'a').task_tid)")
+    pkg_root = str(pathlib.Path(repro.__file__).resolve().parents[1])
+    outs = set()
+    for seed in ("0", "1", "2"):
+        env = {**os.environ, "PYTHONHASHSEED": seed,
+               "PYTHONPATH": pkg_root + os.pathsep
+               + os.environ.get("PYTHONPATH", "")}
+        outs.add(subprocess.check_output(
+            [sys.executable, "-c", code], env=env))
+    assert len(outs) == 1
+
+
 # ---------------------------------------------------------------------------
 # profile merging
 # ---------------------------------------------------------------------------
