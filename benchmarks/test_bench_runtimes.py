@@ -1,10 +1,17 @@
 """Cross-runtime performance benchmarks — the paper's comparison table.
 
 Runs the full 6-problem × 3-runtime bench matrix via
-:func:`repro.bench.run_bench` under the quick workload and writes
-``BENCH_runtimes.json`` next to this file: the regression baseline the
-CI ``bench-smoke`` job diffs against (``repro bench --baseline``), and
-the numbers behind the "compared for performance" discussion.
+:func:`repro.bench.run_bench` and writes ``BENCH_runtimes.json`` next
+to this file: the regression baseline the CI ``bench-smoke`` job diffs
+against (``repro bench --baseline``), and the numbers behind the
+"compared for performance" discussion.
+
+The matrix runs under :data:`BASE_WORKLOAD` rather than ``QUICK``:
+enough operations per repetition that each cell measures steady-state
+message throughput, not system spin-up (at ``ops=25`` an actor cell's
+wall is mostly thread creation + teardown).  CI's ``bench-smoke``
+passes the same workload flags so its throughput floors compare
+like with like.
 
 The acceptance bars are shape assertions plus generous non-regression
 floors: shared CI machines jitter by integer factors, while a real
@@ -17,12 +24,16 @@ from pathlib import Path
 
 import pytest
 
-from repro.bench import QUICK, Workload, make_baseline, run_bench
+from repro.bench import Workload, make_baseline, run_bench
 from repro.obs import Profiler
 
 _RESULTS: dict = {}
 
-#: the cluster bench's own workload — bigger than QUICK because the
+#: the committed baseline's workload — mirrored by the CI bench-smoke
+#: job's flags (``--workers 2 --ops 200 --warmup 1 --repetitions 3``)
+BASE_WORKLOAD = Workload(workers=2, ops=200, warmup=1, repetitions=3)
+
+#: the cluster bench's own workload — bigger still because the
 #: distributed runtime amortizes per-message wire cost over pipelined
 #: in-flight batches; tiny runs measure only connection warmup
 CLUSTER_WORKLOAD = Workload(workers=4, ops=2000, warmup=1, repetitions=3)
@@ -40,6 +51,12 @@ def write_bench_json():
         # extra keys ride along; compare_to_baseline only reads
         # "cells"/"tolerance"
         base["profiling_overhead"] = _RESULTS.get("profiling-overhead", {})
+        base["workload"] = {
+            "workers": BASE_WORKLOAD.workers,
+            "ops": BASE_WORKLOAD.ops,
+            "warmup": BASE_WORKLOAD.warmup,
+            "repetitions": BASE_WORKLOAD.repetitions,
+        }
         base["cluster_workload"] = {
             "workers": CLUSTER_WORKLOAD.workers,
             "ops": CLUSTER_WORKLOAD.ops,
@@ -50,53 +67,84 @@ def write_bench_json():
 
 
 def test_bench_full_runtime_matrix(benchmark):
-    result = benchmark.pedantic(lambda: run_bench(workload=QUICK),
+    result = benchmark.pedantic(lambda: run_bench(workload=BASE_WORKLOAD),
                                 rounds=1, iterations=1)
     _RESULTS["result"] = result
     assert len(result.cells) == 18           # 6 problems × 3 runtimes
     for cell in result.cells:
         assert cell["throughput_ops_per_s"] > 0, cell
-        assert cell["wall_us"]["count"] == QUICK.repetitions
+        assert cell["wall_us"]["count"] == BASE_WORKLOAD.repetitions
         assert cell["wall_us"]["p50"] <= cell["wall_us"]["p95"] \
             <= cell["wall_us"]["p99"]
         assert cell["profile"]["counters"], cell["problem"]
 
 
+def test_bench_actors_within_3x_of_coroutines():
+    """The work-stealing dispatcher's acceptance bar: preemptive actors
+    pay real threads, locks, and cross-thread handoffs that cooperative
+    coroutines don't, but the hot path (lock-free enqueue, batched
+    drains, worker-local LIFO scheduling) must keep that tax under 3×
+    on the message-passing cells."""
+    if "result" in _RESULTS:           # fresh same-machine numbers
+        cells = {f"{c['problem']}.{c['runtime']}": c["throughput_ops_per_s"]
+                 for c in _RESULTS["result"].cells}
+    else:                              # standalone run: checked-in numbers
+        baseline = json.loads(
+            (Path(__file__).parent / "BENCH_runtimes.json").read_text())
+        cells = {k: v["throughput_ops_per_s"]
+                 for k, v in baseline["cells"].items()}
+    for problem in ("pingpong", "sum_workers"):
+        actors = cells[f"{problem}.actors"]
+        coroutines = cells[f"{problem}.coroutines"]
+        assert actors * 3 >= coroutines, (
+            f"{problem}.actors {actors:,.0f} ops/s is more than 3x behind "
+            f"{problem}.coroutines {coroutines:,.0f} ops/s")
+
+
 @pytest.mark.cluster
-def test_bench_cluster_beats_single_process_actors(benchmark):
-    """The distributed runtime's reason to exist, measured: a two-node
-    pingpong (driver + worker subprocess over TCP) must out-run the
-    single-process actor runtime despite paying for serialization,
-    framing, acks, and credit flow — because it gets a second
-    interpreter, i.e. a second core the GIL can't serialize away."""
+def test_bench_cluster_matrix(benchmark):
+    """The distributed cells: two socket-transport topologies (driver +
+    worker subprocess over TCP) plus the loopback topology exercising
+    the same-process fast path.  Gates: the bridge round trip stays
+    under 10ms p95, every socket cell actually moved frames, and the
+    fast path both fires and out-runs the wire."""
     from repro.cluster.bench import run_cluster_bench
 
     result = benchmark.pedantic(
         lambda: run_cluster_bench(workload=CLUSTER_WORKLOAD),
         rounds=1, iterations=1)
     _RESULTS["cluster"] = result
-    cells = {c["problem"]: c for c in result.cells}
-    assert set(cells) == {"pingpong", "bridge"}
+    cells = {f"{c['problem']}.{c['runtime']}": c for c in result.cells}
+    assert set(cells) == {"pingpong.cluster", "pingpong.cluster-local",
+                          "bridge.cluster"}
     for cell in result.cells:
-        assert cell["runtime"] == "cluster"
         assert cell["throughput_ops_per_s"] > 0, cell
         assert cell["wall_us"]["count"] == CLUSTER_WORKLOAD.repetitions
-        # merged cross-process profile: both nodes contributed counters
-        assert cell["profile"]["counters"].get("cluster.delivered", 0) > 0
 
-    if "result" in _RESULTS:           # fresh same-machine number
-        actors = next(c["throughput_ops_per_s"]
-                      for c in _RESULTS["result"].cells
-                      if c["problem"] == "pingpong"
-                      and c["runtime"] == "actors")
-    else:                              # standalone run: checked-in number
-        baseline = json.loads(
-            (Path(__file__).parent / "BENCH_runtimes.json").read_text())
-        actors = baseline["cells"]["pingpong.actors"]["throughput_ops_per_s"]
-    cluster = cells["pingpong"]["throughput_ops_per_s"]
-    assert cluster > actors, (
-        f"cluster pingpong {cluster:,.0f} ops/s did not beat "
-        f"single-process actors {actors:,.0f} ops/s")
+    # socket cells: merged cross-process profile shows real deliveries
+    for key in ("pingpong.cluster", "bridge.cluster"):
+        counters = cells[key]["profile"]["counters"]
+        assert counters.get("cluster.delivered", 0) > 0, key
+
+    # bridge round trips (monitor-guarded resource across the wire, with
+    # car/bridge traffic colocated via BridgeWorld) stay interactive
+    assert cells["bridge.cluster"]["wall_us"]["p95"] < 10_000, \
+        cells["bridge.cluster"]["wall_us"]
+
+    # the zero-serialization fast path fired for every same-node tell...
+    local = cells["pingpong.cluster-local"]
+    counters = local["profile"]["counters"]
+    assert counters.get("cluster.local_fastpath", 0) > 0, counters
+    assert counters.get("cluster.sent", 0) == 0, counters
+    # ...and colocated bridge traffic rides it too
+    bridge_counters = cells["bridge.cluster"]["profile"]["counters"]
+    assert bridge_counters.get("cluster.local_fastpath", 0) > 0, \
+        bridge_counters
+    # skipping serializer + framing + acks must show up as throughput
+    assert local["throughput_ops_per_s"] > \
+        cells["pingpong.cluster"]["throughput_ops_per_s"], (
+            local["throughput_ops_per_s"],
+            cells["pingpong.cluster"]["throughput_ops_per_s"])
 
 
 def test_bench_profiling_overhead_stays_bounded(benchmark):

@@ -73,19 +73,29 @@ def run(socket_mode: bool, trace_out: str | None) -> None:
         proc = None
 
     done = threading.Event()
-    remaining = [CROSSINGS]
+    pending_lock = threading.Lock()
+    pending = {"cars": 0}
+
+    def car_done() -> None:
+        with pending_lock:
+            pending["cars"] -= 1
+            if pending["cars"] == 0:
+                done.set()
+
     cars = []
     # westbound cars sit beside the arbiter (local tells); eastbound
     # cars are remote — every crossing is a cross-node conversation
     for i in range(CARS_PER_SIDE):
         if west is not None:
             cars.append(west.spawn(Car, west.ref("west/bridge"),
-                                   "westbound", done, remaining,
+                                   "westbound", car_done,
                                    name=f"wcar-{i}"))
-        cars.append(east.spawn(Car, bridge, "eastbound", done, remaining,
+        cars.append(east.spawn(Car, bridge, "eastbound", car_done,
                                name=f"ecar-{i}"))
 
+    pending["cars"] = len(cars)
     per_car = CROSSINGS // len(cars) + 1
+    total = per_car * len(cars)
     t0 = time.perf_counter()
     for car in cars:
         car.tell(("start", per_car))
@@ -93,8 +103,8 @@ def run(socket_mode: bool, trace_out: str | None) -> None:
         print("bridge run timed out", file=sys.stderr)
         raise SystemExit(1)
     dt = time.perf_counter() - t0
-    print(f"{CROSSINGS} crossings by {len(cars)} cars on 2 nodes "
-          f"in {dt:.2f}s ({CROSSINGS / dt:,.0f} crossings/s)\n")
+    print(f"{total} crossings by {len(cars)} cars on 2 nodes "
+          f"in {dt:.2f}s ({total / dt:,.0f} crossings/s)\n")
 
     # ---- merged cross-node profile -----------------------------------
     if socket_mode:

@@ -13,6 +13,7 @@ routers, scatter-gather aggregation.
 """
 
 from .actor import Actor, ActorContext, Behaviour
+from .executor import WorkStealingExecutor
 from .patterns import Ask, RoundRobinRouter, aggregate, ask
 from .ref import ActorRef
 from .sim import SimActorSystem
@@ -21,6 +22,7 @@ from .system import ActorSystem, DeadLetter, SupervisionDirective
 __all__ = [
     "Actor", "ActorContext", "Behaviour", "ActorRef",
     "ActorSystem", "SupervisionDirective", "DeadLetter",
+    "WorkStealingExecutor",
     "SimActorSystem",
     "ask", "Ask", "RoundRobinRouter", "aggregate",
 ]

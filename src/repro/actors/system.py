@@ -1,19 +1,31 @@
-"""Threaded actor runtime — mailboxes + a shared dispatcher pool.
+"""Threaded actor runtime — mailboxes + a work-stealing dispatcher.
 
 Execution model (the standard event-driven actor dispatcher, as in
 Akka/Scala rather than thread-per-actor):
 
 * every actor owns an unbounded mailbox and a *scheduled* flag;
 * ``tell`` enqueues and, if the actor is idle, submits a processing job
-  to a shared :class:`~repro.threads.pool.ThreadPool`;
-* a processing job drains up to ``throughput`` messages (invoking the
-  actor's current behaviour one message at a time — the actor
-  serialization guarantee), then yields the worker and reschedules
-  itself if messages remain.
+  to a shared :class:`~repro.actors.executor.WorkStealingExecutor`;
+* a processing job swaps out a run of up to ``throughput`` messages in
+  one go and invokes the actor's current behaviour one message at a
+  time (the actor serialization guarantee), then yields the worker and
+  reschedules itself — behind the worker's other work — if messages
+  remain.
+
+Hot-path discipline: with no profiler attached, ``enqueue`` is a single
+``deque.append`` plus one non-blocking try-lock (the scheduled flag is
+*represented by* a held :class:`threading.Lock`, so test-and-set is one
+atomic C call), and a processing job drains its batch with plain
+``popleft`` — single-element deque ops are atomic under the GIL and the
+scheduled flag guarantees a single drainer.  With a profiler attached
+the cell's lock serializes enqueue/drain so the enqueue-timestamp deque
+stays aligned with the mailbox.
 
 Failures route to the actor's supervision directive: ``resume`` (drop
 the message), ``restart`` (clear behaviour stack via ``pre_restart``),
-or ``stop``.  Messages to stopped actors go to ``dead_letters``.
+or ``stop``.  Messages to stopped actors go to ``dead_letters``; a stop
+in the middle of a drained batch dead-letters the batch's remainder,
+exactly as if the messages were still queued.
 """
 
 from __future__ import annotations
@@ -24,9 +36,9 @@ from collections import deque
 from enum import Enum
 from typing import Any, Optional
 
-from ..threads.pool import ThreadPool
 from ..threads.sync import Monitor
 from .actor import Actor, ActorContext
+from .executor import WorkStealingExecutor
 from .ref import ActorRef
 
 __all__ = ["SupervisionDirective", "ActorSystem", "DeadLetter"]
@@ -59,6 +71,10 @@ class _StopSignal:
 class _Cell:
     """Runtime state of one actor: mailbox, flags, instance."""
 
+    __slots__ = ("system", "actor", "ref", "mailbox", "lock", "_sched",
+                 "_stopped", "started", "directive", "enq_times", "_batch",
+                 "_run", "affinity")
+
     def __init__(self, system: "ActorSystem", actor: Actor, ref_name: str,
                  actor_id: int,
                  directive: Optional["SupervisionDirective"] = None):
@@ -66,8 +82,14 @@ class _Cell:
         self.actor = actor
         self.ref = ActorRef(actor_id, ref_name, self)
         self.mailbox: deque[tuple[Any, Optional[ActorRef]]] = deque()
+        #: profiler-mode lock: keeps ``enq_times`` aligned with the
+        #: mailbox, and serializes the stop-drain against late enqueues
         self.lock = threading.Lock()
-        self.scheduled = False
+        #: the scheduled flag *is* this lock's held/free state —
+        #: ``acquire(False)`` is an atomic test-and-set, so the
+        #: profiler-off enqueue path claims scheduling rights without
+        #: ever blocking or taking ``self.lock``
+        self._sched = threading.Lock()
         self._stopped = False
         self.started = False
         #: per-actor supervision override (None = system default)
@@ -76,95 +98,172 @@ class _Cell:
         #: both deques are pushed/popped together under ``lock``, so the
         #: head timestamp always belongs to the head message)
         self.enq_times: deque[float] = deque()
+        #: reusable drain buffer — one live batch per cell (guaranteed
+        #: by the scheduled flag), so no per-batch list allocation
+        self._batch: list[tuple[Any, Optional[ActorRef]]] = []
+        #: the bound method the executor runs, created once per actor
+        self._run = self._process
+        #: stable home-worker key — a hot actor keeps hitting the same
+        #: worker's deque (and that worker's caches) unless stolen
+        self.affinity = actor_id
 
     # -- ActorCell protocol ---------------------------------------------------
     @property
     def stopped(self) -> bool:
         return self._stopped
 
+    @property
+    def scheduled(self) -> bool:
+        """True while a processing job is queued or running for us."""
+        return self._sched.locked()
+
     def depth(self) -> int:
         """Messages currently pending in the mailbox."""
-        with self.lock:
-            return len(self.mailbox)
+        return len(self.mailbox)
 
     def enqueue(self, message: Any, sender: Optional[ActorRef]) -> None:
-        prof = self.system.profiler
-        with self.lock:
+        system = self.system
+        prof = system.profiler
+        if prof is None:
+            # lock-free fast path: one atomic append, one try-lock
             if self._stopped:
-                self.system._dead_letter(self.ref.name, message, sender)
+                system._dead_letter(self.ref.name, message, sender)
                 return
             self.mailbox.append((message, sender))
-            if prof is not None:
+            if self._stopped:
+                # raced _do_stop: its drain may have run before our
+                # append landed — flush so nothing rots in a dead mailbox
+                self._drain_to_dead_letters()
+                return
+        else:
+            with self.lock:
+                if self._stopped:
+                    system._dead_letter(self.ref.name, message, sender)
+                    return
+                self.mailbox.append((message, sender))
                 self.enq_times.append(prof.now())
-                prof.inc("mailbox.enqueued")
-                depth = len(self.mailbox)
-                prof.observe("mailbox.depth", depth)
-                prof.gauge_max("mailbox.depth_max", depth)
-            if not self.scheduled:
-                self.scheduled = True
-                submit = True
-            else:
-                submit = False
-        if submit:
-            self.system._pool.submit(self._process)
+            prof.inc("mailbox.enqueued")
+            depth = len(self.mailbox)
+            prof.observe("mailbox.depth", depth)
+            prof.gauge_max("mailbox.depth_max", depth)
+        if self._sched.acquire(False):
+            if not system._executor.submit(self._run, affinity=self.affinity):
+                self._reject()
 
     # -- message processing ----------------------------------------------------
     def _process(self) -> None:
+        system = self.system
         actor = self.actor
         if not self.started:
             self.started = True
             try:
                 actor.pre_start()
             except BaseException as exc:  # noqa: BLE001
-                self.system._on_failure(self, exc, "<pre_start>")
-        prof = self.system.profiler
-        for _ in range(self.system.throughput):
+                system._on_failure(self, exc, "<pre_start>")
+            if self._stopped:          # STOP directive fired in pre_start
+                self._sched.release()
+                return
+        prof = system.profiler
+        mailbox = self.mailbox
+        batch = self._batch
+        if prof is None:
+            # single drainer (scheduled flag) + atomic popleft: no lock
+            n = len(mailbox)
+            if n > system.throughput:
+                n = system.throughput
+            for _ in range(n):
+                batch.append(mailbox.popleft())
+        else:
+            # one lock acquisition amortized over the whole batch; the
+            # dequeue timestamp is taken once per batch by design
+            now = prof.now()
             with self.lock:
-                if self._stopped or not self.mailbox:
-                    self.scheduled = bool(self.mailbox) and not self._stopped
-                    if self.scheduled:
-                        break  # reschedule below
-                    return
-                message, sender = self.mailbox.popleft()
-                if prof is not None and self.enq_times:
-                    prof.observe_us("mailbox.latency_us",
-                                    prof.now() - self.enq_times.popleft())
-                    prof.inc("mailbox.processed")
+                n = min(len(mailbox), system.throughput)
+                times = self.enq_times
+                for _ in range(n):
+                    batch.append(mailbox.popleft())
+                    if times:
+                        prof.observe_us("mailbox.latency_us",
+                                        now - times.popleft())
+            if n:
+                prof.observe("mailbox.batch_size", n)
+
+        for i in range(n):
+            message, sender = batch[i]
             if isinstance(message, _StopSignal):
                 self._do_stop()
-                return
-            actor.context.sender = sender
-            try:
-                actor.current_behaviour()(message, sender)
-            except BaseException as exc:  # noqa: BLE001
-                self.system._on_failure(self, exc, message)
-                if self._stopped:
-                    return
-            finally:
-                actor.context.sender = None
-        # budget exhausted or flagged for reschedule: put ourselves back
-        with self.lock:
-            if self.mailbox and not self._stopped:
-                self.scheduled = True
-                self.system._pool.submit(self._process)
             else:
-                self.scheduled = False
+                context = actor.context
+                context.sender = sender
+                try:
+                    actor.current_behaviour()(message, sender)
+                except BaseException as exc:  # noqa: BLE001
+                    system._on_failure(self, exc, message)
+                finally:
+                    context.sender = None
+            if prof is not None:
+                # decoupled from the latency sample on purpose: messages
+                # enqueued before a profiler was attached have no
+                # timestamp but still count as processed (stop signals
+                # included — they were dequeued and handled)
+                prof.inc("mailbox.processed")
+            if self._stopped:
+                # stop (poison pill or STOP directive) mid-batch: the
+                # batch remainder is mail behind the stop — dead-letter
+                # it exactly like the messages still in the mailbox
+                for j in range(i + 1, n):
+                    late, late_sender = batch[j]
+                    if not isinstance(late, _StopSignal):
+                        system._dead_letter(self.ref.name, late, late_sender)
+                del batch[:]
+                self._sched.release()
+                return
+        del batch[:]
+
+        if mailbox:
+            # budget exhausted with mail left: requeue *fairly*, behind
+            # whatever else is waiting on our worker
+            if not system._executor.submit(self._run, affinity=self.affinity,
+                                           fair=True):
+                self._reject()
+            return
+        self._sched.release()
+        # a message may have slipped in between the emptiness check and
+        # the release — whoever wins the try-lock reschedules
+        if mailbox and self._sched.acquire(False):
+            if not system._executor.submit(self._run, affinity=self.affinity):
+                self._reject()
 
     def _do_stop(self) -> None:
         with self.lock:
             self._stopped = True
-            leftovers = list(self.mailbox)
-            self.mailbox.clear()
-            self.enq_times.clear()
-            self.scheduled = False
-        for message, sender in leftovers:
-            if not isinstance(message, _StopSignal):
-                self.system._dead_letter(self.ref.name, message, sender)
+        self._drain_to_dead_letters()
         try:
             self.actor.post_stop()
         except BaseException:  # noqa: BLE001 - post_stop must not kill workers
             pass
         self.system._forget(self)
+
+    def _drain_to_dead_letters(self) -> None:
+        """Atomically swap out everything queued and dead-letter it."""
+        with self.lock:
+            leftovers = list(self.mailbox)
+            self.mailbox.clear()
+            self.enq_times.clear()
+        for message, sender in leftovers:
+            if not isinstance(message, _StopSignal):
+                self.system._dead_letter(self.ref.name, message, sender)
+
+    def _reject(self) -> None:
+        """The executor refused a submit (it is shut down): we hold the
+        scheduled flag but no worker will ever run us.  Dead-letter the
+        pending mail and hand the flag back without stranding a message
+        that arrives between our drain and our release."""
+        while True:
+            self._drain_to_dead_letters()
+            self._sched.release()
+            if not self.mailbox or not self._sched.acquire(False):
+                return
 
 
 class ActorSystem:
@@ -188,10 +287,12 @@ class ActorSystem:
         self.throughput = throughput
         self.directive = directive
         #: optional :class:`repro.obs.Profiler` — mailbox latency/depth,
-        #: message throughput; None keeps the dispatch path untouched
+        #: message throughput, executor steals/parks; None keeps the
+        #: dispatch path untouched
         self.profiler = profiler
-        self._pool = ThreadPool(workers, name=f"{name}.dispatch",
-                                profiler=profiler)
+        self._executor = WorkStealingExecutor(workers,
+                                              name=f"{name}.dispatch",
+                                              profiler=profiler)
         self._cells: dict[int, _Cell] = {}
         self._cells_lock = threading.Lock()
         self.dead_letters: list[DeadLetter] = []
@@ -225,9 +326,9 @@ class ActorSystem:
             self._cells[actor_id] = cell
         # schedule once immediately so pre_start runs even for actors
         # that initiate conversations instead of waiting for mail
-        with cell.lock:
-            cell.scheduled = True
-        self._pool.submit(cell._process)
+        cell._sched.acquire()
+        if not self._executor.submit(cell._run, affinity=cell.affinity):
+            cell._reject()
         return cell.ref
 
     def stop(self, ref: ActorRef) -> None:
@@ -242,23 +343,27 @@ class ActorSystem:
         """Block until every mailbox is empty and no actor is running.
 
         Polls rather than waits on a condition: quiescence is a global
-        property across all cells and the pool, and per-message
-        notifications would cost more than the 1 ms poll.
+        property across all cells and the executor, and per-message
+        notifications would cost more than the poll.  The poll spins
+        (GIL yields) briefly before backing off to millisecond sleeps —
+        a short workload quiesces in microseconds, and a 1 ms first
+        sleep would dominate its entire wall time.
         """
         import time
         deadline = time.monotonic() + timeout
+        spins = 0
         while not self._quiet():
             if time.monotonic() >= deadline:
                 return False
-            time.sleep(0.001)
+            spins += 1
+            time.sleep(0 if spins < 200 else 0.001)
         return True
 
     def _quiet(self) -> bool:
         with self._cells_lock:
             cells = list(self._cells.values())
-        busy = any(c.scheduled or c.mailbox for c in cells)
-        return not busy and self._pool.stats["queued"] == 0 \
-            and self._pool.stats["submitted"] == self._pool.stats["completed"]
+        busy = any(c._sched.locked() or c.mailbox for c in cells)
+        return not busy and self._executor.idle()
 
     def shutdown(self) -> None:
         with self._cells_lock:
@@ -266,7 +371,12 @@ class ActorSystem:
         for ref in refs:
             self.stop(ref)
         self.drain()
-        self._pool.shutdown(wait=True)
+        self._executor.shutdown(wait=True)
+
+    def executor_stats(self) -> dict[str, int]:
+        """Dispatcher counters: queued, executed, steals, parks,
+        local_hits, workers."""
+        return self._executor.stats
 
     # ------------------------------------------------------------------
     # runtime callbacks
@@ -284,7 +394,7 @@ class ActorSystem:
 
     def _on_failure(self, cell: _Cell, error: BaseException,
                     message: Any) -> None:
-        # runs on dispatch-pool threads: the failure log needs the same
+        # runs on dispatch workers: the failure log needs the same
         # lock discipline as dead_letters
         with self._failures_lock:
             self._failures.append((cell.ref.name, error))

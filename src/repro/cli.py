@@ -379,9 +379,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not args.json:
         def progress(msg: str) -> None:
             print(f"bench: {msg}", file=sys.stderr)
+
+    core_problems = problems
+    if args.cluster and problems is not None:
+        # cluster-only cells (e.g. pingpong-local) have no core
+        # counterpart — keep them out of run_bench's validation
+        from .cluster.bench import cluster_bench_problems
+        cluster_only = set(cluster_bench_problems()) - set(bench_problems())
+        core_problems = [p for p in problems if p not in cluster_only]
     try:
-        result = run_bench(problems=problems, runtimes=runtimes,
-                           workload=workload, progress=progress)
+        if core_problems == []:
+            from .bench import BenchResult
+            result = BenchResult(workload, [], [])
+        else:
+            result = run_bench(problems=core_problems, runtimes=runtimes,
+                               workload=workload, progress=progress)
     except KeyError as exc:
         print(f"bench: {exc.args[0]}", file=sys.stderr)
         print("known problems: " + ", ".join(bench_problems()),
@@ -585,9 +597,9 @@ def main(argv: list[str] | None = None) -> int:
     p_bench.add_argument("--quick", action="store_true",
                          help="CI smoke workload (small + fast)")
     p_bench.add_argument("--cluster", action="store_true",
-                         help="also run the two-process cluster cells "
-                              "(pingpong, bridge) and merge them into "
-                              "the matrix")
+                         help="also run the cluster cells (pingpong, "
+                              "pingpong-local, bridge) and merge them "
+                              "into the matrix")
     p_bench.add_argument("--json", action="store_true",
                          help="schema-stable JSON report on stdout")
     p_bench.add_argument("--report", action="store_true",

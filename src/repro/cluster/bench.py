@@ -8,13 +8,29 @@ pinger/echo pairs run concurrently with a pipelined in-flight window
 per pair, frames coalesce in the socket transport's batching writer,
 and the two processes make progress truly in parallel.
 
+Three cells, three code paths:
+
+``pingpong.cluster``
+    real two-process topology over TCP — serializer, Outbox/DedupTable,
+    credit gates, the whole reliable-delivery stack;
+``pingpong.cluster-local``
+    one node, every tell through a :class:`~repro.cluster.node.RemoteRef`
+    whose path points back at the minting node — the zero-serialization
+    local fast path, isolated from any wire;
+``bridge.cluster``
+    the paper's bridge with the arbiter *and* the cars colocated on the
+    worker process (crossings ride the local fast path) while the
+    driver starts each repetition and collects completion over the
+    socket — per-repetition wall is two socket hops plus the in-process
+    crossing storm, which is what pushes p95 under 10 ms.
+
 Unlike :func:`repro.bench.run_bench`, which times whole adapter calls,
 cluster setup (subprocess fork, TCP handshake, remote spawns) would
 drown the numbers it is supposed to measure — so
-:func:`run_cluster_bench` builds the two-node topology *once* per
-problem, then times only the steady-state message exchange of each
-repetition.  Cells land in the same schema and merge into the same
-``BENCH_runtimes.json`` baseline under ``<problem>.cluster`` keys.
+:func:`run_cluster_bench` builds the topology *once* per problem, then
+times only the steady-state message exchange of each repetition.
+Cells land in the same schema and merge into the same
+``BENCH_runtimes.json`` baseline under ``<problem>.<runtime>`` keys.
 
 The worker side is a real second process: ``repro cluster serve``
 spawned via ``sys.executable``, announcing its ephemeral port on
@@ -35,13 +51,15 @@ from ..actors import Actor
 from ..bench import DEFAULT, BenchResult, Workload
 from ..obs.metrics import Histogram
 from ..obs.profile import Profiler, wall_clock
-from .message import PickleSerializer
-from .node import ClusterConfig, ClusterNode, register_actor_type
+from .message import PickleSerializer, make_path
+from .node import (ClusterConfig, ClusterNode, RemoteRef,
+                   register_actor_type)
 from .observe import merge_profiles
-from .transport import SocketTransport
+from .transport import LoopbackHub, SocketTransport
 
 __all__ = ["run_cluster_bench", "cluster_bench_problems",
-           "BENCH_CONFIG", "Echo", "ClusterBridge", "Car", "Pinger"]
+           "BENCH_CONFIG", "Echo", "ClusterBridge", "Car", "Pinger",
+           "BridgeWorld"]
 
 #: bench nodes run with deep windows — the point is throughput, and the
 #: backpressure tests use small bounds elsewhere
@@ -69,30 +87,39 @@ class Pinger(Actor):
     Starts a burst on ``("start", rounds)`` and signals ``done`` once
     every round-trip of the repetition completed — the driver thread
     times between those two points.
+
+    ``sender_ref`` optionally overrides the identity the pinger hands
+    out as reply-to: the local fast-path cell passes a
+    :class:`~repro.cluster.node.RemoteRef` to the pinger itself, so the
+    echo's replies route through the cluster path machinery too instead
+    of short-circuiting on the raw :class:`~repro.actors.ref.ActorRef`.
     """
 
     def __init__(self, target: Any, inflight: int,
-                 done: threading.Event):
+                 done: threading.Event, sender_ref: Any = None):
         super().__init__()
         self.target = target
         self.inflight = inflight
         self.done = done
+        self.sender_ref = sender_ref
         self.rounds = 0
         self.sent = 0
         self.received = 0
 
     def receive(self, message, sender):
+        me = self.sender_ref if self.sender_ref is not None \
+            else self.self_ref
         if isinstance(message, (tuple, list)) and message[0] == "start":
             self.rounds = int(message[1])
             self.sent = self.received = 0
             for _ in range(min(self.inflight, self.rounds)):
                 self.sent += 1
-                self.target.tell(self.sent, sender=self.self_ref)
+                self.target.tell(self.sent, sender=me)
             return
         self.received += 1
         if self.sent < self.rounds:
             self.sent += 1
-            self.target.tell(self.sent, sender=self.self_ref)
+            self.target.tell(self.sent, sender=me)
         if self.received >= self.rounds:
             self.done.set()
 
@@ -136,41 +163,98 @@ class ClusterBridge(Actor):
 
 
 class Car(Actor):
-    """One car crossing the (possibly remote) bridge repeatedly."""
+    """One car crossing the (possibly remote) bridge repeatedly.
+
+    ``notify`` is any zero-arg callable invoked when this car finishes
+    its quota — a ``threading.Event.set`` for a driver-side car, a
+    closure telling a coordinator actor for a colocated one.
+    ``sender_ref`` plays the same role as on :class:`Pinger`.
+    """
 
     def __init__(self, bridge: Any, direction: str,
-                 done: threading.Event, remaining: list):
+                 notify: Callable[[], None], sender_ref: Any = None):
         super().__init__()
         self.bridge = bridge
         self.direction = direction
-        self.done = done
-        self.remaining = remaining     # [crossings left across all cars]
+        self.notify = notify
+        self.sender_ref = sender_ref
         self.crossings = 0
 
     def receive(self, message, sender):
+        me = self.sender_ref if self.sender_ref is not None \
+            else self.self_ref
         if isinstance(message, (tuple, list)) and message[0] == "start":
             self.crossings = int(message[1])
-            self.bridge.tell(["enter", self.direction],
-                             sender=self.self_ref)
+            self.bridge.tell(["enter", self.direction], sender=me)
             return
         if message == "go":
-            self.bridge.tell(["exit", self.direction],
-                             sender=self.self_ref)
+            self.bridge.tell(["exit", self.direction], sender=me)
             self.crossings -= 1
-            self.remaining[0] -= 1
-            if self.remaining[0] <= 0:
-                self.done.set()
             if self.crossings > 0:
-                self.bridge.tell(["enter", self.direction],
-                                 sender=self.self_ref)
+                self.bridge.tell(["enter", self.direction], sender=me)
+            else:
+                self.notify()
+
+
+class BridgeWorld(Actor):
+    """Worker-side coordinator: the whole bridge world in one process.
+
+    Spawned remotely (``inject_node=True``), it lazily builds the
+    arbiter plus ``cars`` car actors *on its own node*, wiring every
+    car to the bridge through a :class:`~repro.cluster.node.RemoteRef`
+    so each enter/go/exit rides the zero-serialization local fast path.
+    Each ``("start", cars, crossings)`` kicks one repetition; when the
+    last car reports in, the world replies ``"done"`` to the message's
+    sender — the only two frames that cross the wire per repetition.
+    """
+
+    def __init__(self, node: Any):
+        super().__init__()
+        self.node = node
+        self.cars: list[Any] = []
+        self.cars_done = 0
+        self.cars_n = 0
+        self.reply_to: Any = None
+
+    def receive(self, message, sender):
+        if isinstance(message, (tuple, list)) and message[0] == "start":
+            self.cars_n = int(message[1])
+            crossings = int(message[2])
+            self.reply_to = sender
+            self.cars_done = 0
+            if not self.cars:
+                self._build()
+            for car in self.cars:
+                car.tell(("start", crossings), sender=self.self_ref)
+        elif message == "car-done":
+            self.cars_done += 1
+            if self.cars_done >= self.cars_n \
+                    and self.reply_to is not None:
+                self.reply_to.tell("done", sender=self.self_ref)
+
+    def _build(self) -> None:
+        node = self.node
+        me = self.self_ref
+        node.spawn(ClusterBridge, name="bridge")
+        bridge_path = make_path(node.name, "bridge")
+        for i in range(self.cars_n):
+            name = f"car-{i}"
+            self.cars.append(node.spawn(
+                Car,
+                RemoteRef(node, bridge_path),   # per-car ref, own cache
+                "red" if i % 2 == 0 else "blue",
+                lambda: me.tell("car-done"),
+                name=name,
+                sender_ref=RemoteRef(node, make_path(node.name, name))))
 
 
 register_actor_type("cluster-echo", Echo)
 register_actor_type("cluster-bridge", ClusterBridge)
+register_actor_type("cluster-bridge-world", BridgeWorld, inject_node=True)
 
 
 def cluster_bench_problems() -> list[str]:
-    return ["pingpong", "bridge"]
+    return ["pingpong", "pingpong-local", "bridge"]
 
 
 # ---------------------------------------------------------------------------
@@ -214,6 +298,8 @@ def spawn_worker(name: str = "worker", timeout: float = 20.0,
 class _Topology:
     """Driver node + one worker process, torn down reliably."""
 
+    processes = 2
+
     def __init__(self, profiler: Profiler):
         self.proc, port = spawn_worker()
         self.driver = ClusterNode(
@@ -237,6 +323,24 @@ class _Topology:
         return worker_profile
 
 
+class _LoopbackTopology:
+    """One node on an in-process loopback hub — no sockets, no second
+    process; every path-addressed tell resolves to the local fast path."""
+
+    processes = 1
+
+    def __init__(self, profiler: Profiler):
+        self.hub = LoopbackHub()
+        self.driver = ClusterNode(
+            "solo", self.hub.join("solo"),
+            serializer=PickleSerializer(), config=BENCH_CONFIG,
+            profiler=profiler, workers=4)
+
+    def close(self) -> dict[str, Any]:
+        self.driver.close()
+        return {}
+
+
 # ---------------------------------------------------------------------------
 # the cells
 # ---------------------------------------------------------------------------
@@ -244,10 +348,12 @@ class _Topology:
 def _measure(setup: Callable[[ClusterNode], tuple],
              workload: Workload, profiler: Profiler,
              clock: Callable[[], float], problem: str,
-             spans: list, timeout: float = 120.0) -> dict[str, Any]:
+             spans: list, timeout: float = 120.0,
+             topology: type = _Topology,
+             runtime: str = "cluster") -> dict[str, Any]:
     """Shared shape of one cluster cell: topology up (untimed), then
     warmup + timed repetitions of the steady-state exchange."""
-    topo = _Topology(profiler)
+    topo = topology(profiler)
     try:
         start_rep, ops_per_rep = setup(topo.driver)
         wall = Histogram()
@@ -266,13 +372,13 @@ def _measure(setup: Callable[[ClusterNode], tuple],
             wall.record((t1 - t0) * 1e6)
             ops_total += ops_per_rep
             total_s += t1 - t0
-            spans.append((f"{problem} rep {measured}", "cluster", t0, t1))
+            spans.append((f"{problem} rep {measured}", runtime, t0, t1))
         worker_profile = topo.close()
         merged = merge_profiles({"driver": profiler.snapshot(),
                                  "worker": worker_profile})
         return {
             "problem": problem,
-            "runtime": "cluster",
+            "runtime": runtime,
             "workers": workload.workers,
             "ops": workload.ops,
             "ops_total": ops_per_rep,
@@ -315,28 +421,75 @@ def _pingpong_setup(workload: Workload, timeout: float
     return setup
 
 
+def _pingpong_local_setup(workload: Workload, timeout: float
+                          ) -> Callable[[ClusterNode], tuple]:
+    """Same pinger/echo pairs, one node: every tell and every reply is
+    a path-addressed RemoteRef send that resolves to the
+    zero-serialization local fast path."""
+    def setup(node: ClusterNode) -> tuple:
+        pairs = max(2, workload.workers)
+        rounds_each = workload.ops
+        inflight = 32
+        events, pingers = [], []
+        for i in range(pairs):
+            node.spawn(Echo, name=f"echo-{i}")
+            echo_ref = RemoteRef(node, make_path(node.name, f"echo-{i}"))
+            done = threading.Event()
+            events.append(done)
+            pinger_name = f"pinger-{i}"
+            pingers.append(node.spawn(
+                Pinger, echo_ref, inflight, done, name=pinger_name,
+                sender_ref=RemoteRef(node,
+                                     make_path(node.name, pinger_name))))
+
+        def start_rep() -> bool:
+            for done in events:
+                done.clear()
+            for pinger in pingers:
+                pinger.tell(("start", rounds_each))
+            return all(done.wait(timeout) for done in events)
+
+        return start_rep, pairs * rounds_each
+    return setup
+
+
 def _bridge_setup(workload: Workload, timeout: float
                   ) -> Callable[[ClusterNode], tuple]:
+    """Bridge world colocated on the worker; the driver's collector
+    actor hears one ``"done"`` per repetition."""
     def setup(driver: ClusterNode) -> tuple:
         cars_n = max(2, workload.workers)
-        crossings = workload.ops
-        bridge = driver.spawn_remote("worker", "cluster-bridge", "bridge")
+        # crossings are latency-bound (enter→go→exit per lap), so the
+        # per-repetition quota is scaled down from ``ops`` to keep one
+        # repetition's wall in single-digit milliseconds
+        crossings = max(8, workload.ops // 32)
+        world = driver.spawn_remote("worker", "cluster-bridge-world",
+                                    "world")
         done = threading.Event()
-        remaining = [0]
-        cars = [driver.spawn(Car, bridge,
-                             "red" if i % 2 == 0 else "blue",
-                             done, remaining, name=f"car-{i}")
-                for i in range(cars_n)]
+
+        class _Collector(Actor):
+            def receive(self, message, sender):
+                if message == "done":
+                    done.set()
+
+        collector = driver.spawn(_Collector, name="collector")
 
         def start_rep() -> bool:
             done.clear()
-            remaining[0] = cars_n * crossings
-            for car in cars:
-                car.tell(("start", crossings))
+            world.tell(("start", cars_n, crossings), sender=collector)
             return done.wait(timeout)
 
         return start_rep, cars_n * crossings
     return setup
+
+
+#: problem name -> (cell problem, cell runtime, setup factory, topology)
+_CELLS: dict[str, tuple[str, str, Callable, type]] = {
+    "pingpong": ("pingpong", "cluster", _pingpong_setup, _Topology),
+    "pingpong-local": ("pingpong", "cluster-local",
+                       _pingpong_local_setup, _LoopbackTopology),
+    "bridge": ("bridge", "cluster", _bridge_setup, _Topology),
+}
 
 
 def run_cluster_bench(problems: Optional[list[str]] = None,
@@ -345,10 +498,11 @@ def run_cluster_bench(problems: Optional[list[str]] = None,
                       progress: Optional[Callable[[str], None]] = None,
                       timeout: float = 120.0) -> BenchResult:
     """Measure the cluster cells; returns a BenchResult like
-    :func:`repro.bench.run_bench` (cells carry ``runtime="cluster"``).
+    :func:`repro.bench.run_bench` (cells carry ``runtime="cluster"``
+    or ``"cluster-local"``).
 
-    Spawns one worker process per problem — real sockets, real second
-    core.  Not deterministic; lives outside tier-1 on purpose.
+    Socket problems spawn one worker process each — real sockets, real
+    second core.  Not deterministic; lives outside tier-1 on purpose.
     """
     known = cluster_bench_problems()
     problems = list(problems) if problems else known
@@ -357,15 +511,17 @@ def run_cluster_bench(problems: Optional[list[str]] = None,
             raise KeyError(f"unknown cluster bench problem {p!r}; known: "
                            + ", ".join(known))
     clock = clock if clock is not None else wall_clock
-    setups = {"pingpong": _pingpong_setup(workload, timeout),
-              "bridge": _bridge_setup(workload, timeout)}
     cells: list[dict[str, Any]] = []
     spans: list[tuple] = []
-    for problem in problems:
+    for name in problems:
+        problem, runtime, setup_factory, topology = _CELLS[name]
         if progress is not None:
-            progress(f"{problem} on cluster (2 processes, "
+            progress(f"{problem} on {runtime} "
+                     f"({topology.processes} process"
+                     f"{'es' if topology.processes > 1 else ''}, "
                      f"{workload.repetitions} reps)")
         profiler = Profiler(clock=clock)
-        cells.append(_measure(setups[problem], workload, profiler,
-                              clock, problem, spans, timeout))
+        cells.append(_measure(setup_factory(workload, timeout), workload,
+                              profiler, clock, problem, spans, timeout,
+                              topology=topology, runtime=runtime))
     return BenchResult(workload, cells, spans)

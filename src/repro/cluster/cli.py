@@ -250,8 +250,8 @@ def add_cluster_commands(sub: Any) -> None:
                       "`repro bench --cluster` merges them into the "
                       "full matrix")
     p_bench.add_argument("--problems", default=None,
-                         help="comma-separated subset "
-                              "(default: pingpong,bridge)")
+                         help="comma-separated subset (default: "
+                              "pingpong,pingpong-local,bridge)")
     p_bench.add_argument("--workers", type=int, default=None)
     p_bench.add_argument("--ops", type=int, default=None)
     p_bench.add_argument("--warmup", type=int, default=None)

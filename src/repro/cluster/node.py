@@ -178,17 +178,36 @@ class RemoteRef:
     the node it was minted from does the routing.
     """
 
-    __slots__ = ("node", "path", "node_name", "name")
+    __slots__ = ("node", "path", "node_name", "name", "_local")
 
     def __init__(self, node: "ClusterNode", path: str):
         self.node = node
         self.path = path
         self.node_name, self.name = split_path(path)
+        #: cached local ActorRef when this path points back at the
+        #: minting node — the zero-serialization fast path
+        self._local: Optional[Any] = None
 
     def tell(self, message: Any, sender: Optional[Any] = None) -> None:
         """Asynchronous send; may park under backpressure, never drops
         silently (undeliverable messages land in dead letters)."""
-        self.node._send_tell(self.path, message, sender)
+        node = self.node
+        if self.node_name == node.name:
+            # local fast path: no serializer round-trip, no Outbox /
+            # DedupTable / CreditGate bookkeeping — straight into the
+            # target cell's mailbox.  The cached ref is re-looked-up
+            # once its cell stops, so a respawn under the same name is
+            # picked up transparently (a stopped cell dead-letters).
+            local = self._local
+            if local is None or local._cell.stopped:
+                local = self._local = node._local_actor(self.name)
+            if local is None:
+                node._dead_letter(self.path, message, "no local actor")
+                return
+            local.tell(message, sender=sender)
+            node._count_local_fastpath(self.name)
+            return
+        node._send_tell(self.path, message, sender)
 
     def __lshift__(self, message: Any) -> "RemoteRef":
         self.tell(message)
@@ -443,10 +462,28 @@ class ClusterNode:
     # ------------------------------------------------------------------
     # sending
     # ------------------------------------------------------------------
+    def _local_actor(self, actor: str) -> Optional[ActorRef]:
+        # plain dict read, no lock: dict.get is atomic under the GIL and
+        # the registry only ever grows or replaces whole entries
+        return self._actors.get(actor)
+
+    def _count_local_fastpath(self, actor: str) -> None:
+        if self.profiler is not None:
+            self.profiler.inc("cluster.local_fastpath")
+        if self.trace_events is not None or self.monitors is not None:
+            self._event("cluster-local", actor=actor, peer=self.name)
+
     def _send_tell(self, path: str, message: Any, sender: Any) -> None:
         dest, actor = split_path(path)
         if dest == self.name:                  # loop back to ourselves
-            self.ref(path).tell(message, sender=sender)
+            local = self._local_actor(actor)
+            if local is None:
+                # same contract as the remote path: undeliverable mail
+                # dead-letters instead of raising into the sender
+                self._dead_letter(path, message, "no local actor")
+                return
+            local.tell(message, sender=sender)
+            self._count_local_fastpath(actor)
             return
         sender_path = None
         if sender is not None:

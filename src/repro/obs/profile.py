@@ -55,7 +55,9 @@ METRIC_NAMES: tuple[str, ...] = (
     "thread.started", "thread.finished", "thread.start_latency_us",
     "pool.tasks", "pool.task_us",
     "mailbox.enqueued", "mailbox.processed", "mailbox.latency_us",
-    "mailbox.depth", "mailbox.depth_max",
+    "mailbox.depth", "mailbox.depth_max", "mailbox.batch_size",
+    "executor.steals", "executor.parks", "executor.local_hits",
+    "cluster.local_fastpath",
     "coro.resumes", "coro.resume_us", "coro.ready_wait_us",
     "coro.parks", "coro.wakes",
     "coroutine.resumes", "coroutine.resume_us",

@@ -496,3 +496,103 @@ def test_node_drain_reports_livelock(pair):
     f.tell(0)
     assert b.drain(timeout=0.3) is False
     b.system.stop(f)
+
+
+# ---------------------------------------------------------------------------
+# zero-serialization local fast path
+# ---------------------------------------------------------------------------
+
+class TestLocalFastPath:
+    def _solo(self, profiler=None, trace=False):
+        hub = LoopbackHub()
+        return ClusterNode("solo", hub.join("solo"), timer=False,
+                           profiler=profiler, trace=trace)
+
+    def test_remote_ref_to_own_node_skips_the_wire(self):
+        from repro.cluster.node import RemoteRef
+        from repro.obs import Profiler
+
+        prof = Profiler()
+        node = self._solo(profiler=prof)
+        try:
+            rec = node.spawn(Recorder, name="rec")
+            ref = RemoteRef(node, "solo/rec")
+            for i in range(10):
+                ref.tell(i)
+            assert node.drain(timeout=10)
+            assert _actor(rec).got == list(range(10))
+            snap = prof.snapshot()
+            assert snap["counters"]["cluster.local_fastpath"] == 10
+            # nothing serialized, nothing sent, no reliability state
+            assert "cluster.sent" not in snap["counters"]
+            assert "cluster.frames_out" not in snap["counters"]
+            assert node.status()["unacked"] == {}
+        finally:
+            node.close()
+
+    def test_send_tell_to_missing_local_actor_dead_letters(self):
+        from repro.cluster.node import RemoteRef
+
+        node = self._solo()
+        try:
+            RemoteRef(node, "solo/ghost").tell("lost?")
+            dead = node.dead_letters()
+            assert len(dead) == 1
+            assert dead[0].message == "lost?"
+            assert "ghost" in dead[0].target
+        finally:
+            node.close()
+
+    def test_cached_local_ref_follows_respawn_under_same_name(self):
+        """Stop the target, respawn under the same name: the cached
+        fast-path ref must re-resolve to the new incarnation instead of
+        feeding a dead cell forever."""
+        from repro.cluster.node import RemoteRef
+
+        node = self._solo()
+        try:
+            first = node.spawn(Recorder, name="phoenix")
+            ref = RemoteRef(node, "solo/phoenix")
+            ref.tell("one")
+            assert node.drain(timeout=10)
+            node.system.stop(first)
+            assert node.system.drain(timeout=10)
+            second = node.spawn(Recorder, name="phoenix")
+            ref.tell("two")
+            assert node.drain(timeout=10)
+            assert _actor(first).got == ["one"]
+            assert _actor(second).got == ["two"]
+        finally:
+            node.close()
+
+    def test_local_delivery_emits_trace_event(self):
+        from repro.cluster.node import RemoteRef
+
+        node = self._solo(trace=True)
+        try:
+            node.spawn(Recorder, name="rec")
+            RemoteRef(node, "solo/rec").tell("ping")
+            assert node.drain(timeout=10)
+            kinds = [e.kind for e in node.trace_events]
+            assert "cluster-local" in kinds
+        finally:
+            node.close()
+
+    def test_reply_path_round_trip_stays_local(self):
+        """Request/reply where both parties address each other through
+        cluster paths on one node — both directions take the fast path."""
+        from repro.cluster.node import RemoteRef
+        from repro.obs import Profiler
+
+        prof = Profiler()
+        node = self._solo(profiler=prof)
+        try:
+            node.spawn(Replier, name="rep")
+            rec = node.spawn(Recorder, name="rec")
+            target = RemoteRef(node, "solo/rep")
+            target.tell("hi", sender=RemoteRef(node, "solo/rec"))
+            assert node.drain(timeout=10)
+            assert _actor(rec).got == [["echo", "hi"]]
+            assert prof.snapshot()["counters"]["cluster.local_fastpath"] == 2
+        finally:
+            node.close()
