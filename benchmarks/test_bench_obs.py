@@ -78,6 +78,93 @@ def test_bench_monitor_bus_overhead(benchmark):
     assert full * 10 >= no_bus, (no_bus, full)
 
 
+def test_bench_telemetry_overhead(benchmark):
+    """Always-on telemetry must be nearly free on the cluster hot path.
+
+    Two-node loopback pingpong (the ``pingpong.cluster`` topology
+    without the socket, so the wire cost cannot mask the instrumentation
+    cost) with TelemetryAgents attached vs bare, repetitions
+    interleaved A/B so machine drift hits both arms equally.  The gate
+    is the ISSUE-7 acceptance bar: agent-on throughput stays within 5%
+    of agent-off.
+    """
+    import threading
+
+    from repro.cluster.bench import BENCH_CONFIG, Echo, Pinger
+    from repro.cluster.node import ClusterNode
+    from repro.cluster.transport import LoopbackHub
+    from repro.obs.profile import Profiler
+    from repro.obs.telemetry import TelemetryAgent
+
+    rounds, inflight, reps = 3000, 32, 7
+
+    def build(telemetry):
+        hub = LoopbackHub()
+        a = ClusterNode("driver", hub.join("driver"),
+                        config=BENCH_CONFIG, workers=2,
+                        profiler=Profiler())
+        b = ClusterNode("worker", hub.join("worker"),
+                        config=BENCH_CONFIG, workers=2,
+                        profiler=Profiler())
+        agents = []
+        if telemetry:
+            agents = [TelemetryAgent(interval=0.1).attach(n)
+                      for n in (a, b)]
+        a.connect("worker")
+        b.connect("driver")
+        b.spawn(Echo, name="echo")
+        done = threading.Event()
+        pinger = a.spawn(Pinger, a.ref("worker/echo"), inflight, done,
+                         name="pinger")
+        return a, b, pinger, done, agents
+
+    def one_rep(pinger, done):
+        done.clear()
+        t0 = time.perf_counter()
+        pinger.tell(("start", rounds))
+        assert done.wait(120), "pingpong repetition stalled"
+        return rounds / (time.perf_counter() - t0)
+
+    bare = build(telemetry=False)
+    instrumented = build(telemetry=True)
+    try:
+        one_rep(bare[2], bare[3])                    # warm both arms
+        one_rep(instrumented[2], instrumented[3])
+
+        def measure():
+            off_rates, on_rates = [], []
+            for _ in range(reps):                    # interleaved arms
+                off_rates.append(one_rep(bare[2], bare[3]))
+                on_rates.append(one_rep(instrumented[2], instrumented[3]))
+            return median(off_rates), median(on_rates)
+
+        off, on = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+        # the instrumented arm really measured telemetry: frames
+        # shipped both ways and the recorders saw the storm
+        driver_agent = instrumented[4][0]
+        assert set(driver_agent.aggregator.nodes()) == \
+            {"driver", "worker"}
+        assert len(driver_agent.recorder) > 0
+        frames = driver_agent.aggregator.snapshot()[
+            "nodes"]["worker"]["frames"]
+        assert frames > 0
+    finally:
+        for topo in (bare, instrumented):
+            topo[0].close()
+            topo[1].close()
+
+    _RESULTS["telemetry-overhead"] = {
+        "pingpong.cluster-loopback": {
+            "ops_per_sec_agent_off": round(off),
+            "ops_per_sec_agent_on": round(on),
+            "on_over_off": round(on / off, 4),
+            "worker_frames_seen": frames,
+        }
+    }
+    assert on >= off * 0.95, (off, on)
+
+
 def test_bench_monitored_exploration_matches(benchmark):
     """Monitored exploration does the same search — identical run and
     decision counts — while collecting hazards; record its cost."""

@@ -47,6 +47,18 @@ Commands:
     throughput regressions, ``--trace-dir`` exports a Chrome trace of
     the repetitions.
 
+``top``
+    Live cluster dashboard fed by the telemetry plane: per-node
+    throughput, mailbox depth, credit stalls, p95 latency, and firing
+    SLO burn-rate alerts.  ``--connect HOST:PORT`` polls a node serving
+    with ``cluster serve --telemetry``; ``--demo`` runs a
+    self-contained in-process two-node pingpong cluster.
+
+``postmortem``
+    Inspect the flight-recorder postmortem bundles a telemetry agent
+    dumps on actor failure / peer DOWN / SLO burn: list bundles, print
+    the cross-node narrative, extract the merged Chrome trace.
+
 ``trace``/``stats``/``explain``/``bench`` accept ``--out -`` to stream
 the artifact to stdout instead of a file.
 
@@ -452,6 +464,168 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _demo_telemetry_cluster(interval: float):
+    """Two loopback nodes, telemetry agents, and a pingpong load.
+
+    The self-contained `repro top --demo` topology: alpha pings, beta
+    echoes, frames flow both ways, and alpha's aggregator (the one the
+    snapshot reads) sees the whole two-node cluster.  Returns
+    ``(snapshot, cleanup)`` closures.
+    """
+    from .actors import Actor
+    from .cluster.node import ClusterConfig, ClusterNode
+    from .cluster.transport import LoopbackHub
+    from .obs.profile import Profiler
+    from .obs.telemetry import TelemetryAgent
+
+    class _Echo(Actor):
+        def receive(self, message, sender):
+            if sender is not None:
+                sender.tell(message, sender=self.self_ref)
+
+    class _Pinger(Actor):
+        def __init__(self, target):
+            super().__init__()
+            self.target = target
+
+        def receive(self, message, sender):
+            if message == "start":
+                for i in range(8):       # pipelined in-flight window
+                    self.target.tell(i, sender=self.self_ref)
+                return
+            self.target.tell(message, sender=self.self_ref)
+
+    hub = LoopbackHub()
+    config = ClusterConfig(telemetry_interval=max(0.05, interval / 4))
+    alpha = ClusterNode("alpha", hub.join("alpha"), config=config,
+                        workers=2, profiler=Profiler())
+    beta = ClusterNode("beta", hub.join("beta"), config=config,
+                       workers=2, profiler=Profiler())
+    agent = TelemetryAgent().attach(alpha)
+    TelemetryAgent().attach(beta)
+    alpha.connect("beta")
+    beta.connect("alpha")
+    beta.spawn(_Echo, name="echo")
+    pinger = alpha.spawn(_Pinger, alpha.ref("beta/echo"), name="pinger")
+    pinger.tell("start")
+
+    def cleanup() -> None:
+        alpha.close()
+        beta.close()
+
+    return agent.snapshot, cleanup
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .obs.telemetry import render_top
+    cleanup = None
+    if args.demo:
+        snapshot, cleanup = _demo_telemetry_cluster(args.interval)
+        time.sleep(max(0.5, args.interval / 2))   # let frames flow
+    elif args.connect:
+        import uuid
+
+        from .cluster.message import serializer as _serializer
+        from .cluster.node import ClusterNode
+        from .cluster.transport import SocketTransport
+        address = args.connect
+        name = f"top-{uuid.uuid4().hex[:8]}"
+        node = ClusterNode(name, SocketTransport(name, listen=False),
+                           serializer=_serializer(args.serializer))
+        node.connect(args.peer, address)
+        cleanup = node.close
+
+        def snapshot():
+            reply = node.status_of(args.peer, timeout=args.timeout,
+                                   telemetry=True)
+            snap = reply.get("telemetry")
+            if snap is None:
+                raise RuntimeError(
+                    f"node {args.peer!r} serves no telemetry — start it "
+                    f"with `repro cluster serve --telemetry`")
+            return snap
+    else:
+        print("repro top: need --connect HOST:PORT or --demo",
+              file=sys.stderr)
+        return 2
+    deadline = None if args.duration is None \
+        else time.monotonic() + args.duration
+    try:
+        while True:
+            snap = snapshot()
+            if args.json:
+                print(json.dumps(snap, sort_keys=True, default=str))
+            else:
+                color = sys.stdout.isatty()
+                print(render_top(snap, color=color,
+                                 clear=color and not args.once))
+            if args.once or (deadline is not None
+                             and time.monotonic() >= deadline):
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except (RuntimeError, TimeoutError) as exc:
+        print(f"repro top: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if cleanup is not None:
+            cleanup()
+
+
+def _cmd_postmortem(args: argparse.Namespace) -> int:
+    import json
+    dirp = Path(args.dir)
+    bundles = sorted(dirp.glob("pm-*.json")) if dirp.is_dir() else []
+    if not args.bundle:
+        if not bundles:
+            print(f"no postmortem bundles under {dirp}/")
+            return 1
+        for path in bundles:
+            try:
+                b = json.loads(path.read_text())
+            except (OSError, ValueError):
+                print(f"{path.name}: unreadable")
+                continue
+            firing = [a for a in b.get("alerts", ())
+                      if a.get("state") == "firing"]
+            events = b.get("events") or {}
+            print(f"{path.name}: {b.get('kind')} on node "
+                  f"{b.get('node')!r} — {sum(events.values())} flight "
+                  f"event(s) from {len(events)} node(s), "
+                  f"{len(firing)} firing alert(s)")
+        return 0
+    if args.bundle == "latest":
+        if not bundles:
+            print(f"no postmortem bundles under {dirp}/", file=sys.stderr)
+            return 1
+        path = bundles[-1]
+    else:
+        path = Path(args.bundle)
+        if not path.exists():
+            path = dirp / args.bundle
+    try:
+        b = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"repro postmortem: cannot read {path}: {exc}",
+              file=sys.stderr)
+        return 1
+    if args.trace_out:
+        Path(args.trace_out).write_text(
+            json.dumps(b.get("trace") or {}, sort_keys=True))
+        print(f"wrote {args.trace_out} (merged Chrome trace — open in "
+              f"chrome://tracing or https://ui.perfetto.dev)",
+              file=sys.stderr)
+    if args.json:
+        print(json.dumps(b, sort_keys=True, default=str))
+    else:
+        print(b.get("narrative") or "(bundle has no narrative)")
+    return 0
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     from .study import run_full_study
     study = run_full_study(seed=args.seed if args.seed is not None else 2013)
@@ -620,6 +794,56 @@ def main(argv: list[str] | None = None) -> int:
 
     from .cluster.cli import add_cluster_commands
     add_cluster_commands(sub)
+
+    p_top = sub.add_parser(
+        "top", help="live cluster dashboard from the telemetry plane "
+                    "(per-node throughput, mailbox depth, stalls, p95 "
+                    "latency, firing SLO alerts)")
+    from .cluster.cli import _address
+    p_top.add_argument("--connect", type=_address, default=None,
+                       metavar="HOST:PORT",
+                       help="address of a node serving with --telemetry")
+    p_top.add_argument("--peer", default="worker",
+                       help="node name of the serving node "
+                            "(default: worker)")
+    p_top.add_argument("--serializer", choices=("json", "pickle"),
+                       default="json",
+                       help="wire format (must match the server)")
+    p_top.add_argument("--timeout", type=float, default=5.0,
+                       help="per-poll STATUS timeout (seconds)")
+    p_top.add_argument("--demo", action="store_true",
+                       help="run against a self-contained in-process "
+                            "two-node pingpong cluster instead of "
+                            "connecting anywhere")
+    p_top.add_argument("--interval", type=float, default=1.0,
+                       help="refresh period in seconds (default 1.0)")
+    p_top.add_argument("--once", action="store_true",
+                       help="render a single frame and exit")
+    p_top.add_argument("--json", action="store_true",
+                       help="emit raw aggregator snapshots as JSON lines "
+                            "instead of the ANSI table")
+    p_top.add_argument("--for", dest="duration", type=float, default=None,
+                       metavar="SECS",
+                       help="stop after this many seconds (default: "
+                            "until Ctrl-C)")
+    p_top.set_defaults(fn=_cmd_top)
+
+    p_pm = sub.add_parser(
+        "postmortem", help="inspect flight-recorder postmortem bundles "
+                           "dumped by a telemetry agent")
+    p_pm.add_argument("bundle", nargs="?", default=None,
+                      help="bundle file name, path, or 'latest' "
+                           "(omit to list all bundles in --dir)")
+    p_pm.add_argument("--dir", default="postmortems",
+                      help="bundle directory (the serve node's "
+                           "--postmortem-dir; default: postmortems)")
+    p_pm.add_argument("--json", action="store_true",
+                      help="dump the full bundle as JSON instead of the "
+                           "narrative")
+    p_pm.add_argument("--trace-out", default=None,
+                      help="also write the bundle's merged cross-node "
+                           "Chrome trace to this file")
+    p_pm.set_defaults(fn=_cmd_postmortem)
 
     p_study = sub.add_parser("study", help="run the full §V study")
     p_study.add_argument("--seed", type=int, default=None)

@@ -61,6 +61,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                        serializer=serializer(args.serializer),
                        workers=args.workers, profiler=Profiler(),
                        trace=args.trace)
+    if args.telemetry:
+        from ..obs.telemetry import TelemetryAgent
+        node.attach_telemetry(TelemetryAgent(
+            postmortem_dir=args.postmortem_dir))
     if args.announce:
         # parseable one-liner for scripts (the bench reads exactly this)
         print(f"PORT {transport.port}", flush=True)
@@ -218,6 +222,15 @@ def add_cluster_commands(sub: Any) -> None:
     p_serve.add_argument("--trace", action="store_true",
                          help="record cluster trace events (served via "
                               "the status verb)")
+    p_serve.add_argument("--telemetry", action="store_true",
+                         help="attach a TelemetryAgent: stream metric "
+                              "frames at heartbeat cadence, evaluate "
+                              "SLOs, keep a flight recorder (feeds "
+                              "`repro top` and `repro postmortem`)")
+    p_serve.add_argument("--postmortem-dir", default=None,
+                         help="directory for postmortem bundles dumped "
+                              "on actor failure / peer DOWN / SLO burn "
+                              "(with --telemetry)")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_spawn = csub.add_parser("spawn",

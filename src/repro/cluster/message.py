@@ -29,7 +29,7 @@ __all__ = [
     "Envelope", "Serializer", "JsonSerializer", "PickleSerializer",
     "serializer", "make_path", "split_path",
     "TELL", "ACK", "CREDIT", "HEARTBEAT", "HELLO", "SPAWN", "WATCH",
-    "SIGNAL", "STATUS", "REPLY", "SKIP", "RELIABLE_KINDS",
+    "SIGNAL", "STATUS", "REPLY", "SKIP", "TELEMETRY", "RELIABLE_KINDS",
 ]
 
 # -- envelope kinds ---------------------------------------------------------
@@ -46,6 +46,11 @@ REPLY = "reply"          # response to SPAWN/STATUS, keyed by request seq
 SKIP = "skip"            # link resync: abandon seqs <= payload (dead-lettered
                          # on the sender, so the receiver's cumulative-ACK
                          # prefix must jump over them, never wait for them)
+TELEMETRY = "telemetry"  # delta-encoded metrics frame (telemetry plane).
+                         # Deliberately fire-and-forget: frames carry
+                         # *cumulative* counter values for changed keys, so
+                         # a lost frame only delays an update — retrying
+                         # stale metrics would be pure overhead
 
 #: kinds that are retried until acknowledged and deduplicated at the receiver
 RELIABLE_KINDS = frozenset({TELL, SPAWN, WATCH, SIGNAL, STATUS})

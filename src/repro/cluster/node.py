@@ -40,12 +40,12 @@ import threading
 import time
 import zlib
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..actors import Actor, ActorRef, ActorSystem, SupervisionDirective
 from .delivery import CreditGate, DedupTable, Outbox, RetryPolicy
 from .message import (ACK, CREDIT, HEARTBEAT, RELIABLE_KINDS, REPLY, SIGNAL,
-                      SKIP, SPAWN, STATUS, TELL, WATCH, Envelope,
+                      SKIP, SPAWN, STATUS, TELEMETRY, TELL, WATCH, Envelope,
                       PickleSerializer, Serializer, make_path, split_path)
 __all__ = ["ClusterConfig", "ClusterNode", "RemoteRef", "ActorSignal",
            "PeerState", "register_actor_type", "actor_type",
@@ -115,6 +115,15 @@ class ClusterConfig:
     ack_every: int = 16
     #: max cached request replies (duplicate-request replay window)
     reply_cache_size: int = 256
+    #: telemetry-frame cadence; None piggybacks the heartbeat interval
+    telemetry_interval: Optional[float] = None
+    #: flight-recorder sampling for bulk send/recv/local events when the
+    #: recorder is the *only* event sink (rounded down to a power of
+    #: two; 1 records everything).  Both ends of a flow sample on the
+    #: same wire seq, so sampled send/recv pairs still match up in the
+    #: postmortem trace.  Full-fidelity tracing (``trace=True`` or a
+    #: monitor bus) always records every event regardless.
+    flight_sample: int = 8
 
     def retry_policy(self) -> RetryPolicy:
         return RetryPolicy(self.retry_timeout, self.retry_factor,
@@ -328,6 +337,21 @@ class ClusterNode:
         self.trace_events: list = [] if trace else None
         self._trace_lock = threading.Lock()
         self._step = 0
+        #: attached TelemetryAgent (see repro.obs.telemetry), or None
+        self.telemetry: Optional[Any] = None
+        # single cached flag for the event hot-path gates: True when any
+        # sink (trace log, monitor bus, flight recorder) wants events
+        self._evt_on = trace or monitors is not None
+        # bulk-event sampling mask: seq & mask == 0 records.  0 (record
+        # everything) whenever tracing or monitors are attached; set to
+        # flight_sample-1 by attach_telemetry when the flight recorder
+        # is the only sink.  Rare events (park/stage/suspect/down/
+        # failure/...) bypass the mask and are always recorded.
+        self._evt_mask = 0
+        self._local_n = 0       # racy sample counter for local sends
+        # per-(origin, dest) encoded "origin|dest|" prefixes so hot-path
+        # flow ids skip the f-string + encode (see _fast_flow)
+        self._flow_pre: Dict[Tuple[str, str], bytes] = {}
 
         self._handlers = {
             TELL: self._handle_tell, ACK: self._handle_ack,
@@ -335,6 +359,7 @@ class ClusterNode:
             SPAWN: self._handle_spawn, WATCH: self._handle_watch,
             SIGNAL: self._handle_signal, STATUS: self._handle_status,
             REPLY: self._handle_reply, SKIP: self._handle_skip,
+            TELEMETRY: self._handle_telemetry,
         }
         self.transport.start(self._on_frame)
         self._timer: Optional[threading.Thread] = None
@@ -414,11 +439,15 @@ class ClusterNode:
         return RemoteRef(self, reply["path"])
 
     def status_of(self, dest: str, timeout: float = 5.0,
-                  profile: bool = False,
-                  trace: bool = False) -> dict[str, Any]:
-        """Fetch a peer's status (optionally + profiler snapshot/trace)."""
+                  profile: bool = False, trace: bool = False,
+                  telemetry: bool = False,
+                  flight: bool = False) -> dict[str, Any]:
+        """Fetch a peer's status.  Opt-in extras: profiler snapshot,
+        trace log, aggregated telemetry view, flight-recorder dump."""
         return self._request(dest, STATUS,
-                             {"profile": profile, "trace": trace}, timeout)
+                             {"profile": profile, "trace": trace,
+                              "telemetry": telemetry, "flight": flight},
+                             timeout)
 
     def watch(self, path: str, supervisor: ActorRef,
               directive: Optional[SupervisionDirective] = None) -> None:
@@ -460,6 +489,53 @@ class ClusterNode:
         }
 
     # ------------------------------------------------------------------
+    # telemetry plane
+    # ------------------------------------------------------------------
+    def attach_telemetry(self, agent: Any) -> Any:
+        """Wire a :class:`~repro.obs.telemetry.TelemetryAgent` into this
+        node: cluster events feed its flight recorder, the timer drives
+        its frame cadence, TELEMETRY frames route to it, and incidents
+        (actor failure, peer DOWN) trigger its postmortems."""
+        agent.node = self
+        agent.recorder.node = self.name
+        self.telemetry = agent
+        self._evt_on = True
+        if self.trace_events is None and self.monitors is None:
+            # recorder is the only sink: sample the bulk send/recv/local
+            # events 1-in-flight_sample — even ~1µs of always-on work
+            # per event is a measurable tax on the loopback hot chain
+            sample = max(1, self.config.flight_sample)
+            self._evt_mask = (1 << (sample.bit_length() - 1)) - 1
+        return agent
+
+    def _send_telemetry(self, peer: str, frame: dict) -> None:
+        """Ship one frame, fire-and-forget (loss-tolerant by format)."""
+        self._send_control(peer, TELEMETRY, peer, frame)
+        if self.profiler is not None:
+            self.profiler.inc("cluster.telemetry_out")
+
+    def _handle_telemetry(self, env: Envelope) -> None:
+        tele = self.telemetry
+        if tele is None:
+            return
+        try:
+            tele.on_frame(env.origin, env.payload)
+        except Exception:
+            if self.profiler is not None:
+                self.profiler.inc("cluster.telemetry_errors")
+
+    def _incident(self, kind: str, detail: Optional[dict] = None) -> None:
+        """Report an incident to the agent (never into the caller)."""
+        tele = self.telemetry
+        if tele is None:
+            return
+        try:
+            tele.incident(kind, detail)
+        except Exception:
+            if self.profiler is not None:
+                self.profiler.inc("cluster.telemetry_errors")
+
+    # ------------------------------------------------------------------
     # sending
     # ------------------------------------------------------------------
     def _local_actor(self, actor: str) -> Optional[ActorRef]:
@@ -470,8 +546,10 @@ class ClusterNode:
     def _count_local_fastpath(self, actor: str) -> None:
         if self.profiler is not None:
             self.profiler.inc("cluster.local_fastpath")
-        if self.trace_events is not None or self.monitors is not None:
-            self._event("cluster-local", actor=actor, peer=self.name)
+        if self._evt_on:
+            self._local_n += 1          # racy is fine: it only samples
+            if not (self._local_n & self._evt_mask):
+                self._event("cluster-local", actor, self.name)
 
     def _send_tell(self, path: str, message: Any, sender: Any) -> None:
         dest, actor = split_path(path)
@@ -532,11 +610,12 @@ class ClusterNode:
         outbox.register(seq, env, self.clock())
         self._transmit(dest, env)
         if kind == TELL:
-            if self.trace_events is not None or self.monitors is not None:
-                self._event("cluster-send", actor=split_path(target)[1],
-                            peer=dest,
-                            msg_seq=_flow_id(self.name, dest, seq),
-                            extra={"seq": seq, "path": target})
+            if self._evt_on and not (seq & self._evt_mask):
+                # target is always "<dest>/<actor>" here, so slice off
+                # the node prefix instead of re-splitting the path; no
+                # extra dict — nothing downstream reads it on sends
+                self._event("cluster-send", target[len(dest) + 1:], dest,
+                            self._fast_flow(self.name, dest, seq))
             if self.profiler is not None:
                 self.profiler.inc("cluster.sent")
         return seq
@@ -691,10 +770,11 @@ class ClusterNode:
                     sender = self._remote_refs[env.sender] = \
                         RemoteRef(self, env.sender)
         ref.tell(env.payload, sender=sender)
-        if self.trace_events is not None or self.monitors is not None:
-            self._event("cluster-recv", actor=ref.name, peer=env.origin,
-                        recv_seq=_flow_id(env.origin, self.name, env.seq),
-                        extra={"seq": env.seq})
+        if self._evt_on and not (env.seq & self._evt_mask):
+            # samples on the same wire seq as the sender's mask, so a
+            # recorded recv always has its matching recorded send
+            self._event("cluster-recv", ref.name, env.origin, None,
+                        self._fast_flow(env.origin, self.name, env.seq))
         if self.profiler is not None:
             self.profiler.inc("cluster.delivered")
             self._delivered += 1
@@ -833,6 +913,12 @@ class ClusterNode:
         if want.get("trace") and self.trace_events is not None:
             with self._trace_lock:
                 reply["trace"] = [e.as_dict() for e in self.trace_events]
+        tele = self.telemetry
+        if tele is not None:
+            if want.get("telemetry"):
+                reply["telemetry"] = tele.snapshot()
+            if want.get("flight"):
+                reply["flight"] = tele.recorder.dump()
         self._cache_reply(env.origin, env.seq, reply)
         self._send_control(env.origin, REPLY, env.origin, reply)
 
@@ -861,6 +947,9 @@ class ClusterNode:
         self._event("cluster-failure", actor=actor_name,
                     extra={"error": repr(error),
                            "directive": directive.value})
+        self._incident("actor-failure",
+                       {"actor": actor_name, "error": repr(error),
+                        "directive": directive.value})
         if not watchers:
             return
         signal = ActorSignal(make_path(self.name, actor_name), "failure",
@@ -899,6 +988,16 @@ class ClusterNode:
             floor = self._skip.get(peer.name)
             if floor is not None:
                 self._send_control(peer.name, SKIP, peer.name, floor)
+
+        # telemetry frames piggyback the same cadence pass (the agent
+        # applies its own interval); its failures never break the tick
+        tele = self.telemetry
+        if tele is not None:
+            try:
+                tele.on_tick(now)
+            except Exception:
+                if self.profiler is not None:
+                    self.profiler.inc("cluster.telemetry_errors")
 
         # retransmissions + expiries
         for dest, outbox in outboxes.items():
@@ -980,6 +1079,7 @@ class ClusterNode:
 
     def _on_peer_down(self, peer: str) -> None:
         self._event("cluster-down", peer=peer)
+        self._incident("peer-down", {"peer": peer})
         if self.profiler is not None:
             self.profiler.inc("cluster.downs")
         with self._state_lock:
@@ -1058,10 +1158,33 @@ class ClusterNode:
         with self.system._dl_lock:
             return list(self.system.dead_letters)
 
+    def _fast_flow(self, origin: str, dest: str, seq: int) -> int:
+        """:func:`_flow_id` with the ``"origin|dest|"`` prefix bytes
+        cached per pair — same crc32 over the same bytes, minus the
+        f-string build and encode on every message."""
+        key = (origin, dest)
+        pre = self._flow_pre.get(key)
+        if pre is None:
+            pre = self._flow_pre[key] = f"{origin}|{dest}|".encode()
+        return zlib.crc32(pre + b"%d" % seq) & 0x7FFFFFFF
+
     def _event(self, kind: str, actor: str = "", peer: str = "",
                msg_seq: Optional[int] = None,
                recv_seq: Optional[int] = None,
                extra: Optional[dict] = None) -> None:
+        if not self._evt_on:
+            return
+        tele = self.telemetry
+        if tele is not None:
+            # flight recorder first: one tuple into a bounded deque, no
+            # ClusterEvent construction unless trace/monitors want it
+            # (inlined FlightRecorder.record — this runs per message on
+            # the cluster hot path, the extra call frame is measurable;
+            # deque.append with maxlen is GIL-atomic, so no lock)
+            rec = tele.recorder
+            rec._n += 1
+            rec._dq.append((kind, actor, peer, msg_seq, recv_seq,
+                            time.time(), extra))
         if self.trace_events is None and self.monitors is None:
             return
         from .observe import ClusterEvent

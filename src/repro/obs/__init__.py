@@ -36,7 +36,7 @@ sets.
 
 from .explain import (CriticalPair, Explanation, explain_program,
                       explain_trace, find_critical_pair,
-                      minimize_schedule)
+                      minimize_schedule, postmortem_narrative)
 from .export import chrome_trace, chrome_trace_from_spans, jsonl_events
 from .metrics import Histogram, KernelMetrics
 from .profile import FakeClock, Profiler, wall_clock
@@ -45,6 +45,9 @@ from .monitors import (DeadlockDetector, Detector, FailureDetector, Hazard,
                        MonitorBus, RaceDetector, StarvationDetector,
                        WitnessDetector, default_detectors, trace_locksets)
 from .report import html_report
+from .telemetry import (SLO, Aggregator, Alert, FlightRecorder, SLOEngine,
+                        TelemetryAgent, TimeSeries, default_slos,
+                        render_top)
 
 __all__ = [
     "Histogram", "KernelMetrics", "chrome_trace", "jsonl_events",
@@ -55,5 +58,7 @@ __all__ = [
     "WitnessDetector", "default_detectors", "trace_locksets",
     "Explanation", "CriticalPair", "minimize_schedule",
     "find_critical_pair", "explain_trace", "explain_program",
-    "html_report",
+    "postmortem_narrative", "html_report",
+    "TimeSeries", "Aggregator", "SLO", "SLOEngine", "Alert",
+    "FlightRecorder", "TelemetryAgent", "default_slos", "render_top",
 ]

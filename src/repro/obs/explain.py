@@ -35,7 +35,8 @@ from ..core.trace import Trace, TraceEvent
 from .monitors import MonitorBus
 
 __all__ = ["Explanation", "CriticalPair", "minimize_schedule",
-           "find_critical_pair", "explain_trace", "explain_program"]
+           "find_critical_pair", "explain_trace", "explain_program",
+           "postmortem_narrative"]
 
 #: predicate over (trace, observation): True = the violation is present
 Predicate = Callable[[Trace, Any], bool]
@@ -313,3 +314,85 @@ def explain_program(program, *, kind: str = "auto",
         return None
     return explain_trace(program, witness, predicate, kind=label,
                          max_steps=max_steps)
+
+
+# ===========================================================================
+# telemetry postmortems
+# ===========================================================================
+
+#: flight-recorder event kinds worth calling out in a postmortem, with
+#: the story each one tells (ordered roughly by how alarming they are)
+_PM_NOTABLE = {
+    "cluster-failure": "actor failed",
+    "cluster-down": "peer declared DOWN",
+    "cluster-dead-letter": "message dead-lettered",
+    "cluster-retry": "reliable envelope retransmitted",
+    "cluster-suspect": "peer suspected",
+    "cluster-stage": "remote mailbox full, arrival staged",
+    "cluster-park": "sender parked on credit",
+    "cluster-recover": "peer recovered",
+}
+
+
+def postmortem_narrative(kind: str, detail: Optional[dict],
+                         node_events: dict[str, list],
+                         alerts: Optional[list] = None) -> str:
+    """Explain-style prose for a telemetry postmortem bundle.
+
+    Same philosophy as :class:`Explanation`: lead with what happened,
+    then the evidence — the tail of each node's flight recorder with
+    the alarming events called out, the cross-node send/receive pairs
+    that bracket the incident, and the alert states at dump time.
+    ``node_events`` maps node name to
+    :meth:`~repro.obs.telemetry.FlightRecorder.dump` output.
+    """
+    lines = [f"POSTMORTEM: {kind}"]
+    if detail:
+        parts = ", ".join(f"{k}={v!r}" for k, v in sorted(detail.items())
+                          if not isinstance(v, (dict, list)))
+        if parts:
+            lines.append(f"  trigger: {parts}")
+    firing = [a for a in (alerts or []) if a.get("state") == "firing"]
+    for a in firing:
+        lines.append(f"  alert firing: {a.get('slo')} on {a.get('node')} "
+                     f"({a.get('metric')} = {a.get('short_value')} short / "
+                     f"{a.get('long_value')} long, "
+                     f"threshold {a.get('threshold')})")
+
+    # cross-node flow pairing: a send whose flow id also appears as a
+    # receive on another node proves the flight recorders overlap in
+    # time — the merged trace will draw that hop
+    sends: dict[int, str] = {}
+    recvs: dict[int, str] = {}
+    for node, events in node_events.items():
+        for e in events:
+            ms, rs = e.get("msg_seq"), e.get("recv_seq")
+            if ms is not None:
+                sends[ms] = node
+            if rs is not None:
+                recvs[rs] = node
+    paired = set(sends) & set(recvs)
+
+    for node in sorted(node_events):
+        events = node_events[node]
+        notable = [e for e in events if e.get("kind") in _PM_NOTABLE]
+        lines.append(f"  node {node!r}: {len(events)} event(s) in the "
+                     f"flight window, {len(notable)} notable")
+        for e in notable[-6:]:
+            what = _PM_NOTABLE[e["kind"]]
+            who = e.get("actor") or e.get("peer") or ""
+            extra = e.get("extra") or {}
+            why = extra.get("why") or extra.get("error") or ""
+            lines.append(f"    step {e.get('step', 0)}: {what}"
+                         + (f" ({who})" if who else "")
+                         + (f" — {why}" if why else ""))
+    if paired:
+        lines.append(f"  {len(paired)} message hop(s) pair across nodes "
+                     f"in the merged trace (send and receive both "
+                     f"captured)")
+    elif len(node_events) > 1:
+        lines.append("  no cross-node hops pair inside the flight "
+                     "windows — recorders may not overlap in time")
+    if not any(node_events.values()):
+        lines.append("  (all flight recorders were empty)")
+    return "\n".join(lines)

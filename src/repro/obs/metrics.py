@@ -48,14 +48,20 @@ class Histogram:
     identical across runs of the same schedule).
     """
 
-    __slots__ = ("count", "total", "min", "max", "_samples", "_dirty")
+    __slots__ = ("count", "total", "min", "max", "_samples", "_sorted",
+                 "_dirty")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0
         self.min: Optional[int] = None
         self.max: Optional[int] = None
+        #: raw samples in *insertion order* — consumers (the telemetry
+        #: delta encoder) rely on ``_samples[n:]`` being "everything
+        #: recorded after the first n", so percentile queries sort a
+        #: cached copy instead of this list
         self._samples: list = []
+        self._sorted: list = []
         self._dirty = False
 
     def record(self, value: int) -> None:
@@ -67,6 +73,48 @@ class Histogram:
             self.max = value
         self._samples.append(value)
         self._dirty = True
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s samples into this histogram, in place.
+
+        Because samples are retained raw, the merge preserves exact
+        percentile semantics: ``a.merge(b).percentile(p)`` equals the
+        percentile of the union series recorded into one histogram —
+        which is what lets the telemetry aggregator combine per-frame
+        histogram buckets into sliding-window percentiles, and what
+        ``merge_profiles`` cannot do from snapshots alone.  Returns
+        ``self`` for chaining; ``other`` is not modified.
+        """
+        if other.count == 0:
+            return self
+        self.count += other.count
+        self.total += other.total
+        if self.min is None or (other.min is not None
+                                and other.min < self.min):
+            self.min = other.min
+        if self.max is None or (other.max is not None
+                                and other.max > self.max):
+            self.max = other.max
+        self._samples.extend(other._samples)
+        self._dirty = True
+        return self
+
+    @classmethod
+    def of(cls, samples) -> "Histogram":
+        """A histogram pre-filled from an iterable of samples."""
+        hist = cls()
+        for value in samples:
+            hist.record(value)
+        return hist
+
+    def samples_since(self, start: int) -> list:
+        """Copy of every sample recorded after the first ``start``.
+
+        Insertion-ordered (percentile queries never reorder the raw
+        series), so a reader that remembers the last ``count`` it saw
+        gets exactly the new samples — the telemetry delta encoding.
+        """
+        return self._samples[start:]
 
     @property
     def mean(self) -> float:
@@ -84,10 +132,10 @@ class Histogram:
         if not self._samples:
             return None
         if self._dirty:
-            self._samples.sort()
+            self._sorted = sorted(self._samples)
             self._dirty = False
-        rank = max(1, -(-len(self._samples) * p // 100))  # ceil
-        return self._samples[int(rank) - 1]
+        rank = max(1, -(-len(self._sorted) * p // 100))  # ceil
+        return self._sorted[int(rank) - 1]
 
     @property
     def p50(self) -> Optional[float]:

@@ -354,6 +354,18 @@ class MonitorBus:
             self._seen.add(hz.key)
             self.hazards.append(hz)
 
+    def publish(self, hazard: Hazard) -> None:
+        """Report an externally detected hazard on this bus.
+
+        The detectors above watch the event stream; some hazard sources
+        watch something else entirely — the telemetry SLO engine fires
+        burn-rate alerts computed from cluster-wide time series, not
+        from any single event.  ``publish`` gives them the same
+        first-class treatment (dedup by ``Hazard.key``, severity
+        ranking, ``flagged``/``counts``/``format``) as detector output.
+        """
+        self._add(hazard)
+
     # ------------------------------------------------------------------
     @property
     def flagged(self) -> bool:

@@ -153,6 +153,15 @@ class Profiler:
         return _Timed(self, name)
 
     # -- readers --------------------------------------------------------
+    #
+    # Every reader below snapshots under ``_lock`` — the same lock every
+    # writer holds — so a snapshot racing concurrent ``record()`` calls
+    # can never observe a torn histogram (a count that doesn't match its
+    # total/samples) or a counter mid-increment.  The telemetry agent
+    # snapshots at heartbeat cadence from the cluster timer thread while
+    # dispatch workers record; this consistency is load-bearing (and
+    # regression-tested with a hammering thread).
+
     def get(self, name: str) -> int:
         with self._lock:
             return self.counters.get(name, 0)
@@ -171,6 +180,53 @@ class Profiler:
                 "histograms": {k: h.snapshot()
                                for k, h in sorted(self.histograms.items())},
             }
+
+    def delta(self, cursor: dict, max_samples: int = 256) -> dict:
+        """Changed-since-cursor view for the telemetry wire format.
+
+        ``cursor`` is caller-owned state (start with ``{}``) updated in
+        place; each call returns only what moved since the previous one:
+
+        * ``counters``/``gauges`` — the *cumulative* value of every key
+          that changed (cumulative, not differenced, so a lost telemetry
+          frame only delays an update instead of corrupting totals);
+        * ``hists`` — per histogram with new samples: cumulative
+          ``count``/``total``/``min``/``max`` plus the new samples in
+          insertion order, stride-downsampled to ``max_samples`` (the
+          cumulative fields stay exact even when samples are thinned).
+
+        The whole view is taken under the profiler lock, so the
+        count/total/samples triple of one histogram is never torn by a
+        concurrent ``record()``.
+        """
+        seen_counters = cursor.setdefault("counters", {})
+        seen_gauges = cursor.setdefault("gauges", {})
+        seen_hist = cursor.setdefault("hists", {})
+        with self._lock:
+            counters = {}
+            for name, value in self.counters.items():
+                if seen_counters.get(name) != value:
+                    seen_counters[name] = counters[name] = value
+            gauges = {}
+            for name, value in self.gauges.items():
+                if seen_gauges.get(name) != value:
+                    seen_gauges[name] = gauges[name] = value
+            hists = {}
+            for name, h in self.histograms.items():
+                start = seen_hist.get(name, 0)
+                if h.count <= start:
+                    continue
+                new = h.samples_since(start)
+                if len(new) > max_samples:
+                    stride = len(new) / max_samples
+                    new = [new[int(i * stride)] for i in range(max_samples)]
+                hists[name] = {
+                    "count": h.count, "total": h.total,
+                    "min": h.min, "max": h.max,
+                    "samples": [round(float(s), 3) for s in new],
+                }
+                seen_hist[name] = h.count
+            return {"counters": counters, "gauges": gauges, "hists": hists}
 
     def format(self) -> str:
         """Human-readable table of the snapshot."""

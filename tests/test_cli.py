@@ -184,6 +184,113 @@ def test_explain_unknown_problem_exits_2(capsys):
 
 
 # ---------------------------------------------------------------------------
+# top
+# ---------------------------------------------------------------------------
+
+TOP_FAST = ("--demo", "--once", "--interval", "0.4")
+
+
+def test_top_demo_renders_dashboard(capsys):
+    code, out, _ = run_cli(capsys, "top", *TOP_FAST)
+    assert code == 0
+    lines = out.splitlines()
+    assert lines[0].startswith("repro top — 2 node(s)")
+    assert "NODE" in lines[1] and "OPS/S" in lines[1]
+    assert any(ln.startswith("alpha") for ln in lines)
+    assert any(ln.startswith("beta") for ln in lines)
+    assert "\x1b[" not in out                 # not a tty: plain text
+
+
+def test_top_demo_json_snapshot(capsys):
+    code, out, _ = run_cli(capsys, "top", *TOP_FAST, "--json")
+    assert code == 0
+    snap = json.loads(out)
+    assert set(snap["nodes"]) == {"alpha", "beta"}
+    for node in snap["nodes"].values():
+        assert {"rates", "gauges", "hists", "frames", "lost"} <= set(node)
+    # demo burns nothing: every tracked (slo, node) pair stays quiet
+    assert [a for a in snap["alerts"] if a["state"] == "firing"] == []
+
+
+def test_top_without_target_exits_2(capsys):
+    code, _, err = run_cli(capsys, "top", "--once")
+    assert code == 2
+    assert "--connect" in err and "--demo" in err
+
+
+def test_top_rejects_bad_address(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["top", "--connect", "nope", "--once"])
+    assert exc.value.code == 2
+
+
+# ---------------------------------------------------------------------------
+# postmortem
+# ---------------------------------------------------------------------------
+
+def _bundle(kind="actor-failure", node="b"):
+    return {"v": 1, "seq": 1, "kind": kind, "node": node, "ts": 12.0,
+            "detail": {"actor": "bomb"},
+            "alerts": [{"slo": "error-rate", "node": node,
+                        "state": "firing"}],
+            "telemetry": {"nodes": {}},
+            "events": {"a": 3, "b": 5},
+            "trace": {"traceEvents": [], "displayTimeUnit": "ms"},
+            "narrative": f"POSTMORTEM: {kind}\n  node '{node}': ..."}
+
+
+def test_postmortem_empty_dir_exits_1(capsys, tmp_path):
+    code, out, _ = run_cli(capsys, "postmortem", "--dir", str(tmp_path))
+    assert code == 1
+    assert "no postmortem bundles" in out
+
+
+def test_postmortem_lists_bundles(capsys, tmp_path):
+    (tmp_path / "pm-001-actor-failure.json").write_text(
+        json.dumps(_bundle()))
+    (tmp_path / "pm-002-peer-down.json").write_text(
+        json.dumps(_bundle(kind="peer-down")))
+    code, out, _ = run_cli(capsys, "postmortem", "--dir", str(tmp_path))
+    assert code == 0
+    lines = out.splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("pm-001-actor-failure.json: actor-failure")
+    assert "8 flight event(s) from 2 node(s)" in lines[0]
+    assert "1 firing alert(s)" in lines[0]
+
+
+def test_postmortem_latest_prints_narrative_and_trace(capsys, tmp_path):
+    (tmp_path / "pm-001-actor-failure.json").write_text(
+        json.dumps(_bundle()))
+    (tmp_path / "pm-002-peer-down.json").write_text(
+        json.dumps(_bundle(kind="peer-down")))
+    trace_out = tmp_path / "merged.json"
+    code, out, err = run_cli(
+        capsys, "postmortem", "--dir", str(tmp_path), "latest",
+        "--trace-out", str(trace_out))
+    assert code == 0
+    assert out.startswith("POSTMORTEM: peer-down")   # latest = pm-002
+    assert "merged.json" in err
+    assert json.loads(trace_out.read_text())["displayTimeUnit"] == "ms"
+
+
+def test_postmortem_json_roundtrip(capsys, tmp_path):
+    (tmp_path / "pm-001-actor-failure.json").write_text(
+        json.dumps(_bundle()))
+    code, out, _ = run_cli(capsys, "postmortem", "--dir", str(tmp_path),
+                           "pm-001-actor-failure.json", "--json")
+    assert code == 0
+    assert json.loads(out)["kind"] == "actor-failure"
+
+
+def test_postmortem_missing_bundle_exits_1(capsys, tmp_path):
+    code, _, err = run_cli(capsys, "postmortem", "--dir", str(tmp_path),
+                           "pm-042-ghost.json")
+    assert code == 1
+    assert "cannot read" in err
+
+
+# ---------------------------------------------------------------------------
 # argparse-level bad arguments
 # ---------------------------------------------------------------------------
 

@@ -196,6 +196,74 @@ def test_suspect_loss_detector_escalation_ladder():
 # live integration: detectors on a real loopback node
 # ---------------------------------------------------------------------------
 
+def test_status_pulls_coherent_under_pingpong_storm():
+    """STATUS with every opt-in extra (profile, telemetry, flight)
+    pulled in a tight loop while a pipelined pingpong storm saturates
+    both nodes.  Guards the two regressions that bit this path before:
+    a torn profiler snapshot under concurrent writers, and the STATUS
+    handler deadlocking on ``_state_lock`` while the storm holds it."""
+    from repro.obs.telemetry import TelemetryAgent
+
+    hub = LoopbackHub()
+    a = ClusterNode("a", hub.join("a"), profiler=Profiler(), workers=2)
+    b = ClusterNode("b", hub.join("b"), profiler=Profiler(), workers=2)
+    TelemetryAgent().attach(a)
+    TelemetryAgent().attach(b)
+    a.connect("b")
+    b.connect("a")
+    try:
+        class Echo(Actor):
+            def receive(self, msg, sender):
+                if sender is not None:
+                    sender.tell(msg, sender=self.self_ref)
+
+        class Pinger(Actor):
+            def __init__(self, target):
+                super().__init__()
+                self.target = target
+
+            def receive(self, msg, sender):
+                if msg == "start":
+                    for i in range(16):          # pipelined window
+                        self.target.tell(i, sender=self.self_ref)
+                    return
+                self.target.tell(msg, sender=self.self_ref)
+
+        b.spawn(Echo, name="echo")
+        pinger = a.spawn(Pinger, a.ref("b/echo"), name="pinger")
+        pinger.tell("start")                     # perpetual storm
+        deadline = time.monotonic() + 60         # deadlock guard
+        while time.monotonic() < deadline and \
+                b.profiler.get("mailbox.processed") == 0:
+            time.sleep(0.005)                    # storm warm-up
+        replies = []
+        while len(replies) < 25 and time.monotonic() < deadline:
+            replies.append(a.status_of("b", timeout=10.0, profile=True,
+                                       telemetry=True, flight=True))
+        assert len(replies) == 25, "status pulls starved by the storm"
+        processed = 0
+        for reply in replies:
+            assert reply["node"] == "b"
+            profile = reply["profile"]
+            # coherent cut: latency samples are observed per *batch* at
+            # dequeue while mailbox.processed increments per message
+            # after handling, so a snapshot may run ahead by at most one
+            # batch (throughput=16) per actor — but never further, and
+            # never behind, if the snapshot isn't torn
+            lat = profile["histograms"].get("mailbox.latency_us")
+            if lat is not None:
+                assert lat["count"] <= profile["counters"][
+                    "mailbox.processed"] + 16
+            assert set(reply["telemetry"]["nodes"]) <= {"a", "b"}
+            assert isinstance(reply["flight"], list)
+            processed = max(processed, profile["counters"].get(
+                "mailbox.processed", 0))
+        assert processed > 0                     # the storm really ran
+    finally:
+        a.close()
+        b.close()
+
+
 def test_live_saturation_run_raises_hazards_and_traces():
     clock = [0.0]
     hub = LoopbackHub()

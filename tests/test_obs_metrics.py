@@ -57,6 +57,51 @@ class TestHistogram:
         with pytest.raises(ValueError):
             h.percentile(101)
 
+    def test_merge_equals_union_series(self):
+        """a.merge(b) must answer every percentile exactly as if the
+        union had been recorded into one histogram — the property the
+        telemetry aggregator's sliding-window buckets rest on."""
+        left = Histogram.of([5, 1, 9])
+        right = Histogram.of([2, 8, 100, 3])
+        union = Histogram.of([5, 1, 9, 2, 8, 100, 3])
+        merged = left.merge(right)
+        assert merged is left                    # in place, chainable
+        assert merged.count == union.count
+        assert merged.total == union.total
+        assert merged.min == union.min and merged.max == union.max
+        for p in (1, 25, 50, 75, 95, 99, 100):
+            assert merged.percentile(p) == union.percentile(p)
+        # other side untouched
+        assert right.count == 4 and right.percentile(50) == 3
+
+    def test_merge_empty_cases(self):
+        h = Histogram.of([1, 2])
+        h.merge(Histogram())                     # no-op
+        assert h.count == 2 and h.min == 1
+        empty = Histogram()
+        empty.merge(Histogram.of([7]))
+        assert (empty.count, empty.min, empty.max) == (1, 7, 7)
+
+    def test_merge_after_percentile_queries(self):
+        """Percentile queries sort a cached copy; merging afterwards
+        must still extend the raw insertion-order series."""
+        h = Histogram.of([3, 1])
+        assert h.p50 == 1
+        h.merge(Histogram.of([2]))
+        assert h.p50 == 2
+        assert h.samples_since(0) == [3, 1, 2]   # insertion order kept
+
+    def test_samples_since_is_the_delta_cursor(self):
+        h = Histogram()
+        for v in (4, 6, 5):
+            h.record(v)
+        seen = h.count
+        assert h.samples_since(0) == [4, 6, 5]
+        h.record(9)
+        h.record(7)
+        assert h.samples_since(seen) == [9, 7]
+        assert h.samples_since(h.count) == []
+
 
 class TestKernelMetrics:
     def test_counters_and_gauges(self):

@@ -112,6 +112,85 @@ def test_thread_safety_under_concurrent_increments():
     assert prof.histograms["pool.task_us"].count == n * per
 
 
+def test_snapshot_never_torn_by_concurrent_records():
+    """Regression: readers take the same lock as writers, so a
+    histogram's count/total pair is a consistent cut — a torn read
+    (count bumped, total not yet) shows up as count != total when
+    every sample is exactly 1.0."""
+    prof = Profiler()
+    stop = threading.Event()
+
+    def hammer():
+        while not stop.is_set():
+            prof.inc("ops")
+            prof.observe("lat", 1.0)
+
+    writers = [threading.Thread(target=hammer) for _ in range(4)]
+    for t in writers:
+        t.start()
+    try:
+        for _ in range(300):
+            snap = prof.snapshot()
+            h = snap["histograms"].get("lat")
+            if h is not None and h["count"]:
+                assert h["count"] == h["total"], (h["count"], h["total"])
+                assert h["min"] == h["max"] == 1.0
+    finally:
+        stop.set()
+        for t in writers:
+            t.join()
+
+
+def test_delta_consistent_under_concurrent_records():
+    """The telemetry cursor walk must stay exact while writers hammer:
+    cumulative fields of each delta are a consistent cut, cursors are
+    monotone, and the final drained delta accounts for every sample."""
+    prof = Profiler()
+    stop = threading.Event()
+
+    def hammer():
+        while not stop.is_set():
+            prof.inc("ops")
+            prof.observe("lat", 1.0)
+
+    writers = [threading.Thread(target=hammer) for _ in range(4)]
+    for t in writers:
+        t.start()
+    cursor = {}
+    try:
+        last_count = 0
+        for _ in range(100):
+            d = prof.delta(cursor, max_samples=1 << 30)
+            lat = d["hists"].get("lat")
+            if lat is None:
+                continue
+            assert lat["count"] == lat["total"]          # consistent cut
+            # un-thinned samples: exactly the records since last time
+            assert len(lat["samples"]) == lat["count"] - last_count
+            assert lat["count"] >= last_count            # monotone cursor
+            last_count = lat["count"]
+    finally:
+        stop.set()
+        for t in writers:
+            t.join()
+    prof.delta(cursor, max_samples=1 << 30)
+    assert cursor["hists"]["lat"] == prof.histograms["lat"].count
+    assert cursor["counters"]["ops"] == prof.get("ops")
+    assert prof.delta(cursor) == {"counters": {}, "gauges": {},
+                                  "hists": {}}           # fully drained
+
+
+def test_delta_downsamples_but_keeps_cumulative_exact():
+    prof = Profiler()
+    for i in range(1000):
+        prof.observe("lat", float(i % 7))
+    d = prof.delta({}, max_samples=64)
+    lat = d["hists"]["lat"]
+    assert len(lat["samples"]) == 64                     # thinned wire
+    assert lat["count"] == 1000                          # totals exact
+    assert lat["total"] == sum(float(i % 7) for i in range(1000))
+
+
 def test_metric_name_registry_matches_convention():
     for name in ("lock.wait_us", "mailbox.latency_us", "coro.resume_us",
                  "thread.start_latency_us", "pool.task_us"):
