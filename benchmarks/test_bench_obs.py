@@ -165,6 +165,97 @@ def test_bench_telemetry_overhead(benchmark):
     assert on >= off * 0.95, (off, on)
 
 
+def test_bench_tracer_overhead(benchmark):
+    """Active causal tracing must stay within 10% of tracer-off.
+
+    Same interleaved A/B loopback pingpong as the telemetry gate, but
+    the instrumented arm carries a :class:`CausalTracer` through both
+    nodes and stamps a fresh request context before each repetition, so
+    the storm propagates ids across the wire, the mailboxes and the
+    executor.  What keeps this bounded is the tracer's *per-request hop
+    budget* (``DEFAULT_HOP_BUDGET``, the OpenTelemetry span-limit
+    idea): each request traces its first few hundred handoffs at full
+    fidelity — far more than any sane request needs for critical-path
+    analysis — then the chain self-terminates and the remaining storm
+    runs at attached-idle cost.  The gate is the ISSUE-8 acceptance
+    bar: tracer-on throughput stays within 10% of tracer-off, *by
+    design* for any request shape, not just this workload.  (The
+    tracing-*off* arm pays only ``is None`` tests and is additionally
+    covered by the zero-allocation test in ``tests/test_obs_causal``.)
+    """
+    import threading
+
+    from repro.cluster.bench import BENCH_CONFIG, Echo, Pinger
+    from repro.cluster.node import ClusterNode
+    from repro.cluster.transport import LoopbackHub
+    from repro.obs.causal import CausalTracer, clear_context
+
+    rounds, inflight, reps = 3000, 32, 7
+
+    def build(tracer):
+        hub = LoopbackHub()
+        a = ClusterNode("driver", hub.join("driver"),
+                        config=BENCH_CONFIG, workers=2, tracer=tracer)
+        b = ClusterNode("worker", hub.join("worker"),
+                        config=BENCH_CONFIG, workers=2, tracer=tracer)
+        a.connect("worker")
+        b.connect("driver")
+        b.spawn(Echo, name="echo")
+        done = threading.Event()
+        pinger = a.spawn(Pinger, a.ref("worker/echo"), inflight, done,
+                         name="pinger")
+        return a, b, pinger, done
+
+    def one_rep(pinger, done, tracer):
+        done.clear()
+        if tracer is not None:
+            tracer.start_request("pingpong")
+        t0 = time.perf_counter()
+        pinger.tell(("start", rounds))
+        try:
+            assert done.wait(120), "pingpong repetition stalled"
+        finally:
+            if tracer is not None:
+                clear_context()
+        return rounds / (time.perf_counter() - t0)
+
+    # bounded so a quarter-million spans don't become the benchmark
+    tracer = CausalTracer(capacity=200_000)
+    bare = build(tracer=None)
+    traced = build(tracer=tracer)
+    try:
+        one_rep(bare[2], bare[3], None)              # warm both arms
+        one_rep(traced[2], traced[3], tracer)
+
+        def measure():
+            off_rates, on_rates = [], []
+            for _ in range(reps):                    # interleaved arms
+                off_rates.append(one_rep(bare[2], bare[3], None))
+                on_rates.append(one_rep(traced[2], traced[3], tracer))
+            return median(off_rates), median(on_rates)
+
+        off, on = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+        # the traced arm really traced: spans crossed the loopback wire
+        segments = {s[3] for s in tracer.spans()}
+        assert "network" in segments and "handler" in segments, segments
+    finally:
+        bare[0].close()
+        bare[1].close()
+        traced[0].close()
+        traced[1].close()
+
+    _RESULTS["tracer-overhead"] = {
+        "pingpong.cluster-loopback": {
+            "ops_per_sec_tracer_off": round(off),
+            "ops_per_sec_tracer_on": round(on),
+            "on_over_off": round(on / off, 4),
+            "spans_recorded": len(tracer),
+        }
+    }
+    assert on >= off * 0.90, (off, on)
+
+
 def test_bench_monitored_exploration_matches(benchmark):
     """Monitored exploration does the same search — identical run and
     decision counts — while collecting hazards; record its cost."""

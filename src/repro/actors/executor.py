@@ -58,6 +58,37 @@ from typing import Any, Callable, Optional
 __all__ = ["WorkStealingExecutor"]
 
 
+class _CtxTask:
+    """A submitted callable bundled with the submitter's request
+    context: the worker runs it with the context installed and records
+    one ``executor-queue``-parented span via the tracer's chain."""
+
+    __slots__ = ("trc", "ctx", "task", "t_submit")
+
+    def __init__(self, trc: Any, ctx: Any, task: Callable[[], Any]):
+        self.trc = trc
+        self.ctx = ctx
+        self.task = task
+        self.t_submit = trc.now()
+
+    def __call__(self) -> Any:
+        trc = self.trc
+        if not trc.admit(self.ctx.request_id):
+            # per-request hop budget spent: run untraced, drop the chain
+            return self.task()
+        t0 = trc.now()
+        queued = trc.chain(self.ctx, "executor-queue", "executor",
+                           self.t_submit, t0)
+        run_id = trc.next_id()
+        trc.install(trc.context(queued.request_id, run_id))
+        try:
+            return self.task()
+        finally:
+            trc.record(run_id, queued.span_id, queued.request_id,
+                       "handler", "executor", t0, trc.now())
+            trc.uninstall()
+
+
 class _Worker:
     """One worker thread and its task deque."""
 
@@ -101,11 +132,19 @@ class WorkStealingExecutor:
     PARK_TIMEOUT = 0.05
 
     def __init__(self, workers: int = 4, name: str = "exec",
-                 profiler: Optional[Any] = None):
+                 profiler: Optional[Any] = None,
+                 tracer: Optional[Any] = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.name = name
         self.profiler = profiler
+        #: optional :class:`~repro.obs.causal.CausalTracer` for *plain*
+        #: callables: a submit made under a request context wraps the
+        #: task so the context re-installs on the worker that runs it.
+        #: Actor cells never need this (contexts ride the mailbox, and
+        #: the system deliberately leaves its executor untraced), but a
+        #: standalone executor is a cross-thread handoff like any other
+        self.tracer = tracer
         self._workers = [_Worker(i, name) for i in range(workers)]
         self._n = workers
         self._parked: list[_Worker] = []
@@ -134,6 +173,11 @@ class WorkStealingExecutor:
         """
         if self._shut:
             return False
+        trc = self.tracer
+        if trc is not None:
+            ctx = trc.current()
+            if ctx is not None:
+                task = _CtxTask(trc, ctx, task)
         me: Optional[_Worker] = getattr(self._tls, "worker", None)
         if me is not None:
             if fair:

@@ -17,9 +17,14 @@ Hot-path discipline: with no profiler attached, ``enqueue`` is a single
 *represented by* a held :class:`threading.Lock`, so test-and-set is one
 atomic C call), and a processing job drains its batch with plain
 ``popleft`` — single-element deque ops are atomic under the GIL and the
-scheduled flag guarantees a single drainer.  With a profiler attached
-the cell's lock serializes enqueue/drain so the enqueue-timestamp deque
-stays aligned with the mailbox.
+scheduled flag guarantees a single drainer.  Only a profiler forces the
+cell's lock (its enqueue-timestamp deque must stay aligned with the
+mailbox); the causal tracer stays lock-free by riding each message's
+request context *inside* the mailbox entry — traced messages are
+4-tuples, untraced ones keep the 2-tuple shape and pay one TLS read.
+Each traced handler run spends one hop of the request's per-process
+budget (``CausalTracer.hop_budget``), so a runaway request stops
+paying tracing costs once its first few hundred hops are recorded.
 
 Failures route to the actor's supervision directive: ``resume`` (drop
 the message), ``restart`` (clear behaviour stack via ``pre_restart``),
@@ -72,8 +77,8 @@ class _Cell:
     """Runtime state of one actor: mailbox, flags, instance."""
 
     __slots__ = ("system", "actor", "ref", "mailbox", "lock", "_sched",
-                 "_stopped", "started", "directive", "enq_times", "_batch",
-                 "_run", "affinity")
+                 "_stopped", "started", "directive", "enq_times",
+                 "_batch", "_run", "affinity")
 
     def __init__(self, system: "ActorSystem", actor: Actor, ref_name: str,
                  actor_id: int,
@@ -124,12 +129,23 @@ class _Cell:
     def enqueue(self, message: Any, sender: Optional[ActorRef]) -> None:
         system = self.system
         prof = system.profiler
+        trc = system.tracer
+        if trc is None:
+            entry: tuple = (message, sender)
+        else:
+            # the sender's causal position rides *inside* the mailbox
+            # entry (a 4-tuple), so tracing needs no parallel deque and
+            # no lock — an untraced message on a traced system pays one
+            # TLS read and keeps the 2-tuple shape
+            ctx = getattr(trc.tls, "ctx", None)
+            entry = (message, sender) if ctx is None \
+                else (message, sender, ctx, trc.clock())
         if prof is None:
             # lock-free fast path: one atomic append, one try-lock
             if self._stopped:
                 system._dead_letter(self.ref.name, message, sender)
                 return
-            self.mailbox.append((message, sender))
+            self.mailbox.append(entry)
             if self._stopped:
                 # raced _do_stop: its drain may have run before our
                 # append landed — flush so nothing rots in a dead mailbox
@@ -140,7 +156,7 @@ class _Cell:
                 if self._stopped:
                     system._dead_letter(self.ref.name, message, sender)
                     return
-                self.mailbox.append((message, sender))
+                self.mailbox.append(entry)
                 self.enq_times.append(prof.now())
             prof.inc("mailbox.enqueued")
             depth = len(self.mailbox)
@@ -164,8 +180,13 @@ class _Cell:
                 self._sched.release()
                 return
         prof = system.profiler
+        trc = system.tracer
         mailbox = self.mailbox
         batch = self._batch
+        drain_t = 0.0
+        if trc is not None:
+            # the dequeue timestamp is taken once per batch by design
+            drain_t = trc.clock()
         if prof is None:
             # single drainer (scheduled flag) + atomic popleft: no lock
             n = len(mailbox)
@@ -174,8 +195,7 @@ class _Cell:
             for _ in range(n):
                 batch.append(mailbox.popleft())
         else:
-            # one lock acquisition amortized over the whole batch; the
-            # dequeue timestamp is taken once per batch by design
+            # one lock acquisition amortized over the whole batch
             now = prof.now()
             with self.lock:
                 n = min(len(mailbox), system.throughput)
@@ -188,19 +208,81 @@ class _Cell:
             if n:
                 prof.observe("mailbox.batch_size", n)
 
+        lane = self.ref.name
+        if trc is not None:
+            # hot-loop locals: span recording is inlined below (id
+            # counter, deque append, raw TLS) — per traced message the
+            # whole chain costs three tuple appends, one clock read and
+            # one budget-table update
+            _ids = trc._ids
+            _app = trc._spans.append
+            _now = trc.clock
+            _tls = trc.tls
+            _Ctx = trc.context
+            _left = trc._hops_left
+            _hb = trc.hop_budget
+            t_prev = drain_t
         for i in range(n):
-            message, sender = batch[i]
+            entry = batch[i]
+            message, sender = entry[0], entry[1]
             if isinstance(message, _StopSignal):
                 self._do_stop()
             else:
                 context = actor.context
                 context.sender = sender
-                try:
-                    actor.current_behaviour()(message, sender)
-                except BaseException as exc:  # noqa: BLE001
-                    system._on_failure(self, exc, message)
-                finally:
-                    context.sender = None
+                traced = False
+                if len(entry) == 4 and trc is not None:
+                    # one handler run spends one hop of the request's
+                    # per-process budget (inlined CausalTracer.admit);
+                    # once it's gone the message runs untraced and the
+                    # chain self-terminates — bounded tracing cost per
+                    # request, like OpenTelemetry span limits
+                    rid = entry[2].request_id
+                    left = _left.get(rid)
+                    if left is None:
+                        if len(_left) >= 65536:
+                            _left.clear()
+                        left = _hb
+                    if left > 0:
+                        _left[rid] = left - 1
+                        traced = True
+                if traced:
+                    # traced message: chain mailbox-wait → executor-queue
+                    # → handler off the sender's span, and run the
+                    # behaviour under the handler's context so nested
+                    # tells keep the chain growing.  The handler start
+                    # stamp reuses the previous handler's end (they are
+                    # back-to-back in this loop), so the chain needs one
+                    # clock read per message
+                    ctx, enq_t = entry[2], entry[3]
+                    h0 = t_prev
+                    d = drain_t if drain_t >= enq_t else enq_t
+                    if d > h0:
+                        d = h0
+                    w_id = next(_ids)
+                    _app((w_id, ctx.span_id, rid, "mailbox-wait", lane,
+                          enq_t if enq_t <= d else d, d))
+                    q_id = next(_ids)
+                    _app((q_id, w_id, rid, "executor-queue", lane, d, h0))
+                    h_id = next(_ids)
+                    _tls.ctx = _Ctx(rid, h_id)
+                    try:
+                        actor.current_behaviour()(message, sender)
+                    except BaseException as exc:  # noqa: BLE001
+                        system._on_failure(self, exc, message)
+                    finally:
+                        t_prev = _now()
+                        _app((h_id, q_id, rid, "handler", lane, h0,
+                              t_prev))
+                        _tls.ctx = None
+                        context.sender = None
+                else:
+                    try:
+                        actor.current_behaviour()(message, sender)
+                    except BaseException as exc:  # noqa: BLE001
+                        system._on_failure(self, exc, message)
+                    finally:
+                        context.sender = None
             if prof is not None:
                 # decoupled from the latency sample on purpose: messages
                 # enqueued before a profiler was attached have no
@@ -212,7 +294,7 @@ class _Cell:
                 # batch remainder is mail behind the stop — dead-letter
                 # it exactly like the messages still in the mailbox
                 for j in range(i + 1, n):
-                    late, late_sender = batch[j]
+                    late, late_sender = batch[j][0], batch[j][1]
                     if not isinstance(late, _StopSignal):
                         system._dead_letter(self.ref.name, late, late_sender)
                 del batch[:]
@@ -250,7 +332,8 @@ class _Cell:
             leftovers = list(self.mailbox)
             self.mailbox.clear()
             self.enq_times.clear()
-        for message, sender in leftovers:
+        for entry in leftovers:
+            message, sender = entry[0], entry[1]
             if not isinstance(message, _StopSignal):
                 self.system._dead_letter(self.ref.name, message, sender)
 
@@ -282,7 +365,8 @@ class ActorSystem:
     def __init__(self, workers: int = 4, throughput: int = 16,
                  directive: SupervisionDirective = SupervisionDirective.RESTART,
                  name: str = "actor-system",
-                 profiler: Optional[Any] = None):
+                 profiler: Optional[Any] = None,
+                 tracer: Optional[Any] = None):
         self.name = name
         self.throughput = throughput
         self.directive = directive
@@ -290,6 +374,11 @@ class ActorSystem:
         #: message throughput, executor steals/parks; None keeps the
         #: dispatch path untouched
         self.profiler = profiler
+        #: optional :class:`repro.obs.causal.CausalTracer` — request
+        #: contexts ride the mailbox and every traced handler records a
+        #: mailbox-wait/executor-queue/handler span chain; None keeps
+        #: the lock-free enqueue path
+        self.tracer = tracer
         self._executor = WorkStealingExecutor(workers,
                                               name=f"{name}.dispatch",
                                               profiler=profiler)

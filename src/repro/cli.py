@@ -52,7 +52,22 @@ Commands:
     throughput, mailbox depth, credit stalls, p95 latency, and firing
     SLO burn-rate alerts.  ``--connect HOST:PORT`` polls a node serving
     with ``cluster serve --telemetry``; ``--demo`` runs a
-    self-contained in-process two-node pingpong cluster.
+    self-contained in-process two-node pingpong cluster
+    (``--requests`` adds a causally-traced per-request drill-down).
+
+``critical``
+    Causal critical-path report: run traced requests of a cluster
+    bench cell on a loopback node and print where each request's
+    latency went, segment by segment (handler execution, mailbox wait,
+    executor queueing, backpressure parks, wire time, decode).
+    ``--trace-out`` additionally writes the raw spans as a Chrome
+    trace with ``request_id`` args.
+
+``whatif``
+    Coz-style what-if profiling over the same traced run: virtually
+    speed one segment up (``--segment mailbox-wait --speedup 20%``)
+    by rescheduling the recorded span DAG, and rank every segment by
+    its predicted end-to-end win — "what should we optimize next".
 
 ``postmortem``
     Inspect the flight-recorder postmortem bundles a telemetry agent
@@ -464,13 +479,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def _demo_telemetry_cluster(interval: float):
+def _demo_telemetry_cluster(interval: float, tracer=None):
     """Two loopback nodes, telemetry agents, and a pingpong load.
 
     The self-contained `repro top --demo` topology: alpha pings, beta
     echoes, frames flow both ways, and alpha's aggregator (the one the
-    snapshot reads) sees the whole two-node cluster.  Returns
-    ``(snapshot, cleanup)`` closures.
+    snapshot reads) sees the whole two-node cluster.  With a tracer, a
+    probe actor additionally runs one causally-traced cross-node
+    request per refresh — the ``--requests`` drill-down rows.  Returns
+    ``(snapshot, cleanup, probe)`` closures (``probe`` is None when
+    untraced).
     """
     from .actors import Actor
     from .cluster.node import ClusterConfig, ClusterNode
@@ -498,9 +516,9 @@ def _demo_telemetry_cluster(interval: float):
     hub = LoopbackHub()
     config = ClusterConfig(telemetry_interval=max(0.05, interval / 4))
     alpha = ClusterNode("alpha", hub.join("alpha"), config=config,
-                        workers=2, profiler=Profiler())
+                        workers=2, profiler=Profiler(), tracer=tracer)
     beta = ClusterNode("beta", hub.join("beta"), config=config,
-                       workers=2, profiler=Profiler())
+                       workers=2, profiler=Profiler(), tracer=tracer)
     agent = TelemetryAgent().attach(alpha)
     TelemetryAgent().attach(beta)
     alpha.connect("beta")
@@ -509,11 +527,34 @@ def _demo_telemetry_cluster(interval: float):
     pinger = alpha.spawn(_Pinger, alpha.ref("beta/echo"), name="pinger")
     pinger.tell("start")
 
+    probe = None
+    if tracer is not None:
+        from .obs.causal import clear_context
+        probe_target = alpha.ref("beta/echo")
+
+        class _Probe(Actor):
+            # one finite round trip per "go": alpha/probe -> beta/echo
+            # -> alpha/probe; the echoed reply is not "go", so the
+            # chain ends there instead of bouncing forever like the
+            # pinger load
+            def receive(self, message, sender):
+                if message == "go":
+                    probe_target.tell("probe-ping", sender=self.self_ref)
+
+        probe_ref = alpha.spawn(_Probe, name="probe")
+
+        def probe() -> None:
+            tracer.start_request("top-probe")
+            try:
+                probe_ref.tell("go")
+            finally:
+                clear_context()
+
     def cleanup() -> None:
         alpha.close()
         beta.close()
 
-    return agent.snapshot, cleanup
+    return agent.snapshot, cleanup, probe
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
@@ -522,10 +563,23 @@ def _cmd_top(args: argparse.Namespace) -> int:
 
     from .obs.telemetry import render_top
     cleanup = None
+    tracer = None
+    probe = None
     if args.demo:
-        snapshot, cleanup = _demo_telemetry_cluster(args.interval)
+        if args.requests:
+            from .obs.causal import CausalTracer
+            tracer = CausalTracer()
+        snapshot, cleanup, probe = _demo_telemetry_cluster(args.interval,
+                                                           tracer)
+        if probe is not None:
+            probe()
         time.sleep(max(0.5, args.interval / 2))   # let frames flow
     elif args.connect:
+        if args.requests:
+            print("repro top: --requests drill-down needs the in-process "
+                  "--demo cluster (remote spans stay on their node)",
+                  file=sys.stderr)
+            return 2
         import uuid
 
         from .cluster.message import serializer as _serializer
@@ -557,14 +611,23 @@ def _cmd_top(args: argparse.Namespace) -> int:
         while True:
             snap = snapshot()
             if args.json:
+                if tracer is not None:
+                    from .obs.causal import critical_report
+                    snap["requests"] = critical_report(tracer.spans())
                 print(json.dumps(snap, sort_keys=True, default=str))
             else:
                 color = sys.stdout.isatty()
                 print(render_top(snap, color=color,
                                  clear=color and not args.once))
+                if tracer is not None:
+                    from .obs.causal import format_requests
+                    print()
+                    print(format_requests(tracer.spans()))
             if args.once or (deadline is not None
                              and time.monotonic() >= deadline):
                 return 0
+            if probe is not None:
+                probe()      # one fresh traced request per refresh
             time.sleep(args.interval)
     except KeyboardInterrupt:
         return 0
@@ -574,6 +637,75 @@ def _cmd_top(args: argparse.Namespace) -> int:
     finally:
         if cleanup is not None:
             cleanup()
+
+
+def _cmd_critical(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.causal import (chrome_trace_from_causal, critical_report,
+                             format_critical, trace_cluster_cell)
+    try:
+        tracer, measured = trace_cluster_cell(
+            cell=args.cell, requests=args.requests,
+            workers=args.workers, scale=args.scale)
+    except KeyError as exc:
+        print(f"repro critical: {exc.args[0]}", file=sys.stderr)
+        return 2
+    spans = tracer.spans()
+    report = critical_report(spans, measured_e2e=measured)
+    if args.trace_out:
+        Path(args.trace_out).write_text(
+            json.dumps(chrome_trace_from_causal(spans), sort_keys=True))
+        print(f"wrote {args.trace_out} ({len(spans)} causal spans — open "
+              f"in chrome://tracing or https://ui.perfetto.dev)",
+              file=sys.stderr)
+    if args.json:
+        payload = {"cell": args.cell, "spans": len(spans), **report}
+        out = _write_out(args.out, json.dumps(payload, sort_keys=True))
+    else:
+        out = _write_out(args.out, format_critical(report))
+    if out is not None:
+        print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.causal import (SEGMENTS, format_whatif, parse_speedup,
+                             rank_targets, trace_cluster_cell,
+                             whatif_report)
+    try:
+        speedup = parse_speedup(args.speedup)
+    except ValueError as exc:
+        print(f"repro whatif: {exc}", file=sys.stderr)
+        return 2
+    if args.segment is not None and args.segment not in SEGMENTS:
+        print(f"repro whatif: unknown segment {args.segment!r}; known: "
+              + ", ".join(SEGMENTS), file=sys.stderr)
+        return 2
+    try:
+        tracer, _ = trace_cluster_cell(
+            cell=args.cell, requests=args.requests,
+            workers=args.workers, scale=args.scale)
+    except KeyError as exc:
+        print(f"repro whatif: {exc.args[0]}", file=sys.stderr)
+        return 2
+    spans = tracer.spans()
+    ranked = rank_targets(spans, speedup)
+    chosen = whatif_report(spans, args.segment, speedup) \
+        if args.segment is not None else None
+    if args.json:
+        payload: dict = {"cell": args.cell, "speedup": speedup,
+                         "spans": len(spans), "targets": ranked}
+        if chosen is not None:
+            payload["chosen"] = chosen
+        out = _write_out(args.out, json.dumps(payload, sort_keys=True))
+    else:
+        out = _write_out(args.out, format_whatif(ranked, chosen))
+    if out is not None:
+        print(f"wrote {out}", file=sys.stderr)
+    return 0
 
 
 def _cmd_postmortem(args: argparse.Namespace) -> int:
@@ -826,7 +958,57 @@ def main(argv: list[str] | None = None) -> int:
                        metavar="SECS",
                        help="stop after this many seconds (default: "
                             "until Ctrl-C)")
+    p_top.add_argument("--requests", action="store_true",
+                       help="with --demo: causally trace one probe "
+                            "request per refresh and render a "
+                            "per-request critical-path drill-down")
     p_top.set_defaults(fn=_cmd_top)
+
+    p_crit = sub.add_parser(
+        "critical", help="causal critical-path report: where each "
+                         "traced request's latency went, by segment")
+    p_crit.add_argument("--cell", choices=("bridge", "pingpong"),
+                        default="bridge",
+                        help="traced cluster bench cell (default bridge)")
+    p_crit.add_argument("--requests", type=int, default=10,
+                        help="traced requests to run (default 10)")
+    p_crit.add_argument("--workers", type=int, default=4,
+                        help="actor-system workers (default 4)")
+    p_crit.add_argument("--scale", type=int, default=8,
+                        help="per-request workload scale (default 8)")
+    p_crit.add_argument("--json", action="store_true",
+                        help="machine-readable report on stdout")
+    p_crit.add_argument("--out", default="-",
+                        help="report destination (default '-': stdout)")
+    p_crit.add_argument("--trace-out", default=None,
+                        help="also write the raw causal spans as a "
+                             "Chrome trace (request_id in args)")
+    p_crit.set_defaults(fn=_cmd_critical)
+
+    p_wi = sub.add_parser(
+        "whatif", help="Coz-style what-if: predict the end-to-end win "
+                       "of speeding one segment up, and rank all of "
+                       "them")
+    p_wi.add_argument("--cell", choices=("bridge", "pingpong"),
+                      default="bridge",
+                      help="traced cluster bench cell (default bridge)")
+    p_wi.add_argument("--segment", default=None,
+                      help="segment to speed up (e.g. mailbox-wait; "
+                           "omit for the ranking alone)")
+    p_wi.add_argument("--speedup", default="20%",
+                      help="virtual speedup: '20%%' or '0.2' "
+                           "(default 20%%)")
+    p_wi.add_argument("--requests", type=int, default=10,
+                      help="traced requests to run (default 10)")
+    p_wi.add_argument("--workers", type=int, default=4,
+                      help="actor-system workers (default 4)")
+    p_wi.add_argument("--scale", type=int, default=8,
+                      help="per-request workload scale (default 8)")
+    p_wi.add_argument("--json", action="store_true",
+                      help="machine-readable report on stdout")
+    p_wi.add_argument("--out", default="-",
+                      help="report destination (default '-': stdout)")
+    p_wi.set_defaults(fn=_cmd_whatif)
 
     p_pm = sub.add_parser(
         "postmortem", help="inspect flight-recorder postmortem bundles "

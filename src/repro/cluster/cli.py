@@ -83,7 +83,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        # close() dumps a final "node-stop" postmortem bundle (with
+        # --telemetry) before the transport goes away — the graceful
+        # counterpart of the crash-triggered dumps
         node.close()
+        if node.telemetry is not None and node.telemetry.postmortems:
+            last = node.telemetry.postmortems[-1]
+            if last.get("kind") == "node-stop":
+                where = last.get("path", "(in memory)")
+                print(f"node {args.name!r} stopped — final postmortem "
+                      f"bundle: {where}", file=sys.stderr)
     return 0
 
 

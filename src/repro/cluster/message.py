@@ -77,27 +77,42 @@ class Envelope:
     node-level kinds; ``sender`` is the actor path replies should go to
     (or None).  ``payload`` is kind-specific and must survive the
     configured serializer.
+
+    ``ctx`` is the optional causal-tracing header: a ``(request_id,
+    parent_span_id, t_send)`` triple stamped on TELLs sent under a
+    request context.  It is absent from the wire when None — untraced
+    traffic serializes byte-identically to the pre-tracing format, and
+    both codecs accept frames without it.
     """
 
-    __slots__ = ("kind", "seq", "origin", "target", "sender", "payload")
+    __slots__ = ("kind", "seq", "origin", "target", "sender", "payload",
+                 "ctx")
 
     def __init__(self, kind: str, seq: int, origin: str, target: str,
-                 payload: Any = None, sender: Optional[str] = None):
+                 payload: Any = None, sender: Optional[str] = None,
+                 ctx: Optional[tuple] = None):
         self.kind = kind
         self.seq = seq
         self.origin = origin
         self.target = target
         self.sender = sender
         self.payload = payload
+        self.ctx = ctx
 
     def as_tuple(self) -> tuple:
+        if self.ctx is None:
+            return (self.kind, self.seq, self.origin, self.target,
+                    self.sender, self.payload)
         return (self.kind, self.seq, self.origin, self.target,
-                self.sender, self.payload)
+                self.sender, self.payload, self.ctx)
 
     @classmethod
     def from_tuple(cls, data: tuple) -> "Envelope":
-        kind, seq, origin, target, sender, payload = data
-        return cls(kind, seq, origin, target, payload=payload, sender=sender)
+        kind, seq, origin, target, sender, payload = data[:6]
+        ctx = tuple(data[6]) if len(data) > 6 and data[6] is not None \
+            else None
+        return cls(kind, seq, origin, target, payload=payload,
+                   sender=sender, ctx=ctx)
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Envelope) \
@@ -126,17 +141,22 @@ class JsonSerializer(Serializer):
     name = "json"
 
     def encode(self, env: Envelope) -> bytes:
-        return json.dumps({
+        obj = {
             "kind": env.kind, "seq": env.seq, "origin": env.origin,
             "target": env.target, "sender": env.sender,
             "payload": env.payload,
-        }, sort_keys=True).encode("utf-8")
+        }
+        if env.ctx is not None:
+            obj["ctx"] = list(env.ctx)
+        return json.dumps(obj, sort_keys=True).encode("utf-8")
 
     def decode(self, data: bytes) -> Envelope:
         obj = json.loads(data.decode("utf-8"))
+        ctx = obj.get("ctx")
         return Envelope(obj["kind"], obj["seq"], obj["origin"],
                         obj["target"], payload=obj.get("payload"),
-                        sender=obj.get("sender"))
+                        sender=obj.get("sender"),
+                        ctx=tuple(ctx) if ctx is not None else None)
 
 
 class PickleSerializer(Serializer):

@@ -276,6 +276,7 @@ class ClusterNode:
                  system: Optional[ActorSystem] = None,
                  workers: int = 4,
                  profiler: Optional[Any] = None,
+                 tracer: Optional[Any] = None,
                  monitors: Optional[Any] = None,
                  trace: bool = False,
                  timer: bool = True,
@@ -288,8 +289,13 @@ class ClusterNode:
         self._own_system = system is None
         self.system = system if system is not None \
             else ActorSystem(workers=workers, name=f"{name}.system",
-                             profiler=profiler)
+                             profiler=profiler, tracer=tracer)
         self.profiler = profiler
+        #: optional :class:`~repro.obs.causal.CausalTracer` — request
+        #: contexts ride TELL envelopes as a ``(request_id,
+        #: parent_span_id, t_send)`` header, so a causal trace follows a
+        #: message across the wire; None keeps every hot path untouched
+        self.tracer = tracer
         self.monitors = monitors
         self.clock = clock
         self.closed = False
@@ -571,11 +577,14 @@ class ClusterNode:
             self._dead_letter(path, message, "node down")
             return
         gate = self._gate(path)
+        trc = self.tracer
+        send_ctx = None
         if gate.available <= 0 and gate.broken is None:
             self._event("cluster-park", actor=actor, peer=dest,
                         extra={"path": path})
             if self.profiler is not None:
                 self.profiler.inc("cluster.parks")
+            w0 = trc.now() if trc is not None else 0.0
             t0 = self.clock()
             if not gate.acquire(timeout=self.config.park_timeout):
                 self._dead_letter(path, message,
@@ -584,15 +593,26 @@ class ClusterNode:
             if self.profiler is not None:
                 self.profiler.observe_us("cluster.credit_wait_us",
                                          self.clock() - t0)
+            if trc is not None:
+                ctx = trc.current()
+                if ctx is not None:
+                    # the parked pause becomes a credit-wait span and
+                    # the wire stamp chains under it, so backpressure
+                    # shows up on the request's critical path instead
+                    # of as an unattributed gap before the network hop
+                    send_ctx = trc.chain(ctx, "credit-wait", actor,
+                                         w0, trc.now())
         elif not gate.acquire(timeout=self.config.park_timeout):
             self._dead_letter(path, message,
                               gate.broken or "backpressure timeout")
             return
-        self._send_reliable(dest, TELL, path, message, sender=sender_path)
+        self._send_reliable(dest, TELL, path, message, sender=sender_path,
+                            ctx=send_ctx)
 
     def _send_reliable(self, dest: str, kind: str, target: str,
                        payload: Any, sender: Optional[str] = None,
-                       waiter: Optional[_Waiter] = None) -> int:
+                       waiter: Optional[_Waiter] = None,
+                       ctx: Any = None) -> int:
         with self._state_lock:
             seq = self._seq.get(dest, 0) + 1
             self._seq[dest] = seq
@@ -605,8 +625,17 @@ class ClusterNode:
                 # registered before the frame leaves: loopback delivery
                 # is synchronous, so the REPLY can arrive mid-send
                 self._replies[(dest, seq)] = waiter
+        ectx = None
+        trc = self.tracer
+        if trc is not None and kind == TELL:
+            # explicit ctx (a credit-wait chained by _send_tell) wins
+            # over the caller's installed context; either way the wire
+            # header is the triple the receiver chains its spans under
+            c = ctx if ctx is not None else getattr(trc.tls, "ctx", None)
+            if c is not None:
+                ectx = (c.request_id, c.span_id, trc.clock())
         env = Envelope(kind, seq, self.name, target, payload=payload,
-                       sender=sender)
+                       sender=sender, ctx=ectx)
         outbox.register(seq, env, self.clock())
         self._transmit(dest, env)
         if kind == TELL:
@@ -614,8 +643,12 @@ class ClusterNode:
                 # target is always "<dest>/<actor>" here, so slice off
                 # the node prefix instead of re-splitting the path; no
                 # extra dict — nothing downstream reads it on sends
+                # (except a request id, which the merged Chrome trace
+                # surfaces on the flow arrow)
                 self._event("cluster-send", target[len(dest) + 1:], dest,
-                            self._fast_flow(self.name, dest, seq))
+                            self._fast_flow(self.name, dest, seq),
+                            extra={"request_id": ectx[0]}
+                            if ectx is not None else None)
             if self.profiler is not None:
                 self.profiler.inc("cluster.sent")
         return seq
@@ -652,12 +685,18 @@ class ClusterNode:
     # receiving
     # ------------------------------------------------------------------
     def _on_frame(self, frame: bytes) -> None:
+        trc = self.tracer
+        t_d0 = trc.clock() if trc is not None else 0.0
         try:
             env = self.serializer.decode(frame)
         except Exception:
             if self.profiler is not None:
                 self.profiler.inc("cluster.decode_errors")
             return
+        # the decode-end stamp is only needed for traced TELLs; acks,
+        # credits and untraced tells skip the second clock read
+        t_d1 = trc.clock() if trc is not None and env.ctx is not None \
+            else 0.0
         if self.profiler is not None:
             self.profiler.inc("cluster.frames_in")
             self.profiler.inc("cluster.bytes_in", len(frame))
@@ -678,6 +717,31 @@ class ClusterNode:
                     self._send_control(env.origin, REPLY, env.origin,
                                        cached.payload)
                 return
+        if trc is not None and env.kind == TELL and env.ctx is not None:
+            # fresh frames only (we are past the dedup check): a
+            # retransmit must not mint dangling network spans.  The
+            # network span covers encode + transit + every retry; its
+            # start clamps to the local decode start so cross-process
+            # clock skew degrades to a zero-length hop, never negative
+            req, parent, t_send = env.ctx
+            if trc._hops_left.get(req, 1) > 0:
+                _ids = trc._ids
+                _app = trc._spans.append
+                net = next(_ids)
+                _app((net, parent, req, "network", env.origin,
+                      t_send if t_send < t_d0 else t_d0, t_d0))
+                ser = next(_ids)
+                _app((ser, net, req, "serialize", self.name, t_d0, t_d1))
+                # downstream spans (stage-wait, mailbox-wait, ...) chain
+                # under the receive-side decode, in the local clock
+                # domain
+                env.ctx = (req, ser, t_d1)
+            else:
+                # this request already spent its per-process hop budget
+                # here: drop the wire context so the delivery below runs
+                # at untraced cost — a remote storm stops paying for
+                # tracing the moment the receiver's budget is gone
+                env.ctx = None
         handler(env)
         if self._staged_total:
             self.pump()
@@ -758,7 +822,8 @@ class ClusterNode:
                 return
         self._admit(ref, env)
 
-    def _admit(self, ref: ActorRef, env: Envelope) -> None:
+    def _admit(self, ref: ActorRef, env: Envelope,
+               staged: bool = False) -> None:
         sender = None
         if env.sender is not None:
             sender_node = split_path(env.sender)[0]
@@ -769,12 +834,37 @@ class ClusterNode:
                 if sender is None:       # benign race: refs compare by path
                     sender = self._remote_refs[env.sender] = \
                         RemoteRef(self, env.sender)
-        ref.tell(env.payload, sender=sender)
+        trc = self.tracer
+        if trc is not None and env.ctx is not None:
+            req, parent, t0 = env.ctx
+            if staged:
+                # time spent parked in the staging queue (mailbox full)
+                now = trc.now()
+                sid = trc.next_id()
+                trc.record(sid, parent, req, "stage-wait", ref.name,
+                           t0 if t0 <= now else now, now)
+                parent = sid
+            # install the envelope's context only around the enqueue so
+            # the cell captures it for its mailbox-wait chain — and put
+            # the caller's own context back afterwards: a loopback
+            # transport delivers on the *sending* thread, whose request
+            # context must not be clobbered by the message it delivered
+            tls = trc.tls
+            prev = getattr(tls, "ctx", None)
+            tls.ctx = trc.context(req, parent)
+            try:
+                ref.tell(env.payload, sender=sender)
+            finally:
+                tls.ctx = prev
+        else:
+            ref.tell(env.payload, sender=sender)
         if self._evt_on and not (env.seq & self._evt_mask):
             # samples on the same wire seq as the sender's mask, so a
             # recorded recv always has its matching recorded send
             self._event("cluster-recv", ref.name, env.origin, None,
-                        self._fast_flow(env.origin, self.name, env.seq))
+                        self._fast_flow(env.origin, self.name, env.seq),
+                        extra={"request_id": env.ctx[0]}
+                        if env.ctx is not None else None)
         if self.profiler is not None:
             self.profiler.inc("cluster.delivered")
             self._delivered += 1
@@ -835,7 +925,7 @@ class ClusterNode:
                                       f"no such actor on {self.name}")
                     self._owe_credit(env.origin, env.target)
                 else:
-                    self._admit(ref, env)
+                    self._admit(ref, env, staged=True)
 
     # -- control handlers ----------------------------------------------------
     def _handle_ack(self, env: Envelope) -> None:
@@ -1220,6 +1310,19 @@ class ClusterNode:
         if self.closed:
             return
         self.closed = True
+        tele = self.telemetry
+        if tele is not None:
+            # graceful-stop postmortem: dump the final flight window
+            # (ours plus every reachable peer's) while the transport
+            # can still pull them; ``force`` bypasses the incident
+            # cooldown so a recent alert cannot swallow the run's
+            # last snapshot.  Never lets telemetry break close().
+            try:
+                tele.incident("node-stop", {"node": self.name},
+                              force=True)
+            except Exception:
+                if self.profiler is not None:
+                    self.profiler.inc("cluster.telemetry_errors")
         self._flush_acks()
         self._flush_credits()
         self.transport.close()

@@ -316,12 +316,23 @@ def merge_chrome_traces(node_events: dict[str, list]) -> dict[str, Any]:
                 "args": {"actor": e.actor, "peer": e.peer,
                          "step": e.step, **e.extra},
             })
+            # a traced message carries its request id onto the flow
+            # arrow, so Perfetto can filter one request's hops out of
+            # the whole cluster's arrows
+            req = e.extra.get("request_id")
             if e.msg_seq is not None:
-                out.append({"ph": "s", "pid": pid, "tid": 1, "ts": ts,
-                            "name": "cluster-msg", "cat": "cluster-flow",
-                            "id": e.msg_seq})
+                rec: dict[str, Any] = {
+                    "ph": "s", "pid": pid, "tid": 1, "ts": ts,
+                    "name": "cluster-msg", "cat": "cluster-flow",
+                    "id": e.msg_seq}
+                if req is not None:
+                    rec["args"] = {"request_id": req}
+                out.append(rec)
             if e.recv_seq is not None:
-                out.append({"ph": "f", "bp": "e", "pid": pid, "tid": 1,
-                            "ts": ts, "name": "cluster-msg",
-                            "cat": "cluster-flow", "id": e.recv_seq})
+                rec = {"ph": "f", "bp": "e", "pid": pid, "tid": 1,
+                       "ts": ts, "name": "cluster-msg",
+                       "cat": "cluster-flow", "id": e.recv_seq}
+                if req is not None:
+                    rec["args"] = {"request_id": req}
+                out.append(rec)
     return {"traceEvents": out, "displayTimeUnit": "ms"}

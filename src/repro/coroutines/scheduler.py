@@ -104,6 +104,9 @@ class CoTask:
         self.error_observed = False
         #: profiling only: when this task last entered the ready queue
         self.ready_at = 0.0
+        #: causal tracing only: the request context this task runs
+        #: under (captured at spawn, advanced one span per resume)
+        self.ctx: Any = None
 
     def join(self) -> Iterator[Any]:
         """``result = yield from task.join()`` — wait for completion."""
@@ -140,7 +143,8 @@ class CoScheduler:
 
     def __init__(self, metrics: Optional[Any] = None,
                  monitors: Optional[Any] = None,
-                 profiler: Optional[Any] = None) -> None:
+                 profiler: Optional[Any] = None,
+                 tracer: Optional[Any] = None) -> None:
         self.ready: deque[CoTask] = deque()
         self.tasks: list[CoTask] = []
         self.steps = 0
@@ -149,6 +153,11 @@ class CoScheduler:
         #: optional :class:`repro.obs.Profiler` — wall-clock resume
         #: latency and ready-queue residency (``metrics`` stays logical)
         self.profiler = profiler
+        #: optional :class:`repro.obs.causal.CausalTracer` — the
+        #: spawner's request context is captured per task and each
+        #: resume runs under it, recorded as a ``coro-resume`` span
+        #: that extends the task's causal chain
+        self.tracer = tracer
         self._last_stepped: Optional[CoTask] = None
 
     def spawn(self, fn: Callable[..., Generator] | Generator, *args: Any,
@@ -160,6 +169,8 @@ class CoScheduler:
         self.ready.append(task)
         if self.profiler is not None:
             task.ready_at = self.profiler.now()
+        if self.tracer is not None:
+            task.ctx = self.tracer.current()
         if self.metrics is not None:
             self.metrics.inc("tasks_spawned")
         return task
@@ -223,21 +234,41 @@ class CoScheduler:
             prof.inc("coro.resumes")
             prof.observe_us("coro.ready_wait_us", t0 - task.ready_at)
         value, task._send_value = task._send_value, None
+        trc = self.tracer
+        tctx = task.ctx if trc is not None else None
+        r0 = 0.0
+        if tctx is not None:
+            # resume under the task's context; the closed span becomes
+            # the parent of whatever this slice spawns or sends
+            r0 = trc.now()
+            trc.install(tctx)
         try:
             marker = task.gen.send(value)
         except StopIteration as stop:
+            if tctx is not None:
+                task.ctx = trc.hop(tctx, "coro-resume", task.name,
+                                   r0, trc.now())
+                trc.uninstall()
             self._finish(task, result=stop.value)
             if prof is not None:
                 prof.observe_us("coro.resume_us", prof.now() - t0)
             self._feed_monitors(task, "return", ready_names)
             return
         except BaseException as exc:  # noqa: BLE001 - task code may raise
+            if tctx is not None:
+                task.ctx = trc.hop(tctx, "coro-resume", task.name,
+                                   r0, trc.now())
+                trc.uninstall()
             self._finish(task, error=exc)
             if prof is not None:
                 prof.observe_us("coro.resume_us", prof.now() - t0)
             self._feed_monitors(task, f"raise {type(exc).__name__}",
                                 ready_names)
             return
+        if tctx is not None:
+            task.ctx = trc.hop(tctx, "coro-resume", task.name,
+                               r0, trc.now())
+            trc.uninstall()
         if prof is not None:
             prof.observe_us("coro.resume_us", prof.now() - t0)
 

@@ -34,6 +34,12 @@ stream — they can never perturb scheduling, fingerprints or sleep
 sets.
 """
 
+from .causal import (SEGMENTS, CausalTracer, RequestContext, RequestTrace,
+                     Span, build_requests, chrome_trace_from_causal,
+                     critical_path, critical_report, current_context,
+                     format_critical, format_requests, format_whatif,
+                     parse_speedup, rank_targets, trace_cluster_cell,
+                     whatif_report)
 from .explain import (CriticalPair, Explanation, explain_program,
                       explain_trace, find_critical_pair,
                       minimize_schedule, postmortem_narrative)
@@ -61,4 +67,9 @@ __all__ = [
     "postmortem_narrative", "html_report",
     "TimeSeries", "Aggregator", "SLO", "SLOEngine", "Alert",
     "FlightRecorder", "TelemetryAgent", "default_slos", "render_top",
+    "SEGMENTS", "CausalTracer", "RequestContext", "current_context",
+    "Span", "RequestTrace", "build_requests", "critical_path",
+    "critical_report", "whatif_report", "rank_targets", "parse_speedup",
+    "chrome_trace_from_causal", "format_critical", "format_whatif",
+    "format_requests", "trace_cluster_cell",
 ]

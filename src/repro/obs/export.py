@@ -76,18 +76,29 @@ def chrome_trace(trace: Any, *, pid: int = 1,
         vc = _vclock_dict(e.vclock)
         if vc is not None:
             args["vclock"] = vc
+        # events minted under a causal request context carry the id —
+        # it lands on the slice and on both ends of the flow arrow so
+        # Perfetto can pull one request's arrows out of the swarm
+        req = getattr(e, "request_id", None)
+        if req is not None:
+            args["request_id"] = req
         events.append({"ph": "X", "name": e.effect_repr, "cat": e.kind,
                        "pid": pid, "tid": tid, "ts": ts, "dur": scale - 2,
                        "args": args})
 
         if e.recv_seq is not None:
-            events.append({"ph": "f", "bp": "e", "name": "message",
-                           "cat": "message", "id": e.recv_seq, "pid": pid,
-                           "tid": tid, "ts": ts + 1})
+            rec: dict[str, Any] = {"ph": "f", "bp": "e", "name": "message",
+                                   "cat": "message", "id": e.recv_seq,
+                                   "pid": pid, "tid": tid, "ts": ts + 1}
+            if req is not None:
+                rec["args"] = {"request_id": req}
+            events.append(rec)
         if e.msg_seq is not None:
-            events.append({"ph": "s", "name": "message", "cat": "message",
-                           "id": e.msg_seq, "pid": pid, "tid": tid,
-                           "ts": ts + 1})
+            rec = {"ph": "s", "name": "message", "cat": "message",
+                   "id": e.msg_seq, "pid": pid, "tid": tid, "ts": ts + 1}
+            if req is not None:
+                rec["args"] = {"request_id": req}
+            events.append(rec)
         if e.msg_seq is not None \
                 or e.effect_repr.startswith(("notify", "emit")):
             events.append({"ph": "i", "s": "t", "name": e.effect_repr,

@@ -143,7 +143,7 @@ class _NodeSeries:
     """One node's telemetry state inside the aggregator."""
 
     __slots__ = ("counters", "gauges", "buckets", "hist_cum",
-                 "last_seen", "frames", "lost", "last_seq")
+                 "last_seen", "frames", "lost", "last_seq", "missing")
 
     def __init__(self) -> None:
         self.counters: dict[str, TimeSeries] = {}
@@ -156,6 +156,9 @@ class _NodeSeries:
         self.frames = 0
         self.lost = 0          # gaps in the frame seq (dropped frames)
         self.last_seq = 0
+        #: seqs counted as lost that may still arrive late — a late
+        #: arrival is reordering, not loss, and backs the count out
+        self.missing: set[int] = set()
 
 
 class Aggregator:
@@ -186,9 +189,22 @@ class Aggregator:
             ns.frames += 1
             ns.last_seen = max(ns.last_seen, ts)
             seq = int(frame.get("seq") or 0)
-            if seq and ns.last_seq and seq > ns.last_seq + 1:
-                ns.lost += seq - ns.last_seq - 1
-            ns.last_seq = max(ns.last_seq, seq)
+            if seq:
+                if ns.last_seq and seq > ns.last_seq + 1:
+                    # a gap past the high-water mark looks like loss —
+                    # but remember the hole (bounded), because UDP-ish
+                    # transports reorder: if one of these seqs shows up
+                    # late it was never lost and the count backs out
+                    gap = seq - ns.last_seq - 1
+                    ns.lost += gap
+                    if gap <= 256 and len(ns.missing) < 1024:
+                        ns.missing.update(range(ns.last_seq + 1, seq))
+                elif seq in ns.missing:
+                    ns.missing.discard(seq)
+                    ns.lost -= 1
+                # a duplicate (seq <= last_seq, not in missing) is a
+                # no-op: replayed frames must not drive lost negative
+                ns.last_seq = max(ns.last_seq, seq)
 
             changed = frame.get("counters") or {}
             for name, value in changed.items():
@@ -721,17 +737,19 @@ class TelemetryAgent:
     def _on_alert(self, alert: Alert) -> None:
         self.incident(f"slo-burn:{alert.slo.name}", alert.as_dict())
 
-    def incident(self, kind: str, detail: Optional[dict] = None
-                 ) -> Optional[dict]:
+    def incident(self, kind: str, detail: Optional[dict] = None,
+                 force: bool = False) -> Optional[dict]:
         """Something went wrong — dump a postmortem bundle (rate-limited).
 
         Returns the bundle, or None when inside the cooldown window.
-        Never raises: a postmortem must not take down the path that
-        triggered it.
+        ``force=True`` bypasses the cooldown — used by the node's
+        graceful stop, whose final bundle must not be swallowed just
+        because an alert fired moments earlier.  Never raises: a
+        postmortem must not take down the path that triggered it.
         """
         now = self.time()
         with self._pm_lock:
-            if self._pm_last is not None \
+            if not force and self._pm_last is not None \
                     and now - self._pm_last < self.postmortem_cooldown:
                 return None
             self._pm_last = now

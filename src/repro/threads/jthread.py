@@ -27,7 +27,8 @@ class JThread:
 
     def __init__(self, target: Optional[Callable[..., Any]] = None,
                  args: tuple = (), name: str = "", daemon: bool = False,
-                 profiler: Optional[Any] = None):
+                 profiler: Optional[Any] = None,
+                 tracer: Optional[Any] = None):
         JThread._counter += 1
         self.name = name or f"jthread-{JThread._counter}"
         self._target = target
@@ -39,6 +40,11 @@ class JThread:
         self._started = False
         #: optional :class:`repro.obs.Profiler` — start latency + counts
         self.profiler = profiler
+        #: optional :class:`repro.obs.causal.CausalTracer` — the
+        #: starter's request context is captured at ``start()`` and
+        #: re-installed inside the new thread around :meth:`run`
+        self.tracer = tracer
+        self._ctx: Any = None
         self._start_t = 0.0
 
     # -- to be overridden ----------------------------------------------------
@@ -55,10 +61,27 @@ class JThread:
             prof.inc("thread.started")
             prof.observe_us("thread.start_latency_us",
                             prof.now() - self._start_t)
-        try:
-            self._result = self.run()
-        except BaseException as exc:  # noqa: BLE001 - captured for joiner
-            self._error = exc
+        trc = self.tracer
+        if trc is not None and self._ctx is not None \
+                and trc.admit(self._ctx.request_id):
+            # carry the starter's causal position across the handoff:
+            # run() executes as a thread-exec span chained on it
+            t0 = trc.now()
+            sid = trc.next_id()
+            trc.install(trc.context(self._ctx.request_id, sid))
+            try:
+                self._result = self.run()
+            except BaseException as exc:  # noqa: BLE001
+                self._error = exc
+            finally:
+                trc.record(sid, self._ctx.span_id, self._ctx.request_id,
+                           "thread-exec", self.name, t0, trc.now())
+                trc.uninstall()
+        else:
+            try:
+                self._result = self.run()
+            except BaseException as exc:  # noqa: BLE001 - captured for joiner
+                self._error = exc
         if prof is not None:
             prof.inc("thread.finished")
 
@@ -68,6 +91,8 @@ class JThread:
         self._started = True
         if self.profiler is not None:
             self._start_t = self.profiler.now()
+        if self.tracer is not None:
+            self._ctx = self.tracer.current()
         self._thread.start()
         return self
 

@@ -74,11 +74,16 @@ class ThreadPool:
     """
 
     def __init__(self, workers: int = 4, queue_capacity: int = 0,
-                 name: str = "pool", profiler: Optional[Any] = None):
+                 name: str = "pool", profiler: Optional[Any] = None,
+                 tracer: Optional[Any] = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.name = name
         self.profiler = profiler
+        #: optional :class:`repro.obs.causal.CausalTracer` — submit
+        #: captures the caller's request context into the work item and
+        #: the worker re-installs it around the task (a pool-exec span)
+        self.tracer = tracer
         self._queue: BlockingQueue = BlockingQueue(queue_capacity,
                                                    f"{name}.queue",
                                                    profiler=profiler)
@@ -97,17 +102,32 @@ class ThreadPool:
     def _worker_loop(self) -> None:
         while True:
             try:
-                fn, args, future = self._queue.take()
+                fn, args, future, ctx = self._queue.take()
             except QueueClosed:
                 return
             if future.done():          # cancelled while queued
                 continue
             prof = self.profiler
+            trc = self.tracer
             t0 = prof.now() if prof is not None else 0.0
-            try:
-                future._complete(result=fn(*args))
-            except BaseException as exc:  # noqa: BLE001 - routed to future
-                future._complete(error=exc)
+            if trc is not None and ctx is not None \
+                    and trc.admit(ctx.request_id):
+                w0 = trc.now()
+                sid = trc.next_id()
+                trc.install(trc.context(ctx.request_id, sid))
+                try:
+                    future._complete(result=fn(*args))
+                except BaseException as exc:  # noqa: BLE001
+                    future._complete(error=exc)
+                finally:
+                    trc.record(sid, ctx.span_id, ctx.request_id,
+                               "pool-exec", self.name, w0, trc.now())
+                    trc.uninstall()
+            else:
+                try:
+                    future._complete(result=fn(*args))
+                except BaseException as exc:  # noqa: BLE001 - to future
+                    future._complete(error=exc)
             if prof is not None:
                 prof.inc("pool.tasks")
                 prof.observe_us("pool.task_us", prof.now() - t0)
@@ -119,7 +139,9 @@ class ThreadPool:
         if self._shut:
             raise RuntimeError(f"{self.name} is shut down")
         future = PoolFuture()
-        self._queue.put((fn, args, future))
+        trc = self.tracer
+        ctx = trc.current() if trc is not None else None
+        self._queue.put((fn, args, future, ctx))
         with self._stats_lock:
             self._submitted += 1
         return future

@@ -227,6 +227,48 @@ def test_postmortem_cooldown_coalesces_incidents(tmp_path):
         c.close()
 
 
+def test_incident_force_bypasses_cooldown(tmp_path):
+    """``force=True`` punches through the rate limit — the graceful
+    node-stop bundle must never be swallowed just because an alert
+    fired moments before shutdown."""
+    c = TwoNodeCluster(tmp_path, cooldown=5.0)
+    try:
+        for t in range(3):
+            c.step(t)
+        assert c.tb.incident("actor-failure", {"actor": "x"}) is not None
+        # same fake second: rate-limited...
+        assert c.tb.incident("actor-failure", {"actor": "y"}) is None
+        # ...unless forced
+        forced = c.tb.incident("node-stop", {"node": "b"}, force=True)
+        assert forced is not None
+        assert forced["kind"] == "node-stop"
+        assert len(c.tb.postmortems) == 2
+    finally:
+        c.close()
+
+
+def test_graceful_close_dumps_node_stop_bundle(tmp_path):
+    """``ClusterNode.close()`` (the serve verb's SIGTERM/Ctrl-C path)
+    dumps one final postmortem bundle while the transport is still up,
+    so the flight recorder's last window survives a clean shutdown."""
+    c = TwoNodeCluster(tmp_path, cooldown=60.0)
+    try:
+        for t in range(4):
+            c.step(t)
+    finally:
+        c.close()
+    kinds = [p["kind"] for p in c.tb.postmortems]
+    assert kinds[-1] == "node-stop"
+    pm = c.tb.postmortems[-1]
+    assert pm["detail"] == {"node": "b"}
+    assert pm["node"] == "b"
+    # the bundle hit disk like any crash-triggered postmortem
+    files = sorted(p.name for p in tmp_path.glob("pm-*.json"))
+    assert any("node-stop" in f for f in files)
+    # force: the long cooldown above could not have suppressed it
+    assert len(c.tb.postmortems) == 1
+
+
 def test_telemetry_frames_are_fire_and_forget():
     """TELEMETRY is not a reliable kind: frames never enter retry
     outboxes, so a slow peer cannot make the telemetry plane amplify

@@ -115,6 +115,46 @@ class TestAggregator:
         assert snap["nodes"]["n"]["lost"] == 3
         assert snap["nodes"]["n"]["frames"] == 3
 
+    def test_out_of_order_frame_backs_loss_out(self):
+        """A gap charges ``lost`` immediately; the straggler arriving
+        late must refund it — reordering is not loss."""
+        agg = Aggregator()
+        agg.ingest("n", frame(1, 0.0))
+        agg.ingest("n", frame(3, 1.0))            # 2 looks dropped...
+        assert agg.snapshot(now=1.0)["nodes"]["n"]["lost"] == 1
+        agg.ingest("n", frame(2, 0.5))            # ...but was reordered
+        snap = agg.snapshot(now=1.0)
+        assert snap["nodes"]["n"]["lost"] == 0
+        assert snap["nodes"]["n"]["frames"] == 3
+
+    def test_duplicated_frame_is_not_a_refund(self):
+        """A duplicate of an already-seen seq must not decrement
+        ``lost`` (UDP-style transports can duplicate *and* drop)."""
+        agg = Aggregator()
+        agg.ingest("n", frame(1, 0.0))
+        agg.ingest("n", frame(2, 1.0))
+        agg.ingest("n", frame(2, 1.1))            # dup of a seen frame
+        assert agg.snapshot(now=2.0)["nodes"]["n"]["lost"] == 0
+        agg.ingest("n", frame(4, 2.0))            # 3 genuinely lost
+        agg.ingest("n", frame(4, 2.1))            # dup again
+        assert agg.snapshot(now=3.0)["nodes"]["n"]["lost"] == 1
+
+    def test_duplicated_straggler_refunds_once(self):
+        """The late frame refunds its gap exactly once; replaying it
+        must not drive ``lost`` negative."""
+        agg = Aggregator()
+        agg.ingest("n", frame(1, 0.0))
+        agg.ingest("n", frame(4, 1.0))            # 2,3 charged as lost
+        assert agg.snapshot(now=1.0)["nodes"]["n"]["lost"] == 2
+        for _ in range(3):
+            agg.ingest("n", frame(2, 0.5))        # refund, then no-ops
+        snap = agg.snapshot(now=2.0)
+        assert snap["nodes"]["n"]["lost"] == 1    # only 3 still missing
+        agg.ingest("n", frame(3, 0.6))
+        assert agg.snapshot(now=2.0)["nodes"]["n"]["lost"] == 0
+        agg.ingest("n", frame(3, 0.7))            # replay after refund
+        assert agg.snapshot(now=2.0)["nodes"]["n"]["lost"] == 0
+
     def test_window_percentiles_merge_buckets(self):
         agg = Aggregator()
         agg.ingest("n", frame(1, 0.0,
