@@ -256,6 +256,99 @@ def test_bench_tracer_overhead(benchmark):
     assert on >= off * 0.90, (off, on)
 
 
+def test_bench_protocol_overhead(benchmark):
+    """Online protocol conformance must stay within 10% of monitors-off.
+
+    Interleaved A/B loopback pingpong again, but the instrumented arm
+    attaches a :class:`ProtocolMonitor` to both nodes.  The monitor's
+    ``wants_message_kinds`` flag makes the nodes classify every payload
+    and stamp the kind token into their cluster events — the full
+    conformance tax, not just the automaton step.  The echoed payloads
+    are ints, so the ``INT*`` session type conforms forever and the
+    automaton advances on every single delivery (the worst case: no
+    early alphabet filtering).  The gate is the ISSUE-9 acceptance bar:
+    monitors-on throughput stays at or above 0.90x monitors-off.
+    """
+    import threading
+
+    from repro.cluster.bench import BENCH_CONFIG, Echo, Pinger
+    from repro.cluster.node import ClusterNode
+    from repro.cluster.transport import LoopbackHub
+    from repro.obs.monitors import MonitorBus
+    from repro.obs.protocol import Protocol, ProtocolMonitor
+
+    rounds, inflight, reps = 3000, 32, 7
+
+    def build(monitored):
+        hub = LoopbackHub()
+        buses = []
+
+        def bus():
+            if not monitored:
+                return None
+            # one bus per node (dedup only matters across a shared
+            # link, and the bench wants the per-node hot-path tax)
+            b = MonitorBus([ProtocolMonitor([Protocol("pingflow",
+                                                      "INT*")])])
+            buses.append(b)
+            return b
+
+        a = ClusterNode("driver", hub.join("driver"),
+                        config=BENCH_CONFIG, workers=2, monitors=bus())
+        b = ClusterNode("worker", hub.join("worker"),
+                        config=BENCH_CONFIG, workers=2, monitors=bus())
+        a.connect("worker")
+        b.connect("driver")
+        b.spawn(Echo, name="echo")
+        done = threading.Event()
+        pinger = a.spawn(Pinger, a.ref("worker/echo"), inflight, done,
+                         name="pinger")
+        return a, b, pinger, done, buses
+
+    def one_rep(pinger, done):
+        done.clear()
+        t0 = time.perf_counter()
+        pinger.tell(("start", rounds))
+        assert done.wait(120), "pingpong repetition stalled"
+        return rounds / (time.perf_counter() - t0)
+
+    bare = build(monitored=False)
+    monitored = build(monitored=True)
+    try:
+        one_rep(bare[2], bare[3])                    # warm both arms
+        one_rep(monitored[2], monitored[3])
+
+        def measure():
+            off_rates, on_rates = [], []
+            for _ in range(reps):                    # interleaved arms
+                off_rates.append(one_rep(bare[2], bare[3]))
+                on_rates.append(one_rep(monitored[2], monitored[3]))
+            return median(off_rates), median(on_rates)
+
+        off, on = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+        # the monitored arm really checked: every automaton advanced
+        # through the storm and the conforming stream raised nothing
+        monitors = [d for bus in monitored[4] for d in bus.detectors
+                    if isinstance(d, ProtocolMonitor)]
+        assert monitors and all(m._machines[0].moved for m in monitors)
+        assert all(not m.counts() for m in monitors)
+        assert all(not bus.hazards for bus in monitored[4])
+    finally:
+        for topo in (bare, monitored):
+            topo[0].close()
+            topo[1].close()
+
+    _RESULTS["protocol-overhead"] = {
+        "pingpong.cluster-loopback": {
+            "ops_per_sec_monitors_off": round(off),
+            "ops_per_sec_monitors_on": round(on),
+            "on_over_off": round(on / off, 4),
+        }
+    }
+    assert on >= off * 0.90, (off, on)
+
+
 def test_bench_monitored_exploration_matches(benchmark):
     """Monitored exploration does the same search — identical run and
     decision counts — while collecting hazards; record its cost."""

@@ -56,17 +56,42 @@ class SupervisionDirective(Enum):
 
 
 class DeadLetter:
-    """Record of a message that could not be delivered."""
+    """Record of a message that could not be delivered.
 
-    __slots__ = ("target", "message", "sender")
+    ``ctx`` preserves the causal-tracing context the message carried at
+    the drop point — either a live ``RequestContext`` or the cluster
+    wire triple ``(request_id, span_id, t_send)`` — so ``repro
+    critical`` and postmortem bundles can attribute the drop to the
+    request that lost it.
+    """
 
-    def __init__(self, target: str, message: Any, sender: Optional[ActorRef]):
+    __slots__ = ("target", "message", "sender", "ctx")
+
+    def __init__(self, target: str, message: Any, sender: Optional[ActorRef],
+                 ctx: Any = None):
         self.target = target
         self.message = message
         self.sender = sender
+        self.ctx = ctx
+
+    @property
+    def request_id(self) -> Optional[str]:
+        """Request id of the dropped message's causal context, if any."""
+        ctx = self.ctx
+        if ctx is None:
+            return None
+        rid = getattr(ctx, "request_id", None)
+        if rid is not None:
+            return rid
+        try:
+            return ctx[0]
+        except (TypeError, IndexError, KeyError):
+            return None
 
     def __repr__(self) -> str:
-        return f"<DeadLetter to {self.target}: {self.message!r}>"
+        rid = self.request_id
+        tail = f" [req {rid}]" if rid is not None else ""
+        return f"<DeadLetter to {self.target}: {self.message!r}{tail}>"
 
 
 class _StopSignal:
@@ -143,7 +168,8 @@ class _Cell:
         if prof is None:
             # lock-free fast path: one atomic append, one try-lock
             if self._stopped:
-                system._dead_letter(self.ref.name, message, sender)
+                system._dead_letter(self.ref.name, message, sender,
+                                    entry[2] if len(entry) > 2 else None)
                 return
             self.mailbox.append(entry)
             if self._stopped:
@@ -154,7 +180,9 @@ class _Cell:
         else:
             with self.lock:
                 if self._stopped:
-                    system._dead_letter(self.ref.name, message, sender)
+                    system._dead_letter(self.ref.name, message, sender,
+                                        entry[2] if len(entry) > 2
+                                        else None)
                     return
                 self.mailbox.append(entry)
                 self.enq_times.append(prof.now())
@@ -296,7 +324,9 @@ class _Cell:
                 for j in range(i + 1, n):
                     late, late_sender = batch[j][0], batch[j][1]
                     if not isinstance(late, _StopSignal):
-                        system._dead_letter(self.ref.name, late, late_sender)
+                        system._dead_letter(
+                            self.ref.name, late, late_sender,
+                            batch[j][2] if len(batch[j]) > 2 else None)
                 del batch[:]
                 self._sched.release()
                 return
@@ -335,7 +365,9 @@ class _Cell:
         for entry in leftovers:
             message, sender = entry[0], entry[1]
             if not isinstance(message, _StopSignal):
-                self.system._dead_letter(self.ref.name, message, sender)
+                self.system._dead_letter(self.ref.name, message, sender,
+                                         entry[2] if len(entry) > 2
+                                         else None)
 
     def _reject(self) -> None:
         """The executor refused a submit (it is shut down): we hold the
@@ -471,9 +503,10 @@ class ActorSystem:
     # runtime callbacks
     # ------------------------------------------------------------------
     def _dead_letter(self, target: str, message: Any,
-                     sender: Optional[ActorRef]) -> None:
+                     sender: Optional[ActorRef], ctx: Any = None) -> None:
         with self._dl_lock:
-            self.dead_letters.append(DeadLetter(target, message, sender))
+            self.dead_letters.append(DeadLetter(target, message, sender,
+                                                ctx))
 
     def _forget(self, cell: _Cell) -> None:
         with self._cells_lock:

@@ -38,6 +38,15 @@ Commands:
     critical transition pair, causal narrative (``--html`` for a
     self-contained report).
 
+``protocol list`` / ``protocol check TARGET``
+    Session-typed conformance: ``list`` prints the bug gallery's
+    protocol registry (each specimen's spec in the mini-language);
+    ``check`` explores a kernel problem or ``bug:<id>`` with a
+    :class:`~repro.obs.protocol.ProtocolMonitor` attached — the
+    gallery entry's bundled spec by default, or an ad-hoc one via
+    ``--spec '(REQ -> (REPLY | ERR))*' --parties server``.  Exits
+    non-zero if any schedule violates the protocol.
+
 ``bench``
     Race the *real* runtimes — threads vs actors vs coroutines — on the
     classical problems under one parameterized workload, with the
@@ -319,17 +328,29 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         print(f"unknown problem {args.problem!r}; known: "
               + ", ".join(kernel_program_names()), file=sys.stderr)
         return 2
+    # gallery specimens bound to a session type are flagged *by* that
+    # protocol — arm it next to the default detectors
+    protocols = []
+    if args.problem.startswith("bug:"):
+        from .problems.bug_gallery import gallery
+        spec = next((s for s in gallery()
+                     if s.bug_id == args.problem[4:]), None)
+        if spec is not None and spec.protocol is not None:
+            protocols.append(spec.protocol)
     if args.explore:
+        from .obs import protocol_bus
         from .verify import explore
+        monitors = (lambda: protocol_bus(protocols)) if protocols \
+            else True
         res = explore(program, max_runs=args.max_runs, reduce=True,
-                      monitors=True)
+                      monitors=monitors)
         hazards = res.hazards
         summary = f"{args.problem}: {res.summary()}"
     else:
         from .core.policy import RandomPolicy
         from .core.scheduler import Scheduler
-        from .obs import MonitorBus
-        bus = MonitorBus()
+        from .obs import MonitorBus, protocol_bus
+        bus = protocol_bus(protocols) if protocols else MonitorBus()
         policy = RandomPolicy(args.seed) if args.seed is not None else None
         sched = Scheduler(policy, raise_on_deadlock=False,
                           raise_on_failure=False, monitors=bus)
@@ -384,6 +405,103 @@ def _cmd_explain(args: argparse.Namespace) -> int:
               f"{len(explanation.original_schedule)}; "
               f"{explanation.replays} replays)", file=sys.stderr)
     return 1
+
+
+def _cmd_protocol_list(args: argparse.Namespace) -> int:
+    import json
+
+    from .problems.bug_gallery import gallery
+    rows = [spec for spec in gallery() if spec.protocol is not None]
+    if args.json:
+        print(json.dumps(
+            [{"bug": s.bug_id, "category": s.category,
+              **s.protocol.describe()} for s in rows],
+            sort_keys=True))
+        return 0
+    for s in rows:
+        p = s.protocol
+        where = ",".join(p.parties) or "(any)"
+        print(f"bug:{s.bug_id:<24} {p.name:<10} {p.text:<24} "
+              f"@ {where} [{p.at}]")
+    print(f"{len(rows)} protocol-governed specimens — check one with "
+          f"`repro protocol check bug:<id>`")
+    return 0
+
+
+def _cmd_protocol_check(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.protocol import Protocol, protocol_bus
+    from .problems import kernel_program, kernel_program_names
+    proto = None
+    variant = None
+    if args.target.startswith("bug:"):
+        from .problems.bug_gallery import gallery
+        spec = next((s for s in gallery()
+                     if s.bug_id == args.target[4:]), None)
+        if spec is None:
+            print(f"unknown gallery bug {args.target!r}; known: "
+                  + ", ".join(f"bug:{s.bug_id}" for s in gallery()),
+                  file=sys.stderr)
+            return 2
+        program = spec.fixed if args.fixed else spec.buggy
+        variant = "fixed" if args.fixed else "buggy"
+        proto = spec.protocol
+    else:
+        if args.fixed:
+            print("repro protocol check: --fixed only applies to "
+                  "bug:<id> targets", file=sys.stderr)
+            return 2
+        try:
+            program = kernel_program(args.target)
+        except KeyError:
+            print(f"unknown problem {args.target!r}; known: "
+                  + ", ".join(kernel_program_names()), file=sys.stderr)
+            return 2
+    if args.spec is not None:
+        parties = tuple(p for p in (args.parties or "").split(",") if p)
+        try:
+            proto = Protocol(args.name, args.spec, parties=parties,
+                             at=args.at)
+        except ValueError as exc:
+            print(f"repro protocol check: {exc}", file=sys.stderr)
+            return 2
+    if proto is None:
+        print(f"{args.target!r} ships no protocol spec; supply one "
+              f"with --spec (see `repro protocol list`)",
+              file=sys.stderr)
+        return 2
+    from .verify import explore
+    res = explore(program, max_runs=args.max_runs, reduce=True,
+                  monitors=lambda: protocol_bus([proto]))
+    hazards = [h for h in res.hazards if h.kind.startswith("protocol-")]
+    flagged = any(h.severity == "error" for h in hazards)
+    if args.json:
+        print(json.dumps({
+            "target": args.target, "variant": variant,
+            "protocol": proto.describe(), "flagged": flagged,
+            "explored": res.summary(),
+            "hazards": [{"kind": h.kind, "severity": h.severity,
+                         "message": h.message, "subject": h.subject}
+                        for h in hazards],
+        }, sort_keys=True))
+    else:
+        vtxt = f" ({variant})" if variant else ""
+        print(f"{args.target}{vtxt} against protocol "
+              f"{proto.name!r}: {proto.text}")
+        print(f"exploration: {res.summary()}")
+        if hazards:
+            shown = hazards if args.limit <= 0 \
+                else hazards[:args.limit]
+            for h in shown:
+                print(h.describe())
+            if len(hazards) > len(shown):
+                print(f"... and {len(hazards) - len(shown)} more "
+                      f"(--limit 0 for all, --json for the full list)")
+        else:
+            print("conforms: no protocol hazards on any "
+                  "explored schedule")
+    return 1 if flagged else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -882,6 +1000,47 @@ def main(argv: list[str] | None = None) -> int:
     p_exp.add_argument("--max-runs", type=int, default=20_000,
                        help="exploration budget for the violation hunt")
     p_exp.set_defaults(fn=_cmd_explain)
+
+    p_proto = sub.add_parser(
+        "protocol", help="session-typed conformance: list the "
+                         "gallery's protocol specs or check a program "
+                         "against one online")
+    proto_sub = p_proto.add_subparsers(dest="action", required=True)
+    p_plist = proto_sub.add_parser(
+        "list", help="print the bug gallery's protocol registry")
+    p_plist.add_argument("--json", action="store_true",
+                         help="machine-readable registry on stdout")
+    p_plist.set_defaults(fn=_cmd_protocol_list)
+    p_pcheck = proto_sub.add_parser(
+        "check", help="explore a program with a conformance monitor "
+                      "attached; exit non-zero on violation")
+    p_pcheck.add_argument("target",
+                          help="problem name (see repro.problems) or "
+                               "'bug:<id>' for gallery specimens")
+    p_pcheck.add_argument("--spec", default=None,
+                          help="protocol mini-language text, e.g. "
+                               "'(REQ -> (REPLY | ERR))*' (default: "
+                               "the gallery entry's bundled spec)")
+    p_pcheck.add_argument("--parties", default=None,
+                          help="comma-separated mailbox/channel/actor "
+                               "names the spec governs (default: any)")
+    p_pcheck.add_argument("--at", choices=("deliver", "send"),
+                          default="deliver",
+                          help="observation point for --spec "
+                               "(default: deliver order)")
+    p_pcheck.add_argument("--name", default="cli",
+                          help="protocol name used in hazard messages")
+    p_pcheck.add_argument("--fixed", action="store_true",
+                          help="for bug:<id>: check the corrected twin "
+                               "(expected to conform)")
+    p_pcheck.add_argument("--max-runs", type=int, default=20_000,
+                          help="exploration budget (default 20000)")
+    p_pcheck.add_argument("--limit", type=int, default=10,
+                          help="hazards to print before eliding "
+                               "(default 10; 0 = all)")
+    p_pcheck.add_argument("--json", action="store_true",
+                          help="machine-readable verdict on stdout")
+    p_pcheck.set_defaults(fn=_cmd_protocol_check)
 
     p_bench = sub.add_parser(
         "bench", help="race the real runtimes: threads vs actors vs "

@@ -39,10 +39,12 @@ from __future__ import annotations
 import threading
 import time
 import zlib
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..actors import Actor, ActorRef, ActorSystem, SupervisionDirective
+from ..obs.protocol import message_kind
 from .delivery import CreditGate, DedupTable, Outbox, RetryPolicy
 from .message import (ACK, CREDIT, HEARTBEAT, RELIABLE_KINDS, REPLY, SIGNAL,
                       SKIP, SPAWN, STATUS, TELEMETRY, TELL, WATCH, Envelope,
@@ -214,7 +216,7 @@ class RemoteRef:
                 node._dead_letter(self.path, message, "no local actor")
                 return
             local.tell(message, sender=sender)
-            node._count_local_fastpath(self.name)
+            node._count_local_fastpath(self.name, message)
             return
         node._send_tell(self.path, message, sender)
 
@@ -348,6 +350,46 @@ class ClusterNode:
         # single cached flag for the event hot-path gates: True when any
         # sink (trace log, monitor bus, flight recorder) wants events
         self._evt_on = trace or monitors is not None
+        # protocol conformance needs message *kinds* on cluster events
+        # (send/recv/local), which the default event path never stamps —
+        # pay for classification only when a detector asks for it
+        self._proto_on = monitors is not None and any(
+            getattr(d, "wants_message_kinds", False)
+            for d in getattr(monitors, "detectors", ()))
+        # conformance fast path: when no trace log consumes the stamped
+        # bulk events, protocol observations go straight into the
+        # automata via cluster_tap — no ClusterEvent, no bus.feed, no
+        # KernelView — and points no spec watches skip classification
+        # entirely.  Violations (rare) come back as hazards and are
+        # published on the bus, so dedup and on_hazard behave exactly
+        # as on the fed path.
+        entries, points = [], set()
+        fast = self._proto_on and not trace
+        if fast:
+            for d in monitors.detectors:
+                if getattr(d, "wants_message_kinds", False):
+                    if getattr(d, "cluster_tap", None) is None:
+                        fast = False    # kind-wanting detector without
+                        break           # a tap still needs fed events
+                    points.update(d.cluster_points())
+                    for row in d.cluster_entries():
+                        entries.append(row[:-1] + (d, row[-1]))
+        self._proto_entries = tuple(entries)
+        self._proto_fast = fast and bool(entries)
+        self._proto_want_send = "send" in points
+        self._proto_want_deliver = "deliver" in points
+        self._proto_q: deque = deque()
+        self._proto_wake = threading.Event()
+        self._proto_stop = False
+        self._proto_thread: Optional[threading.Thread] = None
+        if self._proto_fast:
+            self._proto_thread = threading.Thread(
+                target=self._proto_pump, name=f"{name}.conformance",
+                daemon=True)
+            self._proto_thread.start()
+        if monitors is not None and \
+                getattr(monitors, "on_hazard", None) is None:
+            monitors.on_hazard = self._on_hazard
         # bulk-event sampling mask: seq & mask == 0 records.  0 (record
         # everything) whenever tracing or monitors are attached; set to
         # flight_sample-1 by attach_telemetry when the flight recorder
@@ -541,6 +583,14 @@ class ClusterNode:
             if self.profiler is not None:
                 self.profiler.inc("cluster.telemetry_errors")
 
+    def _on_hazard(self, hz: Any) -> None:
+        """MonitorBus ``on_hazard`` hook: an error-severity protocol
+        hazard is an incident — dump a postmortem bundle around it."""
+        if hz.severity == "error" and hz.kind.startswith("protocol"):
+            self._incident(hz.kind, {"subject": hz.subject,
+                                     "seq": hz.seq,
+                                     "message": hz.message})
+
     # ------------------------------------------------------------------
     # sending
     # ------------------------------------------------------------------
@@ -549,12 +599,104 @@ class ClusterNode:
         # the registry only ever grows or replaces whole entries
         return self._actors.get(actor)
 
-    def _count_local_fastpath(self, actor: str) -> None:
+    def _proto_pump(self) -> None:
+        """Drain queued bulk-message observations into the automata.
+
+        The hot path pays one GIL-atomic ``deque.append`` of a raw
+        ``(point, where, payload, origin, dest, wire_seq)`` tuple — the
+        flight-recorder trick — and this daemon thread classifies the
+        payload and steps the machines off the critical path.  Messages
+        stay in node-local order, which is exactly the order the
+        synchronous fed path would observe; violations surface within
+        the ~20ms idle poll (``drain()`` flushes explicitly).
+
+        The loop body is deliberately flat: on a single-core host every
+        microsecond spent here competes with the transport pump for the
+        GIL, so classification is one cached dict probe, a conforming
+        advance is one more, and everything else lives in locals."""
+        q = self._proto_q
+        pop = q.popleft
+        wake = self._proto_wake
+        entries = self._proto_entries
+        kind_of = message_kind
+        while True:
+            try:
+                point, where, payload, origin, dest, wire_seq = pop()
+            except IndexError:
+                if self._proto_stop:
+                    return
+                wake.wait(0.02)
+                wake.clear()
+                continue
+            try:
+                token = kind_of(payload)
+                for at, watch, alphabet, strict, advance, mon, i \
+                        in entries:
+                    # a zero-serialization local delivery is both the
+                    # send and the deliver of its message, so "local"
+                    # matches either tap point (still once per spec)
+                    if at != point and point != "local":
+                        continue
+                    if watch is not None and where not in watch:
+                        continue
+                    if token is not None and token in alphabet:
+                        if advance(token):
+                            continue
+                        oob = False
+                    elif strict and token is not None:
+                        oob = True
+                    else:
+                        continue
+                    self._proto_flag(mon, i, where, token, origin,
+                                     dest, wire_seq, oob)
+            except Exception:           # a bad payload must never kill
+                pass                    # conformance checking
+
+    def _proto_flag(self, mon, i: int, where: str, token: Optional[str],
+                    origin: Optional[str], dest: Optional[str],
+                    wire_seq: Optional[int], oob: bool) -> None:
+        # flow ids (crc32) are dedup keys for hazards seen from both
+        # link ends — only violations (rare) pay for one
+        seqv = None if wire_seq is None else \
+            self._fast_flow(origin, dest, wire_seq)
+        hz = mon.cluster_violation(i, where, token, self.name,
+                                   self._step, seqv,
+                                   outside_alphabet=oob)
+        if hz is not None:
+            self.monitors.publish(hz)
+
+    def _proto_flush(self, timeout: float = 5.0) -> bool:
+        """Wait for the conformance pump to catch up (tests, drain)."""
+        if not self._proto_fast:
+            return True
+        self._proto_wake.set()
+        deadline = time.monotonic() + timeout
+        while self._proto_q:
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.001)
+        return True
+
+    def _count_local_fastpath(self, actor: str,
+                              message: Any = None) -> None:
         if self.profiler is not None:
             self.profiler.inc("cluster.local_fastpath")
         if self._evt_on:
             self._local_n += 1          # racy is fine: it only samples
-            if not (self._local_n & self._evt_mask):
+            if self._proto_fast:
+                # conformance must see *every* message, even on the
+                # zero-serialization path — no sampling while a
+                # protocol monitor is attached (inline append: this is
+                # the per-message cost, the pump does the rest)
+                self._proto_q.append(("local", actor, message,
+                                      None, None, None))
+                if self.telemetry is not None \
+                        and not (self._local_n & self._evt_mask):
+                    self._event("cluster-local", actor, self.name)
+            elif self._proto_on:
+                self._event("cluster-local", actor, self.name,
+                            extra={"msg": message_kind(message)})
+            elif not (self._local_n & self._evt_mask):
                 self._event("cluster-local", actor, self.name)
 
     def _send_tell(self, path: str, message: Any, sender: Any) -> None:
@@ -567,7 +709,7 @@ class ClusterNode:
                 self._dead_letter(path, message, "no local actor")
                 return
             local.tell(message, sender=sender)
-            self._count_local_fastpath(actor)
+            self._count_local_fastpath(actor, message)
             return
         sender_path = None
         if sender is not None:
@@ -643,12 +785,31 @@ class ClusterNode:
                 # target is always "<dest>/<actor>" here, so slice off
                 # the node prefix instead of re-splitting the path; no
                 # extra dict — nothing downstream reads it on sends
-                # (except a request id, which the merged Chrome trace
-                # surfaces on the flow arrow)
-                self._event("cluster-send", target[len(dest) + 1:], dest,
-                            self._fast_flow(self.name, dest, seq),
-                            extra={"request_id": ectx[0]}
-                            if ectx is not None else None)
+                # (except a request id for the merged Chrome trace's
+                # flow arrow, and a message kind when a protocol
+                # monitor is watching the conversation)
+                if self._proto_fast:
+                    if self._proto_want_send:
+                        self._proto_q.append(
+                            ("send", target[len(dest) + 1:], payload,
+                             self.name, dest, seq))
+                    if self.telemetry is not None:
+                        self._event(
+                            "cluster-send", target[len(dest) + 1:],
+                            dest, self._fast_flow(self.name, dest, seq),
+                            extra=({"request_id": ectx[0]}
+                                   if ectx is not None else None))
+                else:
+                    extra = None
+                    if ectx is not None:
+                        extra = {"request_id": ectx[0]}
+                    if self._proto_on:
+                        extra = extra or {}
+                        extra["msg"] = message_kind(payload)
+                    self._event("cluster-send", target[len(dest) + 1:],
+                                dest,
+                                self._fast_flow(self.name, dest, seq),
+                                extra=extra)
             if self.profiler is not None:
                 self.profiler.inc("cluster.sent")
         return seq
@@ -803,7 +964,8 @@ class ClusterNode:
         ref = self._actors.get(actor)
         if ref is None or ref.is_stopped:
             self._dead_letter(env.target, env.payload,
-                              f"no such actor on {self.name}")
+                              f"no such actor on {self.name}",
+                              ctx=env.ctx)
             self._owe_credit(env.origin, env.target)
             return
         if self._staged_total or ref.pending >= self.config.mailbox_bound:
@@ -861,10 +1023,28 @@ class ClusterNode:
         if self._evt_on and not (env.seq & self._evt_mask):
             # samples on the same wire seq as the sender's mask, so a
             # recorded recv always has its matching recorded send
-            self._event("cluster-recv", ref.name, env.origin, None,
+            if self._proto_fast:
+                if self._proto_want_deliver:
+                    self._proto_q.append(
+                        ("deliver", ref.name, env.payload,
+                         env.origin, self.name, env.seq))
+                if self.telemetry is not None:
+                    self._event(
+                        "cluster-recv", ref.name, env.origin, None,
                         self._fast_flow(env.origin, self.name, env.seq),
-                        extra={"request_id": env.ctx[0]}
-                        if env.ctx is not None else None)
+                        extra=({"request_id": env.ctx[0]}
+                               if env.ctx is not None else None))
+            else:
+                extra = None
+                if env.ctx is not None:
+                    extra = {"request_id": env.ctx[0]}
+                if self._proto_on:
+                    extra = extra or {}
+                    extra["msg"] = message_kind(env.payload)
+                self._event("cluster-recv", ref.name, env.origin, None,
+                            self._fast_flow(env.origin, self.name,
+                                            env.seq),
+                            extra=extra)
         if self.profiler is not None:
             self.profiler.inc("cluster.delivered")
             self._delivered += 1
@@ -922,7 +1102,8 @@ class ClusterNode:
                         break
                 if dead:
                     self._dead_letter(env.target, env.payload,
-                                      f"no such actor on {self.name}")
+                                      f"no such actor on {self.name}",
+                                      ctx=env.ctx)
                     self._owe_credit(env.origin, env.target)
                 else:
                     self._admit(ref, env, staged=True)
@@ -1101,7 +1282,8 @@ class ClusterNode:
                 self._abandon(dest, env)
                 self._dead_letter(env.target, env.payload,
                                   f"undeliverable to {dest} after "
-                                  f"{self.config.max_attempts} attempts")
+                                  f"{self.config.max_attempts} attempts",
+                                  ctx=env.ctx)
 
         # failure detector transitions + eviction of long-dead peers
         for peer in peers:
@@ -1188,7 +1370,7 @@ class ClusterNode:
             for env in outbox.drain():
                 self._abandon(peer, env)
                 self._dead_letter(env.target, env.payload,
-                                  f"node {peer} down")
+                                  f"node {peer} down", ctx=env.ctx)
         # watched actors on the dead node: synthesize node-down signals
         for path, refs in watching:
             signal = ActorSignal(path, "node-down",
@@ -1236,10 +1418,34 @@ class ClusterNode:
     # ------------------------------------------------------------------
     # misc
     # ------------------------------------------------------------------
-    def _dead_letter(self, target: str, message: Any, why: str) -> None:
-        self.system._dead_letter(target, message, None)
-        self._event("cluster-dead-letter", actor=target,
-                    extra={"why": why})
+    def _dead_letter(self, target: str, message: Any, why: str,
+                     ctx: Any = None) -> None:
+        if ctx is None and self.tracer is not None:
+            # sender-side drops (backpressure timeout, node down, ...)
+            # happen on the requesting thread: its installed context is
+            # the message's causal position
+            ctx = self.tracer.current()
+        req = parent = None
+        if ctx is not None:
+            req = getattr(ctx, "request_id", None)
+            parent = getattr(ctx, "span_id", None)
+            if req is None:        # cluster wire triple
+                try:
+                    req, parent = ctx[0], ctx[1]
+                except (TypeError, IndexError):
+                    req = parent = None
+        trc = self.tracer
+        if trc is not None and req is not None:
+            # zero-length terminal span: the drop shows up on the
+            # request's critical path instead of the chain just ending
+            now = trc.now()
+            trc.record(trc.next_id(), parent, req, "dead-letter",
+                       target, now, now)
+        self.system._dead_letter(target, message, None, ctx=ctx)
+        extra = {"why": why}
+        if req is not None:
+            extra["request_id"] = req
+        self._event("cluster-dead-letter", actor=target, extra=extra)
         if self.profiler is not None:
             self.profiler.inc("cluster.dead_letters")
 
@@ -1300,7 +1506,11 @@ class ClusterNode:
             with self._state_lock:
                 staged = any(self._staged.values())
             if not staged and self.system._quiet():
-                return True
+                # quiescent: let the conformance pump catch up too, so
+                # a post-drain caller sees every hazard of the traffic
+                # it just sent
+                return self._proto_flush(
+                    max(0.0, deadline - time.monotonic()))
             if time.monotonic() >= deadline:
                 return False
             self.pump()
@@ -1325,6 +1535,12 @@ class ClusterNode:
                     self.profiler.inc("cluster.telemetry_errors")
         self._flush_acks()
         self._flush_credits()
+        if self._proto_thread is not None:
+            # stop the conformance pump; it drains what is queued
+            # before exiting, so no observed message goes unchecked
+            self._proto_stop = True
+            self._proto_wake.set()
+            self._proto_thread.join(timeout=2.0)
         self.transport.close()
         if self._own_system:
             self.system.shutdown()

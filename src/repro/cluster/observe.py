@@ -222,10 +222,20 @@ def cluster_detectors() -> list[Detector]:
     return [ClusterSaturationDetector(), SuspectLossDetector()]
 
 
-def cluster_bus() -> MonitorBus:
+def cluster_bus(protocols: Optional[Iterable[Any]] = None) -> MonitorBus:
     """A MonitorBus wired with only the cluster detectors — the usual
-    companion of ``ClusterNode(monitors=...)``."""
-    return MonitorBus(detectors=cluster_detectors())
+    companion of ``ClusterNode(monitors=...)``.
+
+    ``protocols`` adds a :class:`~repro.obs.ProtocolMonitor` over the
+    given :class:`~repro.obs.Protocol` specs; the node notices it wants
+    message kinds and stamps them onto every cluster send/recv/local
+    event (the local fast path stops sampling so conformance sees each
+    message)."""
+    detectors = cluster_detectors()
+    if protocols is not None:
+        from ..obs.protocol import ProtocolMonitor
+        detectors.append(ProtocolMonitor(protocols))
+    return MonitorBus(detectors=detectors)
 
 
 # ===========================================================================

@@ -28,8 +28,12 @@ The markers are internal; user code calls the generator helpers::
 from __future__ import annotations
 
 import inspect
+import itertools
 from collections import deque
 from typing import Any, Callable, Generator, Iterator, Optional
+
+#: process-wide default-name counter for unnamed tapped channels
+_chan_ids = itertools.count(1)
 
 __all__ = ["CoDeadlock", "CoTask", "CoScheduler", "pause", "CoChannel",
            "CoEvent", "CoSemaphore", "ChannelClosed"]
@@ -159,6 +163,10 @@ class CoScheduler:
         #: that extends the task's causal chain
         self.tracer = tracer
         self._last_stepped: Optional[CoTask] = None
+        #: task whose slice is currently executing (valid inside
+        #: ``_step``) — lets channels attribute taps to the runner
+        self.current: Optional[CoTask] = None
+        self._chan_seq = 0
 
     def spawn(self, fn: Callable[..., Generator] | Generator, *args: Any,
               name: str = "", **kwargs: Any) -> CoTask:
@@ -216,6 +224,7 @@ class CoScheduler:
     def _step(self, task: CoTask) -> None:
         self.steps += 1
         task.steps += 1
+        self.current = task
         m = self.metrics
         if m is not None:
             m.inc("steps")
@@ -345,16 +354,58 @@ class CoScheduler:
 # ---------------------------------------------------------------------------
 
 class CoChannel:
-    """Bounded FIFO channel between cooperative tasks (capacity ≥ 1)."""
+    """Bounded FIFO channel between cooperative tasks (capacity ≥ 1).
 
-    def __init__(self, capacity: int = 1):
+    Pass ``sched=`` (and optionally ``name=``) to tap the channel into
+    the scheduler's :class:`~repro.obs.MonitorBus`: each ``put`` feeds a
+    send-shaped :class:`~repro.core.trace.TraceEvent` and each ``get``
+    a deliver-shaped one, so message-stream detectors — including
+    :class:`~repro.obs.ProtocolMonitor` conformance checking — watch
+    coroutine channels exactly like kernel mailboxes.  An untapped
+    channel (the default) does zero extra work.
+    """
+
+    def __init__(self, capacity: int = 1, *, sched: Optional[Any] = None,
+                 name: str = ""):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
+        self.sched = sched
+        self.name = name or f"chan-{next(_chan_ids)}"
         self._items: deque = deque()
+        #: per-item ``(seq, sender-name)`` metadata, kept only when
+        #: tapped — lets ``get`` attribute the delivery to its send
+        self._meta: deque = deque()
         self._getters: list[CoTask] = []
         self._putters: list[CoTask] = []
         self.closed = False
+
+    # -- monitor tap ---------------------------------------------------
+    def _tapped(self) -> bool:
+        return self.sched is not None and self.sched.monitors is not None
+
+    def _tap(self, point: str, item: Any, seq: Optional[int],
+             sender: Optional[str] = None) -> None:
+        from ..core.trace import TraceEvent
+        s = self.sched
+        task = s.current
+        tname = task.name if task is not None else "?"
+        ltid = task.ltid if task is not None else -1
+        ready = (tname,) + tuple(t.name for t in s.ready)
+        if point == "send":
+            ev = TraceEvent(
+                step=s.steps, task_tid=ltid, task_name=tname,
+                kind="run", effect_repr=f"send {item!r} to {self.name}",
+                chosen_index=0, fanout=1, task_ltid=ltid,
+                obj_name=self.name, msg_seq=seq)
+        else:
+            ev = TraceEvent(
+                step=s.steps, task_tid=ltid, task_name=tname,
+                kind="deliver", effect_repr=f"recv from {self.name}",
+                chosen_index=0, fanout=1, task_ltid=ltid,
+                payload_repr=f"<Envelope #{seq} {item!r} from {sender}>",
+                recv_seq=seq, recv_mbox=self.name)
+        s.monitors.feed(ev, ready)
 
     def put(self, item: Any) -> Iterator[Any]:
         while len(self._items) >= self.capacity and not self.closed:
@@ -362,6 +413,12 @@ class CoChannel:
         if self.closed:
             raise ChannelClosed("put on closed channel")
         self._items.append(item)
+        if self._tapped():
+            self.sched._chan_seq += 1
+            seq = self.sched._chan_seq
+            cur = self.sched.current
+            self._meta.append((seq, cur.name if cur is not None else "?"))
+            self._tap("send", item, seq)
         if self._getters:
             yield _Wake(self._getters)
 
@@ -371,6 +428,10 @@ class CoChannel:
         if not self._items:
             raise ChannelClosed("get on closed drained channel")
         item = self._items.popleft()
+        if self._meta:
+            seq, sender = self._meta.popleft()
+            if self._tapped():
+                self._tap("deliver", item, seq, sender)
         if self._putters:
             yield _Wake(self._putters)
         return item

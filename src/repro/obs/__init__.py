@@ -20,6 +20,13 @@ schedules are reachable.  This subsystem makes every layer observable:
   ``explore(..., monitors=True)``): deadlock cycles, lost wakeups,
   starvation, message reordering / mailbox saturation, data races,
   task failures, and misconception-refuting witnesses;
+* :class:`Protocol` + :class:`ProtocolMonitor` — session-typed
+  conformance checking: declarative message-sequence specs (a small
+  combinator/mini-language: ``REQ -> (REPLY | ERR)``, repetition,
+  alternation, turn-taking) checked online against the same event
+  streams, across all three runtimes and the cluster, emitting
+  ``protocol-violation`` hazards with the offending message, the
+  automaton state and the expected-next set;
 * :func:`explain_program` / :func:`explain_trace` — causal
   counterexample explanation for explorer violations: delta-debugging
   schedule minimization, the critical racing transition pair, and a
@@ -40,8 +47,8 @@ from .causal import (SEGMENTS, CausalTracer, RequestContext, RequestTrace,
                      format_critical, format_requests, format_whatif,
                      parse_speedup, rank_targets, trace_cluster_cell,
                      whatif_report)
-from .explain import (CriticalPair, Explanation, explain_program,
-                      explain_trace, find_critical_pair,
+from .explain import (CriticalPair, Explanation, explain_hazard,
+                      explain_program, explain_trace, find_critical_pair,
                       minimize_schedule, postmortem_narrative)
 from .export import chrome_trace, chrome_trace_from_spans, jsonl_events
 from .metrics import Histogram, KernelMetrics
@@ -50,6 +57,10 @@ from .monitors import (DeadlockDetector, Detector, FailureDetector, Hazard,
                        KernelView, LostWakeupDetector, MessageOrderDetector,
                        MonitorBus, RaceDetector, StarvationDetector,
                        WitnessDetector, default_detectors, trace_locksets)
+from .protocol import (PExpr, Protocol, ProtocolMachine, ProtocolMonitor,
+                       at_most_one_outstanding, kind_from_repr,
+                       message_kind, protocol_bus, request_reply,
+                       turn_taking)
 from .report import html_report
 from .telemetry import (SLO, Aggregator, Alert, FlightRecorder, SLOEngine,
                         TelemetryAgent, TimeSeries, default_slos,
@@ -64,9 +75,13 @@ __all__ = [
     "WitnessDetector", "default_detectors", "trace_locksets",
     "Explanation", "CriticalPair", "minimize_schedule",
     "find_critical_pair", "explain_trace", "explain_program",
+    "explain_hazard",
     "postmortem_narrative", "html_report",
     "TimeSeries", "Aggregator", "SLO", "SLOEngine", "Alert",
     "FlightRecorder", "TelemetryAgent", "default_slos", "render_top",
+    "PExpr", "Protocol", "ProtocolMachine", "ProtocolMonitor",
+    "protocol_bus", "turn_taking", "at_most_one_outstanding",
+    "request_reply", "message_kind", "kind_from_repr",
     "SEGMENTS", "CausalTracer", "RequestContext", "current_context",
     "Span", "RequestTrace", "build_requests", "critical_path",
     "critical_report", "whatif_report", "rank_targets", "parse_speedup",

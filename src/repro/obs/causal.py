@@ -77,6 +77,7 @@ SEGMENTS = (
     "thread-exec",     # JThread body
     "pool-exec",       # ThreadPool task body
     "coro-resume",     # coroutine resume slice (includes parked gaps)
+    "dead-letter",     # zero-length terminal span: the message dropped
 )
 
 

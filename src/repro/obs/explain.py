@@ -316,6 +316,53 @@ def explain_program(program, *, kind: str = "auto",
                          max_steps=max_steps)
 
 
+def explain_hazard(program, hazard_kind: str, *,
+                   monitors: Optional[Callable] = None,
+                   max_runs: int = 10_000,
+                   max_steps: int = 200_000) -> Optional[Explanation]:
+    """Find and explain a schedule that a monitor flags.
+
+    Enumerates schedules (naive DFS, same walk as the explorer's
+    unreduced mode) with a fresh monitor bus per run until one raises a
+    hazard whose ``kind`` equals ``hazard_kind`` — a
+    ``protocol-violation``, ``data-race``, ``lost-wakeup``, ... — then
+    minimizes that witness under the predicate "a re-scan still flags
+    it".  ``monitors`` is a zero-arg bus factory (the same shape
+    ``explore(monitors=...)`` takes); None uses the default detectors.
+    Returns None when no run inside the budget is flagged.
+    """
+    from ..verify.explorer import run_schedule
+
+    def fresh_bus() -> MonitorBus:
+        return monitors() if monitors is not None else MonitorBus()
+
+    def flags(trace: Trace) -> bool:
+        bus = fresh_bus()
+        bus.scan(trace)
+        return any(h.kind == hazard_kind for h in bus.hazards)
+
+    prefix: list[int] = []
+    runs = 0
+    while runs < max_runs:
+        runs += 1
+        bus = fresh_bus()
+        trace, _obs = run_schedule(program, list(prefix),
+                                   max_steps=max_steps, monitors=bus)
+        if any(h.kind == hazard_kind for h in bus.hazards):
+            return explain_trace(program, trace,
+                                 lambda t, o: flags(t),
+                                 kind=hazard_kind, max_steps=max_steps,
+                                 detectors=fresh_bus().detectors)
+        decisions = trace.decisions()
+        d = len(decisions) - 1
+        while d >= 0 and decisions[d][0] + 1 >= decisions[d][1]:
+            d -= 1
+        if d < 0:
+            break
+        prefix = [idx for idx, _ in decisions[:d]] + [decisions[d][0] + 1]
+    return None
+
+
 # ===========================================================================
 # telemetry postmortems
 # ===========================================================================

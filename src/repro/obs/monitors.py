@@ -84,10 +84,24 @@ class Hazard:
     objects: tuple = ()             # sync-object names involved
     #: Table-III misconception ids this execution refutes (e.g. "M5")
     refutes: tuple = ()
+    #: stable subject of the hazard (e.g. "proto@party") — hazards
+    #: reported from both ends of a cluster link word their messages
+    #: differently but share the subject, so dedup keys on it
+    subject: str = ""
+    #: wire/mailbox sequence of the offending message, when there is one
+    seq: Optional[int] = None
 
     @property
     def key(self) -> tuple:
-        """Dedup identity — the same pattern reported once per bus."""
+        """Dedup identity — the same pattern reported once per bus.
+
+        Subject-bearing hazards key on ``(kind, subject, seq)``: the
+        same offending wire message observed from both ends of a
+        cluster link produces differently-worded messages but one key.
+        Everything else keeps the historical ``(kind, message)`` key.
+        """
+        if self.subject:
+            return (self.kind, self.subject, self.seq)
         return (self.kind, self.message)
 
     def describe(self) -> str:
@@ -326,6 +340,10 @@ class MonitorBus:
         self._seen: set = set()
         self._finished = False
         self.events_seen = 0
+        #: called with each *new* (deduplicated) hazard — event sources
+        #: hook their incident paths here (a ClusterNode triggers a
+        #: telemetry postmortem when a protocol violation lands)
+        self.on_hazard: Optional[callable] = None
 
     def feed(self, event: "TraceEvent", ready: tuple = ()) -> None:
         self.events_seen += 1
@@ -353,6 +371,8 @@ class MonitorBus:
         if hz.key not in self._seen:
             self._seen.add(hz.key)
             self.hazards.append(hz)
+            if self.on_hazard is not None:
+                self.on_hazard(hz)
 
     def publish(self, hazard: Hazard) -> None:
         """Report an externally detected hazard on this bus.

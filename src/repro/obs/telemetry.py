@@ -677,6 +677,19 @@ class TelemetryAgent:
         self._put_counter(frame, "cluster.dead_letters",
                           len(node.system.dead_letters))
         self._put_counter(frame, "flight.recorded", self.recorder.recorded)
+        # protocol-conformance hazards from the node's monitor bus:
+        # per-protocol violation counters plus one roll-up gauge, so
+        # ``repro top`` surfaces non-conforming conversations per node
+        bus = getattr(node, "monitors", None)
+        if bus is not None:
+            total = 0
+            for det in getattr(bus, "detectors", ()):
+                if hasattr(det, "protocols") and hasattr(det, "counts"):
+                    for pname, n in det.counts().items():
+                        self._put_counter(frame, f"protocol:{pname}", n)
+                        total += n
+            if total:
+                frame["gauges"]["protocol.violations"] = total
         # instantaneous gauges, re-sampled every frame
         frame["gauges"]["executor.queued"] = stats.get("queued", 0)
         frame["gauges"]["mailbox.depth"] = self._mailbox_depth(node)
@@ -880,6 +893,17 @@ def render_top(snapshot: dict[str, Any], color: bool = True,
         lines.append(paint(row, "red") if mine else row)
     if not snapshot.get("nodes"):
         lines.append(paint("  (no telemetry frames yet)", "dim"))
+    for name in sorted(snapshot.get("nodes") or {}):
+        ns = snapshot["nodes"][name]
+        pv = (ns.get("gauges") or {}).get("protocol.violations")
+        if pv:
+            protos = sorted(k.split(":", 1)[1]
+                            for k, v in (ns.get("rates") or {}).items()
+                            if k.startswith("protocol:") and v > 0)
+            detail = f" ({', '.join(protos)})" if protos else ""
+            lines.append(paint(
+                f"  PROTO {int(pv)} protocol violation(s) on "
+                f"{name}{detail}", "red"))
     resolved = [a for a in alerts if a.get("state") != "firing"
                 and a.get("fired_at")]
     for a in sorted(firing.values(),

@@ -3,24 +3,35 @@
 §IV.C: "students search for and study different concurrency-related
 bugs (mainly through the open source MySQL bug report database)".  The
 real database is unavailable offline, so the gallery reproduces the
-*bug patterns* that literature on that very corpus identified (Lu et
-al.'s characterization: atomicity violations, order violations,
-deadlocks) as minimal kernel programs, each paired with the tool that
-catches it and the canonical fix.
+*bug patterns* that literature on that very corpus identified as
+minimal kernel programs, each paired with the tool that catches it and
+the canonical fix.  Two corpora feed it:
+
+* Lu et al.'s shared-memory characterization — atomicity violations,
+  order violations, deadlocks;
+* Torres Lopez et al.'s actor-bug taxonomy — message-order violations,
+  bad interleavings of message handlers, memory-in-message races, and
+  behavior (become) mismatches.
 
 Every entry is a :class:`BugSpec` with a buggy program, a fixed
 program, a checker that demonstrates the difference, and the classroom
-story.  Used by `examples/bughunt.py`, the test suite, and available
-as course material via :func:`gallery`.
+story.  Message-protocol entries additionally carry the
+:class:`~repro.obs.Protocol` spec that flags them online
+(:func:`detect_bug` attaches it via
+:func:`~repro.obs.protocol.protocol_bus`).  Used by
+`examples/bughunt.py`, the test suite, and available as course
+material via :func:`gallery`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
-from ..core import (Access, AccessKind, Acquire, Notify, Pause,
-                    Release, Scheduler, SimLock, SimMonitor, Wait)
+from ..core import (Access, AccessKind, Acquire, DeliveryPolicy, Mailbox,
+                    Notify, Pause, Receive, Release, Scheduler, Send,
+                    SimLock, SimMonitor, Wait)
+from ..obs.protocol import Protocol, protocol_bus
 from ..verify import explore, find_races_program
 from .single_lane_bridge import bridge_program
 
@@ -32,7 +43,10 @@ class BugSpec:
     """One catalogued concurrency bug pattern."""
 
     bug_id: str
-    category: str     # atomicity | order | deadlock | liveness | safety
+    #: atomicity | order | deadlock | liveness | safety (Lu et al.) or
+    #: message-order | message-interleaving | memory-in-message |
+    #: behavior (Torres Lopez et al.)
+    category: str
     title: str
     story: str
     buggy: Callable[[Scheduler], Any]
@@ -42,6 +56,10 @@ class BugSpec:
     #: hazard kinds at least one of which the monitor bus must report
     #: when exploring the buggy program (the monitor regression fixture)
     hazards: tuple[str, ...] = ()
+    #: conformance spec that flags this entry online, when the bug is a
+    #: protocol violation (:func:`detect_bug` adds a ProtocolMonitor
+    #: for it; the fixed twin must stay silent under the same spec)
+    protocol: Optional[Protocol] = None
 
 
 # ---------------------------------------------------------------------------
@@ -213,6 +231,378 @@ def _wakeup_fixed(sched: Scheduler):
 
 
 # ---------------------------------------------------------------------------
+# Torres Lopez taxonomy: message-order violation (use before INIT)
+# ---------------------------------------------------------------------------
+
+def _msgorder_buggy(sched: Scheduler):
+    worker_mb = Mailbox("worker", policy=DeliveryPolicy.ARBITRARY)
+    state = {"config": None, "results": []}
+
+    def booter():
+        yield Send(worker_mb, ("init", 30))
+
+    def client():
+        yield Send(worker_mb, ("work", 1))
+
+    def worker():
+        for _ in range(2):
+            msg = yield Receive(worker_mb)
+            if msg[0] == "init":
+                state["config"] = msg[1]
+            else:
+                # BUG: a work request delivered before init computes
+                # with the missing configuration
+                state["results"].append(state["config"])
+    sched.spawn(booter, name="booter")
+    sched.spawn(client, name="client")
+    sched.spawn(worker, name="worker")
+    return lambda: tuple(state["results"])
+
+
+def _msgorder_fixed(sched: Scheduler):
+    worker_mb = Mailbox("worker", policy=DeliveryPolicy.ARBITRARY)
+    state = {"config": None, "results": []}
+
+    def booter():
+        yield Send(worker_mb, ("init", 30))
+
+    def client():
+        yield Send(worker_mb, ("work", 1))
+
+    def worker():
+        # selective receive: refuse work until the init arrived
+        msg = yield Receive(worker_mb, matcher=lambda m: m[0] == "init")
+        state["config"] = msg[1]
+        yield Receive(worker_mb)
+        state["results"].append(state["config"])
+    sched.spawn(booter, name="booter")
+    sched.spawn(client, name="client")
+    sched.spawn(worker, name="worker")
+    return lambda: tuple(state["results"])
+
+
+_MSGORDER_PROTOCOL = Protocol("boot", "INIT -> WORK*", parties=("worker",))
+
+
+# ---------------------------------------------------------------------------
+# Torres Lopez taxonomy: bad interleaving of message handlers
+# (two transaction sessions interleave on one store)
+# ---------------------------------------------------------------------------
+
+def _txn_client(db_mb, n):
+    def client():
+        yield Send(db_mb, ("begin",))
+        yield Send(db_mb, ("add", n))
+        yield Send(db_mb, ("commit",))
+    return client
+
+
+def _txn_worker(db_mb, state):
+    def worker():
+        for _ in range(6):
+            msg = yield Receive(db_mb)
+            if msg[0] == "begin":
+                state["current"] = 0
+            elif msg[0] == "add":
+                state["current"] += msg[1]
+            else:
+                state["log"].append(state["current"])
+    return worker
+
+
+def _txn_buggy(sched: Scheduler):
+    # FIFO delivery: corruption comes purely from the two clients'
+    # deposits interleaving, not from mailbox reordering
+    db_mb = Mailbox("db", policy=DeliveryPolicy.FIFO)
+    state = {"current": 0, "log": []}
+    sched.spawn(_txn_client(db_mb, 1), name="alice")
+    sched.spawn(_txn_client(db_mb, 2), name="bob")
+    sched.spawn(_txn_worker(db_mb, state), name="db")
+    return lambda: tuple(sorted(state["log"]))
+
+
+def _txn_fixed(sched: Scheduler):
+    db_mb = Mailbox("db", policy=DeliveryPolicy.FIFO)
+    state = {"current": 0, "log": []}
+    lock = SimLock("session")
+
+    def client(n):
+        # one session at a time: the lock serializes whole BEGIN ->
+        # ADD -> COMMIT sequences, so deposits can never interleave
+        yield Acquire(lock)
+        yield Send(db_mb, ("begin",))
+        yield Send(db_mb, ("add", n))
+        yield Send(db_mb, ("commit",))
+        yield Release(lock)
+    sched.spawn(client, 1, name="alice")
+    sched.spawn(client, 2, name="bob")
+    sched.spawn(_txn_worker(db_mb, state), name="db")
+    return lambda: tuple(sorted(state["log"]))
+
+
+_TXN_PROTOCOL = Protocol("txn", "(BEGIN -> ADD -> COMMIT)*",
+                         parties=("db",))
+
+
+# ---------------------------------------------------------------------------
+# Torres Lopez taxonomy: bad interleaving — message-level lost update
+# ---------------------------------------------------------------------------
+
+def _rmw_buggy(sched: Scheduler):
+    counter_mb = Mailbox("counter", policy=DeliveryPolicy.ARBITRARY)
+    state = {"value": 0}
+
+    def counter():
+        for _ in range(4):
+            msg = yield Receive(counter_mb)
+            if msg[0] == "get":
+                yield Send(msg[1], ("value", state["value"]))
+            else:
+                state["value"] = msg[1]
+
+    def incrementer(name):
+        reply_mb = Mailbox(name, policy=DeliveryPolicy.FIFO)
+        yield Send(counter_mb, ("get", reply_mb))
+        msg = yield Receive(reply_mb)
+        # BUG: read-modify-write split across two messages — another
+        # client's GET can interleave and both PUT the same value
+        yield Send(counter_mb, ("put", msg[1] + 1))
+    sched.spawn(incrementer, "inc-a", name="inc-a")
+    sched.spawn(incrementer, "inc-b", name="inc-b")
+    sched.spawn(counter, name="counter")
+    return lambda: state["value"]
+
+
+def _rmw_fixed(sched: Scheduler):
+    counter_mb = Mailbox("counter", policy=DeliveryPolicy.ARBITRARY)
+    state = {"value": 0}
+
+    def counter():
+        for _ in range(2):
+            yield Receive(counter_mb)
+            state["value"] += 1
+
+    def incrementer():
+        # the whole read-modify-write lives in ONE message handler
+        yield Send(counter_mb, ("incr",))
+    sched.spawn(incrementer, name="inc-a")
+    sched.spawn(incrementer, name="inc-b")
+    sched.spawn(counter, name="counter")
+    return lambda: state["value"]
+
+
+_RMW_PROTOCOL = Protocol("rmw", "(GET -> PUT)*", parties=("counter",))
+
+
+# ---------------------------------------------------------------------------
+# Torres Lopez taxonomy: memory-in-message race
+# ---------------------------------------------------------------------------
+
+def _mim_buggy(sched: Scheduler):
+    mb = Mailbox("sink", policy=DeliveryPolicy.FIFO)
+    buf = {"n": 0}
+    state = {"seen": None}
+
+    def producer():
+        yield Send(mb, buf)            # BUG: live mutable object
+        yield Access("buf", AccessKind.WRITE)
+        buf["n"] = 1                   # keeps mutating after the send
+
+    def consumer():
+        msg = yield Receive(mb)
+        yield Access("buf", AccessKind.READ)
+        state["seen"] = msg["n"]
+    sched.spawn(producer, name="producer")
+    sched.spawn(consumer, name="consumer")
+    return lambda: state["seen"]
+
+
+def _mim_fixed(sched: Scheduler):
+    mb = Mailbox("sink", policy=DeliveryPolicy.FIFO)
+    buf = {"n": 0}
+    state = {"seen": None}
+
+    def producer():
+        yield Send(mb, dict(buf))      # snapshot crosses the boundary
+        buf["n"] = 1                   # private again: no annotation
+
+    def consumer():
+        msg = yield Receive(mb)
+        state["seen"] = msg["n"]
+    sched.spawn(producer, name="producer")
+    sched.spawn(consumer, name="consumer")
+    return lambda: state["seen"]
+
+
+# ---------------------------------------------------------------------------
+# Torres Lopez taxonomy: behavior (become) mismatch
+# ---------------------------------------------------------------------------
+
+def _become_buggy(sched: Scheduler):
+    account_mb = Mailbox("account", policy=DeliveryPolicy.PER_SENDER_FIFO)
+    state = {"balance": 0, "closed": False}
+
+    def depositor():
+        yield Send(account_mb, ("deposit", 10))
+
+    def closer():
+        yield Send(account_mb, ("close",))
+
+    def account():
+        for _ in range(2):
+            msg = yield Receive(account_mb)
+            if msg[0] == "close":
+                state["closed"] = True          # become: closed
+            elif not state["closed"]:
+                state["balance"] += msg[1]
+            # BUG: a deposit delivered after close is silently dropped
+            # by the closed behavior — money sent, never booked
+    sched.spawn(depositor, name="depositor")
+    sched.spawn(closer, name="closer")
+    sched.spawn(account, name="account")
+    return lambda: state["balance"]
+
+
+def _become_fixed(sched: Scheduler):
+    account_mb = Mailbox("account", policy=DeliveryPolicy.PER_SENDER_FIFO)
+    state = {"balance": 0, "closed": False}
+
+    def coordinator():
+        # the close is sequenced behind the deposit by the same sender,
+        # so per-sender FIFO guarantees the behavior switch comes last
+        yield Send(account_mb, ("deposit", 10))
+        yield Send(account_mb, ("close",))
+
+    def account():
+        for _ in range(2):
+            msg = yield Receive(account_mb)
+            if msg[0] == "close":
+                state["closed"] = True
+            elif not state["closed"]:
+                state["balance"] += msg[1]
+    sched.spawn(coordinator, name="coordinator")
+    sched.spawn(account, name="account")
+    return lambda: state["balance"]
+
+
+_BECOME_PROTOCOL = Protocol("account", "DEPOSIT* -> CLOSE",
+                            parties=("account",))
+
+
+# ---------------------------------------------------------------------------
+# Torres Lopez taxonomy: pipelined requests break reply matching
+# (at-most-one-outstanding)
+# ---------------------------------------------------------------------------
+
+def _pipeline_buggy(sched: Scheduler):
+    server_mb = Mailbox("server", policy=DeliveryPolicy.ARBITRARY)
+    client_mb = Mailbox("client", policy=DeliveryPolicy.FIFO)
+    state = {"replies": []}
+
+    def server():
+        for _ in range(2):
+            msg = yield Receive(server_mb)
+            yield Send(client_mb, ("reply", msg[1]))
+
+    def client():
+        # BUG: both requests in flight at once — the server's mailbox
+        # may deliver them in either order, and the client matches
+        # replies to requests positionally
+        yield Send(server_mb, ("req", 1))
+        yield Send(server_mb, ("req", 2))
+        for _ in range(2):
+            msg = yield Receive(client_mb)
+            state["replies"].append(msg[1])
+    sched.spawn(client, name="client")
+    sched.spawn(server, name="server")
+    return lambda: tuple(state["replies"])
+
+
+def _pipeline_fixed(sched: Scheduler):
+    server_mb = Mailbox("server", policy=DeliveryPolicy.ARBITRARY)
+    client_mb = Mailbox("client", policy=DeliveryPolicy.FIFO)
+    state = {"replies": []}
+
+    def server():
+        for _ in range(2):
+            msg = yield Receive(server_mb)
+            yield Send(client_mb, ("reply", msg[1]))
+
+    def client():
+        # at most one outstanding request: wait for each reply
+        for n in (1, 2):
+            yield Send(server_mb, ("req", n))
+            msg = yield Receive(client_mb)
+            state["replies"].append(msg[1])
+    sched.spawn(client, name="client")
+    sched.spawn(server, name="server")
+    return lambda: tuple(state["replies"])
+
+
+_PIPELINE_PROTOCOL = Protocol(
+    "lockstep", "(REQ -> REPLY)*", parties=("server", "client"))
+
+
+# ---------------------------------------------------------------------------
+# Torres Lopez taxonomy: broken turn-taking
+# ---------------------------------------------------------------------------
+
+def _turn_buggy(sched: Scheduler):
+    merge_mb = Mailbox("merge", policy=DeliveryPolicy.FIFO)
+    state = {"order": []}
+
+    def speaker(token):
+        for _ in range(2):
+            # BUG: no turn discipline — both sides deposit whenever
+            # they are scheduled, so the merged stream can stutter
+            yield Send(merge_mb, (token,))
+
+    def listener():
+        for _ in range(4):
+            msg = yield Receive(merge_mb)
+            state["order"].append(msg[0])
+    sched.spawn(speaker, "ping", name="pinger")
+    sched.spawn(speaker, "pong", name="ponger")
+    sched.spawn(listener, name="listener")
+    return lambda: tuple(state["order"])
+
+
+def _turn_fixed(sched: Scheduler):
+    merge_mb = Mailbox("merge", policy=DeliveryPolicy.FIFO)
+    go_ping = Mailbox("go-ping", policy=DeliveryPolicy.FIFO)
+    go_pong = Mailbox("go-pong", policy=DeliveryPolicy.FIFO)
+    state = {"order": []}
+
+    def pinger():
+        for _ in range(2):
+            yield Send(merge_mb, ("ping",))
+            yield Send(go_pong, ("go",))
+            yield Receive(go_ping)
+
+    def ponger():
+        for _ in range(2):
+            yield Receive(go_pong)
+            yield Send(merge_mb, ("pong",))
+            yield Send(go_ping, ("go",))
+
+    def listener():
+        for _ in range(4):
+            msg = yield Receive(merge_mb)
+            state["order"].append(msg[0])
+    sched.spawn(pinger, name="pinger")
+    sched.spawn(ponger, name="ponger")
+    sched.spawn(listener, name="listener")
+    return lambda: tuple(state["order"])
+
+
+_TURN_PROTOCOL = Protocol("rally", "(PING -> PONG)*", parties=("merge",))
+
+
+def _stutters(order: tuple) -> bool:
+    return any(a == b for a, b in zip(order, order[1:]))
+
+
+# ---------------------------------------------------------------------------
 # the catalogue
 # ---------------------------------------------------------------------------
 
@@ -280,6 +670,103 @@ _GALLERY = (
         or any(audit is not None for audit, _ in res.observations()),
         hazards=("task-failure",),
     ),
+    BugSpec(
+        bug_id="msgorder-init-work",
+        category="message-order",
+        title="work request overtakes the init message",
+        story="Torres Lopez message-order violation: the booter's INIT "
+              "and a client's WORK race to the worker's mailbox; a "
+              "WORK delivered first computes with missing "
+              "configuration.  The fix is selective receive.",
+        buggy=_msgorder_buggy, fixed=_msgorder_fixed,
+        manifests=lambda res: any(None in obs
+                                  for obs in res.observations()),
+        hazards=("protocol-violation",),
+        protocol=_MSGORDER_PROTOCOL,
+    ),
+    BugSpec(
+        bug_id="interleave-transaction",
+        category="message-interleaving",
+        title="two BEGIN/ADD/COMMIT sessions interleave",
+        story="Torres Lopez bad message interleaving: each client's "
+              "session is correct in isolation, but a second BEGIN "
+              "arriving mid-session resets the accumulator and a "
+              "commit books the other session's total.  The fix "
+              "serializes whole sessions.",
+        buggy=_txn_buggy, fixed=_txn_fixed,
+        manifests=lambda res: any(obs != (1, 2)
+                                  for obs in res.observations()),
+        hazards=("protocol-violation",),
+        protocol=_TXN_PROTOCOL,
+    ),
+    BugSpec(
+        bug_id="interleave-rmw",
+        category="message-interleaving",
+        title="message-level read-modify-write loses an update",
+        story="Torres Lopez bad message interleaving, lost-update "
+              "shape: GET and PUT are separate messages, so two "
+              "increments can read the same value and both write "
+              "value+1.  The fix makes the increment one message.",
+        buggy=_rmw_buggy, fixed=_rmw_fixed,
+        manifests=lambda res: any(obs < 2 for obs in res.observations()),
+        hazards=("protocol-violation",),
+        protocol=_RMW_PROTOCOL,
+    ),
+    BugSpec(
+        bug_id="memory-in-message",
+        category="memory-in-message",
+        title="mutable object escapes through a message",
+        story="Torres Lopez memory-in-message race: the producer keeps "
+              "mutating the dict it already sent, so what the consumer "
+              "reads depends on the schedule.  The fix sends a "
+              "snapshot across the boundary.",
+        buggy=_mim_buggy, fixed=_mim_fixed,
+        manifests=lambda res: len(res.observations()) > 1,
+        hazards=("data-race",),
+    ),
+    BugSpec(
+        bug_id="become-closed-account",
+        category="behavior",
+        title="deposit delivered after the account became closed",
+        story="Torres Lopez behavior mismatch: the CLOSE message "
+              "switches the account to its closed behavior, and a "
+              "deposit racing with it is silently dropped — money "
+              "sent, never booked.  The fix sequences the close "
+              "behind the deposit on one sender.",
+        buggy=_become_buggy, fixed=_become_fixed,
+        manifests=lambda res: any(obs == 0 for obs in res.observations()),
+        hazards=("protocol-violation",),
+        protocol=_BECOME_PROTOCOL,
+    ),
+    BugSpec(
+        bug_id="pipeline-outstanding",
+        category="message-order",
+        title="pipelined requests break positional reply matching",
+        story="Torres Lopez message-order violation, request/reply "
+              "shape: with two requests in flight the server may "
+              "serve them in either order, and the client matches "
+              "replies to requests positionally.  The fix keeps at "
+              "most one request outstanding.",
+        buggy=_pipeline_buggy, fixed=_pipeline_fixed,
+        manifests=lambda res: any(obs != (1, 2)
+                                  for obs in res.observations()),
+        hazards=("protocol-violation",),
+        protocol=_PIPELINE_PROTOCOL,
+    ),
+    BugSpec(
+        bug_id="turntaking-pingpong",
+        category="message-interleaving",
+        title="rally without a turn token stutters",
+        story="Torres Lopez bad message interleaving, turn-taking "
+              "shape: both speakers deposit whenever scheduled, so "
+              "the merged stream can show the same side twice in a "
+              "row.  The fix passes an explicit turn token.",
+        buggy=_turn_buggy, fixed=_turn_fixed,
+        manifests=lambda res: any(_stutters(obs)
+                                  for obs in res.observations()),
+        hazards=("protocol-violation",),
+        protocol=_TURN_PROTOCOL,
+    ),
 )
 
 BUG_IDS = tuple(spec.bug_id for spec in _GALLERY)
@@ -325,10 +812,15 @@ def detect_bug(spec: BugSpec, max_runs: int = 30_000,
     regression fixture: every specimen must be flagged by at least one
     shipped detector.
     """
+    monitors: Any = True
+    if spec.protocol is not None:
+        # fresh bus per run: default detectors + this entry's
+        # conformance spec, each run starting from the initial state
+        monitors = lambda: protocol_bus([spec.protocol])  # noqa: E731
     buggy = explore(spec.buggy, max_runs=max_runs, reduce=reduce,
-                    monitors=True)
+                    monitors=monitors)
     fixed = explore(spec.fixed, max_runs=max_runs, reduce=reduce,
-                    monitors=True)
+                    monitors=monitors)
     buggy_kinds = {hz.kind for hz in buggy.hazards}
     fixed_serious = {hz.kind for hz in fixed.hazards
                      if hz.severity in ("error", "warning")}

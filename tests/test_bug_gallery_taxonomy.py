@@ -1,0 +1,103 @@
+"""The grown bug gallery as a taxonomy corpus.
+
+The gallery doubles as course material (§IV.C's bug-study homework)
+and as the monitors' regression corpus.  This module pins the corpus
+shape after the Torres Lopez growth: both taxonomies covered, every
+message-protocol specimen carrying the session type that flags it
+online, every specimen addressable as a ``bug:<id>`` kernel program,
+and the protocol machinery agreeing with each entry's hand-written
+``manifests`` predicate on at least one witness.
+
+Per-entry detection (``detect_bug`` buggy-flagged / fixed-clean) runs
+in ``test_obs_monitors.py``; reduction soundness over the gallery in
+``test_verify_reductions_equiv.py``.
+"""
+
+import pytest
+
+from repro.obs import protocol_bus
+from repro.problems import kernel_program, kernel_program_names
+from repro.problems.bug_gallery import BUG_IDS, gallery
+from repro.verify import explore
+
+#: Lu et al. (shared memory) + Torres Lopez et al. (actors)
+LU_CATEGORIES = {"atomicity", "order", "deadlock", "liveness", "safety"}
+TORRES_LOPEZ_CATEGORIES = {"message-order", "message-interleaving",
+                           "memory-in-message", "behavior"}
+
+
+class TestCorpusShape:
+    def test_both_taxonomies_are_covered(self):
+        categories = {s.category for s in gallery()}
+        assert categories >= LU_CATEGORIES
+        assert categories >= TORRES_LOPEZ_CATEGORIES
+
+    def test_the_corpus_grew_to_twelve_specimens(self):
+        assert len(gallery()) == 12
+        assert len(set(BUG_IDS)) == 12
+
+    def test_actor_specimens_outnumber_the_seed(self):
+        actor = [s for s in gallery()
+                 if s.category in TORRES_LOPEZ_CATEGORIES]
+        assert len(actor) >= 7
+
+    def test_every_specimen_tells_its_story(self):
+        for s in gallery():
+            assert s.title and s.story, s.bug_id
+            assert s.buggy is not s.fixed, s.bug_id
+            assert s.hazards, s.bug_id
+
+    def test_message_protocol_specimens_carry_their_session_type(self):
+        for s in gallery():
+            if "protocol-violation" in s.hazards:
+                assert s.protocol is not None, s.bug_id
+                d = s.protocol.describe()
+                assert d["alphabet"], s.bug_id
+                assert d["at"] in ("deliver", "send"), s.bug_id
+                # the spec is bound to the conversation it governs
+                assert d["parties"], s.bug_id
+            else:
+                assert s.protocol is None, s.bug_id
+
+
+class TestKernelProgramRegistry:
+    def test_every_specimen_is_addressable_by_name(self):
+        names = kernel_program_names()
+        for bug_id in BUG_IDS:
+            assert f"bug:{bug_id}" in names
+
+    def test_bug_names_resolve_to_the_buggy_variant(self):
+        spec = next(s for s in gallery()
+                    if s.bug_id == "msgorder-init-work")
+        assert kernel_program("bug:msgorder-init-work") is spec.buggy
+
+    def test_bug_names_reject_kwargs_and_unknown_ids(self):
+        with pytest.raises(TypeError):
+            kernel_program("bug:msgorder-init-work", n=3)
+        with pytest.raises(KeyError):
+            kernel_program("bug:no-such-specimen")
+
+
+class TestProtocolWitnesses:
+    """The session type and the hand-written bug predicate agree."""
+
+    @pytest.mark.parametrize(
+        "spec", [s for s in gallery() if s.protocol is not None],
+        ids=lambda s: s.bug_id)
+    def test_monitored_witness_runs_also_manifest_the_bug(self, spec):
+        res = explore(spec.buggy, reduce="all",
+                      monitors=lambda: protocol_bus([spec.protocol]))
+        assert res.complete, spec.bug_id
+        assert any(h.kind == "protocol-violation" for h in res.hazards)
+        assert spec.manifests(res), spec.bug_id
+
+    @pytest.mark.parametrize(
+        "spec", [s for s in gallery() if s.protocol is not None],
+        ids=lambda s: s.bug_id)
+    def test_fixed_twin_conforms_silently(self, spec):
+        res = explore(spec.fixed, reduce="all",
+                      monitors=lambda: protocol_bus([spec.protocol]))
+        assert res.complete, spec.bug_id
+        assert not [h for h in res.hazards
+                    if h.severity in ("error", "warning")], spec.bug_id
+        assert not spec.manifests(res), spec.bug_id
