@@ -1,0 +1,124 @@
+"""Simulation-harness benchmarks — schedules/sec and reduction ratio.
+
+Three measurements, written to ``BENCH_sim.json`` next to this file so
+the numbers can be compared across PRs (same gating pattern as
+``BENCH_explorer.json``):
+
+* ``tiny_complete`` — a minimal 2-node world whose schedule space the
+  DFS enumerates to completion: the end-to-end cost of total coverage;
+* ``eviction_reduction`` — a bounded exploration of the eviction
+  scenario naively vs with the fingerprint reduction: the reduction
+  ratio (runs cut short because they reconverged to an
+  already-expanded world state) is the headline number;
+* ``seeded_run`` — one seeded random schedule of the 3-node
+  crash/rejoin world: the `repro sim run` hot path.
+
+Every measurement also asserts the determinism contract (two explores
+⇒ identical runs/decisions/terminals) and that fixed code raises no
+hazards — a perf tracker that also guards the monitors' signal.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.sim import SimWorld, explore_world, run_world
+from repro.sim.scenarios import SCENARIOS, Sink
+from repro.sim.world import sim_config
+
+_RESULTS: dict = {}
+
+
+def _timed_explore(factory, **kw):
+    t0 = time.perf_counter()
+    res = explore_world(factory, **kw)
+    return res, time.perf_counter() - t0
+
+
+def _record(name: str, label: str, res, seconds: float) -> None:
+    _RESULTS.setdefault(name, {})[label] = {
+        "runs": res.runs,
+        "decisions": res.decisions,
+        "pruned_runs": res.pruned_runs,
+        "complete": res.complete,
+        "terminals": len(res.terminals),
+        "schedules_per_sec": round(res.runs / seconds, 1)
+        if seconds else 0.0,
+        "reduction_ratio": round(res.pruned_runs / res.runs, 4)
+        if res.runs else 0.0,
+        "wall_seconds": round(seconds, 4),
+        "stats": res.stats.as_dict(),
+    }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_bench_json():
+    """Dump everything the module measured once all benchmarks ran."""
+    yield
+    out = Path(__file__).parent / "BENCH_sim.json"
+    out.write_text(json.dumps(_RESULTS, indent=2, sort_keys=True) + "\n")
+
+
+def _tiny(bus):
+    """Two nodes, two messages, no timer deadlines inside the horizon:
+    small enough that naive DFS completes the whole schedule space."""
+    cfg = sim_config(heartbeat_interval=60.0, suspect_after=120.0,
+                     down_after=240.0, retry_timeout=4.0)
+    w = SimWorld(("a", "b"), config=cfg, bus=bus, horizon=3.0)
+    w.connect_all()
+    w.spawn("b", Sink, name="sink")
+    w.send("a", "b/sink", "t1", "t2", label="client")
+    return w
+
+
+def test_bench_tiny_world_complete_enumeration(benchmark):
+    res, seconds = benchmark.pedantic(
+        lambda: _timed_explore(_tiny, budget=200, max_runs=100_000),
+        rounds=1, iterations=1)
+    _record("tiny_complete", "fingerprint", res, seconds)
+    assert res.complete, "the tiny world must be fully enumerable"
+    assert not res.hazards
+    again, _ = _timed_explore(_tiny, budget=200, max_runs=100_000)
+    assert (res.runs, res.decisions) == (again.runs, again.decisions)
+    assert set(res.terminals) == set(again.terminals)
+
+
+def test_bench_eviction_reduction_ratio(benchmark):
+    sc = SCENARIOS["eviction"]
+    naive, naive_s = _timed_explore(sc.factory(0), budget=sc.budget,
+                                    max_runs=600, reduce=())
+    reduced, reduced_s = benchmark.pedantic(
+        lambda: _timed_explore(sc.factory(0), budget=sc.budget,
+                               max_runs=600),
+        rounds=1, iterations=1)
+    _record("eviction_reduction", "naive", naive, naive_s)
+    _record("eviction_reduction", "fingerprint", reduced, reduced_s)
+    assert naive.pruned_runs == 0
+    assert reduced.pruned_runs > 0, \
+        "fingerprint reduction must prune reconverged cluster schedules"
+    assert not naive.hazards and not reduced.hazards
+    assert set(reduced.terminals) == set(naive.terminals)
+
+
+def test_bench_seeded_crash_rejoin_run(benchmark):
+    sc = SCENARIOS["crash_rejoin"]
+
+    def one_run():
+        t0 = time.perf_counter()
+        run = run_world(sc.factory(0), seed=0, budget=sc.budget)
+        return run, time.perf_counter() - t0
+
+    run, seconds = benchmark.pedantic(one_run, rounds=1, iterations=1)
+    _RESULTS.setdefault("seeded_run", {})["crash_rejoin"] = {
+        "decisions": run.world.decisions,
+        "outcome": run.outcome,
+        "digest": run.digest(),
+        "decisions_per_sec": round(run.world.decisions / seconds, 1)
+        if seconds else 0.0,
+        "wall_seconds": round(seconds, 4),
+    }
+    assert run.hazards == []
+    assert run.digest() == run_world(sc.factory(0), seed=0,
+                                     budget=sc.budget).digest()

@@ -1086,6 +1086,9 @@ def main(argv: list[str] | None = None) -> int:
     from .cluster.cli import add_cluster_commands
     add_cluster_commands(sub)
 
+    from .sim.cli import add_sim_commands
+    add_sim_commands(sub)
+
     p_top = sub.add_parser(
         "top", help="live cluster dashboard from the telemetry plane "
                     "(per-node throughput, mailbox depth, stalls, p95 "

@@ -25,7 +25,8 @@ contract plus credit-based backpressure:
 from __future__ import annotations
 
 import threading
-from typing import Any, Optional
+import time
+from typing import Any, Callable, Optional
 
 __all__ = ["Outbox", "DedupTable", "CreditGate", "RetryPolicy"]
 
@@ -201,13 +202,17 @@ class CreditGate:
     :meth:`acquire` (observability + the saturation detector).
     """
 
-    def __init__(self, window: int):
+    def __init__(self, window: int,
+                 clock: Optional[Callable[[], float]] = None):
         if window < 1:
             raise ValueError("credit window must be >= 1")
         self.window = window
         self._available = window
         self._cond = threading.Condition()
         self._broken: Optional[str] = None
+        # timeout deadlines come off this clock, so a node running on a
+        # simulated clock times out on simulated time
+        self._clock = clock if clock is not None else time.monotonic
         self.parked = 0
         self.total_parks = 0
 
@@ -215,21 +220,30 @@ class CreditGate:
         """Take one credit; blocks (parks) while none are available.
 
         Returns False if the gate broke or the timeout expired — the
-        caller dead-letters instead of sending.
+        caller dead-letters instead of sending.  A ``timeout`` of 0
+        never parks: it fails immediately when no credit is available
+        (the simulator's fail-fast mode).
         """
         with self._cond:
             if self._available > 0 and self._broken is None:
                 self._available -= 1
                 return True
+            deadline = None if timeout is None \
+                else self._clock() + timeout
             self.parked += 1
             self.total_parks += 1
             try:
-                granted = self._cond.wait_for(
-                    lambda: self._available > 0 or self._broken is not None,
-                    timeout=timeout)
+                while self._available <= 0 and self._broken is None:
+                    if deadline is None:
+                        self._cond.wait()
+                        continue
+                    remaining = deadline - self._clock()
+                    if remaining <= 0:
+                        return False
+                    self._cond.wait(remaining)
             finally:
                 self.parked -= 1
-            if not granted or self._broken is not None:
+            if self._broken is not None:
                 return False
             self._available -= 1
             return True

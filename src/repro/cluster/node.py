@@ -282,7 +282,8 @@ class ClusterNode:
                  monitors: Optional[Any] = None,
                  trace: bool = False,
                  timer: bool = True,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 wall: Optional[Callable[[], float]] = None):
         self.name = name
         self.transport = transport
         self.serializer = serializer if serializer is not None \
@@ -300,6 +301,14 @@ class ClusterNode:
         self.tracer = tracer
         self.monitors = monitors
         self.clock = clock
+        #: wall-time source stamped on events/flight records.  Defaults
+        #: to real time; the simulator injects its virtual clock so a
+        #: replayed run's trace exports are byte-comparable.
+        self.wall = wall if wall is not None else time.time
+        #: sleep seam for the timer loop and busy-wait drains — the
+        #: simulator never starts those threads, but the seam keeps
+        #: every blocking wait injectable alongside ``clock``
+        self._sleep: Callable[[float], None] = time.sleep
         self.closed = False
 
         # local actor registry: actor name -> local ref
@@ -666,7 +675,11 @@ class ClusterNode:
             self.monitors.publish(hz)
 
     def _proto_flush(self, timeout: float = 5.0) -> bool:
-        """Wait for the conformance pump to catch up (tests, drain)."""
+        """Wait for the conformance pump to catch up (tests, drain).
+
+        The pump is a real daemon thread, so the bound is wall time —
+        a frozen test ``clock`` must not turn this into a busy spin.
+        """
         if not self._proto_fast:
             return True
         self._proto_wake.set()
@@ -674,7 +687,7 @@ class ClusterNode:
         while self._proto_q:
             if time.monotonic() >= deadline:
                 return False
-            time.sleep(0.001)
+            self._sleep(0.001)
         return True
 
     def _count_local_fastpath(self, actor: str,
@@ -930,7 +943,7 @@ class ClusterNode:
             gate = self._gates.get(path)
             if gate is None:
                 gate = self._gates[path] = \
-                    CreditGate(self.config.credit_window)
+                    CreditGate(self.config.credit_window, clock=self.clock)
             return gate
 
     def _owe_ack(self, origin: str) -> None:
@@ -1408,7 +1421,7 @@ class ClusterNode:
 
     def _timer_loop(self) -> None:
         while not self.closed:
-            time.sleep(self.config.tick_interval)
+            self._sleep(self.config.tick_interval)
             try:
                 self.tick()
             except Exception:
@@ -1480,7 +1493,7 @@ class ClusterNode:
             rec = tele.recorder
             rec._n += 1
             rec._dq.append((kind, actor, peer, msg_seq, recv_seq,
-                            time.time(), extra))
+                            self.wall(), extra))
         if self.trace_events is None and self.monitors is None:
             return
         from .observe import ClusterEvent
@@ -1488,7 +1501,7 @@ class ClusterNode:
             self._step += 1
             event = ClusterEvent(kind=kind, node=self.name, actor=actor,
                                  peer=peer, step=self._step,
-                                 ts=time.time(), msg_seq=msg_seq,
+                                 ts=self.wall(), msg_seq=msg_seq,
                                  recv_seq=recv_seq, extra=extra or {})
             if self.trace_events is not None:
                 self.trace_events.append(event)
@@ -1500,7 +1513,13 @@ class ClusterNode:
 
     def drain(self, timeout: float = 10.0) -> bool:
         """Local quiescence: every local mailbox empty, no staged remote
-        messages, nothing running."""
+        messages, nothing running.
+
+        ``timeout`` bounds a poll over *real* dispatcher threads, so it
+        is measured on wall monotonic time — unlike retry/heartbeat
+        deadlines it must keep expiring when ``clock`` is a frozen test
+        clock (the simulator steps nodes directly and never drains).
+        """
         deadline = time.monotonic() + timeout
         while True:
             with self._state_lock:
@@ -1514,7 +1533,7 @@ class ClusterNode:
             if time.monotonic() >= deadline:
                 return False
             self.pump()
-            time.sleep(0.001)
+            self._sleep(0.001)
 
     def close(self) -> None:
         if self.closed:

@@ -29,6 +29,7 @@ side dialed.
 
 from __future__ import annotations
 
+import random
 import socket
 import struct
 import threading
@@ -94,16 +95,31 @@ class LoopbackHub:
       twice (exercises receiver dedup);
     * ``partition(a, b)`` / ``heal(a, b)`` — drop everything both ways;
     * ``cut(node)`` / ``restore(node)`` — isolate a node entirely (the
-      loopback spelling of "the process died").
+      loopback spelling of "the process died");
+    * ``chaos(src, dst, drop=p, dup=q)`` — probabilistic per-frame
+      faults on a link (``None`` wildcards either end), drawn from the
+      hub's own seeded RNG so a failing chaos run replays exactly from
+      its seed (``repro sim replay --seed``).
+
+    Every random decision the hub ever makes comes from ``Random(seed)``
+    — a hub with no chaos rules draws nothing, so seedless use stays
+    bit-for-bit identical to the pre-chaos behavior.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, seed: Optional[int] = None) -> None:
         self._nodes: dict[str, LoopbackTransport] = {}
         self._lock = threading.Lock()
         self._drops: dict[tuple[str, str], int] = {}
         self._dups: dict[tuple[str, str], int] = {}
         self._partitions: set[frozenset] = set()
         self._cut: set[str] = set()
+        #: seed of the fault RNG — surfaced in failure output so a
+        #: chaos run is replayable
+        self.seed = seed
+        self._rng = random.Random(seed)
+        # (src|None, dst|None) -> (drop_rate, dup_rate)
+        self._chaos: dict[tuple[Optional[str], Optional[str]],
+                          tuple[float, float]] = {}
         #: delivered frame count per (src, dst) link
         self.delivered: dict[tuple[str, str], int] = {}
         #: dropped frame count per (src, dst) link (faults only)
@@ -142,30 +158,71 @@ class LoopbackHub:
         with self._lock:
             self._cut.discard(node)
 
-    # -- routing -------------------------------------------------------------
-    def _route(self, src: str, dst: str, frame: bytes) -> bool:
+    def chaos(self, src: Optional[str] = None, dst: Optional[str] = None,
+              drop: float = 0.0, dup: float = 0.0) -> None:
+        """Probabilistic per-frame faults on a link (seeded RNG).
+
+        ``None`` on either end wildcards it; the most specific rule
+        wins — ``(src, dst)`` over ``(src, None)`` over ``(None, dst)``
+        over ``(None, None)``.  Rates of 0/0 clear the rule.
+        """
         with self._lock:
-            target = self._nodes.get(dst)
-            if target is None:
-                return False
+            if drop <= 0.0 and dup <= 0.0:
+                self._chaos.pop((src, dst), None)
+            else:
+                self._chaos[(src, dst)] = (drop, dup)
+
+    # -- routing -------------------------------------------------------------
+    def _admit(self, src: str, dst: str, frame: bytes) -> int:
+        """Fault bookkeeping for one frame, under the hub lock.
+
+        Returns the number of copies to deliver: 0 when a fault ate the
+        frame, -1 when the destination is unknown.  Shared between the
+        live ``_route`` below and the simulator's deferred-delivery
+        hub, so both see identical fault semantics.
+        """
+        with self._lock:
+            if dst not in self._nodes:
+                return -1
             if src in self._cut or dst in self._cut \
                     or frozenset((src, dst)) in self._partitions:
                 self.dropped[(src, dst)] = \
                     self.dropped.get((src, dst), 0) + 1
-                return True      # link exists; the frame just vanishes
+                return 0         # link exists; the frame just vanishes
             pending_drops = self._drops.get((src, dst), 0)
             if pending_drops > 0:
                 self._drops[(src, dst)] = pending_drops - 1
                 self.dropped[(src, dst)] = \
                     self.dropped.get((src, dst), 0) + 1
-                return True
+                return 0
             copies = 1
             pending_dups = self._dups.get((src, dst), 0)
             if pending_dups > 0:
                 self._dups[(src, dst)] = pending_dups - 1
                 copies = 2
+            if self._chaos:
+                rates = (self._chaos.get((src, dst))
+                         or self._chaos.get((src, None))
+                         or self._chaos.get((None, dst))
+                         or self._chaos.get((None, None)))
+                if rates is not None:
+                    drop_rate, dup_rate = rates
+                    if drop_rate > 0.0 \
+                            and self._rng.random() < drop_rate:
+                        self.dropped[(src, dst)] = \
+                            self.dropped.get((src, dst), 0) + 1
+                        return 0
+                    if dup_rate > 0.0 and self._rng.random() < dup_rate:
+                        copies += 1
             self.delivered[(src, dst)] = \
                 self.delivered.get((src, dst), 0) + copies
+            return copies
+
+    def _route(self, src: str, dst: str, frame: bytes) -> bool:
+        copies = self._admit(src, dst, frame)
+        if copies < 0:
+            return False
+        target = self._nodes[dst]
         for _ in range(copies):
             target._deliver(frame)
         return True

@@ -738,7 +738,13 @@ class Scheduler:
              if isinstance(t.pending_value, Task) else repr(t.pending_value),
              repr(t.choice_options) if t.choice_options is not None else None,
              t.sleep_ticks,
-             getattr(t, "_inputs", ()))
+             # a task may declare its locals fully captured by
+             # fingerprint_extra (e.g. a simulation driver whose only
+             # state is the world object): its input history then stops
+             # blocking reconvergence, which is what lets the
+             # fingerprint reduction prune single-driver programs
+             getattr(t, "_inputs", ())
+             if getattr(t, "fingerprint_inputs", True) else ())
             for t in self.tasks)
         objects_part = tuple(
             obj.state_key(ltid) if hasattr(obj, "state_key") else repr(obj)

@@ -1,0 +1,32 @@
+"""repro.sim — deterministic simulation testing of the cluster protocols.
+
+FoundationDB-style DST for :mod:`repro.cluster`: several
+:class:`~repro.cluster.node.ClusterNode`\\ s run in one process on a
+shared virtual clock over a deferred-delivery loopback hub, with every
+source of nondeterminism — frame delivery order, retry backoff firing,
+heartbeat ticks, crash/recover timing, drop/dup faults — turned into a
+schedulable decision.  The whole multi-node world is exposed as a
+kernel-style program, so the existing :func:`repro.verify.explore`
+(DFS + state-fingerprint reduction) enumerates cluster schedules
+exactly as it enumerates thread interleavings, and the hazard /
+protocol-conformance monitors ride along on every run.
+
+Entry points:
+
+* :class:`SimWorld` — the steppable world (nodes, hub, clock, script);
+* :func:`world_program` — wrap a world factory as an explorable program;
+* :func:`explore_world` / :func:`run_world` — exhaustive DFS or one
+  seeded random schedule;
+* :mod:`repro.sim.scenarios` — the canned small worlds, including the
+  PR-5 regression fixtures.
+"""
+
+from .clock import SimClock
+from .inline import InlineActorSystem
+from .world import (SimHub, SimWorld, explore_world, run_world,
+                    world_program)
+
+__all__ = [
+    "SimClock", "InlineActorSystem", "SimHub", "SimWorld",
+    "world_program", "explore_world", "run_world",
+]

@@ -1,0 +1,189 @@
+"""``repro sim`` — drive deterministic cluster simulations from the CLI.
+
+Subcommands:
+
+* ``repro sim list`` — the scenario registry (and what each one pins);
+* ``repro sim run`` — one seeded random schedule; exits non-zero and
+  prints the replaying command when a monitor fires;
+* ``repro sim explore`` — budgeted DFS over a scenario's schedules;
+  writes the witness schedule of a hazard-bearing terminal to
+  ``--witness`` so CI failures ship their repro;
+* ``repro sim replay`` — re-run a seed (optionally pinned to a witness
+  schedule file) and print the run digest; two replays of the same
+  seed print the same digest, byte for byte.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from .scenarios import SCENARIOS, get
+from .world import explore_world, run_world
+
+__all__ = ["add_sim_commands"]
+
+
+def _scenario_flags(sp: argparse.ArgumentParser) -> None:
+    sp.add_argument("--scenario", required=True,
+                    choices=sorted(SCENARIOS),
+                    help="world recipe from the scenario registry")
+    sp.add_argument("--budget", type=int, default=None,
+                    help="max decisions per run "
+                         "(default: the scenario's own budget)")
+
+
+def _cmd_sim_list(args: argparse.Namespace) -> int:
+    if args.json:
+        rows = [{"name": s.name, "title": s.title, "budget": s.budget,
+                 "pins": list(s.pins)}
+                for s in SCENARIOS.values()]
+        print(json.dumps(rows, indent=2))
+        return 0
+    width = max(len(n) for n in SCENARIOS)
+    for name in sorted(SCENARIOS):
+        s = SCENARIOS[name]
+        pins = f"  [pins {', '.join(s.pins)}]" if s.pins else ""
+        print(f"{name:<{width}}  {s.title}{pins}")
+    return 0
+
+
+def _print_hazards(hazards: list) -> None:
+    for hz in hazards:
+        print(f"  {hz.describe()}", file=sys.stderr)
+
+
+def _cmd_sim_run(args: argparse.Namespace) -> int:
+    sc = get(args.scenario)
+    budget = args.budget or sc.budget
+    run = run_world(sc.factory(args.seed), seed=args.seed, budget=budget)
+    payload: dict[str, Any] = {
+        "scenario": sc.name, "seed": args.seed, "outcome": run.outcome,
+        "decisions": run.world.decisions, "digest": run.digest(),
+        "hazards": [hz.describe() for hz in run.hazards],
+        "quiescent": run.world.quiescent(),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"{sc.name}: seed={args.seed} outcome={run.outcome} "
+              f"decisions={run.world.decisions} digest={run.digest()}")
+    if run.hazards:
+        _print_hazards(run.hazards)
+        print(f"replay: repro sim replay --scenario {sc.name} "
+              f"--seed {args.seed}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_sim_explore(args: argparse.Namespace) -> int:
+    sc = get(args.scenario)
+    budget = args.budget or sc.budget
+    res = explore_world(sc.factory(args.seed), budget=budget,
+                        max_runs=args.runs)
+    payload: dict[str, Any] = {
+        "scenario": sc.name, "seed": args.seed, "runs": res.runs,
+        "complete": res.complete, "decisions": res.decisions,
+        "pruned_runs": res.pruned_runs,
+        "terminals": len(res.terminals),
+        "hazards": [hz.describe() for hz in res.hazards],
+        "hazard_counts": res.hazard_counts(),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"{sc.name}: {res.summary()}")
+        print(f"  decisions={res.decisions} pruned={res.pruned_runs}")
+    if not res.hazards:
+        return 0
+    _print_hazards(res.hazards)
+    # ship the repro: the recorded schedule of the first terminal whose
+    # observation carries a hazard kind replays the exact decision path
+    if args.witness:
+        for key, trace in res.witnesses.items():
+            obs = key[1]
+            if isinstance(obs, tuple) and obs and obs[0]:
+                with open(args.witness, "w") as fh:
+                    json.dump({"scenario": sc.name, "seed": args.seed,
+                               "schedule": trace.schedule()}, fh)
+                print(f"witness schedule -> {args.witness}",
+                      file=sys.stderr)
+                break
+    return 1
+
+
+def _cmd_sim_replay(args: argparse.Namespace) -> int:
+    schedule = None
+    scenario, seed = args.scenario, args.seed
+    if args.witness:
+        try:
+            with open(args.witness) as fh:
+                saved = json.load(fh)
+        except OSError as exc:
+            print(f"cannot read witness file: {exc}", file=sys.stderr)
+            return 2
+        schedule = saved.get("schedule")
+        scenario = saved.get("scenario", scenario)
+        seed = saved.get("seed", seed)
+    if scenario is None:
+        print("replay needs --scenario or a --witness file",
+              file=sys.stderr)
+        return 2
+    sc = get(scenario)
+    budget = args.budget or sc.budget
+    run = run_world(sc.factory(seed), seed=seed or 0, budget=budget,
+                    schedule=schedule)
+    print(f"{sc.name}: seed={seed} outcome={run.outcome} "
+          f"digest={run.digest()}")
+    for line in run.log:
+        print(f"  {line}")
+    if run.hazards:
+        _print_hazards(run.hazards)
+        return 1
+    return 0
+
+
+def add_sim_commands(sub: Any) -> None:
+    """Install the ``sim`` subcommand tree on the main CLI."""
+    p = sub.add_parser(
+        "sim", help="deterministic cluster simulation: run, explore and "
+                    "replay multi-node schedules on a virtual clock")
+    ssub = p.add_subparsers(dest="sim_command", required=True)
+
+    p_list = ssub.add_parser("list", help="available scenarios")
+    p_list.add_argument("--json", action="store_true")
+    p_list.set_defaults(fn=_cmd_sim_list)
+
+    p_run = ssub.add_parser(
+        "run", help="one seeded random schedule of a scenario")
+    _scenario_flags(p_run)
+    p_run.add_argument("--seed", type=int, default=0,
+                       help="schedule seed (same seed ⇒ same run)")
+    p_run.add_argument("--json", action="store_true")
+    p_run.set_defaults(fn=_cmd_sim_run)
+
+    p_exp = ssub.add_parser(
+        "explore", help="enumerate a scenario's schedules (DFS + "
+                        "fingerprint pruning)")
+    _scenario_flags(p_exp)
+    p_exp.add_argument("--runs", type=int, default=2000,
+                       help="exploration run budget")
+    p_exp.add_argument("--seed", type=int, default=None,
+                       help="fault-injection seed for the world's RNG")
+    p_exp.add_argument("--witness", default=None, metavar="FILE",
+                       help="on hazards, write a replayable witness "
+                            "schedule here")
+    p_exp.add_argument("--json", action="store_true")
+    p_exp.set_defaults(fn=_cmd_sim_explore)
+
+    p_rep = ssub.add_parser(
+        "replay", help="re-run a seed or a recorded witness schedule")
+    p_rep.add_argument("--scenario", choices=sorted(SCENARIOS),
+                       default=None)
+    p_rep.add_argument("--seed", type=int, default=None)
+    p_rep.add_argument("--budget", type=int, default=None)
+    p_rep.add_argument("--witness", default=None, metavar="FILE",
+                       help="witness schedule file from `sim explore`")
+    p_rep.set_defaults(fn=_cmd_sim_replay)

@@ -1,0 +1,233 @@
+"""Canned simulation worlds — including the PR-5 regression fixtures.
+
+Each :class:`Scenario` builds a small cluster world (2–3 nodes, tight
+protocol windows, a scripted fault) whose schedule space the explorer
+can cover within a CI budget.  ``pins`` names the hazard kinds the
+scenario exists to guard: on *fixed* code no schedule may raise them,
+and the mutation fixtures in ``tests/test_sim_explore.py`` prove that
+reverting the corresponding fix re-introduces a schedule that does —
+the monitor, not the fix, is what the assertion exercises.
+
+The fixed/mutated pairs pinned here (review fixes from the cluster
+reliability PR):
+
+========================  =======================================
+pin                       reverted fix
+========================  =======================================
+``sim-resync-stall``      ``DedupTable.skip_to`` (SKIP resync)
+``sim-credit-leak``       ``ClusterNode._abandon`` credit release
+``sim-recovery-loss``     DOWN→ALIVE credit-gate re-mint
+``sim-evict-leak``        ``ClusterNode._evict_peer``
+``sim-duplicate-delivery``  ``DedupTable.fresh``
+========================  =======================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..actors.actor import Actor
+from ..cluster.message import ACK
+from ..obs.monitors import MonitorBus
+from .world import SimWorld, sim_config
+
+__all__ = ["Scenario", "SCENARIOS", "Sink", "get"]
+
+
+class Sink(Actor):
+    """Accepts everything; the delivery ledger does the bookkeeping."""
+
+    def receive(self, message, sender):
+        pass
+
+
+class Scenario:
+    """A named, parameterless world recipe.
+
+    ``build(bus, seed)`` returns a fresh :class:`SimWorld`;
+    :meth:`factory` curries it into the one-argument factory the
+    explorer re-invokes per run.
+    """
+
+    def __init__(self, name: str, title: str,
+                 build: Callable[[Optional[MonitorBus], Optional[int]],
+                                 SimWorld],
+                 *, budget: int = 400, pins: tuple = ()):
+        self.name = name
+        self.title = title
+        self.build = build
+        self.budget = budget
+        #: hazard kinds this scenario regression-pins (never raised on
+        #: fixed code; raised by some schedule when the fix is reverted)
+        self.pins = pins
+
+    def factory(self, seed: Optional[int] = None):
+        return lambda bus: self.build(bus, seed)
+
+
+# ---------------------------------------------------------------------------
+# recipes
+# ---------------------------------------------------------------------------
+
+def _skip_resync(bus, seed):
+    """Lose one message forever; its SKIP must unblock the successors.
+
+    ``m1``'s every transmission is eaten, so the sender exhausts its
+    retries and advertises SKIP; ``m2``/``m3`` arrive out of order and
+    sit sparse until the receiver compacts over the hole.  With
+    ``DedupTable.skip_to`` reverted the sparse seqs outlive quiescence
+    → ``sim-resync-stall``.
+    """
+    w = SimWorld(("a", "b"), config=sim_config(), bus=bus, seed=seed,
+                 horizon=14.0)
+    w.connect_all()
+    w.spawn("b", Sink, name="sink")
+    w.send("a", "b/sink", "m1", "m2", "m3", label="client")
+    w.hub.drop_where("a", "b", lambda env: env.payload == "m1", count=8)
+    return w
+
+
+def _credit_return(bus, seed):
+    """Exhaust retries on a lossy link; abandoned TELLs must return
+    their credit.  With the ``_abandon`` release reverted the gate
+    settles short of its window → ``sim-credit-leak``."""
+    w = SimWorld(("a", "b"), config=sim_config(), bus=bus, seed=seed,
+                 horizon=12.0)
+    w.connect_all()
+    w.spawn("b", Sink, name="sink")
+    w.send("a", "b/sink", "c1", "c2", label="client")
+    w.hub.drop_where("a", "b",
+                     lambda env: env.payload in ("c1", "c2"), count=8)
+    return w
+
+
+def _recovery_remint(bus, seed):
+    """Crash a peer long enough to be marked DOWN, then bring it back.
+
+    Asymmetric detectors: ``a`` gives up on ``b`` after 4s of silence,
+    ``b`` tolerates 30s — so when ``b`` rejoins it still heartbeats
+    ``a`` and the DOWN→ALIVE transition happens.  The post-recovery
+    send must mint a fresh credit gate; with the ``_heard_from`` gate
+    re-mint reverted it hits the gate broken at down-time and
+    dead-letters against a peer the detector says is ALIVE →
+    ``sim-recovery-loss``.
+    """
+    cfg_a = sim_config(suspect_after=2.0, down_after=4.0,
+                       evict_after=40.0)
+    cfg_b = sim_config(suspect_after=25.0, down_after=30.0,
+                       evict_after=40.0)
+    w = SimWorld(("a", "b"), config={"a": cfg_a, "b": cfg_b}, bus=bus,
+                 seed=seed, horizon=30.0)
+    w.connect_all()
+    w.spawn("b", Sink, name="sink")
+    w.send("a", "b/sink", "r1", label="first")
+    w.crash("b", after=("first",),
+            when=lambda w: w.ledger["r1"].delivered > 0
+            and not len(w.nodes["a"]._outboxes.get("b", ())))
+    w.recover("b", after=("crash-b",),
+              when=lambda w: w.nodes["a"].peer_state("b") == "down")
+    w.send("a", "b/sink", "r2", label="second", after=("recover-b",),
+           when=lambda w: w.nodes["a"].peer_state("b") == "alive")
+    return w
+
+
+def _eviction(bus, seed):
+    """A peer that stays DOWN past the eviction window must be
+    forgotten.  With ``_evict_peer`` reverted the corpse stays in the
+    peer table far past its due date → ``sim-evict-leak``."""
+    cfg_a = sim_config(heartbeat_interval=1.0, suspect_after=1.5,
+                       down_after=2.0, evict_after=3.0)
+    w = SimWorld(("a", "b"), config={"a": cfg_a, "b": sim_config()},
+                 bus=bus, seed=seed, horizon=12.0)
+    w.connect_all()
+    w.crash("b")
+    return w
+
+
+def _dup_delivery(bus, seed):
+    """Drop the first ACK so the sender retransmits a delivered
+    message; dedup must swallow the copy.  With ``DedupTable.fresh``
+    reverted every retransmission reaches the actor →
+    ``sim-duplicate-delivery``."""
+    w = SimWorld(("a", "b"), config=sim_config(), bus=bus, seed=seed,
+                 horizon=12.0)
+    w.connect_all()
+    w.spawn("b", Sink, name="sink")
+    w.send("a", "b/sink", "d1", "d2", label="client")
+    w.hub.drop_where("b", "a", lambda env: env.kind == ACK, count=1)
+    return w
+
+
+def _chaos(bus, seed):
+    """Seeded random loss on one link; the reliability layer must make
+    every outcome clean (delivered or dead-lettered, credits home).
+    Exists to prove fault injection is replayable: same seed ⇒ same
+    drops ⇒ same digest."""
+    w = SimWorld(("a", "b"), config=sim_config(max_attempts=3), bus=bus,
+                 seed=seed if seed is not None else 0, horizon=20.0)
+    w.connect_all()
+    w.spawn("b", Sink, name="sink")
+    w.hub.chaos(src="a", dst="b", drop=0.4, dup=0.1)
+    w.send("a", "b/sink", "k1", "k2", "k3", "k4", label="client")
+    return w
+
+
+def _crash_rejoin(bus, seed):
+    """The CI smoke world: three nodes, two client streams into one,
+    crash the server mid-traffic, rejoin, keep sending."""
+    cfg_client = sim_config(suspect_after=2.0, down_after=4.0,
+                            evict_after=40.0)
+    cfg_server = sim_config(suspect_after=25.0, down_after=30.0,
+                            evict_after=40.0)
+    w = SimWorld(("a", "b", "c"),
+                 config={"a": cfg_client, "b": cfg_client,
+                         "c": cfg_server},
+                 bus=bus, seed=seed, horizon=30.0)
+    w.connect_all()
+    w.spawn("c", Sink, name="sink")
+    w.send("a", "c/sink", "w1", label="first-a")
+    w.send("b", "c/sink", "w2", label="first-b")
+    w.crash("c", after=("first-a", "first-b"),
+            when=lambda w: w.ledger["w1"].delivered > 0
+            and w.ledger["w2"].delivered > 0
+            and not len(w.nodes["a"]._outboxes.get("c", ()))
+            and not len(w.nodes["b"]._outboxes.get("c", ())))
+    w.recover("c", after=("crash-c",),
+              when=lambda w: w.nodes["a"].peer_state("c") == "down"
+              and w.nodes["b"].peer_state("c") == "down")
+    w.send("a", "c/sink", "w3", label="second-a", after=("recover-c",),
+           when=lambda w: w.nodes["a"].peer_state("c") == "alive")
+    return w
+
+
+SCENARIOS: dict[str, Scenario] = {s.name: s for s in (
+    Scenario("skip_resync",
+             "lost message: SKIP must resync the dedup prefix",
+             _skip_resync, budget=400, pins=("sim-resync-stall",)),
+    Scenario("credit_return",
+             "retry exhaustion: abandoned TELLs return their credit",
+             _credit_return, budget=400, pins=("sim-credit-leak",)),
+    Scenario("recovery_remint",
+             "DOWN→ALIVE: recovery re-mints broken credit gates",
+             _recovery_remint, budget=500, pins=("sim-recovery-loss",)),
+    Scenario("eviction",
+             "long-dead peer is evicted from every table",
+             _eviction, budget=300, pins=("sim-evict-leak",)),
+    Scenario("dup_delivery",
+             "lost ACK: dedup swallows the retransmitted copy",
+             _dup_delivery, budget=400, pins=("sim-duplicate-delivery",)),
+    Scenario("chaos",
+             "seeded random loss/dup on one link, replayable by seed",
+             _chaos, budget=500, pins=()),
+    Scenario("crash_rejoin",
+             "3 nodes: crash the server mid-traffic, rejoin, resume",
+             _crash_rejoin, budget=600, pins=()),
+)}
+
+
+def get(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r}; "
+                       f"have: {', '.join(sorted(SCENARIOS))}") from None
